@@ -1,0 +1,63 @@
+// Ablation (DESIGN.md §5): sensitivity of RRND's α and MOND's θ — the
+// sweep behind the paper's choice of α = 1.3 and θ = 60° in Section 4.2.
+
+#include "common/bench_util.h"
+#include "methods/ii_baseline_index.h"
+
+namespace gass::bench {
+namespace {
+
+void Run() {
+  const Workload workload = MakeWorkload("deep", kTier25GB);
+  PrintHeader("Ablation: RRND alpha sweep (Deep proxy, 25GB tier)",
+              "Recall and cost at beam 80 for alpha in [1, 2].");
+  PrintRow({"alpha", "recall", "dists/query", "avg degree"});
+  PrintRule();
+  for (const float alpha : {1.0f, 1.15f, 1.3f, 1.5f, 2.0f}) {
+    methods::IiBaselineParams params;
+    params.max_degree = 24;
+    params.build_beam_width = 128;
+    params.diversify.strategy = diversify::Strategy::kRrnd;
+    params.diversify.alpha = alpha;
+    methods::IiBaselineIndex index(params);
+    index.Build(workload.base);
+    const auto curve = SweepBeamWidths(index, workload, {80}, 48);
+    char alpha_cell[16], recall[16], degree[16];
+    std::snprintf(alpha_cell, sizeof(alpha_cell), "%.2f", alpha);
+    std::snprintf(recall, sizeof(recall), "%.3f", curve[0].recall);
+    std::snprintf(degree, sizeof(degree), "%.1f",
+                  index.graph().AverageDegree());
+    PrintRow({alpha_cell, recall, FormatCount(curve[0].mean_distances),
+              degree});
+  }
+
+  PrintHeader("Ablation: MOND theta sweep (Deep proxy, 25GB tier)",
+              "Recall and cost at beam 80 for theta in [50, 80] degrees.");
+  PrintRow({"theta", "recall", "dists/query", "avg degree"});
+  PrintRule();
+  for (const float theta : {50.0f, 60.0f, 70.0f, 80.0f}) {
+    methods::IiBaselineParams params;
+    params.max_degree = 24;
+    params.build_beam_width = 128;
+    params.diversify.strategy = diversify::Strategy::kMond;
+    params.diversify.theta_degrees = theta;
+    methods::IiBaselineIndex index(params);
+    index.Build(workload.base);
+    const auto curve = SweepBeamWidths(index, workload, {80}, 48);
+    char theta_cell[16], recall[16], degree[16];
+    std::snprintf(theta_cell, sizeof(theta_cell), "%.0f", theta);
+    std::snprintf(recall, sizeof(recall), "%.3f", curve[0].recall);
+    std::snprintf(degree, sizeof(degree), "%.1f",
+                  index.graph().AverageDegree());
+    PrintRow({theta_cell, recall, FormatCount(curve[0].mean_distances),
+              degree});
+  }
+}
+
+}  // namespace
+}  // namespace gass::bench
+
+int main() {
+  gass::bench::Run();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation (DESIGN.md §5): ELPIS's extra knobs — leaf size (indexing) and
+// nprobe (search), the tuning burden Table 3 notes for ELPIS.
+
+#include "common/bench_util.h"
+#include "methods/elpis_index.h"
+
+namespace gass::bench {
+namespace {
+
+void Run() {
+  const Workload workload = MakeWorkload("deep", kTier25GB);
+
+  PrintHeader("Ablation: ELPIS leaf size (Deep proxy, 25GB tier)",
+              "nprobe = 6, beam 80.");
+  PrintRow({"leaf size", "leaves", "build time", "recall", "dists/query"});
+  PrintRule();
+  for (const std::size_t leaf_size : {256u, 512u, 1024u, 2048u}) {
+    methods::ElpisParams params;
+    params.tree.leaf_size = leaf_size;
+    params.nprobe = 6;
+    methods::ElpisIndex index(params);
+    const methods::BuildStats stats = index.Build(workload.base);
+    const auto curve = SweepBeamWidths(index, workload, {80}, 48);
+    char recall[16];
+    std::snprintf(recall, sizeof(recall), "%.3f", curve[0].recall);
+    PrintRow({std::to_string(leaf_size), std::to_string(index.num_leaves()),
+              FormatSeconds(stats.elapsed_seconds), recall,
+              FormatCount(curve[0].mean_distances)});
+  }
+
+  PrintHeader("Ablation: ELPIS nprobe (Deep proxy, 25GB tier)",
+              "leaf size 512, beam 80.");
+  PrintRow({"nprobe", "probed", "recall", "dists/query"});
+  PrintRule();
+  for (const std::size_t nprobe : {1u, 2u, 4u, 8u, 16u}) {
+    methods::ElpisParams params;
+    params.tree.leaf_size = 512;
+    params.nprobe = nprobe;
+    methods::ElpisIndex index(params);
+    index.Build(workload.base);
+    const auto curve = SweepBeamWidths(index, workload, {80}, 48);
+    char recall[16];
+    std::snprintf(recall, sizeof(recall), "%.3f", curve[0].recall);
+    PrintRow({std::to_string(nprobe), std::to_string(index.last_probed()),
+              recall, FormatCount(curve[0].mean_distances)});
+  }
+}
+
+}  // namespace
+}  // namespace gass::bench
+
+int main() {
+  gass::bench::Run();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation: the structural anatomy behind the taxonomy — degree profile,
+// connectivity, long-range-edge fraction, and greedy navigability of the
+// graphs each method builds on the same collection.
+//
+// Expected shape: ND-based graphs (HNSW, NSG, Vamana) keep bounded degrees
+// with a visible long-range fraction and short greedy paths; NoND/NP graphs
+// (NSW, KGraph) have near-pure short edges; DC merges (HCNNG, SPTAG) show
+// higher degree variance.
+
+#include "common/bench_util.h"
+#include "eval/graph_stats.h"
+#include "methods/factory.h"
+
+namespace gass::bench {
+namespace {
+
+void Run() {
+  const Workload workload = MakeWorkload("deep", kTier25GB);
+  PrintHeader("Ablation: graph anatomy per method (Deep proxy, 25GB tier)",
+              "long-range = edges >= 3x the node's NN distance; greedy hops "
+              "= mean greedy-walk length to a random target.");
+  PrintRow({"method", "avg deg", "p99 deg", "components", "long-range",
+            "greedy hops"});
+  PrintRule();
+
+  for (const char* name : {"kgraph", "nsw", "hnsw", "dpg", "nsg", "ssg",
+                           "vamana", "sptag-bkt", "hcnng", "lshapg"}) {
+    auto index = methods::CreateIndex(name, 42);
+    index->Build(workload.base);
+    const core::Graph& graph = index->graph();
+    const eval::DegreeStats degrees = eval::ComputeDegreeStats(graph);
+    const eval::ConnectivityStats connectivity =
+        eval::ComputeConnectivity(graph);
+    const eval::EdgeLengthStats edges =
+        eval::ComputeEdgeLengthStats(workload.base, graph, 30, 3.0, 7);
+    const double hops =
+        eval::EstimateGreedyPathLength(workload.base, graph, 30, 500, 9);
+
+    char avg[16], p99[16], lr[16], gh[16];
+    std::snprintf(avg, sizeof(avg), "%.1f", degrees.mean);
+    std::snprintf(p99, sizeof(p99), "%.0f", degrees.p99);
+    std::snprintf(lr, sizeof(lr), "%.1f%%", edges.long_range_fraction * 100);
+    std::snprintf(gh, sizeof(gh), "%.1f", hops);
+    PrintRow({name, avg, p99, std::to_string(connectivity.components), lr,
+              gh});
+  }
+}
+
+}  // namespace
+}  // namespace gass::bench
+
+int main() {
+  gass::bench::Run();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation (DESIGN.md §5): NNDescent convergence — per-iteration updates,
+// distance cost, and the resulting k-NN-graph recall, plus the empirical
+// sub-quadratic total-cost check (Dong et al. report O(n^1.14)).
+
+#include <cmath>
+
+#include "common/bench_util.h"
+#include "knngraph/exact_knn_graph.h"
+#include "knngraph/nndescent.h"
+#include "synth/generators.h"
+
+namespace gass::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Ablation: NNDescent convergence (Deep proxy, 25GB tier)",
+              "k = 20, cold random start.");
+  PrintRow({"iteration", "updates", "dists"});
+  PrintRule();
+  const core::Dataset data = synth::MakeDatasetProxy("deep", kTier25GB.n, 42);
+  {
+    core::DistanceComputer dc(data);
+    knngraph::NnDescentParams params;
+    params.k = 20;
+    params.iterations = 10;
+    knngraph::NnDescentTrace trace;
+    const core::Graph graph = knngraph::NnDescent(dc, params, 7, nullptr,
+                                                  &trace);
+    for (std::size_t i = 0; i < trace.updates_per_iteration.size(); ++i) {
+      PrintRow({std::to_string(i + 1),
+                FormatCount(static_cast<double>(
+                    trace.updates_per_iteration[i])),
+                FormatCount(static_cast<double>(
+                    trace.distances_per_iteration[i]))});
+    }
+    PrintRule();
+    char recall[32];
+    std::snprintf(recall, sizeof(recall), "%.3f",
+                  knngraph::KnnGraphRecall(data, graph, 20, 50, 3));
+    PrintRow({"graph recall", recall, ""});
+  }
+
+  PrintHeader("Ablation: NNDescent total cost vs n",
+              "Empirical exponent from consecutive sizes "
+              "(brute force is exponent 2; Dong et al. report ~1.14).");
+  PrintRow({"n", "dists", "exponent"});
+  PrintRule();
+  double prev_n = 0.0, prev_cost = 0.0;
+  for (const std::size_t n : {1000u, 2000u, 4000u, 8000u}) {
+    const core::Dataset subset = synth::MakeDatasetProxy("deep", n, 42);
+    core::DistanceComputer dc(subset);
+    knngraph::NnDescentParams params;
+    params.k = 20;
+    knngraph::NnDescent(dc, params, 7);
+    const double cost = static_cast<double>(dc.count());
+    char exponent[16] = "-";
+    if (prev_n > 0) {
+      std::snprintf(exponent, sizeof(exponent), "%.2f",
+                    std::log(cost / prev_cost) / std::log(n / prev_n));
+    }
+    PrintRow({std::to_string(n), FormatCount(cost), exponent});
+    prev_n = static_cast<double>(n);
+    prev_cost = cost;
+  }
+}
+
+}  // namespace
+}  // namespace gass::bench
+
+int main() {
+  gass::bench::Run();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 1: the motivating image-retrieval anecdote — time to the
+// best-so-far answer for an exact serial scan, a QALSH-style δ-ε LSH
+// searcher, and two graph methods (ELPIS and EFANNA) on a synthetic
+// image-embedding collection.
+//
+// Expected shape (paper): the graph methods return the scan's answer orders
+// of magnitude faster, and ELPIS beats EFANNA by a small factor.
+
+#include <memory>
+
+#include "common/bench_util.h"
+#include "eval/serial_scan.h"
+#include "hash/qalsh_scan.h"
+#include "methods/factory.h"
+#include "synth/generators.h"
+#include "synth/workloads.h"
+
+namespace gass::bench {
+namespace {
+
+void Run() {
+  // "ImageNet embeddings": clustered 256-d proxy.
+  const std::size_t n = 8000;
+  const core::Dataset base = synth::MakeDatasetProxy("imagenet", n, 42);
+  // Probe images: lightly perturbed gallery members, matching the paper's
+  // in-distribution retrieval scenario.
+  const core::Dataset queries = synth::NoisyQueries(base, 10, 0.005, 43);
+
+  PrintHeader("Figure 1: time to the exact best answer "
+              "(ImageNet proxy, n=8000, 256-d)",
+              "Mean wall time per query until each method holds the serial "
+              "scan's top-1 answer (graph/LSH methods: total query time; "
+              "'match' = fraction of queries where the answers agree).");
+  PrintRow({"method", "time/query", "match@1", "dists/query"});
+  PrintRule();
+
+  // Exact baseline + its answers.
+  std::vector<core::Neighbor> exact(queries.size());
+  {
+    double total = 0.0;
+    for (core::VectorId q = 0; q < queries.size(); ++q) {
+      core::SearchStats stats;
+      exact[q] = eval::SerialScan(base, queries.Row(q), 1, &stats)[0];
+      total += stats.elapsed_seconds;
+    }
+    PrintRow({"serial scan", FormatSeconds(total / queries.size()), "1.00",
+              FormatCount(static_cast<double>(n))});
+  }
+
+  // QALSH-style δ-ε-approximate search.
+  {
+    hash::QalshParams params;
+    params.candidate_fraction = 0.3;
+    const hash::QalshScanner scanner =
+        hash::QalshScanner::Build(base, params, 7);
+    double total = 0.0, dists = 0.0;
+    int match = 0;
+    for (core::VectorId q = 0; q < queries.size(); ++q) {
+      core::SearchStats stats;
+      const auto found = scanner.Search(base, queries.Row(q), 1, &stats);
+      total += stats.elapsed_seconds;
+      dists += static_cast<double>(stats.distance_computations);
+      if (!found.empty() && found[0].id == exact[q].id) ++match;
+    }
+    char match_cell[16];
+    std::snprintf(match_cell, sizeof(match_cell), "%.2f",
+                  static_cast<double>(match) / queries.size());
+    PrintRow({"QALSH-style", FormatSeconds(total / queries.size()),
+              match_cell, FormatCount(dists / queries.size())});
+  }
+
+  // Graph methods.
+  for (const char* name : {"elpis", "efanna"}) {
+    auto index = methods::CreateIndex(name, 42);
+    index->Build(base);
+    methods::SearchParams params;
+    params.k = 1;
+    params.beam_width = 48;
+    params.num_seeds = 48;
+    double total = 0.0, dists = 0.0;
+    int match = 0;
+    for (core::VectorId q = 0; q < queries.size(); ++q) {
+      const auto result = index->Search(queries.Row(q), params);
+      total += result.stats.elapsed_seconds;
+      dists += static_cast<double>(result.stats.distance_computations);
+      if (!result.neighbors.empty() &&
+          result.neighbors[0].id == exact[q].id) {
+        ++match;
+      }
+    }
+    char match_cell[16];
+    std::snprintf(match_cell, sizeof(match_cell), "%.2f",
+                  static_cast<double>(match) / queries.size());
+    PrintRow({name, FormatSeconds(total / queries.size()), match_cell,
+              FormatCount(dists / queries.size())});
+  }
+}
+
+}  // namespace
+}  // namespace gass::bench
+
+int main() {
+  gass::bench::Run();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 4: dataset complexity — mean LID (Eq. 5) and LRC (Eq. 6) per
+// dataset, k = 100, over a random sample, as in the paper's setup.
+//
+// Expected shape (paper): Pow0/Pow5/Pow50, Seismic and Text2Img have the
+// highest LID / lowest LRC (hard); Sift, Deep and ImageNet the lowest LID /
+// highest LRC (easy); SALD and GIST sit between.
+
+#include <string>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "eval/complexity.h"
+#include "synth/generators.h"
+
+namespace gass::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 4: dataset complexity (LID and LRC, k=100)",
+              "Proxies, n=2000 per dataset, 40-point sample per estimate. "
+              "Low LID / high LRC = easy.");
+  PrintRow({"dataset", "mean LID", "median LID", "mean LRC", "median LRC"});
+  PrintRule();
+
+  struct Entry {
+    std::string label;
+    core::Dataset data;
+  };
+  std::vector<Entry> entries;
+  for (const char* name :
+       {"sift", "deep", "imagenet", "gist", "sald", "seismic", "text2img"}) {
+    entries.push_back({name, synth::MakeDatasetProxy(name, 2000, 42)});
+  }
+  for (const double exponent : {0.0, 5.0, 50.0}) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "RandPow%g", exponent);
+    entries.push_back({label, synth::PowerLaw(2000, 256, exponent, 42)});
+  }
+
+  for (const Entry& entry : entries) {
+    const eval::ComplexitySummary summary =
+        eval::EstimateComplexity(entry.data, 40, 100, 7);
+    char lid_mean[32], lid_med[32], lrc_mean[32], lrc_med[32];
+    std::snprintf(lid_mean, sizeof(lid_mean), "%.2f", summary.mean_lid);
+    std::snprintf(lid_med, sizeof(lid_med), "%.2f", summary.median_lid);
+    std::snprintf(lrc_mean, sizeof(lrc_mean), "%.3f", summary.mean_lrc);
+    std::snprintf(lrc_med, sizeof(lrc_med), "%.3f", summary.median_lrc);
+    PrintRow({entry.label, lid_mean, lid_med, lrc_mean, lrc_med});
+  }
+}
+
+}  // namespace
+}  // namespace gass::bench
+
+int main() {
+  gass::bench::Run();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 5: neighborhood-diversification strategies on II graphs — recall
+// versus distance computations for NoND / RND / RRND(α=1.3) / MOND(θ=60°)
+// on Deep and Sift proxies across size tiers.
+//
+// Expected shape (paper): RND and MOND lead, RRND follows, NoND trails, and
+// the gap to NoND widens with dataset size.
+
+#include <vector>
+
+#include "common/bench_util.h"
+#include "methods/ii_baseline_index.h"
+
+namespace gass::bench {
+namespace {
+
+void RunOne(const char* dataset, const Tier& tier) {
+  const Workload workload = MakeWorkload(dataset, tier);
+  char title[128];
+  std::snprintf(title, sizeof(title), "Figure 5: ND strategies on %s @ %s "
+                "(proxy n=%zu)", dataset, tier.label, tier.n);
+  PrintHeader(title, "II graph, R scaled from the paper's R=60/L=800 recipe.");
+  PrintRow({"strategy", "beam", "recall", "dists/query", "hops/query"});
+  PrintRule();
+
+  const diversify::Strategy strategies[4] = {
+      diversify::Strategy::kNone, diversify::Strategy::kRnd,
+      diversify::Strategy::kRrnd, diversify::Strategy::kMond};
+  for (const auto strategy : strategies) {
+    methods::IiBaselineParams params;
+    params.max_degree = 24;
+    params.build_beam_width = 128;
+    params.diversify.strategy = strategy;
+    params.diversify.alpha = 1.3f;
+    params.diversify.theta_degrees = 60.0f;
+    methods::IiBaselineIndex index(params);
+    index.Build(workload.base);
+    const auto curve = SweepBeamWidths(index, workload, DefaultBeams());
+    for (const SweepPoint& point : curve) {
+      char recall[32];
+      std::snprintf(recall, sizeof(recall), "%.3f", point.recall);
+      PrintRow({diversify::StrategyName(strategy),
+                std::to_string(point.beam_width), recall,
+                FormatCount(point.mean_distances),
+                FormatCount(point.mean_hops)});
+    }
+    PrintRule();
+  }
+}
+
+}  // namespace
+}  // namespace gass::bench
+
+int main() {
+  using namespace gass::bench;
+  for (const char* dataset : {"deep", "sift"}) {
+    RunOne(dataset, kTier1M);
+    RunOne(dataset, kTier25GB);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 6: seed-selection strategies — distance computations needed to
+// reach the recall target with 100-NN queries, on Deep and Sift proxies
+// across tiers, over the same II+RND graph.
+//
+// Expected shape (paper): SN and KS lead everywhere; KS wins at small/medium
+// tiers, SN overtakes at the largest tier; KD competitive then fading;
+// MD and SF trail.
+
+#include <vector>
+
+#include "common/bench_util.h"
+#include "methods/ii_baseline_index.h"
+
+namespace gass::bench {
+namespace {
+
+void RunOne(const char* dataset, const Tier& tier) {
+  // The seed-selection effect lives in the narrow-beam regime: with a wide
+  // beam, any entry point converges. k is 10 with beams from k upward (the
+  // paper's 100-NN stress scaled to the proxy sizes).
+  const std::size_t k = 10;
+  const Workload workload = MakeWorkload(dataset, tier, k);
+
+  char title[160];
+  std::snprintf(title, sizeof(title),
+                "Figure 6: SS strategies on %s @ %s (proxy n=%zu, k=%zu)",
+                dataset, tier.label, tier.n, k);
+  PrintHeader(title,
+              "Same II+RND graph for every strategy; cost at the first beam "
+              "width reaching recall 0.95, plus the narrow-beam (L=k) "
+              "recall that exposes entry-point quality.");
+  PrintRow({"strategy", "recall@L=k", "target beam", "recall", "dists/query"});
+  PrintRule();
+
+  methods::IiBaselineParams params;
+  params.max_degree = 24;
+  params.build_beam_width = 128;
+  params.diversify.strategy = diversify::Strategy::kRnd;
+  methods::IiBaselineIndex index(params);
+  index.Build(workload.base);
+
+  const seeds::Strategy strategies[5] = {
+      seeds::Strategy::kSn, seeds::Strategy::kKs, seeds::Strategy::kKd,
+      seeds::Strategy::kMd, seeds::Strategy::kSf};
+  for (const auto strategy : strategies) {
+    index.AttachQuerySeeds(strategy);
+    const auto curve = SweepBeamWidths(
+        index, workload, {10, 12, 16, 24, 32, 48, 64, 96}, 16);
+    SweepPoint point = FirstReaching(curve, 0.95);
+    if (point.beam_width == 0) point = curve.back();  // Best achieved.
+    char narrow[32], recall[32];
+    std::snprintf(narrow, sizeof(narrow), "%.3f", curve[0].recall);
+    std::snprintf(recall, sizeof(recall), "%.3f", point.recall);
+    PrintRow({seeds::StrategyName(strategy), narrow,
+              std::to_string(point.beam_width), recall,
+              FormatCount(point.mean_distances)});
+  }
+}
+
+}  // namespace
+}  // namespace gass::bench
+
+int main() {
+  using namespace gass::bench;
+  for (const char* dataset : {"deep", "sift"}) {
+    RunOne(dataset, kTier1M);
+    RunOne(dataset, kTier25GB);
+    RunOne(dataset, kTier100GB);
+  }
+  // Extra hard-dataset view (not in the paper's Fig. 6): routing-sensitive
+  // data separates the strategies more clearly at proxy scale.
+  RunOne("seismic", kTier25GB);
+  return 0;
+}

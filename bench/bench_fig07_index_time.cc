@@ -1,0 +1,63 @@
+// Figure 7: indexing time of all twelve methods as dataset size grows
+// (Deep proxy tiers). Methods are dropped at the tier where the paper
+// reports them failing to scale (SPTAG/NGT/HCNNG time out beyond 25GB;
+// KGraph/EFANNA and their dependents exhaust memory beyond 25GB).
+//
+// Expected shape (paper): II-based methods (ELPIS, HNSW) are the cheapest
+// builders at every size; ELPIS ~2-3x faster than HNSW and Vamana at the
+// large tiers; SPTAG variants are the slowest; NSG/SSG pay for the EFANNA
+// base graph.
+
+#include <string>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "methods/factory.h"
+
+namespace gass::bench {
+namespace {
+
+// The largest tier each method is built at, mirroring the paper's cutoffs.
+struct MethodScale {
+  const char* name;
+  std::size_t max_n;
+};
+
+const MethodScale kSchedule[] = {
+    {"kgraph", kTier25GB.n},    {"efanna", kTier25GB.n},
+    {"nsw", kTier25GB.n},       {"dpg", kTier25GB.n},
+    {"ngt", kTier25GB.n},       {"nsg", kTier25GB.n},
+    {"ssg", kTier25GB.n},       {"sptag-kdt", kTier25GB.n},
+    {"sptag-bkt", kTier25GB.n}, {"hcnng", kTier25GB.n},
+    {"lshapg", kTier25GB.n},    {"vamana", kTier1B.n},
+    {"hnsw", kTier1B.n},        {"elpis", kTier1B.n},
+};
+
+void Run() {
+  PrintHeader("Figure 7: indexing time vs dataset size (Deep proxy)",
+              "Methods stop at the tier where the paper reports them "
+              "hitting the 48h / 1.4TB walls.");
+  PrintRow({"tier", "method", "build time", "build dists", "index size"});
+  PrintRule();
+
+  for (const Tier& tier : {kTier1M, kTier25GB, kTier100GB, kTier1B}) {
+    const Workload workload = MakeWorkload("deep", tier);
+    for (const MethodScale& entry : kSchedule) {
+      if (tier.n > entry.max_n) continue;
+      auto index = methods::CreateIndex(entry.name, 42);
+      const methods::BuildStats stats = index->Build(workload.base);
+      PrintRow({tier.label, entry.name, FormatSeconds(stats.elapsed_seconds),
+                FormatCount(static_cast<double>(stats.distance_computations)),
+                FormatBytes(static_cast<double>(stats.index_bytes))});
+    }
+    PrintRule();
+  }
+}
+
+}  // namespace
+}  // namespace gass::bench
+
+int main() {
+  gass::bench::Run();
+  return 0;
+}

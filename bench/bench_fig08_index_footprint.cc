@@ -1,0 +1,39 @@
+// Figure 8: peak memory footprint during index construction (Deep proxy,
+// 25GB tier), including the raw data.
+//
+// Expected shape (paper): HCNNG / KGraph / EFANNA (and its dependents NSG,
+// SSG) peak far above their final index sizes; ELPIS has the lowest
+// transient footprint among the scalable methods; HNSW pays for its
+// contiguous neighbor block.
+
+#include "common/bench_util.h"
+#include "methods/factory.h"
+
+namespace gass::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 8: peak indexing footprint (Deep proxy, 25GB tier)",
+              "peak = raw data + transient build structures (analytic "
+              "ledger; RSS deltas are unreliable at proxy scale).");
+  PrintRow({"method", "raw data", "peak build", "final index"});
+  PrintRule();
+
+  const Workload workload = MakeWorkload("deep", kTier25GB);
+  const double raw = static_cast<double>(workload.base.SizeBytes());
+  for (const std::string& name : methods::AllMethodNames()) {
+    auto index = methods::CreateIndex(name, 42);
+    const methods::BuildStats stats = index->Build(workload.base);
+    PrintRow({name, FormatBytes(raw),
+              FormatBytes(raw + static_cast<double>(stats.peak_bytes)),
+              FormatBytes(raw + static_cast<double>(stats.index_bytes))});
+  }
+}
+
+}  // namespace
+}  // namespace gass::bench
+
+int main() {
+  gass::bench::Run();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 9: final index size versus peak construction footprint (Deep
+// proxy, 25GB tier) — the "footprint >> index size" methods.
+//
+// Expected shape (paper): EFANNA, HCNNG, KGraph (and NSG/SSG/DPG built on
+// them) show the largest peak-to-final ratios.
+
+#include "common/bench_util.h"
+#include "methods/factory.h"
+
+namespace gass::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 9: index size vs construction footprint "
+              "(Deep proxy, 25GB tier)",
+              "ratio = (raw + peak build) / (raw + final index).");
+  PrintRow({"method", "final index", "peak build", "peak/final"});
+  PrintRule();
+
+  const Workload workload = MakeWorkload("deep", kTier25GB);
+  const double raw = static_cast<double>(workload.base.SizeBytes());
+  for (const std::string& name : methods::AllMethodNames()) {
+    auto index = methods::CreateIndex(name, 42);
+    const methods::BuildStats stats = index->Build(workload.base);
+    const double final_bytes = raw + static_cast<double>(stats.index_bytes);
+    const double peak_bytes = raw + static_cast<double>(stats.peak_bytes);
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.2fx", peak_bytes / final_bytes);
+    PrintRow({name, FormatBytes(final_bytes), FormatBytes(peak_bytes),
+              ratio});
+  }
+}
+
+}  // namespace
+}  // namespace gass::bench
+
+int main() {
+  gass::bench::Run();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 10: memory footprint during query answering (Deep proxy, 100GB
+// tier) — the loaded index (graph + seed structures + per-query scratch)
+// plus the raw vectors.
+//
+// Expected shape (paper): Vamana smallest, then ELPIS (its duplicated
+// contiguous leaves cost more in memory than its on-disk index), HNSW
+// largest among the scalable trio.
+
+#include "common/bench_util.h"
+#include "methods/factory.h"
+
+namespace gass::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 10: query-time memory footprint "
+              "(Deep proxy, 100GB tier)",
+              "loaded = raw data + index structures + search scratch.");
+  PrintRow({"method", "raw data", "index", "loaded total"});
+  PrintRule();
+
+  const Workload workload = MakeWorkload("deep", kTier100GB);
+  const double raw = static_cast<double>(workload.base.SizeBytes());
+  for (const char* name : {"vamana", "hnsw", "elpis"}) {
+    auto index = methods::CreateIndex(name, 42);
+    index->Build(workload.base);
+    // Per-query scratch: visited table + candidate pool, negligible next to
+    // the index but included for completeness.
+    const double scratch =
+        static_cast<double>(workload.base.size()) * sizeof(std::uint32_t) +
+        512 * sizeof(core::Neighbor);
+    const double index_bytes = static_cast<double>(index->IndexBytes());
+    PrintRow({name, FormatBytes(raw), FormatBytes(index_bytes),
+              FormatBytes(raw + index_bytes + scratch)});
+  }
+}
+
+}  // namespace
+}  // namespace gass::bench
+
+int main() {
+  gass::bench::Run();
+  return 0;
+}

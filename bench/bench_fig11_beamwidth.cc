@@ -1,0 +1,48 @@
+// Figure 11: the beam width each method needs to reach a recall target
+// (Deep proxy, 100GB tier).
+//
+// Expected shape (paper): ELPIS needs the smallest beam (its per-leaf
+// searches operate on clustered subsets); HNSW and Vamana need wider beams.
+
+#include "common/bench_util.h"
+#include "methods/factory.h"
+
+namespace gass::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 11: beam width needed per recall target "
+              "(Deep proxy, 100GB tier)",
+              "Smallest beam from the ladder {10,20,40,80,160,320} whose "
+              "recall meets the target.");
+  PrintRow({"method", "target", "beam", "recall", "dists/query"});
+  PrintRule();
+
+  const Workload workload = MakeWorkload("deep", kTier100GB);
+  for (const char* name : {"vamana", "hnsw", "elpis"}) {
+    auto index = methods::CreateIndex(name, 42);
+    index->Build(workload.base);
+    const auto curve = SweepBeamWidths(*index, workload, DefaultBeams());
+    for (const double target : {0.9, 0.99}) {
+      SweepPoint point = FirstReaching(curve, target);
+      char target_cell[16], recall[16];
+      std::snprintf(target_cell, sizeof(target_cell), "%.2f", target);
+      if (point.beam_width == 0) {
+        PrintRow({name, target_cell, "unreached", "-", "-"});
+        continue;
+      }
+      std::snprintf(recall, sizeof(recall), "%.3f", point.recall);
+      PrintRow({name, target_cell, std::to_string(point.beam_width), recall,
+                FormatCount(point.mean_distances)});
+    }
+    PrintRule();
+  }
+}
+
+}  // namespace
+}  // namespace gass::bench
+
+int main() {
+  gass::bench::Run();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 12: search performance of all methods on the 1M-tier datasets
+// (Sift, Deep, Seismic, SALD, ImageNet proxies) — recall vs distance
+// computations curves.
+//
+// Expected shape (paper): ELPIS/NSG/SSG lead on Sift; HCNNG and ELPIS on
+// Seismic; NGT/SSG/NSG on Deep; NSG/SSG/HNSW on ImageNet; LSHAPG needs more
+// computation at high accuracy; KGraph/NSW trail.
+
+#include <string>
+
+#include "common/bench_util.h"
+#include "methods/factory.h"
+
+namespace gass::bench {
+namespace {
+
+void RunDataset(const char* dataset) {
+  const Workload workload = MakeWorkload(dataset, kTier1M);
+  char title[128];
+  std::snprintf(title, sizeof(title),
+                "Figure 12: search on %s1M (proxy n=%zu, k=10)", dataset,
+                kTier1M.n);
+  PrintHeader(title, "Recall / distance-computation curves, all methods.");
+  PrintRow({"method", "beam", "recall", "dists/query", "time/query"});
+  PrintRule();
+
+  for (const std::string& name : methods::AllMethodNames()) {
+    auto index = methods::CreateIndex(name, 42);
+    index->Build(workload.base);
+    const auto curve =
+        SweepBeamWidths(*index, workload, {20, 60, 160}, 48);
+    for (const SweepPoint& point : curve) {
+      char recall[16];
+      std::snprintf(recall, sizeof(recall), "%.3f", point.recall);
+      PrintRow({name, std::to_string(point.beam_width), recall,
+                FormatCount(point.mean_distances),
+                FormatSeconds(point.mean_seconds)});
+    }
+    PrintRule();
+  }
+}
+
+}  // namespace
+}  // namespace gass::bench
+
+int main() {
+  for (const char* dataset :
+       {"sift", "deep", "seismic", "sald", "imagenet"}) {
+    gass::bench::RunDataset(dataset);
+  }
+  return 0;
+}

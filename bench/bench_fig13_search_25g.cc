@@ -1,0 +1,53 @@
+// Figure 13 (a-d): search performance on the 25GB-tier datasets for the
+// methods that survive that scale in the paper (KGraph, DPG, SPTAG-KDT,
+// HCNNG, EFANNA dropped for clarity/scale there; we keep the paper's lineup
+// of HNSW, NSG, SSG, Vamana, ELPIS, SPTAG-BKT, NGT, LSHAPG).
+//
+// Expected shape (paper): SSG/NSG/NGT/HCNNG fade relative to the 1M tier;
+// ELPIS takes the overall lead, sharing it with SPTAG-BKT on SALD; nobody
+// exceeds ~0.8 recall on Seismic.
+
+#include <string>
+
+#include "common/bench_util.h"
+#include "methods/factory.h"
+
+namespace gass::bench {
+namespace {
+
+void RunDataset(const char* dataset) {
+  const Workload workload = MakeWorkload(dataset, kTier25GB);
+  char title[128];
+  std::snprintf(title, sizeof(title),
+                "Figure 13: search on %s25GB (proxy n=%zu, k=10)", dataset,
+                kTier25GB.n);
+  PrintHeader(title, "Recall / cost curves, 25GB-tier survivors.");
+  PrintRow({"method", "beam", "recall", "dists/query", "time/query"});
+  PrintRule();
+
+  for (const char* name : {"hnsw", "nsg", "ssg", "vamana", "elpis",
+                           "sptag-bkt", "ngt", "lshapg"}) {
+    auto index = methods::CreateIndex(name, 42);
+    index->Build(workload.base);
+    const auto curve =
+        SweepBeamWidths(*index, workload, {20, 60, 160}, 48);
+    for (const SweepPoint& point : curve) {
+      char recall[16];
+      std::snprintf(recall, sizeof(recall), "%.3f", point.recall);
+      PrintRow({name, std::to_string(point.beam_width), recall,
+                FormatCount(point.mean_distances),
+                FormatSeconds(point.mean_seconds)});
+    }
+    PrintRule();
+  }
+}
+
+}  // namespace
+}  // namespace gass::bench
+
+int main() {
+  for (const char* dataset : {"deep", "sift", "sald", "seismic"}) {
+    gass::bench::RunDataset(dataset);
+  }
+  return 0;
+}

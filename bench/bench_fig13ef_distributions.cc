@@ -1,0 +1,48 @@
+// Figure 13 (e, f): data-distribution robustness — top methods from each
+// paradigm on the power-law datasets RandPow0 (uniform) and RandPow50
+// (very skewed).
+//
+// Expected shape (paper): ELPIS stays ahead across skewness levels; search
+// gets easier as skewness grows, so every method improves from Pow0 to
+// Pow50.
+
+#include "common/bench_util.h"
+#include "methods/factory.h"
+
+namespace gass::bench {
+namespace {
+
+void RunExponent(double exponent) {
+  const Workload workload = MakePowerLawWorkload(exponent, kTier25GB);
+  char title[128];
+  std::snprintf(title, sizeof(title),
+                "Figure 13e/f: search on %s (proxy n=%zu, 256-d, k=10)",
+                workload.dataset.c_str(), kTier25GB.n);
+  PrintHeader(title, "Paradigm representatives on skewed distributions.");
+  PrintRow({"method", "beam", "recall", "dists/query"});
+  PrintRule();
+
+  for (const char* name :
+       {"efanna", "vamana", "ssg", "hnsw", "elpis", "sptag-bkt"}) {
+    auto index = methods::CreateIndex(name, 42);
+    index->Build(workload.base);
+    const auto curve = SweepBeamWidths(*index, workload, {20, 80, 240}, 48);
+    for (const SweepPoint& point : curve) {
+      char recall[16];
+      std::snprintf(recall, sizeof(recall), "%.3f", point.recall);
+      PrintRow({name, std::to_string(point.beam_width), recall,
+                FormatCount(point.mean_distances)});
+    }
+    PrintRule();
+  }
+}
+
+}  // namespace
+}  // namespace gass::bench
+
+int main() {
+  gass::bench::RunExponent(0.0);
+  gass::bench::RunExponent(5.0);
+  gass::bench::RunExponent(50.0);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figures 14 and 16: search on the 100GB and 1B tiers (Deep and Sift
+// proxies) for the three methods that scale there: HNSW, Vamana, ELPIS.
+//
+// Expected shape (paper): ELPIS leads — up to an order of magnitude faster
+// to 0.95 recall at the 1B tier, thanks to leaf pruning and (optional)
+// multi-threaded single-query answering; HNSW and Vamana are close to each
+// other.
+
+#include "common/bench_util.h"
+#include "methods/factory.h"
+
+namespace gass::bench {
+namespace {
+
+void RunOne(const char* dataset, const Tier& tier) {
+  const Workload workload = MakeWorkload(dataset, tier);
+  char title[128];
+  std::snprintf(title, sizeof(title),
+                "Figures 14/16: search on %s @ %s tier (proxy n=%zu)",
+                dataset, tier.label, tier.n);
+  PrintHeader(title, "Scalable trio; recall / cost curves.");
+  PrintRow({"method", "beam", "recall", "dists/query", "time/query"});
+  PrintRule();
+
+  for (const char* name : {"hnsw", "vamana", "elpis"}) {
+    auto index = methods::CreateIndex(name, 42);
+    index->Build(workload.base);
+    const auto curve =
+        SweepBeamWidths(*index, workload, {20, 60, 160, 320}, 48);
+    for (const SweepPoint& point : curve) {
+      char recall[16];
+      std::snprintf(recall, sizeof(recall), "%.3f", point.recall);
+      PrintRow({name, std::to_string(point.beam_width), recall,
+                FormatCount(point.mean_distances),
+                FormatSeconds(point.mean_seconds)});
+    }
+    PrintRule();
+  }
+}
+
+}  // namespace
+}  // namespace gass::bench
+
+int main() {
+  using namespace gass::bench;
+  RunOne("deep", kTier100GB);
+  RunOne("deep", kTier1B);
+  RunOne("sift", kTier100GB);
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Microbenchmarks of the core substrate (google-benchmark): distance
+// kernels across the paper's dimensionalities, candidate-pool insertion,
+// visited-table epochs, and the beam-search inner loop on adjacency-list
+// versus flat layouts.
+
+#include <benchmark/benchmark.h>
+
+#include "core/beam_search.h"
+#include "core/distance.h"
+#include "core/neighbor.h"
+#include "core/rng.h"
+#include "core/visited.h"
+#include "knngraph/exact_knn_graph.h"
+#include "synth/generators.h"
+
+namespace gass {
+namespace {
+
+void BM_L2Sq(benchmark::State& state) {
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  core::Rng rng(dim);
+  std::vector<float> a(dim), b(dim);
+  for (std::size_t d = 0; d < dim; ++d) {
+    a[d] = rng.UniformFloat(-1, 1);
+    b[d] = rng.UniformFloat(-1, 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::L2Sq(a.data(), b.data(), dim));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_L2Sq)->Arg(96)->Arg(128)->Arg(200)->Arg(256)->Arg(960);
+
+void BM_CandidatePoolInsert(benchmark::State& state) {
+  const std::size_t capacity = static_cast<std::size_t>(state.range(0));
+  core::Rng rng(capacity);
+  std::vector<core::Neighbor> stream;
+  for (int i = 0; i < 4096; ++i) {
+    stream.emplace_back(static_cast<core::VectorId>(i),
+                        rng.UniformFloat(0, 1));
+  }
+  for (auto _ : state) {
+    core::CandidatePool pool(capacity);
+    for (const core::Neighbor& nb : stream) pool.Insert(nb);
+    benchmark::DoNotOptimize(pool.size());
+  }
+  state.SetItemsProcessed(state.iterations() * stream.size());
+}
+BENCHMARK(BM_CandidatePoolInsert)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_VisitedEpoch(benchmark::State& state) {
+  core::VisitedTable table(100000);
+  for (auto _ : state) {
+    table.NewEpoch();
+    for (core::VectorId v = 0; v < 256; ++v) {
+      benchmark::DoNotOptimize(table.TryVisit(v * 391));
+    }
+  }
+}
+BENCHMARK(BM_VisitedEpoch);
+
+struct BeamFixture {
+  core::Dataset data;
+  core::Graph graph;
+  core::FlatGraph flat;
+
+  BeamFixture() {
+    data = synth::MakeDatasetProxy("deep", 2000, 42);
+    core::DistanceComputer dc(data);
+    graph = knngraph::ExactKnnGraph(dc, 16, 1);
+    graph.MakeUndirected();
+    flat = core::FlatGraph::FromGraph(graph);
+  }
+};
+
+BeamFixture& Fixture() {
+  static BeamFixture* fixture = new BeamFixture();
+  return *fixture;
+}
+
+void BM_BeamSearchAdjacency(benchmark::State& state) {
+  BeamFixture& f = Fixture();
+  core::DistanceComputer dc(f.data);
+  core::VisitedTable visited(f.data.size());
+  std::size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::BeamSearch(
+        f.graph, dc, f.data.Row(static_cast<core::VectorId>(q)), {0}, 10,
+        static_cast<std::size_t>(state.range(0)), &visited));
+    q = (q + 1) % f.data.size();
+  }
+}
+BENCHMARK(BM_BeamSearchAdjacency)->Arg(32)->Arg(128);
+
+void BM_BeamSearchFlat(benchmark::State& state) {
+  BeamFixture& f = Fixture();
+  core::DistanceComputer dc(f.data);
+  core::VisitedTable visited(f.data.size());
+  std::size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::BeamSearch(
+        f.flat, dc, f.data.Row(static_cast<core::VectorId>(q)), {0}, 10,
+        static_cast<std::size_t>(state.range(0)), &visited));
+    q = (q + 1) % f.data.size();
+  }
+}
+BENCHMARK(BM_BeamSearchFlat)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace gass

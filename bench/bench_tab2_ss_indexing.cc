@@ -1,0 +1,67 @@
+// Table 2: the impact of seed selection on *indexing* — total distance
+// computations of an II+RND build seeded by SN versus KS, the SN overhead,
+// and how many 100-NN queries the KS graph can answer before the SN graph
+// finishes building.
+//
+// Expected shape (paper): SN builds cost more (182M more on Deep1M, 22.3B
+// more on Deep25GB), a gap worth tens of thousands to millions of queries.
+
+#include "common/bench_util.h"
+#include "methods/ii_baseline_index.h"
+
+namespace gass::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Table 2: SS impact on indexing (Deep proxies)",
+              "II+RND build with KS vs SN construction seeding; break-even "
+              "expressed in equivalent k=50 queries at recall ~0.95.");
+  PrintRow({"tier", "build dists KS", "build dists SN", "SN overhead",
+            "queries@overhead"});
+  PrintRule();
+
+  for (const Tier& tier : {kTier1M, kTier25GB}) {
+    const std::size_t k = 50;
+    const Workload workload = MakeWorkload("deep", tier, k);
+
+    std::uint64_t build_dists[2] = {0, 0};
+    double query_cost = 0.0;  // Distances per KS query at the target.
+    const seeds::Strategy build_ss[2] = {seeds::Strategy::kKs,
+                                         seeds::Strategy::kSn};
+    for (int which = 0; which < 2; ++which) {
+      methods::IiBaselineParams params;
+      params.max_degree = 24;
+      params.build_beam_width = 128;
+      params.diversify.strategy = diversify::Strategy::kRnd;
+      params.build_ss = build_ss[which];
+      params.query_ss = seeds::Strategy::kKs;
+      methods::IiBaselineIndex index(params);
+      const methods::BuildStats stats = index.Build(workload.base);
+      build_dists[which] = stats.distance_computations;
+      if (which == 0) {
+        const auto curve =
+            SweepBeamWidths(index, workload, {64, 128, 192, 256}, 48);
+        SweepPoint point = FirstReaching(curve, 0.95);
+        if (point.beam_width == 0) point = curve.back();
+        query_cost = point.mean_distances;
+      }
+    }
+
+    const double overhead = build_dists[1] >= build_dists[0]
+                                ? static_cast<double>(build_dists[1] -
+                                                      build_dists[0])
+                                : 0.0;
+    const double break_even = query_cost > 0 ? overhead / query_cost : 0.0;
+    PrintRow({tier.label, FormatCount(static_cast<double>(build_dists[0])),
+              FormatCount(static_cast<double>(build_dists[1])),
+              FormatCount(overhead), FormatCount(break_even)});
+  }
+}
+
+}  // namespace
+}  // namespace gass::bench
+
+int main() {
+  gass::bench::Run();
+  return 0;
+}

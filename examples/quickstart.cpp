@@ -1,0 +1,75 @@
+// Quickstart: build an HNSW index over a vector collection and answer
+// 10-NN queries, measuring recall against exact ground truth.
+//
+//   ./quickstart                # synthetic 96-d collection
+//   ./quickstart base.fvecs queries.fvecs   # your own fvecs files
+
+#include <cstdio>
+#include <string>
+
+#include "eval/ground_truth.h"
+#include "eval/recall.h"
+#include "methods/hnsw_index.h"
+#include "synth/generators.h"
+#include "synth/workloads.h"
+
+int main(int argc, char** argv) {
+  using namespace gass;
+
+  // 1. Load or generate the collection.
+  core::Dataset base;
+  core::Dataset queries;
+  if (argc >= 3) {
+    const core::Status base_status = core::ReadFvecs(argv[1], &base);
+    const core::Status query_status = core::ReadFvecs(argv[2], &queries);
+    if (!base_status.ok() || !query_status.ok()) {
+      std::fprintf(stderr, "failed to load fvecs: %s %s\n",
+                   base_status.message().c_str(),
+                   query_status.message().c_str());
+      return 1;
+    }
+  } else {
+    std::printf("No fvecs files given; generating a 10k x 96-d synthetic "
+                "collection (Deep-style).\n");
+    core::Dataset full = synth::MakeDatasetProxy("deep", 10050, /*seed=*/1);
+    synth::HoldOutSplit split = synth::SplitHoldOut(std::move(full), 50, 2);
+    base = std::move(split.base);
+    queries = std::move(split.queries);
+  }
+  std::printf("base: %zu vectors, dim %zu; queries: %zu\n", base.size(),
+              base.dim(), queries.size());
+
+  // 2. Build the index.
+  methods::HnswParams params;
+  params.m = 16;
+  params.ef_construction = 100;
+  methods::HnswIndex index(params);
+  const methods::BuildStats build = index.Build(base);
+  std::printf("built HNSW in %.2fs (%llu distance computations, %zu layers)\n",
+              build.elapsed_seconds,
+              static_cast<unsigned long long>(build.distance_computations),
+              index.num_layers());
+
+  // 3. Answer queries and score recall.
+  const auto truth = eval::BruteForceKnn(base, queries, 10);
+  methods::SearchParams search;
+  search.k = 10;
+  search.beam_width = 100;
+  std::vector<std::vector<core::Neighbor>> results;
+  double total_seconds = 0.0;
+  for (core::VectorId q = 0; q < queries.size(); ++q) {
+    methods::SearchResult result = index.Search(queries.Row(q), search);
+    total_seconds += result.stats.elapsed_seconds;
+    results.push_back(std::move(result.neighbors));
+  }
+  std::printf("10-NN recall %.3f at %.2fms/query (beam width %zu)\n",
+              eval::MeanRecall(results, truth, 10),
+              1e3 * total_seconds / queries.size(), search.beam_width);
+
+  // 4. Show one answer.
+  if (!results.empty() && !results[0].empty()) {
+    std::printf("query 0 nearest neighbor: id %u at squared distance %.4f\n",
+                results[0][0].id, results[0][0].distance);
+  }
+  return 0;
+}

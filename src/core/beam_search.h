@@ -1,0 +1,141 @@
+// Beam search (Algorithm 1 of the paper): the single query-answering routine
+// shared by every graph-based method.
+//
+// The search warms a sorted fixed-capacity candidate pool of width L with the
+// seed nodes, then repeatedly expands the closest unexplored candidate,
+// inserting its unvisited out-neighbors, until every candidate in the pool is
+// explored. The best k candidates are returned.
+
+#ifndef GASS_CORE_BEAM_SEARCH_H_
+#define GASS_CORE_BEAM_SEARCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/distance.h"
+#include "core/graph.h"
+#include "core/neighbor.h"
+#include "core/stats.h"
+#include "core/types.h"
+#include "core/visited.h"
+
+namespace gass::core {
+
+namespace internal {
+
+inline void ExpandNeighbors(const Graph& graph, VectorId v,
+                            const VectorId** out, std::size_t* degree) {
+  const auto& list = graph.Neighbors(v);
+  *out = list.data();
+  *degree = list.size();
+}
+
+inline void ExpandNeighbors(const FlatGraph& graph, VectorId v,
+                            const VectorId** out, std::size_t* degree) {
+  *out = graph.Neighbors(v, degree);
+}
+
+}  // namespace internal
+
+/// Runs Algorithm 1 over `graph` (Graph or FlatGraph).
+///
+/// `seeds` warm the candidate pool (the first seed acts as the entry node —
+/// it is simply the first candidate expanded, since the pool is sorted by
+/// distance the distinction only matters for instrumentation). `beam_width`
+/// is L (clamped up to k). `visited` must cover the graph's vertex range and
+/// is re-epoched here. Distance computations are counted on `dc`; expanded
+/// hops on `stats` when provided.
+template <typename GraphT>
+std::vector<Neighbor> BeamSearch(const GraphT& graph, DistanceComputer& dc,
+                                 const float* query,
+                                 const std::vector<VectorId>& seeds,
+                                 std::size_t k, std::size_t beam_width,
+                                 VisitedTable* visited,
+                                 SearchStats* stats = nullptr,
+                                 float prune_bound = 3.402823466e38f) {
+  const std::size_t width = beam_width < k ? k : beam_width;
+  CandidatePool pool(width);
+  pool.SetPruneBound(prune_bound);
+  visited->NewEpoch();
+
+  for (VectorId seed : seeds) {
+    if (!visited->TryVisit(seed)) continue;
+    pool.Insert(Neighbor(seed, dc.ToQuery(query, seed)));
+  }
+
+  std::uint64_t hops = 0;
+  for (;;) {
+    const std::size_t next = pool.FirstUnexplored();
+    if (next == pool.size()) break;
+    const VectorId v = pool[next].id;
+    pool.MarkExplored(next);
+    ++hops;
+
+    const VectorId* neighbors = nullptr;
+    std::size_t degree = 0;
+    internal::ExpandNeighbors(graph, v, &neighbors, &degree);
+    for (std::size_t i = 0; i < degree; ++i) {
+      const VectorId u = neighbors[i];
+      if (!visited->TryVisit(u)) continue;
+      const float d = dc.ToQuery(query, u);
+      if (d >= pool.WorstDistance()) continue;
+      pool.Insert(Neighbor(u, d));
+    }
+  }
+
+  if (stats != nullptr) stats->hops += hops;
+  return pool.TopK(k);
+}
+
+/// BeamSearch variant that also returns every vertex whose distance was
+/// evaluated, in visit order. Builders (NSG, Vamana) use the visited list as
+/// the candidate set for diversified pruning.
+template <typename GraphT>
+std::vector<Neighbor> BeamSearchCollect(const GraphT& graph,
+                                        DistanceComputer& dc,
+                                        const float* query,
+                                        const std::vector<VectorId>& seeds,
+                                        std::size_t k, std::size_t beam_width,
+                                        VisitedTable* visited,
+                                        std::vector<Neighbor>* evaluated,
+                                        SearchStats* stats = nullptr) {
+  const std::size_t width = beam_width < k ? k : beam_width;
+  CandidatePool pool(width);
+  visited->NewEpoch();
+  evaluated->clear();
+
+  for (VectorId seed : seeds) {
+    if (!visited->TryVisit(seed)) continue;
+    const float d = dc.ToQuery(query, seed);
+    evaluated->push_back(Neighbor(seed, d));
+    pool.Insert(Neighbor(seed, d));
+  }
+
+  std::uint64_t hops = 0;
+  for (;;) {
+    const std::size_t next = pool.FirstUnexplored();
+    if (next == pool.size()) break;
+    const VectorId v = pool[next].id;
+    pool.MarkExplored(next);
+    ++hops;
+
+    const VectorId* neighbors = nullptr;
+    std::size_t degree = 0;
+    internal::ExpandNeighbors(graph, v, &neighbors, &degree);
+    for (std::size_t i = 0; i < degree; ++i) {
+      const VectorId u = neighbors[i];
+      if (!visited->TryVisit(u)) continue;
+      const float d = dc.ToQuery(query, u);
+      evaluated->push_back(Neighbor(u, d));
+      if (d >= pool.WorstDistance()) continue;
+      pool.Insert(Neighbor(u, d));
+    }
+  }
+
+  if (stats != nullptr) stats->hops += hops;
+  return pool.TopK(k);
+}
+
+}  // namespace gass::core
+
+#endif  // GASS_CORE_BEAM_SEARCH_H_

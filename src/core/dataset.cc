@@ -1,0 +1,186 @@
+#include "core/dataset.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace gass::core {
+
+Dataset::Dataset(std::size_t n, std::size_t dim)
+    : n_(n), dim_(dim), data_(n * dim) {
+  GASS_CHECK(dim > 0 || n == 0);
+}
+
+Dataset Dataset::Clone() const {
+  Dataset copy(n_, dim_);
+  copy.data_ = data_;
+  return copy;
+}
+
+Dataset Dataset::Prefix(std::size_t count) const {
+  GASS_CHECK(count <= n_);
+  Dataset out(count, dim_);
+  std::memcpy(out.data_.data(), data_.data(), count * dim_ * sizeof(float));
+  return out;
+}
+
+Dataset Dataset::Select(const std::vector<VectorId>& ids) const {
+  Dataset out(ids.size(), dim_);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    std::memcpy(out.MutableRow(static_cast<VectorId>(i)), Row(ids[i]),
+                dim_ * sizeof(float));
+  }
+  return out;
+}
+
+void Dataset::Append(const Dataset& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    dim_ = other.dim_;
+  }
+  GASS_CHECK(dim_ == other.dim_);
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  n_ += other.n_;
+}
+
+namespace {
+
+// RAII wrapper over std::FILE so early returns do not leak handles.
+class File {
+ public:
+  File(const std::string& path, const char* mode)
+      : f_(std::fopen(path.c_str(), mode)) {}
+  ~File() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  std::FILE* get() const { return f_; }
+  bool ok() const { return f_ != nullptr; }
+
+ private:
+  std::FILE* f_;
+};
+
+}  // namespace
+
+Status ReadFvecs(const std::string& path, Dataset* out) {
+  File file(path, "rb");
+  if (!file.ok()) return Status::Error("cannot open " + path);
+
+  std::vector<float> values;
+  std::size_t dim = 0;
+  std::size_t n = 0;
+  for (;;) {
+    std::int32_t d = 0;
+    std::size_t read = std::fread(&d, sizeof(d), 1, file.get());
+    if (read == 0) break;  // Clean EOF between records.
+    if (d <= 0) return Status::Error("corrupt fvecs header in " + path);
+    if (dim == 0) dim = static_cast<std::size_t>(d);
+    if (static_cast<std::size_t>(d) != dim) {
+      return Status::Error("inconsistent dimensions in " + path);
+    }
+    values.resize((n + 1) * dim);
+    if (std::fread(values.data() + n * dim, sizeof(float), dim, file.get()) !=
+        dim) {
+      return Status::Error("truncated fvecs record in " + path);
+    }
+    ++n;
+  }
+  Dataset dataset(n, dim == 0 ? 1 : dim);
+  if (n > 0) {
+    std::memcpy(dataset.mutable_data(), values.data(),
+                n * dim * sizeof(float));
+  }
+  *out = std::move(dataset);
+  return Status::Ok();
+}
+
+Status WriteFvecs(const std::string& path, const Dataset& dataset) {
+  File file(path, "wb");
+  if (!file.ok()) return Status::Error("cannot create " + path);
+  const std::int32_t d = static_cast<std::int32_t>(dataset.dim());
+  for (VectorId i = 0; i < dataset.size(); ++i) {
+    if (std::fwrite(&d, sizeof(d), 1, file.get()) != 1 ||
+        std::fwrite(dataset.Row(i), sizeof(float), dataset.dim(),
+                    file.get()) != dataset.dim()) {
+      return Status::Error("short write to " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+Status ReadBvecs(const std::string& path, Dataset* out) {
+  File file(path, "rb");
+  if (!file.ok()) return Status::Error("cannot open " + path);
+
+  std::vector<float> values;
+  std::vector<std::uint8_t> row;
+  std::size_t dim = 0;
+  std::size_t n = 0;
+  for (;;) {
+    std::int32_t d = 0;
+    std::size_t read = std::fread(&d, sizeof(d), 1, file.get());
+    if (read == 0) break;
+    if (d <= 0) return Status::Error("corrupt bvecs header in " + path);
+    if (dim == 0) dim = static_cast<std::size_t>(d);
+    if (static_cast<std::size_t>(d) != dim) {
+      return Status::Error("inconsistent dimensions in " + path);
+    }
+    row.resize(dim);
+    if (std::fread(row.data(), 1, dim, file.get()) != dim) {
+      return Status::Error("truncated bvecs record in " + path);
+    }
+    values.resize((n + 1) * dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      values[n * dim + j] = static_cast<float>(row[j]);
+    }
+    ++n;
+  }
+  Dataset dataset(n, dim == 0 ? 1 : dim);
+  if (n > 0) {
+    std::memcpy(dataset.mutable_data(), values.data(),
+                n * dim * sizeof(float));
+  }
+  *out = std::move(dataset);
+  return Status::Ok();
+}
+
+Status ReadIvecs(const std::string& path,
+                 std::vector<std::vector<std::int32_t>>* out) {
+  File file(path, "rb");
+  if (!file.ok()) return Status::Error("cannot open " + path);
+  out->clear();
+  for (;;) {
+    std::int32_t count = 0;
+    std::size_t read = std::fread(&count, sizeof(count), 1, file.get());
+    if (read == 0) break;
+    if (count < 0) return Status::Error("corrupt ivecs header in " + path);
+    std::vector<std::int32_t> row(static_cast<std::size_t>(count));
+    if (count > 0 && std::fread(row.data(), sizeof(std::int32_t), row.size(),
+                                file.get()) != row.size()) {
+      return Status::Error("truncated ivecs record in " + path);
+    }
+    out->push_back(std::move(row));
+  }
+  return Status::Ok();
+}
+
+Status WriteIvecs(const std::string& path,
+                  const std::vector<std::vector<std::int32_t>>& rows) {
+  File file(path, "wb");
+  if (!file.ok()) return Status::Error("cannot create " + path);
+  for (const auto& row : rows) {
+    const std::int32_t count = static_cast<std::int32_t>(row.size());
+    if (std::fwrite(&count, sizeof(count), 1, file.get()) != 1) {
+      return Status::Error("short write to " + path);
+    }
+    if (!row.empty() && std::fwrite(row.data(), sizeof(std::int32_t),
+                                    row.size(), file.get()) != row.size()) {
+      return Status::Error("short write to " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace gass::core

@@ -1,0 +1,96 @@
+// In-memory vector dataset: an aligned, row-major float matrix plus IO for
+// the standard fvecs / bvecs / ivecs interchange formats used by the public
+// SIFT / GIST / Deep collections.
+
+#ifndef GASS_CORE_DATASET_H_
+#define GASS_CORE_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/macros.h"
+#include "core/status.h"
+#include "core/types.h"
+
+namespace gass::core {
+
+/// A collection of `size()` dense vectors of dimension `dim()`, stored
+/// row-major in one contiguous 64-byte-aligned buffer.
+///
+/// Dataset is movable but not copyable (copies of multi-GB buffers should be
+/// explicit via Clone()).
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Creates an uninitialized dataset of `n` vectors of dimension `dim`.
+  Dataset(std::size_t n, std::size_t dim);
+
+  Dataset(Dataset&&) noexcept = default;
+  Dataset& operator=(Dataset&&) noexcept = default;
+  Dataset(const Dataset&) = delete;
+  Dataset& operator=(const Dataset&) = delete;
+
+  /// Deep copy.
+  Dataset Clone() const;
+
+  std::size_t size() const { return n_; }
+  std::size_t dim() const { return dim_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Pointer to the first component of vector `id`.
+  const float* Row(VectorId id) const {
+    GASS_DCHECK(id < n_);
+    return data_.data() + static_cast<std::size_t>(id) * dim_;
+  }
+  float* MutableRow(VectorId id) {
+    GASS_DCHECK(id < n_);
+    return data_.data() + static_cast<std::size_t>(id) * dim_;
+  }
+
+  const float* data() const { return data_.data(); }
+  float* mutable_data() { return data_.data(); }
+
+  /// Total payload in bytes (excluding object overhead).
+  std::size_t SizeBytes() const { return n_ * dim_ * sizeof(float); }
+
+  /// Returns a dataset containing rows [0, count) of this one.
+  Dataset Prefix(std::size_t count) const;
+
+  /// Returns a dataset containing the given rows, in order.
+  Dataset Select(const std::vector<VectorId>& ids) const;
+
+  /// Appends all rows of `other` (dimensions must match; this may not be
+  /// empty unless dims are equal by construction).
+  void Append(const Dataset& other);
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t dim_ = 0;
+  std::vector<float> data_;  // n_ * dim_ floats.
+};
+
+/// Reads an fvecs file (per vector: int32 dim then dim float32 values).
+Status ReadFvecs(const std::string& path, Dataset* out);
+
+/// Writes a Dataset in fvecs format.
+Status WriteFvecs(const std::string& path, const Dataset& dataset);
+
+/// Reads a bvecs file (per vector: int32 dim then dim uint8 values),
+/// widening components to float.
+Status ReadBvecs(const std::string& path, Dataset* out);
+
+/// Reads an ivecs file (per row: int32 count then count int32 values) —
+/// the standard ground-truth neighbor-list format.
+Status ReadIvecs(const std::string& path,
+                 std::vector<std::vector<std::int32_t>>* out);
+
+/// Writes neighbor lists in ivecs format.
+Status WriteIvecs(const std::string& path,
+                  const std::vector<std::vector<std::int32_t>>& rows);
+
+}  // namespace gass::core
+
+#endif  // GASS_CORE_DATASET_H_

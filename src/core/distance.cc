@@ -1,0 +1,49 @@
+#include "core/distance.h"
+
+#include <cmath>
+
+namespace gass::core {
+
+// Four-way unrolled kernels: with -O2/-O3 and -march=native the compiler
+// vectorizes these loops; explicit intrinsics are avoided for portability.
+
+float L2Sq(const float* a, const float* b, std::size_t dim) {
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  std::size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    const float d0 = a[i] - b[i];
+    const float d1 = a[i + 1] - b[i + 1];
+    const float d2 = a[i + 2] - b[i + 2];
+    const float d3 = a[i + 3] - b[i + 3];
+    acc0 += d0 * d0;
+    acc1 += d1 * d1;
+    acc2 += d2 * d2;
+    acc3 += d3 * d3;
+  }
+  float acc = (acc0 + acc1) + (acc2 + acc3);
+  for (; i < dim; ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+float Dot(const float* a, const float* b, std::size_t dim) {
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  std::size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  float acc = (acc0 + acc1) + (acc2 + acc3);
+  for (; i < dim; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float Norm(const float* a, std::size_t dim) {
+  return std::sqrt(Dot(a, a, dim));
+}
+
+}  // namespace gass::core

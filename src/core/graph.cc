@@ -1,0 +1,145 @@
+#include "core/graph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <queue>
+
+#include "core/visited.h"
+
+namespace gass::core {
+
+bool Graph::AddEdgeUnique(VectorId from, VectorId to) {
+  auto& list = adjacency_[from];
+  if (std::find(list.begin(), list.end(), to) != list.end()) return false;
+  list.push_back(to);
+  return true;
+}
+
+std::size_t Graph::EdgeCount() const {
+  std::size_t total = 0;
+  for (const auto& list : adjacency_) total += list.size();
+  return total;
+}
+
+std::size_t Graph::MaxDegree() const {
+  std::size_t max_degree = 0;
+  for (const auto& list : adjacency_) {
+    max_degree = std::max(max_degree, list.size());
+  }
+  return max_degree;
+}
+
+double Graph::AverageDegree() const {
+  if (adjacency_.empty()) return 0.0;
+  return static_cast<double>(EdgeCount()) /
+         static_cast<double>(adjacency_.size());
+}
+
+void Graph::MakeUndirected() {
+  const std::size_t n = adjacency_.size();
+  // Collect reverse edges first so iteration is not invalidated.
+  std::vector<std::vector<VectorId>> reverse(n);
+  for (VectorId v = 0; v < n; ++v) {
+    for (VectorId u : adjacency_[v]) reverse[u].push_back(v);
+  }
+  for (VectorId v = 0; v < n; ++v) {
+    auto& list = adjacency_[v];
+    list.insert(list.end(), reverse[v].begin(), reverse[v].end());
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    // Self-loops can appear when inputs contained them; drop them.
+    list.erase(std::remove(list.begin(), list.end(), v), list.end());
+  }
+}
+
+std::size_t Graph::ReachableFrom(VectorId start) const {
+  if (adjacency_.empty()) return 0;
+  VisitedTable visited(adjacency_.size());
+  visited.NewEpoch();
+  std::queue<VectorId> frontier;
+  frontier.push(start);
+  visited.MarkVisited(start);
+  std::size_t count = 1;
+  while (!frontier.empty()) {
+    const VectorId v = frontier.front();
+    frontier.pop();
+    for (VectorId u : adjacency_[v]) {
+      if (visited.TryVisit(u)) {
+        ++count;
+        frontier.push(u);
+      }
+    }
+  }
+  return count;
+}
+
+std::size_t Graph::MemoryBytes() const {
+  std::size_t bytes = adjacency_.size() * sizeof(std::vector<VectorId>);
+  for (const auto& list : adjacency_) {
+    bytes += list.capacity() * sizeof(VectorId);
+  }
+  return bytes;
+}
+
+Status Graph::Save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::Error("cannot create " + path);
+  const std::uint64_t n = adjacency_.size();
+  bool ok = std::fwrite(&n, sizeof(n), 1, f) == 1;
+  for (const auto& list : adjacency_) {
+    if (!ok) break;
+    const std::uint32_t degree = static_cast<std::uint32_t>(list.size());
+    ok = std::fwrite(&degree, sizeof(degree), 1, f) == 1 &&
+         (list.empty() ||
+          std::fwrite(list.data(), sizeof(VectorId), list.size(), f) ==
+              list.size());
+  }
+  std::fclose(f);
+  return ok ? Status::Ok() : Status::Error("short write to " + path);
+}
+
+Status Graph::Load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::Error("cannot open " + path);
+  std::uint64_t n = 0;
+  if (std::fread(&n, sizeof(n), 1, f) != 1) {
+    std::fclose(f);
+    return Status::Error("truncated graph file " + path);
+  }
+  adjacency_.assign(n, {});
+  for (std::uint64_t v = 0; v < n; ++v) {
+    std::uint32_t degree = 0;
+    if (std::fread(&degree, sizeof(degree), 1, f) != 1) {
+      std::fclose(f);
+      return Status::Error("truncated graph file " + path);
+    }
+    adjacency_[v].resize(degree);
+    if (degree > 0 && std::fread(adjacency_[v].data(), sizeof(VectorId),
+                                 degree, f) != degree) {
+      std::fclose(f);
+      return Status::Error("truncated graph file " + path);
+    }
+  }
+  std::fclose(f);
+  return Status::Ok();
+}
+
+FlatGraph FlatGraph::FromGraph(const Graph& graph) {
+  FlatGraph flat;
+  const std::size_t n = graph.size();
+  flat.offsets_.resize(n + 1);
+  flat.offsets_[0] = 0;
+  for (VectorId v = 0; v < n; ++v) {
+    flat.offsets_[v + 1] = flat.offsets_[v] + graph.Neighbors(v).size();
+  }
+  flat.edges_.resize(flat.offsets_[n]);
+  for (VectorId v = 0; v < n; ++v) {
+    const auto& list = graph.Neighbors(v);
+    std::copy(list.begin(), list.end(), flat.edges_.begin() +
+                                            static_cast<std::ptrdiff_t>(
+                                                flat.offsets_[v]));
+  }
+  return flat;
+}
+
+}  // namespace gass::core

@@ -1,0 +1,44 @@
+// Fatal-check and logging macros.
+//
+// The library is exception-free; invariant violations abort with a message.
+
+#ifndef GASS_CORE_MACROS_H_
+#define GASS_CORE_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a file:line message when `condition` is false.
+///
+/// Used for programmer errors and violated invariants, never for recoverable
+/// conditions (IO failures return core::Status instead).
+#define GASS_CHECK(condition)                                               \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "GASS_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #condition);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+/// GASS_CHECK with a printf-style explanation appended.
+#define GASS_CHECK_MSG(condition, ...)                                      \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "GASS_CHECK failed at %s:%d: %s: ", __FILE__,    \
+                   __LINE__, #condition);                                   \
+      std::fprintf(stderr, __VA_ARGS__);                                    \
+      std::fprintf(stderr, "\n");                                           \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#ifdef NDEBUG
+#define GASS_DCHECK(condition) \
+  do {                         \
+  } while (false)
+#else
+#define GASS_DCHECK(condition) GASS_CHECK(condition)
+#endif
+
+#endif  // GASS_CORE_MACROS_H_

@@ -1,0 +1,53 @@
+#include "core/memory_tracker.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace gass::core {
+
+namespace {
+
+// Parses "<Key>:   <kB> kB" lines from /proc/self/status.
+std::size_t ReadProcStatusKb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t value_kb = 0;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      unsigned long long kb = 0;
+      if (std::sscanf(line + key_len + 1, "%llu", &kb) == 1) {
+        value_kb = static_cast<std::size_t>(kb);
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return value_kb;
+}
+
+}  // namespace
+
+std::size_t PeakRssBytes() { return ReadProcStatusKb("VmHWM") * 1024; }
+
+std::size_t CurrentRssBytes() { return ReadProcStatusKb("VmRSS") * 1024; }
+
+std::size_t PeakVmBytes() { return ReadProcStatusKb("VmPeak") * 1024; }
+
+void MemoryLedger::Add(const std::string& label, std::size_t bytes) {
+  (void)label;  // Labels exist for future itemized reporting.
+  total_ += bytes;
+  if (total_ > peak_) peak_ = total_;
+}
+
+void MemoryLedger::Release(std::size_t bytes) {
+  total_ = bytes > total_ ? 0 : total_ - bytes;
+}
+
+void MemoryLedger::Clear() {
+  total_ = 0;
+  peak_ = 0;
+}
+
+}  // namespace gass::core

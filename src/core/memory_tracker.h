@@ -1,0 +1,46 @@
+// Process memory introspection for the indexing-footprint experiments.
+//
+// The paper reads peak virtual memory from the proc pseudo-filesystem
+// (Section 4.4, footnote 1); PeakRssBytes/CurrentRssBytes do the same here,
+// and MemoryLedger offers a portable, allocation-accounting alternative that
+// works when /proc is unavailable (and is what the benches report, since the
+// scaled-down experiments are too small for RSS deltas to be reliable).
+
+#ifndef GASS_CORE_MEMORY_TRACKER_H_
+#define GASS_CORE_MEMORY_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gass::core {
+
+/// Peak resident set size of this process in bytes (VmHWM), 0 if unknown.
+std::size_t PeakRssBytes();
+
+/// Current resident set size in bytes (VmRSS), 0 if unknown.
+std::size_t CurrentRssBytes();
+
+/// Peak virtual memory (VmPeak) in bytes, 0 if unknown — the measure the
+/// paper's footprint figures use.
+std::size_t PeakVmBytes();
+
+/// Explicit accounting ledger: components report their logical footprint
+/// (index structures + raw data) so benches can compare methods without
+/// relying on allocator behaviour.
+class MemoryLedger {
+ public:
+  void Add(const std::string& label, std::size_t bytes);
+  std::size_t Total() const { return total_; }
+  std::size_t Peak() const { return peak_; }
+  void Release(std::size_t bytes);
+  void Clear();
+
+ private:
+  std::size_t total_ = 0;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace gass::core
+
+#endif  // GASS_CORE_MEMORY_TRACKER_H_

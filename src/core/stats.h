@@ -1,0 +1,47 @@
+// Cost accounting shared by builds and searches.
+
+#ifndef GASS_CORE_STATS_H_
+#define GASS_CORE_STATS_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace gass::core {
+
+/// Costs accumulated by one or more searches (or by an index build).
+///
+/// `distance_computations` is the paper's primary hardware-independent
+/// measure; `hops` counts expanded graph vertices.
+struct SearchStats {
+  std::uint64_t distance_computations = 0;
+  std::uint64_t hops = 0;
+  double elapsed_seconds = 0.0;
+
+  SearchStats& operator+=(const SearchStats& other) {
+    distance_computations += other.distance_computations;
+    hops += other.hops;
+    elapsed_seconds += other.elapsed_seconds;
+    return *this;
+  }
+};
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gass::core
+
+#endif  // GASS_CORE_STATS_H_

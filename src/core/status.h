@@ -1,0 +1,38 @@
+// Lightweight error propagation for recoverable failures (file IO, parsing).
+//
+// The library is exception-free: fatal invariant violations use GASS_CHECK,
+// recoverable conditions return Status.
+
+#ifndef GASS_CORE_STATUS_H_
+#define GASS_CORE_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace gass::core {
+
+/// Result of an operation that can fail for environmental reasons.
+class Status {
+ public:
+  /// Success value.
+  static Status Ok() { return Status(); }
+
+  /// Failure with a human-readable message.
+  static Status Error(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+}  // namespace gass::core
+
+#endif  // GASS_CORE_STATUS_H_

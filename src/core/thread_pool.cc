@@ -1,0 +1,85 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+
+namespace gass::core {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = DefaultThreadCount();
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(
+          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // Only reachable when shutting down.
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+std::size_t DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ParallelFor(std::size_t count, std::size_t threads,
+                 const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  if (threads == 0) threads = DefaultThreadCount();
+  threads = std::min(threads, count);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(0, i);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const std::size_t chunk = (count + threads - 1) / threads;
+  for (std::size_t w = 0; w < threads; ++w) {
+    const std::size_t begin = w * chunk;
+    const std::size_t end = std::min(begin + chunk, count);
+    if (begin >= end) break;
+    workers.emplace_back([w, begin, end, &fn] {
+      for (std::size_t i = begin; i < end; ++i) fn(w, i);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+}
+
+}  // namespace gass::core

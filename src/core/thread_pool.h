@@ -1,0 +1,65 @@
+// Minimal work-stealing-free thread pool with a ParallelFor convenience.
+//
+// The surveyed methods all build multithreaded indexes; builders in this
+// library use ParallelFor over node ranges. On a single-core machine the
+// pool degrades to serial execution with no thread overhead.
+
+#ifndef GASS_CORE_THREAD_POOL_H_
+#define GASS_CORE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gass::core {
+
+/// Fixed-size thread pool executing submitted closures FIFO.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not themselves block on the pool.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs fn(worker_index, i) for i in [0, count), split into contiguous
+/// chunks across `threads` workers (0 = hardware concurrency; 1 = inline).
+///
+/// `worker_index` is in [0, threads) and is stable within a chunk, letting
+/// callers keep per-worker scratch (DistanceComputer, VisitedTable) without
+/// locking.
+void ParallelFor(std::size_t count, std::size_t threads,
+                 const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// Number of workers ParallelFor(count, 0, ...) would use.
+std::size_t DefaultThreadCount();
+
+}  // namespace gass::core
+
+#endif  // GASS_CORE_THREAD_POOL_H_

@@ -1,0 +1,20 @@
+// Fundamental identifier and value types shared across the library.
+
+#ifndef GASS_CORE_TYPES_H_
+#define GASS_CORE_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace gass::core {
+
+/// Identifier of a vector (a row of a Dataset and a vertex of a Graph).
+using VectorId = std::uint32_t;
+
+/// Sentinel for "no vector".
+inline constexpr VectorId kInvalidVectorId =
+    std::numeric_limits<VectorId>::max();
+
+}  // namespace gass::core
+
+#endif  // GASS_CORE_TYPES_H_

@@ -1,0 +1,52 @@
+// Epoch-stamped visited-set, reusable across searches without clearing.
+
+#ifndef GASS_CORE_VISITED_H_
+#define GASS_CORE_VISITED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace gass::core {
+
+/// Tracks which vertices a traversal has touched.
+///
+/// Instead of clearing an n-bit array per query, each search bumps an epoch;
+/// a vertex is "visited" when its stamp equals the current epoch. Reset is
+/// O(1) amortized (a full clear happens only on epoch wrap, every ~2^32
+/// searches).
+class VisitedTable {
+ public:
+  explicit VisitedTable(std::size_t n) : stamps_(n, 0), epoch_(1) {}
+
+  /// Begins a new traversal; all vertices become unvisited.
+  void NewEpoch() {
+    ++epoch_;
+    if (epoch_ == 0) {  // Wrapped: clear and restart.
+      std::fill(stamps_.begin(), stamps_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  bool Visited(VectorId id) const { return stamps_[id] == epoch_; }
+
+  void MarkVisited(VectorId id) { stamps_[id] = epoch_; }
+
+  /// Marks visited; returns true if this was the first visit this epoch.
+  bool TryVisit(VectorId id) {
+    if (stamps_[id] == epoch_) return false;
+    stamps_[id] = epoch_;
+    return true;
+  }
+
+  std::size_t size() const { return stamps_.size(); }
+
+ private:
+  std::vector<std::uint32_t> stamps_;
+  std::uint32_t epoch_;
+};
+
+}  // namespace gass::core
+
+#endif  // GASS_CORE_VISITED_H_

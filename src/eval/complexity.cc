@@ -1,0 +1,113 @@
+#include "eval/complexity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/distance.h"
+#include "core/macros.h"
+#include "core/neighbor.h"
+#include "core/rng.h"
+#include "core/thread_pool.h"
+
+namespace gass::eval {
+
+using core::CandidatePool;
+using core::Dataset;
+using core::Neighbor;
+using core::VectorId;
+
+PointComplexity ComputePointComplexity(const Dataset& base, const float* x,
+                                       std::size_t k) {
+  GASS_CHECK(k > 0 && base.size() > k);
+  CandidatePool pool(k + 1);  // +1 so an exact self-match can be dropped.
+  double sum_all = 0.0;
+  std::size_t counted = 0;
+  for (VectorId i = 0; i < base.size(); ++i) {
+    const float d_sq = core::L2Sq(x, base.Row(i), base.dim());
+    if (d_sq < pool.WorstDistance()) pool.Insert(Neighbor(i, d_sq));
+    sum_all += std::sqrt(static_cast<double>(d_sq));
+    ++counted;
+  }
+
+  // Drop a zero-distance self match if present.
+  std::vector<Neighbor> nearest = pool.TopK(k + 1);
+  std::size_t start = 0;
+  if (!nearest.empty() && nearest[0].distance == 0.0f) start = 1;
+  GASS_CHECK(nearest.size() >= start + k);
+
+  const double dist_k =
+      std::sqrt(static_cast<double>(nearest[start + k - 1].distance));
+  PointComplexity result;
+
+  // Eq. 5. Terms with dist_i == 0 are skipped (log undefined); dist_k == 0
+  // means the point has >= k duplicates, where LID is conventionally 0.
+  if (dist_k <= 0.0) {
+    result.lid = 0.0;
+  } else {
+    double acc = 0.0;
+    std::size_t terms = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double dist_i =
+          std::sqrt(static_cast<double>(nearest[start + i].distance));
+      if (dist_i <= 0.0) continue;
+      acc += std::log(dist_i / dist_k);
+      ++terms;
+    }
+    result.lid = (terms == 0 || acc == 0.0)
+                     ? 0.0
+                     : -1.0 / (acc / static_cast<double>(terms));
+  }
+
+  // Eq. 6.
+  const double dist_mean = sum_all / static_cast<double>(counted);
+  result.lrc = dist_k > 0.0 ? dist_mean / dist_k : 0.0;
+  return result;
+}
+
+namespace {
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  return values[mid];
+}
+
+}  // namespace
+
+ComplexitySummary EstimateComplexity(const Dataset& base,
+                                     std::size_t sample_size, std::size_t k,
+                                     std::uint64_t seed,
+                                     std::size_t threads) {
+  sample_size = std::min(sample_size, base.size());
+  core::Rng rng(seed);
+  std::vector<VectorId> sample(sample_size);
+  for (std::size_t i = 0; i < sample_size; ++i) {
+    sample[i] = static_cast<VectorId>(rng.UniformInt(base.size()));
+  }
+
+  std::vector<double> lids(sample_size);
+  std::vector<double> lrcs(sample_size);
+  core::ParallelFor(sample_size, threads, [&](std::size_t, std::size_t i) {
+    const PointComplexity pc =
+        ComputePointComplexity(base, base.Row(sample[i]), k);
+    lids[i] = pc.lid;
+    lrcs[i] = pc.lrc;
+  });
+
+  ComplexitySummary summary;
+  summary.num_points = sample_size;
+  for (std::size_t i = 0; i < sample_size; ++i) {
+    summary.mean_lid += lids[i];
+    summary.mean_lrc += lrcs[i];
+  }
+  if (sample_size > 0) {
+    summary.mean_lid /= static_cast<double>(sample_size);
+    summary.mean_lrc /= static_cast<double>(sample_size);
+  }
+  summary.median_lid = Median(lids);
+  summary.median_lrc = Median(lrcs);
+  return summary;
+}
+
+}  // namespace gass::eval

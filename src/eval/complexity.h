@@ -1,0 +1,48 @@
+// Dataset-complexity measures of Section 4.1: Local Intrinsic Dimensionality
+// (LID, Eq. 5) and Local Relative Contrast (LRC, Eq. 6).
+//
+// Low LID / high LRC indicate an easy dataset for vector search; the paper's
+// Fig. 4 uses both (k = 100, on a 1M random sample) to rank its workloads.
+
+#ifndef GASS_EVAL_COMPLEXITY_H_
+#define GASS_EVAL_COMPLEXITY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace gass::eval {
+
+/// LID and LRC of one query point against a base collection.
+struct PointComplexity {
+  double lid = 0.0;
+  double lrc = 0.0;
+};
+
+/// Distribution summary over a query sample.
+struct ComplexitySummary {
+  double mean_lid = 0.0;
+  double median_lid = 0.0;
+  double mean_lrc = 0.0;
+  double median_lrc = 0.0;
+  std::size_t num_points = 0;
+};
+
+/// LID(x) = -( (1/k) Σ_{i=1..k} log(dist_i(x) / dist_k(x)) )^{-1} and
+/// LRC(x) = dist_mean(x) / dist_k(x), both in (non-squared) Euclidean
+/// distance, for query `x` against `base`.
+PointComplexity ComputePointComplexity(const core::Dataset& base,
+                                       const float* x, std::size_t k);
+
+/// Estimates the summary over `sample_size` points sampled from `base`
+/// (each sampled point is excluded from its own neighbor set), k per Eq. 5-6.
+ComplexitySummary EstimateComplexity(const core::Dataset& base,
+                                     std::size_t sample_size, std::size_t k,
+                                     std::uint64_t seed,
+                                     std::size_t threads = 0);
+
+}  // namespace gass::eval
+
+#endif  // GASS_EVAL_COMPLEXITY_H_

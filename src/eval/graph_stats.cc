@@ -1,0 +1,152 @@
+#include "eval/graph_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/distance.h"
+#include "core/macros.h"
+#include "core/rng.h"
+#include "core/visited.h"
+
+namespace gass::eval {
+
+using core::Dataset;
+using core::Graph;
+using core::Rng;
+using core::VectorId;
+
+DegreeStats ComputeDegreeStats(const Graph& graph) {
+  DegreeStats stats;
+  if (graph.size() == 0) return stats;
+  std::vector<std::size_t> degrees(graph.size());
+  for (VectorId v = 0; v < graph.size(); ++v) {
+    degrees[v] = graph.Neighbors(v).size();
+  }
+  std::sort(degrees.begin(), degrees.end());
+  stats.min = degrees.front();
+  stats.max = degrees.back();
+  stats.mean = static_cast<double>(std::accumulate(degrees.begin(),
+                                                   degrees.end(),
+                                                   std::size_t{0})) /
+               static_cast<double>(degrees.size());
+  stats.p50 = static_cast<double>(degrees[degrees.size() / 2]);
+  stats.p99 = static_cast<double>(degrees[degrees.size() * 99 / 100]);
+  return stats;
+}
+
+ConnectivityStats ComputeConnectivity(const Graph& graph) {
+  ConnectivityStats stats;
+  const std::size_t n = graph.size();
+  if (n == 0) return stats;
+
+  // Undirected adjacency via forward + reverse edges.
+  std::vector<std::vector<VectorId>> reverse(n);
+  for (VectorId v = 0; v < n; ++v) {
+    for (VectorId u : graph.Neighbors(v)) reverse[u].push_back(v);
+  }
+  std::vector<bool> seen(n, false);
+  std::vector<VectorId> stack;
+  for (VectorId start = 0; start < n; ++start) {
+    if (seen[start]) continue;
+    ++stats.components;
+    std::size_t size = 0;
+    stack.push_back(start);
+    seen[start] = true;
+    while (!stack.empty()) {
+      const VectorId v = stack.back();
+      stack.pop_back();
+      ++size;
+      for (VectorId u : graph.Neighbors(v)) {
+        if (!seen[u]) {
+          seen[u] = true;
+          stack.push_back(u);
+        }
+      }
+      for (VectorId u : reverse[v]) {
+        if (!seen[u]) {
+          seen[u] = true;
+          stack.push_back(u);
+        }
+      }
+    }
+    stats.largest_component = std::max(stats.largest_component, size);
+  }
+  return stats;
+}
+
+EdgeLengthStats ComputeEdgeLengthStats(const Dataset& data,
+                                       const Graph& graph,
+                                       std::size_t sample_nodes,
+                                       double long_factor,
+                                       std::uint64_t seed) {
+  GASS_CHECK(graph.size() == data.size());
+  EdgeLengthStats stats;
+  if (data.size() < 2) return stats;
+  Rng rng(seed);
+  double total_relative = 0.0;
+  std::size_t long_edges = 0;
+  for (std::size_t s = 0; s < sample_nodes; ++s) {
+    const VectorId v = static_cast<VectorId>(rng.UniformInt(data.size()));
+    const auto& neighbors = graph.Neighbors(v);
+    if (neighbors.empty()) continue;
+    // Local scale: v's true nearest-neighbor distance.
+    float nn_sq = 3.402823466e38f;
+    for (VectorId u = 0; u < data.size(); ++u) {
+      if (u == v) continue;
+      nn_sq = std::min(nn_sq, core::L2Sq(data.Row(v), data.Row(u),
+                                         data.dim()));
+    }
+    const double nn = std::sqrt(std::max(1e-30f, nn_sq));
+    for (VectorId u : neighbors) {
+      const double length = std::sqrt(static_cast<double>(
+          core::L2Sq(data.Row(v), data.Row(u), data.dim())));
+      total_relative += length / nn;
+      if (length >= long_factor * nn) ++long_edges;
+      ++stats.sampled_edges;
+    }
+  }
+  if (stats.sampled_edges > 0) {
+    stats.mean_relative_length =
+        total_relative / static_cast<double>(stats.sampled_edges);
+    stats.long_range_fraction = static_cast<double>(long_edges) /
+                                static_cast<double>(stats.sampled_edges);
+  }
+  return stats;
+}
+
+double EstimateGreedyPathLength(const Dataset& data, const Graph& graph,
+                                std::size_t num_walks, std::size_t max_hops,
+                                std::uint64_t seed) {
+  GASS_CHECK(graph.size() == data.size());
+  if (data.size() < 2 || num_walks == 0) return 0.0;
+  Rng rng(seed);
+  double total_hops = 0.0;
+  for (std::size_t w = 0; w < num_walks; ++w) {
+    const VectorId target = static_cast<VectorId>(rng.UniformInt(data.size()));
+    VectorId current = static_cast<VectorId>(rng.UniformInt(data.size()));
+    const float* target_row = data.Row(target);
+    float current_dist =
+        core::L2Sq(target_row, data.Row(current), data.dim());
+    std::size_t hops = 0;
+    while (hops < max_hops) {
+      VectorId best = current;
+      float best_dist = current_dist;
+      for (VectorId u : graph.Neighbors(current)) {
+        const float d = core::L2Sq(target_row, data.Row(u), data.dim());
+        if (d < best_dist) {
+          best_dist = d;
+          best = u;
+        }
+      }
+      if (best == current) break;  // Greedy local minimum.
+      current = best;
+      current_dist = best_dist;
+      ++hops;
+    }
+    total_hops += static_cast<double>(hops);
+  }
+  return total_hops / static_cast<double>(num_walks);
+}
+
+}  // namespace gass::eval

@@ -1,0 +1,66 @@
+// Structural diagnostics of proximity graphs.
+//
+// The paper's taxonomy explains *why* methods behave as they do through the
+// structure their paradigms produce: ND creates sparse, long-range-rich
+// neighborhoods; NoND converges to dense nearest-only lists; DC merges
+// leave overlapping local subgraphs. These statistics quantify that anatomy
+// for any built graph.
+
+#ifndef GASS_EVAL_GRAPH_STATS_H_
+#define GASS_EVAL_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/graph.h"
+
+namespace gass::eval {
+
+/// Degree distribution summary.
+struct DegreeStats {
+  double mean = 0.0;
+  std::size_t min = 0;
+  std::size_t max = 0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+DegreeStats ComputeDegreeStats(const core::Graph& graph);
+
+/// Number of weakly-connected components and the largest component's size
+/// (edges treated as undirected).
+struct ConnectivityStats {
+  std::size_t components = 0;
+  std::size_t largest_component = 0;
+};
+
+ConnectivityStats ComputeConnectivity(const core::Graph& graph);
+
+/// Edge-length anatomy over a node sample: how edge lengths compare to each
+/// node's local scale (its nearest-neighbor distance). The long-range
+/// fraction measures small-world shortcuts: edges ≥ `long_factor` × the
+/// node's NN distance.
+struct EdgeLengthStats {
+  double mean_relative_length = 0.0;  ///< E[ |edge| / nn_dist ].
+  double long_range_fraction = 0.0;   ///< P[ |edge| ≥ long_factor·nn_dist ].
+  std::size_t sampled_edges = 0;
+};
+
+EdgeLengthStats ComputeEdgeLengthStats(const core::Dataset& data,
+                                       const core::Graph& graph,
+                                       std::size_t sample_nodes,
+                                       double long_factor,
+                                       std::uint64_t seed);
+
+/// Mean number of hops of a greedy walk from a random start to the node
+/// nearest a random dataset target (capped at `max_hops`); the navigability
+/// proxy behind the small-world property.
+double EstimateGreedyPathLength(const core::Dataset& data,
+                                const core::Graph& graph,
+                                std::size_t num_walks, std::size_t max_hops,
+                                std::uint64_t seed);
+
+}  // namespace gass::eval
+
+#endif  // GASS_EVAL_GRAPH_STATS_H_

@@ -1,0 +1,40 @@
+#include "eval/ground_truth.h"
+
+#include "core/distance.h"
+#include "core/thread_pool.h"
+
+namespace gass::eval {
+
+using core::CandidatePool;
+using core::Dataset;
+using core::Neighbor;
+using core::VectorId;
+
+GroundTruth BruteForceKnn(const Dataset& base, const Dataset& queries,
+                          std::size_t k, std::size_t threads) {
+  GroundTruth truth(queries.size());
+  core::ParallelFor(queries.size(), threads, [&](std::size_t, std::size_t q) {
+    const float* query = queries.Row(static_cast<VectorId>(q));
+    CandidatePool pool(k);
+    for (VectorId i = 0; i < base.size(); ++i) {
+      const float d = core::L2Sq(query, base.Row(i), base.dim());
+      if (d < pool.WorstDistance()) pool.Insert(Neighbor(i, d));
+    }
+    truth[q] = pool.TopK(k);
+  });
+  return truth;
+}
+
+std::vector<Neighbor> BruteForceKnnOfPoint(const Dataset& base, VectorId id,
+                                           std::size_t k) {
+  CandidatePool pool(k);
+  const float* query = base.Row(id);
+  for (VectorId i = 0; i < base.size(); ++i) {
+    if (i == id) continue;
+    const float d = core::L2Sq(query, base.Row(i), base.dim());
+    if (d < pool.WorstDistance()) pool.Insert(Neighbor(i, d));
+  }
+  return pool.TopK(k);
+}
+
+}  // namespace gass::eval

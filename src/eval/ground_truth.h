@@ -1,0 +1,32 @@
+// Exact k-NN ground truth via multithreaded brute force.
+
+#ifndef GASS_EVAL_GROUND_TRUTH_H_
+#define GASS_EVAL_GROUND_TRUTH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/neighbor.h"
+
+namespace gass::eval {
+
+/// Exact neighbor lists per query: truth[q] holds the k nearest base ids in
+/// ascending distance order.
+using GroundTruth = std::vector<std::vector<core::Neighbor>>;
+
+/// Computes exact k-NN of every query against `base` (O(|Q| · n · d)).
+/// `threads` = 0 uses hardware concurrency.
+GroundTruth BruteForceKnn(const core::Dataset& base,
+                          const core::Dataset& queries, std::size_t k,
+                          std::size_t threads = 0);
+
+/// Exact k-NN of base vector `id` against the rest of `base` (excludes
+/// itself).
+std::vector<core::Neighbor> BruteForceKnnOfPoint(const core::Dataset& base,
+                                                 core::VectorId id,
+                                                 std::size_t k);
+
+}  // namespace gass::eval
+
+#endif  // GASS_EVAL_GROUND_TRUTH_H_

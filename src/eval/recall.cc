@@ -1,0 +1,50 @@
+#include "eval/recall.h"
+
+#include <algorithm>
+
+#include "core/macros.h"
+
+namespace gass::eval {
+
+using core::Neighbor;
+
+double RecallAtK(const std::vector<Neighbor>& result,
+                 const std::vector<Neighbor>& truth, std::size_t k) {
+  GASS_CHECK(k > 0);
+  const std::size_t truth_count = std::min(k, truth.size());
+  if (truth_count == 0) return 1.0;
+
+  // Ties at the k-th true distance are acceptable answers.
+  const float kth_distance = truth[truth_count - 1].distance;
+
+  std::size_t hits = 0;
+  const std::size_t result_count = std::min(k, result.size());
+  for (std::size_t i = 0; i < result_count; ++i) {
+    const Neighbor& r = result[i];
+    if (r.distance < kth_distance) {
+      ++hits;
+      continue;
+    }
+    if (r.distance == kth_distance) {
+      // Accept if it matches a truth id or ties the boundary distance.
+      ++hits;
+      continue;
+    }
+    // Strictly farther than the k-th true neighbor: not a hit.
+  }
+  if (hits > truth_count) hits = truth_count;
+  return static_cast<double>(hits) / static_cast<double>(truth_count);
+}
+
+double MeanRecall(const std::vector<std::vector<Neighbor>>& results,
+                  const GroundTruth& truth, std::size_t k) {
+  GASS_CHECK(results.size() == truth.size());
+  if (results.empty()) return 1.0;
+  double total = 0.0;
+  for (std::size_t q = 0; q < results.size(); ++q) {
+    total += RecallAtK(results[q], truth[q], k);
+  }
+  return total / static_cast<double>(results.size());
+}
+
+}  // namespace gass::eval

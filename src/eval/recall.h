@@ -1,0 +1,28 @@
+// Recall: the paper's accuracy measure for k-NN answers.
+
+#ifndef GASS_EVAL_RECALL_H_
+#define GASS_EVAL_RECALL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/neighbor.h"
+#include "eval/ground_truth.h"
+
+namespace gass::eval {
+
+/// Fraction of the true k nearest neighbors present in `result`.
+///
+/// Matching is distance-aware: a returned id counts if it appears in the
+/// truth list, and ties at the k-th true distance are accepted (standard
+/// benchmark convention, avoids penalizing equally-near answers).
+double RecallAtK(const std::vector<core::Neighbor>& result,
+                 const std::vector<core::Neighbor>& truth, std::size_t k);
+
+/// Mean RecallAtK over a workload.
+double MeanRecall(const std::vector<std::vector<core::Neighbor>>& results,
+                  const GroundTruth& truth, std::size_t k);
+
+}  // namespace gass::eval
+
+#endif  // GASS_EVAL_RECALL_H_

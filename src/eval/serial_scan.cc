@@ -1,0 +1,32 @@
+#include "eval/serial_scan.h"
+
+#include "core/distance.h"
+
+namespace gass::eval {
+
+using core::Dataset;
+using core::Neighbor;
+using core::VectorId;
+
+std::vector<Neighbor> SerialScan(const Dataset& base, const float* query,
+                                 std::size_t k, core::SearchStats* stats,
+                                 std::vector<BsfEvent>* trace) {
+  core::CandidatePool pool(k);
+  core::Timer timer;
+  float bsf = 3.402823466e38f;
+  for (VectorId i = 0; i < base.size(); ++i) {
+    const float d = core::L2Sq(query, base.Row(i), base.dim());
+    if (d < pool.WorstDistance()) pool.Insert(Neighbor(i, d));
+    if (trace != nullptr && d < bsf) {
+      bsf = d;
+      trace->push_back(BsfEvent{timer.Seconds(), i, d});
+    }
+  }
+  if (stats != nullptr) {
+    stats->distance_computations += base.size();
+    stats->elapsed_seconds += timer.Seconds();
+  }
+  return pool.TopK(k);
+}
+
+}  // namespace gass::eval

@@ -1,0 +1,33 @@
+// Exact serial scan with a time-to-best-so-far trace — the exact-search
+// baseline of the paper's Fig. 1.
+
+#ifndef GASS_EVAL_SERIAL_SCAN_H_
+#define GASS_EVAL_SERIAL_SCAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/neighbor.h"
+#include "core/stats.h"
+
+namespace gass::eval {
+
+/// One improvement of the best-so-far answer during a search.
+struct BsfEvent {
+  double seconds = 0.0;       ///< Wall time at which the bsf improved.
+  core::VectorId id = 0;      ///< The new best answer.
+  float distance = 0.0f;      ///< Its squared distance.
+};
+
+/// Exact k-NN by scanning every base vector; optionally records the
+/// best-so-far trace (used to reproduce the time-to-answer comparison of
+/// Fig. 1).
+std::vector<core::Neighbor> SerialScan(const core::Dataset& base,
+                                       const float* query, std::size_t k,
+                                       core::SearchStats* stats = nullptr,
+                                       std::vector<BsfEvent>* trace = nullptr);
+
+}  // namespace gass::eval
+
+#endif  // GASS_EVAL_SERIAL_SCAN_H_

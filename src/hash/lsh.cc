@@ -1,0 +1,133 @@
+#include "hash/lsh.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/distance.h"
+#include "core/macros.h"
+#include "core/rng.h"
+
+namespace gass::hash {
+
+using core::Dataset;
+using core::Rng;
+using core::VectorId;
+
+LshIndex LshIndex::Build(const Dataset& data, const LshParams& params,
+                         std::uint64_t seed) {
+  GASS_CHECK(!data.empty());
+  GASS_CHECK(params.num_tables > 0 && params.hash_bits > 0);
+  LshIndex index;
+  index.dim_ = data.dim();
+  Rng rng(seed);
+
+  // Scale the bucket width by the data spread so the parameter is unitless:
+  // estimate the RMS pairwise projected spread from a small sample.
+  double sum_sq = 0.0;
+  const std::size_t sample =
+      std::min<std::size_t>(data.size(), 256);
+  for (std::size_t i = 0; i < sample; ++i) {
+    const float* row = data.Row(static_cast<VectorId>(
+        rng.UniformInt(data.size())));
+    for (std::size_t d = 0; d < data.dim(); ++d) {
+      sum_sq += static_cast<double>(row[d]) * row[d];
+    }
+  }
+  const double rms = std::sqrt(sum_sq / (sample * data.dim()));
+  index.width_ = params.bucket_width * static_cast<float>(rms > 0 ? rms : 1.0);
+
+  index.tables_.resize(params.num_tables);
+  for (Table& table : index.tables_) {
+    table.directions.resize(params.hash_bits * data.dim());
+    table.offsets.resize(params.hash_bits);
+    for (float& v : table.directions) {
+      v = static_cast<float>(rng.Normal()) /
+          std::sqrt(static_cast<float>(data.dim()));
+    }
+    for (float& b : table.offsets) {
+      b = index.width_ * static_cast<float>(rng.UniformDouble());
+    }
+    for (VectorId i = 0; i < data.size(); ++i) {
+      table.buckets[index.BucketKey(table, data.Row(i))].push_back(i);
+    }
+  }
+
+  // Projection matrix for cheap projected distances.
+  index.projection_dim_ = std::min(params.projection_dim, data.dim());
+  index.projection_dirs_.resize(index.projection_dim_ * data.dim());
+  for (float& v : index.projection_dirs_) {
+    v = static_cast<float>(rng.Normal()) /
+        std::sqrt(static_cast<float>(index.projection_dim_));
+  }
+  index.projections_.resize(data.size() * index.projection_dim_);
+  for (VectorId i = 0; i < data.size(); ++i) {
+    const float* row = data.Row(i);
+    for (std::size_t p = 0; p < index.projection_dim_; ++p) {
+      index.projections_[i * index.projection_dim_ + p] = core::Dot(
+          row, index.projection_dirs_.data() + p * data.dim(), data.dim());
+    }
+  }
+  return index;
+}
+
+std::uint64_t LshIndex::BucketKey(const Table& table,
+                                  const float* vector) const {
+  // FNV-style combination of the per-function integer hashes.
+  std::uint64_t key = 1469598103934665603ULL;
+  const std::size_t bits = table.offsets.size();
+  for (std::size_t h = 0; h < bits; ++h) {
+    const float projection =
+        core::Dot(vector, table.directions.data() + h * dim_, dim_);
+    const std::int64_t cell = static_cast<std::int64_t>(
+        std::floor((projection + table.offsets[h]) / width_));
+    key ^= static_cast<std::uint64_t>(cell) + 0x9E3779B97F4A7C15ULL;
+    key *= 1099511628211ULL;
+  }
+  return key;
+}
+
+std::vector<VectorId> LshIndex::Candidates(const float* query,
+                                           std::size_t max_candidates) const {
+  std::vector<VectorId> merged;
+  for (const Table& table : tables_) {
+    const auto it = table.buckets.find(BucketKey(table, query));
+    if (it == table.buckets.end()) continue;
+    merged.insert(merged.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  if (merged.size() > max_candidates) merged.resize(max_candidates);
+  return merged;
+}
+
+std::vector<float> LshIndex::ProjectQuery(const float* query) const {
+  std::vector<float> projection(projection_dim_);
+  for (std::size_t p = 0; p < projection_dim_; ++p) {
+    projection[p] =
+        core::Dot(query, projection_dirs_.data() + p * dim_, dim_);
+  }
+  return projection;
+}
+
+float LshIndex::ProjectedDistance(const std::vector<float>& query_projection,
+                                  VectorId id) const {
+  return core::L2Sq(query_projection.data(),
+                    projections_.data() + id * projection_dim_,
+                    projection_dim_);
+}
+
+std::size_t LshIndex::MemoryBytes() const {
+  std::size_t total = projections_.size() * sizeof(float) +
+                      projection_dirs_.size() * sizeof(float);
+  for (const Table& table : tables_) {
+    total += table.directions.size() * sizeof(float) +
+             table.offsets.size() * sizeof(float);
+    for (const auto& [key, bucket] : table.buckets) {
+      (void)key;
+      total += sizeof(std::uint64_t) + bucket.size() * sizeof(VectorId);
+    }
+  }
+  return total;
+}
+
+}  // namespace gass::hash

@@ -1,0 +1,74 @@
+// Random-projection locality-sensitive hashing.
+//
+// Two users inside this library:
+//  - seed selection: IEH-style and LSHAPG-style methods hash the query and
+//    take its bucket mates as beam-search seeds;
+//  - LSHAPG's probabilistic routing: a low-dimensional projected distance
+//    cheaply pre-screens neighbors before exact evaluation.
+//
+// Scheme: E2LSH-style hash functions h(x) = floor((a·x + b) / w) with `a`
+// Gaussian and `b` uniform in [0, w); each of the L tables concatenates
+// `hash_bits` such functions into a bucket key.
+
+#ifndef GASS_HASH_LSH_H_
+#define GASS_HASH_LSH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/types.h"
+
+namespace gass::hash {
+
+/// LSH index parameters.
+struct LshParams {
+  std::size_t num_tables = 4;    ///< L independent hash tables.
+  std::size_t hash_bits = 8;     ///< Concatenated functions per table.
+  float bucket_width = 1.0f;     ///< w; scaled by data spread at build time.
+  std::size_t projection_dim = 16;  ///< Dims kept for projected distances.
+};
+
+/// Multi-table LSH index over a dataset.
+class LshIndex {
+ public:
+  static LshIndex Build(const core::Dataset& data, const LshParams& params,
+                        std::uint64_t seed);
+
+  /// Ids sharing a bucket with `query` in any table, deduplicated, capped at
+  /// `max_candidates` (nearest buckets first is not attempted; this mirrors
+  /// the plain bucket-probe used for seeding).
+  std::vector<core::VectorId> Candidates(const float* query,
+                                         std::size_t max_candidates) const;
+
+  /// Squared distance between the query's projection and the stored
+  /// projection of `id` — LSHAPG's cheap pre-screen. The caller projects the
+  /// query once with ProjectQuery().
+  std::vector<float> ProjectQuery(const float* query) const;
+  float ProjectedDistance(const std::vector<float>& query_projection,
+                          core::VectorId id) const;
+
+  std::size_t num_tables() const { return tables_.size(); }
+  std::size_t MemoryBytes() const;
+
+ private:
+  struct Table {
+    std::vector<float> directions;  // hash_bits × dim.
+    std::vector<float> offsets;     // hash_bits.
+    std::unordered_map<std::uint64_t, std::vector<core::VectorId>> buckets;
+  };
+
+  std::uint64_t BucketKey(const Table& table, const float* vector) const;
+
+  std::size_t dim_ = 0;
+  float width_ = 1.0f;
+  std::vector<Table> tables_;
+  std::vector<float> projections_;     // n × projection_dim.
+  std::vector<float> projection_dirs_; // projection_dim × dim.
+  std::size_t projection_dim_ = 0;
+};
+
+}  // namespace gass::hash
+
+#endif  // GASS_HASH_LSH_H_

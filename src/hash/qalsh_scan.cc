@@ -1,0 +1,138 @@
+#include "hash/qalsh_scan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/distance.h"
+#include "core/macros.h"
+#include "core/rng.h"
+
+namespace gass::hash {
+
+using core::Dataset;
+using core::Neighbor;
+using core::Rng;
+using core::VectorId;
+
+QalshScanner QalshScanner::Build(const Dataset& data,
+                                 const QalshParams& params,
+                                 std::uint64_t seed) {
+  GASS_CHECK(!data.empty());
+  GASS_CHECK(params.num_lines > 0);
+  QalshScanner scanner;
+  scanner.dim_ = data.dim();
+  scanner.params_ = params;
+  Rng rng(seed);
+
+  scanner.lines_.resize(params.num_lines);
+  for (Line& line : scanner.lines_) {
+    line.direction.resize(data.dim());
+    for (float& v : line.direction) {
+      v = static_cast<float>(rng.Normal()) /
+          std::sqrt(static_cast<float>(data.dim()));
+    }
+    line.order.resize(data.size());
+    line.projections.resize(data.size());
+    std::vector<float> raw(data.size());
+    for (VectorId i = 0; i < data.size(); ++i) {
+      raw[i] = core::Dot(data.Row(i), line.direction.data(), data.dim());
+      line.order[i] = i;
+    }
+    std::sort(line.order.begin(), line.order.end(),
+              [&](VectorId a, VectorId b) { return raw[a] < raw[b]; });
+    for (std::size_t pos = 0; pos < data.size(); ++pos) {
+      line.projections[pos] = raw[line.order[pos]];
+    }
+  }
+  return scanner;
+}
+
+std::vector<Neighbor> QalshScanner::Search(const Dataset& data,
+                                           const float* query, std::size_t k,
+                                           core::SearchStats* stats) const {
+  core::Timer timer;
+  core::CandidatePool pool(k);
+  const std::size_t n = data.size();
+  const std::size_t budget = std::max<std::size_t>(
+      k, static_cast<std::size_t>(params_.candidate_fraction *
+                                  static_cast<double>(n)));
+
+  // Per-line cursors walking outward from the query's projection.
+  struct Cursor {
+    float query_projection = 0.0f;
+    std::int64_t left = -1;
+    std::int64_t right = 0;
+  };
+  std::vector<Cursor> cursors(lines_.size());
+  for (std::size_t m = 0; m < lines_.size(); ++m) {
+    const Line& line = lines_[m];
+    cursors[m].query_projection =
+        core::Dot(query, line.direction.data(), dim_);
+    const auto it = std::lower_bound(line.projections.begin(),
+                                     line.projections.end(),
+                                     cursors[m].query_projection);
+    cursors[m].right = it - line.projections.begin();
+    cursors[m].left = cursors[m].right - 1;
+  }
+
+  std::vector<std::uint16_t> collisions(n, 0);
+  std::vector<bool> verified(n, false);
+  std::uint64_t distance_count = 0;
+  std::size_t verified_count = 0;
+
+  // Round-robin outward walk: each step consumes the nearest unvisited
+  // projection on one line.
+  bool progress = true;
+  while (progress && verified_count < budget) {
+    progress = false;
+    for (std::size_t m = 0; m < lines_.size() && verified_count < budget;
+         ++m) {
+      const Line& line = lines_[m];
+      Cursor& cursor = cursors[m];
+      // Pick the side closer in projection value.
+      std::int64_t pos = -1;
+      const bool left_ok = cursor.left >= 0;
+      const bool right_ok =
+          cursor.right < static_cast<std::int64_t>(n);
+      if (!left_ok && !right_ok) continue;
+      if (!right_ok ||
+          (left_ok &&
+           cursor.query_projection - line.projections[static_cast<std::size_t>(
+                                         cursor.left)] <
+               line.projections[static_cast<std::size_t>(cursor.right)] -
+                   cursor.query_projection)) {
+        pos = cursor.left--;
+      } else {
+        pos = cursor.right++;
+      }
+      progress = true;
+      const VectorId id = line.order[static_cast<std::size_t>(pos)];
+      if (verified[id]) continue;
+      if (++collisions[id] >= params_.collision_threshold) {
+        verified[id] = true;
+        ++verified_count;
+        const float d = core::L2Sq(query, data.Row(id), dim_);
+        ++distance_count;
+        if (d < pool.WorstDistance()) pool.Insert(Neighbor(id, d));
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->distance_computations += distance_count;
+    stats->elapsed_seconds += timer.Seconds();
+  }
+  return pool.TopK(k);
+}
+
+std::size_t QalshScanner::MemoryBytes() const {
+  std::size_t total = 0;
+  for (const Line& line : lines_) {
+    total += line.direction.size() * sizeof(float) +
+             line.projections.size() * sizeof(float) +
+             line.order.size() * sizeof(VectorId);
+  }
+  return total;
+}
+
+}  // namespace gass::hash

@@ -1,0 +1,59 @@
+// Query-aware LSH searcher in the style of QALSH — the δ-ε-approximate
+// baseline of the paper's Fig. 1.
+//
+// QALSH's key idea is query-aware bucketing: the data is projected onto m
+// random lines and *sorted* per line; at query time buckets are formed
+// around the query's own projection, and collision counting walks outward
+// from the query position on every line. A point whose collision count
+// reaches the threshold is verified against the raw vectors; the search
+// stops once enough verified candidates are gathered.
+
+#ifndef GASS_HASH_QALSH_SCAN_H_
+#define GASS_HASH_QALSH_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/neighbor.h"
+#include "core/stats.h"
+
+namespace gass::hash {
+
+/// QALSH-style index parameters.
+struct QalshParams {
+  std::size_t num_lines = 32;          ///< Projection lines m.
+  std::size_t collision_threshold = 4; ///< Collisions before verification.
+  /// Verified-candidate budget as a fraction of n (the β of c-ANN theory).
+  double candidate_fraction = 0.05;
+};
+
+/// Query-aware LSH searcher.
+class QalshScanner {
+ public:
+  static QalshScanner Build(const core::Dataset& data,
+                            const QalshParams& params, std::uint64_t seed);
+
+  /// ANN search with collision counting; returns the best k verified
+  /// answers (approximate, with the usual QALSH-style quality behaviour).
+  std::vector<core::Neighbor> Search(const core::Dataset& data,
+                                     const float* query, std::size_t k,
+                                     core::SearchStats* stats = nullptr) const;
+
+  std::size_t MemoryBytes() const;
+
+ private:
+  struct Line {
+    std::vector<float> direction;          // dim floats.
+    std::vector<float> projections;        // Sorted projection values.
+    std::vector<core::VectorId> order;     // Ids in projection order.
+  };
+
+  std::size_t dim_ = 0;
+  QalshParams params_;
+  std::vector<Line> lines_;
+};
+
+}  // namespace gass::hash
+
+#endif  // GASS_HASH_QALSH_SCAN_H_

@@ -1,0 +1,90 @@
+#include "knngraph/exact_knn_graph.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "core/macros.h"
+#include "core/neighbor.h"
+#include "core/rng.h"
+#include "core/thread_pool.h"
+
+namespace gass::knngraph {
+
+using core::CandidatePool;
+using core::Dataset;
+using core::DistanceComputer;
+using core::Graph;
+using core::Neighbor;
+using core::VectorId;
+
+core::Graph ExactKnnGraph(DistanceComputer& dc, std::size_t k,
+                          std::size_t threads) {
+  const Dataset& data = dc.dataset();
+  GASS_CHECK(k > 0 && k < data.size());
+  Graph graph(data.size());
+  std::atomic<std::uint64_t> distances{0};
+  core::ParallelFor(data.size(), threads, [&](std::size_t, std::size_t v) {
+    CandidatePool pool(k);
+    const float* row = data.Row(static_cast<VectorId>(v));
+    for (VectorId u = 0; u < data.size(); ++u) {
+      if (u == v) continue;
+      const float d = core::L2Sq(row, data.Row(u), data.dim());
+      if (d < pool.WorstDistance()) pool.Insert(Neighbor(u, d));
+    }
+    distances.fetch_add(data.size() - 1, std::memory_order_relaxed);
+    auto& list = graph.MutableNeighbors(static_cast<VectorId>(v));
+    for (const Neighbor& nb : pool.contents()) list.push_back(nb.id);
+  });
+  dc.AddCount(distances.load());
+  return graph;
+}
+
+void AddExactKnnEdgesOnSubset(DistanceComputer& dc,
+                              const std::vector<VectorId>& ids, std::size_t k,
+                              Graph* graph) {
+  GASS_CHECK(k > 0);
+  if (ids.size() < 2) return;
+  const std::size_t effective_k = std::min(k, ids.size() - 1);
+  for (VectorId v : ids) {
+    CandidatePool pool(effective_k);
+    for (VectorId u : ids) {
+      if (u == v) continue;
+      const float d = dc.Between(v, u);
+      if (d < pool.WorstDistance()) pool.Insert(Neighbor(u, d));
+    }
+    for (const Neighbor& nb : pool.contents()) {
+      graph->AddEdgeUnique(v, nb.id);
+    }
+  }
+}
+
+double KnnGraphRecall(const Dataset& data, const Graph& graph, std::size_t k,
+                      std::size_t sample_size, std::uint64_t seed) {
+  GASS_CHECK(graph.size() == data.size());
+  core::Rng rng(seed);
+  sample_size = std::min(sample_size, data.size());
+  std::size_t hits = 0;
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < sample_size; ++s) {
+    const VectorId v = static_cast<VectorId>(rng.UniformInt(data.size()));
+    CandidatePool pool(k);
+    const float* row = data.Row(v);
+    for (VectorId u = 0; u < data.size(); ++u) {
+      if (u == v) continue;
+      const float d = core::L2Sq(row, data.Row(u), data.dim());
+      if (d < pool.WorstDistance()) pool.Insert(Neighbor(u, d));
+    }
+    const auto& neighbors = graph.Neighbors(v);
+    for (const Neighbor& truth : pool.contents()) {
+      ++total;
+      if (std::find(neighbors.begin(), neighbors.end(), truth.id) !=
+          neighbors.end()) {
+        ++hits;
+      }
+    }
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+}  // namespace gass::knngraph

@@ -1,0 +1,37 @@
+// Exact k-NN graph construction (quadratic brute force).
+//
+// Used for small partitions (SPTAG leaves), as ground truth for NNDescent
+// quality measurement, and by tests.
+
+#ifndef GASS_KNNGRAPH_EXACT_KNN_GRAPH_H_
+#define GASS_KNNGRAPH_EXACT_KNN_GRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/graph.h"
+
+namespace gass::knngraph {
+
+/// Exact k-NN graph over the full dataset; edge (v -> u) iff u is among v's
+/// k nearest. Distances are charged to `dc`.
+core::Graph ExactKnnGraph(core::DistanceComputer& dc, std::size_t k,
+                          std::size_t threads = 0);
+
+/// Adds exact k-NN edges *within the subset* `ids` to `graph` (global id
+/// space); edges are deduplicated against existing lists.
+void AddExactKnnEdgesOnSubset(core::DistanceComputer& dc,
+                              const std::vector<core::VectorId>& ids,
+                              std::size_t k, core::Graph* graph);
+
+/// Fraction of true k-NN edges present in `graph`, estimated over
+/// `sample_size` random nodes — the standard k-NN-graph quality measure.
+double KnnGraphRecall(const core::Dataset& data, const core::Graph& graph,
+                      std::size_t k, std::size_t sample_size,
+                      std::uint64_t seed);
+
+}  // namespace gass::knngraph
+
+#endif  // GASS_KNNGRAPH_EXACT_KNN_GRAPH_H_

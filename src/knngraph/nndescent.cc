@@ -1,0 +1,189 @@
+#include "knngraph/nndescent.h"
+
+#include <algorithm>
+
+#include "core/macros.h"
+#include "core/neighbor.h"
+#include "core/rng.h"
+
+namespace gass::knngraph {
+
+using core::Dataset;
+using core::DistanceComputer;
+using core::Graph;
+using core::Rng;
+using core::VectorId;
+
+namespace {
+
+// One pool entry: neighbor id, distance, and the NNDescent "new" flag that
+// makes each pair of nodes get joined only once.
+struct Entry {
+  VectorId id;
+  float distance;
+  bool is_new;
+};
+
+// Bounded ascending-distance pool with flagged entries.
+class Pool {
+ public:
+  explicit Pool(std::size_t capacity) : capacity_(capacity) {}
+
+  // Returns true if inserted (id absent and better than the worst).
+  bool Insert(VectorId id, float distance) {
+    if (entries_.size() == capacity_ &&
+        distance >= entries_.back().distance) {
+      return false;
+    }
+    for (const Entry& e : entries_) {
+      if (e.id == id) return false;
+    }
+    Entry entry{id, distance, true};
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), distance,
+        [](const Entry& e, float d) { return e.distance < d; });
+    entries_.insert(it, entry);
+    if (entries_.size() > capacity_) entries_.pop_back();
+    return true;
+  }
+
+  std::vector<Entry>& entries() { return entries_; }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace
+
+Graph NnDescent(DistanceComputer& dc, const NnDescentParams& params,
+                std::uint64_t seed, const Graph* init,
+                NnDescentTrace* trace) {
+  const Dataset& data = dc.dataset();
+  const std::size_t n = data.size();
+  GASS_CHECK(params.k > 0 && n > params.k);
+  Rng rng(seed);
+
+  // Initialize pools from `init` (if given) topped up with random neighbors.
+  std::vector<Pool> pools(n, Pool(params.k));
+  for (VectorId v = 0; v < n; ++v) {
+    if (init != nullptr && v < init->size()) {
+      for (VectorId u : init->Neighbors(v)) {
+        if (u == v) continue;
+        pools[v].Insert(u, dc.Between(v, u));
+      }
+    }
+    std::size_t guard = 0;
+    while (pools[v].entries().size() < params.k && guard < params.k * 4) {
+      const VectorId u = static_cast<VectorId>(rng.UniformInt(n));
+      ++guard;
+      if (u == v) continue;
+      pools[v].Insert(u, dc.Between(v, u));
+    }
+  }
+
+  std::vector<std::vector<VectorId>> new_lists(n), old_lists(n);
+  std::vector<std::vector<VectorId>> reverse_new(n), reverse_old(n);
+
+  for (std::size_t iter = 0; iter < params.iterations; ++iter) {
+    const std::uint64_t distances_before = dc.count();
+
+    // Sample new/old forward lists and clear the "new" flags of sampled
+    // entries (so each new pair joins once).
+    for (VectorId v = 0; v < n; ++v) {
+      new_lists[v].clear();
+      old_lists[v].clear();
+      reverse_new[v].clear();
+      reverse_old[v].clear();
+    }
+    for (VectorId v = 0; v < n; ++v) {
+      std::size_t sampled_new = 0;
+      for (Entry& e : pools[v].entries()) {
+        if (e.is_new) {
+          if (sampled_new < params.sample) {
+            new_lists[v].push_back(e.id);
+            e.is_new = false;
+            ++sampled_new;
+          }
+        } else {
+          if (old_lists[v].size() < params.sample) {
+            old_lists[v].push_back(e.id);
+          }
+        }
+      }
+    }
+    // Reverse lists (bounded by the same sample size, reservoir-free: take
+    // the first arrivals, which is the standard cheap approximation).
+    for (VectorId v = 0; v < n; ++v) {
+      for (VectorId u : new_lists[v]) {
+        if (reverse_new[u].size() < params.sample) {
+          reverse_new[u].push_back(v);
+        }
+      }
+      for (VectorId u : old_lists[v]) {
+        if (reverse_old[u].size() < params.sample) {
+          reverse_old[u].push_back(v);
+        }
+      }
+    }
+
+    // Local join: (new ∪ reverse_new) × (new ∪ old ∪ reverse_old).
+    std::uint64_t updates = 0;
+    std::vector<VectorId> join_new, join_old;
+    for (VectorId v = 0; v < n; ++v) {
+      join_new = new_lists[v];
+      join_new.insert(join_new.end(), reverse_new[v].begin(),
+                      reverse_new[v].end());
+      std::sort(join_new.begin(), join_new.end());
+      join_new.erase(std::unique(join_new.begin(), join_new.end()),
+                     join_new.end());
+
+      join_old = old_lists[v];
+      join_old.insert(join_old.end(), reverse_old[v].begin(),
+                      reverse_old[v].end());
+      std::sort(join_old.begin(), join_old.end());
+      join_old.erase(std::unique(join_old.begin(), join_old.end()),
+                     join_old.end());
+
+      for (std::size_t i = 0; i < join_new.size(); ++i) {
+        const VectorId a = join_new[i];
+        // new × new (unordered pairs).
+        for (std::size_t j = i + 1; j < join_new.size(); ++j) {
+          const VectorId b = join_new[j];
+          if (a == b) continue;
+          const float d = dc.Between(a, b);
+          updates += pools[a].Insert(b, d) ? 1 : 0;
+          updates += pools[b].Insert(a, d) ? 1 : 0;
+        }
+        // new × old.
+        for (VectorId b : join_old) {
+          if (a == b) continue;
+          const float d = dc.Between(a, b);
+          updates += pools[a].Insert(b, d) ? 1 : 0;
+          updates += pools[b].Insert(a, d) ? 1 : 0;
+        }
+      }
+    }
+
+    if (trace != nullptr) {
+      trace->updates_per_iteration.push_back(updates);
+      trace->distances_per_iteration.push_back(dc.count() - distances_before);
+    }
+    if (static_cast<double>(updates) <
+        params.delta * static_cast<double>(n) *
+            static_cast<double>(params.k)) {
+      break;
+    }
+  }
+
+  Graph graph(n);
+  for (VectorId v = 0; v < n; ++v) {
+    auto& list = graph.MutableNeighbors(v);
+    list.reserve(pools[v].entries().size());
+    for (const Entry& e : pools[v].entries()) list.push_back(e.id);
+  }
+  return graph;
+}
+
+}  // namespace gass::knngraph

@@ -1,0 +1,49 @@
+// NNDescent — Neighborhood Propagation (NP), the refinement behind KGraph,
+// IEH, EFANNA, and the base graphs of DPG / NSG / SSG.
+//
+// Starting from an initial graph (random, tree-derived, or hash-derived),
+// each iteration proposes "neighbors of neighbors" as new neighbor
+// candidates: for every node, sampled new/old neighbors are cross-joined and
+// each pair offers itself to the other's list. The per-node list is a
+// bounded max-pool ordered by distance. Iterations stop after a fixed count
+// or when the update rate falls below `delta` (empirically O(n^1.14) total
+// cost, per Dong et al.).
+
+#ifndef GASS_KNNGRAPH_NNDESCENT_H_
+#define GASS_KNNGRAPH_NNDESCENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/graph.h"
+
+namespace gass::knngraph {
+
+/// NNDescent parameters.
+struct NnDescentParams {
+  std::size_t k = 20;           ///< Neighbor-list size.
+  std::size_t iterations = 10;  ///< Maximum refinement rounds.
+  std::size_t sample = 10;      ///< New/old neighbors sampled per round (ρ·k).
+  double delta = 0.001;         ///< Stop when updates/n·k drops below this.
+};
+
+/// Per-iteration progress record (for the ablation bench).
+struct NnDescentTrace {
+  std::vector<std::uint64_t> updates_per_iteration;
+  std::vector<std::uint64_t> distances_per_iteration;
+};
+
+/// Runs NNDescent; `init` optionally supplies initial candidate neighbors
+/// (e.g. EFANNA's K-D-tree harvest); missing/short lists are topped up with
+/// random ids. Returns the refined k-NN graph (directed, ascending-distance
+/// neighbor order).
+core::Graph NnDescent(core::DistanceComputer& dc,
+                      const NnDescentParams& params, std::uint64_t seed,
+                      const core::Graph* init = nullptr,
+                      NnDescentTrace* trace = nullptr);
+
+}  // namespace gass::knngraph
+
+#endif  // GASS_KNNGRAPH_NNDESCENT_H_

@@ -1,0 +1,102 @@
+// Base-graph construction and connectivity-repair helpers shared by the
+// refine-a-base-graph methods (NSG, SSG, Vamana).
+
+#ifndef GASS_METHODS_BASE_GRAPHS_H_
+#define GASS_METHODS_BASE_GRAPHS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/beam_search.h"
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/graph.h"
+#include "core/rng.h"
+#include "knngraph/nndescent.h"
+#include "trees/kd_tree.h"
+
+namespace gass::methods {
+
+/// EFANNA-style base graph: per-node candidates harvested from a randomized
+/// K-D forest, refined by NNDescent. NSG and SSG both start from this.
+inline core::Graph BuildEfannaBaseGraph(
+    core::DistanceComputer& dc, const knngraph::NnDescentParams& nndescent,
+    std::size_t num_trees, std::size_t tree_leaf_size,
+    std::size_t init_candidates, std::uint64_t seed) {
+  const core::Dataset& data = dc.dataset();
+  trees::KdTreeParams tree_params;
+  tree_params.leaf_size = tree_leaf_size;
+  const trees::KdForest forest =
+      trees::KdForest::Build(data, num_trees, tree_params, seed);
+
+  core::Graph init(data.size());
+  for (core::VectorId v = 0; v < data.size(); ++v) {
+    for (core::VectorId u :
+         forest.SearchCandidates(data, data.Row(v), init_candidates)) {
+      if (u != v) init.MutableNeighbors(v).push_back(u);
+    }
+  }
+  return knngraph::NnDescent(dc, nndescent, seed ^ 0x1ULL, &init);
+}
+
+/// Random regular directed graph: every node gets `degree` distinct random
+/// out-neighbors — Vamana's initial graph (degree ≥ log n keeps it
+/// connected with high probability).
+inline core::Graph RandomRegularGraph(std::size_t n, std::size_t degree,
+                                      std::uint64_t seed) {
+  core::Graph graph(n);
+  core::Rng rng(seed);
+  for (core::VectorId v = 0; v < n; ++v) {
+    auto& list = graph.MutableNeighbors(v);
+    std::size_t guard = 0;
+    while (list.size() < degree && guard < degree * 8) {
+      ++guard;
+      const auto u = static_cast<core::VectorId>(rng.UniformInt(n));
+      if (u == v) continue;
+      bool present = false;
+      for (core::VectorId w : list) {
+        if (w == u) {
+          present = true;
+          break;
+        }
+      }
+      if (!present) list.push_back(u);
+    }
+  }
+  return graph;
+}
+
+/// NSG-style connectivity repair: every node unreachable from `root` gets an
+/// in-edge from the nearest *reachable* node found by a beam search for its
+/// vector. One pass suffices (the linking endpoint is always reachable).
+inline void EnsureConnectedFrom(core::DistanceComputer& dc,
+                                core::Graph* graph, core::VectorId root,
+                                std::size_t beam_width,
+                                core::VisitedTable* visited) {
+  const core::Dataset& data = dc.dataset();
+  // Mark the reachable set by BFS.
+  std::vector<bool> reachable(graph->size(), false);
+  std::vector<core::VectorId> frontier{root};
+  reachable[root] = true;
+  while (!frontier.empty()) {
+    const core::VectorId v = frontier.back();
+    frontier.pop_back();
+    for (core::VectorId u : graph->Neighbors(v)) {
+      if (!reachable[u]) {
+        reachable[u] = true;
+        frontier.push_back(u);
+      }
+    }
+  }
+  for (core::VectorId v = 0; v < graph->size(); ++v) {
+    if (reachable[v]) continue;
+    const std::vector<core::Neighbor> found = core::BeamSearch(
+        *graph, dc, data.Row(v), {root}, 1, beam_width, visited);
+    const core::VectorId anchor = found.empty() ? root : found.front().id;
+    graph->AddEdgeUnique(anchor, v);
+  }
+}
+
+}  // namespace gass::methods
+
+#endif  // GASS_METHODS_BASE_GRAPHS_H_

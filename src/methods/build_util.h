@@ -1,0 +1,66 @@
+// Shared construction helpers for the method implementations.
+
+#ifndef GASS_METHODS_BUILD_UTIL_H_
+#define GASS_METHODS_BUILD_UTIL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "core/distance.h"
+#include "core/graph.h"
+#include "core/neighbor.h"
+#include "diversify/diversify.h"
+
+namespace gass::methods {
+
+/// Installs `kept` as v's neighbor list and adds the reverse edge to each
+/// kept neighbor; a reverse list that overflows `prune.max_degree` is
+/// re-pruned with the same ND strategy (the standard II/Vamana overflow
+/// treatment).
+inline void InstallBidirectional(core::DistanceComputer& dc,
+                                 core::Graph* graph, core::VectorId v,
+                                 const std::vector<core::Neighbor>& kept,
+                                 const diversify::Params& prune,
+                                 diversify::PruneStats* stats = nullptr) {
+  auto& forward = graph->MutableNeighbors(v);
+  forward.clear();
+  for (const core::Neighbor& nb : kept) forward.push_back(nb.id);
+
+  for (const core::Neighbor& nb : kept) {
+    auto& back = graph->MutableNeighbors(nb.id);
+    if (std::find(back.begin(), back.end(), v) != back.end()) continue;
+    back.push_back(v);
+    if (back.size() > prune.max_degree) {
+      std::vector<core::Neighbor> candidates;
+      candidates.reserve(back.size());
+      for (core::VectorId u : back) {
+        candidates.emplace_back(u, dc.Between(nb.id, u));
+      }
+      std::sort(candidates.begin(), candidates.end());
+      const std::vector<core::Neighbor> re_kept =
+          diversify::Diversify(dc, nb.id, candidates, prune, stats);
+      back.clear();
+      for (const core::Neighbor& b : re_kept) back.push_back(b.id);
+    }
+  }
+}
+
+/// Truncates every neighbor list to its `max_degree` nearest (used by NoND
+/// paths and final degree capping).
+inline void CapDegrees(core::DistanceComputer& dc, core::Graph* graph,
+                       std::size_t max_degree) {
+  for (core::VectorId v = 0; v < graph->size(); ++v) {
+    auto& list = graph->MutableNeighbors(v);
+    if (list.size() <= max_degree) continue;
+    std::vector<core::Neighbor> scored;
+    scored.reserve(list.size());
+    for (core::VectorId u : list) scored.emplace_back(u, dc.Between(v, u));
+    std::sort(scored.begin(), scored.end());
+    list.clear();
+    for (std::size_t i = 0; i < max_degree; ++i) list.push_back(scored[i].id);
+  }
+}
+
+}  // namespace gass::methods
+
+#endif  // GASS_METHODS_BUILD_UTIL_H_

@@ -1,0 +1,57 @@
+#include "methods/dpg_index.h"
+
+#include <algorithm>
+
+#include "core/macros.h"
+#include "diversify/diversify.h"
+
+namespace gass::methods {
+
+using core::Graph;
+using core::Neighbor;
+using core::VectorId;
+
+BuildStats DpgIndex::Build(const core::Dataset& data) {
+  GASS_CHECK(!data.empty());
+  data_ = &data;
+  core::Timer timer;
+  core::DistanceComputer dc(data);
+
+  Graph base = knngraph::NnDescent(dc, params_.nndescent, params_.seed);
+
+  // MOND-diversify each node's base list.
+  diversify::Params prune;
+  prune.strategy = diversify::Strategy::kMond;
+  prune.theta_degrees = params_.theta_degrees;
+  prune.max_degree = params_.max_degree;
+
+  graph_ = Graph(data.size());
+  for (VectorId v = 0; v < data.size(); ++v) {
+    std::vector<Neighbor> candidates;
+    candidates.reserve(base.Neighbors(v).size());
+    for (VectorId u : base.Neighbors(v)) {
+      candidates.emplace_back(u, dc.Between(v, u));
+    }
+    std::sort(candidates.begin(), candidates.end());
+    const std::vector<Neighbor> kept =
+        diversify::Diversify(dc, v, candidates, prune);
+    auto& list = graph_.MutableNeighbors(v);
+    for (const Neighbor& nb : kept) list.push_back(nb.id);
+  }
+
+  // Undirect for connectivity (DPG's final step).
+  graph_.MakeUndirected();
+
+  visited_ = std::make_unique<core::VisitedTable>(data.size());
+  seed_selector_ = std::make_unique<seeds::KsRandomSeeds>(
+      data.size(), params_.seed ^ 0x5EEDULL);
+
+  BuildStats stats;
+  stats.elapsed_seconds = timer.Seconds();
+  stats.distance_computations = dc.count();
+  stats.index_bytes = IndexBytes();
+  stats.peak_bytes = stats.index_bytes + base.MemoryBytes() * 2;
+  return stats;
+}
+
+}  // namespace gass::methods

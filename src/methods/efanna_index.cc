@@ -1,0 +1,48 @@
+#include "methods/efanna_index.h"
+
+#include "core/macros.h"
+
+namespace gass::methods {
+
+using core::Graph;
+using core::VectorId;
+
+BuildStats EfannaIndex::Build(const core::Dataset& data) {
+  GASS_CHECK(!data.empty());
+  data_ = &data;
+  core::Timer timer;
+  core::DistanceComputer dc(data);
+
+  // Randomized K-D forest: both the NNDescent initializer and the query
+  // seed structure.
+  trees::KdTreeParams tree_params;
+  tree_params.leaf_size = params_.tree_leaf_size;
+  auto forest = std::make_shared<trees::KdForest>(trees::KdForest::Build(
+      data, params_.num_trees, tree_params, params_.seed));
+
+  // Harvest per-node initial candidates from the forest.
+  Graph init(data.size());
+  for (VectorId v = 0; v < data.size(); ++v) {
+    std::vector<VectorId> candidates = forest->SearchCandidates(
+        data, data.Row(v), params_.init_candidates);
+    auto& list = init.MutableNeighbors(v);
+    for (VectorId u : candidates) {
+      if (u != v) list.push_back(u);
+    }
+  }
+
+  graph_ = knngraph::NnDescent(dc, params_.nndescent, params_.seed ^ 0x1ULL,
+                               &init);
+  visited_ = std::make_unique<core::VisitedTable>(data.size());
+  seed_selector_ = std::make_unique<seeds::KdSeeds>(forest, data_);
+
+  BuildStats stats;
+  stats.elapsed_seconds = timer.Seconds();
+  stats.distance_computations = dc.count();
+  stats.index_bytes = IndexBytes();
+  // Trees + initial graph + NNDescent pools coexist during build.
+  stats.peak_bytes = stats.index_bytes * 2 + init.MemoryBytes();
+  return stats;
+}
+
+}  // namespace gass::methods

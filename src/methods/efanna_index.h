@@ -1,0 +1,37 @@
+// EFANNA (Fu & Cai 2016) — Neighborhood Propagation seeded by trees: initial
+// neighbor candidates are harvested from randomized truncated K-D trees,
+// refined with NNDescent, and the same trees provide KD seed selection at
+// query time.
+
+#ifndef GASS_METHODS_EFANNA_INDEX_H_
+#define GASS_METHODS_EFANNA_INDEX_H_
+
+#include "knngraph/nndescent.h"
+#include "methods/graph_index.h"
+#include "trees/kd_tree.h"
+
+namespace gass::methods {
+
+struct EfannaParams {
+  knngraph::NnDescentParams nndescent;
+  std::size_t num_trees = 4;
+  std::size_t tree_leaf_size = 32;
+  /// Candidates harvested per node from the forest to initialize NNDescent.
+  std::size_t init_candidates = 30;
+  std::uint64_t seed = 42;
+};
+
+class EfannaIndex : public SingleGraphIndex {
+ public:
+  explicit EfannaIndex(const EfannaParams& params) : params_(params) {}
+
+  std::string Name() const override { return "EFANNA"; }
+  BuildStats Build(const core::Dataset& data) override;
+
+ private:
+  EfannaParams params_;
+};
+
+}  // namespace gass::methods
+
+#endif  // GASS_METHODS_EFANNA_INDEX_H_

@@ -1,0 +1,152 @@
+#include "methods/elpis_index.h"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+#include "core/macros.h"
+#include "core/thread_pool.h"
+
+namespace gass::methods {
+
+using core::Neighbor;
+using core::VectorId;
+
+BuildStats ElpisIndex::Build(const core::Dataset& data) {
+  GASS_CHECK(!data.empty());
+  data_ = &data;
+  core::Timer timer;
+
+  tree_ = std::make_unique<summaries::EapcaTree>(
+      summaries::EapcaTree::Build(data, params_.tree, params_.seed));
+
+  leaves_.clear();
+  leaves_.resize(tree_->num_leaves());
+  std::atomic<std::uint64_t> distances{0};
+  core::ParallelFor(
+      leaves_.size(), params_.build_threads,
+      [&](std::size_t, std::size_t i) {
+        Leaf& leaf = leaves_[i];
+        leaf.global_ids = tree_->LeafMembers(i);
+        leaf.data = data.Select(leaf.global_ids);
+        HnswParams hnsw_params = params_.leaf_hnsw;
+        hnsw_params.seed = params_.seed ^ (i * 0x9E3779B97F4A7C15ULL);
+        leaf.index = std::make_unique<HnswIndex>(hnsw_params);
+        const BuildStats leaf_stats = leaf.index->Build(leaf.data);
+        distances.fetch_add(leaf_stats.distance_computations,
+                            std::memory_order_relaxed);
+      });
+
+  BuildStats stats;
+  stats.elapsed_seconds = timer.Seconds();
+  stats.distance_computations = distances.load();
+  stats.index_bytes = IndexBytes();
+  stats.peak_bytes = stats.index_bytes;
+  return stats;
+}
+
+SearchResult ElpisIndex::Search(const float* query,
+                                const SearchParams& params) {
+  GASS_CHECK_MSG(data_ != nullptr, "Search before Build");
+  SearchResult result;
+  core::Timer timer;
+
+  // Order leaves by EAPCA lower bound.
+  const summaries::EapcaSummary summary = tree_->SummarizeQuery(query);
+  std::vector<std::size_t> order(leaves_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<float> bounds(leaves_.size());
+  for (std::size_t i = 0; i < leaves_.size(); ++i) {
+    bounds[i] = tree_->LeafLowerBound(summary, i);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return bounds[a] < bounds[b];
+  });
+
+  // Search the most promising leaf first to obtain a pruning bound.
+  std::vector<Neighbor> merged;
+  auto search_leaf = [&](std::size_t leaf_index) {
+    Leaf& leaf = leaves_[leaf_index];
+    SearchParams leaf_params = params;
+    const SearchResult leaf_result =
+        leaf.index->Search(query, leaf_params);
+    result.stats.distance_computations +=
+        leaf_result.stats.distance_computations;
+    result.stats.hops += leaf_result.stats.hops;
+    return leaf_result.neighbors;
+  };
+
+  const std::vector<Neighbor> first = search_leaf(order[0]);
+  for (const Neighbor& nb : first) {
+    merged.push_back(Neighbor(leaves_[order[0]].global_ids[nb.id],
+                              nb.distance));
+  }
+  std::sort(merged.begin(), merged.end());
+  float kth_bsf = merged.size() >= params.k
+                      ? merged[params.k - 1].distance
+                      : 3.402823466e38f;
+
+  // Remaining leaves: prune by lower bound, search survivors (up to nprobe
+  // total probes), concurrently when configured.
+  std::vector<std::size_t> survivors;
+  for (std::size_t rank = 1;
+       rank < order.size() && survivors.size() + 1 < params_.nprobe;
+       ++rank) {
+    if (bounds[order[rank]] >= kth_bsf) continue;
+    survivors.push_back(order[rank]);
+  }
+  last_probed_ = 1 + survivors.size();
+
+  if (!survivors.empty()) {
+    // Warm the remaining leaf searches with the current k-th best-so-far:
+    // candidates at or beyond it cannot enter the final answer ("the
+    // retrieved set of answers feed the search priority queues for the
+    // other leaves").
+    SearchParams warmed = params;
+    warmed.prune_bound = std::min(params.prune_bound, kth_bsf);
+    std::vector<std::vector<Neighbor>> leaf_results(survivors.size());
+    std::vector<core::SearchStats> leaf_stats(survivors.size());
+    core::ParallelFor(
+        survivors.size(),
+        std::max<std::size_t>(1, params_.search_threads),
+        [&](std::size_t, std::size_t i) {
+          Leaf& leaf = leaves_[survivors[i]];
+          const SearchResult r = leaf.index->Search(query, warmed);
+          leaf_stats[i] = r.stats;
+          leaf_results[i] = r.neighbors;
+        });
+    for (std::size_t i = 0; i < survivors.size(); ++i) {
+      result.stats.distance_computations +=
+          leaf_stats[i].distance_computations;
+      result.stats.hops += leaf_stats[i].hops;
+      for (const Neighbor& nb : leaf_results[i]) {
+        merged.push_back(Neighbor(
+            leaves_[survivors[i]].global_ids[nb.id], nb.distance));
+      }
+    }
+    std::sort(merged.begin(), merged.end());
+  }
+
+  if (merged.size() > params.k) merged.resize(params.k);
+  result.neighbors = std::move(merged);
+  result.stats.elapsed_seconds = timer.Seconds();
+  return result;
+}
+
+const core::Graph& ElpisIndex::graph() const {
+  GASS_CHECK_MSG(false, "ELPIS has no single base graph");
+  static const core::Graph kEmpty;
+  return kEmpty;
+}
+
+std::size_t ElpisIndex::IndexBytes() const {
+  std::size_t total = tree_ != nullptr ? tree_->MemoryBytes() : 0;
+  for (const Leaf& leaf : leaves_) {
+    total += leaf.global_ids.size() * sizeof(VectorId);
+    total += leaf.data.SizeBytes();  // Duplicated contiguous leaf vectors.
+    if (leaf.index != nullptr) total += leaf.index->IndexBytes();
+  }
+  return total;
+}
+
+}  // namespace gass::methods

@@ -1,0 +1,28 @@
+// Name-based index construction with bench-calibrated defaults.
+
+#ifndef GASS_METHODS_FACTORY_H_
+#define GASS_METHODS_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "methods/graph_index.h"
+
+namespace gass::methods {
+
+/// Builds an unconstructed index by method name. Recognized names:
+/// "kgraph", "ieh", "fanng", "efanna", "nsw", "hnsw", "hvs", "dpg", "ngt",
+/// "nsg", "ssg", "vamana", "sptag-kdt", "sptag-bkt", "hcnng", "lshapg",
+/// "elpis".
+/// Aborts on an unknown name. `seed` drives all of the method's
+/// randomness.
+std::unique_ptr<GraphIndex> CreateIndex(const std::string& name,
+                                        std::uint64_t seed = 42);
+
+/// All recognized method names, in the paper's taxonomy order.
+std::vector<std::string> AllMethodNames();
+
+}  // namespace gass::methods
+
+#endif  // GASS_METHODS_FACTORY_H_

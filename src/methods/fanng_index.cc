@@ -1,0 +1,105 @@
+#include "methods/fanng_index.h"
+
+#include <algorithm>
+
+#include "core/macros.h"
+#include "core/rng.h"
+#include "diversify/diversify.h"
+
+namespace gass::methods {
+
+using core::Graph;
+using core::Neighbor;
+using core::Rng;
+using core::VectorId;
+
+BuildStats FanngIndex::Build(const core::Dataset& data) {
+  GASS_CHECK(!data.empty());
+  data_ = &data;
+  core::Timer timer;
+  core::DistanceComputer dc(data);
+  Rng rng(params_.seed);
+
+  // Rich candidate lists, occlusion-pruned (RND geometry).
+  Graph base = knngraph::NnDescent(dc, params_.nndescent, params_.seed);
+  diversify::Params prune;
+  prune.strategy = diversify::Strategy::kRnd;
+  prune.max_degree = params_.max_degree;
+
+  graph_ = Graph(data.size());
+  for (VectorId v = 0; v < data.size(); ++v) {
+    std::vector<Neighbor> candidates;
+    candidates.reserve(base.Neighbors(v).size());
+    for (VectorId u : base.Neighbors(v)) {
+      candidates.emplace_back(u, dc.Between(v, u));
+    }
+    std::sort(candidates.begin(), candidates.end());
+    const std::vector<Neighbor> kept =
+        diversify::Diversify(dc, v, candidates, prune);
+    auto& list = graph_.MutableNeighbors(v);
+    for (const Neighbor& nb : kept) list.push_back(nb.id);
+  }
+
+  // Traverse-and-add: dataset points as training queries. A greedy walk
+  // from a random start must reach the target node itself; a stuck walk
+  // earns an escape edge from the stuck node to the target.
+  escape_edges_ = 0;
+  const auto walks = static_cast<std::size_t>(
+      params_.training_walks_per_node * static_cast<double>(data.size()));
+  for (std::size_t w = 0; w < walks; ++w) {
+    const VectorId target =
+        static_cast<VectorId>(rng.UniformInt(data.size()));
+    VectorId current = static_cast<VectorId>(rng.UniformInt(data.size()));
+    if (current == target) continue;
+    float current_dist = dc.Between(target, current);
+    std::size_t hops = 0;
+    while (hops < params_.max_walk_hops) {
+      VectorId best = current;
+      float best_dist = current_dist;
+      for (VectorId u : graph_.Neighbors(current)) {
+        const float d = u == target ? 0.0f : dc.Between(target, u);
+        if (d < best_dist) {
+          best_dist = d;
+          best = u;
+        }
+      }
+      if (best == current) break;  // Stuck.
+      current = best;
+      current_dist = best_dist;
+      if (current == target) break;
+      ++hops;
+    }
+    if (current != target) {
+      // Escape edge; re-prune the stuck node's enlarged list.
+      if (graph_.AddEdgeUnique(current, target)) {
+        ++escape_edges_;
+        auto& list = graph_.MutableNeighbors(current);
+        if (list.size() > params_.max_degree) {
+          std::vector<Neighbor> candidates;
+          candidates.reserve(list.size());
+          for (VectorId u : list) {
+            candidates.emplace_back(u, dc.Between(current, u));
+          }
+          std::sort(candidates.begin(), candidates.end());
+          const std::vector<Neighbor> kept =
+              diversify::Diversify(dc, current, candidates, prune);
+          list.clear();
+          for (const Neighbor& nb : kept) list.push_back(nb.id);
+        }
+      }
+    }
+  }
+
+  visited_ = std::make_unique<core::VisitedTable>(data.size());
+  seed_selector_ = std::make_unique<seeds::KsRandomSeeds>(
+      data.size(), params_.seed ^ 0x5EEDULL);
+
+  BuildStats stats;
+  stats.elapsed_seconds = timer.Seconds();
+  stats.distance_computations = dc.count();
+  stats.index_bytes = IndexBytes();
+  stats.peak_bytes = stats.index_bytes + base.MemoryBytes() * 2;
+  return stats;
+}
+
+}  // namespace gass::methods

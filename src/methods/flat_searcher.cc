@@ -1,0 +1,33 @@
+#include "methods/flat_searcher.h"
+
+#include "core/beam_search.h"
+#include "core/macros.h"
+
+namespace gass::methods {
+
+FlatGraphSearcher::FlatGraphSearcher(
+    const core::Dataset& data, const core::Graph& graph,
+    std::unique_ptr<seeds::SeedSelector> seed_selector)
+    : data_(&data),
+      flat_(core::FlatGraph::FromGraph(graph)),
+      seed_selector_(std::move(seed_selector)),
+      visited_(std::make_unique<core::VisitedTable>(graph.size())) {
+  GASS_CHECK(seed_selector_ != nullptr);
+}
+
+SearchResult FlatGraphSearcher::Search(const float* query,
+                                       const SearchParams& params) {
+  SearchResult result;
+  core::Timer timer;
+  core::DistanceComputer dc(*data_);
+  const std::vector<core::VectorId> seeds =
+      seed_selector_->Select(dc, query, params.num_seeds);
+  result.neighbors =
+      core::BeamSearch(flat_, dc, query, seeds, params.k, params.beam_width,
+                       visited_.get(), &result.stats);
+  result.stats.distance_computations = dc.count();
+  result.stats.elapsed_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace gass::methods

@@ -1,0 +1,40 @@
+// FlatGraphSearcher — the "optimized implementation" of Fig. 17.
+//
+// Takes any built base graph and re-lays it out as a contiguous CSR block
+// (the hnswlib/ParlayANN layout), then answers queries with the same beam
+// search. The layout removes per-node pointer chasing, which is the entire
+// difference measured by the paper's implementation-impact experiment.
+
+#ifndef GASS_METHODS_FLAT_SEARCHER_H_
+#define GASS_METHODS_FLAT_SEARCHER_H_
+
+#include <memory>
+
+#include "methods/graph_index.h"
+
+namespace gass::methods {
+
+class FlatGraphSearcher {
+ public:
+  /// Snapshots `index`'s base graph into a flat layout and reuses its seed
+  /// strategy via `seed_selector` (pass the index's, or any other).
+  FlatGraphSearcher(const core::Dataset& data, const core::Graph& graph,
+                    std::unique_ptr<seeds::SeedSelector> seed_selector);
+
+  SearchResult Search(const float* query, const SearchParams& params);
+
+  std::size_t IndexBytes() const {
+    return flat_.MemoryBytes() +
+           (seed_selector_ != nullptr ? seed_selector_->MemoryBytes() : 0);
+  }
+
+ private:
+  const core::Dataset* data_;
+  core::FlatGraph flat_;
+  std::unique_ptr<seeds::SeedSelector> seed_selector_;
+  std::unique_ptr<core::VisitedTable> visited_;
+};
+
+}  // namespace gass::methods
+
+#endif  // GASS_METHODS_FLAT_SEARCHER_H_

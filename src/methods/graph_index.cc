@@ -1,0 +1,31 @@
+#include "methods/graph_index.h"
+
+#include "core/beam_search.h"
+#include "core/macros.h"
+
+namespace gass::methods {
+
+SearchResult SingleGraphIndex::Search(const float* query,
+                                      const SearchParams& params) {
+  GASS_CHECK_MSG(data_ != nullptr, "Search before Build");
+  GASS_CHECK(seed_selector_ != nullptr);
+  SearchResult result;
+  core::Timer timer;
+  core::DistanceComputer dc(*data_);
+  const std::vector<core::VectorId> seeds =
+      seed_selector_->Select(dc, query, params.num_seeds);
+  result.neighbors =
+      core::BeamSearch(graph_, dc, query, seeds, params.k, params.beam_width,
+                       visited_.get(), &result.stats, params.prune_bound);
+  result.stats.distance_computations = dc.count();
+  result.stats.elapsed_seconds = timer.Seconds();
+  return result;
+}
+
+std::size_t SingleGraphIndex::IndexBytes() const {
+  std::size_t total = graph_.MemoryBytes();
+  if (seed_selector_ != nullptr) total += seed_selector_->MemoryBytes();
+  return total;
+}
+
+}  // namespace gass::methods

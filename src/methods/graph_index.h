@@ -1,0 +1,103 @@
+// The public index interface shared by all twelve methods.
+
+#ifndef GASS_METHODS_GRAPH_INDEX_H_
+#define GASS_METHODS_GRAPH_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/graph.h"
+#include "core/neighbor.h"
+#include "core/stats.h"
+#include "core/visited.h"
+#include "seeds/seed_selector.h"
+
+namespace gass::methods {
+
+/// Per-query search knobs.
+struct SearchParams {
+  std::size_t k = 10;          ///< Neighbors to return.
+  std::size_t beam_width = 64; ///< L of Algorithm 1.
+  std::size_t num_seeds = 16;  ///< Advisory seed count for the SS strategy.
+  /// Upper bound on acceptable squared distances; candidates at or beyond
+  /// it are rejected without entering the pool. Used by coordinators that
+  /// already hold answers (ELPIS warms later leaf searches with the current
+  /// k-th best-so-far). Default: no bound.
+  float prune_bound = 3.402823466e38f;
+};
+
+/// One query's answers plus its costs.
+struct SearchResult {
+  std::vector<core::Neighbor> neighbors;
+  core::SearchStats stats;
+};
+
+/// Costs of one index construction.
+struct BuildStats {
+  double elapsed_seconds = 0.0;
+  std::uint64_t distance_computations = 0;
+  std::size_t index_bytes = 0;  ///< Final index footprint (excl. raw data).
+  std::size_t peak_bytes = 0;   ///< Peak transient footprint during build.
+};
+
+/// A built graph-based vector index.
+///
+/// Lifecycle: construct with method parameters, call Build(data) once (the
+/// dataset must outlive the index), then Search per query. Search is not
+/// const (seed selectors and the visited table carry per-query state); use
+/// one index instance per thread or clone.
+class GraphIndex {
+ public:
+  virtual ~GraphIndex() = default;
+
+  virtual std::string Name() const = 0;
+
+  virtual BuildStats Build(const core::Dataset& data) = 0;
+
+  virtual SearchResult Search(const float* query,
+                              const SearchParams& params) = 0;
+
+  /// The searchable base graph (for inspection, flat re-layout, and tests).
+  /// Indexes with no single base graph (ELPIS) abort; check HasBaseGraph().
+  virtual const core::Graph& graph() const = 0;
+  virtual bool HasBaseGraph() const { return true; }
+
+  /// Final index footprint in bytes (graph + auxiliary seed structures),
+  /// excluding the raw vectors.
+  virtual std::size_t IndexBytes() const = 0;
+
+  const core::Dataset* data() const { return data_; }
+
+ protected:
+  const core::Dataset* data_ = nullptr;
+};
+
+/// Common implementation: a single base graph searched with Algorithm 1,
+/// seeded by a pluggable SS strategy. Subclasses implement BuildGraph() and
+/// install a seed selector.
+class SingleGraphIndex : public GraphIndex {
+ public:
+  SearchResult Search(const float* query, const SearchParams& params) override;
+
+  const core::Graph& graph() const override { return graph_; }
+  std::size_t IndexBytes() const override;
+
+  /// Replaces the query-time seed selector (used by the SS experiments).
+  void SetSeedSelector(std::unique_ptr<seeds::SeedSelector> selector) {
+    seed_selector_ = std::move(selector);
+  }
+  seeds::SeedSelector* seed_selector() { return seed_selector_.get(); }
+
+ protected:
+  core::Graph graph_;
+  std::unique_ptr<seeds::SeedSelector> seed_selector_;
+  std::unique_ptr<core::VisitedTable> visited_;
+};
+
+}  // namespace gass::methods
+
+#endif  // GASS_METHODS_GRAPH_INDEX_H_

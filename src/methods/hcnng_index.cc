@@ -1,0 +1,117 @@
+#include "methods/hcnng_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/macros.h"
+#include "core/rng.h"
+#include "trees/hierarchical_clustering.h"
+#include "trees/kd_tree.h"
+
+namespace gass::methods {
+
+using core::Graph;
+using core::Rng;
+using core::VectorId;
+
+namespace {
+
+// Union-find for Kruskal.
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Union(std::size_t a, std::size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+// Degree-capped MST (Kruskal) over one leaf; adds the selected edges to the
+// global graph, undirected.
+void AddLeafMst(core::DistanceComputer& dc,
+                const std::vector<VectorId>& leaf, std::size_t degree_cap,
+                Graph* graph) {
+  const std::size_t m = leaf.size();
+  if (m < 2) return;
+
+  struct Edge {
+    float weight;
+    std::uint32_t a, b;  // Local indices.
+    bool operator<(const Edge& other) const { return weight < other.weight; }
+  };
+  std::vector<Edge> edges;
+  edges.reserve(m * (m - 1) / 2);
+  for (std::uint32_t i = 0; i < m; ++i) {
+    for (std::uint32_t j = i + 1; j < m; ++j) {
+      edges.push_back(Edge{dc.Between(leaf[i], leaf[j]), i, j});
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+
+  DisjointSet components(m);
+  std::vector<std::uint32_t> degree(m, 0);
+  std::size_t added = 0;
+  for (const Edge& e : edges) {
+    if (added == m - 1) break;
+    if (degree[e.a] >= degree_cap || degree[e.b] >= degree_cap) continue;
+    if (!components.Union(e.a, e.b)) continue;
+    ++degree[e.a];
+    ++degree[e.b];
+    ++added;
+    graph->AddEdgeUnique(leaf[e.a], leaf[e.b]);
+    graph->AddEdgeUnique(leaf[e.b], leaf[e.a]);
+  }
+}
+
+}  // namespace
+
+BuildStats HcnngIndex::Build(const core::Dataset& data) {
+  GASS_CHECK(!data.empty());
+  data_ = &data;
+  core::Timer timer;
+  core::DistanceComputer dc(data);
+  Rng rng(params_.seed);
+
+  graph_ = Graph(data.size());
+  for (std::size_t c = 0; c < params_.num_clusterings; ++c) {
+    const auto leaves =
+        trees::RandomBisectionLeaves(data, params_.leaf_size, rng.Next());
+    for (const auto& leaf : leaves) {
+      AddLeafMst(dc, leaf, params_.mst_degree_cap, &graph_);
+    }
+  }
+
+  trees::KdTreeParams tree_params;
+  auto forest = std::make_shared<trees::KdForest>(trees::KdForest::Build(
+      data, params_.kd_num_trees, tree_params, rng.Next()));
+  seed_selector_ = std::make_unique<seeds::KdSeeds>(forest, data_);
+  visited_ = std::make_unique<core::VisitedTable>(data.size());
+
+  BuildStats stats;
+  stats.elapsed_seconds = timer.Seconds();
+  stats.distance_computations = dc.count();
+  stats.index_bytes = IndexBytes();
+  // The per-leaf edge lists (all pairs) dominate transient memory — the
+  // HCNNG footprint spike the paper reports in Fig. 8.
+  stats.peak_bytes =
+      stats.index_bytes +
+      params_.leaf_size * params_.leaf_size * sizeof(float) * 2;
+  return stats;
+}
+
+}  // namespace gass::methods

@@ -1,0 +1,253 @@
+#include "methods/hnsw_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/beam_search.h"
+#include "core/macros.h"
+#include "diversify/diversify.h"
+#include "methods/build_util.h"
+
+namespace gass::methods {
+
+using core::DistanceComputer;
+using core::Graph;
+using core::Neighbor;
+using core::VectorId;
+
+core::VectorId HnswIndex::DescendToLayer(DistanceComputer& dc,
+                                         const float* query,
+                                         std::size_t from_layer,
+                                         std::size_t target) const {
+  VectorId current = entry_;
+  float current_dist = dc.ToQuery(query, current);
+  for (std::size_t l = from_layer; l-- > target;) {
+    if (l >= layers_.size()) continue;
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (VectorId u : layers_[l].Neighbors(current)) {
+        const float d = dc.ToQuery(query, u);
+        if (d < current_dist) {
+          current_dist = d;
+          current = u;
+          improved = true;
+        }
+      }
+    }
+  }
+  return current;
+}
+
+void HnswIndex::InsertNode(DistanceComputer& dc, VectorId v) {
+  const core::Dataset& data = *data_;
+
+  // Draw the node's maximum layer per Eq. 1.
+  const double denom =
+      std::log(std::max(2.0, static_cast<double>(params_.m) / 2.0));
+  double xi = level_rng_->UniformDouble();
+  if (xi < 1e-12) xi = 1e-12;
+  const auto node_level =
+      static_cast<std::uint32_t>(-std::log(xi) / denom);
+  level_[v] = node_level;
+
+  if (inserted_ == 0) {
+    entry_ = v;
+    entry_level_ = node_level;
+    while (layers_.size() < node_level) layers_.emplace_back(data.size());
+    ++inserted_;
+    return;
+  }
+
+  diversify::Params upper_prune;
+  upper_prune.strategy = diversify::Strategy::kRnd;
+  upper_prune.max_degree = params_.m;
+  diversify::Params base_prune = upper_prune;
+  base_prune.max_degree = params_.m * 2;  // maxM0.
+
+  VectorId current = DescendToLayer(dc, data.Row(v), entry_level_,
+                                    std::min<std::size_t>(entry_level_,
+                                                          node_level));
+
+  // Grow the layer stack if this node's level exceeds the current top.
+  while (layers_.size() < node_level) layers_.emplace_back(data.size());
+
+  for (std::uint32_t l = std::min(node_level, entry_level_) + 1; l-- > 0;) {
+    Graph& layer_graph = l == 0 ? base_ : layers_[l - 1];
+    const diversify::Params& prune = l == 0 ? base_prune : upper_prune;
+    std::vector<Neighbor> candidates = core::BeamSearch(
+        layer_graph, dc, data.Row(v), {current}, params_.ef_construction,
+        params_.ef_construction, visited_.get());
+    std::vector<Neighbor> kept =
+        diversify::Diversify(dc, v, candidates, prune);
+    // The forward list at any layer is bounded by M (heuristic selects at
+    // most M); reverse lists may grow to the layer cap before re-pruning.
+    if (kept.size() > params_.m) kept.resize(params_.m);
+    InstallBidirectional(dc, &layer_graph, v, kept, prune);
+    if (!candidates.empty()) current = candidates.front().id;
+  }
+
+  if (node_level > entry_level_) {
+    entry_ = v;
+    entry_level_ = node_level;
+  }
+  ++inserted_;
+}
+
+BuildStats HnswIndex::Build(const core::Dataset& data) {
+  return BuildPrefix(data, data.size());
+}
+
+BuildStats HnswIndex::BuildPrefix(const core::Dataset& data,
+                                  std::size_t count) {
+  GASS_CHECK(!data.empty());
+  GASS_CHECK(count <= data.size());
+  data_ = &data;
+  core::Timer timer;
+  DistanceComputer dc(data);
+
+  base_ = Graph(data.size());
+  layers_.clear();
+  level_.assign(data.size(), 0);
+  visited_ = std::make_unique<core::VisitedTable>(data.size());
+  level_rng_ = std::make_unique<core::Rng>(params_.seed);
+  inserted_ = 0;
+
+  for (VectorId v = 0; v < count; ++v) InsertNode(dc, v);
+
+  BuildStats stats;
+  stats.elapsed_seconds = timer.Seconds();
+  stats.distance_computations = dc.count();
+  stats.index_bytes = IndexBytes();
+  stats.peak_bytes = stats.index_bytes;
+  return stats;
+}
+
+BuildStats HnswIndex::Extend(std::size_t new_count) {
+  GASS_CHECK_MSG(data_ != nullptr, "Extend before Build");
+  GASS_CHECK(new_count <= data_->size());
+  GASS_CHECK(new_count >= inserted_);
+  core::Timer timer;
+  DistanceComputer dc(*data_);
+  for (VectorId v = static_cast<VectorId>(inserted_); v < new_count; ++v) {
+    InsertNode(dc, v);
+  }
+  BuildStats stats;
+  stats.elapsed_seconds = timer.Seconds();
+  stats.distance_computations = dc.count();
+  stats.index_bytes = IndexBytes();
+  stats.peak_bytes = stats.index_bytes;
+  return stats;
+}
+
+SearchResult HnswIndex::Search(const float* query,
+                               const SearchParams& params) {
+  GASS_CHECK_MSG(data_ != nullptr, "Search before Build");
+  SearchResult result;
+  core::Timer timer;
+  DistanceComputer dc(*data_);
+
+  // SN seed selection: descend to layer 1's best node; it and its layer-1
+  // neighborhood seed the base-layer beam search.
+  const VectorId node = DescendToLayer(dc, query, layers_.size(), 0);
+  std::vector<VectorId> seeds{node};
+  if (!layers_.empty()) {
+    for (VectorId u : layers_[0].Neighbors(node)) {
+      if (seeds.size() >= params.num_seeds) break;
+      seeds.push_back(u);
+    }
+  }
+
+  result.neighbors =
+      core::BeamSearch(base_, dc, query, seeds, params.k, params.beam_width,
+                       visited_.get(), &result.stats, params.prune_bound);
+  result.stats.distance_computations = dc.count();
+  result.stats.elapsed_seconds = timer.Seconds();
+  return result;
+}
+
+core::Status HnswIndex::Save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return core::Status::Error("cannot create " + path);
+  const std::uint64_t magic = 0x47415353484E5357ULL;  // "GASSHNSW".
+  const std::uint64_t n = level_.size();
+  const std::uint64_t num_layers = layers_.size();
+  const std::uint64_t inserted = inserted_;
+  const std::uint32_t entry = entry_;
+  const std::uint32_t entry_level = entry_level_;
+  bool ok = std::fwrite(&magic, sizeof(magic), 1, f) == 1 &&
+            std::fwrite(&n, sizeof(n), 1, f) == 1 &&
+            std::fwrite(&num_layers, sizeof(num_layers), 1, f) == 1 &&
+            std::fwrite(&inserted, sizeof(inserted), 1, f) == 1 &&
+            std::fwrite(&entry, sizeof(entry), 1, f) == 1 &&
+            std::fwrite(&entry_level, sizeof(entry_level), 1, f) == 1 &&
+            (level_.empty() ||
+             std::fwrite(level_.data(), sizeof(std::uint32_t), level_.size(),
+                         f) == level_.size());
+  std::fclose(f);
+  if (!ok) return core::Status::Error("short write to " + path);
+
+  // Graphs go to sidecar sections via the Graph serializer appended to the
+  // same file.
+  core::Status status = base_.Save(path + ".base");
+  if (!status.ok()) return status;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    status = layers_[l].Save(path + ".layer" + std::to_string(l));
+    if (!status.ok()) return status;
+  }
+  return core::Status::Ok();
+}
+
+core::Status HnswIndex::Load(const std::string& path,
+                             const core::Dataset& data) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return core::Status::Error("cannot open " + path);
+  std::uint64_t magic = 0, n = 0, num_layers = 0, inserted = 0;
+  std::uint32_t entry = 0, entry_level = 0;
+  const bool ok = std::fread(&magic, sizeof(magic), 1, f) == 1 &&
+                  std::fread(&n, sizeof(n), 1, f) == 1 &&
+                  std::fread(&num_layers, sizeof(num_layers), 1, f) == 1 &&
+                  std::fread(&inserted, sizeof(inserted), 1, f) == 1 &&
+                  std::fread(&entry, sizeof(entry), 1, f) == 1 &&
+                  std::fread(&entry_level, sizeof(entry_level), 1, f) == 1;
+  if (!ok || magic != 0x47415353484E5357ULL) {
+    std::fclose(f);
+    return core::Status::Error("not a GASS HNSW index: " + path);
+  }
+  if (n != data.size()) {
+    std::fclose(f);
+    return core::Status::Error("index/data size mismatch for " + path);
+  }
+  level_.resize(n);
+  if (n > 0 &&
+      std::fread(level_.data(), sizeof(std::uint32_t), n, f) != n) {
+    std::fclose(f);
+    return core::Status::Error("truncated HNSW index: " + path);
+  }
+  std::fclose(f);
+
+  core::Status status = base_.Load(path + ".base");
+  if (!status.ok()) return status;
+  layers_.resize(num_layers);
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    status = layers_[l].Load(path + ".layer" + std::to_string(l));
+    if (!status.ok()) return status;
+  }
+  data_ = &data;
+  entry_ = entry;
+  entry_level_ = entry_level;
+  inserted_ = inserted;
+  visited_ = std::make_unique<core::VisitedTable>(data.size());
+  level_rng_ = std::make_unique<core::Rng>(params_.seed ^ inserted_);
+  return core::Status::Ok();
+}
+
+std::size_t HnswIndex::IndexBytes() const {
+  std::size_t total =
+      base_.MemoryBytes() + level_.size() * sizeof(std::uint32_t);
+  for (const Graph& layer : layers_) total += layer.MemoryBytes();
+  return total;
+}
+
+}  // namespace gass::methods

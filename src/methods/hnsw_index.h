@@ -1,0 +1,88 @@
+// HNSW — Hierarchical Navigable Small World (Malkov & Yashunin 2020).
+//
+// Incremental Insertion + RND diversification + Stacked-NSW seed selection.
+// Each node draws a maximum layer from Eq. 1; insertion descends greedily
+// from the global entry point through layers above the node's level, then at
+// every layer from the node's level down to 0 runs a beam search
+// (ef_construction wide), prunes the candidates with RND ("select neighbors
+// by heuristic"), and installs bidirectional edges — overflowing lists are
+// re-pruned with RND. Layer 0 allows 2·M neighbors (hnswlib's maxM0).
+// Queries descend the layers greedily and beam-search layer 0.
+//
+// Because construction is one-node-at-a-time, the index also supports
+// streaming growth: BuildPrefix() indexes the first rows of a collection
+// and Extend() inserts further rows later without a rebuild.
+
+#ifndef GASS_METHODS_HNSW_INDEX_H_
+#define GASS_METHODS_HNSW_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/rng.h"
+#include "methods/graph_index.h"
+
+namespace gass::methods {
+
+struct HnswParams {
+  std::size_t m = 16;                   ///< Out-degree bound (upper layers).
+  std::size_t ef_construction = 100;    ///< Construction beam width.
+  std::uint64_t seed = 42;
+};
+
+class HnswIndex : public GraphIndex {
+ public:
+  explicit HnswIndex(const HnswParams& params) : params_(params) {}
+
+  std::string Name() const override { return "HNSW"; }
+
+  /// Indexes all rows of `data`.
+  BuildStats Build(const core::Dataset& data) override;
+
+  /// Indexes only rows [0, count); the rest can be added later with
+  /// Extend(). `data` must already contain every row that will ever be
+  /// inserted (rows beyond `count` are simply not indexed yet).
+  BuildStats BuildPrefix(const core::Dataset& data, std::size_t count);
+
+  /// Inserts rows [inserted_count(), new_count) into the index.
+  BuildStats Extend(std::size_t new_count);
+
+  SearchResult Search(const float* query, const SearchParams& params) override;
+
+  const core::Graph& graph() const override { return base_; }
+  std::size_t IndexBytes() const override;
+
+  std::size_t num_layers() const { return layers_.size(); }
+  core::VectorId entry_point() const { return entry_; }
+  std::size_t inserted_count() const { return inserted_; }
+
+  /// Persists the full index (levels, entry point, base graph and layer
+  /// graphs). The raw vectors are not included; Load() must be given the
+  /// same dataset.
+  core::Status Save(const std::string& path) const;
+  core::Status Load(const std::string& path, const core::Dataset& data);
+
+ private:
+  /// Greedy descent from the entry point down to (exclusive) layer
+  /// `target` → returns the entry for layer `target`.
+  core::VectorId DescendToLayer(core::DistanceComputer& dc,
+                                const float* query, std::size_t from_layer,
+                                std::size_t target) const;
+
+  void InsertNode(core::DistanceComputer& dc, core::VectorId v);
+
+  HnswParams params_;
+  core::Graph base_;                 ///< Layer 0.
+  std::vector<core::Graph> layers_;  ///< Layers 1..top.
+  std::vector<std::uint32_t> level_;
+  core::VectorId entry_ = 0;
+  std::uint32_t entry_level_ = 0;
+  std::size_t inserted_ = 0;
+  std::unique_ptr<core::Rng> level_rng_;
+  std::unique_ptr<core::VisitedTable> visited_;
+};
+
+}  // namespace gass::methods
+
+#endif  // GASS_METHODS_HNSW_INDEX_H_

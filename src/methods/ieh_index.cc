@@ -1,0 +1,40 @@
+#include "methods/ieh_index.h"
+
+#include "core/macros.h"
+
+namespace gass::methods {
+
+using core::Graph;
+using core::VectorId;
+
+BuildStats IehIndex::Build(const core::Dataset& data) {
+  GASS_CHECK(!data.empty());
+  data_ = &data;
+  core::Timer timer;
+  core::DistanceComputer dc(data);
+
+  auto lsh = std::make_shared<hash::LshIndex>(
+      hash::LshIndex::Build(data, params_.lsh, params_.seed));
+
+  // Hash-derived initial candidates for NNDescent.
+  Graph init(data.size());
+  for (VectorId v = 0; v < data.size(); ++v) {
+    for (VectorId u : lsh->Candidates(data.Row(v), params_.init_candidates)) {
+      if (u != v) init.MutableNeighbors(v).push_back(u);
+    }
+  }
+  graph_ = knngraph::NnDescent(dc, params_.nndescent, params_.seed ^ 0x1ULL,
+                               &init);
+  visited_ = std::make_unique<core::VisitedTable>(data.size());
+  seed_selector_ = std::make_unique<seeds::LshSeeds>(lsh, data.size(),
+                                                     params_.seed ^ 0x5EEDULL);
+
+  BuildStats stats;
+  stats.elapsed_seconds = timer.Seconds();
+  stats.distance_computations = dc.count();
+  stats.index_bytes = IndexBytes();
+  stats.peak_bytes = stats.index_bytes * 2 + init.MemoryBytes();
+  return stats;
+}
+
+}  // namespace gass::methods

@@ -1,0 +1,31 @@
+// KGraph (Dong et al.) — the original Neighborhood Propagation method: an
+// approximate k-NN graph produced by NNDescent over a random initial graph,
+// searched with KS (random) seeding.
+
+#ifndef GASS_METHODS_KGRAPH_INDEX_H_
+#define GASS_METHODS_KGRAPH_INDEX_H_
+
+#include "knngraph/nndescent.h"
+#include "methods/graph_index.h"
+
+namespace gass::methods {
+
+struct KgraphParams {
+  knngraph::NnDescentParams nndescent;  ///< k is the graph out-degree.
+  std::uint64_t seed = 42;
+};
+
+class KgraphIndex : public SingleGraphIndex {
+ public:
+  explicit KgraphIndex(const KgraphParams& params) : params_(params) {}
+
+  std::string Name() const override { return "KGraph"; }
+  BuildStats Build(const core::Dataset& data) override;
+
+ private:
+  KgraphParams params_;
+};
+
+}  // namespace gass::methods
+
+#endif  // GASS_METHODS_KGRAPH_INDEX_H_

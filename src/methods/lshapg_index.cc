@@ -1,0 +1,94 @@
+#include "methods/lshapg_index.h"
+
+#include <algorithm>
+
+#include "core/macros.h"
+#include "core/neighbor.h"
+
+namespace gass::methods {
+
+using core::Neighbor;
+using core::VectorId;
+
+BuildStats LshApgIndex::Build(const core::Dataset& data) {
+  GASS_CHECK(!data.empty());
+  data_ = &data;
+  core::Timer timer;
+
+  // Reuse HNSW's incremental construction for the base-layer graph; only
+  // layer 0 is kept (the hierarchy is replaced by LSH seeding).
+  HnswParams hnsw_params = params_.hnsw;
+  hnsw_params.seed = params_.seed;
+  HnswIndex hnsw(hnsw_params);
+  const BuildStats hnsw_stats = hnsw.Build(data);
+  graph_ = hnsw.graph();
+
+  lsh_ = std::make_shared<const hash::LshIndex>(
+      hash::LshIndex::Build(data, params_.lsh, params_.seed ^ 0x15A4ULL));
+  seed_selector_ = std::make_unique<seeds::LshSeeds>(
+      lsh_, data.size(), params_.seed ^ 0x5EEDULL);
+  visited_ = std::make_unique<core::VisitedTable>(data.size());
+
+  BuildStats stats;
+  stats.elapsed_seconds = timer.Seconds();
+  stats.distance_computations = hnsw_stats.distance_computations;
+  stats.index_bytes = IndexBytes();
+  stats.peak_bytes = stats.index_bytes + hnsw_stats.index_bytes;
+  return stats;
+}
+
+SearchResult LshApgIndex::Search(const float* query,
+                                 const SearchParams& params) {
+  GASS_CHECK_MSG(data_ != nullptr, "Search before Build");
+  SearchResult result;
+  core::Timer timer;
+  core::DistanceComputer dc(*data_);
+
+  const std::vector<VectorId> seeds =
+      seed_selector_->Select(dc, query, params.num_seeds);
+
+  // Beam search with probabilistic routing: each unvisited neighbor's
+  // projected distance gates the exact evaluation.
+  const std::size_t width = std::max(params.beam_width, params.k);
+  core::CandidatePool pool(width);
+  visited_->NewEpoch();
+  const std::vector<float> query_projection = lsh_->ProjectQuery(query);
+
+  for (VectorId seed : seeds) {
+    if (!visited_->TryVisit(seed)) continue;
+    pool.Insert(Neighbor(seed, dc.ToQuery(query, seed)));
+  }
+  for (;;) {
+    const std::size_t next = pool.FirstUnexplored();
+    if (next == pool.size()) break;
+    const VectorId v = pool[next].id;
+    pool.MarkExplored(next);
+    ++result.stats.hops;
+    for (VectorId u : graph_.Neighbors(v)) {
+      if (!visited_->TryVisit(u)) continue;
+      const float worst = pool.WorstDistance();
+      if (pool.full()) {
+        // Projected pre-screen (the LSB-derived routing test): skip the
+        // exact distance when even the optimistic projection is far beyond
+        // the pool's worst answer.
+        const float projected = lsh_->ProjectedDistance(query_projection, u);
+        if (projected >= params_.routing_beta * worst) continue;
+      }
+      const float d = dc.ToQuery(query, u);
+      if (d >= pool.WorstDistance()) continue;
+      pool.Insert(Neighbor(u, d));
+    }
+  }
+  result.neighbors = pool.TopK(params.k);
+  result.stats.distance_computations = dc.count();
+  result.stats.elapsed_seconds = timer.Seconds();
+  return result;
+}
+
+std::size_t LshApgIndex::IndexBytes() const {
+  std::size_t total = graph_.MemoryBytes();
+  if (lsh_ != nullptr) total += lsh_->MemoryBytes();
+  return total;
+}
+
+}  // namespace gass::methods

@@ -1,0 +1,85 @@
+#include "methods/ngt_index.h"
+
+#include <algorithm>
+
+#include "core/beam_search.h"
+#include "core/macros.h"
+#include "diversify/diversify.h"
+
+namespace gass::methods {
+
+using core::Graph;
+using core::Neighbor;
+using core::VectorId;
+
+BuildStats NgtIndex::Build(const core::Dataset& data) {
+  GASS_CHECK(!data.empty());
+  data_ = &data;
+  core::Timer timer;
+  core::DistanceComputer dc(data);
+
+  // Bi-directed k-NN graph.
+  graph_ = knngraph::NnDescent(dc, params_.nndescent, params_.seed);
+  graph_.MakeUndirected();
+
+  // RND prune every (now enlarged) neighbor list.
+  diversify::Params prune;
+  prune.strategy = diversify::Strategy::kRnd;
+  prune.max_degree = params_.max_degree;
+  for (VectorId v = 0; v < data.size(); ++v) {
+    auto& list = graph_.MutableNeighbors(v);
+    std::vector<Neighbor> candidates;
+    candidates.reserve(list.size());
+    for (VectorId u : list) candidates.emplace_back(u, dc.Between(v, u));
+    std::sort(candidates.begin(), candidates.end());
+    const std::vector<Neighbor> kept =
+        diversify::Diversify(dc, v, candidates, prune);
+    list.clear();
+    for (const Neighbor& nb : kept) list.push_back(nb.id);
+  }
+
+  vp_tree_ = std::make_unique<trees::VpTree>(
+      trees::VpTree::Build(data, params_.seed ^ 0x7EEULL));
+  visited_ = std::make_unique<core::VisitedTable>(data.size());
+
+  BuildStats stats;
+  stats.elapsed_seconds = timer.Seconds();
+  stats.distance_computations = dc.count();
+  stats.index_bytes = IndexBytes();
+  stats.peak_bytes = stats.index_bytes * 2;
+  return stats;
+}
+
+SearchResult NgtIndex::Search(const float* query, const SearchParams& params) {
+  GASS_CHECK_MSG(data_ != nullptr, "Search before Build");
+  SearchResult result;
+  core::Timer timer;
+  core::DistanceComputer dc(*data_);
+
+  // VP-tree seed retrieval (distances inside the tree are charged manually:
+  // every visit evaluates one vantage point).
+  const std::vector<Neighbor> found = vp_tree_->Search(
+      *data_, query, std::max<std::size_t>(1, params.num_seeds),
+      params_.vp_seed_visits);
+  dc.AddCount(std::min<std::uint64_t>(params_.vp_seed_visits,
+                                      data_->size()));
+  std::vector<VectorId> seeds;
+  seeds.reserve(found.size());
+  for (const Neighbor& nb : found) seeds.push_back(nb.id);
+  if (seeds.empty()) seeds.push_back(0);
+
+  result.neighbors =
+      core::BeamSearch(graph_, dc, query, seeds, params.k, params.beam_width,
+                       visited_.get(), &result.stats);
+  result.stats.distance_computations = dc.count();
+  result.stats.elapsed_seconds = timer.Seconds();
+  return result;
+}
+
+std::size_t NgtIndex::IndexBytes() const {
+  std::size_t total = graph_.MemoryBytes();
+  if (vp_tree_ != nullptr) total += vp_tree_->MemoryBytes();
+  return total;
+}
+
+}  // namespace gass::methods

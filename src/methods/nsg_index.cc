@@ -1,0 +1,89 @@
+#include "methods/nsg_index.h"
+
+#include <algorithm>
+
+#include "core/beam_search.h"
+#include "core/macros.h"
+#include "diversify/diversify.h"
+#include "methods/base_graphs.h"
+#include "methods/build_util.h"
+
+namespace gass::methods {
+
+using core::Graph;
+using core::Neighbor;
+using core::VectorId;
+
+BuildStats NsgIndex::Build(const core::Dataset& data) {
+  GASS_CHECK(!data.empty());
+  data_ = &data;
+  core::Timer timer;
+  core::DistanceComputer dc(data);
+
+  Graph base = BuildEfannaBaseGraph(
+      dc, params_.nndescent, params_.num_trees, params_.tree_leaf_size,
+      params_.init_candidates, params_.seed);
+
+  medoid_ = seeds::ComputeMedoid(data);
+  visited_ = std::make_unique<core::VisitedTable>(data.size());
+
+  diversify::Params prune;
+  prune.strategy = diversify::Strategy::kRnd;
+  prune.max_degree = params_.max_degree;
+
+  graph_ = Graph(data.size());
+  std::vector<Neighbor> evaluated;
+  for (VectorId v = 0; v < data.size(); ++v) {
+    core::BeamSearchCollect(base, dc, data.Row(v), {medoid_},
+                            params_.build_beam_width,
+                            params_.build_beam_width, visited_.get(),
+                            &evaluated);
+    // Candidate set: the visited nodes plus v's base-graph neighbors.
+    for (VectorId u : base.Neighbors(v)) {
+      evaluated.emplace_back(u, dc.Between(v, u));
+    }
+    std::sort(evaluated.begin(), evaluated.end());
+    evaluated.erase(std::unique(evaluated.begin(), evaluated.end()),
+                    evaluated.end());
+    const std::vector<Neighbor> kept =
+        diversify::Diversify(dc, v, evaluated, prune);
+    InstallBidirectional(dc, &graph_, v, kept, prune);
+  }
+
+  EnsureConnectedFrom(dc, &graph_, medoid_, params_.build_beam_width,
+                      visited_.get());
+
+  query_rng_ = std::make_unique<core::Rng>(params_.seed ^ 0x5EEDULL);
+
+  BuildStats stats;
+  stats.elapsed_seconds = timer.Seconds();
+  stats.distance_computations = dc.count();
+  stats.index_bytes = IndexBytes();
+  // The EFANNA base graph (plus its build pools) dominates the transient
+  // footprint — the effect the paper highlights for NSG/SSG.
+  stats.peak_bytes = stats.index_bytes + base.MemoryBytes() * 3;
+  return stats;
+}
+
+SearchResult NsgIndex::Search(const float* query, const SearchParams& params) {
+  GASS_CHECK_MSG(data_ != nullptr, "Search before Build");
+  SearchResult result;
+  core::Timer timer;
+  core::DistanceComputer dc(*data_);
+
+  // MD + KS: the medoid as entry plus random warm-up seeds.
+  std::vector<VectorId> seeds{medoid_};
+  for (std::size_t s = 1; s < std::max<std::size_t>(1, params.num_seeds);
+       ++s) {
+    seeds.push_back(
+        static_cast<VectorId>(query_rng_->UniformInt(data_->size())));
+  }
+  result.neighbors =
+      core::BeamSearch(graph_, dc, query, seeds, params.k, params.beam_width,
+                       visited_.get(), &result.stats);
+  result.stats.distance_computations = dc.count();
+  result.stats.elapsed_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace gass::methods

@@ -1,0 +1,73 @@
+#include "methods/nsw_index.h"
+
+#include <algorithm>
+
+#include "core/beam_search.h"
+#include "core/macros.h"
+#include "core/rng.h"
+#include "methods/build_util.h"
+
+namespace gass::methods {
+
+using core::DistanceComputer;
+using core::Graph;
+using core::Neighbor;
+using core::Rng;
+using core::VectorId;
+
+BuildStats NswIndex::Build(const core::Dataset& data) {
+  GASS_CHECK(!data.empty());
+  data_ = &data;
+  core::Timer timer;
+  DistanceComputer dc(data);
+  Rng rng(params_.seed);
+
+  const std::size_t n = data.size();
+  graph_ = Graph(n);
+  visited_ = std::make_unique<core::VisitedTable>(n);
+
+  for (VectorId v = 1; v < n; ++v) {
+    std::vector<VectorId> seeds{0};
+    for (std::size_t s = 1; s < 4; ++s) {
+      seeds.push_back(static_cast<VectorId>(rng.UniformInt(v)));
+    }
+    std::vector<Neighbor> candidates = core::BeamSearch(
+        graph_, dc, data.Row(v), seeds, params_.max_degree,
+        params_.build_beam_width, visited_.get());
+    if (candidates.size() > params_.max_degree) {
+      candidates.resize(params_.max_degree);
+    }
+    // Bidirectional links without diversification; in-degrees are only
+    // capped (nearest-first) when they exceed the hard limit.
+    auto& forward = graph_.MutableNeighbors(v);
+    for (const Neighbor& nb : candidates) {
+      forward.push_back(nb.id);
+      auto& back = graph_.MutableNeighbors(nb.id);
+      if (std::find(back.begin(), back.end(), v) == back.end()) {
+        back.push_back(v);
+        if (back.size() > params_.degree_cap) {
+          std::vector<Neighbor> scored;
+          scored.reserve(back.size());
+          for (VectorId u : back) scored.emplace_back(u, dc.Between(nb.id, u));
+          std::sort(scored.begin(), scored.end());
+          back.clear();
+          for (std::size_t i = 0; i < params_.degree_cap; ++i) {
+            back.push_back(scored[i].id);
+          }
+        }
+      }
+    }
+  }
+
+  seed_selector_ =
+      std::make_unique<seeds::KsRandomSeeds>(n, params_.seed ^ 0x5EEDULL);
+
+  BuildStats stats;
+  stats.elapsed_seconds = timer.Seconds();
+  stats.distance_computations = dc.count();
+  stats.index_bytes = IndexBytes();
+  stats.peak_bytes = stats.index_bytes;
+  return stats;
+}
+
+}  // namespace gass::methods

@@ -1,0 +1,77 @@
+#include "methods/sptag_index.h"
+
+#include <algorithm>
+
+#include "core/macros.h"
+#include "core/rng.h"
+#include "diversify/diversify.h"
+#include "knngraph/exact_knn_graph.h"
+
+namespace gass::methods {
+
+using core::Graph;
+using core::Neighbor;
+using core::Rng;
+using core::VectorId;
+
+BuildStats SptagIndex::Build(const core::Dataset& data) {
+  GASS_CHECK(!data.empty());
+  data_ = &data;
+  core::Timer timer;
+  core::DistanceComputer dc(data);
+  Rng rng(params_.seed);
+
+  // Merge exact per-leaf k-NN graphs across several TP-tree partitions.
+  graph_ = Graph(data.size());
+  for (std::size_t p = 0; p < params_.num_partitions; ++p) {
+    const auto leaves =
+        trees::TpTreePartition(data, params_.tp_tree, rng.Next());
+    for (const auto& leaf : leaves) {
+      knngraph::AddExactKnnEdgesOnSubset(dc, leaf, params_.leaf_knn,
+                                         &graph_);
+    }
+  }
+
+  // RND refinement of the merged lists.
+  diversify::Params prune;
+  prune.strategy = diversify::Strategy::kRnd;
+  prune.max_degree = params_.max_degree;
+  for (VectorId v = 0; v < data.size(); ++v) {
+    auto& list = graph_.MutableNeighbors(v);
+    std::vector<Neighbor> candidates;
+    candidates.reserve(list.size());
+    for (VectorId u : list) candidates.emplace_back(u, dc.Between(v, u));
+    std::sort(candidates.begin(), candidates.end());
+    const std::vector<Neighbor> kept =
+        diversify::Diversify(dc, v, candidates, prune);
+    list.clear();
+    for (const Neighbor& nb : kept) list.push_back(nb.id);
+  }
+
+  // Seed structure.
+  if (params_.seed_tree == SptagSeedTree::kBkt) {
+    trees::BkTreeParams tree_params;
+    tree_params.branching = params_.bkt_branching;
+    auto tree = std::make_shared<trees::BkMeansTree>(
+        trees::BkMeansTree::Build(data, tree_params, rng.Next()));
+    seed_selector_ = std::make_unique<seeds::KmSeeds>(tree, data_);
+  } else {
+    trees::KdTreeParams tree_params;
+    auto forest = std::make_shared<trees::KdForest>(trees::KdForest::Build(
+        data, params_.kd_num_trees, tree_params, rng.Next()));
+    seed_selector_ = std::make_unique<seeds::KdSeeds>(forest, data_);
+  }
+  visited_ = std::make_unique<core::VisitedTable>(data.size());
+
+  BuildStats stats;
+  stats.elapsed_seconds = timer.Seconds();
+  stats.distance_computations = dc.count();
+  stats.index_bytes = IndexBytes();
+  // Pre-refinement merged lists are num_partitions times larger than the
+  // final pruned graph.
+  stats.peak_bytes =
+      stats.index_bytes + graph_.MemoryBytes() * params_.num_partitions;
+  return stats;
+}
+
+}  // namespace gass::methods

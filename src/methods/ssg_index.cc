@@ -1,0 +1,80 @@
+#include "methods/ssg_index.h"
+
+#include <algorithm>
+
+#include "core/macros.h"
+#include "core/rng.h"
+#include "diversify/diversify.h"
+#include "methods/base_graphs.h"
+#include "methods/build_util.h"
+
+namespace gass::methods {
+
+using core::Graph;
+using core::Neighbor;
+using core::Rng;
+using core::VectorId;
+
+BuildStats SsgIndex::Build(const core::Dataset& data) {
+  GASS_CHECK(!data.empty());
+  data_ = &data;
+  core::Timer timer;
+  core::DistanceComputer dc(data);
+
+  Graph base = BuildEfannaBaseGraph(
+      dc, params_.nndescent, params_.num_trees, params_.tree_leaf_size,
+      params_.init_candidates, params_.seed);
+
+  visited_ = std::make_unique<core::VisitedTable>(data.size());
+
+  diversify::Params prune;
+  prune.strategy = diversify::Strategy::kMond;
+  prune.theta_degrees = params_.theta_degrees;
+  prune.max_degree = params_.max_degree;
+
+  graph_ = Graph(data.size());
+  for (VectorId v = 0; v < data.size(); ++v) {
+    // Local expansion: 1-hop plus 2-hop base-graph neighbors, capped.
+    visited_->NewEpoch();
+    visited_->MarkVisited(v);
+    std::vector<Neighbor> candidates;
+    for (VectorId u : base.Neighbors(v)) {
+      if (!visited_->TryVisit(u)) continue;
+      candidates.emplace_back(u, dc.Between(v, u));
+    }
+    const std::size_t one_hop = candidates.size();
+    for (std::size_t i = 0;
+         i < one_hop && candidates.size() < params_.expansion_limit; ++i) {
+      for (VectorId w : base.Neighbors(candidates[i].id)) {
+        if (candidates.size() >= params_.expansion_limit) break;
+        if (!visited_->TryVisit(w)) continue;
+        candidates.emplace_back(w, dc.Between(v, w));
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    const std::vector<Neighbor> kept =
+        diversify::Diversify(dc, v, candidates, prune);
+    InstallBidirectional(dc, &graph_, v, kept, prune);
+  }
+
+  // Multiple DFS-tree connectivity repairs from random roots.
+  Rng rng(params_.seed ^ 0xD00DULL);
+  for (std::size_t t = 0; t < params_.num_dfs_roots; ++t) {
+    const VectorId root =
+        static_cast<VectorId>(rng.UniformInt(data.size()));
+    EnsureConnectedFrom(dc, &graph_, root, params_.max_degree * 4,
+                        visited_.get());
+  }
+
+  seed_selector_ = std::make_unique<seeds::KsRandomSeeds>(
+      data.size(), params_.seed ^ 0x5EEDULL);
+
+  BuildStats stats;
+  stats.elapsed_seconds = timer.Seconds();
+  stats.distance_computations = dc.count();
+  stats.index_bytes = IndexBytes();
+  stats.peak_bytes = stats.index_bytes + base.MemoryBytes() * 3;
+  return stats;
+}
+
+}  // namespace gass::methods

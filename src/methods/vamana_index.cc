@@ -1,0 +1,106 @@
+#include "methods/vamana_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/beam_search.h"
+#include "core/macros.h"
+#include "diversify/diversify.h"
+#include "methods/base_graphs.h"
+#include "methods/build_util.h"
+
+namespace gass::methods {
+
+using core::Graph;
+using core::Neighbor;
+using core::Rng;
+using core::VectorId;
+
+void VamanaIndex::RefinePass(core::DistanceComputer& dc, float alpha,
+                             const std::vector<VectorId>& order) {
+  diversify::Params prune;
+  prune.strategy = alpha <= 1.0f ? diversify::Strategy::kRnd
+                                 : diversify::Strategy::kRrnd;
+  prune.alpha = alpha;
+  prune.max_degree = params_.max_degree;
+
+  std::vector<Neighbor> evaluated;
+  for (VectorId v : order) {
+    core::BeamSearchCollect(graph_, dc, data_->Row(v), {medoid_},
+                            params_.build_beam_width,
+                            params_.build_beam_width, visited_.get(),
+                            &evaluated);
+    for (VectorId u : graph_.Neighbors(v)) {
+      evaluated.emplace_back(u, dc.Between(v, u));
+    }
+    std::sort(evaluated.begin(), evaluated.end());
+    evaluated.erase(std::unique(evaluated.begin(), evaluated.end()),
+                    evaluated.end());
+    const std::vector<Neighbor> kept =
+        diversify::Diversify(dc, v, evaluated, prune);
+    InstallBidirectional(dc, &graph_, v, kept, prune);
+  }
+}
+
+BuildStats VamanaIndex::Build(const core::Dataset& data) {
+  GASS_CHECK(!data.empty());
+  data_ = &data;
+  core::Timer timer;
+  core::DistanceComputer dc(data);
+
+  const std::size_t n = data.size();
+  // Initial degree ≥ log2(n), capped by R.
+  const std::size_t init_degree = std::min(
+      params_.max_degree,
+      std::max<std::size_t>(4, static_cast<std::size_t>(
+                                   std::ceil(std::log2(std::max<std::size_t>(
+                                       2, n))))));
+  graph_ = RandomRegularGraph(n, init_degree, params_.seed);
+  visited_ = std::make_unique<core::VisitedTable>(n);
+  medoid_ = seeds::ComputeMedoid(data);
+
+  // Random insertion order, reshuffled between passes.
+  Rng rng(params_.seed ^ 0xABCDULL);
+  std::vector<VectorId> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<VectorId>(i);
+  for (std::size_t i = n; i-- > 1;) {
+    std::swap(order[i], order[rng.UniformInt(i + 1)]);
+  }
+  RefinePass(dc, 1.0f, order);
+  for (std::size_t i = n; i-- > 1;) {
+    std::swap(order[i], order[rng.UniformInt(i + 1)]);
+  }
+  RefinePass(dc, params_.alpha, order);
+
+  query_rng_ = std::make_unique<Rng>(params_.seed ^ 0x5EEDULL);
+
+  BuildStats stats;
+  stats.elapsed_seconds = timer.Seconds();
+  stats.distance_computations = dc.count();
+  stats.index_bytes = IndexBytes();
+  stats.peak_bytes = stats.index_bytes;
+  return stats;
+}
+
+SearchResult VamanaIndex::Search(const float* query,
+                                 const SearchParams& params) {
+  GASS_CHECK_MSG(data_ != nullptr, "Search before Build");
+  SearchResult result;
+  core::Timer timer;
+  core::DistanceComputer dc(*data_);
+
+  std::vector<VectorId> seeds{medoid_};
+  for (std::size_t s = 1; s < std::max<std::size_t>(1, params.num_seeds);
+       ++s) {
+    seeds.push_back(
+        static_cast<VectorId>(query_rng_->UniformInt(data_->size())));
+  }
+  result.neighbors =
+      core::BeamSearch(graph_, dc, query, seeds, params.k, params.beam_width,
+                       visited_.get(), &result.stats);
+  result.stats.distance_computations = dc.count();
+  result.stats.elapsed_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace gass::methods

@@ -1,0 +1,72 @@
+// IVF-PQ (Jégou et al., paper Section 2): a coarse k-means partitions the
+// data into posting lists; each member is stored as a PQ code of its
+// residual-free vector. Queries probe the nprobe nearest lists and rank
+// members by ADC distance.
+//
+// Besides being a classic baseline family, IVF-PQ backs the prototype of
+// the paper's research direction (2): using a scalable structure to find
+// neighbor candidates during graph construction
+// (methods::IiBaselineParams::candidate_source).
+
+#ifndef GASS_QUANTIZE_IVF_PQ_H_
+#define GASS_QUANTIZE_IVF_PQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/neighbor.h"
+#include "core/stats.h"
+#include "quantize/product_quantizer.h"
+
+namespace gass::quantize {
+
+/// IVF-PQ parameters.
+struct IvfPqParams {
+  std::size_t num_lists = 64;       ///< Coarse codebook size (nlist).
+  std::size_t kmeans_iters = 10;
+  PqParams pq;
+};
+
+/// Inverted-file index with PQ-compressed postings.
+class IvfPqIndex {
+ public:
+  static IvfPqIndex Build(const core::Dataset& data, const IvfPqParams& params,
+                          std::uint64_t seed);
+
+  /// ANN search probing `nprobe` lists; distances are ADC estimates, then
+  /// optionally re-ranked exactly against `data` when `rerank` > 0 (the
+  /// top `rerank` ADC candidates are re-scored with true distances).
+  std::vector<core::Neighbor> Search(const core::Dataset& data,
+                                     const float* query, std::size_t k,
+                                     std::size_t nprobe,
+                                     std::size_t rerank = 0,
+                                     core::SearchStats* stats = nullptr) const;
+
+  /// Candidate ids from the `nprobe` nearest lists, ADC-ranked, capped at
+  /// `count` — the graph-construction assist.
+  std::vector<core::VectorId> Candidates(const float* query,
+                                         std::size_t count,
+                                         std::size_t nprobe) const;
+
+  std::size_t num_lists() const { return lists_.size(); }
+  std::size_t MemoryBytes() const;
+
+ private:
+  struct List {
+    std::vector<core::VectorId> ids;
+    std::vector<std::uint8_t> codes;  ///< ids.size() × code_size.
+  };
+
+  std::vector<std::size_t> NearestLists(const float* query,
+                                        std::size_t nprobe) const;
+
+  std::size_t dim_ = 0;
+  ProductQuantizer pq_;
+  std::vector<float> coarse_centroids_;  ///< num_lists × dim.
+  std::vector<List> lists_;
+};
+
+}  // namespace gass::quantize
+
+#endif  // GASS_QUANTIZE_IVF_PQ_H_

@@ -1,0 +1,137 @@
+#include "quantize/product_quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/distance.h"
+#include "core/macros.h"
+#include "core/rng.h"
+
+namespace gass::quantize {
+
+using core::Rng;
+using core::VectorId;
+
+const float* ProductQuantizer::Centroid(std::size_t m, std::size_t c) const {
+  return centroids_.data() + offsets_[m] + c * SubspaceLength(m);
+}
+
+ProductQuantizer ProductQuantizer::Train(const core::Dataset& data,
+                                         const PqParams& params,
+                                         std::uint64_t seed) {
+  GASS_CHECK(!data.empty());
+  GASS_CHECK(params.codebook_size >= 2 && params.codebook_size <= 256);
+  ProductQuantizer pq;
+  pq.dim_ = data.dim();
+  const std::size_t subspaces =
+      std::max<std::size_t>(1, std::min(params.num_subspaces, data.dim()));
+  pq.codebook_size_ =
+      std::min(params.codebook_size, data.size());
+  pq.starts_.resize(subspaces + 1);
+  for (std::size_t m = 0; m <= subspaces; ++m) {
+    pq.starts_[m] = m * data.dim() / subspaces;
+  }
+  pq.offsets_.resize(subspaces);
+
+  Rng rng(seed);
+  std::size_t total_floats = 0;
+  for (std::size_t m = 0; m < subspaces; ++m) {
+    pq.offsets_[m] = total_floats;
+    total_floats += pq.codebook_size_ * pq.SubspaceLength(m);
+  }
+  pq.centroids_.assign(total_floats, 0.0f);
+
+  // Per-subspace Lloyd's k-means.
+  std::vector<std::uint32_t> assignment(data.size());
+  for (std::size_t m = 0; m < subspaces; ++m) {
+    const std::size_t begin = pq.starts_[m];
+    const std::size_t len = pq.SubspaceLength(m);
+    float* codebook = pq.centroids_.data() + pq.offsets_[m];
+
+    // Seed centroids from random points.
+    for (std::size_t c = 0; c < pq.codebook_size_; ++c) {
+      const float* row =
+          data.Row(static_cast<VectorId>(rng.UniformInt(data.size())));
+      std::copy(row + begin, row + begin + len, codebook + c * len);
+    }
+    for (std::size_t iter = 0; iter < params.kmeans_iters; ++iter) {
+      bool changed = false;
+      for (VectorId i = 0; i < data.size(); ++i) {
+        const float* sub = data.Row(i) + begin;
+        float best = 3.402823466e38f;
+        std::uint32_t best_c = 0;
+        for (std::size_t c = 0; c < pq.codebook_size_; ++c) {
+          const float d = core::L2Sq(sub, codebook + c * len, len);
+          if (d < best) {
+            best = d;
+            best_c = static_cast<std::uint32_t>(c);
+          }
+        }
+        if (iter == 0 || assignment[i] != best_c) {
+          assignment[i] = best_c;
+          changed = true;
+        }
+      }
+      std::vector<double> sums(pq.codebook_size_ * len, 0.0);
+      std::vector<std::size_t> counts(pq.codebook_size_, 0);
+      for (VectorId i = 0; i < data.size(); ++i) {
+        const float* sub = data.Row(i) + begin;
+        const std::uint32_t c = assignment[i];
+        ++counts[c];
+        for (std::size_t d = 0; d < len; ++d) sums[c * len + d] += sub[d];
+      }
+      for (std::size_t c = 0; c < pq.codebook_size_; ++c) {
+        if (counts[c] == 0) {
+          const float* row =
+              data.Row(static_cast<VectorId>(rng.UniformInt(data.size())));
+          std::copy(row + begin, row + begin + len, codebook + c * len);
+          continue;
+        }
+        for (std::size_t d = 0; d < len; ++d) {
+          codebook[c * len + d] = static_cast<float>(
+              sums[c * len + d] / static_cast<double>(counts[c]));
+        }
+      }
+      if (!changed) break;
+    }
+  }
+  return pq;
+}
+
+void ProductQuantizer::Encode(const float* vector, std::uint8_t* code) const {
+  for (std::size_t m = 0; m < num_subspaces(); ++m) {
+    const std::size_t len = SubspaceLength(m);
+    const float* sub = vector + starts_[m];
+    float best = 3.402823466e38f;
+    std::uint8_t best_c = 0;
+    for (std::size_t c = 0; c < codebook_size_; ++c) {
+      const float d = core::L2Sq(sub, Centroid(m, c), len);
+      if (d < best) {
+        best = d;
+        best_c = static_cast<std::uint8_t>(c);
+      }
+    }
+    code[m] = best_c;
+  }
+}
+
+void ProductQuantizer::Decode(const std::uint8_t* code, float* vector) const {
+  for (std::size_t m = 0; m < num_subspaces(); ++m) {
+    const float* centroid = Centroid(m, code[m]);
+    std::copy(centroid, centroid + SubspaceLength(m), vector + starts_[m]);
+  }
+}
+
+std::vector<float> ProductQuantizer::BuildAdcTable(const float* query) const {
+  std::vector<float> table(num_subspaces() * codebook_size_);
+  for (std::size_t m = 0; m < num_subspaces(); ++m) {
+    const std::size_t len = SubspaceLength(m);
+    const float* sub = query + starts_[m];
+    for (std::size_t c = 0; c < codebook_size_; ++c) {
+      table[m * codebook_size_ + c] = core::L2Sq(sub, Centroid(m, c), len);
+    }
+  }
+  return table;
+}
+
+}  // namespace gass::quantize

@@ -1,0 +1,73 @@
+// Product quantization (Jégou et al., paper Section 2): the vector is split
+// into M subvectors, each quantized by its own k-means codebook; asymmetric
+// distances are computed from a per-query lookup table (ADC).
+
+#ifndef GASS_QUANTIZE_PRODUCT_QUANTIZER_H_
+#define GASS_QUANTIZE_PRODUCT_QUANTIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace gass::quantize {
+
+/// PQ training parameters.
+struct PqParams {
+  std::size_t num_subspaces = 8;     ///< M.
+  std::size_t codebook_size = 256;   ///< ks (fits one uint8 per subspace).
+  std::size_t kmeans_iters = 10;
+};
+
+/// A trained product quantizer.
+class ProductQuantizer {
+ public:
+  static ProductQuantizer Train(const core::Dataset& data,
+                                const PqParams& params, std::uint64_t seed);
+
+  std::size_t dim() const { return dim_; }
+  std::size_t num_subspaces() const { return starts_.size() - 1; }
+  std::size_t code_size() const { return num_subspaces(); }
+
+  /// Encodes one vector into num_subspaces() bytes.
+  void Encode(const float* vector, std::uint8_t* code) const;
+
+  /// Decodes a code into the concatenation of its centroids.
+  void Decode(const std::uint8_t* code, float* vector) const;
+
+  /// Builds the query's ADC table: num_subspaces × codebook_size partial
+  /// squared distances.
+  std::vector<float> BuildAdcTable(const float* query) const;
+
+  /// Squared-distance estimate from an ADC table and a code.
+  float AdcDistance(const std::vector<float>& table,
+                    const std::uint8_t* code) const {
+    float acc = 0.0f;
+    for (std::size_t m = 0; m < num_subspaces(); ++m) {
+      acc += table[m * codebook_size_ + code[m]];
+    }
+    return acc;
+  }
+
+  std::size_t codebook_size() const { return codebook_size_; }
+  std::size_t MemoryBytes() const {
+    return centroids_.size() * sizeof(float);
+  }
+
+ private:
+  std::size_t SubspaceLength(std::size_t m) const {
+    return starts_[m + 1] - starts_[m];
+  }
+  const float* Centroid(std::size_t m, std::size_t c) const;
+
+  std::size_t dim_ = 0;
+  std::size_t codebook_size_ = 0;
+  std::vector<std::size_t> starts_;   ///< Subspace boundaries (M + 1).
+  std::vector<float> centroids_;      ///< Per subspace: ks × sublen floats.
+  std::vector<std::size_t> offsets_;  ///< Float offset of each subspace's
+                                      ///< codebook inside centroids_.
+};
+
+}  // namespace gass::quantize
+
+#endif  // GASS_QUANTIZE_PRODUCT_QUANTIZER_H_

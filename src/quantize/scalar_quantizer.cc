@@ -1,0 +1,56 @@
+#include "quantize/scalar_quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/macros.h"
+
+namespace gass::quantize {
+
+ScalarQuantizer ScalarQuantizer::Train(const core::Dataset& data) {
+  GASS_CHECK(!data.empty());
+  const std::size_t dim = data.dim();
+  ScalarQuantizer sq;
+  sq.mins_.assign(dim, 3.402823466e38f);
+  std::vector<float> maxs(dim, -3.402823466e38f);
+  for (core::VectorId i = 0; i < data.size(); ++i) {
+    const float* row = data.Row(i);
+    for (std::size_t d = 0; d < dim; ++d) {
+      sq.mins_[d] = std::min(sq.mins_[d], row[d]);
+      maxs[d] = std::max(maxs[d], row[d]);
+    }
+  }
+  sq.scales_.resize(dim);
+  for (std::size_t d = 0; d < dim; ++d) {
+    sq.scales_[d] = std::max(1e-12f, (maxs[d] - sq.mins_[d]) / 255.0f);
+  }
+  return sq;
+}
+
+void ScalarQuantizer::Encode(const float* vector, std::uint8_t* code) const {
+  for (std::size_t d = 0; d < dim(); ++d) {
+    const float cell = (vector[d] - mins_[d]) / scales_[d];
+    code[d] = static_cast<std::uint8_t>(
+        std::clamp(std::lround(cell), 0L, 255L));
+  }
+}
+
+void ScalarQuantizer::Decode(const std::uint8_t* code, float* vector) const {
+  for (std::size_t d = 0; d < dim(); ++d) {
+    vector[d] = mins_[d] + static_cast<float>(code[d]) * scales_[d];
+  }
+}
+
+float ScalarQuantizer::AsymmetricL2Sq(const float* query,
+                                      const std::uint8_t* code) const {
+  float acc = 0.0f;
+  for (std::size_t d = 0; d < dim(); ++d) {
+    const float decoded =
+        mins_[d] + static_cast<float>(code[d]) * scales_[d];
+    const float delta = query[d] - decoded;
+    acc += delta * delta;
+  }
+  return acc;
+}
+
+}  // namespace gass::quantize

@@ -1,0 +1,43 @@
+// Scalar quantization (Section 2 of the paper): each dimension is mapped
+// independently onto an 8-bit grid between its observed min and max.
+
+#ifndef GASS_QUANTIZE_SCALAR_QUANTIZER_H_
+#define GASS_QUANTIZE_SCALAR_QUANTIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace gass::quantize {
+
+/// Per-dimension uint8 quantizer trained on a dataset.
+class ScalarQuantizer {
+ public:
+  /// Learns per-dimension [min, max] ranges from `data`.
+  static ScalarQuantizer Train(const core::Dataset& data);
+
+  std::size_t dim() const { return mins_.size(); }
+
+  /// Encodes one vector to dim() bytes.
+  void Encode(const float* vector, std::uint8_t* code) const;
+
+  /// Decodes a code back to floats (the cell midpoint).
+  void Decode(const std::uint8_t* code, float* vector) const;
+
+  /// Squared L2 between a raw query and an encoded vector, computed against
+  /// the decoded midpoints (asymmetric distance).
+  float AsymmetricL2Sq(const float* query, const std::uint8_t* code) const;
+
+  std::size_t MemoryBytes() const {
+    return (mins_.size() + scales_.size()) * sizeof(float);
+  }
+
+ private:
+  std::vector<float> mins_;
+  std::vector<float> scales_;  ///< (max - min) / 255, floored at epsilon.
+};
+
+}  // namespace gass::quantize
+
+#endif  // GASS_QUANTIZE_SCALAR_QUANTIZER_H_

@@ -1,0 +1,211 @@
+// Seed Selection (SS) strategies — Section 3.3 of the paper.
+//
+// A SeedSelector produces the initial candidate nodes that warm up beam
+// search (Algorithm 1). The seven strategies studied by the paper:
+//
+//   SN  — Stacked NSW: greedy descent through hierarchical NSW layers
+//         (HNSW, ELPIS).
+//   KD  — DFS over randomized K-D trees (EFANNA, SPTAG-KDT, HCNNG).
+//   LSH — bucket mates from an LSH index (IEH, LSHAPG).
+//   MD  — the dataset medoid and its graph neighbors (NSG, Vamana).
+//   SF  — one fixed random node and its graph neighbors (baseline; not used
+//         by any published method).
+//   KS  — k fresh random nodes per query (KGraph, DPG, NSG, Vamana).
+//   KM  — DFS over a balanced k-means tree (SPTAG-BKT).
+
+#ifndef GASS_SEEDS_SEED_SELECTOR_H_
+#define GASS_SEEDS_SEED_SELECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/graph.h"
+#include "core/rng.h"
+#include "core/types.h"
+#include "hash/lsh.h"
+#include "trees/bk_means_tree.h"
+#include "trees/kd_tree.h"
+
+namespace gass::seeds {
+
+/// Strategy tags, mirroring the paper's acronyms.
+enum class Strategy { kSn, kKd, kLsh, kMd, kSf, kKs, kKm };
+
+std::string StrategyName(Strategy strategy);
+
+/// Produces seed node ids for a query. `count` is advisory — selectors may
+/// return fewer (e.g. MD returns the medoid plus its neighbors) but never
+/// zero on a non-empty index. Distance computations a selector performs
+/// (e.g. SN's descent) are charged to `dc`, matching how the paper accounts
+/// seed-selection overhead.
+class SeedSelector {
+ public:
+  virtual ~SeedSelector() = default;
+
+  virtual std::vector<core::VectorId> Select(core::DistanceComputer& dc,
+                                             const float* query,
+                                             std::size_t count) = 0;
+  virtual Strategy strategy() const = 0;
+  virtual std::size_t MemoryBytes() const { return 0; }
+};
+
+/// KS: `count` fresh uniform random ids per query.
+class KsRandomSeeds : public SeedSelector {
+ public:
+  KsRandomSeeds(std::size_t n, std::uint64_t seed) : n_(n), rng_(seed) {}
+  std::vector<core::VectorId> Select(core::DistanceComputer& dc,
+                                     const float* query,
+                                     std::size_t count) override;
+  Strategy strategy() const override { return Strategy::kKs; }
+
+ private:
+  std::size_t n_;
+  core::Rng rng_;
+};
+
+/// SF: one fixed node (chosen once at random) plus its graph neighbors.
+class SfFixedSeed : public SeedSelector {
+ public:
+  SfFixedSeed(core::VectorId fixed, const core::Graph* graph)
+      : fixed_(fixed), graph_(graph) {}
+  std::vector<core::VectorId> Select(core::DistanceComputer& dc,
+                                     const float* query,
+                                     std::size_t count) override;
+  Strategy strategy() const override { return Strategy::kSf; }
+
+ private:
+  core::VectorId fixed_;
+  const core::Graph* graph_;
+};
+
+/// MD: the dataset medoid plus its graph neighbors.
+class MedoidSeeds : public SeedSelector {
+ public:
+  MedoidSeeds(core::VectorId medoid, const core::Graph* graph)
+      : medoid_(medoid), graph_(graph) {}
+  std::vector<core::VectorId> Select(core::DistanceComputer& dc,
+                                     const float* query,
+                                     std::size_t count) override;
+  Strategy strategy() const override { return Strategy::kMd; }
+  core::VectorId medoid() const { return medoid_; }
+
+ private:
+  core::VectorId medoid_;
+  const core::Graph* graph_;
+};
+
+/// KD: candidates from a randomized K-D forest.
+class KdSeeds : public SeedSelector {
+ public:
+  KdSeeds(std::shared_ptr<const trees::KdForest> forest,
+          const core::Dataset* data)
+      : forest_(std::move(forest)), data_(data) {}
+  std::vector<core::VectorId> Select(core::DistanceComputer& dc,
+                                     const float* query,
+                                     std::size_t count) override;
+  Strategy strategy() const override { return Strategy::kKd; }
+  std::size_t MemoryBytes() const override { return forest_->MemoryBytes(); }
+
+ private:
+  std::shared_ptr<const trees::KdForest> forest_;
+  const core::Dataset* data_;
+};
+
+/// KM: candidates from a balanced k-means tree.
+class KmSeeds : public SeedSelector {
+ public:
+  KmSeeds(std::shared_ptr<const trees::BkMeansTree> tree,
+          const core::Dataset* data)
+      : tree_(std::move(tree)), data_(data) {}
+  std::vector<core::VectorId> Select(core::DistanceComputer& dc,
+                                     const float* query,
+                                     std::size_t count) override;
+  Strategy strategy() const override { return Strategy::kKm; }
+  std::size_t MemoryBytes() const override { return tree_->MemoryBytes(); }
+
+ private:
+  std::shared_ptr<const trees::BkMeansTree> tree_;
+  const core::Dataset* data_;
+};
+
+/// LSH: bucket mates of the query. Out-of-distribution queries can miss
+/// every bucket; sparse results are topped up with random ids (the
+/// multi-probe fallback of practical LSH seeding).
+class LshSeeds : public SeedSelector {
+ public:
+  LshSeeds(std::shared_ptr<const hash::LshIndex> index, std::size_t n,
+           std::uint64_t seed = 0x15ADULL)
+      : index_(std::move(index)), n_(n), rng_(seed) {}
+  std::vector<core::VectorId> Select(core::DistanceComputer& dc,
+                                     const float* query,
+                                     std::size_t count) override;
+  Strategy strategy() const override { return Strategy::kLsh; }
+  std::size_t MemoryBytes() const override { return index_->MemoryBytes(); }
+
+ private:
+  std::shared_ptr<const hash::LshIndex> index_;
+  std::size_t n_;
+  core::Rng rng_;
+};
+
+/// The hierarchical NSW layer stack of HNSW (layers 1..top; layer 0 is the
+/// caller's base graph). Nodes draw their maximum layer from the
+/// geometric-like distribution of the paper's Eq. 1 and are inserted
+/// incrementally with RND-pruned neighbor lists.
+class StackedNswLayers {
+ public:
+  struct Params {
+    std::size_t max_degree = 16;  ///< M: per-layer out-degree bound.
+    std::size_t beam_width = 32;  ///< ef during layer construction.
+  };
+
+  static StackedNswLayers Build(const core::Dataset& data,
+                                const Params& params, std::uint64_t seed,
+                                core::DistanceComputer* dc);
+
+  /// Greedy descent from the top layer; returns the closest layer-1 node.
+  core::VectorId Descend(core::DistanceComputer& dc,
+                         const float* query) const;
+
+  /// Neighbors of `node` at layer 1 (empty if the node is base-layer only).
+  std::vector<core::VectorId> Layer1Neighbors(core::VectorId node) const;
+
+  std::size_t num_layers() const { return layers_.size(); }
+  core::VectorId entry_point() const { return entry_point_; }
+  std::size_t MemoryBytes() const;
+
+ private:
+  // layers_[l] holds the layer-(l+1) adjacency over global node ids; nodes
+  // absent from a layer have empty lists and a false membership bit.
+  std::vector<core::Graph> layers_;
+  std::vector<std::vector<bool>> member_;
+  core::VectorId entry_point_ = core::kInvalidVectorId;
+};
+
+/// SN: descend the stacked layers, seed with the found node plus its
+/// layer-1 neighborhood.
+class SnSeeds : public SeedSelector {
+ public:
+  explicit SnSeeds(std::shared_ptr<const StackedNswLayers> layers)
+      : layers_(std::move(layers)) {}
+  std::vector<core::VectorId> Select(core::DistanceComputer& dc,
+                                     const float* query,
+                                     std::size_t count) override;
+  Strategy strategy() const override { return Strategy::kSn; }
+  std::size_t MemoryBytes() const override { return layers_->MemoryBytes(); }
+
+ private:
+  std::shared_ptr<const StackedNswLayers> layers_;
+};
+
+/// Index of the vector closest to the dataset mean — the standard medoid
+/// approximation used by NSG and Vamana.
+core::VectorId ComputeMedoid(const core::Dataset& data);
+
+}  // namespace gass::seeds
+
+#endif  // GASS_SEEDS_SEED_SELECTOR_H_

@@ -1,0 +1,77 @@
+#include "summaries/eapca.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/macros.h"
+
+namespace gass::summaries {
+
+EapcaSummarizer::EapcaSummarizer(std::size_t dim, std::size_t num_segments)
+    : dim_(dim) {
+  GASS_CHECK(dim > 0);
+  num_segments = std::max<std::size_t>(1, std::min(num_segments, dim));
+  starts_.resize(num_segments + 1);
+  for (std::size_t s = 0; s <= num_segments; ++s) {
+    starts_[s] = s * dim / num_segments;
+  }
+}
+
+EapcaSummary EapcaSummarizer::Summarize(const float* vector) const {
+  const std::size_t segments = num_segments();
+  EapcaSummary summary;
+  summary.means.resize(segments);
+  summary.stds.resize(segments);
+  for (std::size_t s = 0; s < segments; ++s) {
+    const std::size_t begin = starts_[s];
+    const std::size_t end = starts_[s + 1];
+    const double len = static_cast<double>(end - begin);
+    double sum = 0.0, sum_sq = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      sum += vector[i];
+      sum_sq += static_cast<double>(vector[i]) * vector[i];
+    }
+    const double mean = sum / len;
+    const double var = std::max(0.0, sum_sq / len - mean * mean);
+    summary.means[s] = static_cast<float>(mean);
+    summary.stds[s] = static_cast<float>(std::sqrt(var));
+  }
+  return summary;
+}
+
+float EapcaSummarizer::LowerBound(const EapcaSummary& a,
+                                  const EapcaSummary& b) const {
+  float bound = 0.0f;
+  for (std::size_t s = 0; s < num_segments(); ++s) {
+    const float dm = a.means[s] - b.means[s];
+    const float ds = a.stds[s] - b.stds[s];
+    bound += static_cast<float>(SegmentLength(s)) * (dm * dm + ds * ds);
+  }
+  return bound;
+}
+
+namespace {
+
+// Distance from value to the interval [lo, hi]; zero inside.
+inline float Gap(float value, float lo, float hi) {
+  if (value < lo) return lo - value;
+  if (value > hi) return value - hi;
+  return 0.0f;
+}
+
+}  // namespace
+
+float EapcaSummarizer::EnvelopeLowerBound(
+    const EapcaSummary& query, const std::vector<float>& min_means,
+    const std::vector<float>& max_means, const std::vector<float>& min_stds,
+    const std::vector<float>& max_stds) const {
+  float bound = 0.0f;
+  for (std::size_t s = 0; s < num_segments(); ++s) {
+    const float gm = Gap(query.means[s], min_means[s], max_means[s]);
+    const float gs = Gap(query.stds[s], min_stds[s], max_stds[s]);
+    bound += static_cast<float>(SegmentLength(s)) * (gm * gm + gs * gs);
+  }
+  return bound;
+}
+
+}  // namespace gass::summaries

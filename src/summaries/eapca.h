@@ -1,0 +1,63 @@
+// EAPCA summarization (Extended Adaptive Piecewise Constant Approximation).
+//
+// A vector is segmented (equal-length segments here) and each segment is
+// summarized by its mean and standard deviation. The key property — used by
+// the Hercules tree and therefore by ELPIS — is the lower bound:
+//
+//   ||x − y||² ≥ Σ_j len_j · ( (μx_j − μy_j)² + (σx_j − σy_j)² )
+//
+// Within a segment, Σ(x_i − y_i)² = len·((μx−μy)² + Var(x−y)) and
+// Var(x−y) ≥ (σx − σy)² by the reverse triangle inequality on the centered
+// sub-vectors, so the bound is sound; the same argument extends to
+// min/max envelopes over sets of vectors (see EnvelopeLowerBound).
+
+#ifndef GASS_SUMMARIES_EAPCA_H_
+#define GASS_SUMMARIES_EAPCA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/types.h"
+
+namespace gass::summaries {
+
+/// EAPCA summary of one vector: per segment, its mean and std.
+struct EapcaSummary {
+  std::vector<float> means;
+  std::vector<float> stds;
+};
+
+/// Computes EAPCA summaries with a fixed segmentation.
+class EapcaSummarizer {
+ public:
+  /// `dim` components split into `num_segments` near-equal segments.
+  EapcaSummarizer(std::size_t dim, std::size_t num_segments);
+
+  EapcaSummary Summarize(const float* vector) const;
+
+  std::size_t num_segments() const { return starts_.size() - 1; }
+  std::size_t SegmentLength(std::size_t segment) const {
+    return starts_[segment + 1] - starts_[segment];
+  }
+
+  /// The pairwise EAPCA lower bound on squared Euclidean distance.
+  float LowerBound(const EapcaSummary& a, const EapcaSummary& b) const;
+
+  /// Lower bound of `query` against any vector whose summary lies inside
+  /// the per-coordinate envelope [min_means, max_means] × [min_stds,
+  /// max_stds].
+  float EnvelopeLowerBound(const EapcaSummary& query,
+                           const std::vector<float>& min_means,
+                           const std::vector<float>& max_means,
+                           const std::vector<float>& min_stds,
+                           const std::vector<float>& max_stds) const;
+
+ private:
+  std::size_t dim_;
+  std::vector<std::size_t> starts_;  // num_segments + 1 boundaries.
+};
+
+}  // namespace gass::summaries
+
+#endif  // GASS_SUMMARIES_EAPCA_H_

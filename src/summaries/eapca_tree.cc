@@ -1,0 +1,144 @@
+#include "summaries/eapca_tree.h"
+
+#include <algorithm>
+
+#include "core/macros.h"
+
+namespace gass::summaries {
+
+using core::Dataset;
+using core::VectorId;
+
+namespace {
+
+// Summary coordinates laid out as [means..., stds...] per point.
+struct SummaryMatrix {
+  std::size_t width = 0;  // 2 × num_segments.
+  std::vector<float> values;
+
+  const float* Row(std::size_t i) const { return values.data() + i * width; }
+};
+
+void SplitRecursive(const SummaryMatrix& summaries,
+                    std::vector<VectorId> ids,
+                    const std::vector<std::size_t>& row_of,
+                    const EapcaTreeParams& params,
+                    std::vector<std::vector<VectorId>>* leaves) {
+  if (ids.size() <= params.leaf_size) {
+    leaves->push_back(std::move(ids));
+    return;
+  }
+  // Widest-range summary coordinate.
+  const std::size_t width = summaries.width;
+  std::vector<float> lo(width, 3.402823466e38f);
+  std::vector<float> hi(width, -3.402823466e38f);
+  for (VectorId id : ids) {
+    const float* row = summaries.Row(row_of[id]);
+    for (std::size_t c = 0; c < width; ++c) {
+      lo[c] = std::min(lo[c], row[c]);
+      hi[c] = std::max(hi[c], row[c]);
+    }
+  }
+  std::size_t split_coord = 0;
+  float best_range = -1.0f;
+  for (std::size_t c = 0; c < width; ++c) {
+    const float range = hi[c] - lo[c];
+    if (range > best_range) {
+      best_range = range;
+      split_coord = c;
+    }
+  }
+  const float split_value = 0.5f * (lo[split_coord] + hi[split_coord]);
+
+  std::vector<VectorId> left, right;
+  for (VectorId id : ids) {
+    const float value = summaries.Row(row_of[id])[split_coord];
+    (value < split_value ? left : right).push_back(id);
+  }
+  // Degenerate split (all summaries identical): cut evenly.
+  if (left.size() < params.min_leaf_size ||
+      right.size() < params.min_leaf_size) {
+    const std::size_t mid = ids.size() / 2;
+    left.assign(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(mid));
+    right.assign(ids.begin() + static_cast<std::ptrdiff_t>(mid), ids.end());
+  }
+  ids.clear();
+  ids.shrink_to_fit();
+  SplitRecursive(summaries, std::move(left), row_of, params, leaves);
+  SplitRecursive(summaries, std::move(right), row_of, params, leaves);
+}
+
+}  // namespace
+
+EapcaTree EapcaTree::Build(const Dataset& data, const EapcaTreeParams& params,
+                           std::uint64_t seed) {
+  (void)seed;  // The split rule is deterministic; kept for API symmetry.
+  GASS_CHECK(!data.empty());
+  GASS_CHECK(params.leaf_size >= params.min_leaf_size);
+  EapcaTree tree;
+  tree.summarizer_ = EapcaSummarizer(data.dim(), params.num_segments);
+  const std::size_t segments = tree.summarizer_.num_segments();
+
+  SummaryMatrix summaries;
+  summaries.width = 2 * segments;
+  summaries.values.resize(data.size() * summaries.width);
+  std::vector<std::size_t> row_of(data.size());
+  for (VectorId i = 0; i < data.size(); ++i) {
+    row_of[i] = i;
+    const EapcaSummary s = tree.summarizer_.Summarize(data.Row(i));
+    float* out = summaries.values.data() + i * summaries.width;
+    std::copy(s.means.begin(), s.means.end(), out);
+    std::copy(s.stds.begin(), s.stds.end(), out + segments);
+  }
+
+  std::vector<VectorId> all(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    all[i] = static_cast<VectorId>(i);
+  }
+  SplitRecursive(summaries, std::move(all), row_of, params, &tree.leaves_);
+
+  // Per-leaf envelopes.
+  tree.envelopes_.resize(tree.leaves_.size());
+  for (std::size_t leaf = 0; leaf < tree.leaves_.size(); ++leaf) {
+    LeafEnvelope& env = tree.envelopes_[leaf];
+    env.min_means.assign(segments, 3.402823466e38f);
+    env.max_means.assign(segments, -3.402823466e38f);
+    env.min_stds.assign(segments, 3.402823466e38f);
+    env.max_stds.assign(segments, -3.402823466e38f);
+    for (VectorId id : tree.leaves_[leaf]) {
+      const float* row = summaries.Row(row_of[id]);
+      for (std::size_t s = 0; s < segments; ++s) {
+        env.min_means[s] = std::min(env.min_means[s], row[s]);
+        env.max_means[s] = std::max(env.max_means[s], row[s]);
+        env.min_stds[s] = std::min(env.min_stds[s], row[segments + s]);
+        env.max_stds[s] = std::max(env.max_stds[s], row[segments + s]);
+      }
+    }
+  }
+  return tree;
+}
+
+float EapcaTree::LeafLowerBound(const EapcaSummary& query_summary,
+                                std::size_t leaf) const {
+  const LeafEnvelope& env = envelopes_[leaf];
+  return summarizer_.EnvelopeLowerBound(query_summary, env.min_means,
+                                        env.max_means, env.min_stds,
+                                        env.max_stds);
+}
+
+float EapcaTree::LeafLowerBound(const float* query, std::size_t leaf) const {
+  return LeafLowerBound(summarizer_.Summarize(query), leaf);
+}
+
+std::size_t EapcaTree::MemoryBytes() const {
+  std::size_t total = 0;
+  for (const auto& leaf : leaves_) total += leaf.size() * sizeof(VectorId);
+  for (const auto& env : envelopes_) {
+    total += (env.min_means.size() + env.max_means.size() +
+              env.min_stds.size() + env.max_stds.size()) *
+             sizeof(float);
+  }
+  return total;
+}
+
+}  // namespace gass::summaries

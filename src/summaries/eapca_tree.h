@@ -1,0 +1,70 @@
+// Hercules-style EAPCA tree: the divide step of ELPIS.
+//
+// The dataset is recursively bisected in EAPCA space — each split picks the
+// summary coordinate (a segment mean or std) with the widest range and cuts
+// at its midpoint — until leaves hold at most `leaf_size` vectors. Each leaf
+// stores a per-coordinate envelope, giving an EAPCA lower-bound distance
+// from any query to the leaf, which ELPIS uses to prune entire leaves during
+// search.
+
+#ifndef GASS_SUMMARIES_EAPCA_TREE_H_
+#define GASS_SUMMARIES_EAPCA_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/types.h"
+#include "summaries/eapca.h"
+
+namespace gass::summaries {
+
+/// EAPCA tree parameters.
+struct EapcaTreeParams {
+  std::size_t num_segments = 8;
+  std::size_t leaf_size = 1024;
+  /// Minimum leaf occupancy; splits producing a smaller side are balanced.
+  std::size_t min_leaf_size = 32;
+};
+
+/// The leaf partition of a Hercules-style EAPCA tree.
+class EapcaTree {
+ public:
+  static EapcaTree Build(const core::Dataset& data,
+                         const EapcaTreeParams& params, std::uint64_t seed);
+
+  std::size_t num_leaves() const { return leaves_.size(); }
+
+  /// Members of leaf `leaf` (ids into the original dataset).
+  const std::vector<core::VectorId>& LeafMembers(std::size_t leaf) const {
+    return leaves_[leaf];
+  }
+
+  /// EAPCA lower bound of squared distance from `query` to every vector in
+  /// `leaf`.
+  float LeafLowerBound(const float* query, std::size_t leaf) const;
+
+  /// Precomputes the query summary once for repeated LeafLowerBound calls.
+  EapcaSummary SummarizeQuery(const float* query) const {
+    return summarizer_.Summarize(query);
+  }
+  float LeafLowerBound(const EapcaSummary& query_summary,
+                       std::size_t leaf) const;
+
+  std::size_t MemoryBytes() const;
+
+ private:
+  struct LeafEnvelope {
+    std::vector<float> min_means, max_means, min_stds, max_stds;
+  };
+
+  EapcaTree() : summarizer_(1, 1) {}
+
+  EapcaSummarizer summarizer_;
+  std::vector<std::vector<core::VectorId>> leaves_;
+  std::vector<LeafEnvelope> envelopes_;
+};
+
+}  // namespace gass::summaries
+
+#endif  // GASS_SUMMARIES_EAPCA_TREE_H_

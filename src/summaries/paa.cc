@@ -1,0 +1,42 @@
+#include "summaries/paa.h"
+
+#include <algorithm>
+
+#include "core/macros.h"
+
+namespace gass::summaries {
+
+PaaSummarizer::PaaSummarizer(std::size_t dim, std::size_t num_segments)
+    : dim_(dim) {
+  GASS_CHECK(dim > 0);
+  num_segments = std::max<std::size_t>(1, std::min(num_segments, dim));
+  starts_.resize(num_segments + 1);
+  for (std::size_t s = 0; s <= num_segments; ++s) {
+    starts_[s] = s * dim / num_segments;
+  }
+}
+
+std::vector<float> PaaSummarizer::Summarize(const float* vector) const {
+  std::vector<float> means(num_segments());
+  for (std::size_t s = 0; s < num_segments(); ++s) {
+    double sum = 0.0;
+    for (std::size_t i = starts_[s]; i < starts_[s + 1]; ++i) {
+      sum += vector[i];
+    }
+    means[s] = static_cast<float>(sum / static_cast<double>(SegmentLength(s)));
+  }
+  return means;
+}
+
+float PaaSummarizer::LowerBound(const std::vector<float>& a,
+                                const std::vector<float>& b) const {
+  GASS_DCHECK(a.size() == num_segments() && b.size() == num_segments());
+  float bound = 0.0f;
+  for (std::size_t s = 0; s < num_segments(); ++s) {
+    const float delta = a[s] - b[s];
+    bound += static_cast<float>(SegmentLength(s)) * delta * delta;
+  }
+  return bound;
+}
+
+}  // namespace gass::summaries

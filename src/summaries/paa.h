@@ -1,0 +1,44 @@
+// Piecewise Aggregate Approximation (Keogh et al., paper Section 2): a
+// vector is split into equal segments summarized by their means, with the
+// classic lower-bounding distance
+//
+//   ||x − y||² ≥ Σ_j len_j · (μx_j − μy_j)²
+//
+// (the mean-only weakening of the EAPCA bound; see summaries/eapca.h).
+
+#ifndef GASS_SUMMARIES_PAA_H_
+#define GASS_SUMMARIES_PAA_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace gass::summaries {
+
+/// Fixed-segmentation PAA transform.
+class PaaSummarizer {
+ public:
+  PaaSummarizer(std::size_t dim, std::size_t num_segments);
+
+  /// Per-segment means of `vector`.
+  std::vector<float> Summarize(const float* vector) const;
+
+  std::size_t num_segments() const { return starts_.size() - 1; }
+  std::size_t SegmentLength(std::size_t segment) const {
+    return starts_[segment + 1] - starts_[segment];
+  }
+  std::size_t dim() const { return dim_; }
+
+  /// PAA lower bound on the squared Euclidean distance of the originals.
+  float LowerBound(const std::vector<float>& a,
+                   const std::vector<float>& b) const;
+
+ private:
+  friend class SaxSummarizer;
+
+  std::size_t dim_;
+  std::vector<std::size_t> starts_;
+};
+
+}  // namespace gass::summaries
+
+#endif  // GASS_SUMMARIES_PAA_H_

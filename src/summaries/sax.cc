@@ -1,0 +1,72 @@
+#include "summaries/sax.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/macros.h"
+
+namespace gass::summaries {
+
+namespace {
+
+// Standard normal CDF.
+double NormalCdf(double x) { return 0.5 * (1.0 + std::erf(x / 1.41421356237)); }
+
+// Inverse CDF by bisection (breakpoints are computed once; speed is moot).
+double NormalQuantile(double p) {
+  double lo = -10.0, hi = 10.0;
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (NormalCdf(mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+SaxSummarizer::SaxSummarizer(std::size_t dim, std::size_t num_segments,
+                             std::size_t alphabet)
+    : paa_(dim, num_segments) {
+  GASS_CHECK(alphabet >= 2 && alphabet <= 64);
+  breakpoints_.resize(alphabet - 1);
+  for (std::size_t i = 0; i + 1 < alphabet; ++i) {
+    breakpoints_[i] = static_cast<float>(NormalQuantile(
+        static_cast<double>(i + 1) / static_cast<double>(alphabet)));
+  }
+}
+
+std::vector<std::uint8_t> SaxSummarizer::Summarize(const float* vector) const {
+  const std::vector<float> means = paa_.Summarize(vector);
+  std::vector<std::uint8_t> symbols(means.size());
+  for (std::size_t s = 0; s < means.size(); ++s) {
+    const auto it =
+        std::upper_bound(breakpoints_.begin(), breakpoints_.end(), means[s]);
+    symbols[s] = static_cast<std::uint8_t>(it - breakpoints_.begin());
+  }
+  return symbols;
+}
+
+float SaxSummarizer::MinDistSq(const std::vector<std::uint8_t>& a,
+                               const std::vector<std::uint8_t>& b) const {
+  GASS_DCHECK(a.size() == num_segments() && b.size() == num_segments());
+  float bound = 0.0f;
+  for (std::size_t s = 0; s < num_segments(); ++s) {
+    const int ca = a[s];
+    const int cb = b[s];
+    if (std::abs(ca - cb) <= 1) continue;  // Adjacent cells: gap may be 0.
+    const int hi = std::max(ca, cb);
+    const int lo = std::min(ca, cb);
+    // Facing breakpoints: upper bound of the lower cell vs lower bound of
+    // the upper cell.
+    const float gap = breakpoints_[static_cast<std::size_t>(hi - 1)] -
+                      breakpoints_[static_cast<std::size_t>(lo)];
+    bound += static_cast<float>(paa_.SegmentLength(s)) * gap * gap;
+  }
+  return bound;
+}
+
+}  // namespace gass::summaries

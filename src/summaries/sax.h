@@ -1,0 +1,50 @@
+// Symbolic Aggregate Approximation (Lin et al., paper Section 2): PAA
+// coefficients discretized by equiprobable N(0,1) breakpoints into a small
+// alphabet, with the MINDIST lower bound
+//
+//   ||x − y||² ≥ Σ_j len_j · cell_gap(c_x[j], c_y[j])²
+//
+// where cell_gap is 0 for adjacent-or-equal symbols and the distance
+// between the facing breakpoints otherwise. Tight on z-normalized data
+// series (the SAX design point), valid for any vectors whose PAA values lie
+// in the encoded cells.
+
+#ifndef GASS_SUMMARIES_SAX_H_
+#define GASS_SUMMARIES_SAX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "summaries/paa.h"
+
+namespace gass::summaries {
+
+/// Fixed-segmentation, fixed-alphabet SAX transform.
+class SaxSummarizer {
+ public:
+  /// `alphabet` symbols (2..64) over `num_segments` PAA segments.
+  SaxSummarizer(std::size_t dim, std::size_t num_segments,
+                std::size_t alphabet);
+
+  /// Symbol string of `vector` (one byte per segment, values < alphabet()).
+  std::vector<std::uint8_t> Summarize(const float* vector) const;
+
+  /// MINDIST² between two symbol strings — a lower bound on the squared
+  /// Euclidean distance of the original vectors.
+  float MinDistSq(const std::vector<std::uint8_t>& a,
+                  const std::vector<std::uint8_t>& b) const;
+
+  std::size_t alphabet() const { return breakpoints_.size() + 1; }
+  std::size_t num_segments() const { return paa_.num_segments(); }
+
+  /// The N(0,1) equiprobable breakpoints in use (alphabet() - 1 values).
+  const std::vector<float>& breakpoints() const { return breakpoints_; }
+
+ private:
+  PaaSummarizer paa_;
+  std::vector<float> breakpoints_;
+};
+
+}  // namespace gass::summaries
+
+#endif  // GASS_SUMMARIES_SAX_H_

@@ -1,0 +1,174 @@
+#include "synth/generators.h"
+
+#include <cmath>
+#include <vector>
+
+#include "core/macros.h"
+#include "core/rng.h"
+
+namespace gass::synth {
+
+using core::Dataset;
+using core::Rng;
+
+Dataset GaussianClusters(std::size_t n, std::size_t dim,
+                         const ClusterParams& params, std::uint64_t seed) {
+  GASS_CHECK(params.num_clusters > 0);
+  GASS_CHECK(params.intrinsic_rank > 0);
+  Rng rng(seed);
+
+  const std::size_t rank = std::min(params.intrinsic_rank, dim);
+
+  // Random rank-dimensional basis (not orthonormalized; columns of Gaussian
+  // entries give a well-conditioned frame with overwhelming probability,
+  // which is all the difficulty profile needs).
+  std::vector<float> basis(rank * dim);
+  for (float& b : basis) {
+    b = static_cast<float>(rng.Normal()) / std::sqrt(static_cast<float>(dim));
+  }
+
+  // Cluster centers in the latent space.
+  std::vector<float> centers(params.num_clusters * rank);
+  for (float& c : centers) {
+    c = static_cast<float>(rng.Normal()) * params.center_std;
+  }
+
+  Dataset data(n, dim);
+  std::vector<float> latent(rank);
+  for (core::VectorId i = 0; i < n; ++i) {
+    const std::size_t cluster = rng.UniformInt(params.num_clusters);
+    for (std::size_t r = 0; r < rank; ++r) {
+      latent[r] = centers[cluster * rank + r] +
+                  static_cast<float>(rng.Normal()) * params.cluster_std;
+    }
+    float* row = data.MutableRow(i);
+    for (std::size_t d = 0; d < dim; ++d) {
+      float value = 0.0f;
+      for (std::size_t r = 0; r < rank; ++r) {
+        value += latent[r] * basis[r * dim + d];
+      }
+      row[d] = value + static_cast<float>(rng.Normal()) * params.ambient_noise;
+    }
+  }
+  return data;
+}
+
+Dataset UniformHypercube(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(n, dim);
+  for (core::VectorId i = 0; i < n; ++i) {
+    float* row = data.MutableRow(i);
+    for (std::size_t d = 0; d < dim; ++d) {
+      row[d] = static_cast<float>(rng.UniformDouble());
+    }
+  }
+  return data;
+}
+
+Dataset IsotropicGaussian(std::size_t n, std::size_t dim,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(n, dim);
+  for (core::VectorId i = 0; i < n; ++i) {
+    float* row = data.MutableRow(i);
+    for (std::size_t d = 0; d < dim; ++d) {
+      row[d] = static_cast<float>(rng.Normal());
+    }
+  }
+  return data;
+}
+
+Dataset PowerLaw(std::size_t n, std::size_t dim, double exponent,
+                 std::uint64_t seed) {
+  GASS_CHECK(exponent >= 0.0);
+  Rng rng(seed);
+  Dataset data(n, dim);
+  const double inv = 1.0 / (exponent + 1.0);
+  for (core::VectorId i = 0; i < n; ++i) {
+    float* row = data.MutableRow(i);
+    for (std::size_t d = 0; d < dim; ++d) {
+      row[d] = static_cast<float>(std::pow(rng.UniformDouble(), inv));
+    }
+  }
+  return data;
+}
+
+Dataset RandomWalkSeries(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(n, dim);
+  for (core::VectorId i = 0; i < n; ++i) {
+    float* row = data.MutableRow(i);
+    double level = 0.0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (std::size_t d = 0; d < dim; ++d) {
+      level += rng.Normal();
+      row[d] = static_cast<float>(level);
+      sum += level;
+      sum_sq += level * level;
+    }
+    // Z-normalize, the standard preprocessing for data series.
+    const double mean = sum / static_cast<double>(dim);
+    const double var =
+        sum_sq / static_cast<double>(dim) - mean * mean;
+    const double std_dev = var > 1e-12 ? std::sqrt(var) : 1.0;
+    for (std::size_t d = 0; d < dim; ++d) {
+      row[d] = static_cast<float>((row[d] - mean) / std_dev);
+    }
+  }
+  return data;
+}
+
+std::size_t ProxyDim(const std::string& name) {
+  if (name == "deep") return 96;
+  if (name == "sift") return 128;
+  if (name == "sald") return 128;
+  if (name == "seismic") return 256;
+  if (name == "text2img") return 200;
+  if (name == "gist") return 960;
+  if (name == "imagenet") return 256;
+  GASS_CHECK_MSG(false, "unknown dataset proxy '%s'", name.c_str());
+  return 0;
+}
+
+Dataset MakeDatasetProxy(const std::string& name, std::size_t n,
+                         std::uint64_t seed) {
+  const std::size_t dim = ProxyDim(name);
+  if (name == "deep" || name == "sift" || name == "imagenet") {
+    // Easy tier: clustered, low intrinsic rank (paper Fig. 4 puts these at
+    // the lowest LID / highest LRC). Clusters overlap — real embedding
+    // collections are not separable islands, and graph methods must
+    // navigate between regions.
+    ClusterParams params;
+    params.num_clusters = 32;
+    params.intrinsic_rank = 12;
+    params.cluster_std = 0.45f;
+    params.ambient_noise = 0.05f;
+    return GaussianClusters(n, dim, params, seed);
+  }
+  if (name == "gist") {
+    // Medium: wider within-cluster spread over a higher-rank subspace.
+    ClusterParams params;
+    params.num_clusters = 24;
+    params.intrinsic_rank = 48;
+    params.cluster_std = 0.7f;
+    params.ambient_noise = 0.05f;
+    return GaussianClusters(n, dim, params, seed);
+  }
+  if (name == "sald") {
+    return RandomWalkSeries(n, dim, seed);
+  }
+  if (name == "seismic") {
+    // Hard: near-isotropic heavy mixture (highest LID in Fig. 4).
+    ClusterParams params;
+    params.num_clusters = 4;
+    params.intrinsic_rank = dim;
+    params.cluster_std = 1.0f;
+    params.ambient_noise = 0.25f;
+    return GaussianClusters(n, dim, params, seed);
+  }
+  // text2img: hard cross-modal embeddings — isotropic Gaussian.
+  return IsotropicGaussian(n, dim, seed);
+}
+
+}  // namespace gass::synth

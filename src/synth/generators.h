@@ -1,0 +1,82 @@
+// Synthetic dataset generators.
+//
+// The paper evaluates on seven real collections (Deep, Sift, SALD, Seismic,
+// Text-to-Image, GIST, ImageNet) plus three synthetic power-law datasets
+// (RandPow0/5/50, Section 4.1). The real collections are not redistributable
+// here, so each gets a *proxy generator* that reproduces its dimensionality
+// and its difficulty profile — the paper's own Fig. 4 characterizes
+// difficulty purely by LID and LRC, and those are what the proxies are tuned
+// to (verified by bench_fig04_complexity):
+//
+//   easy  (low LID, high LRC):  Deep, Sift, ImageNet  -> low-rank Gaussian
+//                               cluster mixtures with small isotropic noise
+//   medium:                     GIST, SALD            -> higher-rank mixtures
+//                               with larger noise
+//   hard  (high LID, low LRC):  Seismic, Text2Img,    -> isotropic /
+//                               RandPow*                 heavy-tailed data
+//
+// The power-law datasets are generated exactly per the paper: each component
+// follows density f(x) ∝ x^a on [0,1] (a = 0 is uniform; skewness grows
+// with a), via inverse-CDF sampling x = U^(1/(a+1)).
+
+#ifndef GASS_SYNTH_GENERATORS_H_
+#define GASS_SYNTH_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/dataset.h"
+
+namespace gass::synth {
+
+/// Parameters for the Gaussian cluster-mixture generator.
+struct ClusterParams {
+  std::size_t num_clusters = 20;
+  /// Rank of the subspace the cluster centers (and within-cluster spread)
+  /// live in; lower rank gives lower LID ("easier" data).
+  std::size_t intrinsic_rank = 8;
+  /// Standard deviation of within-cluster spread along the subspace.
+  float cluster_std = 0.15f;
+  /// Isotropic full-dimension noise added on top.
+  float ambient_noise = 0.01f;
+  /// Spread of cluster centers.
+  float center_std = 1.0f;
+};
+
+/// n vectors of dimension dim from a low-rank Gaussian cluster mixture.
+core::Dataset GaussianClusters(std::size_t n, std::size_t dim,
+                               const ClusterParams& params,
+                               std::uint64_t seed);
+
+/// n vectors uniform in [0,1]^dim — the hardest isotropic case.
+core::Dataset UniformHypercube(std::size_t n, std::size_t dim,
+                               std::uint64_t seed);
+
+/// n isotropic standard-normal vectors.
+core::Dataset IsotropicGaussian(std::size_t n, std::size_t dim,
+                                std::uint64_t seed);
+
+/// Power-law dataset per Section 4.1: each component has density ∝ x^a on
+/// [0,1]. exponent = 0 reproduces RandPow0 (uniform), 5 RandPow5, 50
+/// RandPow50.
+core::Dataset PowerLaw(std::size_t n, std::size_t dim, double exponent,
+                       std::uint64_t seed);
+
+/// Random-walk "data series" vectors (cumulative sums of Gaussian steps,
+/// z-normalized), the standard model for series collections such as SALD.
+core::Dataset RandomWalkSeries(std::size_t n, std::size_t dim,
+                               std::uint64_t seed);
+
+/// Named dataset proxies matching the paper's seven real collections.
+/// `name` is one of: "deep", "sift", "sald", "seismic", "text2img", "gist",
+/// "imagenet". Dimensions follow the paper (96/128/128/256/200/960/256).
+/// Aborts on an unknown name.
+core::Dataset MakeDatasetProxy(const std::string& name, std::size_t n,
+                               std::uint64_t seed);
+
+/// The paper's dimensionality for a named proxy.
+std::size_t ProxyDim(const std::string& name);
+
+}  // namespace gass::synth
+
+#endif  // GASS_SYNTH_GENERATORS_H_

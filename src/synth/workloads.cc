@@ -1,0 +1,85 @@
+#include "synth/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "core/macros.h"
+#include "core/rng.h"
+
+namespace gass::synth {
+
+using core::Dataset;
+using core::Rng;
+using core::VectorId;
+
+std::vector<VectorId> SampleIds(std::size_t n, std::size_t count,
+                                std::uint64_t seed) {
+  GASS_CHECK(count <= n);
+  // Partial Fisher-Yates over an index array: exact uniform sampling
+  // without replacement.
+  std::vector<VectorId> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<VectorId>(i);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + rng.UniformInt(n - i);
+    std::swap(ids[i], ids[j]);
+  }
+  ids.resize(count);
+  return ids;
+}
+
+HoldOutSplit SplitHoldOut(Dataset data, std::size_t num_queries,
+                          std::uint64_t seed) {
+  GASS_CHECK(num_queries < data.size());
+  std::vector<VectorId> query_ids =
+      SampleIds(data.size(), num_queries, seed);
+  std::vector<bool> is_query(data.size(), false);
+  for (VectorId id : query_ids) is_query[id] = true;
+
+  std::vector<VectorId> base_ids;
+  base_ids.reserve(data.size() - num_queries);
+  for (VectorId id = 0; id < data.size(); ++id) {
+    if (!is_query[id]) base_ids.push_back(id);
+  }
+
+  HoldOutSplit split;
+  split.queries = data.Select(query_ids);
+  split.base = data.Select(base_ids);
+  return split;
+}
+
+Dataset NoisyQueries(const Dataset& data, std::size_t num_queries,
+                     double noise_variance, std::uint64_t seed) {
+  GASS_CHECK(!data.empty());
+  GASS_CHECK(noise_variance >= 0.0);
+  Rng rng(seed);
+
+  // RMS component magnitude of the collection (sampled), so σ is expressed
+  // relative to the data scale.
+  double sum_sq = 0.0;
+  std::size_t samples = 0;
+  const std::size_t stride = std::max<std::size_t>(1, data.size() / 1000);
+  for (std::size_t i = 0; i < data.size(); i += stride) {
+    const float* row = data.Row(static_cast<VectorId>(i));
+    for (std::size_t d = 0; d < data.dim(); ++d) {
+      sum_sq += static_cast<double>(row[d]) * row[d];
+      ++samples;
+    }
+  }
+  const double rms = samples > 0 ? std::sqrt(sum_sq / samples) : 1.0;
+  const double sigma = std::sqrt(noise_variance) * rms;
+
+  Dataset queries(num_queries, data.dim());
+  for (VectorId q = 0; q < num_queries; ++q) {
+    const VectorId src = static_cast<VectorId>(rng.UniformInt(data.size()));
+    const float* row = data.Row(src);
+    float* out = queries.MutableRow(q);
+    for (std::size_t d = 0; d < data.dim(); ++d) {
+      out[d] = row[d] + static_cast<float>(rng.Normal() * sigma);
+    }
+  }
+  return queries;
+}
+
+}  // namespace gass::synth

@@ -1,0 +1,44 @@
+// Query-workload construction per Section 4.1 ("Queries").
+//
+// - Hold-out workloads: queries sampled from the collection and removed from
+//   the indexed data (the paper's procedure for SALD / ImageNet / Seismic).
+// - In-distribution workloads: fresh draws from the same generator with a
+//   different seed (the paper's procedure for the power-law datasets).
+// - Hardness workloads: dataset vectors perturbed with Gaussian noise of
+//   variance σ² ∈ [0.01, 0.1], labelled 1%–10% (the paper's Fig. 15 recipe,
+//   after Zoumpatianos et al.).
+
+#ifndef GASS_SYNTH_WORKLOADS_H_
+#define GASS_SYNTH_WORKLOADS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace gass::synth {
+
+/// Result of carving a hold-out query set from a dataset.
+struct HoldOutSplit {
+  core::Dataset base;     ///< Vectors to index.
+  core::Dataset queries;  ///< Held-out query vectors.
+};
+
+/// Removes `num_queries` random rows from `data` to act as queries.
+HoldOutSplit SplitHoldOut(core::Dataset data, std::size_t num_queries,
+                          std::uint64_t seed);
+
+/// Queries built by adding N(0, σ²) noise to random dataset vectors; the
+/// paper reports σ² as a percentage ("1%" = 0.01). Noise is scaled by the
+/// per-dataset RMS component magnitude so the percentage keeps its meaning
+/// across differently-scaled collections.
+core::Dataset NoisyQueries(const core::Dataset& data, std::size_t num_queries,
+                           double noise_variance, std::uint64_t seed);
+
+/// Uniform random sample of `count` distinct row ids.
+std::vector<core::VectorId> SampleIds(std::size_t n, std::size_t count,
+                                      std::uint64_t seed);
+
+}  // namespace gass::synth
+
+#endif  // GASS_SYNTH_WORKLOADS_H_

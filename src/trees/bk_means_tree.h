@@ -1,0 +1,67 @@
+// Balanced k-means tree (BKT) — SPTAG-BKT's seed-selection structure.
+//
+// Each interior node clusters its points with Lloyd's k-means, then balances
+// the assignment by capping every cluster at ceil(count / k) points (excess
+// points spill to their next-nearest centroid), and recurses per cluster.
+
+#ifndef GASS_TREES_BK_MEANS_TREE_H_
+#define GASS_TREES_BK_MEANS_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/types.h"
+
+namespace gass::trees {
+
+/// BKT construction parameters.
+struct BkTreeParams {
+  std::size_t branching = 8;      ///< k of the per-node k-means.
+  std::size_t leaf_size = 32;     ///< Max points per leaf.
+  std::size_t kmeans_iters = 8;   ///< Lloyd iterations per node.
+};
+
+/// Balanced k-means tree over a dataset.
+class BkMeansTree {
+ public:
+  static BkMeansTree Build(const core::Dataset& data,
+                           const BkTreeParams& params, std::uint64_t seed);
+
+  /// Collects up to `count` candidate ids for `query` by best-bin-first
+  /// descent over centroid distances.
+  void SearchCandidates(const core::Dataset& data, const float* query,
+                        std::size_t count,
+                        std::vector<core::VectorId>* out) const;
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t MemoryBytes() const;
+
+ private:
+  struct Node {
+    // Interior nodes list child node indices; leaves hold [begin, end) into
+    // ids_. `centroid` indexes into centroids_ (dim floats per node; the
+    // root's centroid is unused).
+    std::vector<std::int32_t> children;
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+    std::int32_t centroid = -1;
+
+    bool IsLeaf() const { return children.empty(); }
+  };
+
+  std::int32_t BuildNode(const core::Dataset& data, std::uint32_t begin,
+                         std::uint32_t end, const BkTreeParams& params,
+                         std::uint64_t seed_state);
+  std::int32_t AddCentroid(const core::Dataset& data, std::uint32_t begin,
+                           std::uint32_t end);
+
+  std::size_t dim_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<core::VectorId> ids_;
+  std::vector<float> centroids_;  // num centroids × dim_.
+};
+
+}  // namespace gass::trees
+
+#endif  // GASS_TREES_BK_MEANS_TREE_H_

@@ -1,0 +1,69 @@
+#include "trees/hierarchical_clustering.h"
+
+#include "core/distance.h"
+#include "core/macros.h"
+#include "core/rng.h"
+
+namespace gass::trees {
+
+using core::Dataset;
+using core::Rng;
+using core::VectorId;
+
+namespace {
+
+void Bisect(const Dataset& data, std::vector<VectorId> ids,
+            std::size_t leaf_size, Rng& rng,
+            std::vector<std::vector<VectorId>>* leaves) {
+  if (ids.size() <= leaf_size) {
+    leaves->push_back(std::move(ids));
+    return;
+  }
+  // Two distinct random pivots.
+  const std::size_t a_index = rng.UniformInt(ids.size());
+  std::size_t b_index = rng.UniformInt(ids.size() - 1);
+  if (b_index >= a_index) ++b_index;
+  const VectorId pivot_a = ids[a_index];
+  const VectorId pivot_b = ids[b_index];
+
+  std::vector<VectorId> left, right;
+  left.reserve(ids.size() / 2 + 1);
+  right.reserve(ids.size() / 2 + 1);
+  for (VectorId id : ids) {
+    const float da = core::L2Sq(data.Row(id), data.Row(pivot_a), data.dim());
+    const float db = core::L2Sq(data.Row(id), data.Row(pivot_b), data.dim());
+    if (da < db || (da == db && (id & 1u) == 0)) {
+      left.push_back(id);
+    } else {
+      right.push_back(id);
+    }
+  }
+  // Guard against a degenerate split (duplicated pivots): force an even cut.
+  if (left.empty() || right.empty()) {
+    const std::size_t mid = ids.size() / 2;
+    left.assign(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(mid));
+    right.assign(ids.begin() + static_cast<std::ptrdiff_t>(mid), ids.end());
+  }
+  ids.clear();
+  ids.shrink_to_fit();
+  Bisect(data, std::move(left), leaf_size, rng, leaves);
+  Bisect(data, std::move(right), leaf_size, rng, leaves);
+}
+
+}  // namespace
+
+std::vector<std::vector<VectorId>> RandomBisectionLeaves(const Dataset& data,
+                                                         std::size_t leaf_size,
+                                                         std::uint64_t seed) {
+  GASS_CHECK(leaf_size >= 2);
+  std::vector<VectorId> ids(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ids[i] = static_cast<VectorId>(i);
+  }
+  std::vector<std::vector<VectorId>> leaves;
+  Rng rng(seed);
+  Bisect(data, std::move(ids), leaf_size, rng, &leaves);
+  return leaves;
+}
+
+}  // namespace gass::trees

@@ -1,0 +1,26 @@
+// Random hierarchical clustering — HCNNG's dataset-division primitive.
+//
+// Recursively bisects the point set: two random pivot points are drawn, each
+// point joins its nearer pivot, and each side recurses until the leaf bound.
+// Repeating the procedure with fresh randomness yields the overlapping
+// clusterings whose per-leaf MSTs HCNNG merges.
+
+#ifndef GASS_TREES_HIERARCHICAL_CLUSTERING_H_
+#define GASS_TREES_HIERARCHICAL_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/types.h"
+
+namespace gass::trees {
+
+/// One random hierarchical bisection of all rows of `data`; returns leaf
+/// membership lists of at most `leaf_size` points each.
+std::vector<std::vector<core::VectorId>> RandomBisectionLeaves(
+    const core::Dataset& data, std::size_t leaf_size, std::uint64_t seed);
+
+}  // namespace gass::trees
+
+#endif  // GASS_TREES_HIERARCHICAL_CLUSTERING_H_

@@ -1,0 +1,174 @@
+#include "trees/kd_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "core/macros.h"
+#include "core/rng.h"
+
+namespace gass::trees {
+
+using core::Dataset;
+using core::Rng;
+using core::VectorId;
+
+KdTree KdTree::Build(const Dataset& data, const KdTreeParams& params,
+                     std::uint64_t seed) {
+  std::vector<VectorId> ids(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ids[i] = static_cast<VectorId>(i);
+  }
+  return BuildOnSubset(data, ids, params, seed);
+}
+
+KdTree KdTree::BuildOnSubset(const Dataset& data,
+                             const std::vector<VectorId>& ids,
+                             const KdTreeParams& params, std::uint64_t seed) {
+  GASS_CHECK(!ids.empty());
+  KdTree tree;
+  tree.ids_ = ids;
+  tree.BuildNode(data, 0, static_cast<std::uint32_t>(ids.size()), params,
+                 seed);
+  return tree;
+}
+
+std::int32_t KdTree::BuildNode(const Dataset& data, std::uint32_t begin,
+                               std::uint32_t end, const KdTreeParams& params,
+                               std::uint64_t seed_state) {
+  const std::int32_t index = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+
+  const std::uint32_t count = end - begin;
+  if (count <= params.leaf_size) {
+    nodes_[index].split_dim = -1;
+    nodes_[index].begin = begin;
+    nodes_[index].end = end;
+    return index;
+  }
+
+  // Per-dimension mean and variance over this node's points (sampled when
+  // the node is large; the split only needs a rough variance ranking).
+  const std::size_t dim = data.dim();
+  std::vector<double> mean(dim, 0.0), m2(dim, 0.0);
+  const std::uint32_t stride = count > 1024 ? count / 1024 : 1;
+  std::size_t samples = 0;
+  for (std::uint32_t i = begin; i < end; i += stride) {
+    const float* row = data.Row(ids_[i]);
+    ++samples;
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double delta = row[d] - mean[d];
+      mean[d] += delta / static_cast<double>(samples);
+      m2[d] += delta * (row[d] - mean[d]);
+    }
+  }
+
+  // Rank dimensions by variance; draw the split dimension from the top few.
+  std::vector<std::size_t> order(dim);
+  for (std::size_t d = 0; d < dim; ++d) order[d] = d;
+  const std::size_t top =
+      std::min(params.top_dims == 0 ? std::size_t{1} : params.top_dims, dim);
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(top),
+                    order.end(),
+                    [&](std::size_t a, std::size_t b) { return m2[a] > m2[b]; });
+  Rng rng(seed_state ^ (static_cast<std::uint64_t>(index) * 0x9E3779B9ULL));
+  const std::size_t split_dim = order[rng.UniformInt(top)];
+  const float split_value = static_cast<float>(mean[split_dim]);
+
+  // Partition the id range around the split value.
+  auto first = ids_.begin() + begin;
+  auto last = ids_.begin() + end;
+  auto middle = std::partition(first, last, [&](VectorId id) {
+    return data.Row(id)[split_dim] < split_value;
+  });
+  std::uint32_t mid = static_cast<std::uint32_t>(middle - ids_.begin());
+  // Degenerate split (all points on one side): fall back to a median split.
+  if (mid == begin || mid == end) {
+    mid = begin + count / 2;
+    std::nth_element(first, ids_.begin() + mid, last,
+                     [&](VectorId a, VectorId b) {
+                       return data.Row(a)[split_dim] < data.Row(b)[split_dim];
+                     });
+  }
+
+  nodes_[index].split_dim = static_cast<std::int32_t>(split_dim);
+  nodes_[index].split_value = split_value;
+  const std::int32_t left = BuildNode(data, begin, mid, params, seed_state);
+  const std::int32_t right = BuildNode(data, mid, end, params, seed_state);
+  nodes_[index].left = left;
+  nodes_[index].right = right;
+  return index;
+}
+
+void KdTree::SearchCandidates(const Dataset& data, const float* query,
+                              std::size_t count,
+                              std::vector<VectorId>* out) const {
+  if (nodes_.empty() || count == 0) return;
+
+  // Best-bin-first: a min-heap of (lower-bound distance, node index).
+  using Entry = std::pair<float, std::int32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
+  frontier.emplace(0.0f, 0);
+  std::size_t collected = 0;
+
+  while (!frontier.empty() && collected < count) {
+    const auto [bound, node_index] = frontier.top();
+    frontier.pop();
+    const Node& node = nodes_[static_cast<std::size_t>(node_index)];
+    if (node.split_dim < 0) {
+      for (std::uint32_t i = node.begin; i < node.end && collected < count;
+           ++i) {
+        out->push_back(ids_[i]);
+        ++collected;
+      }
+      continue;
+    }
+    const float diff =
+        query[node.split_dim] - node.split_value;
+    const std::int32_t near = diff < 0.0f ? node.left : node.right;
+    const std::int32_t far = diff < 0.0f ? node.right : node.left;
+    frontier.emplace(bound, near);
+    frontier.emplace(bound + diff * diff, far);
+  }
+  (void)data;  // Leaf scanning uses stored ids only.
+}
+
+std::size_t KdTree::MemoryBytes() const {
+  return nodes_.size() * sizeof(Node) + ids_.size() * sizeof(VectorId);
+}
+
+KdForest KdForest::Build(const Dataset& data, std::size_t num_trees,
+                         const KdTreeParams& params, std::uint64_t seed) {
+  GASS_CHECK(num_trees > 0);
+  KdForest forest;
+  forest.data_ = &data;
+  forest.trees_.reserve(num_trees);
+  Rng rng(seed);
+  for (std::size_t t = 0; t < num_trees; ++t) {
+    forest.trees_.push_back(KdTree::Build(data, params, rng.Next()));
+  }
+  return forest;
+}
+
+std::vector<VectorId> KdForest::SearchCandidates(const Dataset& data,
+                                                 const float* query,
+                                                 std::size_t count) const {
+  std::vector<VectorId> merged;
+  const std::size_t per_tree =
+      (count + trees_.size() - 1) / trees_.size();
+  for (const KdTree& tree : trees_) {
+    tree.SearchCandidates(data, query, per_tree, &merged);
+  }
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  if (merged.size() > count) merged.resize(count);
+  return merged;
+}
+
+std::size_t KdForest::MemoryBytes() const {
+  std::size_t total = 0;
+  for (const KdTree& tree : trees_) total += tree.MemoryBytes();
+  return total;
+}
+
+}  // namespace gass::trees

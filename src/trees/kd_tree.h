@@ -1,0 +1,91 @@
+// Randomized truncated K-D trees.
+//
+// Used (a) as the KD seed-selection structure of EFANNA, SPTAG-KDT and
+// HCNNG, and (b) to harvest initial approximate neighbors for EFANNA's base
+// graph. Each tree splits on a dimension drawn at random from the locally
+// highest-variance dimensions (the randomization that makes a *forest* of
+// such trees effective), at the mean value.
+
+#ifndef GASS_TREES_KD_TREE_H_
+#define GASS_TREES_KD_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/types.h"
+
+namespace gass::trees {
+
+/// K-D tree construction parameters.
+struct KdTreeParams {
+  std::size_t leaf_size = 32;
+  /// Split dimension is drawn uniformly from the top `top_dims`
+  /// highest-variance dimensions of the node's point set.
+  std::size_t top_dims = 5;
+};
+
+/// One randomized K-D tree over (a subset of) a dataset.
+class KdTree {
+ public:
+  /// Builds over all rows of `data`.
+  static KdTree Build(const core::Dataset& data, const KdTreeParams& params,
+                      std::uint64_t seed);
+
+  /// Builds over the given rows.
+  static KdTree BuildOnSubset(const core::Dataset& data,
+                              const std::vector<core::VectorId>& ids,
+                              const KdTreeParams& params, std::uint64_t seed);
+
+  /// Collects up to `count` candidate ids for `query` by best-bin-first
+  /// traversal (descend to the query's leaf, then expand the nearest
+  /// unvisited branches). Appends to `out`; may contain ids already in it.
+  void SearchCandidates(const core::Dataset& data, const float* query,
+                        std::size_t count,
+                        std::vector<core::VectorId>* out) const;
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t MemoryBytes() const;
+
+ private:
+  struct Node {
+    // Interior: split_dim >= 0; leaf: split_dim == -1 with [begin, end)
+    // into ids_.
+    std::int32_t split_dim = -1;
+    float split_value = 0.0f;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+  };
+
+  std::int32_t BuildNode(const core::Dataset& data, std::uint32_t begin,
+                         std::uint32_t end, const KdTreeParams& params,
+                         std::uint64_t seed_state);
+
+  std::vector<Node> nodes_;
+  std::vector<core::VectorId> ids_;
+};
+
+/// A forest of independently randomized K-D trees (what EFANNA/SPTAG build).
+class KdForest {
+ public:
+  static KdForest Build(const core::Dataset& data, std::size_t num_trees,
+                        const KdTreeParams& params, std::uint64_t seed);
+
+  /// Union of per-tree candidates, deduplicated, up to `count` ids.
+  std::vector<core::VectorId> SearchCandidates(const core::Dataset& data,
+                                               const float* query,
+                                               std::size_t count) const;
+
+  std::size_t num_trees() const { return trees_.size(); }
+  std::size_t MemoryBytes() const;
+
+ private:
+  std::vector<KdTree> trees_;
+  const core::Dataset* data_ = nullptr;
+};
+
+}  // namespace gass::trees
+
+#endif  // GASS_TREES_KD_TREE_H_

@@ -1,0 +1,125 @@
+#include "trees/tp_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/macros.h"
+#include "core/rng.h"
+
+namespace gass::trees {
+
+using core::Dataset;
+using core::Rng;
+using core::VectorId;
+
+namespace {
+
+struct Splitter {
+  std::vector<std::size_t> dims;
+  std::vector<float> weights;
+
+  float Project(const float* row) const {
+    float value = 0.0f;
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      value += weights[i] * row[dims[i]];
+    }
+    return value;
+  }
+};
+
+// Picks projection dimensions biased toward high variance, with random ±1
+// (occasionally ±0.5) weights — the "trinary projection" idea.
+Splitter MakeSplitter(const Dataset& data, const std::vector<VectorId>& ids,
+                      std::size_t projection_dims, Rng& rng) {
+  const std::size_t dim = data.dim();
+  std::vector<double> mean(dim, 0.0), m2(dim, 0.0);
+  const std::size_t stride = ids.size() > 512 ? ids.size() / 512 : 1;
+  std::size_t samples = 0;
+  for (std::size_t i = 0; i < ids.size(); i += stride) {
+    const float* row = data.Row(ids[i]);
+    ++samples;
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double delta = row[d] - mean[d];
+      mean[d] += delta / static_cast<double>(samples);
+      m2[d] += delta * (row[d] - mean[d]);
+    }
+  }
+  std::vector<std::size_t> order(dim);
+  for (std::size_t d = 0; d < dim; ++d) order[d] = d;
+  const std::size_t pool = std::min(dim, projection_dims * 4);
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(pool),
+                    order.end(),
+                    [&](std::size_t a, std::size_t b) { return m2[a] > m2[b]; });
+
+  Splitter splitter;
+  const std::size_t take = std::min(projection_dims, pool);
+  for (std::size_t i = 0; i < take; ++i) {
+    splitter.dims.push_back(order[rng.UniformInt(pool)]);
+    const std::uint64_t coin = rng.UniformInt(4);
+    // Weights in {-1, -0.5, +0.5, +1}: signed, two magnitudes.
+    splitter.weights.push_back(coin == 0   ? -1.0f
+                               : coin == 1 ? -0.5f
+                               : coin == 2 ? 0.5f
+                                           : 1.0f);
+  }
+  return splitter;
+}
+
+void PartitionRecursive(const Dataset& data, std::vector<VectorId> ids,
+                        const TpTreeParams& params, Rng& rng,
+                        std::vector<std::vector<VectorId>>* leaves) {
+  if (ids.size() <= params.leaf_size) {
+    leaves->push_back(std::move(ids));
+    return;
+  }
+  const Splitter splitter =
+      MakeSplitter(data, ids, params.projection_dims, rng);
+
+  // Median split on the projection keeps the tree balanced.
+  std::vector<float> projections(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    projections[i] = splitter.Project(data.Row(ids[i]));
+  }
+  std::vector<std::size_t> order(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) order[i] = i;
+  const std::size_t mid = ids.size() / 2;
+  std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(mid),
+                   order.end(), [&](std::size_t a, std::size_t b) {
+                     return projections[a] < projections[b];
+                   });
+
+  std::vector<VectorId> left, right;
+  left.reserve(mid);
+  right.reserve(ids.size() - mid);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    (i < mid ? left : right).push_back(ids[order[i]]);
+  }
+  ids.clear();
+  ids.shrink_to_fit();
+  PartitionRecursive(data, std::move(left), params, rng, leaves);
+  PartitionRecursive(data, std::move(right), params, rng, leaves);
+}
+
+}  // namespace
+
+std::vector<std::vector<VectorId>> TpTreePartitionSubset(
+    const Dataset& data, const std::vector<VectorId>& ids,
+    const TpTreeParams& params, std::uint64_t seed) {
+  GASS_CHECK(params.leaf_size > 0);
+  std::vector<std::vector<VectorId>> leaves;
+  Rng rng(seed);
+  PartitionRecursive(data, ids, params, rng, &leaves);
+  return leaves;
+}
+
+std::vector<std::vector<VectorId>> TpTreePartition(const Dataset& data,
+                                                   const TpTreeParams& params,
+                                                   std::uint64_t seed) {
+  std::vector<VectorId> ids(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ids[i] = static_cast<VectorId>(i);
+  }
+  return TpTreePartitionSubset(data, ids, params, seed);
+}
+
+}  // namespace gass::trees

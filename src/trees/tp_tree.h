@@ -1,0 +1,40 @@
+// Trinary-projection-style partition trees (TP trees), the structure SPTAG
+// uses to divide the dataset before building per-leaf k-NN graphs.
+//
+// Each interior node splits its points by a sparse random projection: a
+// signed combination of a few high-variance dimensions, thresholded at the
+// projection median. Repeated independent trees produce overlapping leaf
+// sets, which SPTAG merges after building a graph per leaf.
+
+#ifndef GASS_TREES_TP_TREE_H_
+#define GASS_TREES_TP_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/types.h"
+
+namespace gass::trees {
+
+/// TP-tree partitioning parameters.
+struct TpTreeParams {
+  std::size_t leaf_size = 200;
+  /// Number of dimensions combined into each projection direction.
+  std::size_t projection_dims = 3;
+};
+
+/// Recursively partitions all rows of `data` into leaves of at most
+/// `params.leaf_size` points; returns the leaf membership lists.
+std::vector<std::vector<core::VectorId>> TpTreePartition(
+    const core::Dataset& data, const TpTreeParams& params,
+    std::uint64_t seed);
+
+/// Partitions only the given subset of rows.
+std::vector<std::vector<core::VectorId>> TpTreePartitionSubset(
+    const core::Dataset& data, const std::vector<core::VectorId>& ids,
+    const TpTreeParams& params, std::uint64_t seed);
+
+}  // namespace gass::trees
+
+#endif  // GASS_TREES_TP_TREE_H_

@@ -1,0 +1,104 @@
+#include "trees/vp_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "core/distance.h"
+#include "core/macros.h"
+
+namespace gass::trees {
+
+using core::Dataset;
+using core::Neighbor;
+using core::Rng;
+using core::VectorId;
+
+VpTree VpTree::Build(const Dataset& data, std::uint64_t seed) {
+  GASS_CHECK(!data.empty());
+  VpTree tree;
+  std::vector<VectorId> ids(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ids[i] = static_cast<VectorId>(i);
+  }
+  Rng rng(seed);
+  tree.BuildNode(data, ids, 0, ids.size(), rng);
+  return tree;
+}
+
+std::int32_t VpTree::BuildNode(const Dataset& data, std::vector<VectorId>& ids,
+                               std::size_t begin, std::size_t end, Rng& rng) {
+  if (begin >= end) return -1;
+  const std::int32_t index = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+
+  // Random vantage point, swapped to the front of the range.
+  const std::size_t pick = begin + rng.UniformInt(end - begin);
+  std::swap(ids[begin], ids[pick]);
+  const VectorId vantage = ids[begin];
+  nodes_[index].vantage = vantage;
+
+  if (end - begin == 1) return index;
+
+  // Median-radius split of the remaining points.
+  const std::size_t mid = begin + 1 + (end - begin - 1) / 2;
+  std::nth_element(
+      ids.begin() + static_cast<std::ptrdiff_t>(begin + 1),
+      ids.begin() + static_cast<std::ptrdiff_t>(mid),
+      ids.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](VectorId a, VectorId b) {
+        return core::L2Sq(data.Row(vantage), data.Row(a), data.dim()) <
+               core::L2Sq(data.Row(vantage), data.Row(b), data.dim());
+      });
+  nodes_[index].radius =
+      core::L2Sq(data.Row(vantage), data.Row(ids[mid]), data.dim());
+
+  const std::int32_t inside = BuildNode(data, ids, begin + 1, mid, rng);
+  const std::int32_t outside = BuildNode(data, ids, mid, end, rng);
+  nodes_[index].inside = inside;
+  nodes_[index].outside = outside;
+  return index;
+}
+
+std::vector<Neighbor> VpTree::Search(const Dataset& data, const float* query,
+                                     std::size_t k,
+                                     std::size_t max_visits) const {
+  core::CandidatePool pool(k);
+  if (nodes_.empty()) return {};
+
+  // Best-first over (lower bound, node); lower bound on *squared* distance
+  // from the triangle inequality applied to sqrt-distances.
+  using Entry = std::pair<float, std::int32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
+  frontier.emplace(0.0f, 0);
+  std::size_t visits = 0;
+
+  while (!frontier.empty() && visits < max_visits) {
+    const auto [bound, node_index] = frontier.top();
+    frontier.pop();
+    if (bound >= pool.WorstDistance()) break;  // Exact-pruning condition.
+    const Node& node = nodes_[static_cast<std::size_t>(node_index)];
+    ++visits;
+
+    const float d = core::L2Sq(query, data.Row(node.vantage), data.dim());
+    if (d < pool.WorstDistance()) pool.Insert(Neighbor(node.vantage, d));
+
+    if (node.inside < 0 && node.outside < 0) continue;
+
+    const double dist = std::sqrt(static_cast<double>(d));
+    const double radius = std::sqrt(static_cast<double>(node.radius));
+    // Child lower bounds: inside ball -> max(0, dist - radius); outside ->
+    // max(0, radius - dist).
+    if (node.inside >= 0) {
+      const double lb = std::max(0.0, dist - radius);
+      frontier.emplace(static_cast<float>(lb * lb), node.inside);
+    }
+    if (node.outside >= 0) {
+      const double lb = std::max(0.0, radius - dist);
+      frontier.emplace(static_cast<float>(lb * lb), node.outside);
+    }
+  }
+  return pool.TopK(k);
+}
+
+}  // namespace gass::trees

@@ -1,0 +1,53 @@
+// Vantage-point tree — NGT's seed-selection structure.
+//
+// A metric tree: each interior node picks a vantage point and splits the rest
+// by distance-to-vantage at the median radius. Approximate k-NN retrieval
+// under a node-visit budget supplies seeds for beam search.
+
+#ifndef GASS_TREES_VP_TREE_H_
+#define GASS_TREES_VP_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/neighbor.h"
+#include "core/rng.h"
+#include "core/types.h"
+
+namespace gass::trees {
+
+/// VP-tree over a dataset.
+class VpTree {
+ public:
+  static VpTree Build(const core::Dataset& data, std::uint64_t seed);
+
+  /// Approximate k nearest neighbors of `query`, visiting at most
+  /// `max_visits` tree leaves/vantage points. Exact when max_visits is
+  /// large enough.
+  std::vector<core::Neighbor> Search(const core::Dataset& data,
+                                     const float* query, std::size_t k,
+                                     std::size_t max_visits) const;
+
+  std::size_t MemoryBytes() const {
+    return nodes_.size() * sizeof(Node);
+  }
+
+ private:
+  struct Node {
+    core::VectorId vantage = core::kInvalidVectorId;
+    float radius = 0.0f;  // Median distance of the node's points to vantage.
+    std::int32_t inside = -1;
+    std::int32_t outside = -1;
+  };
+
+  std::int32_t BuildNode(const core::Dataset& data,
+                         std::vector<core::VectorId>& ids, std::size_t begin,
+                         std::size_t end, core::Rng& rng);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace gass::trees
+
+#endif  // GASS_TREES_VP_TREE_H_

@@ -1,0 +1,184 @@
+#include "core/beam_search.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "eval/ground_truth.h"
+#include "knngraph/exact_knn_graph.h"
+
+namespace gass::core {
+namespace {
+
+struct BeamFixture {
+  Dataset data;
+  Graph graph;
+
+  // A single Gaussian cloud: its undirected exact k-NN graph is connected,
+  // so traversal-based assertions are stable.
+  explicit BeamFixture(std::size_t n = 300, std::size_t k = 10) {
+    Rng rng(77);
+    data = Dataset(n, 8);
+    for (VectorId i = 0; i < n; ++i) {
+      for (std::size_t d = 0; d < 8; ++d) {
+        data.MutableRow(i)[d] = static_cast<float>(rng.Normal());
+      }
+    }
+    DistanceComputer dc(data);
+    graph = knngraph::ExactKnnGraph(dc, k, 1);
+    graph.MakeUndirected();  // Ensure the beam can traverse everywhere.
+  }
+};
+
+TEST(BeamSearchTest, FindsExactNeighborsOnKnnGraphWithWideBeam) {
+  BeamFixture fixture;
+  DistanceComputer dc(fixture.data);
+  VisitedTable visited(fixture.data.size());
+  const auto truth =
+      eval::BruteForceKnn(fixture.data, fixture.data.Prefix(5), 5, 1);
+  for (VectorId q = 0; q < 5; ++q) {
+    const auto found =
+        BeamSearch(fixture.graph, dc, fixture.data.Row(q), {0}, 5, 128,
+                   &visited);
+    ASSERT_EQ(found.size(), 5u);
+    // Query q is in the dataset, so its own id must be the top answer.
+    EXPECT_EQ(found[0].id, q);
+    EXPECT_FLOAT_EQ(found[0].distance, 0.0f);
+    for (std::size_t i = 0; i < 5; ++i) {
+      EXPECT_FLOAT_EQ(found[i].distance, truth[q][i].distance);
+    }
+  }
+}
+
+TEST(BeamSearchTest, ResultsSortedAscending) {
+  BeamFixture fixture;
+  DistanceComputer dc(fixture.data);
+  VisitedTable visited(fixture.data.size());
+  const auto found = BeamSearch(fixture.graph, dc, fixture.data.Row(17), {3},
+                                10, 64, &visited);
+  for (std::size_t i = 0; i + 1 < found.size(); ++i) {
+    EXPECT_LE(found[i].distance, found[i + 1].distance);
+  }
+}
+
+TEST(BeamSearchTest, WiderBeamNeverHurtsTopDistance) {
+  BeamFixture fixture;
+  DistanceComputer dc(fixture.data);
+  VisitedTable visited(fixture.data.size());
+  const float* query = fixture.data.Row(42);
+  const auto narrow =
+      BeamSearch(fixture.graph, dc, query, {0}, 5, 8, &visited);
+  const auto wide =
+      BeamSearch(fixture.graph, dc, query, {0}, 5, 128, &visited);
+  ASSERT_FALSE(narrow.empty());
+  ASSERT_FALSE(wide.empty());
+  EXPECT_LE(wide.back().distance, narrow.back().distance);
+}
+
+TEST(BeamSearchTest, CountsDistancesAndHops) {
+  BeamFixture fixture;
+  DistanceComputer dc(fixture.data);
+  VisitedTable visited(fixture.data.size());
+  SearchStats stats;
+  BeamSearch(fixture.graph, dc, fixture.data.Row(1), {0}, 5, 32, &visited,
+             &stats);
+  EXPECT_GT(dc.count(), 0u);
+  EXPECT_GT(stats.hops, 0u);
+  // Each evaluated vertex costs exactly one distance computation.
+  EXPECT_LE(stats.hops, dc.count());
+}
+
+TEST(BeamSearchTest, MultipleSeedsAreAllConsidered) {
+  BeamFixture fixture;
+  DistanceComputer dc(fixture.data);
+  VisitedTable visited(fixture.data.size());
+  const auto found = BeamSearch(fixture.graph, dc, fixture.data.Row(9),
+                                {0, 9, 100}, 3, 16, &visited);
+  ASSERT_FALSE(found.empty());
+  EXPECT_EQ(found[0].id, 9u);  // Seeded directly with the answer.
+}
+
+TEST(BeamSearchTest, DuplicateSeedsHandled) {
+  BeamFixture fixture;
+  DistanceComputer dc(fixture.data);
+  VisitedTable visited(fixture.data.size());
+  const auto found = BeamSearch(fixture.graph, dc, fixture.data.Row(2),
+                                {5, 5, 5}, 3, 16, &visited);
+  EXPECT_FALSE(found.empty());
+}
+
+TEST(BeamSearchTest, FlatGraphMatchesAdjacencyGraph) {
+  BeamFixture fixture;
+  const FlatGraph flat = FlatGraph::FromGraph(fixture.graph);
+  DistanceComputer dc1(fixture.data);
+  DistanceComputer dc2(fixture.data);
+  VisitedTable visited1(fixture.data.size());
+  VisitedTable visited2(fixture.data.size());
+  for (VectorId q = 0; q < 10; ++q) {
+    const auto a = BeamSearch(fixture.graph, dc1, fixture.data.Row(q), {0},
+                              5, 32, &visited1);
+    const auto b =
+        BeamSearch(flat, dc2, fixture.data.Row(q), {0}, 5, 32, &visited2);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_FLOAT_EQ(a[i].distance, b[i].distance);
+    }
+  }
+  EXPECT_EQ(dc1.count(), dc2.count());
+}
+
+TEST(BeamSearchCollectTest, EvaluatedSupersetOfResults) {
+  BeamFixture fixture;
+  DistanceComputer dc(fixture.data);
+  VisitedTable visited(fixture.data.size());
+  std::vector<Neighbor> evaluated;
+  const auto found =
+      BeamSearchCollect(fixture.graph, dc, fixture.data.Row(3), {0}, 10, 32,
+                        &visited, &evaluated);
+  EXPECT_GE(evaluated.size(), found.size());
+  for (const Neighbor& nb : found) {
+    EXPECT_NE(std::find_if(evaluated.begin(), evaluated.end(),
+                           [&](const Neighbor& e) { return e.id == nb.id; }),
+              evaluated.end());
+  }
+  // Evaluated count equals the distance computations performed.
+  EXPECT_EQ(evaluated.size(), dc.count());
+}
+
+TEST(BeamSearchTest, PruneBoundCutsCostWithoutChangingBetterAnswers) {
+  BeamFixture fixture;
+  DistanceComputer dc_free(fixture.data);
+  DistanceComputer dc_bound(fixture.data);
+  VisitedTable visited(fixture.data.size());
+  const float* query = fixture.data.Row(25);
+
+  const auto free_run =
+      BeamSearch(fixture.graph, dc_free, query, {0}, 5, 64, &visited);
+  ASSERT_EQ(free_run.size(), 5u);
+  // Bound just above the true 2nd-best distance: every answer strictly
+  // better than the bound must still be found, at no more cost.
+  const float bound = free_run[2].distance;
+  const auto bounded = BeamSearch(fixture.graph, dc_bound, query, {0}, 5, 64,
+                                  &visited, nullptr, bound);
+  ASSERT_GE(bounded.size(), 2u);
+  EXPECT_EQ(bounded[0].id, free_run[0].id);
+  EXPECT_EQ(bounded[1].id, free_run[1].id);
+  EXPECT_LE(dc_bound.count(), dc_free.count());
+}
+
+TEST(BeamSearchTest, SingletonGraph) {
+  Dataset data(1, 4);
+  for (std::size_t d = 0; d < 4; ++d) data.MutableRow(0)[d] = 1.0f;
+  Graph graph(1);
+  DistanceComputer dc(data);
+  VisitedTable visited(1);
+  const float query[4] = {0, 0, 0, 0};
+  const auto found = BeamSearch(graph, dc, query, {0}, 3, 8, &visited);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].id, 0u);
+}
+
+}  // namespace
+}  // namespace gass::core

@@ -1,0 +1,151 @@
+#include "core/dataset.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace gass::core {
+namespace {
+
+Dataset MakeSequential(std::size_t n, std::size_t dim) {
+  Dataset data(n, dim);
+  for (VectorId i = 0; i < n; ++i) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      data.MutableRow(i)[d] = static_cast<float>(i * dim + d);
+    }
+  }
+  return data;
+}
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(DatasetTest, ConstructionAndAccess) {
+  Dataset data = MakeSequential(5, 3);
+  EXPECT_EQ(data.size(), 5u);
+  EXPECT_EQ(data.dim(), 3u);
+  EXPECT_FALSE(data.empty());
+  EXPECT_FLOAT_EQ(data.Row(2)[1], 7.0f);
+  EXPECT_EQ(data.SizeBytes(), 5u * 3u * sizeof(float));
+}
+
+TEST(DatasetTest, DefaultIsEmpty) {
+  Dataset data;
+  EXPECT_TRUE(data.empty());
+  EXPECT_EQ(data.size(), 0u);
+}
+
+TEST(DatasetTest, CloneIsDeep) {
+  Dataset data = MakeSequential(3, 2);
+  Dataset copy = data.Clone();
+  copy.MutableRow(0)[0] = 99.0f;
+  EXPECT_FLOAT_EQ(data.Row(0)[0], 0.0f);
+  EXPECT_FLOAT_EQ(copy.Row(0)[0], 99.0f);
+}
+
+TEST(DatasetTest, PrefixTakesLeadingRows) {
+  Dataset data = MakeSequential(6, 2);
+  Dataset prefix = data.Prefix(2);
+  EXPECT_EQ(prefix.size(), 2u);
+  EXPECT_FLOAT_EQ(prefix.Row(1)[1], 3.0f);
+}
+
+TEST(DatasetTest, SelectReordersRows) {
+  Dataset data = MakeSequential(4, 2);
+  Dataset selected = data.Select({3, 0});
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_FLOAT_EQ(selected.Row(0)[0], 6.0f);
+  EXPECT_FLOAT_EQ(selected.Row(1)[0], 0.0f);
+}
+
+TEST(DatasetTest, AppendGrowsDataset) {
+  Dataset a = MakeSequential(2, 3);
+  Dataset b = MakeSequential(3, 3);
+  a.Append(b);
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_FLOAT_EQ(a.Row(2)[0], 0.0f);
+}
+
+TEST(DatasetTest, AppendIntoEmptyAdoptsDim) {
+  Dataset a;
+  Dataset b = MakeSequential(2, 4);
+  a.Append(b);
+  EXPECT_EQ(a.dim(), 4u);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(DatasetIoTest, FvecsRoundTrip) {
+  Dataset data = MakeSequential(7, 5);
+  const std::string path = TempPath("roundtrip.fvecs");
+  ASSERT_TRUE(WriteFvecs(path, data).ok());
+  Dataset loaded;
+  ASSERT_TRUE(ReadFvecs(path, &loaded).ok());
+  ASSERT_EQ(loaded.size(), 7u);
+  ASSERT_EQ(loaded.dim(), 5u);
+  for (VectorId i = 0; i < 7; ++i) {
+    for (std::size_t d = 0; d < 5; ++d) {
+      EXPECT_FLOAT_EQ(loaded.Row(i)[d], data.Row(i)[d]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, ReadMissingFileFails) {
+  Dataset out;
+  const Status status = ReadFvecs("/nonexistent/path/file.fvecs", &out);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("cannot open"), std::string::npos);
+}
+
+TEST(DatasetIoTest, BvecsWidensToFloat) {
+  // Hand-write a bvecs file: two 3-dimensional byte vectors.
+  const std::string path = TempPath("test.bvecs");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const std::int32_t dim = 3;
+  const std::uint8_t row1[3] = {1, 2, 255};
+  const std::uint8_t row2[3] = {0, 128, 64};
+  std::fwrite(&dim, sizeof(dim), 1, f);
+  std::fwrite(row1, 1, 3, f);
+  std::fwrite(&dim, sizeof(dim), 1, f);
+  std::fwrite(row2, 1, 3, f);
+  std::fclose(f);
+
+  Dataset loaded;
+  ASSERT_TRUE(ReadBvecs(path, &loaded).ok());
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_FLOAT_EQ(loaded.Row(0)[2], 255.0f);
+  EXPECT_FLOAT_EQ(loaded.Row(1)[1], 128.0f);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, IvecsRoundTrip) {
+  const std::vector<std::vector<std::int32_t>> rows = {
+      {1, 2, 3}, {}, {42}};
+  const std::string path = TempPath("test.ivecs");
+  ASSERT_TRUE(WriteIvecs(path, rows).ok());
+  std::vector<std::vector<std::int32_t>> loaded;
+  ASSERT_TRUE(ReadIvecs(path, &loaded).ok());
+  EXPECT_EQ(loaded, rows);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, TruncatedFvecsFails) {
+  const std::string path = TempPath("truncated.fvecs");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const std::int32_t dim = 8;
+  const float partial[2] = {1.0f, 2.0f};
+  std::fwrite(&dim, sizeof(dim), 1, f);
+  std::fwrite(partial, sizeof(float), 2, f);  // Only 2 of 8 values.
+  std::fclose(f);
+
+  Dataset out;
+  EXPECT_FALSE(ReadFvecs(path, &out).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gass::core

@@ -1,0 +1,96 @@
+#include "core/distance.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace gass::core {
+namespace {
+
+float NaiveL2Sq(const std::vector<float>& a, const std::vector<float>& b) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += (a[i] - b[i]) * (a[i] - b[i]);
+  }
+  return acc;
+}
+
+float NaiveDot(const std::vector<float>& a, const std::vector<float>& b) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+TEST(DistanceTest, L2SqSimpleCases) {
+  const float a[4] = {0, 0, 0, 0};
+  const float b[4] = {1, 2, 3, 4};
+  EXPECT_FLOAT_EQ(L2Sq(a, b, 4), 30.0f);
+  EXPECT_FLOAT_EQ(L2Sq(b, b, 4), 0.0f);
+}
+
+TEST(DistanceTest, DotSimpleCases) {
+  const float a[3] = {1, 2, 3};
+  const float b[3] = {4, 5, 6};
+  EXPECT_FLOAT_EQ(Dot(a, b, 3), 32.0f);
+}
+
+TEST(DistanceTest, NormIsSqrtOfSelfDot) {
+  const float a[2] = {3, 4};
+  EXPECT_FLOAT_EQ(Norm(a, 2), 5.0f);
+}
+
+// Parameterized over dimensions, including non-multiples of the unroll
+// factor, to exercise the tail loop.
+class DistanceKernelTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DistanceKernelTest, MatchesNaiveImplementation) {
+  const std::size_t dim = GetParam();
+  Rng rng(dim * 31 + 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> a(dim), b(dim);
+    for (std::size_t d = 0; d < dim; ++d) {
+      a[d] = rng.UniformFloat(-5.0f, 5.0f);
+      b[d] = rng.UniformFloat(-5.0f, 5.0f);
+    }
+    EXPECT_NEAR(L2Sq(a.data(), b.data(), dim), NaiveL2Sq(a, b),
+                1e-3f * (1.0f + NaiveL2Sq(a, b)));
+    EXPECT_NEAR(Dot(a.data(), b.data(), dim), NaiveDot(a, b),
+                1e-3f * (1.0f + std::abs(NaiveDot(a, b))));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, DistanceKernelTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16, 17, 31,
+                                           96, 128, 200, 256, 960));
+
+TEST(DistanceComputerTest, CountsEveryComputation) {
+  Dataset data(4, 2);
+  for (VectorId i = 0; i < 4; ++i) {
+    data.MutableRow(i)[0] = static_cast<float>(i);
+    data.MutableRow(i)[1] = 0.0f;
+  }
+  DistanceComputer dc(data);
+  EXPECT_EQ(dc.count(), 0u);
+  EXPECT_FLOAT_EQ(dc.Between(0, 2), 4.0f);
+  EXPECT_EQ(dc.count(), 1u);
+  const float query[2] = {1.0f, 0.0f};
+  EXPECT_FLOAT_EQ(dc.ToQuery(query, 3), 4.0f);
+  EXPECT_EQ(dc.count(), 2u);
+  dc.ResetCount();
+  EXPECT_EQ(dc.count(), 0u);
+  dc.AddCount(10);
+  EXPECT_EQ(dc.count(), 10u);
+}
+
+TEST(DistanceComputerTest, ExposesDatasetMetadata) {
+  Dataset data(3, 7);
+  DistanceComputer dc(data);
+  EXPECT_EQ(dc.dim(), 7u);
+  EXPECT_EQ(&dc.dataset(), &data);
+}
+
+}  // namespace
+}  // namespace gass::core

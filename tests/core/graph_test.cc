@@ -1,0 +1,123 @@
+#include "core/graph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace gass::core {
+namespace {
+
+Graph MakeChain(std::size_t n) {
+  Graph graph(n);
+  for (VectorId v = 0; v + 1 < n; ++v) graph.AddEdge(v, v + 1);
+  return graph;
+}
+
+TEST(GraphTest, AddAndQueryEdges) {
+  Graph graph(3);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(0, 2);
+  EXPECT_EQ(graph.Neighbors(0).size(), 2u);
+  EXPECT_TRUE(graph.Neighbors(1).empty());
+  EXPECT_EQ(graph.EdgeCount(), 2u);
+}
+
+TEST(GraphTest, AddEdgeUniqueRejectsDuplicates) {
+  Graph graph(2);
+  EXPECT_TRUE(graph.AddEdgeUnique(0, 1));
+  EXPECT_FALSE(graph.AddEdgeUnique(0, 1));
+  EXPECT_EQ(graph.Neighbors(0).size(), 1u);
+}
+
+TEST(GraphTest, DegreeStatistics) {
+  Graph graph(3);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(0, 2);
+  graph.AddEdge(1, 0);
+  EXPECT_EQ(graph.MaxDegree(), 2u);
+  EXPECT_DOUBLE_EQ(graph.AverageDegree(), 1.0);
+}
+
+TEST(GraphTest, MakeUndirectedAddsReverseEdges) {
+  Graph graph = MakeChain(4);
+  graph.MakeUndirected();
+  for (VectorId v = 1; v + 1 < 4; ++v) {
+    const auto& list = graph.Neighbors(v);
+    EXPECT_NE(std::find(list.begin(), list.end(), v - 1), list.end());
+    EXPECT_NE(std::find(list.begin(), list.end(), v + 1), list.end());
+  }
+}
+
+TEST(GraphTest, MakeUndirectedDeduplicatesAndDropsSelfLoops) {
+  Graph graph(2);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 0);
+  graph.AddEdge(0, 0);
+  graph.MakeUndirected();
+  EXPECT_EQ(graph.Neighbors(0).size(), 1u);
+  EXPECT_EQ(graph.Neighbors(1).size(), 1u);
+}
+
+TEST(GraphTest, ReachableFromCountsComponent) {
+  Graph graph = MakeChain(5);
+  EXPECT_EQ(graph.ReachableFrom(0), 5u);
+  EXPECT_EQ(graph.ReachableFrom(4), 1u);  // Chain is directed.
+  Graph two(4);
+  two.AddEdge(0, 1);
+  two.AddEdge(2, 3);
+  EXPECT_EQ(two.ReachableFrom(0), 2u);
+}
+
+TEST(GraphTest, SaveLoadRoundTrip) {
+  Graph graph = MakeChain(6);
+  graph.AddEdge(5, 0);
+  const std::string path =
+      std::string(::testing::TempDir()) + "/graph_roundtrip.bin";
+  ASSERT_TRUE(graph.Save(path).ok());
+  Graph loaded;
+  ASSERT_TRUE(loaded.Load(path).ok());
+  ASSERT_EQ(loaded.size(), graph.size());
+  for (VectorId v = 0; v < graph.size(); ++v) {
+    EXPECT_EQ(loaded.Neighbors(v), graph.Neighbors(v));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphTest, LoadMissingFileFails) {
+  Graph graph;
+  EXPECT_FALSE(graph.Load("/nonexistent/graph.bin").ok());
+}
+
+TEST(FlatGraphTest, FromGraphPreservesAdjacency) {
+  Graph graph(4);
+  graph.AddEdge(0, 2);
+  graph.AddEdge(0, 3);
+  graph.AddEdge(2, 1);
+  const FlatGraph flat = FlatGraph::FromGraph(graph);
+  ASSERT_EQ(flat.size(), 4u);
+  EXPECT_EQ(flat.EdgeCount(), 3u);
+  std::size_t degree = 0;
+  const VectorId* neighbors = flat.Neighbors(0, &degree);
+  ASSERT_EQ(degree, 2u);
+  EXPECT_EQ(neighbors[0], 2u);
+  EXPECT_EQ(neighbors[1], 3u);
+  EXPECT_EQ(flat.Degree(1), 0u);
+  EXPECT_EQ(flat.Degree(2), 1u);
+}
+
+TEST(FlatGraphTest, MemorySmallerThanAdjacencyLists) {
+  Graph graph(100);
+  for (VectorId v = 0; v < 100; ++v) {
+    for (VectorId u = 0; u < 8; ++u) {
+      if (u != v) graph.AddEdge(v, u);
+    }
+  }
+  const FlatGraph flat = FlatGraph::FromGraph(graph);
+  EXPECT_LT(flat.MemoryBytes(), graph.MemoryBytes() * 2);
+  EXPECT_GT(flat.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace gass::core

@@ -1,0 +1,51 @@
+#include "core/memory_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace gass::core {
+namespace {
+
+TEST(MemoryTrackerTest, ProcReadersReturnPlausibleValues) {
+  // On Linux these should be nonzero and ordered; elsewhere they return 0.
+  const std::size_t rss = CurrentRssBytes();
+  const std::size_t peak = PeakRssBytes();
+  if (rss != 0) {
+    EXPECT_GE(peak, rss / 2);  // Peak can lag current only by page noise.
+    EXPECT_GT(rss, 100 * 1024u);  // A running gtest binary uses > 100 KiB.
+  }
+  const std::size_t vm_peak = PeakVmBytes();
+  if (vm_peak != 0 && peak != 0) {
+    EXPECT_GE(vm_peak, peak);  // Virtual peak bounds resident peak.
+  }
+}
+
+TEST(MemoryLedgerTest, TracksTotalsAndPeak) {
+  MemoryLedger ledger;
+  ledger.Add("a", 100);
+  ledger.Add("b", 50);
+  EXPECT_EQ(ledger.Total(), 150u);
+  EXPECT_EQ(ledger.Peak(), 150u);
+  ledger.Release(70);
+  EXPECT_EQ(ledger.Total(), 80u);
+  EXPECT_EQ(ledger.Peak(), 150u);
+  ledger.Add("c", 200);
+  EXPECT_EQ(ledger.Peak(), 280u);
+}
+
+TEST(MemoryLedgerTest, ReleaseClampsAtZero) {
+  MemoryLedger ledger;
+  ledger.Add("a", 10);
+  ledger.Release(100);
+  EXPECT_EQ(ledger.Total(), 0u);
+}
+
+TEST(MemoryLedgerTest, ClearResetsEverything) {
+  MemoryLedger ledger;
+  ledger.Add("a", 10);
+  ledger.Clear();
+  EXPECT_EQ(ledger.Total(), 0u);
+  EXPECT_EQ(ledger.Peak(), 0u);
+}
+
+}  // namespace
+}  // namespace gass::core

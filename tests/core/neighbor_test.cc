@@ -1,0 +1,164 @@
+#include "core/neighbor.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace gass::core {
+namespace {
+
+TEST(NeighborTest, OrderingByDistanceThenId) {
+  EXPECT_LT(Neighbor(5, 1.0f), Neighbor(2, 2.0f));
+  EXPECT_LT(Neighbor(1, 1.0f), Neighbor(2, 1.0f));
+  EXPECT_EQ(Neighbor(1, 1.0f), Neighbor(1, 1.0f));
+}
+
+TEST(CandidatePoolTest, InsertKeepsAscendingOrder) {
+  CandidatePool pool(4);
+  pool.Insert(Neighbor(1, 3.0f));
+  pool.Insert(Neighbor(2, 1.0f));
+  pool.Insert(Neighbor(3, 2.0f));
+  ASSERT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool[0].id, 2u);
+  EXPECT_EQ(pool[1].id, 3u);
+  EXPECT_EQ(pool[2].id, 1u);
+}
+
+TEST(CandidatePoolTest, CapacityEvictsWorst) {
+  CandidatePool pool(2);
+  pool.Insert(Neighbor(1, 3.0f));
+  pool.Insert(Neighbor(2, 1.0f));
+  pool.Insert(Neighbor(3, 2.0f));
+  ASSERT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool[0].id, 2u);
+  EXPECT_EQ(pool[1].id, 3u);
+}
+
+TEST(CandidatePoolTest, RejectsWorseThanWorstWhenFull) {
+  CandidatePool pool(2);
+  pool.Insert(Neighbor(1, 1.0f));
+  pool.Insert(Neighbor(2, 2.0f));
+  EXPECT_EQ(pool.Insert(Neighbor(3, 5.0f)), pool.capacity());
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(CandidatePoolTest, RejectsDuplicateIdAtSameDistance) {
+  CandidatePool pool(4);
+  EXPECT_LT(pool.Insert(Neighbor(7, 2.0f)), pool.capacity());
+  EXPECT_EQ(pool.Insert(Neighbor(7, 2.0f)), pool.capacity());
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(CandidatePoolTest, WorstDistanceInfiniteUntilFull) {
+  CandidatePool pool(2);
+  EXPECT_GT(pool.WorstDistance(), 1e30f);
+  pool.Insert(Neighbor(1, 1.0f));
+  EXPECT_GT(pool.WorstDistance(), 1e30f);
+  pool.Insert(Neighbor(2, 2.0f));
+  EXPECT_FLOAT_EQ(pool.WorstDistance(), 2.0f);
+}
+
+TEST(CandidatePoolTest, FirstUnexploredAndMark) {
+  CandidatePool pool(4);
+  pool.Insert(Neighbor(1, 1.0f));
+  pool.Insert(Neighbor(2, 2.0f));
+  EXPECT_EQ(pool.FirstUnexplored(), 0u);
+  pool.MarkExplored(0);
+  EXPECT_EQ(pool.FirstUnexplored(), 1u);
+  pool.MarkExplored(1);
+  EXPECT_EQ(pool.FirstUnexplored(), pool.size());
+}
+
+TEST(CandidatePoolTest, InsertBeforeExploredKeepsFlags) {
+  CandidatePool pool(4);
+  pool.Insert(Neighbor(1, 5.0f));
+  pool.MarkExplored(0);
+  pool.Insert(Neighbor(2, 1.0f));  // Inserted before the explored entry.
+  EXPECT_EQ(pool.FirstUnexplored(), 0u);
+  EXPECT_EQ(pool[0].id, 2u);
+  EXPECT_TRUE(pool[1].explored);
+}
+
+TEST(CandidatePoolTest, TopKClampsToSize) {
+  CandidatePool pool(8);
+  pool.Insert(Neighbor(1, 1.0f));
+  pool.Insert(Neighbor(2, 2.0f));
+  const auto top = pool.TopK(5);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 1u);
+}
+
+TEST(CandidatePoolTest, PruneBoundInactiveWhileFilling) {
+  // While the pool is filling, far candidates still enter (they serve as
+  // routing anchors); the bound bites only once the pool is full.
+  CandidatePool pool(2);
+  pool.SetPruneBound(2.0f);
+  EXPECT_GT(pool.WorstDistance(), 1e30f);
+  EXPECT_LT(pool.Insert(Neighbor(1, 5.0f)), pool.capacity());
+  EXPECT_LT(pool.Insert(Neighbor(2, 9.0f)), pool.capacity());
+  // Full now: worst is min(back=9, bound=2) = 2.
+  EXPECT_FLOAT_EQ(pool.WorstDistance(), 2.0f);
+  EXPECT_EQ(pool.Insert(Neighbor(3, 2.0f)), pool.capacity());
+  EXPECT_LT(pool.Insert(Neighbor(4, 1.5f)), pool.capacity());
+}
+
+TEST(CandidatePoolTest, PruneBoundTighterThanWorst) {
+  CandidatePool pool(2);
+  pool.Insert(Neighbor(1, 1.0f));
+  pool.Insert(Neighbor(2, 3.0f));
+  pool.SetPruneBound(2.0f);
+  EXPECT_FLOAT_EQ(pool.WorstDistance(), 2.0f);  // min(bound, back).
+}
+
+TEST(CandidatePoolTest, ClearEmptiesPool) {
+  CandidatePool pool(2);
+  pool.Insert(Neighbor(1, 1.0f));
+  pool.Clear();
+  EXPECT_TRUE(pool.empty());
+}
+
+// Property: after a stream of random inserts, the pool equals the sorted
+// unique best-`capacity` of the stream.
+class CandidatePoolPropertyTest : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(CandidatePoolPropertyTest, MatchesSortedTruncationOfStream) {
+  const std::size_t capacity = GetParam();
+  Rng rng(capacity * 97 + 3);
+  CandidatePool pool(capacity);
+  std::vector<Neighbor> reference;
+  for (int i = 0; i < 500; ++i) {
+    const Neighbor candidate(static_cast<VectorId>(rng.UniformInt(200)),
+                             static_cast<float>(rng.UniformInt(50)));
+    pool.Insert(candidate);
+    // Mirror the dedup rule: same (id, distance) only once.
+    if (std::find(reference.begin(), reference.end(), candidate) ==
+        reference.end()) {
+      reference.push_back(candidate);
+    }
+  }
+  std::sort(reference.begin(), reference.end());
+  // The pool may have rejected candidates that would NOW be in the best set
+  // only if they were worse than the worst at insertion time — with this
+  // stream (insertions never removed) the greedy pool is exact.
+  ASSERT_LE(pool.size(), capacity);
+  for (std::size_t i = 0; i + 1 < pool.size(); ++i) {
+    EXPECT_LE(pool[i].distance, pool[i + 1].distance);
+  }
+  // Ties at equal distance are kept in arrival order, so compare the
+  // distance multiset (which greedy top-k preserves exactly), not ids.
+  const std::size_t expect = std::min(capacity, reference.size());
+  for (std::size_t i = 0; i < expect; ++i) {
+    EXPECT_FLOAT_EQ(pool[i].distance, reference[i].distance)
+        << "position " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CandidatePoolPropertyTest,
+                         ::testing::Values(1, 2, 3, 8, 33, 100));
+
+}  // namespace
+}  // namespace gass::core

@@ -1,0 +1,59 @@
+#include "core/visited.h"
+
+#include <gtest/gtest.h>
+
+namespace gass::core {
+namespace {
+
+TEST(VisitedTableTest, FreshTableAfterEpoch) {
+  VisitedTable table(10);
+  table.NewEpoch();
+  for (VectorId v = 0; v < 10; ++v) {
+    EXPECT_FALSE(table.Visited(v));
+  }
+}
+
+TEST(VisitedTableTest, MarkAndQuery) {
+  VisitedTable table(5);
+  table.NewEpoch();
+  table.MarkVisited(3);
+  EXPECT_TRUE(table.Visited(3));
+  EXPECT_FALSE(table.Visited(2));
+}
+
+TEST(VisitedTableTest, TryVisitReturnsTrueOnce) {
+  VisitedTable table(5);
+  table.NewEpoch();
+  EXPECT_TRUE(table.TryVisit(1));
+  EXPECT_FALSE(table.TryVisit(1));
+  EXPECT_TRUE(table.Visited(1));
+}
+
+TEST(VisitedTableTest, NewEpochResetsWithoutClearing) {
+  VisitedTable table(5);
+  table.NewEpoch();
+  table.MarkVisited(0);
+  table.MarkVisited(4);
+  table.NewEpoch();
+  EXPECT_FALSE(table.Visited(0));
+  EXPECT_FALSE(table.Visited(4));
+  EXPECT_TRUE(table.TryVisit(0));
+}
+
+TEST(VisitedTableTest, ManyEpochsStayCorrect) {
+  VisitedTable table(3);
+  for (int epoch = 0; epoch < 1000; ++epoch) {
+    table.NewEpoch();
+    EXPECT_TRUE(table.TryVisit(epoch % 3));
+    EXPECT_FALSE(table.TryVisit(epoch % 3));
+    EXPECT_FALSE(table.Visited((epoch + 1) % 3));
+  }
+}
+
+TEST(VisitedTableTest, SizeReported) {
+  VisitedTable table(42);
+  EXPECT_EQ(table.size(), 42u);
+}
+
+}  // namespace
+}  // namespace gass::core

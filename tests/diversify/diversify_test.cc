@@ -1,0 +1,213 @@
+#include "diversify/diversify.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "synth/generators.h"
+
+namespace gass::diversify {
+namespace {
+
+using core::Dataset;
+using core::DistanceComputer;
+using core::Neighbor;
+using core::VectorId;
+
+// Geometry mirroring the paper's Fig. 2: X_q at the origin, X_1 the closest
+// neighbor, X_2 close in direction to X_1 (should be pruned by RND/MOND but
+// survive a generous RRND), X_3 orthogonal (kept by all).
+struct Fig2Fixture {
+  Dataset data;
+  std::vector<Neighbor> candidates;
+
+  Fig2Fixture() : data(4, 2) {
+    auto set = [&](VectorId id, float x, float y) {
+      data.MutableRow(id)[0] = x;
+      data.MutableRow(id)[1] = y;
+    };
+    set(0, 0.0f, 0.0f);      // X_q.
+    set(1, 1.0f, 0.0f);      // X_1.
+    set(2, 1.299038f, 0.75f);  // X_2: 30° off X_1 at distance 1.5.
+    set(3, 0.0f, 1.2f);      // X_3: 90° off X_1 at distance 1.2.
+    DistanceComputer dc(data);
+    candidates = {Neighbor(1, dc.ToQuery(data.Row(0), 1)),
+                  Neighbor(3, dc.ToQuery(data.Row(0), 3)),
+                  Neighbor(2, dc.ToQuery(data.Row(0), 2))};
+    std::sort(candidates.begin(), candidates.end());
+  }
+};
+
+std::vector<VectorId> KeptIds(const std::vector<Neighbor>& kept) {
+  std::vector<VectorId> ids;
+  for (const Neighbor& nb : kept) ids.push_back(nb.id);
+  return ids;
+}
+
+TEST(DiversifyTest, RndPrunesCodirectionalNeighbor) {
+  Fig2Fixture fixture;
+  DistanceComputer dc(fixture.data);
+  Params params;
+  params.strategy = Strategy::kRnd;
+  params.max_degree = 8;
+  const auto kept = Diversify(dc, 0, fixture.candidates, params);
+  EXPECT_EQ(KeptIds(kept), (std::vector<VectorId>{1, 3}));
+}
+
+TEST(DiversifyTest, RrndWithLargeAlphaKeepsRelaxedNeighbor) {
+  Fig2Fixture fixture;
+  DistanceComputer dc(fixture.data);
+  Params params;
+  params.strategy = Strategy::kRrnd;
+  params.alpha = 2.0f;
+  params.max_degree = 8;
+  const auto kept = Diversify(dc, 0, fixture.candidates, params);
+  EXPECT_EQ(KeptIds(kept), (std::vector<VectorId>{1, 3, 2}));
+}
+
+TEST(DiversifyTest, MondPrunesNarrowAngle) {
+  Fig2Fixture fixture;
+  DistanceComputer dc(fixture.data);
+  Params params;
+  params.strategy = Strategy::kMond;
+  params.theta_degrees = 60.0f;
+  params.max_degree = 8;
+  const auto kept = Diversify(dc, 0, fixture.candidates, params);
+  EXPECT_EQ(KeptIds(kept), (std::vector<VectorId>{1, 3}));
+}
+
+TEST(DiversifyTest, NoNdKeepsNearestFirst) {
+  Fig2Fixture fixture;
+  DistanceComputer dc(fixture.data);
+  Params params;
+  params.strategy = Strategy::kNone;
+  params.max_degree = 2;
+  const auto kept = Diversify(dc, 0, fixture.candidates, params);
+  EXPECT_EQ(KeptIds(kept), (std::vector<VectorId>{1, 3}));
+}
+
+TEST(DiversifyTest, SelfCandidateSkipped) {
+  Fig2Fixture fixture;
+  DistanceComputer dc(fixture.data);
+  Params params;
+  params.strategy = Strategy::kNone;
+  params.max_degree = 8;
+  std::vector<Neighbor> with_self = fixture.candidates;
+  with_self.insert(with_self.begin(), Neighbor(0, 0.0f));
+  const auto kept = Diversify(dc, 0, with_self, params);
+  for (const Neighbor& nb : kept) EXPECT_NE(nb.id, 0u);
+}
+
+TEST(DiversifyTest, DuplicateCandidatesKeptOnce) {
+  Fig2Fixture fixture;
+  DistanceComputer dc(fixture.data);
+  Params params;
+  params.strategy = Strategy::kNone;
+  params.max_degree = 8;
+  std::vector<Neighbor> doubled = fixture.candidates;
+  doubled.insert(doubled.end(), fixture.candidates.begin(),
+                 fixture.candidates.end());
+  std::sort(doubled.begin(), doubled.end());
+  const auto kept = Diversify(dc, 0, doubled, params);
+  EXPECT_EQ(kept.size(), 3u);
+}
+
+TEST(DiversifyTest, StrategyNames) {
+  EXPECT_EQ(StrategyName(Strategy::kNone), "NoND");
+  EXPECT_EQ(StrategyName(Strategy::kRnd), "RND");
+  EXPECT_EQ(StrategyName(Strategy::kRrnd), "RRND");
+  EXPECT_EQ(StrategyName(Strategy::kMond), "MOND");
+}
+
+// Property tests over random candidate sets.
+class DiversifyPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    data_ = synth::UniformHypercube(200, 12, GetParam());
+    DistanceComputer dc(data_);
+    for (VectorId u = 1; u < data_.size(); ++u) {
+      candidates_.emplace_back(u, dc.ToQuery(data_.Row(0), u));
+    }
+    std::sort(candidates_.begin(), candidates_.end());
+    candidates_.resize(64);
+  }
+
+  Dataset data_;
+  std::vector<Neighbor> candidates_;
+};
+
+TEST_P(DiversifyPropertyTest, MaxDegreeEnforced) {
+  DistanceComputer dc(data_);
+  for (const Strategy strategy :
+       {Strategy::kNone, Strategy::kRnd, Strategy::kRrnd, Strategy::kMond}) {
+    Params params;
+    params.strategy = strategy;
+    params.max_degree = 7;
+    const auto kept = Diversify(dc, 0, candidates_, params);
+    EXPECT_LE(kept.size(), 7u);
+    EXPECT_TRUE(std::is_sorted(kept.begin(), kept.end()));
+  }
+}
+
+TEST_P(DiversifyPropertyTest, RrndAlphaOneEqualsRnd) {
+  DistanceComputer dc(data_);
+  Params rnd;
+  rnd.strategy = Strategy::kRnd;
+  rnd.max_degree = 16;
+  Params rrnd = rnd;
+  rrnd.strategy = Strategy::kRrnd;
+  rrnd.alpha = 1.0f;
+  const auto kept_rnd = Diversify(dc, 0, candidates_, rnd);
+  const auto kept_rrnd = Diversify(dc, 0, candidates_, rrnd);
+  EXPECT_EQ(KeptIds(kept_rnd), KeptIds(kept_rrnd));
+}
+
+TEST_P(DiversifyPropertyTest, RndPrunesAtLeastAsMuchAsRelaxedVariants) {
+  // Paper Section 3.4: anything pruned by RRND or MOND is pruned by RND,
+  // but not vice versa — so RND keeps the fewest candidates.
+  DistanceComputer dc(data_);
+  Params params;
+  params.max_degree = 32;
+  params.strategy = Strategy::kRnd;
+  const std::size_t kept_rnd = Diversify(dc, 0, candidates_, params).size();
+  params.strategy = Strategy::kRrnd;
+  params.alpha = 1.3f;
+  const std::size_t kept_rrnd = Diversify(dc, 0, candidates_, params).size();
+  params.strategy = Strategy::kMond;
+  params.theta_degrees = 60.0f;
+  const std::size_t kept_mond = Diversify(dc, 0, candidates_, params).size();
+  EXPECT_LE(kept_rnd, kept_rrnd);
+  EXPECT_LE(kept_rnd, kept_mond);
+}
+
+TEST_P(DiversifyPropertyTest, ClosestCandidateAlwaysKept) {
+  DistanceComputer dc(data_);
+  for (const Strategy strategy :
+       {Strategy::kNone, Strategy::kRnd, Strategy::kRrnd, Strategy::kMond}) {
+    Params params;
+    params.strategy = strategy;
+    params.max_degree = 8;
+    const auto kept = Diversify(dc, 0, candidates_, params);
+    ASSERT_FALSE(kept.empty());
+    EXPECT_EQ(kept[0].id, candidates_[0].id);
+  }
+}
+
+TEST_P(DiversifyPropertyTest, PruneStatsAccumulate) {
+  DistanceComputer dc(data_);
+  Params params;
+  params.strategy = Strategy::kRnd;
+  params.max_degree = 16;
+  PruneStats stats;
+  Diversify(dc, 0, candidates_, params, &stats);
+  EXPECT_EQ(stats.nodes, 1u);
+  EXPECT_EQ(stats.candidates, candidates_.size());
+  EXPECT_GE(stats.PruningRatio(), 0.0);
+  EXPECT_LE(stats.PruningRatio(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiversifyPropertyTest,
+                         ::testing::Values(1, 2, 3, 7, 11));
+
+}  // namespace
+}  // namespace gass::diversify

@@ -1,0 +1,80 @@
+#include "eval/complexity.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/generators.h"
+
+namespace gass::eval {
+namespace {
+
+TEST(ComplexityTest, LidHigherForIsotropicThanClustered) {
+  // The paper's Fig. 4 premise: high-dimensional isotropic data has high
+  // LID; low-rank clustered data has low LID.
+  const core::Dataset hard = synth::IsotropicGaussian(800, 32, 1);
+  synth::ClusterParams params;
+  params.intrinsic_rank = 4;
+  const core::Dataset easy = synth::GaussianClusters(800, 32, params, 2);
+
+  const ComplexitySummary hard_summary =
+      EstimateComplexity(hard, 40, 20, 3, 1);
+  const ComplexitySummary easy_summary =
+      EstimateComplexity(easy, 40, 20, 3, 1);
+  EXPECT_GT(hard_summary.mean_lid, easy_summary.mean_lid);
+}
+
+TEST(ComplexityTest, LrcHigherForClusteredThanIsotropic) {
+  const core::Dataset hard = synth::IsotropicGaussian(800, 32, 1);
+  synth::ClusterParams params;
+  params.intrinsic_rank = 4;
+  const core::Dataset easy = synth::GaussianClusters(800, 32, params, 2);
+
+  const ComplexitySummary hard_summary =
+      EstimateComplexity(hard, 40, 20, 3, 1);
+  const ComplexitySummary easy_summary =
+      EstimateComplexity(easy, 40, 20, 3, 1);
+  EXPECT_GT(easy_summary.mean_lrc, hard_summary.mean_lrc);
+}
+
+TEST(ComplexityTest, PointComplexityPositive) {
+  const core::Dataset data = synth::UniformHypercube(300, 8, 5);
+  const PointComplexity pc =
+      ComputePointComplexity(data, data.Row(0), 10);
+  EXPECT_GT(pc.lid, 0.0);
+  EXPECT_GT(pc.lrc, 1.0);  // Mean distance exceeds the 10th-NN distance.
+}
+
+TEST(ComplexityTest, DuplicateHeavyDataHandled) {
+  // Many duplicates: dist_k can be 0; LID conventionally 0, no crash.
+  core::Dataset data(50, 2);
+  for (core::VectorId i = 0; i < 50; ++i) {
+    data.MutableRow(i)[0] = 1.0f;
+    data.MutableRow(i)[1] = 2.0f;
+  }
+  const PointComplexity pc = ComputePointComplexity(data, data.Row(0), 5);
+  EXPECT_DOUBLE_EQ(pc.lid, 0.0);
+  EXPECT_DOUBLE_EQ(pc.lrc, 0.0);
+}
+
+TEST(ComplexityTest, SummaryCountsSamplePoints) {
+  const core::Dataset data = synth::UniformHypercube(100, 4, 7);
+  const ComplexitySummary summary = EstimateComplexity(data, 25, 10, 9, 1);
+  EXPECT_EQ(summary.num_points, 25u);
+  EXPECT_GT(summary.median_lid, 0.0);
+  EXPECT_GT(summary.median_lrc, 0.0);
+}
+
+TEST(ComplexityTest, LidGrowsWithIntrinsicRank) {
+  synth::ClusterParams low_rank;
+  low_rank.intrinsic_rank = 2;
+  low_rank.ambient_noise = 0.0f;
+  synth::ClusterParams high_rank = low_rank;
+  high_rank.intrinsic_rank = 24;
+  const core::Dataset low = synth::GaussianClusters(600, 32, low_rank, 1);
+  const core::Dataset high = synth::GaussianClusters(600, 32, high_rank, 1);
+  const double lid_low = EstimateComplexity(low, 30, 20, 2, 1).mean_lid;
+  const double lid_high = EstimateComplexity(high, 30, 20, 2, 1).mean_lid;
+  EXPECT_LT(lid_low, lid_high);
+}
+
+}  // namespace
+}  // namespace gass::eval

@@ -1,0 +1,101 @@
+#include "eval/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "core/rng.h"
+#include "knngraph/exact_knn_graph.h"
+#include "synth/generators.h"
+
+namespace gass::eval {
+namespace {
+
+using core::Dataset;
+using core::Graph;
+using core::VectorId;
+
+TEST(DegreeStatsTest, SimpleGraph) {
+  Graph graph(4);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(0, 2);
+  graph.AddEdge(0, 3);
+  graph.AddEdge(1, 0);
+  const DegreeStats stats = ComputeDegreeStats(graph);
+  EXPECT_EQ(stats.min, 0u);
+  EXPECT_EQ(stats.max, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean, 1.0);
+}
+
+TEST(ConnectivityTest, CountsWeakComponents) {
+  Graph graph(6);
+  graph.AddEdge(0, 1);  // Component {0,1,2} via directed edges only.
+  graph.AddEdge(2, 1);
+  graph.AddEdge(3, 4);  // Component {3,4}.
+  const ConnectivityStats stats = ComputeConnectivity(graph);
+  EXPECT_EQ(stats.components, 3u);  // {0,1,2}, {3,4}, {5}.
+  EXPECT_EQ(stats.largest_component, 3u);
+}
+
+TEST(ConnectivityTest, FullyConnectedChain) {
+  Graph graph(10);
+  for (VectorId v = 0; v + 1 < 10; ++v) graph.AddEdge(v, v + 1);
+  const ConnectivityStats stats = ComputeConnectivity(graph);
+  EXPECT_EQ(stats.components, 1u);
+  EXPECT_EQ(stats.largest_component, 10u);
+}
+
+TEST(EdgeLengthStatsTest, KnnGraphEdgesAreShort) {
+  const Dataset data = synth::UniformHypercube(300, 8, 1);
+  core::DistanceComputer dc(data);
+  const Graph knn = knngraph::ExactKnnGraph(dc, 5, 1);
+  const EdgeLengthStats stats =
+      ComputeEdgeLengthStats(data, knn, 40, 3.0, 7);
+  EXPECT_GT(stats.sampled_edges, 0u);
+  // 5-NN edges sit within a few multiples of the NN distance.
+  EXPECT_LT(stats.mean_relative_length, 3.0);
+  EXPECT_LT(stats.long_range_fraction, 0.2);
+}
+
+TEST(EdgeLengthStatsTest, RandomGraphLongerThanKnnGraph) {
+  // High dimensionality compresses distance ratios, so compare relatively:
+  // random edges must be markedly longer than k-NN edges at the same
+  // threshold.
+  const Dataset data = synth::UniformHypercube(300, 8, 3);
+  core::Rng rng(5);
+  Graph random(300);
+  for (VectorId v = 0; v < 300; ++v) {
+    for (int e = 0; e < 5; ++e) {
+      random.AddEdge(v, static_cast<VectorId>(rng.UniformInt(300)));
+    }
+  }
+  core::DistanceComputer dc(data);
+  const Graph knn = knngraph::ExactKnnGraph(dc, 5, 1);
+
+  const EdgeLengthStats random_stats =
+      ComputeEdgeLengthStats(data, random, 40, 1.5, 7);
+  const EdgeLengthStats knn_stats =
+      ComputeEdgeLengthStats(data, knn, 40, 1.5, 7);
+  EXPECT_GT(random_stats.long_range_fraction,
+            knn_stats.long_range_fraction + 0.2);
+  EXPECT_GT(random_stats.mean_relative_length,
+            knn_stats.mean_relative_length);
+}
+
+TEST(GreedyPathTest, KnnGraphNavigates) {
+  const Dataset data = synth::UniformHypercube(400, 8, 9);
+  core::DistanceComputer dc(data);
+  Graph knn = knngraph::ExactKnnGraph(dc, 8, 1);
+  knn.MakeUndirected();
+  const double hops = EstimateGreedyPathLength(data, knn, 30, 200, 11);
+  EXPECT_GT(hops, 0.0);
+  EXPECT_LT(hops, 100.0);
+}
+
+TEST(GreedyPathTest, EmptyGraphHasNoProgress) {
+  const Dataset data = synth::UniformHypercube(50, 4, 13);
+  Graph empty(50);
+  EXPECT_DOUBLE_EQ(EstimateGreedyPathLength(data, empty, 10, 50, 15), 0.0);
+}
+
+}  // namespace
+}  // namespace gass::eval

@@ -1,0 +1,79 @@
+#include "eval/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "synth/generators.h"
+
+namespace gass::eval {
+namespace {
+
+using core::Dataset;
+using core::VectorId;
+
+TEST(GroundTruthTest, MatchesNaiveScanOnTinyData) {
+  Dataset base(4, 1);
+  base.MutableRow(0)[0] = 0.0f;
+  base.MutableRow(1)[0] = 1.0f;
+  base.MutableRow(2)[0] = 5.0f;
+  base.MutableRow(3)[0] = 6.0f;
+  Dataset queries(1, 1);
+  queries.MutableRow(0)[0] = 0.9f;
+
+  const GroundTruth truth = BruteForceKnn(base, queries, 3, 1);
+  ASSERT_EQ(truth.size(), 1u);
+  ASSERT_EQ(truth[0].size(), 3u);
+  EXPECT_EQ(truth[0][0].id, 1u);
+  EXPECT_EQ(truth[0][1].id, 0u);
+  EXPECT_EQ(truth[0][2].id, 2u);
+}
+
+TEST(GroundTruthTest, DistancesAscending) {
+  const Dataset base = synth::UniformHypercube(200, 8, 1);
+  const Dataset queries = synth::UniformHypercube(5, 8, 2);
+  const GroundTruth truth = BruteForceKnn(base, queries, 10, 1);
+  for (const auto& row : truth) {
+    ASSERT_EQ(row.size(), 10u);
+    for (std::size_t i = 0; i + 1 < row.size(); ++i) {
+      EXPECT_LE(row[i].distance, row[i + 1].distance);
+    }
+  }
+}
+
+TEST(GroundTruthTest, MultithreadedMatchesSerial) {
+  const Dataset base = synth::UniformHypercube(150, 6, 3);
+  const Dataset queries = synth::UniformHypercube(7, 6, 4);
+  const GroundTruth serial = BruteForceKnn(base, queries, 5, 1);
+  const GroundTruth parallel = BruteForceKnn(base, queries, 5, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t q = 0; q < serial.size(); ++q) {
+    ASSERT_EQ(serial[q].size(), parallel[q].size());
+    for (std::size_t i = 0; i < serial[q].size(); ++i) {
+      EXPECT_EQ(serial[q][i].id, parallel[q][i].id);
+    }
+  }
+}
+
+TEST(GroundTruthTest, KnnOfPointExcludesSelf) {
+  const Dataset base = synth::UniformHypercube(50, 4, 5);
+  const auto neighbors = BruteForceKnnOfPoint(base, 7, 5);
+  ASSERT_EQ(neighbors.size(), 5u);
+  for (const auto& nb : neighbors) {
+    EXPECT_NE(nb.id, 7u);
+  }
+}
+
+TEST(GroundTruthTest, KnnOfPointMatchesQueryForm) {
+  const Dataset base = synth::UniformHypercube(60, 4, 6);
+  const auto of_point = BruteForceKnnOfPoint(base, 3, 4);
+  const GroundTruth as_query =
+      BruteForceKnn(base, base.Select({3}), 5, 1);
+  // as_query includes the point itself at distance 0 in front.
+  ASSERT_EQ(as_query[0][0].id, 3u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(of_point[i].id, as_query[0][i + 1].id);
+  }
+}
+
+}  // namespace
+}  // namespace gass::eval

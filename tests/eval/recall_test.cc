@@ -1,0 +1,59 @@
+#include "eval/recall.h"
+
+#include <gtest/gtest.h>
+
+namespace gass::eval {
+namespace {
+
+using core::Neighbor;
+
+std::vector<Neighbor> Make(std::initializer_list<std::pair<int, float>> list) {
+  std::vector<Neighbor> out;
+  for (const auto& [id, dist] : list) {
+    out.emplace_back(static_cast<core::VectorId>(id), dist);
+  }
+  return out;
+}
+
+TEST(RecallTest, PerfectMatch) {
+  const auto truth = Make({{1, 1.0f}, {2, 2.0f}, {3, 3.0f}});
+  EXPECT_DOUBLE_EQ(RecallAtK(truth, truth, 3), 1.0);
+}
+
+TEST(RecallTest, PartialMatch) {
+  const auto truth = Make({{1, 1.0f}, {2, 2.0f}, {3, 3.0f}});
+  const auto result = Make({{1, 1.0f}, {9, 9.0f}, {8, 8.0f}});
+  EXPECT_NEAR(RecallAtK(result, truth, 3), 1.0 / 3.0, 1e-12);
+}
+
+TEST(RecallTest, EmptyResultIsZero) {
+  const auto truth = Make({{1, 1.0f}});
+  EXPECT_DOUBLE_EQ(RecallAtK({}, truth, 1), 0.0);
+}
+
+TEST(RecallTest, TieAtBoundaryAccepted) {
+  // A different id at exactly the k-th true distance counts as a hit.
+  const auto truth = Make({{1, 1.0f}, {2, 2.0f}});
+  const auto result = Make({{1, 1.0f}, {7, 2.0f}});
+  EXPECT_DOUBLE_EQ(RecallAtK(result, truth, 2), 1.0);
+}
+
+TEST(RecallTest, FartherThanBoundaryRejected) {
+  const auto truth = Make({{1, 1.0f}, {2, 2.0f}});
+  const auto result = Make({{1, 1.0f}, {7, 2.5f}});
+  EXPECT_DOUBLE_EQ(RecallAtK(result, truth, 2), 0.5);
+}
+
+TEST(RecallTest, MeanRecallAverages) {
+  const GroundTruth truth = {Make({{1, 1.0f}}), Make({{2, 1.0f}})};
+  const std::vector<std::vector<Neighbor>> results = {
+      Make({{1, 1.0f}}), Make({{9, 9.0f}})};
+  EXPECT_DOUBLE_EQ(MeanRecall(results, truth, 1), 0.5);
+}
+
+TEST(RecallTest, EmptyWorkloadIsPerfect) {
+  EXPECT_DOUBLE_EQ(MeanRecall({}, {}, 5), 1.0);
+}
+
+}  // namespace
+}  // namespace gass::eval

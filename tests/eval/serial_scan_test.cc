@@ -1,0 +1,48 @@
+#include "eval/serial_scan.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/ground_truth.h"
+#include "synth/generators.h"
+
+namespace gass::eval {
+namespace {
+
+TEST(SerialScanTest, MatchesBruteForceGroundTruth) {
+  const core::Dataset base = synth::UniformHypercube(300, 8, 1);
+  const core::Dataset queries = synth::UniformHypercube(5, 8, 2);
+  const GroundTruth truth = BruteForceKnn(base, queries, 10, 1);
+  for (core::VectorId q = 0; q < queries.size(); ++q) {
+    const auto found = SerialScan(base, queries.Row(q), 10);
+    ASSERT_EQ(found.size(), 10u);
+    for (std::size_t i = 0; i < 10; ++i) {
+      EXPECT_EQ(found[i].id, truth[q][i].id);
+    }
+  }
+}
+
+TEST(SerialScanTest, StatsCountEveryVector) {
+  const core::Dataset base = synth::UniformHypercube(123, 4, 3);
+  core::SearchStats stats;
+  SerialScan(base, base.Row(0), 5, &stats);
+  EXPECT_EQ(stats.distance_computations, 123u);
+  EXPECT_GE(stats.elapsed_seconds, 0.0);
+}
+
+TEST(SerialScanTest, BsfTraceStrictlyImproves) {
+  const core::Dataset base = synth::UniformHypercube(500, 8, 5);
+  const core::Dataset queries = synth::UniformHypercube(1, 8, 6);
+  std::vector<BsfEvent> trace;
+  SerialScan(base, queries.Row(0), 1, nullptr, &trace);
+  ASSERT_FALSE(trace.empty());
+  for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+    EXPECT_GT(trace[i].distance, trace[i + 1].distance);
+    EXPECT_LE(trace[i].seconds, trace[i + 1].seconds);
+  }
+  // The final trace entry is the true nearest neighbor.
+  const auto found = SerialScan(base, queries.Row(0), 1);
+  EXPECT_EQ(trace.back().id, found[0].id);
+}
+
+}  // namespace
+}  // namespace gass::eval

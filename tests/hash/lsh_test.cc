@@ -1,0 +1,80 @@
+#include "hash/lsh.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "synth/generators.h"
+
+namespace gass::hash {
+namespace {
+
+using core::Dataset;
+using core::VectorId;
+
+TEST(LshTest, ExactDuplicateQueryHitsItsBucket) {
+  const Dataset data = synth::UniformHypercube(400, 16, 1);
+  const LshIndex index = LshIndex::Build(data, LshParams{}, 7);
+  int hits = 0;
+  for (VectorId q = 0; q < 50; ++q) {
+    const auto candidates = index.Candidates(data.Row(q), 100);
+    if (std::find(candidates.begin(), candidates.end(), q) !=
+        candidates.end()) {
+      ++hits;
+    }
+  }
+  // A point always collides with itself in every table.
+  EXPECT_EQ(hits, 50);
+}
+
+TEST(LshTest, CandidatesRespectCap) {
+  const Dataset data = synth::UniformHypercube(400, 16, 1);
+  LshParams params;
+  params.hash_bits = 2;  // Coarse buckets -> many collisions.
+  const LshIndex index = LshIndex::Build(data, params, 7);
+  const auto candidates = index.Candidates(data.Row(0), 10);
+  EXPECT_LE(candidates.size(), 10u);
+}
+
+TEST(LshTest, CandidatesDeduplicated) {
+  const Dataset data = synth::UniformHypercube(200, 8, 3);
+  LshParams params;
+  params.num_tables = 8;
+  params.hash_bits = 2;
+  const LshIndex index = LshIndex::Build(data, params, 5);
+  const auto candidates = index.Candidates(data.Row(0), 400);
+  auto sorted = candidates;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(LshTest, ProjectedDistanceApproximatesExact) {
+  const Dataset data = synth::IsotropicGaussian(300, 64, 9);
+  LshParams params;
+  params.projection_dim = 32;
+  const LshIndex index = LshIndex::Build(data, params, 11);
+  // JL-style concentration: the mean ratio of projected to exact squared
+  // distance should be near 1.
+  double ratio_sum = 0.0;
+  int counted = 0;
+  const auto projection = index.ProjectQuery(data.Row(0));
+  for (VectorId u = 1; u < 100; ++u) {
+    const float exact = core::L2Sq(data.Row(0), data.Row(u), data.dim());
+    if (exact <= 0.0f) continue;
+    ratio_sum += index.ProjectedDistance(projection, u) / exact;
+    ++counted;
+  }
+  EXPECT_NEAR(ratio_sum / counted, 1.0, 0.3);
+}
+
+TEST(LshTest, MemoryReported) {
+  const Dataset data = synth::UniformHypercube(100, 8, 3);
+  const LshIndex index = LshIndex::Build(data, LshParams{}, 5);
+  EXPECT_GT(index.MemoryBytes(), 0u);
+  EXPECT_EQ(index.num_tables(), LshParams{}.num_tables);
+}
+
+}  // namespace
+}  // namespace gass::hash

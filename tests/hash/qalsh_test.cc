@@ -1,0 +1,68 @@
+#include "hash/qalsh_scan.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/ground_truth.h"
+#include "eval/recall.h"
+#include "synth/generators.h"
+
+namespace gass::hash {
+namespace {
+
+using core::Dataset;
+using core::VectorId;
+
+TEST(QalshTest, ReasonableRecallOnClusteredData) {
+  synth::ClusterParams cluster_params;
+  const Dataset data = synth::GaussianClusters(1000, 32, cluster_params, 1);
+  const Dataset queries = data.Prefix(20);
+  const auto truth = eval::BruteForceKnn(data, queries, 10, 1);
+
+  QalshParams params;
+  params.candidate_fraction = 0.2;
+  const QalshScanner scanner = QalshScanner::Build(data, params, 7);
+  std::vector<std::vector<core::Neighbor>> results;
+  for (VectorId q = 0; q < queries.size(); ++q) {
+    results.push_back(scanner.Search(data, queries.Row(q), 10));
+  }
+  EXPECT_GE(eval::MeanRecall(results, truth, 10), 0.5);
+}
+
+TEST(QalshTest, VerifiesFarFewerThanAllVectors) {
+  const Dataset data = synth::UniformHypercube(2000, 16, 3);
+  QalshParams params;
+  params.candidate_fraction = 0.05;
+  const QalshScanner scanner = QalshScanner::Build(data, params, 5);
+  core::SearchStats stats;
+  scanner.Search(data, data.Row(0), 5, &stats);
+  EXPECT_GT(stats.distance_computations, 0u);
+  // The verification budget is 5% of n plus rounding slack.
+  EXPECT_LE(stats.distance_computations, 2000u * 0.05 + 64);
+}
+
+TEST(QalshTest, MoreBudgetNeverWorse) {
+  const Dataset data = synth::UniformHypercube(1000, 16, 9);
+  const Dataset queries = synth::UniformHypercube(15, 16, 10);
+  const auto truth = eval::BruteForceKnn(data, queries, 5, 1);
+
+  auto recall_with = [&](double fraction) {
+    QalshParams params;
+    params.candidate_fraction = fraction;
+    const QalshScanner scanner = QalshScanner::Build(data, params, 7);
+    std::vector<std::vector<core::Neighbor>> results;
+    for (VectorId q = 0; q < queries.size(); ++q) {
+      results.push_back(scanner.Search(data, queries.Row(q), 5));
+    }
+    return eval::MeanRecall(results, truth, 5);
+  };
+  EXPECT_GE(recall_with(0.5) + 1e-9, recall_with(0.02));
+}
+
+TEST(QalshTest, MemoryReported) {
+  const Dataset data = synth::UniformHypercube(100, 8, 3);
+  const QalshScanner scanner = QalshScanner::Build(data, QalshParams{}, 5);
+  EXPECT_GT(scanner.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace gass::hash

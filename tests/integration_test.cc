@@ -1,0 +1,110 @@
+// End-to-end pipeline: generate a proxy workload, build several indexes,
+// verify the evaluation harness invariants that the benches rely on.
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "eval/complexity.h"
+#include "eval/ground_truth.h"
+#include "eval/recall.h"
+#include "eval/serial_scan.h"
+#include "methods/factory.h"
+#include "methods/flat_searcher.h"
+#include "synth/generators.h"
+#include "synth/workloads.h"
+
+namespace gass {
+namespace {
+
+using core::Dataset;
+using core::VectorId;
+
+TEST(IntegrationTest, ProxyWorkloadEndToEnd) {
+  // Hold-out split from a named proxy, as the paper does for SALD/ImageNet.
+  Dataset full = synth::MakeDatasetProxy("deep", 620, 42);
+  synth::HoldOutSplit split = synth::SplitHoldOut(std::move(full), 20, 43);
+  const auto truth = eval::BruteForceKnn(split.base, split.queries, 10, 1);
+
+  for (const char* name : {"hnsw", "vamana", "elpis"}) {
+    auto index = methods::CreateIndex(name, 7);
+    index->Build(split.base);
+    methods::SearchParams params;
+    params.k = 10;
+    params.beam_width = 120;
+    std::vector<std::vector<core::Neighbor>> results;
+    std::uint64_t graph_distances = 0;
+    for (VectorId q = 0; q < split.queries.size(); ++q) {
+      auto result = index->Search(split.queries.Row(q), params);
+      graph_distances += result.stats.distance_computations;
+      results.push_back(std::move(result.neighbors));
+    }
+    EXPECT_GE(eval::MeanRecall(results, truth, 10), 0.85) << name;
+    // The core value proposition: graph search evaluates fewer distances
+    // than a serial scan over the workload. (At this tiny scale a wide
+    // beam touches much of the graph, so the margin is modest; the benches
+    // show the orders-of-magnitude gap at larger n.)
+    EXPECT_LT(graph_distances,
+              split.base.size() * split.queries.size())
+        << name;
+  }
+}
+
+TEST(IntegrationTest, ComplexityRanksProxiesLikeFig4) {
+  const Dataset easy = synth::MakeDatasetProxy("sift", 500, 1);
+  const Dataset hard = synth::MakeDatasetProxy("text2img", 500, 1);
+  const auto easy_c = eval::EstimateComplexity(easy, 30, 20, 3, 1);
+  const auto hard_c = eval::EstimateComplexity(hard, 30, 20, 3, 1);
+  EXPECT_LT(easy_c.mean_lid, hard_c.mean_lid);
+  EXPECT_GT(easy_c.mean_lrc, hard_c.mean_lrc);
+}
+
+TEST(IntegrationTest, GraphPersistenceRoundTripPreservesSearch) {
+  const Dataset data = synth::MakeDatasetProxy("deep", 400, 5);
+  auto index = methods::CreateIndex("hnsw", 9);
+  index->Build(data);
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "/hnsw_base_graph.bin";
+  ASSERT_TRUE(index->graph().Save(path).ok());
+  core::Graph loaded;
+  ASSERT_TRUE(loaded.Load(path).ok());
+  ASSERT_EQ(loaded.size(), data.size());
+
+  // A flat searcher over the reloaded graph answers like the original.
+  methods::FlatGraphSearcher searcher(
+      data, loaded,
+      std::make_unique<seeds::SfFixedSeed>(0, &loaded));
+  methods::SearchParams params;
+  params.k = 5;
+  params.beam_width = 64;
+  const auto result = searcher.Search(data.Row(7), params);
+  ASSERT_FALSE(result.neighbors.empty());
+  EXPECT_EQ(result.neighbors[0].id, 7u);
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, HardQueriesReduceRecall) {
+  // The Fig. 15 premise: recall at a fixed beam degrades as query noise
+  // grows.
+  const Dataset data = synth::MakeDatasetProxy("deep", 600, 11);
+  auto index = methods::CreateIndex("hnsw", 13);
+  index->Build(data);
+
+  auto recall_for = [&](double variance) {
+    const Dataset queries = synth::NoisyQueries(data, 20, variance, 17);
+    const auto truth = eval::BruteForceKnn(data, queries, 10, 1);
+    methods::SearchParams params;
+    params.k = 10;
+    params.beam_width = 24;
+    std::vector<std::vector<core::Neighbor>> results;
+    for (VectorId q = 0; q < queries.size(); ++q) {
+      results.push_back(index->Search(queries.Row(q), params).neighbors);
+    }
+    return eval::MeanRecall(results, truth, 10);
+  };
+  EXPECT_GE(recall_for(0.0001) + 0.10, recall_for(0.1));
+}
+
+}  // namespace
+}  // namespace gass

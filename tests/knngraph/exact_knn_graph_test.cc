@@ -1,0 +1,105 @@
+#include "knngraph/exact_knn_graph.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "eval/ground_truth.h"
+#include "synth/generators.h"
+
+namespace gass::knngraph {
+namespace {
+
+using core::Dataset;
+using core::DistanceComputer;
+using core::Graph;
+using core::VectorId;
+
+TEST(ExactKnnGraphTest, EdgesMatchBruteForce) {
+  const Dataset data = synth::UniformHypercube(150, 8, 1);
+  DistanceComputer dc(data);
+  const Graph graph = ExactKnnGraph(dc, 5, 1);
+  ASSERT_EQ(graph.size(), data.size());
+  for (VectorId v = 0; v < 20; ++v) {
+    const auto truth = eval::BruteForceKnnOfPoint(data, v, 5);
+    const auto& neighbors = graph.Neighbors(v);
+    ASSERT_EQ(neighbors.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(neighbors[i], truth[i].id);
+    }
+  }
+}
+
+TEST(ExactKnnGraphTest, CountsDistances) {
+  const Dataset data = synth::UniformHypercube(60, 4, 3);
+  DistanceComputer dc(data);
+  ExactKnnGraph(dc, 3, 1);
+  EXPECT_EQ(dc.count(), 60u * 59u);
+}
+
+TEST(ExactKnnGraphTest, MultithreadedMatchesSerial) {
+  const Dataset data = synth::UniformHypercube(120, 6, 5);
+  DistanceComputer dc1(data), dc2(data);
+  const Graph serial = ExactKnnGraph(dc1, 4, 1);
+  const Graph parallel = ExactKnnGraph(dc2, 4, 3);
+  for (VectorId v = 0; v < data.size(); ++v) {
+    EXPECT_EQ(serial.Neighbors(v), parallel.Neighbors(v));
+  }
+}
+
+TEST(SubsetKnnEdgesTest, EdgesStayInsideSubset) {
+  const Dataset data = synth::UniformHypercube(100, 4, 7);
+  DistanceComputer dc(data);
+  Graph graph(100);
+  std::vector<VectorId> subset = {2, 5, 8, 11, 14, 17, 20, 23};
+  AddExactKnnEdgesOnSubset(dc, subset, 3, &graph);
+  for (VectorId v : subset) {
+    EXPECT_EQ(graph.Neighbors(v).size(), 3u);
+    for (VectorId u : graph.Neighbors(v)) {
+      EXPECT_NE(std::find(subset.begin(), subset.end(), u), subset.end());
+    }
+  }
+  EXPECT_TRUE(graph.Neighbors(0).empty());
+}
+
+TEST(SubsetKnnEdgesTest, SmallSubsetClampsK) {
+  const Dataset data = synth::UniformHypercube(10, 4, 7);
+  DistanceComputer dc(data);
+  Graph graph(10);
+  AddExactKnnEdgesOnSubset(dc, {1, 2, 3}, 8, &graph);
+  EXPECT_EQ(graph.Neighbors(1).size(), 2u);
+}
+
+TEST(SubsetKnnEdgesTest, MergingPartitionsDeduplicates) {
+  const Dataset data = synth::UniformHypercube(30, 4, 9);
+  DistanceComputer dc(data);
+  Graph graph(30);
+  std::vector<VectorId> subset = {0, 1, 2, 3, 4};
+  AddExactKnnEdgesOnSubset(dc, subset, 2, &graph);
+  const std::size_t before = graph.Neighbors(0).size();
+  AddExactKnnEdgesOnSubset(dc, subset, 2, &graph);  // Same edges again.
+  EXPECT_EQ(graph.Neighbors(0).size(), before);
+}
+
+TEST(KnnGraphRecallTest, ExactGraphScoresPerfect) {
+  const Dataset data = synth::UniformHypercube(80, 4, 11);
+  DistanceComputer dc(data);
+  const Graph graph = ExactKnnGraph(dc, 5, 1);
+  EXPECT_DOUBLE_EQ(KnnGraphRecall(data, graph, 5, 30, 1), 1.0);
+}
+
+TEST(KnnGraphRecallTest, RandomGraphScoresLow) {
+  const Dataset data = synth::UniformHypercube(200, 8, 13);
+  Graph random(200);
+  core::Rng rng(5);
+  for (VectorId v = 0; v < 200; ++v) {
+    for (int e = 0; e < 5; ++e) {
+      random.AddEdge(v, static_cast<VectorId>(rng.UniformInt(200)));
+    }
+  }
+  EXPECT_LT(KnnGraphRecall(data, random, 5, 30, 1), 0.3);
+}
+
+}  // namespace
+}  // namespace gass::knngraph

@@ -1,0 +1,97 @@
+#include "knngraph/nndescent.h"
+
+#include <gtest/gtest.h>
+
+#include "knngraph/exact_knn_graph.h"
+#include "synth/generators.h"
+
+namespace gass::knngraph {
+namespace {
+
+using core::Dataset;
+using core::DistanceComputer;
+using core::Graph;
+using core::VectorId;
+
+TEST(NnDescentTest, HighGraphRecallOnEasyData) {
+  synth::ClusterParams cluster_params;
+  const Dataset data = synth::GaussianClusters(600, 16, cluster_params, 1);
+  DistanceComputer dc(data);
+  NnDescentParams params;
+  params.k = 10;
+  const Graph graph = NnDescent(dc, params, 7);
+  EXPECT_GE(KnnGraphRecall(data, graph, 10, 50, 3), 0.85);
+}
+
+TEST(NnDescentTest, DegreesExactlyK) {
+  const Dataset data = synth::UniformHypercube(200, 8, 3);
+  DistanceComputer dc(data);
+  NnDescentParams params;
+  params.k = 8;
+  const Graph graph = NnDescent(dc, params, 5);
+  for (VectorId v = 0; v < graph.size(); ++v) {
+    EXPECT_EQ(graph.Neighbors(v).size(), 8u);
+  }
+}
+
+TEST(NnDescentTest, FarCheaperThanBruteForce) {
+  const Dataset data = synth::UniformHypercube(1200, 8, 5);
+  DistanceComputer dc(data);
+  NnDescentParams params;
+  params.k = 10;
+  NnDescent(dc, params, 7);
+  const std::uint64_t brute = 1200ULL * 1199ULL;
+  EXPECT_LT(dc.count(), brute / 2);
+}
+
+TEST(NnDescentTest, GoodInitReducesWork) {
+  const Dataset data = synth::UniformHypercube(500, 8, 7);
+  // Exact graph as init: nothing to improve, so updates die out fast.
+  DistanceComputer dc_exact(data);
+  const Graph exact = ExactKnnGraph(dc_exact, 10, 1);
+
+  NnDescentParams params;
+  params.k = 10;
+  DistanceComputer dc_good(data), dc_cold(data);
+  NnDescentTrace good_trace, cold_trace;
+  NnDescent(dc_good, params, 9, &exact, &good_trace);
+  NnDescent(dc_cold, params, 9, nullptr, &cold_trace);
+  ASSERT_FALSE(good_trace.updates_per_iteration.empty());
+  ASSERT_FALSE(cold_trace.updates_per_iteration.empty());
+  EXPECT_LT(good_trace.updates_per_iteration[0],
+            cold_trace.updates_per_iteration[0]);
+}
+
+TEST(NnDescentTest, TraceRecordsConvergence) {
+  const Dataset data = synth::UniformHypercube(400, 8, 11);
+  DistanceComputer dc(data);
+  NnDescentParams params;
+  params.k = 10;
+  params.iterations = 12;
+  NnDescentTrace trace;
+  NnDescent(dc, params, 13, nullptr, &trace);
+  ASSERT_GE(trace.updates_per_iteration.size(), 2u);
+  // Updates in the last recorded round are far below the first round.
+  EXPECT_LT(trace.updates_per_iteration.back(),
+            trace.updates_per_iteration.front() / 2);
+}
+
+TEST(NnDescentTest, NoSelfLoopsNoDuplicates) {
+  const Dataset data = synth::UniformHypercube(150, 6, 13);
+  DistanceComputer dc(data);
+  NnDescentParams params;
+  params.k = 6;
+  const Graph graph = NnDescent(dc, params, 15);
+  for (VectorId v = 0; v < graph.size(); ++v) {
+    const auto& list = graph.Neighbors(v);
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      EXPECT_NE(list[i], v);
+      for (std::size_t j = i + 1; j < list.size(); ++j) {
+        EXPECT_NE(list[i], list[j]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gass::knngraph

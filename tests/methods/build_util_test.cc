@@ -1,0 +1,135 @@
+#include "methods/build_util.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "methods/base_graphs.h"
+#include "synth/generators.h"
+
+namespace gass::methods {
+namespace {
+
+using core::Dataset;
+using core::DistanceComputer;
+using core::Graph;
+using core::Neighbor;
+using core::VectorId;
+
+TEST(InstallBidirectionalTest, AddsForwardAndReverseEdges) {
+  const Dataset data = synth::UniformHypercube(20, 4, 1);
+  DistanceComputer dc(data);
+  Graph graph(20);
+  diversify::Params prune;
+  prune.strategy = diversify::Strategy::kNone;
+  prune.max_degree = 8;
+
+  std::vector<Neighbor> kept = {Neighbor(3, dc.Between(0, 3)),
+                                Neighbor(7, dc.Between(0, 7))};
+  std::sort(kept.begin(), kept.end());
+  InstallBidirectional(dc, &graph, 0, kept, prune);
+
+  EXPECT_EQ(graph.Neighbors(0).size(), 2u);
+  EXPECT_NE(std::find(graph.Neighbors(3).begin(), graph.Neighbors(3).end(),
+                      0u),
+            graph.Neighbors(3).end());
+  EXPECT_NE(std::find(graph.Neighbors(7).begin(), graph.Neighbors(7).end(),
+                      0u),
+            graph.Neighbors(7).end());
+}
+
+TEST(InstallBidirectionalTest, OverflowRePrunesReverseList) {
+  const Dataset data = synth::UniformHypercube(40, 4, 3);
+  DistanceComputer dc(data);
+  Graph graph(40);
+  diversify::Params prune;
+  prune.strategy = diversify::Strategy::kNone;
+  prune.max_degree = 3;
+
+  // Point many nodes at node 0; its list must stay capped at max_degree.
+  for (VectorId v = 1; v < 10; ++v) {
+    std::vector<Neighbor> kept = {Neighbor(0, dc.Between(v, 0))};
+    InstallBidirectional(dc, &graph, v, kept, prune);
+  }
+  EXPECT_LE(graph.Neighbors(0).size(), 3u);
+}
+
+TEST(InstallBidirectionalTest, NoDuplicateReverseEdges) {
+  const Dataset data = synth::UniformHypercube(10, 4, 5);
+  DistanceComputer dc(data);
+  Graph graph(10);
+  diversify::Params prune;
+  prune.strategy = diversify::Strategy::kNone;
+  prune.max_degree = 8;
+  std::vector<Neighbor> kept = {Neighbor(2, dc.Between(1, 2))};
+  InstallBidirectional(dc, &graph, 1, kept, prune);
+  InstallBidirectional(dc, &graph, 1, kept, prune);
+  EXPECT_EQ(std::count(graph.Neighbors(2).begin(), graph.Neighbors(2).end(),
+                       1u),
+            1);
+}
+
+TEST(CapDegreesTest, TruncatesToNearest) {
+  const Dataset data = synth::UniformHypercube(30, 4, 7);
+  DistanceComputer dc(data);
+  Graph graph(30);
+  for (VectorId u = 1; u < 20; ++u) graph.AddEdge(0, u);
+  CapDegrees(dc, &graph, 5);
+  ASSERT_EQ(graph.Neighbors(0).size(), 5u);
+  // Kept neighbors are the 5 nearest of the original 19.
+  std::vector<Neighbor> scored;
+  for (VectorId u = 1; u < 20; ++u) scored.emplace_back(u, dc.Between(0, u));
+  std::sort(scored.begin(), scored.end());
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(graph.Neighbors(0)[i], scored[i].id);
+  }
+}
+
+TEST(RandomRegularGraphTest, DegreesAndNoSelfLoops) {
+  const Graph graph = RandomRegularGraph(200, 8, 11);
+  for (VectorId v = 0; v < 200; ++v) {
+    const auto& list = graph.Neighbors(v);
+    EXPECT_EQ(list.size(), 8u);
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      EXPECT_NE(list[i], v);
+      for (std::size_t j = i + 1; j < list.size(); ++j) {
+        EXPECT_NE(list[i], list[j]);
+      }
+    }
+  }
+}
+
+TEST(RandomRegularGraphTest, LogDegreeIsConnected) {
+  // Erdős–Rényi-style folklore the Vamana paper leans on: degree ≥ log n
+  // keeps the digraph connected with overwhelming probability.
+  const Graph graph = RandomRegularGraph(500, 9, 13);
+  EXPECT_EQ(graph.ReachableFrom(0), 500u);
+}
+
+TEST(EnsureConnectedFromTest, RepairsDisconnectedComponents) {
+  const Dataset data = synth::UniformHypercube(60, 4, 17);
+  DistanceComputer dc(data);
+  // Two directed chains with no link between them.
+  Graph graph(60);
+  for (VectorId v = 0; v + 1 < 30; ++v) graph.AddEdge(v, v + 1);
+  for (VectorId v = 30; v + 1 < 60; ++v) graph.AddEdge(v, v + 1);
+  ASSERT_LT(graph.ReachableFrom(0), 60u);
+
+  core::VisitedTable visited(60);
+  EnsureConnectedFrom(dc, &graph, 0, 16, &visited);
+  EXPECT_EQ(graph.ReachableFrom(0), 60u);
+}
+
+TEST(EnsureConnectedFromTest, NoopOnConnectedGraph) {
+  const Dataset data = synth::UniformHypercube(30, 4, 19);
+  DistanceComputer dc(data);
+  Graph graph(30);
+  for (VectorId v = 0; v < 30; ++v) graph.AddEdge(v, (v + 1) % 30);
+  const std::size_t edges_before = graph.EdgeCount();
+  core::VisitedTable visited(30);
+  EnsureConnectedFrom(dc, &graph, 0, 16, &visited);
+  EXPECT_EQ(graph.EdgeCount(), edges_before);
+}
+
+}  // namespace
+}  // namespace gass::methods

@@ -1,0 +1,114 @@
+// Structure-level tests for the Divide-and-Conquer family: SPTAG and HCNNG.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "eval/graph_stats.h"
+#include "methods/hcnng_index.h"
+#include "methods/sptag_index.h"
+#include "synth/generators.h"
+
+namespace gass::methods {
+namespace {
+
+using core::Dataset;
+using core::VectorId;
+
+TEST(SptagTest, DegreesBoundedAfterRndRefine) {
+  const Dataset data = synth::UniformHypercube(600, 12, 1);
+  SptagParams params;
+  params.max_degree = 20;
+  params.num_partitions = 3;
+  params.tp_tree.leaf_size = 100;
+  SptagIndex index(params);
+  index.Build(data);
+  EXPECT_LE(index.graph().MaxDegree(), 20u);
+}
+
+TEST(SptagTest, MorePartitionsDenserMergedGraph) {
+  const Dataset data = synth::UniformHypercube(500, 12, 3);
+  auto edges_with = [&](std::size_t partitions) {
+    SptagParams params;
+    params.num_partitions = partitions;
+    params.tp_tree.leaf_size = 80;
+    params.leaf_knn = 6;
+    params.max_degree = 64;  // High enough that RND rarely truncates.
+    SptagIndex index(params);
+    index.Build(data);
+    return index.graph().EdgeCount();
+  };
+  EXPECT_GT(edges_with(4), edges_with(1));
+}
+
+TEST(SptagTest, BothSeedTreesWork) {
+  const Dataset data = synth::UniformHypercube(400, 8, 5);
+  for (const SptagSeedTree tree :
+       {SptagSeedTree::kKdt, SptagSeedTree::kBkt}) {
+    SptagParams params;
+    params.seed_tree = tree;
+    params.num_partitions = 2;
+    params.tp_tree.leaf_size = 80;
+    SptagIndex index(params);
+    index.Build(data);
+    SearchParams search;
+    search.k = 5;
+    search.beam_width = 48;
+    const auto result = index.Search(data.Row(3), search);
+    ASSERT_FALSE(result.neighbors.empty());
+    EXPECT_EQ(result.neighbors[0].id, 3u);
+  }
+  SptagParams kdt;
+  kdt.seed_tree = SptagSeedTree::kKdt;
+  EXPECT_EQ(SptagIndex(kdt).Name(), "SPTAG-KDT");
+  SptagParams bkt;
+  bkt.seed_tree = SptagSeedTree::kBkt;
+  EXPECT_EQ(SptagIndex(bkt).Name(), "SPTAG-BKT");
+}
+
+TEST(HcnngTest, GraphIsUndirectedByConstruction) {
+  const Dataset data = synth::UniformHypercube(400, 8, 7);
+  HcnngParams params;
+  params.num_clusterings = 4;
+  params.leaf_size = 80;
+  HcnngIndex index(params);
+  index.Build(data);
+  const core::Graph& graph = index.graph();
+  for (VectorId v = 0; v < graph.size(); ++v) {
+    for (VectorId u : graph.Neighbors(v)) {
+      const auto& back = graph.Neighbors(u);
+      EXPECT_NE(std::find(back.begin(), back.end(), v), back.end())
+          << "edge " << v << "->" << u << " missing reverse";
+    }
+  }
+}
+
+TEST(HcnngTest, MoreClusteringsImproveConnectivity) {
+  const Dataset data = synth::UniformHypercube(500, 12, 9);
+  auto largest_with = [&](std::size_t clusterings) {
+    HcnngParams params;
+    params.num_clusterings = clusterings;
+    params.leaf_size = 50;
+    HcnngIndex index(params);
+    index.Build(data);
+    return eval::ComputeConnectivity(index.graph()).largest_component;
+  };
+  EXPECT_GE(largest_with(8), largest_with(1));
+  EXPECT_EQ(largest_with(8), 500u);  // Enough overlap to connect everything.
+}
+
+TEST(HcnngTest, MstDegreeCapHoldsPerClustering) {
+  const Dataset data = synth::UniformHypercube(300, 8, 11);
+  HcnngParams params;
+  params.num_clusterings = 1;
+  params.leaf_size = 60;
+  params.mst_degree_cap = 3;
+  HcnngIndex index(params);
+  index.Build(data);
+  // With one clustering (disjoint leaves) every node belongs to a single
+  // MST, so the cap is a hard bound.
+  EXPECT_LE(index.graph().MaxDegree(), 3u);
+}
+
+}  // namespace
+}  // namespace gass::methods

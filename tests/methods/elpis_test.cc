@@ -1,0 +1,137 @@
+#include "methods/elpis_index.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/ground_truth.h"
+#include "eval/recall.h"
+#include "synth/generators.h"
+
+namespace gass::methods {
+namespace {
+
+using core::Dataset;
+using core::VectorId;
+
+struct ElpisWorkload {
+  Dataset data;
+  Dataset queries;
+  eval::GroundTruth truth;
+
+  ElpisWorkload() {
+    synth::ClusterParams params;
+    data = synth::GaussianClusters(900, 16, params, 1);
+    queries = synth::GaussianClusters(15, 16, params, 2);
+    truth = eval::BruteForceKnn(data, queries, 10, 1);
+  }
+};
+
+ElpisParams SmallElpisParams() {
+  ElpisParams params;
+  params.tree.leaf_size = 200;
+  params.tree.min_leaf_size = 16;
+  params.nprobe = 6;
+  return params;
+}
+
+TEST(ElpisTest, BuildsMultipleLeaves) {
+  const ElpisWorkload w;
+  ElpisIndex index(SmallElpisParams());
+  index.Build(w.data);
+  EXPECT_GE(index.num_leaves(), 4u);
+  EXPECT_FALSE(index.HasBaseGraph());
+}
+
+TEST(ElpisTest, HighRecallWithModestProbes) {
+  const ElpisWorkload w;
+  ElpisIndex index(SmallElpisParams());
+  index.Build(w.data);
+  SearchParams params;
+  params.k = 10;
+  params.beam_width = 96;
+  std::vector<std::vector<core::Neighbor>> results;
+  for (VectorId q = 0; q < w.queries.size(); ++q) {
+    results.push_back(index.Search(w.queries.Row(q), params).neighbors);
+  }
+  EXPECT_GE(eval::MeanRecall(results, w.truth, 10), 0.8);
+}
+
+TEST(ElpisTest, GlobalIdsReturned) {
+  const ElpisWorkload w;
+  ElpisIndex index(SmallElpisParams());
+  index.Build(w.data);
+  SearchParams params;
+  params.k = 5;
+  params.beam_width = 64;
+  const SearchResult result = index.Search(w.data.Row(3), params);
+  ASSERT_FALSE(result.neighbors.empty());
+  EXPECT_EQ(result.neighbors[0].id, 3u);  // Global id, exact self-match.
+  EXPECT_FLOAT_EQ(result.neighbors[0].distance, 0.0f);
+}
+
+TEST(ElpisTest, MoreProbesNeverReduceRecall) {
+  const ElpisWorkload w;
+  auto recall_with = [&](std::size_t nprobe) {
+    ElpisParams params = SmallElpisParams();
+    params.nprobe = nprobe;
+    ElpisIndex index(params);
+    index.Build(w.data);
+    SearchParams search;
+    search.k = 10;
+    search.beam_width = 96;
+    std::vector<std::vector<core::Neighbor>> results;
+    for (VectorId q = 0; q < w.queries.size(); ++q) {
+      results.push_back(index.Search(w.queries.Row(q), search).neighbors);
+    }
+    return eval::MeanRecall(results, w.truth, 10);
+  };
+  EXPECT_GE(recall_with(8) + 1e-9, recall_with(1));
+}
+
+TEST(ElpisTest, ProbeCountBounded) {
+  const ElpisWorkload w;
+  ElpisParams params = SmallElpisParams();
+  params.nprobe = 2;
+  ElpisIndex index(params);
+  index.Build(w.data);
+  SearchParams search;
+  index.Search(w.queries.Row(0), search);
+  EXPECT_LE(index.last_probed(), 2u);
+  EXPECT_GE(index.last_probed(), 1u);
+}
+
+TEST(ElpisTest, ParallelLeafSearchMatchesSerial) {
+  // The paper's 1B-scale advantage: ELPIS can search candidate leaves
+  // concurrently for a single query. Results must not depend on the thread
+  // count.
+  const ElpisWorkload w;
+  ElpisParams serial_params = SmallElpisParams();
+  serial_params.search_threads = 1;
+  ElpisParams parallel_params = SmallElpisParams();
+  parallel_params.search_threads = 4;
+
+  ElpisIndex serial(serial_params), parallel(parallel_params);
+  serial.Build(w.data);
+  parallel.Build(w.data);
+
+  SearchParams params;
+  params.k = 10;
+  params.beam_width = 64;
+  for (VectorId q = 0; q < w.queries.size(); ++q) {
+    const auto a = serial.Search(w.queries.Row(q), params);
+    const auto b = parallel.Search(w.queries.Row(q), params);
+    ASSERT_EQ(a.neighbors.size(), b.neighbors.size());
+    for (std::size_t i = 0; i < a.neighbors.size(); ++i) {
+      EXPECT_EQ(a.neighbors[i].id, b.neighbors[i].id) << "query " << q;
+    }
+  }
+}
+
+TEST(ElpisTest, IndexBytesIncludeDuplicatedLeafData) {
+  const ElpisWorkload w;
+  ElpisIndex index(SmallElpisParams());
+  index.Build(w.data);
+  EXPECT_GE(index.IndexBytes(), w.data.SizeBytes());
+}
+
+}  // namespace
+}  // namespace gass::methods

@@ -1,0 +1,67 @@
+#include "methods/hvs_index.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/ground_truth.h"
+#include "eval/recall.h"
+#include "synth/generators.h"
+
+namespace gass::methods {
+namespace {
+
+using core::Dataset;
+using core::VectorId;
+
+TEST(HvsTest, LevelsShrinkTowardTheTop) {
+  const Dataset data = synth::MakeDatasetProxy("deep", 1200, 3);
+  HvsParams params;
+  params.num_levels = 2;
+  HvsIndex index(params);
+  index.Build(data);
+  ASSERT_EQ(index.num_levels(), 2u);
+  EXPECT_LT(index.LevelSize(0), index.LevelSize(1));  // Top is coarsest.
+  EXPECT_LT(index.LevelSize(1), data.size());
+}
+
+TEST(HvsTest, RecallFloorWithQuantizedDescent) {
+  synth::ClusterParams cluster_params;
+  const Dataset data = synth::GaussianClusters(900, 16, cluster_params, 5);
+  const Dataset queries = synth::GaussianClusters(15, 16, cluster_params, 6);
+  const auto truth = eval::BruteForceKnn(data, queries, 10, 1);
+  HvsIndex index(HvsParams{});
+  index.Build(data);
+  SearchParams params;
+  params.k = 10;
+  params.beam_width = 100;
+  std::vector<std::vector<core::Neighbor>> results;
+  for (VectorId q = 0; q < queries.size(); ++q) {
+    results.push_back(index.Search(queries.Row(q), params).neighbors);
+  }
+  EXPECT_GE(eval::MeanRecall(results, truth, 10), 0.9);
+}
+
+TEST(HvsTest, DescentChargesAdcToHopsNotDistances) {
+  const Dataset data = synth::MakeDatasetProxy("deep", 800, 7);
+  HvsIndex index(HvsParams{});
+  index.Build(data);
+  SearchParams params;
+  params.k = 5;
+  params.beam_width = 32;
+  const SearchResult result = index.Search(data.Row(0), params);
+  // The quantized level scans register as hops (cheap ADC lookups) on top
+  // of the beam-search hops; exact distances stay bounded by the beam.
+  EXPECT_GT(result.stats.hops, index.LevelSize(0));
+  EXPECT_GT(result.stats.distance_computations, 0u);
+}
+
+TEST(HvsTest, ExposesBaseGraph) {
+  const Dataset data = synth::MakeDatasetProxy("deep", 400, 9);
+  HvsIndex index(HvsParams{});
+  index.Build(data);
+  EXPECT_TRUE(index.HasBaseGraph());
+  EXPECT_EQ(index.graph().size(), data.size());
+  EXPECT_GT(index.IndexBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace gass::methods

@@ -1,0 +1,174 @@
+#include "methods/ii_baseline_index.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/ground_truth.h"
+#include "eval/recall.h"
+#include "synth/generators.h"
+
+namespace gass::methods {
+namespace {
+
+using core::Dataset;
+using core::VectorId;
+
+struct Workload {
+  Dataset data;
+  Dataset queries;
+  eval::GroundTruth truth;
+
+  Workload() {
+    synth::ClusterParams params;
+    data = synth::GaussianClusters(700, 16, params, 1);
+    queries = synth::GaussianClusters(15, 16, params, 2);
+    truth = eval::BruteForceKnn(data, queries, 10, 1);
+  }
+};
+
+double RunRecall(IiBaselineIndex& index, const Workload& w,
+                 std::size_t beam) {
+  SearchParams params;
+  params.k = 10;
+  params.beam_width = beam;
+  std::vector<std::vector<core::Neighbor>> results;
+  for (VectorId q = 0; q < w.queries.size(); ++q) {
+    results.push_back(index.Search(w.queries.Row(q), params).neighbors);
+  }
+  return eval::MeanRecall(results, w.truth, 10);
+}
+
+TEST(IiBaselineTest, AllNdStrategiesBuildAndSearch) {
+  const Workload w;
+  for (const auto strategy :
+       {diversify::Strategy::kNone, diversify::Strategy::kRnd,
+        diversify::Strategy::kRrnd, diversify::Strategy::kMond}) {
+    IiBaselineParams params;
+    params.max_degree = 16;
+    params.build_beam_width = 64;
+    params.diversify.strategy = strategy;
+    IiBaselineIndex index(params);
+    const BuildStats build = index.Build(w.data);
+    EXPECT_GT(build.distance_computations, 0u);
+    EXPECT_GE(RunRecall(index, w, 96), 0.8)
+        << diversify::StrategyName(strategy);
+  }
+}
+
+TEST(IiBaselineTest, DegreesBounded) {
+  const Workload w;
+  IiBaselineParams params;
+  params.max_degree = 12;
+  IiBaselineIndex index(params);
+  index.Build(w.data);
+  EXPECT_LE(index.graph().MaxDegree(), 12u + 1u);
+}
+
+TEST(IiBaselineTest, PruneStatsOrderingMatchesTable1) {
+  // Table 1: RND prunes most, then MOND, then RRND.
+  const Workload w;
+  double ratios[3];
+  const diversify::Strategy strategies[3] = {diversify::Strategy::kRnd,
+                                             diversify::Strategy::kMond,
+                                             diversify::Strategy::kRrnd};
+  for (int s = 0; s < 3; ++s) {
+    IiBaselineParams params;
+    params.max_degree = 16;
+    params.build_beam_width = 64;
+    params.diversify.strategy = strategies[s];
+    params.diversify.alpha = 1.3f;
+    params.diversify.theta_degrees = 60.0f;
+    IiBaselineIndex index(params);
+    index.Build(w.data);
+    ratios[s] = index.prune_stats().PruningRatio();
+  }
+  EXPECT_GT(ratios[0], ratios[1]);  // RND > MOND.
+  EXPECT_GT(ratios[1], ratios[2]);  // MOND > RRND.
+}
+
+TEST(IiBaselineTest, AllQuerySeedStrategiesWork) {
+  const Workload w;
+  IiBaselineParams params;
+  params.max_degree = 16;
+  IiBaselineIndex index(params);
+  index.Build(w.data);
+  for (const auto strategy :
+       {seeds::Strategy::kKs, seeds::Strategy::kSf, seeds::Strategy::kMd,
+        seeds::Strategy::kKd, seeds::Strategy::kKm, seeds::Strategy::kLsh,
+        seeds::Strategy::kSn}) {
+    index.AttachQuerySeeds(strategy);
+    const double recall = RunRecall(index, w, 96);
+    EXPECT_GE(recall, 0.7) << seeds::StrategyName(strategy);
+  }
+}
+
+TEST(IiBaselineTest, SnBuildSeedingWorks) {
+  const Workload w;
+  IiBaselineParams params;
+  params.max_degree = 16;
+  params.build_ss = seeds::Strategy::kSn;
+  IiBaselineIndex index(params);
+  const BuildStats build = index.Build(w.data);
+  EXPECT_GT(build.distance_computations, 0u);
+  EXPECT_GE(RunRecall(index, w, 96), 0.8);
+}
+
+TEST(IiBaselineTest, IvfPqCandidateSourceBuildsSearchableGraph) {
+  // Research direction (2): IVF-PQ supplies construction candidates.
+  const Workload w;
+  IiBaselineParams params;
+  params.max_degree = 16;
+  params.candidate_source = CandidateSource::kIvfPq;
+  params.ivf.num_lists = 32;
+  params.ivf_nprobe = 8;
+  IiBaselineIndex index(params);
+  const BuildStats build = index.Build(w.data);
+  EXPECT_GT(build.distance_computations, 0u);
+  EXPECT_GE(RunRecall(index, w, 96), 0.7);
+}
+
+TEST(IiBaselineTest, IvfBuildCheaperInExactDistances) {
+  const Workload w;
+  IiBaselineParams params;
+  params.max_degree = 16;
+  params.build_beam_width = 96;
+
+  IiBaselineIndex beam(params);
+  const BuildStats beam_build = beam.Build(w.data);
+
+  params.candidate_source = CandidateSource::kIvfPq;
+  IiBaselineIndex ivf(params);
+  const BuildStats ivf_build = ivf.Build(w.data);
+
+  EXPECT_LT(ivf_build.distance_computations,
+            beam_build.distance_computations);
+}
+
+TEST(IiBaselineTest, NameReflectsConfiguration) {
+  IiBaselineParams params;
+  params.diversify.strategy = diversify::Strategy::kMond;
+  params.query_ss = seeds::Strategy::kKd;
+  IiBaselineIndex index(params);
+  EXPECT_EQ(index.Name(), "II(MOND,KD)");
+}
+
+TEST(IiBaselineTest, NdBeatsNoNdAtEqualBudget) {
+  // The Fig. 5 headline: at the same beam width, the RND graph needs no
+  // more distance computations for at-least-equal recall. We assert the
+  // cheaper proxy: RND recall >= NoND recall - small slack at a tight beam.
+  const Workload w;
+  IiBaselineParams params;
+  params.max_degree = 16;
+  params.build_beam_width = 64;
+
+  params.diversify.strategy = diversify::Strategy::kRnd;
+  IiBaselineIndex rnd(params);
+  rnd.Build(w.data);
+  params.diversify.strategy = diversify::Strategy::kNone;
+  IiBaselineIndex nond(params);
+  nond.Build(w.data);
+
+  EXPECT_GE(RunRecall(rnd, w, 32) + 0.05, RunRecall(nond, w, 32));
+}
+
+}  // namespace
+}  // namespace gass::methods

@@ -1,0 +1,132 @@
+// Cross-method property tests: invariants every index must satisfy
+// regardless of its construction paradigm.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "eval/ground_truth.h"
+#include "eval/recall.h"
+#include "methods/factory.h"
+#include "synth/generators.h"
+
+namespace gass::methods {
+namespace {
+
+using core::Dataset;
+using core::VectorId;
+
+class MethodPropertyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MethodPropertyTest, DeterministicAcrossRebuilds) {
+  const Dataset data = synth::MakeDatasetProxy("deep", 400, 7);
+  const Dataset queries = synth::MakeDatasetProxy("deep", 5, 8);
+
+  auto run = [&]() {
+    auto index = CreateIndex(GetParam(), 99);
+    index->Build(data);
+    SearchParams params;
+    params.k = 5;
+    params.beam_width = 48;
+    std::vector<std::vector<core::Neighbor>> results;
+    for (VectorId q = 0; q < queries.size(); ++q) {
+      results.push_back(index->Search(queries.Row(q), params).neighbors);
+    }
+    return results;
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t q = 0; q < a.size(); ++q) {
+    ASSERT_EQ(a[q].size(), b[q].size()) << GetParam() << " query " << q;
+    for (std::size_t i = 0; i < a[q].size(); ++i) {
+      EXPECT_EQ(a[q][i].id, b[q][i].id) << GetParam() << " query " << q;
+    }
+  }
+}
+
+TEST_P(MethodPropertyTest, NoDuplicateAnswers) {
+  const Dataset data = synth::MakeDatasetProxy("sift", 500, 11);
+  auto index = CreateIndex(GetParam(), 3);
+  index->Build(data);
+  SearchParams params;
+  params.k = 10;
+  params.beam_width = 64;
+  for (VectorId q = 0; q < 10; ++q) {
+    const auto result = index->Search(data.Row(q * 17), params);
+    std::set<VectorId> unique;
+    for (const auto& nb : result.neighbors) {
+      EXPECT_TRUE(unique.insert(nb.id).second)
+          << GetParam() << ": duplicate id " << nb.id;
+      EXPECT_LT(nb.id, data.size());
+    }
+  }
+}
+
+TEST_P(MethodPropertyTest, WiderBeamDoesNotHurtMuch) {
+  const Dataset data = synth::MakeDatasetProxy("deep", 600, 13);
+  const Dataset queries = synth::MakeDatasetProxy("deep", 15, 14);
+  const auto truth = eval::BruteForceKnn(data, queries, 10, 1);
+  auto index = CreateIndex(GetParam(), 5);
+  index->Build(data);
+
+  auto recall_at = [&](std::size_t beam) {
+    SearchParams params;
+    params.k = 10;
+    params.beam_width = beam;
+    params.num_seeds = 48;
+    std::vector<std::vector<core::Neighbor>> results;
+    for (VectorId q = 0; q < queries.size(); ++q) {
+      results.push_back(index->Search(queries.Row(q), params).neighbors);
+    }
+    return eval::MeanRecall(results, truth, 10);
+  };
+  const double narrow = recall_at(12);
+  const double wide = recall_at(160);
+  // Small slack: KS-style seeding re-randomizes per query.
+  EXPECT_GE(wide + 0.05, narrow) << GetParam();
+}
+
+TEST_P(MethodPropertyTest, TinyCollection) {
+  const Dataset data = synth::MakeDatasetProxy("deep", 50, 17);
+  auto index = CreateIndex(GetParam(), 7);
+  index->Build(data);
+  SearchParams params;
+  params.k = 3;
+  params.beam_width = 32;
+  const auto result = index->Search(data.Row(0), params);
+  ASSERT_FALSE(result.neighbors.empty()) << GetParam();
+  EXPECT_EQ(result.neighbors[0].id, 0u) << GetParam();
+}
+
+TEST_P(MethodPropertyTest, SelfQueryIsTopAnswerAtWideBeam) {
+  const Dataset data = synth::MakeDatasetProxy("sift", 400, 19);
+  auto index = CreateIndex(GetParam(), 9);
+  index->Build(data);
+  SearchParams params;
+  params.k = 1;
+  params.beam_width = 128;
+  params.num_seeds = 64;
+  int hits = 0;
+  for (VectorId q = 0; q < 20; ++q) {
+    const auto result = index->Search(data.Row(q * 13), params);
+    if (!result.neighbors.empty() &&
+        result.neighbors[0].distance == 0.0f) {
+      ++hits;
+    }
+  }
+  EXPECT_GE(hits, 18) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, MethodPropertyTest, ::testing::ValuesIn(AllMethodNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace gass::methods

@@ -1,0 +1,107 @@
+// Cross-method conformance: every one of the twelve methods must build on a
+// small collection and reach a recall floor with a generous beam.
+
+#include <gtest/gtest.h>
+
+#include "eval/ground_truth.h"
+#include "eval/recall.h"
+#include "methods/factory.h"
+#include "synth/generators.h"
+
+namespace gass::methods {
+namespace {
+
+using core::Dataset;
+using core::VectorId;
+
+class AllMethodsTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static void SetUpTestSuite() {
+    synth::ClusterParams params;
+    params.num_clusters = 12;
+    data_ = new Dataset(synth::GaussianClusters(800, 24, params, 42));
+    queries_ = new Dataset(synth::GaussianClusters(20, 24, params, 43));
+    truth_ = new eval::GroundTruth(
+        eval::BruteForceKnn(*data_, *queries_, 10, 1));
+  }
+  static void TearDownTestSuite() {
+    delete truth_;
+    delete queries_;
+    delete data_;
+    truth_ = nullptr;
+    queries_ = nullptr;
+    data_ = nullptr;
+  }
+
+  static Dataset* data_;
+  static Dataset* queries_;
+  static eval::GroundTruth* truth_;
+};
+
+Dataset* AllMethodsTest::data_ = nullptr;
+Dataset* AllMethodsTest::queries_ = nullptr;
+eval::GroundTruth* AllMethodsTest::truth_ = nullptr;
+
+TEST_P(AllMethodsTest, BuildsAndReachesRecallFloor) {
+  auto index = CreateIndex(GetParam(), 42);
+  ASSERT_NE(index, nullptr);
+  const BuildStats build = index->Build(*data_);
+  EXPECT_GT(build.distance_computations, 0u);
+  EXPECT_GT(build.index_bytes, 0u);
+  EXPECT_GE(build.peak_bytes, build.index_bytes);
+  EXPECT_GT(index->IndexBytes(), 0u);
+
+  SearchParams params;
+  params.k = 10;
+  params.beam_width = 128;
+  // KS-seeded methods warm the candidate list with random nodes; with
+  // clustered data the seed count must be large enough that every cluster
+  // is sampled with high probability (the paper's KS uses beam-width-many
+  // seeds).
+  params.num_seeds = 64;
+  std::vector<std::vector<core::Neighbor>> results;
+  std::uint64_t distances = 0;
+  for (VectorId q = 0; q < queries_->size(); ++q) {
+    SearchResult result = index->Search(queries_->Row(q), params);
+    EXPECT_LE(result.neighbors.size(), 10u);
+    for (const auto& nb : result.neighbors) {
+      EXPECT_LT(nb.id, data_->size());
+    }
+    for (std::size_t i = 0; i + 1 < result.neighbors.size(); ++i) {
+      EXPECT_LE(result.neighbors[i].distance,
+                result.neighbors[i + 1].distance);
+    }
+    distances += result.stats.distance_computations;
+    results.push_back(std::move(result.neighbors));
+  }
+  EXPECT_GT(distances, 0u);
+  const double recall = eval::MeanRecall(results, *truth_, 10);
+  EXPECT_GE(recall, 0.80) << GetParam() << " recall too low: " << recall;
+}
+
+TEST_P(AllMethodsTest, NameIsStable) {
+  auto index = CreateIndex(GetParam(), 1);
+  EXPECT_FALSE(index->Name().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, AllMethodsTest,
+    ::testing::ValuesIn(AllMethodNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(FactoryTest, UnknownNameDies) {
+  EXPECT_DEATH(CreateIndex("definitely-not-a-method", 1), "unknown");
+}
+
+TEST(FactoryTest, ListsSeventeenVariants) {
+  EXPECT_EQ(AllMethodNames().size(), 17u);
+}
+
+}  // namespace
+}  // namespace gass::methods

@@ -1,0 +1,158 @@
+// Structure-level tests for the Neighborhood-Propagation family and its
+// diversified descendants: KGraph, IEH, DPG, NGT.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "knngraph/exact_knn_graph.h"
+#include "methods/dpg_index.h"
+#include "methods/fanng_index.h"
+#include "methods/ieh_index.h"
+#include "methods/kgraph_index.h"
+#include "methods/ngt_index.h"
+#include "synth/generators.h"
+
+namespace gass::methods {
+namespace {
+
+using core::Dataset;
+using core::VectorId;
+
+TEST(KgraphStructureTest, GraphIsGoodKnnApproximation) {
+  synth::ClusterParams cluster_params;
+  const Dataset data = synth::GaussianClusters(600, 16, cluster_params, 1);
+  KgraphParams params;
+  params.nndescent.k = 10;
+  KgraphIndex index(params);
+  index.Build(data);
+  EXPECT_GE(knngraph::KnnGraphRecall(data, index.graph(), 10, 40, 3), 0.85);
+}
+
+TEST(IehStructureTest, HashInitConvergesLikeRandomInit) {
+  const Dataset data = synth::UniformHypercube(500, 16, 3);
+  IehParams ieh_params;
+  ieh_params.nndescent.k = 10;
+  IehIndex ieh(ieh_params);
+  ieh.Build(data);
+  KgraphParams kg_params;
+  kg_params.nndescent.k = 10;
+  KgraphIndex kgraph(kg_params);
+  kgraph.Build(data);
+  const double ieh_recall =
+      knngraph::KnnGraphRecall(data, ieh.graph(), 10, 40, 5);
+  const double kg_recall =
+      knngraph::KnnGraphRecall(data, kgraph.graph(), 10, 40, 5);
+  EXPECT_NEAR(ieh_recall, kg_recall, 0.15);
+  EXPECT_GE(ieh_recall, 0.75);
+}
+
+TEST(DpgStructureTest, UndirectedAfterBuild) {
+  const Dataset data = synth::UniformHypercube(400, 12, 5);
+  DpgParams params;
+  params.nndescent.k = 16;
+  params.max_degree = 8;
+  DpgIndex index(params);
+  index.Build(data);
+  const core::Graph& graph = index.graph();
+  for (VectorId v = 0; v < graph.size(); ++v) {
+    for (VectorId u : graph.Neighbors(v)) {
+      const auto& back = graph.Neighbors(u);
+      EXPECT_NE(std::find(back.begin(), back.end(), v), back.end());
+    }
+  }
+}
+
+TEST(DpgStructureTest, AverageDegreeBoundedByUndirectedMond) {
+  const Dataset data = synth::UniformHypercube(400, 12, 7);
+  DpgParams params;
+  params.nndescent.k = 24;
+  params.max_degree = 10;
+  DpgIndex index(params);
+  index.Build(data);
+  // Each node contributes <= max_degree forward edges; undirection doubles
+  // the total at most, so the *average* degree is <= 2·max_degree (a few
+  // hub nodes may individually exceed it through in-edges).
+  EXPECT_LE(index.graph().AverageDegree(), 20.0);
+  EXPECT_GT(index.graph().AverageDegree(), 2.0);
+}
+
+TEST(FanngStructureTest, TraverseAndAddAddsEscapeEdges) {
+  // Clustered data with a sparse occlusion-pruned graph: training walks
+  // between clusters must discover stuck states and add escapes.
+  synth::ClusterParams cluster_params;
+  cluster_params.num_clusters = 8;
+  cluster_params.cluster_std = 0.1f;
+  const Dataset data = synth::GaussianClusters(500, 12, cluster_params, 13);
+  FanngParams params;
+  params.nndescent.k = 10;
+  params.max_degree = 8;
+  params.training_walks_per_node = 1.0;
+  FanngIndex index(params);
+  index.Build(data);
+  EXPECT_GT(index.escape_edges(), 0u);
+}
+
+TEST(FanngStructureTest, TrainingImprovesNarrowBeamReachability) {
+  synth::ClusterParams cluster_params;
+  cluster_params.num_clusters = 8;
+  cluster_params.cluster_std = 0.1f;
+  const Dataset data = synth::GaussianClusters(500, 12, cluster_params, 17);
+
+  auto self_hit_rate = [&](double walks) {
+    FanngParams params;
+    params.nndescent.k = 10;
+    params.max_degree = 8;
+    params.training_walks_per_node = walks;
+    FanngIndex index(params);
+    index.Build(data);
+    SearchParams search;
+    search.k = 1;
+    search.beam_width = 4;
+    search.num_seeds = 2;  // Few seeds: traversal must do the work.
+    int hits = 0;
+    for (VectorId q = 0; q < 40; ++q) {
+      const auto result = index.Search(data.Row(q * 11), search);
+      if (!result.neighbors.empty() &&
+          result.neighbors[0].distance == 0.0f) {
+        ++hits;
+      }
+    }
+    return hits;
+  };
+  EXPECT_GE(self_hit_rate(2.0) + 2, self_hit_rate(0.0));
+}
+
+TEST(NgtStructureTest, RndBoundsDegreeOfBidirectedGraph) {
+  const Dataset data = synth::UniformHypercube(400, 12, 9);
+  NgtParams params;
+  params.nndescent.k = 16;
+  params.max_degree = 12;
+  NgtIndex index(params);
+  index.Build(data);
+  EXPECT_LE(index.graph().MaxDegree(), 12u);
+}
+
+TEST(NgtStructureTest, VpSeedBudgetAffectsCost) {
+  const Dataset data = synth::UniformHypercube(600, 12, 11);
+  auto cost_with = [&](std::size_t visits) {
+    NgtParams params;
+    params.vp_seed_visits = visits;
+    NgtIndex index(params);
+    index.Build(data);
+    SearchParams search;
+    search.k = 5;
+    search.beam_width = 16;
+    search.num_seeds = 8;
+    std::uint64_t total = 0;
+    for (VectorId q = 0; q < 10; ++q) {
+      total += index.Search(data.Row(q * 7), search)
+                   .stats.distance_computations;
+    }
+    return total;
+  };
+  EXPECT_LT(cost_with(16), cost_with(512));
+}
+
+}  // namespace
+}  // namespace gass::methods

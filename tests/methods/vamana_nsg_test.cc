@@ -1,0 +1,87 @@
+// Method-specific invariants for the refine-a-base-graph family.
+
+#include <gtest/gtest.h>
+
+#include "eval/ground_truth.h"
+#include "eval/recall.h"
+#include "methods/nsg_index.h"
+#include "methods/ssg_index.h"
+#include "methods/vamana_index.h"
+#include "synth/generators.h"
+
+namespace gass::methods {
+namespace {
+
+using core::Dataset;
+using core::VectorId;
+
+TEST(VamanaTest, DegreesBoundedByR) {
+  const Dataset data = synth::UniformHypercube(600, 12, 1);
+  VamanaParams params;
+  params.max_degree = 20;
+  VamanaIndex index(params);
+  index.Build(data);
+  EXPECT_LE(index.graph().MaxDegree(), 20u + 1u);
+}
+
+TEST(VamanaTest, GraphConnectedFromMedoid) {
+  const Dataset data = synth::UniformHypercube(500, 12, 3);
+  VamanaIndex index(VamanaParams{});
+  index.Build(data);
+  // Vamana's random init plus bidirectional refinement keeps the graph
+  // reachable from the medoid — the property its search depends on.
+  EXPECT_GE(index.graph().ReachableFrom(index.medoid()),
+            data.size() * 95 / 100);
+}
+
+TEST(VamanaTest, AlphaAboveOneAddsEdges) {
+  const Dataset data = synth::UniformHypercube(500, 12, 5);
+  VamanaParams tight;
+  tight.alpha = 1.0f;
+  VamanaParams relaxed;
+  relaxed.alpha = 1.6f;
+  VamanaIndex a(tight), b(relaxed);
+  a.Build(data);
+  b.Build(data);
+  EXPECT_GE(b.graph().EdgeCount(), a.graph().EdgeCount());
+}
+
+TEST(NsgTest, ConnectivityRepairReachesEveryNode) {
+  const Dataset data = synth::UniformHypercube(500, 12, 7);
+  NsgIndex index(NsgParams{});
+  index.Build(data);
+  EXPECT_EQ(index.graph().ReachableFrom(index.medoid()), data.size());
+}
+
+TEST(NsgTest, RecallFloor) {
+  synth::ClusterParams cluster_params;
+  const Dataset data = synth::GaussianClusters(700, 16, cluster_params, 9);
+  const Dataset queries =
+      synth::GaussianClusters(15, 16, cluster_params, 10);
+  const auto truth = eval::BruteForceKnn(data, queries, 10, 1);
+  NsgIndex index(NsgParams{});
+  index.Build(data);
+  SearchParams params;
+  params.k = 10;
+  params.beam_width = 100;
+  std::vector<std::vector<core::Neighbor>> results;
+  for (VectorId q = 0; q < queries.size(); ++q) {
+    results.push_back(index.Search(queries.Row(q), params).neighbors);
+  }
+  EXPECT_GE(eval::MeanRecall(results, truth, 10), 0.9);
+}
+
+TEST(SsgTest, DegreesBoundedAndSearchable) {
+  const Dataset data = synth::UniformHypercube(500, 12, 11);
+  SsgParams params;
+  params.max_degree = 20;
+  SsgIndex index(params);
+  index.Build(data);
+  // The DFS connectivity repair may push a few nodes past R by one edge.
+  EXPECT_LE(index.graph().MaxDegree(), 20u + params.num_dfs_roots);
+  const SearchResult result = index.Search(data.Row(0), SearchParams{});
+  EXPECT_FALSE(result.neighbors.empty());
+}
+
+}  // namespace
+}  // namespace gass::methods

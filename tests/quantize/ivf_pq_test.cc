@@ -1,0 +1,92 @@
+#include "quantize/ivf_pq.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "eval/ground_truth.h"
+#include "eval/recall.h"
+#include "synth/generators.h"
+
+namespace gass::quantize {
+namespace {
+
+using core::Dataset;
+using core::VectorId;
+
+IvfPqParams SmallParams() {
+  IvfPqParams params;
+  params.num_lists = 32;
+  params.pq.num_subspaces = 8;
+  params.pq.codebook_size = 64;
+  return params;
+}
+
+TEST(IvfPqTest, BuildsRequestedLists) {
+  const Dataset data = synth::UniformHypercube(500, 32, 1);
+  const IvfPqIndex index = IvfPqIndex::Build(data, SmallParams(), 7);
+  EXPECT_EQ(index.num_lists(), 32u);
+  EXPECT_GT(index.MemoryBytes(), 0u);
+}
+
+TEST(IvfPqTest, RerankedSearchReachesGoodRecall) {
+  synth::ClusterParams cluster_params;
+  const Dataset data = synth::GaussianClusters(1000, 32, cluster_params, 3);
+  const Dataset queries = data.Prefix(20);
+  const auto truth = eval::BruteForceKnn(data, queries, 10);
+  const IvfPqIndex index = IvfPqIndex::Build(data, SmallParams(), 7);
+
+  std::vector<std::vector<core::Neighbor>> results;
+  for (VectorId q = 0; q < queries.size(); ++q) {
+    results.push_back(
+        index.Search(data, queries.Row(q), 10, /*nprobe=*/8, /*rerank=*/50));
+  }
+  EXPECT_GE(eval::MeanRecall(results, truth, 10), 0.7);
+}
+
+TEST(IvfPqTest, MoreProbesImproveRecall) {
+  const Dataset data = synth::UniformHypercube(800, 16, 5);
+  const Dataset queries = synth::UniformHypercube(15, 16, 6);
+  const auto truth = eval::BruteForceKnn(data, queries, 5);
+  const IvfPqIndex index = IvfPqIndex::Build(data, SmallParams(), 7);
+
+  auto recall_at = [&](std::size_t nprobe) {
+    std::vector<std::vector<core::Neighbor>> results;
+    for (VectorId q = 0; q < queries.size(); ++q) {
+      results.push_back(
+          index.Search(data, queries.Row(q), 5, nprobe, 40));
+    }
+    return eval::MeanRecall(results, truth, 5);
+  };
+  EXPECT_GE(recall_at(32) + 1e-9, recall_at(1));
+}
+
+TEST(IvfPqTest, StatsTrackRerankDistancesAndAdcEvals) {
+  const Dataset data = synth::UniformHypercube(400, 16, 9);
+  const IvfPqIndex index = IvfPqIndex::Build(data, SmallParams(), 7);
+  core::SearchStats stats;
+  index.Search(data, data.Row(0), 5, 4, 20, &stats);
+  EXPECT_GT(stats.hops, 0u);  // ADC evaluations.
+  EXPECT_GT(stats.distance_computations, 0u);  // Rerank distances.
+  EXPECT_LE(stats.distance_computations, 20u);
+}
+
+TEST(IvfPqTest, CandidatesComeFromNearbyLists) {
+  synth::ClusterParams cluster_params;
+  const Dataset data = synth::GaussianClusters(600, 16, cluster_params, 11);
+  const IvfPqIndex index = IvfPqIndex::Build(data, SmallParams(), 7);
+  // A dataset member's candidate set (ADC-ranked, 8 probes) should contain
+  // the member itself nearly always.
+  int hits = 0;
+  for (VectorId q = 0; q < 30; ++q) {
+    const auto candidates = index.Candidates(data.Row(q), 50, 8);
+    if (std::find(candidates.begin(), candidates.end(), q) !=
+        candidates.end()) {
+      ++hits;
+    }
+  }
+  EXPECT_GE(hits, 25);
+}
+
+}  // namespace
+}  // namespace gass::quantize

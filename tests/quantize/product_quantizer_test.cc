@@ -1,0 +1,114 @@
+#include "quantize/product_quantizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "synth/generators.h"
+
+namespace gass::quantize {
+namespace {
+
+using core::Dataset;
+using core::VectorId;
+
+TEST(ProductQuantizerTest, CodeSizeMatchesSubspaces) {
+  const Dataset data = synth::UniformHypercube(300, 32, 1);
+  PqParams params;
+  params.num_subspaces = 8;
+  const ProductQuantizer pq = ProductQuantizer::Train(data, params, 7);
+  EXPECT_EQ(pq.num_subspaces(), 8u);
+  EXPECT_EQ(pq.code_size(), 8u);
+  EXPECT_EQ(pq.dim(), 32u);
+}
+
+TEST(ProductQuantizerTest, DecodeReducesError) {
+  const Dataset data = synth::GaussianClusters(500, 32,
+                                               synth::ClusterParams{}, 3);
+  PqParams params;
+  params.num_subspaces = 8;
+  const ProductQuantizer pq = ProductQuantizer::Train(data, params, 7);
+  std::vector<std::uint8_t> code(pq.code_size());
+  std::vector<float> decoded(32);
+  double total_error = 0.0, total_norm = 0.0;
+  for (VectorId i = 0; i < 100; ++i) {
+    pq.Encode(data.Row(i), code.data());
+    pq.Decode(code.data(), decoded.data());
+    total_error += core::L2Sq(decoded.data(), data.Row(i), 32);
+    total_norm += core::Dot(data.Row(i), data.Row(i), 32);
+  }
+  // Quantization error well below the data energy on clustered data.
+  EXPECT_LT(total_error, 0.5 * total_norm);
+}
+
+TEST(ProductQuantizerTest, AdcMatchesDecodedDistance) {
+  const Dataset data = synth::UniformHypercube(300, 24, 5);
+  PqParams params;
+  params.num_subspaces = 6;
+  params.codebook_size = 32;
+  const ProductQuantizer pq = ProductQuantizer::Train(data, params, 9);
+  std::vector<std::uint8_t> code(pq.code_size());
+  std::vector<float> decoded(24);
+  const std::vector<float> table = pq.BuildAdcTable(data.Row(0));
+  for (VectorId i = 1; i < 50; ++i) {
+    pq.Encode(data.Row(i), code.data());
+    pq.Decode(code.data(), decoded.data());
+    const float via_decode = core::L2Sq(data.Row(0), decoded.data(), 24);
+    const float via_adc = pq.AdcDistance(table, code.data());
+    EXPECT_NEAR(via_adc, via_decode, 1e-3f * (1.0f + via_decode));
+  }
+}
+
+TEST(ProductQuantizerTest, SmallCodebookClampedToDataSize) {
+  const Dataset data = synth::UniformHypercube(10, 8, 5);
+  PqParams params;
+  params.codebook_size = 256;
+  const ProductQuantizer pq = ProductQuantizer::Train(data, params, 9);
+  EXPECT_LE(pq.codebook_size(), 10u);
+}
+
+TEST(ProductQuantizerTest, AdcRanksTrueNeighborsHighly) {
+  synth::ClusterParams cluster_params;
+  const Dataset data = synth::GaussianClusters(500, 32, cluster_params, 11);
+  PqParams params;
+  params.num_subspaces = 8;
+  const ProductQuantizer pq = ProductQuantizer::Train(data, params, 13);
+  std::vector<std::uint8_t> codes(500 * pq.code_size());
+  for (VectorId i = 0; i < 500; ++i) {
+    pq.Encode(data.Row(i), codes.data() + i * pq.code_size());
+  }
+  int hits = 0;
+  for (VectorId q = 0; q < 20; ++q) {
+    const std::vector<float> table = pq.BuildAdcTable(data.Row(q));
+    // Exact NN (excluding self).
+    VectorId exact_best = 0;
+    float exact_min = 3.4e38f;
+    for (VectorId i = 0; i < 500; ++i) {
+      if (i == q) continue;
+      const float d = core::L2Sq(data.Row(q), data.Row(i), 32);
+      if (d < exact_min) {
+        exact_min = d;
+        exact_best = i;
+      }
+    }
+    // Is it in the ADC top-10?
+    std::vector<std::pair<float, VectorId>> ranked;
+    for (VectorId i = 0; i < 500; ++i) {
+      if (i == q) continue;
+      ranked.emplace_back(
+          pq.AdcDistance(table, codes.data() + i * pq.code_size()), i);
+    }
+    std::partial_sort(ranked.begin(), ranked.begin() + 10, ranked.end());
+    for (int r = 0; r < 10; ++r) {
+      if (ranked[r].second == exact_best) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(hits, 15);
+}
+
+}  // namespace
+}  // namespace gass::quantize

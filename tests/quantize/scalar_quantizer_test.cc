@@ -1,0 +1,90 @@
+#include "quantize/scalar_quantizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "synth/generators.h"
+
+namespace gass::quantize {
+namespace {
+
+using core::Dataset;
+using core::VectorId;
+
+TEST(ScalarQuantizerTest, RoundTripWithinCellError) {
+  const Dataset data = synth::UniformHypercube(200, 16, 1);
+  const ScalarQuantizer sq = ScalarQuantizer::Train(data);
+  std::vector<std::uint8_t> code(16);
+  std::vector<float> decoded(16);
+  for (VectorId i = 0; i < 50; ++i) {
+    sq.Encode(data.Row(i), code.data());
+    sq.Decode(code.data(), decoded.data());
+    for (std::size_t d = 0; d < 16; ++d) {
+      // The grid spans [0,1) in 255 steps; round-trip error < one cell.
+      EXPECT_NEAR(decoded[d], data.Row(i)[d], 1.0f / 255.0f + 1e-5f);
+    }
+  }
+}
+
+TEST(ScalarQuantizerTest, AsymmetricDistanceApproximatesExact) {
+  const Dataset data = synth::IsotropicGaussian(300, 32, 3);
+  const ScalarQuantizer sq = ScalarQuantizer::Train(data);
+  std::vector<std::uint8_t> code(32);
+  for (VectorId i = 1; i < 50; ++i) {
+    sq.Encode(data.Row(i), code.data());
+    const float exact = core::L2Sq(data.Row(0), data.Row(i), 32);
+    const float approx = sq.AsymmetricL2Sq(data.Row(0), code.data());
+    EXPECT_NEAR(approx, exact, 0.05f * exact + 0.5f);
+  }
+}
+
+TEST(ScalarQuantizerTest, ConstantDimensionHandled) {
+  Dataset data(10, 2);
+  for (VectorId i = 0; i < 10; ++i) {
+    data.MutableRow(i)[0] = 5.0f;  // Zero range.
+    data.MutableRow(i)[1] = static_cast<float>(i);
+  }
+  const ScalarQuantizer sq = ScalarQuantizer::Train(data);
+  std::uint8_t code[2];
+  float decoded[2];
+  sq.Encode(data.Row(3), code);
+  sq.Decode(code, decoded);
+  EXPECT_NEAR(decoded[0], 5.0f, 1e-4f);
+  EXPECT_NEAR(decoded[1], 3.0f, 0.05f);
+}
+
+TEST(ScalarQuantizerTest, PreservesNearestNeighborOrderMostly) {
+  const Dataset data = synth::UniformHypercube(400, 16, 7);
+  const ScalarQuantizer sq = ScalarQuantizer::Train(data);
+  std::vector<std::uint8_t> codes(400 * 16);
+  for (VectorId i = 0; i < 400; ++i) {
+    sq.Encode(data.Row(i), codes.data() + i * 16);
+  }
+  // For sampled queries, the quantized NN must equal the exact NN almost
+  // always at 8 bits.
+  int agree = 0;
+  for (VectorId q = 0; q < 20; ++q) {
+    VectorId exact_best = 0, approx_best = 0;
+    float exact_min = 3.4e38f, approx_min = 3.4e38f;
+    for (VectorId i = 0; i < 400; ++i) {
+      if (i == q) continue;
+      const float e = core::L2Sq(data.Row(q), data.Row(i), 16);
+      const float a = sq.AsymmetricL2Sq(data.Row(q), codes.data() + i * 16);
+      if (e < exact_min) {
+        exact_min = e;
+        exact_best = i;
+      }
+      if (a < approx_min) {
+        approx_min = a;
+        approx_best = i;
+      }
+    }
+    if (exact_best == approx_best) ++agree;
+  }
+  EXPECT_GE(agree, 18);
+}
+
+}  // namespace
+}  // namespace gass::quantize

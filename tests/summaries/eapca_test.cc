@@ -1,0 +1,104 @@
+#include "summaries/eapca.h"
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "synth/generators.h"
+
+namespace gass::summaries {
+namespace {
+
+using core::Dataset;
+using core::VectorId;
+
+TEST(EapcaTest, SegmentationCoversDimensions) {
+  const EapcaSummarizer summarizer(10, 3);
+  EXPECT_EQ(summarizer.num_segments(), 3u);
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < 3; ++s) total += summarizer.SegmentLength(s);
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(EapcaTest, MoreSegmentsThanDimsClamped) {
+  const EapcaSummarizer summarizer(4, 16);
+  EXPECT_EQ(summarizer.num_segments(), 4u);
+}
+
+TEST(EapcaTest, SummaryOfConstantVector) {
+  const EapcaSummarizer summarizer(8, 2);
+  const float vec[8] = {3, 3, 3, 3, 3, 3, 3, 3};
+  const EapcaSummary summary = summarizer.Summarize(vec);
+  EXPECT_FLOAT_EQ(summary.means[0], 3.0f);
+  EXPECT_FLOAT_EQ(summary.means[1], 3.0f);
+  EXPECT_FLOAT_EQ(summary.stds[0], 0.0f);
+  EXPECT_FLOAT_EQ(summary.stds[1], 0.0f);
+}
+
+TEST(EapcaTest, IdenticalVectorsHaveZeroLowerBound) {
+  const EapcaSummarizer summarizer(8, 2);
+  const float vec[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const EapcaSummary summary = summarizer.Summarize(vec);
+  EXPECT_FLOAT_EQ(summarizer.LowerBound(summary, summary), 0.0f);
+}
+
+// The load-bearing property: the EAPCA bound never exceeds the true
+// squared distance.
+class EapcaBoundTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EapcaBoundTest, PairwiseLowerBoundIsSound) {
+  const std::size_t segments = GetParam();
+  const Dataset data = synth::IsotropicGaussian(100, 32, segments * 7 + 1);
+  const EapcaSummarizer summarizer(32, segments);
+  std::vector<EapcaSummary> summaries;
+  for (VectorId i = 0; i < data.size(); ++i) {
+    summaries.push_back(summarizer.Summarize(data.Row(i)));
+  }
+  for (VectorId a = 0; a < 40; ++a) {
+    for (VectorId b = a + 1; b < 40; ++b) {
+      const float exact = core::L2Sq(data.Row(a), data.Row(b), 32);
+      const float bound = summarizer.LowerBound(summaries[a], summaries[b]);
+      EXPECT_LE(bound, exact * 1.0001f + 1e-4f)
+          << "pair (" << a << ", " << b << ")";
+    }
+  }
+}
+
+TEST_P(EapcaBoundTest, EnvelopeBoundIsSoundAndLooserThanPairwise) {
+  const std::size_t segments = GetParam();
+  const Dataset data = synth::IsotropicGaussian(60, 32, segments * 13 + 5);
+  const EapcaSummarizer summarizer(32, segments);
+
+  // Envelope over rows 10..59; queries from rows 0..9.
+  std::vector<float> min_means(segments, 3.4e38f),
+      max_means(segments, -3.4e38f), min_stds(segments, 3.4e38f),
+      max_stds(segments, -3.4e38f);
+  std::vector<EapcaSummary> member_summaries;
+  for (VectorId i = 10; i < 60; ++i) {
+    const EapcaSummary s = summarizer.Summarize(data.Row(i));
+    member_summaries.push_back(s);
+    for (std::size_t seg = 0; seg < segments; ++seg) {
+      min_means[seg] = std::min(min_means[seg], s.means[seg]);
+      max_means[seg] = std::max(max_means[seg], s.means[seg]);
+      min_stds[seg] = std::min(min_stds[seg], s.stds[seg]);
+      max_stds[seg] = std::max(max_stds[seg], s.stds[seg]);
+    }
+  }
+  for (VectorId q = 0; q < 10; ++q) {
+    const EapcaSummary query = summarizer.Summarize(data.Row(q));
+    const float envelope = summarizer.EnvelopeLowerBound(
+        query, min_means, max_means, min_stds, max_stds);
+    for (VectorId i = 10; i < 60; ++i) {
+      const float exact = core::L2Sq(data.Row(q), data.Row(i), 32);
+      EXPECT_LE(envelope, exact * 1.0001f + 1e-4f);
+      const float pairwise =
+          summarizer.LowerBound(query, member_summaries[i - 10]);
+      EXPECT_LE(envelope, pairwise * 1.0001f + 1e-4f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Segments, EapcaBoundTest,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace gass::summaries

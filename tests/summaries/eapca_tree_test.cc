@@ -1,0 +1,102 @@
+#include "summaries/eapca_tree.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "core/rng.h"
+#include "synth/generators.h"
+
+namespace gass::summaries {
+namespace {
+
+using core::Dataset;
+using core::VectorId;
+
+TEST(EapcaTreeTest, LeavesPartitionDataset) {
+  const Dataset data = synth::UniformHypercube(500, 32, 1);
+  EapcaTreeParams params;
+  params.leaf_size = 64;
+  const EapcaTree tree = EapcaTree::Build(data, params, 7);
+  std::set<VectorId> seen;
+  std::size_t total = 0;
+  for (std::size_t leaf = 0; leaf < tree.num_leaves(); ++leaf) {
+    const auto& members = tree.LeafMembers(leaf);
+    EXPECT_LE(members.size(), 64u);
+    total += members.size();
+    seen.insert(members.begin(), members.end());
+  }
+  EXPECT_EQ(total, data.size());
+  EXPECT_EQ(seen.size(), data.size());
+  EXPECT_GE(tree.num_leaves(), 500u / 64u);
+}
+
+TEST(EapcaTreeTest, LeafLowerBoundIsSound) {
+  const Dataset data = synth::GaussianClusters(400, 32,
+                                               synth::ClusterParams{}, 3);
+  EapcaTreeParams params;
+  params.leaf_size = 50;
+  const EapcaTree tree = EapcaTree::Build(data, params, 7);
+  const Dataset queries = synth::GaussianClusters(10, 32,
+                                                  synth::ClusterParams{}, 4);
+  for (VectorId q = 0; q < queries.size(); ++q) {
+    const EapcaSummary summary = tree.SummarizeQuery(queries.Row(q));
+    for (std::size_t leaf = 0; leaf < tree.num_leaves(); ++leaf) {
+      const float bound = tree.LeafLowerBound(summary, leaf);
+      for (VectorId member : tree.LeafMembers(leaf)) {
+        const float exact =
+            core::L2Sq(queries.Row(q), data.Row(member), 32);
+        EXPECT_LE(bound, exact * 1.0001f + 1e-4f)
+            << "query " << q << " leaf " << leaf << " member " << member;
+      }
+    }
+  }
+}
+
+TEST(EapcaTreeTest, MemberLeafHasZeroishBound) {
+  const Dataset data = synth::UniformHypercube(200, 16, 5);
+  EapcaTreeParams params;
+  params.leaf_size = 32;
+  const EapcaTree tree = EapcaTree::Build(data, params, 7);
+  // A query equal to a member must get bound 0 for that member's leaf.
+  for (std::size_t leaf = 0; leaf < tree.num_leaves(); ++leaf) {
+    const VectorId member = tree.LeafMembers(leaf)[0];
+    EXPECT_FLOAT_EQ(tree.LeafLowerBound(data.Row(member), leaf), 0.0f);
+  }
+}
+
+TEST(EapcaTreeTest, BoundsDiscriminateClusters) {
+  // Two well-separated clusters: a query in cluster A must get a smaller
+  // bound for A-leaves than the *minimum* bound over B-leaves.
+  Dataset data(200, 16);
+  core::Rng rng(11);
+  for (VectorId i = 0; i < 200; ++i) {
+    const float base = i < 100 ? 0.0f : 50.0f;
+    for (std::size_t d = 0; d < 16; ++d) {
+      data.MutableRow(i)[d] = base + static_cast<float>(rng.Normal());
+    }
+  }
+  EapcaTreeParams params;
+  params.leaf_size = 25;
+  params.min_leaf_size = 8;
+  const EapcaTree tree = EapcaTree::Build(data, params, 7);
+  const EapcaSummary query = tree.SummarizeQuery(data.Row(0));
+
+  float best_a = 3.4e38f, best_b = 3.4e38f;
+  for (std::size_t leaf = 0; leaf < tree.num_leaves(); ++leaf) {
+    const bool is_a = tree.LeafMembers(leaf)[0] < 100;
+    const float bound = tree.LeafLowerBound(query, leaf);
+    (is_a ? best_a : best_b) = std::min(is_a ? best_a : best_b, bound);
+  }
+  EXPECT_LT(best_a, best_b);
+}
+
+TEST(EapcaTreeTest, MemoryReported) {
+  const Dataset data = synth::UniformHypercube(100, 16, 5);
+  const EapcaTree tree = EapcaTree::Build(data, EapcaTreeParams{}, 7);
+  EXPECT_GT(tree.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace gass::summaries

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "summaries/eapca.h"
+#include "summaries/paa.h"
+#include "summaries/sax.h"
+#include "synth/generators.h"
+
+namespace gass::summaries {
+namespace {
+
+using core::Dataset;
+using core::VectorId;
+
+TEST(PaaTest, ConstantVectorSummary) {
+  const PaaSummarizer paa(8, 4);
+  const float vec[8] = {2, 2, 2, 2, 2, 2, 2, 2};
+  const auto means = paa.Summarize(vec);
+  ASSERT_EQ(means.size(), 4u);
+  for (float m : means) EXPECT_FLOAT_EQ(m, 2.0f);
+}
+
+TEST(PaaTest, SegmentsCoverDim) {
+  const PaaSummarizer paa(10, 3);
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < paa.num_segments(); ++s) {
+    total += paa.SegmentLength(s);
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+class PaaBoundTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PaaBoundTest, LowerBoundIsSound) {
+  const std::size_t segments = GetParam();
+  const Dataset data = synth::RandomWalkSeries(60, 64, segments * 3 + 1);
+  const PaaSummarizer paa(64, segments);
+  std::vector<std::vector<float>> summaries;
+  for (VectorId i = 0; i < data.size(); ++i) {
+    summaries.push_back(paa.Summarize(data.Row(i)));
+  }
+  for (VectorId a = 0; a < 30; ++a) {
+    for (VectorId b = a + 1; b < 30; ++b) {
+      const float exact = core::L2Sq(data.Row(a), data.Row(b), 64);
+      EXPECT_LE(paa.LowerBound(summaries[a], summaries[b]),
+                exact * 1.0001f + 1e-4f);
+    }
+  }
+}
+
+TEST_P(PaaBoundTest, WeakerThanEapcaBound) {
+  // EAPCA adds per-segment stds to PAA's means, so its bound dominates.
+  const std::size_t segments = GetParam();
+  const Dataset data = synth::RandomWalkSeries(40, 64, segments * 5 + 2);
+  const PaaSummarizer paa(64, segments);
+  const EapcaSummarizer eapca(64, segments);
+  for (VectorId a = 0; a < 20; ++a) {
+    for (VectorId b = a + 1; b < 20; ++b) {
+      const float paa_bound =
+          paa.LowerBound(paa.Summarize(data.Row(a)),
+                         paa.Summarize(data.Row(b)));
+      const float eapca_bound = eapca.LowerBound(
+          eapca.Summarize(data.Row(a)), eapca.Summarize(data.Row(b)));
+      EXPECT_LE(paa_bound, eapca_bound * 1.0001f + 1e-4f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Segments, PaaBoundTest,
+                         ::testing::Values(1, 4, 8, 16, 32));
+
+TEST(SaxTest, BreakpointsAreEquiprobableQuantiles) {
+  const SaxSummarizer sax(16, 4, 4);
+  const auto& breakpoints = sax.breakpoints();
+  ASSERT_EQ(breakpoints.size(), 3u);
+  // N(0,1) quartile boundaries: ±0.6745 and 0.
+  EXPECT_NEAR(breakpoints[0], -0.6745f, 1e-3f);
+  EXPECT_NEAR(breakpoints[1], 0.0f, 1e-3f);
+  EXPECT_NEAR(breakpoints[2], 0.6745f, 1e-3f);
+}
+
+TEST(SaxTest, SymbolsWithinAlphabet) {
+  const Dataset data = synth::RandomWalkSeries(50, 64, 3);
+  const SaxSummarizer sax(64, 8, 8);
+  for (VectorId i = 0; i < data.size(); ++i) {
+    for (std::uint8_t symbol : sax.Summarize(data.Row(i))) {
+      EXPECT_LT(symbol, 8u);
+    }
+  }
+}
+
+TEST(SaxTest, IdenticalStringsZeroMinDist) {
+  const SaxSummarizer sax(64, 8, 8);
+  const Dataset data = synth::RandomWalkSeries(1, 64, 5);
+  const auto symbols = sax.Summarize(data.Row(0));
+  EXPECT_FLOAT_EQ(sax.MinDistSq(symbols, symbols), 0.0f);
+}
+
+class SaxBoundTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SaxBoundTest, MinDistIsSoundOnSeries) {
+  const std::size_t alphabet = GetParam();
+  const Dataset data = synth::RandomWalkSeries(60, 64, alphabet * 7 + 3);
+  const SaxSummarizer sax(64, 16, alphabet);
+  std::vector<std::vector<std::uint8_t>> strings;
+  for (VectorId i = 0; i < data.size(); ++i) {
+    strings.push_back(sax.Summarize(data.Row(i)));
+  }
+  for (VectorId a = 0; a < 30; ++a) {
+    for (VectorId b = a + 1; b < 30; ++b) {
+      const float exact = core::L2Sq(data.Row(a), data.Row(b), 64);
+      EXPECT_LE(sax.MinDistSq(strings[a], strings[b]),
+                exact * 1.0001f + 1e-4f)
+          << "alphabet " << alphabet << " pair (" << a << "," << b << ")";
+    }
+  }
+}
+
+TEST_P(SaxBoundTest, MinDistWeakerThanPaa) {
+  const std::size_t alphabet = GetParam();
+  const Dataset data = synth::RandomWalkSeries(30, 64, alphabet * 11 + 9);
+  const PaaSummarizer paa(64, 16);
+  const SaxSummarizer sax(64, 16, alphabet);
+  for (VectorId a = 0; a < 15; ++a) {
+    for (VectorId b = a + 1; b < 15; ++b) {
+      const float sax_bound =
+          sax.MinDistSq(sax.Summarize(data.Row(a)),
+                        sax.Summarize(data.Row(b)));
+      const float paa_bound = paa.LowerBound(paa.Summarize(data.Row(a)),
+                                             paa.Summarize(data.Row(b)));
+      EXPECT_LE(sax_bound, paa_bound * 1.0001f + 1e-4f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphabets, SaxBoundTest,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace gass::summaries

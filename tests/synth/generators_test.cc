@@ -1,0 +1,118 @@
+#include "synth/generators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace gass::synth {
+namespace {
+
+TEST(GeneratorsTest, GaussianClustersShape) {
+  ClusterParams params;
+  const core::Dataset data = GaussianClusters(100, 16, params, 1);
+  EXPECT_EQ(data.size(), 100u);
+  EXPECT_EQ(data.dim(), 16u);
+}
+
+TEST(GeneratorsTest, GaussianClustersDeterministic) {
+  ClusterParams params;
+  const core::Dataset a = GaussianClusters(50, 8, params, 5);
+  const core::Dataset b = GaussianClusters(50, 8, params, 5);
+  for (core::VectorId i = 0; i < 50; ++i) {
+    for (std::size_t d = 0; d < 8; ++d) {
+      EXPECT_FLOAT_EQ(a.Row(i)[d], b.Row(i)[d]);
+    }
+  }
+}
+
+TEST(GeneratorsTest, DifferentSeedsDiffer) {
+  ClusterParams params;
+  const core::Dataset a = GaussianClusters(50, 8, params, 5);
+  const core::Dataset b = GaussianClusters(50, 8, params, 6);
+  bool any_diff = false;
+  for (core::VectorId i = 0; i < 50 && !any_diff; ++i) {
+    for (std::size_t d = 0; d < 8; ++d) {
+      if (a.Row(i)[d] != b.Row(i)[d]) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorsTest, UniformHypercubeInUnitBox) {
+  const core::Dataset data = UniformHypercube(200, 10, 3);
+  for (core::VectorId i = 0; i < data.size(); ++i) {
+    for (std::size_t d = 0; d < data.dim(); ++d) {
+      EXPECT_GE(data.Row(i)[d], 0.0f);
+      EXPECT_LT(data.Row(i)[d], 1.0f);
+    }
+  }
+}
+
+TEST(GeneratorsTest, PowerLawZeroExponentIsUniformish) {
+  const core::Dataset data = PowerLaw(2000, 4, 0.0, 7);
+  double mean = 0.0;
+  for (core::VectorId i = 0; i < data.size(); ++i) {
+    for (std::size_t d = 0; d < 4; ++d) mean += data.Row(i)[d];
+  }
+  mean /= 2000.0 * 4.0;
+  EXPECT_NEAR(mean, 0.5, 0.02);  // Uniform [0,1) has mean 0.5.
+}
+
+TEST(GeneratorsTest, PowerLawSkewGrowsWithExponent) {
+  // Density ∝ x^a on [0,1] has mean (a+1)/(a+2): 0.5, ~0.857, ~0.98.
+  double means[3] = {0.0, 0.0, 0.0};
+  const double exponents[3] = {0.0, 5.0, 50.0};
+  for (int e = 0; e < 3; ++e) {
+    const core::Dataset data = PowerLaw(2000, 4, exponents[e], 11);
+    for (core::VectorId i = 0; i < data.size(); ++i) {
+      for (std::size_t d = 0; d < 4; ++d) means[e] += data.Row(i)[d];
+    }
+    means[e] /= 2000.0 * 4.0;
+  }
+  EXPECT_LT(means[0], means[1]);
+  EXPECT_LT(means[1], means[2]);
+  EXPECT_NEAR(means[1], 6.0 / 7.0, 0.03);
+  EXPECT_NEAR(means[2], 51.0 / 52.0, 0.01);
+}
+
+TEST(GeneratorsTest, RandomWalkSeriesZNormalized) {
+  const core::Dataset data = RandomWalkSeries(20, 64, 13);
+  for (core::VectorId i = 0; i < data.size(); ++i) {
+    double sum = 0.0, sum_sq = 0.0;
+    for (std::size_t d = 0; d < 64; ++d) {
+      sum += data.Row(i)[d];
+      sum_sq += static_cast<double>(data.Row(i)[d]) * data.Row(i)[d];
+    }
+    EXPECT_NEAR(sum / 64.0, 0.0, 1e-4);
+    EXPECT_NEAR(sum_sq / 64.0, 1.0, 1e-3);
+  }
+}
+
+TEST(GeneratorsTest, ProxyDimsMatchPaper) {
+  EXPECT_EQ(ProxyDim("deep"), 96u);
+  EXPECT_EQ(ProxyDim("sift"), 128u);
+  EXPECT_EQ(ProxyDim("sald"), 128u);
+  EXPECT_EQ(ProxyDim("seismic"), 256u);
+  EXPECT_EQ(ProxyDim("text2img"), 200u);
+  EXPECT_EQ(ProxyDim("gist"), 960u);
+  EXPECT_EQ(ProxyDim("imagenet"), 256u);
+}
+
+class ProxyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ProxyTest, GeneratesRequestedSizeAndDim) {
+  const std::string name = GetParam();
+  const core::Dataset data = MakeDatasetProxy(name, 64, 21);
+  EXPECT_EQ(data.size(), 64u);
+  EXPECT_EQ(data.dim(), ProxyDim(name));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProxies, ProxyTest,
+                         ::testing::Values("deep", "sift", "sald", "seismic",
+                                           "text2img", "gist", "imagenet"));
+
+}  // namespace
+}  // namespace gass::synth

@@ -1,0 +1,97 @@
+#include "synth/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "synth/generators.h"
+
+namespace gass::synth {
+namespace {
+
+TEST(SampleIdsTest, DistinctAndInRange) {
+  const auto ids = SampleIds(100, 30, 5);
+  EXPECT_EQ(ids.size(), 30u);
+  std::set<core::VectorId> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (core::VectorId id : ids) EXPECT_LT(id, 100u);
+}
+
+TEST(SampleIdsTest, FullSampleIsPermutation) {
+  const auto ids = SampleIds(20, 20, 9);
+  std::set<core::VectorId> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), 20u);
+}
+
+TEST(SplitHoldOutTest, SizesAddUp) {
+  core::Dataset data = UniformHypercube(100, 4, 3);
+  const HoldOutSplit split = SplitHoldOut(std::move(data), 10, 7);
+  EXPECT_EQ(split.base.size(), 90u);
+  EXPECT_EQ(split.queries.size(), 10u);
+  EXPECT_EQ(split.base.dim(), 4u);
+}
+
+TEST(SplitHoldOutTest, QueriesAbsentFromBase) {
+  // Use unique integer markers so membership is checkable exactly.
+  core::Dataset data(50, 1);
+  for (core::VectorId i = 0; i < 50; ++i) {
+    data.MutableRow(i)[0] = static_cast<float>(i);
+  }
+  const HoldOutSplit split = SplitHoldOut(std::move(data), 8, 11);
+  std::set<float> base_values;
+  for (core::VectorId i = 0; i < split.base.size(); ++i) {
+    base_values.insert(split.base.Row(i)[0]);
+  }
+  for (core::VectorId q = 0; q < split.queries.size(); ++q) {
+    EXPECT_EQ(base_values.count(split.queries.Row(q)[0]), 0u);
+  }
+  EXPECT_EQ(base_values.size(), 42u);
+}
+
+TEST(NoisyQueriesTest, ShapeAndScale) {
+  const core::Dataset data = UniformHypercube(200, 16, 3);
+  const core::Dataset queries = NoisyQueries(data, 20, 0.01, 5);
+  EXPECT_EQ(queries.size(), 20u);
+  EXPECT_EQ(queries.dim(), 16u);
+}
+
+TEST(NoisyQueriesTest, NoiseGrowsWithVariance) {
+  const core::Dataset data = UniformHypercube(500, 16, 3);
+  // Mean nearest-distance of noisy queries to the dataset grows with σ².
+  auto mean_min_dist = [&](const core::Dataset& queries) {
+    double total = 0.0;
+    for (core::VectorId q = 0; q < queries.size(); ++q) {
+      float best = 3.402823466e38f;
+      for (core::VectorId i = 0; i < data.size(); ++i) {
+        float acc = 0.0f;
+        for (std::size_t d = 0; d < 16; ++d) {
+          const float delta = queries.Row(q)[d] - data.Row(i)[d];
+          acc += delta * delta;
+        }
+        best = std::min(best, acc);
+      }
+      total += std::sqrt(best);
+    }
+    return total / queries.size();
+  };
+  const double low = mean_min_dist(NoisyQueries(data, 30, 0.01, 5));
+  const double high = mean_min_dist(NoisyQueries(data, 30, 0.1, 5));
+  EXPECT_LT(low, high);
+}
+
+TEST(NoisyQueriesTest, ZeroVarianceReproducesDataVectors) {
+  const core::Dataset data = UniformHypercube(50, 8, 3);
+  const core::Dataset queries = NoisyQueries(data, 10, 0.0, 5);
+  for (core::VectorId q = 0; q < queries.size(); ++q) {
+    bool matched = false;
+    for (core::VectorId i = 0; i < data.size() && !matched; ++i) {
+      matched = std::equal(queries.Row(q), queries.Row(q) + 8, data.Row(i));
+    }
+    EXPECT_TRUE(matched);
+  }
+}
+
+}  // namespace
+}  // namespace gass::synth

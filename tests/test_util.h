@@ -1,0 +1,45 @@
+// Shared fixtures for the test suite.
+
+#ifndef GASS_TESTS_TEST_UTIL_H_
+#define GASS_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+
+#include "core/dataset.h"
+#include "core/rng.h"
+
+namespace gass::testing {
+
+/// Small clustered dataset: easy enough that well-built graph indexes reach
+/// high recall with modest beams, making recall-floor assertions stable.
+inline core::Dataset SmallClustered(std::size_t n, std::size_t dim,
+                                    std::uint64_t seed) {
+  core::Rng rng(seed);
+  core::Dataset data(n, dim);
+  const std::size_t clusters = 8;
+  for (core::VectorId i = 0; i < n; ++i) {
+    const std::size_t c = rng.UniformInt(clusters);
+    float* row = data.MutableRow(i);
+    for (std::size_t d = 0; d < dim; ++d) {
+      row[d] = static_cast<float>(c) * 4.0f +
+               static_cast<float>(rng.Normal()) * 0.5f;
+    }
+  }
+  return data;
+}
+
+/// Uniform queries drawn inside the data's span.
+inline core::Dataset UniformQueries(std::size_t count, std::size_t dim,
+                                    float lo, float hi, std::uint64_t seed) {
+  core::Rng rng(seed);
+  core::Dataset queries(count, dim);
+  for (core::VectorId q = 0; q < count; ++q) {
+    float* row = queries.MutableRow(q);
+    for (std::size_t d = 0; d < dim; ++d) row[d] = rng.UniformFloat(lo, hi);
+  }
+  return queries;
+}
+
+}  // namespace gass::testing
+
+#endif  // GASS_TESTS_TEST_UTIL_H_

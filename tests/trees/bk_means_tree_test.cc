@@ -1,0 +1,69 @@
+#include "trees/bk_means_tree.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "eval/ground_truth.h"
+#include "synth/generators.h"
+
+namespace gass::trees {
+namespace {
+
+using core::Dataset;
+using core::VectorId;
+
+TEST(BkMeansTreeTest, FullTraversalCoversAllPoints) {
+  const Dataset data = synth::UniformHypercube(300, 8, 1);
+  const BkMeansTree tree = BkMeansTree::Build(data, BkTreeParams{}, 7);
+  std::vector<VectorId> out;
+  tree.SearchCandidates(data, data.Row(0), data.size(), &out);
+  std::set<VectorId> unique(out.begin(), out.end());
+  EXPECT_EQ(unique.size(), data.size());
+}
+
+TEST(BkMeansTreeTest, CandidateCountRespected) {
+  const Dataset data = synth::UniformHypercube(300, 8, 1);
+  const BkMeansTree tree = BkMeansTree::Build(data, BkTreeParams{}, 7);
+  std::vector<VectorId> out;
+  tree.SearchCandidates(data, data.Row(3), 25, &out);
+  EXPECT_EQ(out.size(), 25u);
+}
+
+TEST(BkMeansTreeTest, FindsNearbyPointsOnClusteredData) {
+  synth::ClusterParams cluster_params;
+  cluster_params.num_clusters = 8;
+  const Dataset data = synth::GaussianClusters(400, 16, cluster_params, 3);
+  const auto truth = eval::BruteForceKnn(data, data.Prefix(20), 1, 1);
+  const BkMeansTree tree = BkMeansTree::Build(data, BkTreeParams{}, 9);
+  int hits = 0;
+  for (VectorId q = 0; q < 20; ++q) {
+    std::vector<VectorId> out;
+    tree.SearchCandidates(data, data.Row(q), 64, &out);
+    if (std::find(out.begin(), out.end(), truth[q][0].id) != out.end()) {
+      ++hits;
+    }
+  }
+  EXPECT_GE(hits, 14);  // Centroid descent should route most queries home.
+}
+
+TEST(BkMeansTreeTest, TinyDatasetSingleLeaf) {
+  const Dataset data = synth::UniformHypercube(10, 4, 5);
+  BkTreeParams params;
+  params.leaf_size = 32;
+  const BkMeansTree tree = BkMeansTree::Build(data, params, 3);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  std::vector<VectorId> out;
+  tree.SearchCandidates(data, data.Row(0), 10, &out);
+  EXPECT_EQ(out.size(), 10u);
+}
+
+TEST(BkMeansTreeTest, MemoryReported) {
+  const Dataset data = synth::UniformHypercube(200, 8, 5);
+  const BkMeansTree tree = BkMeansTree::Build(data, BkTreeParams{}, 3);
+  EXPECT_GT(tree.MemoryBytes(), 200u * sizeof(VectorId));
+}
+
+}  // namespace
+}  // namespace gass::trees

@@ -1,0 +1,71 @@
+#include "trees/hierarchical_clustering.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "synth/generators.h"
+
+namespace gass::trees {
+namespace {
+
+using core::Dataset;
+using core::VectorId;
+
+TEST(RandomBisectionTest, LeavesPartitionAllIds) {
+  const Dataset data = synth::UniformHypercube(400, 8, 1);
+  const auto leaves = RandomBisectionLeaves(data, 50, 7);
+  std::set<VectorId> seen;
+  std::size_t total = 0;
+  for (const auto& leaf : leaves) {
+    total += leaf.size();
+    seen.insert(leaf.begin(), leaf.end());
+  }
+  EXPECT_EQ(total, data.size());
+  EXPECT_EQ(seen.size(), data.size());
+}
+
+TEST(RandomBisectionTest, LeafSizeBound) {
+  const Dataset data = synth::UniformHypercube(400, 8, 1);
+  const auto leaves = RandomBisectionLeaves(data, 30, 9);
+  for (const auto& leaf : leaves) {
+    EXPECT_LE(leaf.size(), 30u);
+    EXPECT_FALSE(leaf.empty());
+  }
+}
+
+TEST(RandomBisectionTest, RepeatedClusteringsDiffer) {
+  const Dataset data = synth::UniformHypercube(200, 8, 3);
+  const auto a = RandomBisectionLeaves(data, 20, 1);
+  const auto b = RandomBisectionLeaves(data, 20, 2);
+  bool differ = a.size() != b.size();
+  if (!differ) {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != b[i]) {
+        differ = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(RandomBisectionTest, DuplicatePointsTerminate) {
+  Dataset data(64, 4);
+  for (VectorId i = 0; i < 64; ++i) {
+    for (std::size_t d = 0; d < 4; ++d) data.MutableRow(i)[d] = 2.0f;
+  }
+  const auto leaves = RandomBisectionLeaves(data, 8, 5);
+  std::size_t total = 0;
+  for (const auto& leaf : leaves) total += leaf.size();
+  EXPECT_EQ(total, 64u);
+}
+
+TEST(RandomBisectionTest, SmallInputSingleLeaf) {
+  const Dataset data = synth::UniformHypercube(5, 4, 3);
+  const auto leaves = RandomBisectionLeaves(data, 10, 5);
+  ASSERT_EQ(leaves.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gass::trees

@@ -1,0 +1,105 @@
+#include "trees/kd_tree.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "eval/ground_truth.h"
+#include "synth/generators.h"
+
+namespace gass::trees {
+namespace {
+
+using core::Dataset;
+using core::VectorId;
+
+TEST(KdTreeTest, FullTraversalCoversAllPoints) {
+  const Dataset data = synth::UniformHypercube(300, 8, 1);
+  const KdTree tree = KdTree::Build(data, KdTreeParams{}, 7);
+  std::vector<VectorId> out;
+  tree.SearchCandidates(data, data.Row(0), data.size(), &out);
+  std::set<VectorId> unique(out.begin(), out.end());
+  EXPECT_EQ(unique.size(), data.size());
+}
+
+TEST(KdTreeTest, CandidatesRespectCount) {
+  const Dataset data = synth::UniformHypercube(300, 8, 1);
+  const KdTree tree = KdTree::Build(data, KdTreeParams{}, 7);
+  std::vector<VectorId> out;
+  tree.SearchCandidates(data, data.Row(5), 20, &out);
+  EXPECT_EQ(out.size(), 20u);
+}
+
+TEST(KdTreeTest, CandidatesContainTrueNearestOften) {
+  const Dataset data = synth::UniformHypercube(500, 8, 3);
+  const Dataset queries = synth::UniformHypercube(30, 8, 4);
+  const KdTree tree = KdTree::Build(data, KdTreeParams{}, 9);
+  const auto truth = eval::BruteForceKnn(data, queries, 1, 1);
+  int hits = 0;
+  for (VectorId q = 0; q < queries.size(); ++q) {
+    std::vector<VectorId> out;
+    tree.SearchCandidates(data, queries.Row(q), 64, &out);
+    if (std::find(out.begin(), out.end(), truth[q][0].id) != out.end()) {
+      ++hits;
+    }
+  }
+  // Best-bin-first over 64 of 500 candidates should find the NN most of
+  // the time on 8-dimensional data.
+  EXPECT_GE(hits, 18);
+}
+
+TEST(KdTreeTest, SubsetBuildOnlyReturnsSubsetIds) {
+  const Dataset data = synth::UniformHypercube(200, 4, 5);
+  std::vector<VectorId> subset;
+  for (VectorId v = 0; v < 200; v += 2) subset.push_back(v);
+  const KdTree tree = KdTree::BuildOnSubset(data, subset, KdTreeParams{}, 3);
+  std::vector<VectorId> out;
+  tree.SearchCandidates(data, data.Row(1), 50, &out);
+  for (VectorId id : out) {
+    EXPECT_EQ(id % 2, 0u);
+  }
+}
+
+TEST(KdTreeTest, MemoryReported) {
+  const Dataset data = synth::UniformHypercube(100, 4, 5);
+  const KdTree tree = KdTree::Build(data, KdTreeParams{}, 3);
+  EXPECT_GT(tree.MemoryBytes(), 100u * sizeof(VectorId));
+  EXPECT_GT(tree.num_nodes(), 1u);
+}
+
+TEST(KdForestTest, MergesAcrossTrees) {
+  const Dataset data = synth::UniformHypercube(300, 8, 1);
+  const KdForest forest = KdForest::Build(data, 4, KdTreeParams{}, 11);
+  EXPECT_EQ(forest.num_trees(), 4u);
+  const auto out = forest.SearchCandidates(data, data.Row(0), 40);
+  EXPECT_LE(out.size(), 40u);
+  EXPECT_FALSE(out.empty());
+  std::set<VectorId> unique(out.begin(), out.end());
+  EXPECT_EQ(unique.size(), out.size());  // Deduplicated.
+}
+
+TEST(KdForestTest, ForestBeatsSingleTreeOnRecall) {
+  const Dataset data = synth::UniformHypercube(600, 16, 3);
+  const Dataset queries = synth::UniformHypercube(40, 16, 4);
+  const auto truth = eval::BruteForceKnn(data, queries, 1, 1);
+  const KdForest single = KdForest::Build(data, 1, KdTreeParams{}, 5);
+  const KdForest forest = KdForest::Build(data, 6, KdTreeParams{}, 5);
+  int single_hits = 0, forest_hits = 0;
+  for (VectorId q = 0; q < queries.size(); ++q) {
+    auto a = single.SearchCandidates(data, queries.Row(q), 48);
+    auto b = forest.SearchCandidates(data, queries.Row(q), 48);
+    if (std::find(a.begin(), a.end(), truth[q][0].id) != a.end()) {
+      ++single_hits;
+    }
+    if (std::find(b.begin(), b.end(), truth[q][0].id) != b.end()) {
+      ++forest_hits;
+    }
+  }
+  // The forest splits the candidate budget across trees, so allow slack;
+  // it must stay competitive while diversifying the candidate pool.
+  EXPECT_GE(forest_hits + 3, single_hits);
+}
+
+}  // namespace
+}  // namespace gass::trees

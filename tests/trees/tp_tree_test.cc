@@ -1,0 +1,98 @@
+#include "trees/tp_tree.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "synth/generators.h"
+
+namespace gass::trees {
+namespace {
+
+using core::Dataset;
+using core::VectorId;
+
+TEST(TpTreeTest, LeavesPartitionAllIds) {
+  const Dataset data = synth::UniformHypercube(500, 16, 1);
+  TpTreeParams params;
+  params.leaf_size = 50;
+  const auto leaves = TpTreePartition(data, params, 7);
+  std::set<VectorId> seen;
+  for (const auto& leaf : leaves) {
+    for (VectorId id : leaf) {
+      EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+    }
+  }
+  EXPECT_EQ(seen.size(), data.size());
+}
+
+TEST(TpTreeTest, LeafSizeBound) {
+  const Dataset data = synth::UniformHypercube(500, 16, 1);
+  TpTreeParams params;
+  params.leaf_size = 40;
+  const auto leaves = TpTreePartition(data, params, 7);
+  for (const auto& leaf : leaves) {
+    EXPECT_LE(leaf.size(), 40u);
+    EXPECT_FALSE(leaf.empty());
+  }
+  EXPECT_GE(leaves.size(), 500u / 40u);
+}
+
+TEST(TpTreeTest, DifferentSeedsGiveDifferentPartitions) {
+  const Dataset data = synth::UniformHypercube(300, 8, 1);
+  TpTreeParams params;
+  params.leaf_size = 30;
+  const auto a = TpTreePartition(data, params, 1);
+  const auto b = TpTreePartition(data, params, 2);
+  // At least one leaf should differ (overwhelmingly likely).
+  bool differ = a.size() != b.size();
+  if (!differ) {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != b[i]) {
+        differ = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(TpTreeTest, SubsetPartitionStaysInSubset) {
+  const Dataset data = synth::UniformHypercube(200, 8, 3);
+  std::vector<VectorId> subset;
+  for (VectorId v = 0; v < 200; v += 3) subset.push_back(v);
+  TpTreeParams params;
+  params.leaf_size = 16;
+  const auto leaves = TpTreePartitionSubset(data, subset, params, 5);
+  std::size_t total = 0;
+  for (const auto& leaf : leaves) {
+    total += leaf.size();
+    for (VectorId id : leaf) EXPECT_EQ(id % 3, 0u);
+  }
+  EXPECT_EQ(total, subset.size());
+}
+
+TEST(TpTreeTest, TinyInputSingleLeaf) {
+  const Dataset data = synth::UniformHypercube(5, 4, 3);
+  TpTreeParams params;
+  params.leaf_size = 16;
+  const auto leaves = TpTreePartition(data, params, 5);
+  ASSERT_EQ(leaves.size(), 1u);
+  EXPECT_EQ(leaves[0].size(), 5u);
+}
+
+TEST(TpTreeTest, IdenticalPointsStillTerminate) {
+  Dataset data(100, 4);
+  for (VectorId i = 0; i < 100; ++i) {
+    for (std::size_t d = 0; d < 4; ++d) data.MutableRow(i)[d] = 1.0f;
+  }
+  TpTreeParams params;
+  params.leaf_size = 10;
+  const auto leaves = TpTreePartition(data, params, 5);
+  std::size_t total = 0;
+  for (const auto& leaf : leaves) total += leaf.size();
+  EXPECT_EQ(total, 100u);
+}
+
+}  // namespace
+}  // namespace gass::trees

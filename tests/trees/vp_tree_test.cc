@@ -1,0 +1,69 @@
+#include "trees/vp_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/ground_truth.h"
+#include "synth/generators.h"
+
+namespace gass::trees {
+namespace {
+
+using core::Dataset;
+using core::VectorId;
+
+TEST(VpTreeTest, UnlimitedBudgetIsExact) {
+  const Dataset data = synth::UniformHypercube(300, 8, 1);
+  const Dataset queries = synth::UniformHypercube(10, 8, 2);
+  const VpTree tree = VpTree::Build(data, 7);
+  const auto truth = eval::BruteForceKnn(data, queries, 5, 1);
+  for (VectorId q = 0; q < queries.size(); ++q) {
+    const auto found =
+        tree.Search(data, queries.Row(q), 5, data.size() * 2);
+    ASSERT_EQ(found.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) {
+      EXPECT_FLOAT_EQ(found[i].distance, truth[q][i].distance)
+          << "query " << q << " position " << i;
+    }
+  }
+}
+
+TEST(VpTreeTest, BudgetedSearchStillDecent) {
+  const Dataset data = synth::UniformHypercube(500, 8, 3);
+  const Dataset queries = synth::UniformHypercube(20, 8, 4);
+  const VpTree tree = VpTree::Build(data, 9);
+  const auto truth = eval::BruteForceKnn(data, queries, 1, 1);
+  int hits = 0;
+  for (VectorId q = 0; q < queries.size(); ++q) {
+    const auto found = tree.Search(data, queries.Row(q), 1, 128);
+    ASSERT_FALSE(found.empty());
+    if (found[0].id == truth[q][0].id) ++hits;
+  }
+  EXPECT_GE(hits, 12);  // 128 of 500 visits should find the NN often.
+}
+
+TEST(VpTreeTest, ResultsSorted) {
+  const Dataset data = synth::UniformHypercube(200, 4, 5);
+  const VpTree tree = VpTree::Build(data, 11);
+  const auto found = tree.Search(data, data.Row(0), 10, 400);
+  for (std::size_t i = 0; i + 1 < found.size(); ++i) {
+    EXPECT_LE(found[i].distance, found[i + 1].distance);
+  }
+  EXPECT_EQ(found[0].id, 0u);  // The query point itself.
+}
+
+TEST(VpTreeTest, SinglePoint) {
+  const Dataset data = synth::UniformHypercube(1, 4, 5);
+  const VpTree tree = VpTree::Build(data, 3);
+  const auto found = tree.Search(data, data.Row(0), 3, 10);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].id, 0u);
+}
+
+TEST(VpTreeTest, MemoryReported) {
+  const Dataset data = synth::UniformHypercube(100, 4, 5);
+  const VpTree tree = VpTree::Build(data, 3);
+  EXPECT_GT(tree.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace gass::trees

@@ -1,0 +1,286 @@
+// gass_cli — command-line driver for the GASS library.
+//
+//   gass_cli gen        --dataset deep --n 10000 --out base.fvecs
+//                       [--queries 100 --queries-out q.fvecs] [--seed 42]
+//   gass_cli gt         --base base.fvecs --queries q.fvecs --k 10
+//                       --out gt.ivecs
+//   gass_cli build      --method hnsw --base base.fvecs --graph graph.bin
+//   gass_cli eval       --method hnsw --base base.fvecs --queries q.fvecs
+//                       [--truth gt.ivecs] [--k 10] [--beams 10,40,160]
+//   gass_cli complexity --base base.fvecs [--k 100] [--sample 100]
+//   gass_cli methods
+//
+// All subcommands print human-readable tables to stdout and return nonzero
+// on error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "eval/complexity.h"
+#include "eval/ground_truth.h"
+#include "eval/recall.h"
+#include "methods/factory.h"
+#include "synth/generators.h"
+#include "synth/workloads.h"
+
+namespace {
+
+using gass::core::Dataset;
+using gass::core::Status;
+using gass::core::VectorId;
+
+// Minimal --flag value parser; flags may appear in any order.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
+        ok_ = false;
+        return;
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+    if ((argc - first) % 2 != 0) {
+      std::fprintf(stderr, "dangling flag '%s'\n", argv[argc - 1]);
+      ok_ = false;
+    }
+  }
+
+  bool ok() const { return ok_; }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atol(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.message().c_str());
+  return 1;
+}
+
+std::vector<std::size_t> ParseBeams(const std::string& spec) {
+  std::vector<std::size_t> beams;
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    beams.push_back(
+        static_cast<std::size_t>(std::atol(spec.substr(start, end - start).c_str())));
+    start = end + 1;
+  }
+  return beams;
+}
+
+int CmdGen(const Flags& flags) {
+  const std::string dataset = flags.Get("dataset", "deep");
+  const std::size_t n = static_cast<std::size_t>(flags.GetInt("n", 10000));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const std::string out = flags.Get("out", "base.fvecs");
+  const std::size_t num_queries =
+      static_cast<std::size_t>(flags.GetInt("queries", 0));
+
+  Dataset full = gass::synth::MakeDatasetProxy(dataset, n + num_queries, seed);
+  if (num_queries > 0) {
+    gass::synth::HoldOutSplit split =
+        gass::synth::SplitHoldOut(std::move(full), num_queries, seed ^ 0x5ULL);
+    const Status base_status = gass::core::WriteFvecs(out, split.base);
+    if (!base_status.ok()) return Fail(base_status);
+    const std::string queries_out = flags.Get("queries-out", "queries.fvecs");
+    const Status query_status =
+        gass::core::WriteFvecs(queries_out, split.queries);
+    if (!query_status.ok()) return Fail(query_status);
+    std::printf("wrote %zu base vectors to %s and %zu queries to %s (dim %zu)\n",
+                split.base.size(), out.c_str(), split.queries.size(),
+                queries_out.c_str(), split.base.dim());
+  } else {
+    const Status status = gass::core::WriteFvecs(out, full);
+    if (!status.ok()) return Fail(status);
+    std::printf("wrote %zu vectors to %s (dim %zu)\n", full.size(),
+                out.c_str(), full.dim());
+  }
+  return 0;
+}
+
+int CmdGroundTruth(const Flags& flags) {
+  Dataset base, queries;
+  Status status = gass::core::ReadFvecs(flags.Get("base", "base.fvecs"), &base);
+  if (!status.ok()) return Fail(status);
+  status =
+      gass::core::ReadFvecs(flags.Get("queries", "queries.fvecs"), &queries);
+  if (!status.ok()) return Fail(status);
+  const std::size_t k = static_cast<std::size_t>(flags.GetInt("k", 10));
+
+  const auto truth = gass::eval::BruteForceKnn(base, queries, k);
+  std::vector<std::vector<std::int32_t>> rows;
+  rows.reserve(truth.size());
+  for (const auto& neighbors : truth) {
+    std::vector<std::int32_t> row;
+    for (const auto& nb : neighbors) {
+      row.push_back(static_cast<std::int32_t>(nb.id));
+    }
+    rows.push_back(std::move(row));
+  }
+  const std::string out = flags.Get("out", "gt.ivecs");
+  status = gass::core::WriteIvecs(out, rows);
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote exact %zu-NN of %zu queries to %s\n", k, queries.size(),
+              out.c_str());
+  return 0;
+}
+
+int CmdBuild(const Flags& flags) {
+  Dataset base;
+  const Status status =
+      gass::core::ReadFvecs(flags.Get("base", "base.fvecs"), &base);
+  if (!status.ok()) return Fail(status);
+  const std::string method = flags.Get("method", "hnsw");
+
+  auto index = gass::methods::CreateIndex(
+      method, static_cast<std::uint64_t>(flags.GetInt("seed", 42)));
+  const gass::methods::BuildStats stats = index->Build(base);
+  std::printf("%s built over %zu vectors in %.2fs "
+              "(%llu distance computations, %zu index bytes)\n",
+              index->Name().c_str(), base.size(), stats.elapsed_seconds,
+              static_cast<unsigned long long>(stats.distance_computations),
+              stats.index_bytes);
+
+  if (flags.Has("graph") && index->HasBaseGraph()) {
+    const Status save = index->graph().Save(flags.Get("graph", ""));
+    if (!save.ok()) return Fail(save);
+    std::printf("base graph saved to %s\n", flags.Get("graph", "").c_str());
+  }
+  return 0;
+}
+
+int CmdEval(const Flags& flags) {
+  Dataset base, queries;
+  Status status = gass::core::ReadFvecs(flags.Get("base", "base.fvecs"), &base);
+  if (!status.ok()) return Fail(status);
+  status =
+      gass::core::ReadFvecs(flags.Get("queries", "queries.fvecs"), &queries);
+  if (!status.ok()) return Fail(status);
+  const std::size_t k = static_cast<std::size_t>(flags.GetInt("k", 10));
+
+  gass::eval::GroundTruth truth;
+  if (flags.Has("truth")) {
+    std::vector<std::vector<std::int32_t>> rows;
+    status = gass::core::ReadIvecs(flags.Get("truth", ""), &rows);
+    if (!status.ok()) return Fail(status);
+    for (const auto& row : rows) {
+      std::vector<gass::core::Neighbor> neighbors;
+      for (std::int32_t id : row) {
+        neighbors.emplace_back(static_cast<VectorId>(id), 0.0f);
+      }
+      truth.push_back(std::move(neighbors));
+    }
+    // Distances are needed for tie-aware recall; recompute them.
+    for (std::size_t q = 0; q < truth.size(); ++q) {
+      for (auto& nb : truth[q]) {
+        nb.distance =
+            gass::core::L2Sq(queries.Row(static_cast<VectorId>(q)),
+                             base.Row(nb.id), base.dim());
+      }
+    }
+  } else {
+    std::printf("computing exact ground truth (no --truth given)...\n");
+    truth = gass::eval::BruteForceKnn(base, queries, k);
+  }
+
+  const std::string method = flags.Get("method", "hnsw");
+  auto index = gass::methods::CreateIndex(
+      method, static_cast<std::uint64_t>(flags.GetInt("seed", 42)));
+  const gass::methods::BuildStats build = index->Build(base);
+  std::printf("%s built in %.2fs\n\n", index->Name().c_str(),
+              build.elapsed_seconds);
+  std::printf("%-8s %-10s %-14s %-12s\n", "beam", "recall", "dists/query",
+              "time/query");
+
+  for (const std::size_t beam : ParseBeams(flags.Get("beams", "10,40,160"))) {
+    gass::methods::SearchParams params;
+    params.k = k;
+    params.beam_width = beam;
+    params.num_seeds = 48;
+    std::vector<std::vector<gass::core::Neighbor>> results;
+    double dists = 0.0, seconds = 0.0;
+    for (VectorId q = 0; q < queries.size(); ++q) {
+      auto result = index->Search(queries.Row(q), params);
+      dists += static_cast<double>(result.stats.distance_computations);
+      seconds += result.stats.elapsed_seconds;
+      results.push_back(std::move(result.neighbors));
+    }
+    const double nq = static_cast<double>(queries.size());
+    std::printf("%-8zu %-10.4f %-14.0f %.3fms\n", beam,
+                gass::eval::MeanRecall(results, truth, k), dists / nq,
+                1e3 * seconds / nq);
+  }
+  return 0;
+}
+
+int CmdComplexity(const Flags& flags) {
+  Dataset base;
+  const Status status =
+      gass::core::ReadFvecs(flags.Get("base", "base.fvecs"), &base);
+  if (!status.ok()) return Fail(status);
+  const std::size_t k = static_cast<std::size_t>(flags.GetInt("k", 100));
+  const std::size_t sample =
+      static_cast<std::size_t>(flags.GetInt("sample", 100));
+  const auto summary = gass::eval::EstimateComplexity(base, sample, k, 7);
+  std::printf("n=%zu dim=%zu sample=%zu k=%zu\n", base.size(), base.dim(),
+              summary.num_points, k);
+  std::printf("LID  mean %.2f  median %.2f   (low = easy)\n",
+              summary.mean_lid, summary.median_lid);
+  std::printf("LRC  mean %.3f  median %.3f  (high = easy)\n",
+              summary.mean_lrc, summary.median_lrc);
+  return 0;
+}
+
+int CmdMethods() {
+  for (const std::string& name : gass::methods::AllMethodNames()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: gass_cli <gen|gt|build|eval|complexity|methods> "
+               "[--flag value ...]\n"
+               "see the header of tools/gass_cli.cc for full flag lists\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (!flags.ok()) return 1;
+  if (command == "gen") return CmdGen(flags);
+  if (command == "gt") return CmdGroundTruth(flags);
+  if (command == "build") return CmdBuild(flags);
+  if (command == "eval") return CmdEval(flags);
+  if (command == "complexity") return CmdComplexity(flags);
+  if (command == "methods") return CmdMethods();
+  Usage();
+  return 1;
+}
