@@ -1,0 +1,93 @@
+// Serving throughput: recall vs QPS for one shared index searched by a
+// growing number of executor threads (Deep proxy, 100GB tier).
+//
+// Expected shape: QPS scales near-linearly with threads up to the core
+// count (the search path is read-only; contexts keep threads from ever
+// touching shared mutable state), then flattens. Recall is identical at
+// every thread count — the executor reseeds per query, so results do not
+// depend on scheduling. The hardware line makes single-core containers
+// explicit: with one core, the sweep measures overhead, not scaling.
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "eval/recall.h"
+#include "methods/factory.h"
+#include "serve/executor.h"
+
+namespace gass::bench {
+namespace {
+
+// Tile the workload's queries so the batch is long enough to time.
+constexpr std::size_t kReps = 32;
+
+void Run() {
+  PrintHeader("Serving throughput: shared index, concurrent executor "
+              "(Deep proxy, 100GB tier)",
+              "One built HNSW searched through serve::QueryExecutor at "
+              "increasing thread counts; identical per-query results at "
+              "every count.");
+  std::printf("hardware threads available: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  const Workload workload = MakeWorkload("deep", kTier100GB);
+  auto index = methods::CreateIndex("hnsw", 42);
+  index->Build(workload.base);
+
+  const std::size_t nq = workload.queries.size();
+  const std::size_t dim = workload.queries.dim();
+  std::vector<float> batch(kReps * nq * dim);
+  for (std::size_t r = 0; r < kReps; ++r) {
+    std::memcpy(batch.data() + r * nq * dim, workload.queries.data(),
+                nq * dim * sizeof(float));
+  }
+
+  methods::SearchParams params;
+  params.k = workload.k;
+  params.beam_width = 100;
+  params.num_seeds = 32;
+
+  PrintRow({"threads", "qps", "speedup", "recall", "p50 lat", "p95 lat"});
+  PrintRule();
+  double base_qps = 0.0;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    serve::ExecutorOptions options;
+    options.threads = threads;
+    serve::QueryExecutor executor(*index, options);
+
+    // Warm-up run populates the session pool and touches the graph.
+    executor.SearchBatch(batch.data(), nq, dim, params);
+    executor.metrics().Reset();
+
+    const serve::BatchResult result =
+        executor.SearchBatch(batch.data(), kReps * nq, dim, params);
+
+    std::vector<std::vector<core::Neighbor>> answers;
+    for (std::size_t q = 0; q < nq; ++q) {
+      answers.push_back(result.results[q].neighbors);
+    }
+    const double recall =
+        eval::MeanRecall(answers, workload.truth, workload.k);
+    if (threads == 1) base_qps = result.Qps();
+
+    char qps[32], speedup[16], recall_cell[16];
+    std::snprintf(qps, sizeof(qps), "%.0f", result.Qps());
+    std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                  base_qps > 0 ? result.Qps() / base_qps : 0.0);
+    std::snprintf(recall_cell, sizeof(recall_cell), "%.3f", recall);
+    PrintRow({std::to_string(threads), qps, speedup, recall_cell,
+              FormatSeconds(executor.metrics().LatencyQuantileSeconds(0.50)),
+              FormatSeconds(executor.metrics().LatencyQuantileSeconds(0.95))});
+  }
+  PrintRule();
+}
+
+}  // namespace
+}  // namespace gass::bench
+
+int main() {
+  gass::bench::Run();
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/deadline.h"
 #include "core/distance.h"
 #include "core/graph.h"
 #include "core/neighbor.h"
@@ -45,6 +46,12 @@ inline void ExpandNeighbors(const FlatGraph& graph, VectorId v,
 /// is L (clamped up to k). `visited` must cover the graph's vertex range and
 /// is re-epoched here. Distance computations are counted on `dc`; expanded
 /// hops on `stats` when provided.
+///
+/// `deadline`, when given, is polled every kDeadlineCheckHops expansions;
+/// on expiry the search stops and returns its best-so-far answers (a
+/// partial result), recording the cutoff in `stats->deadline_expiries`.
+inline constexpr std::uint64_t kDeadlineCheckHops = 32;
+
 template <typename GraphT>
 std::vector<Neighbor> BeamSearch(const GraphT& graph, DistanceComputer& dc,
                                  const float* query,
@@ -52,7 +59,8 @@ std::vector<Neighbor> BeamSearch(const GraphT& graph, DistanceComputer& dc,
                                  std::size_t k, std::size_t beam_width,
                                  VisitedTable* visited,
                                  SearchStats* stats = nullptr,
-                                 float prune_bound = 3.402823466e38f) {
+                                 float prune_bound = 3.402823466e38f,
+                                 const Deadline* deadline = nullptr) {
   const std::size_t width = beam_width < k ? k : beam_width;
   CandidatePool pool(width);
   pool.SetPruneBound(prune_bound);
@@ -65,6 +73,11 @@ std::vector<Neighbor> BeamSearch(const GraphT& graph, DistanceComputer& dc,
 
   std::uint64_t hops = 0;
   for (;;) {
+    if (deadline != nullptr && hops % kDeadlineCheckHops == 0 &&
+        deadline->IsExpired()) {
+      if (stats != nullptr) stats->deadline_expiries += 1;
+      break;
+    }
     const std::size_t next = pool.FirstUnexplored();
     if (next == pool.size()) break;
     const VectorId v = pool[next].id;

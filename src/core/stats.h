@@ -3,6 +3,7 @@
 #ifndef GASS_CORE_STATS_H_
 #define GASS_CORE_STATS_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -11,18 +12,78 @@ namespace gass::core {
 /// Costs accumulated by one or more searches (or by an index build).
 ///
 /// `distance_computations` is the paper's primary hardware-independent
-/// measure; `hops` counts expanded graph vertices.
+/// measure; `hops` counts expanded graph vertices. `deadline_expiries`
+/// counts searches cut short by a Deadline (0 or 1 per query; additive
+/// across aggregation like the other fields).
 struct SearchStats {
   std::uint64_t distance_computations = 0;
   std::uint64_t hops = 0;
+  std::uint64_t deadline_expiries = 0;
   double elapsed_seconds = 0.0;
 
   SearchStats& operator+=(const SearchStats& other) {
     distance_computations += other.distance_computations;
     hops += other.hops;
+    deadline_expiries += other.deadline_expiries;
     elapsed_seconds += other.elapsed_seconds;
     return *this;
   }
+
+  /// Mutex-free aggregation of SearchStats from concurrent searches.
+  ///
+  /// Serving threads call Add() once per finished query; readers take
+  /// Snapshot() at any time. Counters are independent relaxed atomics:
+  /// totals are exact once the writers quiesce, and a concurrent snapshot
+  /// may only be "torn" across fields (never within one), which is fine
+  /// for monitoring.
+  class AtomicAccumulator {
+   public:
+    void Add(const SearchStats& s) {
+      distance_computations_.fetch_add(s.distance_computations,
+                                       std::memory_order_relaxed);
+      hops_.fetch_add(s.hops, std::memory_order_relaxed);
+      deadline_expiries_.fetch_add(s.deadline_expiries,
+                                   std::memory_order_relaxed);
+      // Stored in nanoseconds so the hot path never touches floating-point
+      // CAS loops (pre-C++20 atomic<double> has no fetch_add).
+      elapsed_ns_.fetch_add(
+          static_cast<std::uint64_t>(s.elapsed_seconds * 1e9),
+          std::memory_order_relaxed);
+      queries_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    SearchStats Snapshot() const {
+      SearchStats s;
+      s.distance_computations =
+          distance_computations_.load(std::memory_order_relaxed);
+      s.hops = hops_.load(std::memory_order_relaxed);
+      s.deadline_expiries = deadline_expiries_.load(std::memory_order_relaxed);
+      s.elapsed_seconds =
+          static_cast<double>(elapsed_ns_.load(std::memory_order_relaxed)) *
+          1e-9;
+      return s;
+    }
+
+    /// Number of Add() calls (i.e. queries aggregated so far).
+    std::uint64_t queries() const {
+      return queries_.load(std::memory_order_relaxed);
+    }
+
+    void Reset() {
+      distance_computations_.store(0, std::memory_order_relaxed);
+      hops_.store(0, std::memory_order_relaxed);
+      deadline_expiries_.store(0, std::memory_order_relaxed);
+      elapsed_ns_.store(0, std::memory_order_relaxed);
+      queries_.store(0, std::memory_order_relaxed);
+    }
+
+   private:
+    std::atomic<std::uint64_t> distance_computations_{0};
+    std::atomic<std::uint64_t> hops_{0};
+    std::atomic<std::uint64_t> deadline_expiries_{0};
+    std::atomic<std::uint64_t> elapsed_ns_{0};
+    std::atomic<std::uint64_t> queries_{0};
+  };
 };
 
 /// Monotonic wall-clock stopwatch.

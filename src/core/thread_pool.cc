@@ -12,22 +12,31 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     shutting_down_ = true;
+    if (joined_) return;
+    joined_ = true;
   }
   task_available_.notify_all();
   for (auto& worker : workers_) worker.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    // A task accepted here is guaranteed to run: workers drain the queue
+    // before exiting, and shutdown cannot begin between this push and the
+    // notify because shutting_down_ flips under the same mutex.
+    if (shutting_down_) return false;
     tasks_.push(std::move(task));
     ++in_flight_;
   }
   task_available_.notify_one();
+  return true;
 }
 
 void ThreadPool::Wait() {

@@ -1,8 +1,10 @@
 // Minimal work-stealing-free thread pool with a ParallelFor convenience.
 //
 // The surveyed methods all build multithreaded indexes; builders in this
-// library use ParallelFor over node ranges. On a single-core machine the
-// pool degrades to serial execution with no thread overhead.
+// library use ParallelFor over node ranges, and the serving layer
+// (serve::QueryExecutor) dispatches query batches through Submit. On a
+// single-core machine the pool degrades to serial execution with no thread
+// overhead.
 
 #ifndef GASS_CORE_THREAD_POOL_H_
 #define GASS_CORE_THREAD_POOL_H_
@@ -19,6 +21,13 @@
 namespace gass::core {
 
 /// Fixed-size thread pool executing submitted closures FIFO.
+///
+/// Lifecycle contract: the pool accepts tasks from construction until
+/// Shutdown() begins (the destructor calls Shutdown()). Tasks already
+/// queued when Shutdown() starts are drained and run to completion;
+/// Submit() during or after shutdown returns false and the task is
+/// dropped, never enqueued into a dying pool. Submit/Wait may be called
+/// from any thread; tasks must not themselves block on the pool.
 class ThreadPool {
  public:
   /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
@@ -30,11 +39,16 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
-  /// Enqueues a task. Tasks must not themselves block on the pool.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task; returns false (dropping the task) once shutdown has
+  /// begun. A true return guarantees the task will run.
+  [[nodiscard]] bool Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has completed.
+  /// Blocks until every accepted task has completed.
   void Wait();
+
+  /// Stops accepting tasks, drains the queue, and joins the workers.
+  /// Idempotent; called by the destructor.
+  void Shutdown();
 
  private:
   void WorkerLoop();
@@ -46,6 +60,7 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  bool joined_ = false;
 };
 
 /// Runs fn(worker_index, i) for i in [0, count), split into contiguous

@@ -3,6 +3,7 @@
 #ifndef GASS_CORE_VISITED_H_
 #define GASS_CORE_VISITED_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -15,18 +16,25 @@ namespace gass::core {
 /// Instead of clearing an n-bit array per query, each search bumps an epoch;
 /// a vertex is "visited" when its stamp equals the current epoch. Reset is
 /// O(1) amortized (a full clear happens only on epoch wrap, every ~2^32
-/// searches).
+/// searches — long-running serving processes do reach it).
+///
+/// Not thread-safe: concurrent searches use one table per thread (see
+/// methods::SearchContext).
 class VisitedTable {
  public:
   explicit VisitedTable(std::size_t n) : stamps_(n, 0), epoch_(1) {}
 
   /// Begins a new traversal; all vertices become unvisited.
   void NewEpoch() {
-    ++epoch_;
-    if (epoch_ == 0) {  // Wrapped: clear and restart.
+    if (epoch_ == kMaxEpoch) {
+      // Wrapped: stale stamps from the previous cycle would alias the new
+      // epoch values, so clear everything and restart. Stamp 0 is reserved
+      // as "never visited", epoch 0 is never current.
       std::fill(stamps_.begin(), stamps_.end(), 0);
       epoch_ = 1;
+      return;
     }
+    ++epoch_;
   }
 
   bool Visited(VectorId id) const { return stamps_[id] == epoch_; }
@@ -41,6 +49,16 @@ class VisitedTable {
   }
 
   std::size_t size() const { return stamps_.size(); }
+
+  std::uint32_t epoch() const { return epoch_; }
+
+  /// Jumps the counter to just below the wrap point so tests can exercise
+  /// the overflow reset without 2^32 NewEpoch() calls. Existing stamps are
+  /// left untouched (they become stale, exactly as after that many real
+  /// epochs with no visits).
+  void JumpToEpochForTesting(std::uint32_t epoch) { epoch_ = epoch; }
+
+  static constexpr std::uint32_t kMaxEpoch = 0xFFFFFFFFu;
 
  private:
   std::vector<std::uint32_t> stamps_;

@@ -40,6 +40,10 @@ class ElpisIndex : public GraphIndex {
   std::string Name() const override { return "ELPIS"; }
   BuildStats Build(const core::Dataset& data) override;
   SearchResult Search(const float* query, const SearchParams& params) override;
+  // Concurrent (SearchContext) search is NOT supported: each leaf is a
+  // private HNSW sub-index whose query state lives inside the leaf, and the
+  // coordinator threads leaf results through a shared pruning bound. Clone
+  // the index per serving thread instead (see docs/SERVING.md).
 
   /// ELPIS has no single base graph.
   bool HasBaseGraph() const override { return false; }

@@ -5,18 +5,49 @@
 
 namespace gass::methods {
 
+SearchResult GraphIndex::Search(const float* query, const SearchParams& params,
+                                SearchContext* ctx) const {
+  (void)query;
+  (void)params;
+  (void)ctx;
+  GASS_CHECK_MSG(false, "%s does not support concurrent (context) search",
+                 Name().c_str());
+  return SearchResult{};
+}
+
+SearchContext GraphIndex::MakeSearchContext(std::uint64_t seed) const {
+  GASS_CHECK_MSG(data_ != nullptr, "MakeSearchContext before Build");
+  return SearchContext(data_->size(), seed);
+}
+
 SearchResult SingleGraphIndex::Search(const float* query,
                                       const SearchParams& params) {
+  // Serial path: the index-owned visited table plus the selector's internal
+  // RNG stream (null rng), preserving historic seeded reproducibility.
+  return SearchWith(query, params, visited_.get(), nullptr);
+}
+
+SearchResult SingleGraphIndex::Search(const float* query,
+                                      const SearchParams& params,
+                                      SearchContext* ctx) const {
+  return SearchWith(query, params, &ctx->visited, &ctx->rng);
+}
+
+SearchResult SingleGraphIndex::SearchWith(const float* query,
+                                          const SearchParams& params,
+                                          core::VisitedTable* visited,
+                                          core::Rng* rng) const {
   GASS_CHECK_MSG(data_ != nullptr, "Search before Build");
   GASS_CHECK(seed_selector_ != nullptr);
   SearchResult result;
   core::Timer timer;
   core::DistanceComputer dc(*data_);
   const std::vector<core::VectorId> seeds =
-      seed_selector_->Select(dc, query, params.num_seeds);
-  result.neighbors =
-      core::BeamSearch(graph_, dc, query, seeds, params.k, params.beam_width,
-                       visited_.get(), &result.stats, params.prune_bound);
+      rng != nullptr ? seed_selector_->Select(dc, query, params.num_seeds, rng)
+                     : seed_selector_->Select(dc, query, params.num_seeds);
+  result.neighbors = core::BeamSearch(
+      graph_, dc, query, seeds, params.k, params.beam_width, visited,
+      &result.stats, params.prune_bound, params.deadline);
   result.stats.distance_computations = dc.count();
   result.stats.elapsed_seconds = timer.Seconds();
   return result;

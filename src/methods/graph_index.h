@@ -9,9 +9,11 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "core/deadline.h"
 #include "core/distance.h"
 #include "core/graph.h"
 #include "core/neighbor.h"
+#include "core/rng.h"
 #include "core/stats.h"
 #include "core/visited.h"
 #include "seeds/seed_selector.h"
@@ -28,6 +30,10 @@ struct SearchParams {
   /// already hold answers (ELPIS warms later leaf searches with the current
   /// k-th best-so-far). Default: no bound.
   float prune_bound = 3.402823466e38f;
+  /// Optional time budget (owned by the caller, e.g. serve::QueryExecutor).
+  /// On expiry the search stops and returns its best-so-far answers,
+  /// flagging `stats.deadline_expiries`. Null = unlimited.
+  const core::Deadline* deadline = nullptr;
 };
 
 /// One query's answers plus its costs.
@@ -44,12 +50,34 @@ struct BuildStats {
   std::size_t peak_bytes = 0;   ///< Peak transient footprint during build.
 };
 
+/// Per-thread scratch for searching a shared, read-only index.
+///
+/// Holds everything a query mutates — the visited table and the RNG feeding
+/// stochastic seed selection — so a single built index can be searched from
+/// many threads at once, each thread bringing its own context (see
+/// serve::SearchSessionPool for pooling/reuse). Contexts are cheap relative
+/// to the index (4 bytes per vector) but not free; reuse them across
+/// queries rather than constructing per query.
+struct SearchContext {
+  core::VisitedTable visited;
+  core::Rng rng;
+
+  SearchContext(std::size_t n, std::uint64_t seed)
+      : visited(n), rng(seed) {}
+};
+
 /// A built graph-based vector index.
 ///
 /// Lifecycle: construct with method parameters, call Build(data) once (the
-/// dataset must outlive the index), then Search per query. Search is not
-/// const (seed selectors and the visited table carry per-query state); use
-/// one index instance per thread or clone.
+/// dataset must outlive the index), then Search per query.
+///
+/// Thread-safety: the two-argument Search keeps per-query state inside the
+/// index and is single-threaded — one instance per thread, or use the
+/// three-argument const overload, which routes all mutable state through a
+/// caller-owned SearchContext and may run concurrently from many threads on
+/// one shared instance when SupportsConcurrentSearch() is true. Builds are
+/// never concurrent with searches. See docs/SERVING.md for the per-method
+/// contract.
 class GraphIndex {
  public:
   virtual ~GraphIndex() = default;
@@ -60,6 +88,19 @@ class GraphIndex {
 
   virtual SearchResult Search(const float* query,
                               const SearchParams& params) = 0;
+
+  /// Concurrent search: const, all per-query mutable state in `*ctx`.
+  /// Aborts when SupportsConcurrentSearch() is false (composite indexes
+  /// whose sub-indexes hold private query state, e.g. ELPIS).
+  virtual SearchResult Search(const float* query, const SearchParams& params,
+                              SearchContext* ctx) const;
+
+  /// Whether the three-argument Search may be called, concurrently, on a
+  /// shared instance.
+  virtual bool SupportsConcurrentSearch() const { return false; }
+
+  /// Creates a context sized for this (built) index.
+  SearchContext MakeSearchContext(std::uint64_t seed) const;
 
   /// The searchable base graph (for inspection, flat re-layout, and tests).
   /// Indexes with no single base graph (ELPIS) abort; check HasBaseGraph().
@@ -82,6 +123,9 @@ class GraphIndex {
 class SingleGraphIndex : public GraphIndex {
  public:
   SearchResult Search(const float* query, const SearchParams& params) override;
+  SearchResult Search(const float* query, const SearchParams& params,
+                      SearchContext* ctx) const override;
+  bool SupportsConcurrentSearch() const override { return true; }
 
   const core::Graph& graph() const override { return graph_; }
   std::size_t IndexBytes() const override;
@@ -93,6 +137,12 @@ class SingleGraphIndex : public GraphIndex {
   seeds::SeedSelector* seed_selector() { return seed_selector_.get(); }
 
  protected:
+  /// Shared implementation behind both Search overloads. `rng` null means
+  /// "use the seed selector's internal serial stream" (the classic
+  /// single-threaded path, bit-for-bit identical to historic behavior).
+  SearchResult SearchWith(const float* query, const SearchParams& params,
+                          core::VisitedTable* visited, core::Rng* rng) const;
+
   core::Graph graph_;
   std::unique_ptr<seeds::SeedSelector> seed_selector_;
   std::unique_ptr<core::VisitedTable> visited_;

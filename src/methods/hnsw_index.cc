@@ -143,6 +143,17 @@ BuildStats HnswIndex::Extend(std::size_t new_count) {
 
 SearchResult HnswIndex::Search(const float* query,
                                const SearchParams& params) {
+  return SearchWith(query, params, visited_.get());
+}
+
+SearchResult HnswIndex::Search(const float* query, const SearchParams& params,
+                               SearchContext* ctx) const {
+  return SearchWith(query, params, &ctx->visited);
+}
+
+SearchResult HnswIndex::SearchWith(const float* query,
+                                   const SearchParams& params,
+                                   core::VisitedTable* visited) const {
   GASS_CHECK_MSG(data_ != nullptr, "Search before Build");
   SearchResult result;
   core::Timer timer;
@@ -161,7 +172,8 @@ SearchResult HnswIndex::Search(const float* query,
 
   result.neighbors =
       core::BeamSearch(base_, dc, query, seeds, params.k, params.beam_width,
-                       visited_.get(), &result.stats, params.prune_bound);
+                       visited, &result.stats, params.prune_bound,
+                       params.deadline);
   result.stats.distance_computations = dc.count();
   result.stats.elapsed_seconds = timer.Seconds();
   return result;

@@ -49,6 +49,9 @@ class HnswIndex : public GraphIndex {
   BuildStats Extend(std::size_t new_count);
 
   SearchResult Search(const float* query, const SearchParams& params) override;
+  SearchResult Search(const float* query, const SearchParams& params,
+                      SearchContext* ctx) const override;
+  bool SupportsConcurrentSearch() const override { return true; }
 
   const core::Graph& graph() const override { return base_; }
   std::size_t IndexBytes() const override;
@@ -69,6 +72,11 @@ class HnswIndex : public GraphIndex {
   core::VectorId DescendToLayer(core::DistanceComputer& dc,
                                 const float* query, std::size_t from_layer,
                                 std::size_t target) const;
+
+  /// Shared implementation behind both Search overloads; the descent is
+  /// deterministic, so only the visited table varies per caller.
+  SearchResult SearchWith(const float* query, const SearchParams& params,
+                          core::VisitedTable* visited) const;
 
   void InsertNode(core::DistanceComputer& dc, core::VectorId v);
 

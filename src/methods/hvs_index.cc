@@ -91,6 +91,17 @@ BuildStats HvsIndex::Build(const core::Dataset& data) {
 
 SearchResult HvsIndex::Search(const float* query,
                               const SearchParams& params) {
+  return SearchThrough(query, params, visited_.get());
+}
+
+SearchResult HvsIndex::Search(const float* query, const SearchParams& params,
+                              SearchContext* ctx) const {
+  return SearchThrough(query, params, &ctx->visited);
+}
+
+SearchResult HvsIndex::SearchThrough(const float* query,
+                                     const SearchParams& params,
+                                     core::VisitedTable* visited) const {
   GASS_CHECK_MSG(data_ != nullptr, "Search before Build");
   SearchResult result;
   core::Timer timer;
@@ -121,7 +132,7 @@ SearchResult HvsIndex::Search(const float* query,
 
   result.neighbors = core::BeamSearch(
       base_->graph(), dc, query, seeds, params.k, params.beam_width,
-      visited_.get(), &result.stats, params.prune_bound);
+      visited, &result.stats, params.prune_bound, params.deadline);
   result.stats.distance_computations = dc.count();
   result.stats.elapsed_seconds = timer.Seconds();
   return result;

@@ -45,6 +45,9 @@ class HvsIndex : public GraphIndex {
   std::string Name() const override { return "HVS"; }
   BuildStats Build(const core::Dataset& data) override;
   SearchResult Search(const float* query, const SearchParams& params) override;
+  SearchResult Search(const float* query, const SearchParams& params,
+                      SearchContext* ctx) const override;
+  bool SupportsConcurrentSearch() const override { return true; }
 
   const core::Graph& graph() const override { return base_->graph(); }
   std::size_t IndexBytes() const override;
@@ -55,6 +58,10 @@ class HvsIndex : public GraphIndex {
   }
 
  private:
+  /// Quantized-level descent (read-only) + base beam search over `visited`.
+  SearchResult SearchThrough(const float* query, const SearchParams& params,
+                             core::VisitedTable* visited) const;
+
   struct Level {
     std::vector<core::VectorId> members;      ///< Densest-first node sample.
     quantize::ProductQuantizer pq;            ///< Level quantizer.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/beam_search.h"
 #include "core/macros.h"
 #include "core/neighbor.h"
 
@@ -39,33 +40,54 @@ BuildStats LshApgIndex::Build(const core::Dataset& data) {
 
 SearchResult LshApgIndex::Search(const float* query,
                                  const SearchParams& params) {
+  return SearchRouted(query, params, visited_.get(), nullptr);
+}
+
+SearchResult LshApgIndex::Search(const float* query,
+                                 const SearchParams& params,
+                                 SearchContext* ctx) const {
+  return SearchRouted(query, params, &ctx->visited, &ctx->rng);
+}
+
+SearchResult LshApgIndex::SearchRouted(const float* query,
+                                       const SearchParams& params,
+                                       core::VisitedTable* visited,
+                                       core::Rng* rng) const {
   GASS_CHECK_MSG(data_ != nullptr, "Search before Build");
   SearchResult result;
   core::Timer timer;
   core::DistanceComputer dc(*data_);
 
   const std::vector<VectorId> seeds =
-      seed_selector_->Select(dc, query, params.num_seeds);
+      rng != nullptr ? seed_selector_->Select(dc, query, params.num_seeds, rng)
+                     : seed_selector_->Select(dc, query, params.num_seeds);
 
   // Beam search with probabilistic routing: each unvisited neighbor's
   // projected distance gates the exact evaluation.
   const std::size_t width = std::max(params.beam_width, params.k);
   core::CandidatePool pool(width);
-  visited_->NewEpoch();
+  visited->NewEpoch();
   const std::vector<float> query_projection = lsh_->ProjectQuery(query);
 
   for (VectorId seed : seeds) {
-    if (!visited_->TryVisit(seed)) continue;
+    if (!visited->TryVisit(seed)) continue;
     pool.Insert(Neighbor(seed, dc.ToQuery(query, seed)));
   }
+  std::uint64_t hops = 0;
   for (;;) {
+    if (params.deadline != nullptr && hops % core::kDeadlineCheckHops == 0 &&
+        params.deadline->IsExpired()) {
+      result.stats.deadline_expiries += 1;
+      break;
+    }
     const std::size_t next = pool.FirstUnexplored();
     if (next == pool.size()) break;
     const VectorId v = pool[next].id;
     pool.MarkExplored(next);
+    ++hops;
     ++result.stats.hops;
     for (VectorId u : graph_.Neighbors(v)) {
-      if (!visited_->TryVisit(u)) continue;
+      if (!visited->TryVisit(u)) continue;
       const float worst = pool.WorstDistance();
       if (pool.full()) {
         // Projected pre-screen (the LSB-derived routing test): skip the

@@ -33,9 +33,17 @@ class LshApgIndex : public SingleGraphIndex {
   std::string Name() const override { return "LSHAPG"; }
   BuildStats Build(const core::Dataset& data) override;
   SearchResult Search(const float* query, const SearchParams& params) override;
+  SearchResult Search(const float* query, const SearchParams& params,
+                      SearchContext* ctx) const override;
   std::size_t IndexBytes() const override;
 
  private:
+  /// LSH-seeded beam search with probabilistic routing. `rng` null = the
+  /// selector's serial stream (see SingleGraphIndex::SearchWith).
+  SearchResult SearchRouted(const float* query, const SearchParams& params,
+                            core::VisitedTable* visited,
+                            core::Rng* rng) const;
+
   LshApgParams params_;
   std::shared_ptr<const hash::LshIndex> lsh_;
 };

@@ -51,6 +51,17 @@ BuildStats NgtIndex::Build(const core::Dataset& data) {
 }
 
 SearchResult NgtIndex::Search(const float* query, const SearchParams& params) {
+  return SearchOver(query, params, visited_.get());
+}
+
+SearchResult NgtIndex::Search(const float* query, const SearchParams& params,
+                              SearchContext* ctx) const {
+  return SearchOver(query, params, &ctx->visited);
+}
+
+SearchResult NgtIndex::SearchOver(const float* query,
+                                  const SearchParams& params,
+                                  core::VisitedTable* visited) const {
   GASS_CHECK_MSG(data_ != nullptr, "Search before Build");
   SearchResult result;
   core::Timer timer;
@@ -70,7 +81,8 @@ SearchResult NgtIndex::Search(const float* query, const SearchParams& params) {
 
   result.neighbors =
       core::BeamSearch(graph_, dc, query, seeds, params.k, params.beam_width,
-                       visited_.get(), &result.stats);
+                       visited, &result.stats, params.prune_bound,
+                       params.deadline);
   result.stats.distance_computations = dc.count();
   result.stats.elapsed_seconds = timer.Seconds();
   return result;

@@ -28,9 +28,15 @@ class NgtIndex : public SingleGraphIndex {
   std::string Name() const override { return "NGT"; }
   BuildStats Build(const core::Dataset& data) override;
   SearchResult Search(const float* query, const SearchParams& params) override;
+  SearchResult Search(const float* query, const SearchParams& params,
+                      SearchContext* ctx) const override;
   std::size_t IndexBytes() const override;
 
  private:
+  /// VP-tree seeding (deterministic) + Algorithm 1 over `visited`.
+  SearchResult SearchOver(const float* query, const SearchParams& params,
+                          core::VisitedTable* visited) const;
+
   NgtParams params_;
   std::unique_ptr<trees::VpTree> vp_tree_;
 };

@@ -66,6 +66,18 @@ BuildStats NsgIndex::Build(const core::Dataset& data) {
 }
 
 SearchResult NsgIndex::Search(const float* query, const SearchParams& params) {
+  return SearchFrom(query, params, visited_.get(), query_rng_.get());
+}
+
+SearchResult NsgIndex::Search(const float* query, const SearchParams& params,
+                              SearchContext* ctx) const {
+  return SearchFrom(query, params, &ctx->visited, &ctx->rng);
+}
+
+SearchResult NsgIndex::SearchFrom(const float* query,
+                                  const SearchParams& params,
+                                  core::VisitedTable* visited,
+                                  core::Rng* rng) const {
   GASS_CHECK_MSG(data_ != nullptr, "Search before Build");
   SearchResult result;
   core::Timer timer;
@@ -75,12 +87,12 @@ SearchResult NsgIndex::Search(const float* query, const SearchParams& params) {
   std::vector<VectorId> seeds{medoid_};
   for (std::size_t s = 1; s < std::max<std::size_t>(1, params.num_seeds);
        ++s) {
-    seeds.push_back(
-        static_cast<VectorId>(query_rng_->UniformInt(data_->size())));
+    seeds.push_back(static_cast<VectorId>(rng->UniformInt(data_->size())));
   }
   result.neighbors =
       core::BeamSearch(graph_, dc, query, seeds, params.k, params.beam_width,
-                       visited_.get(), &result.stats);
+                       visited, &result.stats, params.prune_bound,
+                       params.deadline);
   result.stats.distance_computations = dc.count();
   result.stats.elapsed_seconds = timer.Seconds();
   return result;

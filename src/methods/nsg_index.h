@@ -31,10 +31,16 @@ class NsgIndex : public SingleGraphIndex {
   std::string Name() const override { return "NSG"; }
   BuildStats Build(const core::Dataset& data) override;
   SearchResult Search(const float* query, const SearchParams& params) override;
+  SearchResult Search(const float* query, const SearchParams& params,
+                      SearchContext* ctx) const override;
 
   core::VectorId medoid() const { return medoid_; }
 
  private:
+  /// MD + KS seeding with the given RNG, then Algorithm 1 over `visited`.
+  SearchResult SearchFrom(const float* query, const SearchParams& params,
+                          core::VisitedTable* visited, core::Rng* rng) const;
+
   NsgParams params_;
   core::VectorId medoid_ = 0;
   std::unique_ptr<core::Rng> query_rng_;

@@ -28,10 +28,16 @@ class VamanaIndex : public SingleGraphIndex {
   std::string Name() const override { return "Vamana"; }
   BuildStats Build(const core::Dataset& data) override;
   SearchResult Search(const float* query, const SearchParams& params) override;
+  SearchResult Search(const float* query, const SearchParams& params,
+                      SearchContext* ctx) const override;
 
   core::VectorId medoid() const { return medoid_; }
 
  private:
+  /// MD + KS seeding with the given RNG, then Algorithm 1 over `visited`.
+  SearchResult SearchFrom(const float* query, const SearchParams& params,
+                          core::VisitedTable* visited, core::Rng* rng) const;
+
   void RefinePass(core::DistanceComputer& dc, float alpha,
                   const std::vector<core::VectorId>& order);
 

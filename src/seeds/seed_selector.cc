@@ -39,7 +39,8 @@ std::string StrategyName(Strategy strategy) {
 
 std::vector<VectorId> KsRandomSeeds::Select(DistanceComputer& dc,
                                             const float* query,
-                                            std::size_t count) {
+                                            std::size_t count,
+                                            Rng* rng) const {
   (void)dc;
   (void)query;
   GASS_CHECK(n_ > 0);
@@ -47,7 +48,7 @@ std::vector<VectorId> KsRandomSeeds::Select(DistanceComputer& dc,
   std::vector<VectorId> seeds;
   seeds.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    seeds.push_back(static_cast<VectorId>(rng_.UniformInt(n_)));
+    seeds.push_back(static_cast<VectorId>(rng->UniformInt(n_)));
   }
   std::sort(seeds.begin(), seeds.end());
   seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
@@ -72,32 +73,36 @@ std::vector<VectorId> NodePlusNeighbors(VectorId node, const Graph* graph,
 
 std::vector<VectorId> SfFixedSeed::Select(DistanceComputer& dc,
                                           const float* query,
-                                          std::size_t count) {
+                                          std::size_t count, Rng* rng) const {
   (void)dc;
   (void)query;
+  (void)rng;
   return NodePlusNeighbors(fixed_, graph_, std::max<std::size_t>(1, count));
 }
 
 std::vector<VectorId> MedoidSeeds::Select(DistanceComputer& dc,
                                           const float* query,
-                                          std::size_t count) {
+                                          std::size_t count, Rng* rng) const {
   (void)dc;
   (void)query;
+  (void)rng;
   return NodePlusNeighbors(medoid_, graph_, std::max<std::size_t>(1, count));
 }
 
-std::vector<VectorId> KdSeeds::Select(DistanceComputer& dc,
-                                      const float* query, std::size_t count) {
+std::vector<VectorId> KdSeeds::Select(DistanceComputer& dc, const float* query,
+                                      std::size_t count, Rng* rng) const {
   (void)dc;  // Tree traversal compares split planes, not full vectors.
+  (void)rng;
   std::vector<VectorId> seeds =
       forest_->SearchCandidates(*data_, query, std::max<std::size_t>(1, count));
   if (seeds.empty()) seeds.push_back(0);
   return seeds;
 }
 
-std::vector<VectorId> KmSeeds::Select(DistanceComputer& dc,
-                                      const float* query, std::size_t count) {
+std::vector<VectorId> KmSeeds::Select(DistanceComputer& dc, const float* query,
+                                      std::size_t count, Rng* rng) const {
   (void)dc;  // Centroid comparisons are against tree centroids, not data.
+  (void)rng;
   std::vector<VectorId> seeds;
   tree_->SearchCandidates(*data_, query, std::max<std::size_t>(1, count),
                           &seeds);
@@ -106,15 +111,15 @@ std::vector<VectorId> KmSeeds::Select(DistanceComputer& dc,
 }
 
 std::vector<VectorId> LshSeeds::Select(DistanceComputer& dc,
-                                       const float* query,
-                                       std::size_t count) {
+                                       const float* query, std::size_t count,
+                                       Rng* rng) const {
   (void)dc;
   count = std::max<std::size_t>(1, count);
   std::vector<VectorId> seeds = index_->Candidates(query, count);
   // Bucket misses (common for out-of-distribution queries): top up with
   // random warm-up seeds so the beam search always has coverage.
   while (seeds.size() < count && n_ > 0) {
-    seeds.push_back(static_cast<VectorId>(rng_.UniformInt(n_)));
+    seeds.push_back(static_cast<VectorId>(rng->UniformInt(n_)));
   }
   return seeds;
 }
@@ -269,7 +274,9 @@ std::size_t StackedNswLayers::MemoryBytes() const {
 }
 
 std::vector<VectorId> SnSeeds::Select(DistanceComputer& dc,
-                                      const float* query, std::size_t count) {
+                                      const float* query, std::size_t count,
+                                      Rng* rng) const {
+  (void)rng;
   const VectorId node = layers_->Descend(dc, query);
   std::vector<VectorId> seeds{node};
   for (VectorId u : layers_->Layer1Neighbors(node)) {

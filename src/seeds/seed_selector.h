@@ -42,39 +42,62 @@ std::string StrategyName(Strategy strategy);
 /// zero on a non-empty index. Distance computations a selector performs
 /// (e.g. SN's descent) are charged to `dc`, matching how the paper accounts
 /// seed-selection overhead.
+///
+/// Thread-safety: the four-argument Select is const and touches no selector
+/// state — any randomness draws from the caller-supplied RNG — so one
+/// selector instance serves concurrent searches (each thread passing its
+/// own `rng`, see methods::SearchContext). The three-argument overload is
+/// the serial convenience using the selector's internal stream; it is NOT
+/// thread-safe.
 class SeedSelector {
  public:
+  explicit SeedSelector(std::uint64_t serial_seed = 0x5EEDULL)
+      : serial_rng_(serial_seed) {}
   virtual ~SeedSelector() = default;
 
+  /// Thread-safe selection; `rng` must be non-null.
   virtual std::vector<core::VectorId> Select(core::DistanceComputer& dc,
                                              const float* query,
-                                             std::size_t count) = 0;
+                                             std::size_t count,
+                                             core::Rng* rng) const = 0;
+
+  /// Serial convenience drawing from the selector's own stream.
+  std::vector<core::VectorId> Select(core::DistanceComputer& dc,
+                                     const float* query, std::size_t count) {
+    return Select(dc, query, count, &serial_rng_);
+  }
+
   virtual Strategy strategy() const = 0;
   virtual std::size_t MemoryBytes() const { return 0; }
+
+ private:
+  core::Rng serial_rng_;
 };
 
 /// KS: `count` fresh uniform random ids per query.
 class KsRandomSeeds : public SeedSelector {
  public:
-  KsRandomSeeds(std::size_t n, std::uint64_t seed) : n_(n), rng_(seed) {}
+  using SeedSelector::Select;
+  KsRandomSeeds(std::size_t n, std::uint64_t seed)
+      : SeedSelector(seed), n_(n) {}
   std::vector<core::VectorId> Select(core::DistanceComputer& dc,
-                                     const float* query,
-                                     std::size_t count) override;
+                                     const float* query, std::size_t count,
+                                     core::Rng* rng) const override;
   Strategy strategy() const override { return Strategy::kKs; }
 
  private:
   std::size_t n_;
-  core::Rng rng_;
 };
 
 /// SF: one fixed node (chosen once at random) plus its graph neighbors.
 class SfFixedSeed : public SeedSelector {
  public:
+  using SeedSelector::Select;
   SfFixedSeed(core::VectorId fixed, const core::Graph* graph)
       : fixed_(fixed), graph_(graph) {}
   std::vector<core::VectorId> Select(core::DistanceComputer& dc,
-                                     const float* query,
-                                     std::size_t count) override;
+                                     const float* query, std::size_t count,
+                                     core::Rng* rng) const override;
   Strategy strategy() const override { return Strategy::kSf; }
 
  private:
@@ -85,11 +108,12 @@ class SfFixedSeed : public SeedSelector {
 /// MD: the dataset medoid plus its graph neighbors.
 class MedoidSeeds : public SeedSelector {
  public:
+  using SeedSelector::Select;
   MedoidSeeds(core::VectorId medoid, const core::Graph* graph)
       : medoid_(medoid), graph_(graph) {}
   std::vector<core::VectorId> Select(core::DistanceComputer& dc,
-                                     const float* query,
-                                     std::size_t count) override;
+                                     const float* query, std::size_t count,
+                                     core::Rng* rng) const override;
   Strategy strategy() const override { return Strategy::kMd; }
   core::VectorId medoid() const { return medoid_; }
 
@@ -101,12 +125,13 @@ class MedoidSeeds : public SeedSelector {
 /// KD: candidates from a randomized K-D forest.
 class KdSeeds : public SeedSelector {
  public:
+  using SeedSelector::Select;
   KdSeeds(std::shared_ptr<const trees::KdForest> forest,
           const core::Dataset* data)
       : forest_(std::move(forest)), data_(data) {}
   std::vector<core::VectorId> Select(core::DistanceComputer& dc,
-                                     const float* query,
-                                     std::size_t count) override;
+                                     const float* query, std::size_t count,
+                                     core::Rng* rng) const override;
   Strategy strategy() const override { return Strategy::kKd; }
   std::size_t MemoryBytes() const override { return forest_->MemoryBytes(); }
 
@@ -118,12 +143,13 @@ class KdSeeds : public SeedSelector {
 /// KM: candidates from a balanced k-means tree.
 class KmSeeds : public SeedSelector {
  public:
+  using SeedSelector::Select;
   KmSeeds(std::shared_ptr<const trees::BkMeansTree> tree,
           const core::Dataset* data)
       : tree_(std::move(tree)), data_(data) {}
   std::vector<core::VectorId> Select(core::DistanceComputer& dc,
-                                     const float* query,
-                                     std::size_t count) override;
+                                     const float* query, std::size_t count,
+                                     core::Rng* rng) const override;
   Strategy strategy() const override { return Strategy::kKm; }
   std::size_t MemoryBytes() const override { return tree_->MemoryBytes(); }
 
@@ -137,19 +163,19 @@ class KmSeeds : public SeedSelector {
 /// multi-probe fallback of practical LSH seeding).
 class LshSeeds : public SeedSelector {
  public:
+  using SeedSelector::Select;
   LshSeeds(std::shared_ptr<const hash::LshIndex> index, std::size_t n,
            std::uint64_t seed = 0x15ADULL)
-      : index_(std::move(index)), n_(n), rng_(seed) {}
+      : SeedSelector(seed), index_(std::move(index)), n_(n) {}
   std::vector<core::VectorId> Select(core::DistanceComputer& dc,
-                                     const float* query,
-                                     std::size_t count) override;
+                                     const float* query, std::size_t count,
+                                     core::Rng* rng) const override;
   Strategy strategy() const override { return Strategy::kLsh; }
   std::size_t MemoryBytes() const override { return index_->MemoryBytes(); }
 
  private:
   std::shared_ptr<const hash::LshIndex> index_;
   std::size_t n_;
-  core::Rng rng_;
 };
 
 /// The hierarchical NSW layer stack of HNSW (layers 1..top; layer 0 is the
@@ -190,11 +216,12 @@ class StackedNswLayers {
 /// layer-1 neighborhood.
 class SnSeeds : public SeedSelector {
  public:
+  using SeedSelector::Select;
   explicit SnSeeds(std::shared_ptr<const StackedNswLayers> layers)
       : layers_(std::move(layers)) {}
   std::vector<core::VectorId> Select(core::DistanceComputer& dc,
-                                     const float* query,
-                                     std::size_t count) override;
+                                     const float* query, std::size_t count,
+                                     core::Rng* rng) const override;
   Strategy strategy() const override { return Strategy::kSn; }
   std::size_t MemoryBytes() const override { return layers_->MemoryBytes(); }
 

@@ -1,0 +1,78 @@
+#include "serve/executor.h"
+
+#include <atomic>
+
+#include "core/deadline.h"
+#include "core/macros.h"
+
+namespace gass::serve {
+
+QueryExecutor::QueryExecutor(const methods::GraphIndex& index,
+                             const ExecutorOptions& options)
+    : index_(index),
+      options_(options),
+      pool_(options.threads),
+      sessions_(index, options.seed ^ 0xC0417E57ULL) {
+  GASS_CHECK_MSG(index.SupportsConcurrentSearch(),
+                 "%s does not support concurrent search; clone one instance "
+                 "per thread instead (see docs/SERVING.md)",
+                 index.Name().c_str());
+}
+
+BatchResult QueryExecutor::SearchBatch(const float* queries,
+                                       std::size_t num_queries,
+                                       std::size_t dim,
+                                       const methods::SearchParams& params) {
+  BatchResult batch;
+  batch.results.resize(num_queries);
+  if (num_queries == 0) return batch;
+
+  core::Timer timer;
+  const std::size_t workers = pool_.thread_count();
+  std::atomic<std::size_t> next_query{0};
+
+  // Each worker leases one context for its whole run and pulls query
+  // indices from a shared counter — queries are independent, so dynamic
+  // scheduling absorbs latency variance without any per-query dispatch.
+  auto worker = [&]() {
+    SearchSessionPool::Lease lease = sessions_.Acquire();
+    for (;;) {
+      const std::size_t q = next_query.fetch_add(1, std::memory_order_relaxed);
+      if (q >= num_queries) break;
+      // Reseed per query: results depend only on (seed, query index), never
+      // on which worker ran the query or in what order.
+      lease->rng =
+          core::Rng(options_.seed ^ (0x9E3779B97F4A7C15ULL * (q + 1)));
+      methods::SearchParams query_params = params;
+      core::Deadline deadline;  // Unlimited unless a timeout is configured.
+      if (options_.timeout_seconds > 0) {
+        deadline = core::Deadline::After(options_.timeout_seconds);
+        query_params.deadline = &deadline;
+      } else {
+        query_params.deadline = nullptr;
+      }
+      methods::SearchResult result =
+          index_.Search(queries + q * dim, query_params, lease.get());
+      metrics_.RecordQuery(result.stats);
+      batch.results[q] = std::move(result);
+    }
+  };
+
+  std::size_t submitted = 0;
+  for (std::size_t w = 0; w + 1 < workers; ++w) {
+    if (pool_.Submit(worker)) ++submitted;
+  }
+  // The calling thread is the last worker; with submitted == 0 (e.g. the
+  // pool is shutting down) the batch still completes, just serially.
+  worker();
+  pool_.Wait();
+  (void)submitted;
+
+  batch.elapsed_seconds = timer.Seconds();
+  for (const methods::SearchResult& r : batch.results) {
+    batch.expired += r.stats.deadline_expiries;
+  }
+  return batch;
+}
+
+}  // namespace gass::serve

@@ -1,0 +1,82 @@
+// Batched concurrent query execution over one shared, read-only index.
+//
+// The executor owns a core::ThreadPool and a SearchSessionPool; callers
+// hand it a batch of queries and get back one SearchResult per query. Every
+// query runs with an optional deadline: on expiry the underlying beam
+// search returns its best-so-far answers instead of blocking the batch.
+//
+// Determinism: each query's RNG is reseeded from (executor seed, query
+// index), so batch results are identical regardless of thread count or
+// scheduling — executor(1 thread) == executor(8 threads), query by query.
+
+#ifndef GASS_SERVE_EXECUTOR_H_
+#define GASS_SERVE_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "methods/graph_index.h"
+#include "serve/metrics.h"
+#include "serve/search_session.h"
+
+namespace gass::serve {
+
+struct ExecutorOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Per-query time budget in seconds; <= 0 = unlimited.
+  double timeout_seconds = 0.0;
+  /// Base seed for the per-query RNG streams.
+  std::uint64_t seed = 0x5E44E5ULL;
+};
+
+/// Results of one SearchBatch call.
+struct BatchResult {
+  std::vector<methods::SearchResult> results;  ///< One per query, in order.
+  std::uint64_t expired = 0;      ///< Queries cut short by the deadline.
+  double elapsed_seconds = 0.0;   ///< Wall time for the whole batch.
+
+  double Qps() const {
+    return elapsed_seconds > 0
+               ? static_cast<double>(results.size()) / elapsed_seconds
+               : 0.0;
+  }
+};
+
+/// Runs query batches concurrently against one shared index.
+///
+/// The index must be built, support concurrent search, and outlive the
+/// executor. SearchBatch is not re-entrant: one batch at a time per
+/// executor (serving threads live inside the executor, not around it).
+class QueryExecutor {
+ public:
+  QueryExecutor(const methods::GraphIndex& index,
+                const ExecutorOptions& options = {});
+
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  /// Searches `queries[i * dim .. (i+1) * dim)` for i in [0, num_queries),
+  /// all with the same SearchParams (any caller-set params.deadline is
+  /// replaced by the executor's per-query timeout).
+  BatchResult SearchBatch(const float* queries, std::size_t num_queries,
+                          std::size_t dim, const methods::SearchParams& params);
+
+  /// Cumulative metrics across all batches since construction/Reset().
+  const ServeMetrics& metrics() const { return metrics_; }
+  ServeMetrics& metrics() { return metrics_; }
+
+  std::size_t thread_count() const { return pool_.thread_count(); }
+
+ private:
+  const methods::GraphIndex& index_;
+  ExecutorOptions options_;
+  core::ThreadPool pool_;
+  SearchSessionPool sessions_;
+  ServeMetrics metrics_;
+};
+
+}  // namespace gass::serve
+
+#endif  // GASS_SERVE_EXECUTOR_H_

@@ -1,0 +1,90 @@
+#include "serve/metrics.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace gass::serve {
+
+std::size_t LatencyHistogram::BucketIndex(std::uint64_t nanos) {
+  if (nanos < kSub) nanos = kSub;  // Clamp into the first octave.
+  // Normalize the value into [8, 16): the shift count selects the octave,
+  // the three bits below the leading one select the sub-bucket.
+  std::size_t shift = static_cast<std::size_t>(std::bit_width(nanos)) - 4;
+  if (shift >= kShifts) shift = kShifts - 1;
+  const std::uint64_t normalized = nanos >> shift;
+  const std::size_t sub =
+      normalized >= 2 * kSub ? kSub - 1 : static_cast<std::size_t>(normalized - kSub);
+  return shift * kSub + sub;
+}
+
+double LatencyHistogram::BucketMidNanos(std::size_t index) {
+  const std::size_t shift = index / kSub;
+  const std::size_t sub = index % kSub;
+  return (static_cast<double>(kSub + sub) + 0.5) *
+         static_cast<double>(std::uint64_t{1} << shift);
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (seconds < 0) seconds = 0;
+  const auto nanos = static_cast<std::uint64_t>(seconds * 1e9);
+  buckets_[BucketIndex(nanos)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::QuantileSeconds(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the q-quantile sample (1-based, nearest-rank method).
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketMidNanos(i) * 1e-9;
+  }
+  return BucketMidNanos(kBuckets - 1) * 1e-9;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+}
+
+double ServeMetrics::Qps() const {
+  const double elapsed = window_.Seconds();
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(queries()) / elapsed;
+}
+
+std::string ServeMetrics::Dump() const {
+  const core::SearchStats totals = TotalStats();
+  const std::uint64_t n = queries();
+  const double nq = n == 0 ? 1.0 : static_cast<double>(n);
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "queries          %llu\n"
+      "qps              %.1f\n"
+      "latency p50      %.3f ms\n"
+      "latency p95      %.3f ms\n"
+      "latency p99      %.3f ms\n"
+      "dists/query      %.1f\n"
+      "hops/query       %.1f\n"
+      "deadline expiry  %llu\n",
+      static_cast<unsigned long long>(n), Qps(),
+      1e3 * LatencyQuantileSeconds(0.50), 1e3 * LatencyQuantileSeconds(0.95),
+      1e3 * LatencyQuantileSeconds(0.99),
+      static_cast<double>(totals.distance_computations) / nq,
+      static_cast<double>(totals.hops) / nq,
+      static_cast<unsigned long long>(totals.deadline_expiries));
+  return buffer;
+}
+
+void ServeMetrics::Reset() {
+  stats_.Reset();
+  histogram_.Reset();
+  window_.Reset();
+}
+
+}  // namespace gass::serve

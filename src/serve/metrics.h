@@ -1,0 +1,97 @@
+// Serving-side observability: lock-free latency histogram, QPS, and atomic
+// aggregation of per-query SearchStats.
+//
+// Every counter on the record path is a relaxed atomic, so concurrent
+// serving threads never contend on a lock to report a finished query.
+// Readers (quantiles, dumps) see a consistent-enough snapshot for
+// monitoring; exact totals are available once the writers quiesce.
+
+#ifndef GASS_SERVE_METRICS_H_
+#define GASS_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "core/stats.h"
+
+namespace gass::serve {
+
+/// Lock-free, log-bucketed latency histogram (HDR-style, base 2 with 8
+/// sub-buckets per octave → ≤ ~6% relative quantile error).
+///
+/// Record() is wait-free (one relaxed fetch_add). Covers ~8ns to ~18min;
+/// out-of-range samples clamp to the edge buckets.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() { Reset(); }
+
+  void Record(double seconds);
+
+  /// Approximate latency at quantile `q` in [0, 1] (0.5 = median). Returns
+  /// 0 when empty. Not linearizable against concurrent Record()s.
+  double QuantileSeconds(double q) const;
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Not safe concurrently with Record().
+  void Reset();
+
+  // 8 sub-buckets per power-of-two octave over nanoseconds; shift 0 covers
+  // [8ns, 16ns), shift kShifts-1 tops out around 2^43 ns ≈ 2.4 h.
+  static constexpr std::size_t kSub = 8;
+  static constexpr std::size_t kShifts = 40;
+  static constexpr std::size_t kBuckets = kSub * kShifts;
+
+ private:
+  static std::size_t BucketIndex(std::uint64_t nanos);
+  static double BucketMidNanos(std::size_t index);
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Aggregated serving metrics for one executor / one shared index.
+///
+/// RecordQuery() is called once per finished query from any thread; all
+/// other members are read-side. Reset() must not race with RecordQuery().
+class ServeMetrics {
+ public:
+  /// `stats.elapsed_seconds` must hold the query's wall latency.
+  void RecordQuery(const core::SearchStats& stats) {
+    stats_.Add(stats);
+    histogram_.Record(stats.elapsed_seconds);
+  }
+
+  /// Totals across all recorded queries.
+  core::SearchStats TotalStats() const { return stats_.Snapshot(); }
+
+  std::uint64_t queries() const { return stats_.queries(); }
+
+  double LatencyQuantileSeconds(double q) const {
+    return histogram_.QuantileSeconds(q);
+  }
+
+  /// Completed queries per second of wall time since construction or the
+  /// last Reset().
+  double Qps() const;
+
+  /// Human-readable multi-line summary (QPS, p50/p95/p99, per-query costs,
+  /// deadline expiries) for benches and the CLI.
+  std::string Dump() const;
+
+  /// Not safe concurrently with RecordQuery().
+  void Reset();
+
+ private:
+  core::SearchStats::AtomicAccumulator stats_;
+  LatencyHistogram histogram_;
+  core::Timer window_;
+};
+
+}  // namespace gass::serve
+
+#endif  // GASS_SERVE_METRICS_H_

@@ -1,0 +1,38 @@
+#include "serve/search_session.h"
+
+namespace gass::serve {
+
+SearchSessionPool::Lease::~Lease() {
+  if (pool_ != nullptr && ctx_ != nullptr) pool_->Release(std::move(ctx_));
+}
+
+SearchSessionPool::Lease SearchSessionPool::Acquire() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!idle_.empty()) {
+    std::unique_ptr<methods::SearchContext> ctx = std::move(idle_.back());
+    idle_.pop_back();
+    return Lease(this, std::move(ctx));
+  }
+  const std::uint64_t seed = seed_rng_.Next();
+  ++created_;
+  lock.unlock();  // The O(n) context allocation happens outside the lock.
+  return Lease(this, std::make_unique<methods::SearchContext>(
+                         index_->MakeSearchContext(seed)));
+}
+
+void SearchSessionPool::Release(std::unique_ptr<methods::SearchContext> ctx) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.push_back(std::move(ctx));
+}
+
+std::size_t SearchSessionPool::idle_count() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return idle_.size();
+}
+
+std::size_t SearchSessionPool::created_count() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return created_;
+}
+
+}  // namespace gass::serve

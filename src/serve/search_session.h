@@ -1,0 +1,84 @@
+// Pooled per-thread search state for serving a shared, read-only index.
+//
+// A methods::SearchContext is everything one in-flight query mutates (the
+// visited table and a seed RNG). Allocating one per query would cost an
+// O(n) visited-table allocation on the hot path, so the pool recycles
+// contexts: a serving thread leases one for the duration of a query (or a
+// run of queries), and the lease returns it automatically.
+
+#ifndef GASS_SERVE_SEARCH_SESSION_H_
+#define GASS_SERVE_SEARCH_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/rng.h"
+#include "methods/graph_index.h"
+
+namespace gass::serve {
+
+/// Thread-safe pool of SearchContexts for one built index.
+///
+/// Acquire() is O(1) after warm-up (a mutex-guarded free-list pop); the
+/// pool grows on demand, so it never blocks waiting for a context. The
+/// index must outlive the pool; contexts are sized at acquire time, so the
+/// pool must be created after Build().
+class SearchSessionPool {
+ public:
+  explicit SearchSessionPool(const methods::GraphIndex& index,
+                             std::uint64_t seed = 0x5E55105ULL)
+      : index_(&index), seed_rng_(seed) {}
+
+  SearchSessionPool(const SearchSessionPool&) = delete;
+  SearchSessionPool& operator=(const SearchSessionPool&) = delete;
+
+  /// RAII checkout: returns the context to the pool on destruction.
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), ctx_(std::move(other.ctx_)) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
+
+    methods::SearchContext* get() { return ctx_.get(); }
+    methods::SearchContext* operator->() { return ctx_.get(); }
+    methods::SearchContext& operator*() { return *ctx_; }
+
+   private:
+    friend class SearchSessionPool;
+    Lease(SearchSessionPool* pool,
+          std::unique_ptr<methods::SearchContext> ctx)
+        : pool_(pool), ctx_(std::move(ctx)) {}
+
+    SearchSessionPool* pool_;
+    std::unique_ptr<methods::SearchContext> ctx_;
+  };
+
+  /// Leases an idle context, creating one if the pool is dry.
+  Lease Acquire();
+
+  /// Contexts currently idle in the pool (not leased).
+  std::size_t idle_count() const;
+
+  /// Total contexts ever created — the high-water mark of concurrency.
+  std::size_t created_count() const;
+
+ private:
+  void Release(std::unique_ptr<methods::SearchContext> ctx);
+
+  const methods::GraphIndex* index_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<methods::SearchContext>> idle_;
+  core::Rng seed_rng_;    // Guarded by mutex_; forks a seed per context.
+  std::size_t created_ = 0;
+};
+
+}  // namespace gass::serve
+
+#endif  // GASS_SERVE_SEARCH_SESSION_H_

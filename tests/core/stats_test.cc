@@ -1,0 +1,92 @@
+#include "core/stats.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gass::core {
+namespace {
+
+TEST(SearchStatsTest, PlusEqualsSumsAllFields) {
+  SearchStats a;
+  a.distance_computations = 10;
+  a.hops = 3;
+  a.deadline_expiries = 1;
+  a.elapsed_seconds = 0.5;
+  SearchStats b;
+  b.distance_computations = 5;
+  b.hops = 2;
+  b.deadline_expiries = 0;
+  b.elapsed_seconds = 0.25;
+  a += b;
+  EXPECT_EQ(a.distance_computations, 15u);
+  EXPECT_EQ(a.hops, 5u);
+  EXPECT_EQ(a.deadline_expiries, 1u);
+  EXPECT_DOUBLE_EQ(a.elapsed_seconds, 0.75);
+}
+
+TEST(AtomicAccumulatorTest, SingleThreadMatchesPlainSum) {
+  SearchStats::AtomicAccumulator acc;
+  SearchStats expected;
+  for (int i = 1; i <= 100; ++i) {
+    SearchStats s;
+    s.distance_computations = static_cast<std::uint64_t>(i);
+    s.hops = static_cast<std::uint64_t>(2 * i);
+    s.deadline_expiries = i % 7 == 0 ? 1u : 0u;
+    s.elapsed_seconds = 0.001 * i;
+    acc.Add(s);
+    expected += s;
+  }
+  const SearchStats total = acc.Snapshot();
+  EXPECT_EQ(acc.queries(), 100u);
+  EXPECT_EQ(total.distance_computations, expected.distance_computations);
+  EXPECT_EQ(total.hops, expected.hops);
+  EXPECT_EQ(total.deadline_expiries, expected.deadline_expiries);
+  EXPECT_NEAR(total.elapsed_seconds, expected.elapsed_seconds, 1e-6);
+}
+
+TEST(AtomicAccumulatorTest, ConcurrentAddsLoseNothing) {
+  SearchStats::AtomicAccumulator acc;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&acc] {
+      SearchStats s;
+      s.distance_computations = 3;
+      s.hops = 2;
+      s.deadline_expiries = 1;
+      s.elapsed_seconds = 1e-6;
+      for (int i = 0; i < kPerThread; ++i) acc.Add(s);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  constexpr std::uint64_t kQueries = kThreads * kPerThread;
+  const SearchStats total = acc.Snapshot();
+  EXPECT_EQ(acc.queries(), kQueries);
+  EXPECT_EQ(total.distance_computations, 3 * kQueries);
+  EXPECT_EQ(total.hops, 2 * kQueries);
+  EXPECT_EQ(total.deadline_expiries, kQueries);
+  EXPECT_NEAR(total.elapsed_seconds, 1e-6 * static_cast<double>(kQueries),
+              1e-3);
+}
+
+TEST(AtomicAccumulatorTest, ResetZeroesEverything) {
+  SearchStats::AtomicAccumulator acc;
+  SearchStats s;
+  s.distance_computations = 7;
+  s.elapsed_seconds = 0.1;
+  acc.Add(s);
+  acc.Reset();
+  const SearchStats total = acc.Snapshot();
+  EXPECT_EQ(acc.queries(), 0u);
+  EXPECT_EQ(total.distance_computations, 0u);
+  EXPECT_EQ(total.hops, 0u);
+  EXPECT_EQ(total.deadline_expiries, 0u);
+  EXPECT_DOUBLE_EQ(total.elapsed_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace gass::core

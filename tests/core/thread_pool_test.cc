@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -13,10 +14,58 @@ TEST(ThreadPoolTest, RunsSubmittedTasks) {
   ThreadPool pool(2);
   std::atomic<int> counter{0};
   for (int i = 0; i < 50; ++i) {
-    pool.Submit([&counter] { counter.fetch_add(1); });
+    EXPECT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
   }
   pool.Wait();
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownReturnsFalse) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  EXPECT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  pool.Shutdown();
+  // The contract: once shutdown has begun, Submit refuses the task rather
+  // than enqueueing into a dying pool.
+  EXPECT_FALSE(pool.Submit([&counter] { counter.fetch_add(100); }));
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+    }
+    pool.Shutdown();  // Must run all 20 accepted tasks before joining.
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  EXPECT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  pool.Shutdown();
+  pool.Shutdown();  // Second call (and the destructor's third) are no-ops.
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitRacingShutdownNeverLosesAcceptedTasks) {
+  // Hammer Submit from one thread while another shuts the pool down; every
+  // task Submit accepted must run, every refused task must not.
+  std::atomic<int> ran{0};
+  int accepted = 0;
+  ThreadPool pool(2);
+  std::thread submitter([&] {
+    for (int i = 0; i < 10000; ++i) {
+      if (pool.Submit([&ran] { ran.fetch_add(1); })) ++accepted;
+    }
+  });
+  pool.Shutdown();
+  submitter.join();
+  EXPECT_EQ(ran.load(), accepted);
 }
 
 TEST(ThreadPoolTest, WaitWithNoTasksReturns) {

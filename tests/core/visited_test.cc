@@ -55,5 +55,43 @@ TEST(VisitedTableTest, SizeReported) {
   EXPECT_EQ(table.size(), 42u);
 }
 
+TEST(VisitedTableTest, EpochWrapAroundStaysCorrect) {
+  // Regression: at epoch 2^32-1 an unwrapped increment would return to 0,
+  // making every stale stamp from older epochs look "visited". The table
+  // must instead clear its stamps and restart at epoch 1.
+  VisitedTable table(6);
+  table.NewEpoch();
+  table.MarkVisited(2);
+  table.MarkVisited(5);
+
+  table.JumpToEpochForTesting(VisitedTable::kMaxEpoch);
+  table.NewEpoch();
+  EXPECT_EQ(table.epoch(), 1u);
+  for (VectorId v = 0; v < 6; ++v) {
+    EXPECT_FALSE(table.Visited(v)) << "stale stamp leaked through wrap at " << v;
+  }
+  EXPECT_TRUE(table.TryVisit(2));
+  EXPECT_FALSE(table.TryVisit(2));
+}
+
+TEST(VisitedTableTest, EpochsAdvanceNormallyBelowMax) {
+  VisitedTable table(3);
+  const std::uint32_t start = table.epoch();
+  table.NewEpoch();
+  EXPECT_EQ(table.epoch(), start + 1);
+  table.NewEpoch();
+  EXPECT_EQ(table.epoch(), start + 2);
+}
+
+TEST(VisitedTableTest, WrapThenContinueManyEpochs) {
+  VisitedTable table(4);
+  table.JumpToEpochForTesting(VisitedTable::kMaxEpoch - 2);
+  for (int i = 0; i < 10; ++i) {
+    table.NewEpoch();
+    EXPECT_TRUE(table.TryVisit(i % 4));
+    EXPECT_FALSE(table.Visited((i + 1) % 4));
+  }
+}
+
 }  // namespace
 }  // namespace gass::core

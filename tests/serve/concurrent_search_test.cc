@@ -1,0 +1,151 @@
+// Concurrent-search correctness: many threads searching ONE shared index
+// instance through caller-owned SearchContexts must produce exactly the
+// results of a serial run, query for query.
+//
+// Run under ThreadSanitizer (cmake --preset tsan) to verify the const
+// search path is data-race-free.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/ground_truth.h"
+#include "eval/recall.h"
+#include "methods/hnsw_index.h"
+#include "methods/nsg_index.h"
+#include "methods/vamana_index.h"
+#include "synth/generators.h"
+
+namespace gass::methods {
+namespace {
+
+using core::Dataset;
+using core::VectorId;
+
+constexpr std::size_t kThreads = 4;
+
+// One RNG stream per query index, independent of the executing thread.
+std::uint64_t QuerySeed(std::size_t q) {
+  return 0xABCDULL ^ (0x9E3779B97F4A7C15ULL * (q + 1));
+}
+
+std::vector<std::vector<core::Neighbor>> SerialReference(
+    const GraphIndex& index, const Dataset& queries,
+    const SearchParams& params) {
+  std::vector<std::vector<core::Neighbor>> out(queries.size());
+  for (VectorId q = 0; q < queries.size(); ++q) {
+    SearchContext ctx = index.MakeSearchContext(QuerySeed(q));
+    out[q] = index.Search(queries.Row(q), params, &ctx).neighbors;
+  }
+  return out;
+}
+
+std::vector<std::vector<core::Neighbor>> ConcurrentRun(
+    const GraphIndex& index, const Dataset& queries,
+    const SearchParams& params) {
+  std::vector<std::vector<core::Neighbor>> out(queries.size());
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      SearchContext ctx = index.MakeSearchContext(0);
+      for (;;) {
+        const std::size_t q = next.fetch_add(1);
+        if (q >= queries.size()) break;
+        ctx.rng = core::Rng(QuerySeed(q));
+        out[q] = index.Search(queries.Row(q), params, &ctx).neighbors;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  return out;
+}
+
+void ExpectIdentical(const std::vector<std::vector<core::Neighbor>>& a,
+                     const std::vector<std::vector<core::Neighbor>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t q = 0; q < a.size(); ++q) {
+    ASSERT_EQ(a[q].size(), b[q].size()) << "query " << q;
+    for (std::size_t i = 0; i < a[q].size(); ++i) {
+      EXPECT_EQ(a[q][i].id, b[q][i].id) << "query " << q << " rank " << i;
+      EXPECT_EQ(a[q][i].distance, b[q][i].distance)
+          << "query " << q << " rank " << i;
+    }
+  }
+}
+
+// Builds, then checks concurrent == serial and that recall is sane (the
+// shared instance is actually answering, not returning garbage).
+void CheckIndex(GraphIndex& index, std::uint64_t data_seed) {
+  const Dataset data = synth::UniformHypercube(1500, 12, data_seed);
+  const Dataset queries = synth::UniformHypercube(64, 12, data_seed + 1);
+  index.Build(data);
+  ASSERT_TRUE(index.SupportsConcurrentSearch());
+
+  SearchParams params;
+  params.k = 10;
+  params.beam_width = 100;
+  const auto serial = SerialReference(index, queries, params);
+  const auto concurrent = ConcurrentRun(index, queries, params);
+  ExpectIdentical(serial, concurrent);
+
+  const auto truth = eval::BruteForceKnn(data, queries, 10, 1);
+  EXPECT_GE(eval::MeanRecall(concurrent, truth, 10), 0.8);
+}
+
+TEST(ConcurrentSearchTest, HnswSharedInstance) {
+  HnswIndex index(HnswParams{});
+  CheckIndex(index, 101);
+}
+
+TEST(ConcurrentSearchTest, NsgSharedInstance) {
+  NsgIndex index(NsgParams{});
+  CheckIndex(index, 202);
+}
+
+TEST(ConcurrentSearchTest, VamanaSharedInstance) {
+  VamanaIndex index(VamanaParams{});
+  CheckIndex(index, 303);
+}
+
+TEST(ConcurrentSearchTest, HnswContextPathMatchesClassicSerialSearch) {
+  // HNSW's layer descent and base search are fully deterministic, so the
+  // context path must reproduce the two-argument serial Search exactly.
+  const Dataset data = synth::UniformHypercube(1000, 8, 55);
+  const Dataset queries = synth::UniformHypercube(32, 8, 56);
+  HnswIndex index(HnswParams{});
+  index.Build(data);
+
+  SearchParams params;
+  params.k = 10;
+  params.beam_width = 80;
+  SearchContext ctx = index.MakeSearchContext(7);
+  for (VectorId q = 0; q < queries.size(); ++q) {
+    const auto classic = index.Search(queries.Row(q), params);
+    const auto with_ctx = index.Search(queries.Row(q), params, &ctx);
+    ASSERT_EQ(classic.neighbors.size(), with_ctx.neighbors.size());
+    for (std::size_t i = 0; i < classic.neighbors.size(); ++i) {
+      EXPECT_EQ(classic.neighbors[i].id, with_ctx.neighbors[i].id);
+    }
+  }
+}
+
+TEST(ConcurrentSearchTest, RepeatedConcurrentRunsAreDeterministic) {
+  const Dataset data = synth::UniformHypercube(800, 8, 77);
+  const Dataset queries = synth::UniformHypercube(48, 8, 78);
+  NsgIndex index(NsgParams{});
+  index.Build(data);
+
+  SearchParams params;
+  params.k = 5;
+  params.beam_width = 64;
+  const auto first = ConcurrentRun(index, queries, params);
+  const auto second = ConcurrentRun(index, queries, params);
+  ExpectIdentical(first, second);
+}
+
+}  // namespace
+}  // namespace gass::methods

@@ -1,0 +1,118 @@
+#include "serve/metrics.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gass::serve {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyQuantileIsZero) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.QuantileSeconds(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, SingleSampleQuantileNearSample) {
+  LatencyHistogram histogram;
+  histogram.Record(0.001);  // 1 ms
+  EXPECT_EQ(histogram.count(), 1u);
+  // Log-bucketing bounds the relative error to one sub-bucket (~12.5%).
+  EXPECT_NEAR(histogram.QuantileSeconds(0.5), 0.001, 0.001 * 0.15);
+}
+
+TEST(LatencyHistogramTest, QuantilesOrderedOnSpread) {
+  LatencyHistogram histogram;
+  // 90 fast samples at 1ms, 10 slow at 100ms: p50 fast, p99 slow.
+  for (int i = 0; i < 90; ++i) histogram.Record(0.001);
+  for (int i = 0; i < 10; ++i) histogram.Record(0.100);
+  const double p50 = histogram.QuantileSeconds(0.50);
+  const double p95 = histogram.QuantileSeconds(0.95);
+  const double p99 = histogram.QuantileSeconds(0.99);
+  EXPECT_NEAR(p50, 0.001, 0.001 * 0.15);
+  EXPECT_NEAR(p95, 0.100, 0.100 * 0.15);
+  EXPECT_NEAR(p99, 0.100, 0.100 * 0.15);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+}
+
+TEST(LatencyHistogramTest, ExtremeSamplesClampWithoutCrashing) {
+  LatencyHistogram histogram;
+  histogram.Record(0.0);
+  histogram.Record(-1.0);     // Nonsense input clamps to the bottom bucket.
+  histogram.Record(1e9);      // ~31 years clamps to the top bucket.
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_GT(histogram.QuantileSeconds(1.0), histogram.QuantileSeconds(0.0));
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAllCounted) {
+  LatencyHistogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Record(1e-6 * (t + 1));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(histogram.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(LatencyHistogramTest, ResetEmptiesIt) {
+  LatencyHistogram histogram;
+  histogram.Record(0.01);
+  histogram.Reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.QuantileSeconds(0.5), 0.0);
+}
+
+TEST(ServeMetricsTest, AggregatesQueries) {
+  ServeMetrics metrics;
+  core::SearchStats stats;
+  stats.distance_computations = 40;
+  stats.hops = 12;
+  stats.elapsed_seconds = 0.002;
+  metrics.RecordQuery(stats);
+  metrics.RecordQuery(stats);
+  EXPECT_EQ(metrics.queries(), 2u);
+  const core::SearchStats total = metrics.TotalStats();
+  EXPECT_EQ(total.distance_computations, 80u);
+  EXPECT_EQ(total.hops, 24u);
+  EXPECT_NEAR(metrics.LatencyQuantileSeconds(0.5), 0.002, 0.002 * 0.15);
+  EXPECT_GT(metrics.Qps(), 0.0);
+}
+
+TEST(ServeMetricsTest, DumpMentionsKeyFigures) {
+  ServeMetrics metrics;
+  core::SearchStats stats;
+  stats.distance_computations = 10;
+  stats.elapsed_seconds = 0.001;
+  stats.deadline_expiries = 1;
+  metrics.RecordQuery(stats);
+  const std::string dump = metrics.Dump();
+  EXPECT_NE(dump.find("queries"), std::string::npos);
+  EXPECT_NE(dump.find("qps"), std::string::npos);
+  EXPECT_NE(dump.find("p50"), std::string::npos);
+  EXPECT_NE(dump.find("p99"), std::string::npos);
+  EXPECT_NE(dump.find("deadline"), std::string::npos);
+}
+
+TEST(ServeMetricsTest, ResetClearsCountsAndWindow) {
+  ServeMetrics metrics;
+  core::SearchStats stats;
+  stats.elapsed_seconds = 0.001;
+  metrics.RecordQuery(stats);
+  metrics.Reset();
+  EXPECT_EQ(metrics.queries(), 0u);
+  EXPECT_DOUBLE_EQ(metrics.LatencyQuantileSeconds(0.5), 0.0);
+  EXPECT_EQ(metrics.TotalStats().distance_computations, 0u);
+}
+
+}  // namespace
+}  // namespace gass::serve

@@ -8,6 +8,9 @@
 //   gass_cli eval       --method hnsw --base base.fvecs --queries q.fvecs
 //                       [--truth gt.ivecs] [--k 10] [--beams 10,40,160]
 //   gass_cli complexity --base base.fvecs [--k 100] [--sample 100]
+//   gass_cli serve-bench --method hnsw --base base.fvecs --queries q.fvecs
+//                       [--k 10] [--beam 100] [--threads 1,2,4] [--reps 16]
+//                       [--timeout-ms 0]
 //   gass_cli methods
 //
 // All subcommands print human-readable tables to stdout and return nonzero
@@ -25,6 +28,7 @@
 #include "eval/ground_truth.h"
 #include "eval/recall.h"
 #include "methods/factory.h"
+#include "serve/executor.h"
 #include "synth/generators.h"
 #include "synth/workloads.h"
 
@@ -251,6 +255,68 @@ int CmdComplexity(const Flags& flags) {
   return 0;
 }
 
+// Throughput of the concurrent serving path at each thread count: builds
+// once, then drives tiled query batches through serve::QueryExecutor.
+int CmdServeBench(const Flags& flags) {
+  Dataset base, queries;
+  Status status = gass::core::ReadFvecs(flags.Get("base", "base.fvecs"), &base);
+  if (!status.ok()) return Fail(status);
+  status =
+      gass::core::ReadFvecs(flags.Get("queries", "queries.fvecs"), &queries);
+  if (!status.ok()) return Fail(status);
+
+  const std::size_t k = static_cast<std::size_t>(flags.GetInt("k", 10));
+  const std::size_t reps = static_cast<std::size_t>(flags.GetInt("reps", 16));
+  const double timeout_seconds =
+      static_cast<double>(flags.GetInt("timeout-ms", 0)) * 1e-3;
+
+  const std::string method = flags.Get("method", "hnsw");
+  auto index = gass::methods::CreateIndex(
+      method, static_cast<std::uint64_t>(flags.GetInt("seed", 42)));
+  if (!index->SupportsConcurrentSearch()) {
+    std::fprintf(stderr,
+                 "error: %s does not support concurrent search "
+                 "(see docs/SERVING.md)\n",
+                 index->Name().c_str());
+    return 1;
+  }
+  const gass::methods::BuildStats build = index->Build(base);
+  std::printf("%s built over %zu vectors in %.2fs\n\n", index->Name().c_str(),
+              base.size(), build.elapsed_seconds);
+
+  const std::size_t nq = queries.size();
+  const std::size_t dim = queries.dim();
+  std::vector<float> batch(reps * nq * dim);
+  for (std::size_t r = 0; r < reps; ++r) {
+    std::memcpy(batch.data() + r * nq * dim, queries.data(),
+                nq * dim * sizeof(float));
+  }
+
+  gass::methods::SearchParams params;
+  params.k = k;
+  params.beam_width = static_cast<std::size_t>(flags.GetInt("beam", 100));
+  params.num_seeds = 48;
+
+  std::printf("%-8s %-12s %-12s %-12s %-10s\n", "threads", "qps", "p50",
+              "p95", "expired");
+  for (const std::size_t threads : ParseBeams(flags.Get("threads", "1,2,4"))) {
+    gass::serve::ExecutorOptions options;
+    options.threads = threads;
+    options.timeout_seconds = timeout_seconds;
+    gass::serve::QueryExecutor executor(*index, options);
+    executor.SearchBatch(batch.data(), nq, dim, params);  // Warm-up.
+    executor.metrics().Reset();
+    const gass::serve::BatchResult result =
+        executor.SearchBatch(batch.data(), reps * nq, dim, params);
+    std::printf("%-8zu %-12.0f %-12.3f %-12.3f %-10llu\n", threads,
+                result.Qps(),
+                1e3 * executor.metrics().LatencyQuantileSeconds(0.50),
+                1e3 * executor.metrics().LatencyQuantileSeconds(0.95),
+                static_cast<unsigned long long>(result.expired));
+  }
+  return 0;
+}
+
 int CmdMethods() {
   for (const std::string& name : gass::methods::AllMethodNames()) {
     std::printf("%s\n", name.c_str());
@@ -260,7 +326,8 @@ int CmdMethods() {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: gass_cli <gen|gt|build|eval|complexity|methods> "
+               "usage: gass_cli "
+               "<gen|gt|build|eval|complexity|serve-bench|methods> "
                "[--flag value ...]\n"
                "see the header of tools/gass_cli.cc for full flag lists\n");
 }
@@ -280,6 +347,7 @@ int main(int argc, char** argv) {
   if (command == "build") return CmdBuild(flags);
   if (command == "eval") return CmdEval(flags);
   if (command == "complexity") return CmdComplexity(flags);
+  if (command == "serve-bench") return CmdServeBench(flags);
   if (command == "methods") return CmdMethods();
   Usage();
   return 1;
