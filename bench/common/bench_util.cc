@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "eval/recall.h"
+#include "methods/search_params.h"
 #include "synth/generators.h"
 #include "synth/workloads.h"
 
@@ -46,10 +47,8 @@ std::vector<SweepPoint> SweepBeamWidths(methods::GraphIndex& index,
                                         std::size_t num_seeds) {
   std::vector<SweepPoint> curve;
   for (const std::size_t beam : beams) {
-    methods::SearchParams params;
-    params.k = workload.k;
-    params.beam_width = beam;
-    params.num_seeds = num_seeds;
+    const methods::SearchParams params =
+        methods::MakeSearchParams(workload.k, beam, num_seeds);
     SweepPoint point;
     point.beam_width = beam;
     std::vector<std::vector<core::Neighbor>> results;

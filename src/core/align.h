@@ -1,0 +1,55 @@
+// Cache-line-aligned allocation for hot numeric buffers.
+
+#ifndef GASS_CORE_ALIGN_H_
+#define GASS_CORE_ALIGN_H_
+
+#include <cstddef>
+#include <new>
+
+namespace gass::core {
+
+/// One x86/ARM cache line; also the strongest alignment the SIMD kernels
+/// can exploit (a full AVX-512 register load).
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Minimal C++17 allocator handing out `Alignment`-byte-aligned storage.
+/// Used by Dataset so vector rows start on cache-line boundaries whenever
+/// the row stride allows (see Dataset's alignment contract).
+template <typename T, std::size_t Alignment>
+class AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not weaken the type's natural alignment");
+
+ public:
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+}  // namespace gass::core
+
+#endif  // GASS_CORE_ALIGN_H_

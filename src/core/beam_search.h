@@ -36,6 +36,9 @@ inline void ExpandNeighbors(const FlatGraph& graph, VectorId v,
   *out = graph.Neighbors(v, degree);
 }
 
+/// Neighbors evaluated per batched kernel call during expansion.
+inline constexpr std::size_t kExpandBatch = DistanceComputer::kBatchChunk;
+
 }  // namespace internal
 
 /// Runs Algorithm 1 over `graph` (Graph or FlatGraph).
@@ -84,15 +87,31 @@ std::vector<Neighbor> BeamSearch(const GraphT& graph, DistanceComputer& dc,
     pool.MarkExplored(next);
     ++hops;
 
+    // Prefetch-then-batch expansion: gather the unvisited out-neighbors
+    // (prefetching each row as it is claimed), evaluate the chunk with one
+    // batched kernel call, then filter/insert sequentially. The evaluated
+    // set, distance values, count, and insert order are all identical to the
+    // one-at-a-time loop — only the memory/compute overlap changes.
     const VectorId* neighbors = nullptr;
     std::size_t degree = 0;
     internal::ExpandNeighbors(graph, v, &neighbors, &degree);
-    for (std::size_t i = 0; i < degree; ++i) {
-      const VectorId u = neighbors[i];
-      if (!visited->TryVisit(u)) continue;
-      const float d = dc.ToQuery(query, u);
-      if (d >= pool.WorstDistance()) continue;
-      pool.Insert(Neighbor(u, d));
+    VectorId chunk[internal::kExpandBatch];
+    float dist[internal::kExpandBatch];
+    std::size_t i = 0;
+    while (i < degree) {
+      std::size_t m = 0;
+      for (; i < degree && m < internal::kExpandBatch; ++i) {
+        const VectorId u = neighbors[i];
+        if (!visited->TryVisit(u)) continue;
+        dc.Prefetch(u);
+        chunk[m++] = u;
+      }
+      if (m == 0) continue;
+      dc.ToQueryBatch(query, chunk, m, dist);
+      for (std::size_t j = 0; j < m; ++j) {
+        if (dist[j] >= pool.WorstDistance()) continue;
+        pool.Insert(Neighbor(chunk[j], dist[j]));
+      }
     }
   }
 
@@ -132,16 +151,29 @@ std::vector<Neighbor> BeamSearchCollect(const GraphT& graph,
     pool.MarkExplored(next);
     ++hops;
 
+    // Same prefetch-then-batch expansion as BeamSearch; `evaluated` is
+    // appended in chunk order, which equals the original visit order.
     const VectorId* neighbors = nullptr;
     std::size_t degree = 0;
     internal::ExpandNeighbors(graph, v, &neighbors, &degree);
-    for (std::size_t i = 0; i < degree; ++i) {
-      const VectorId u = neighbors[i];
-      if (!visited->TryVisit(u)) continue;
-      const float d = dc.ToQuery(query, u);
-      evaluated->push_back(Neighbor(u, d));
-      if (d >= pool.WorstDistance()) continue;
-      pool.Insert(Neighbor(u, d));
+    VectorId chunk[internal::kExpandBatch];
+    float dist[internal::kExpandBatch];
+    std::size_t i = 0;
+    while (i < degree) {
+      std::size_t m = 0;
+      for (; i < degree && m < internal::kExpandBatch; ++i) {
+        const VectorId u = neighbors[i];
+        if (!visited->TryVisit(u)) continue;
+        dc.Prefetch(u);
+        chunk[m++] = u;
+      }
+      if (m == 0) continue;
+      dc.ToQueryBatch(query, chunk, m, dist);
+      for (std::size_t j = 0; j < m; ++j) {
+        evaluated->push_back(Neighbor(chunk[j], dist[j]));
+        if (dist[j] >= pool.WorstDistance()) continue;
+        pool.Insert(Neighbor(chunk[j], dist[j]));
+      }
     }
   }
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/align.h"
 #include "core/macros.h"
 #include "core/status.h"
 #include "core/types.h"
@@ -17,12 +18,23 @@
 namespace gass::core {
 
 /// A collection of `size()` dense vectors of dimension `dim()`, stored
-/// row-major in one contiguous 64-byte-aligned buffer.
+/// row-major in one contiguous buffer.
+///
+/// Alignment contract: `data()` (and therefore `Row(0)`) is always aligned
+/// to kAlignment (64) bytes, including after move, Clone, Prefix, Select,
+/// Append, and the fvecs/bvecs readers. Rows are packed at a stride of
+/// exactly `dim()` floats, so every row is 64-byte-aligned precisely when
+/// `dim()` is a multiple of 16; for other dimensions only the buffer start
+/// is guaranteed. The SIMD kernels (src/core/simd/) use unaligned loads and
+/// rely on the contract only for cache-line economy, so queries from
+/// arbitrary caller memory remain legal. See docs/PERF.md.
 ///
 /// Dataset is movable but not copyable (copies of multi-GB buffers should be
 /// explicit via Clone()).
 class Dataset {
  public:
+  /// Guaranteed alignment of data(), in bytes.
+  static constexpr std::size_t kAlignment = kCacheLineBytes;
   Dataset() = default;
 
   /// Creates an uninitialized dataset of `n` vectors of dimension `dim`.
@@ -69,7 +81,8 @@ class Dataset {
  private:
   std::size_t n_ = 0;
   std::size_t dim_ = 0;
-  std::vector<float> data_;  // n_ * dim_ floats.
+  /// n_ * dim_ floats, 64-byte-aligned base address.
+  std::vector<float, AlignedAllocator<float, kAlignment>> data_;
 };
 
 /// Reads an fvecs file (per vector: int32 dim then dim float32 values).

@@ -3,6 +3,12 @@
 // All methods in the paper are evaluated under Euclidean distance; we compute
 // squared L2 internally (monotone in L2, saves the sqrt) and expose dot
 // products for the angle tests of MOND diversification.
+//
+// The arithmetic lives in src/core/simd/ behind a dispatch table selected at
+// startup (AVX-512 / AVX2 / NEON / scalar, override with GASS_SIMD_LEVEL);
+// the free functions below are thin forwarders kept so existing callers
+// compile unchanged. Every level returns bit-identical values — see the
+// canonical-order contract in core/simd/simd.h and docs/PERF.md.
 
 #ifndef GASS_CORE_DISTANCE_H_
 #define GASS_CORE_DISTANCE_H_
@@ -11,26 +17,37 @@
 #include <cstdint>
 
 #include "core/dataset.h"
+#include "core/simd/simd.h"
 #include "core/types.h"
 
 namespace gass::core {
 
 /// Squared Euclidean distance between two `dim`-dimensional vectors.
-float L2Sq(const float* a, const float* b, std::size_t dim);
+inline float L2Sq(const float* a, const float* b, std::size_t dim) {
+  return simd::ActiveKernels().l2sq(a, b, dim);
+}
 
 /// Dot product of two `dim`-dimensional vectors.
-float Dot(const float* a, const float* b, std::size_t dim);
+inline float Dot(const float* a, const float* b, std::size_t dim) {
+  return simd::ActiveKernels().dot(a, b, dim);
+}
 
 /// Euclidean norm of a vector.
-float Norm(const float* a, std::size_t dim);
+inline float Norm(const float* a, std::size_t dim) {
+  return simd::ActiveKernels().norm(a, dim);
+}
 
 /// Dataset-bound distance evaluator that counts every distance computation.
 ///
 /// The paper reports distance calculations as its hardware-independent cost
 /// measure (Figs. 5, 6; Table 2); every index build and search in this
 /// library routes distances through a DistanceComputer so those counts are
-/// exact. Not thread-safe: builders give each worker its own computer and
-/// sum the counts afterwards.
+/// exact. The batched entry points below count one computation per row —
+/// `ToQueryBatch(q, ids, n, out)` adds exactly `n`, the same as `n` calls to
+/// `ToQuery`, and returns bit-identical distances, so switching a loop to
+/// the batch form never changes the paper's cost accounting. Not
+/// thread-safe: builders give each worker its own computer and sum the
+/// counts afterwards.
 class DistanceComputer {
  public:
   explicit DistanceComputer(const Dataset& dataset)
@@ -48,6 +65,49 @@ class DistanceComputer {
     return L2Sq(query, dataset_->Row(id), dataset_->dim());
   }
 
+  /// out[i] = squared distance from `query` to row ids[i], for i in [0, n).
+  /// Counts n computations; bit-identical to n ToQuery calls but lets the
+  /// batched kernels amortize query loads across rows.
+  void ToQueryBatch(const float* query, const VectorId* ids, std::size_t n,
+                    float* out) {
+    count_ += n;
+    const simd::DistanceKernels& kernels = simd::ActiveKernels();
+    const std::size_t dim = dataset_->dim();
+    const float* rows[kBatchChunk];
+    std::size_t done = 0;
+    while (done < n) {
+      const std::size_t m = n - done < kBatchChunk ? n - done : kBatchChunk;
+      for (std::size_t j = 0; j < m; ++j) {
+        rows[j] = dataset_->Row(ids[done + j]);
+      }
+      kernels.l2sq_batch(query, rows, m, dim, out + done);
+      done += m;
+    }
+  }
+
+  /// out[i] = squared distance between rows v and ids[i]. Counts n.
+  void BetweenBatch(VectorId v, const VectorId* ids, std::size_t n,
+                    float* out) {
+    ToQueryBatch(dataset_->Row(v), ids, n, out);
+  }
+
+  /// Hints that row `id` will be evaluated shortly. Touches up to
+  /// kPrefetchBytes of the row so neighbor expansion overlaps memory
+  /// latency with compute; a no-op wherever the builtin is unavailable.
+  void Prefetch(VectorId id) const {
+    const char* row = reinterpret_cast<const char*>(dataset_->Row(id));
+    std::size_t bytes = dataset_->dim() * sizeof(float);
+    if (bytes > kPrefetchBytes) bytes = kPrefetchBytes;
+#if defined(__GNUC__) || defined(__clang__)
+    for (std::size_t off = 0; off < bytes; off += kCacheLineBytes) {
+      __builtin_prefetch(row + off, /*rw=*/0, /*locality=*/3);
+    }
+#else
+    (void)row;
+    (void)bytes;
+#endif
+  }
+
   /// Number of distance computations performed so far.
   std::uint64_t count() const { return count_; }
   void ResetCount() { count_ = 0; }
@@ -55,6 +115,12 @@ class DistanceComputer {
 
   const Dataset& dataset() const { return *dataset_; }
   std::size_t dim() const { return dataset_->dim(); }
+
+  /// Rows handed to the batch kernel per call; batch entry points accept any
+  /// n and chunk internally.
+  static constexpr std::size_t kBatchChunk = 32;
+  /// Per-row prefetch cap (8 cache lines = a full 128-dim float row).
+  static constexpr std::size_t kPrefetchBytes = 512;
 
  private:
   const Dataset* dataset_;

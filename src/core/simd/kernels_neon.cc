@@ -1,0 +1,115 @@
+// NEON (AArch64) kernels in the canonical 16-lane order (see simd.h): four
+// 4-lane accumulators covering lanes 0-15, explicit vmul+vadd (no fused
+// multiply-add; the TU is compiled with -ffp-contract=off), with the tail
+// and reduction done on spilled lanes in exactly the scalar schedule.
+// AArch64 NEON arithmetic is fully IEEE-754 compliant, so the bit-identity
+// contract holds. Empty TU on other architectures.
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "core/simd/simd.h"
+
+namespace gass::core::simd::internal {
+
+namespace {
+
+// Canonical tail + reduction over the 16 spilled accumulator lanes.
+inline float FinishL2(float* acc, const float* a, const float* b,
+                      std::size_t rem) {
+  for (std::size_t l = 0; l < rem; ++l) {
+    const float d = a[l] - b[l];
+    acc[l] = acc[l] + d * d;
+  }
+  float s8[8];
+  for (int l = 0; l < 8; ++l) s8[l] = acc[l] + acc[l + 8];
+  float s4[4];
+  for (int l = 0; l < 4; ++l) s4[l] = s8[l] + s8[l + 4];
+  return (s4[0] + s4[2]) + (s4[1] + s4[3]);
+}
+
+inline float FinishDot(float* acc, const float* a, const float* b,
+                       std::size_t rem) {
+  for (std::size_t l = 0; l < rem; ++l) {
+    acc[l] = acc[l] + a[l] * b[l];
+  }
+  float s8[8];
+  for (int l = 0; l < 8; ++l) s8[l] = acc[l] + acc[l + 8];
+  float s4[4];
+  for (int l = 0; l < 4; ++l) s4[l] = s8[l] + s8[l + 4];
+  return (s4[0] + s4[2]) + (s4[1] + s4[3]);
+}
+
+}  // namespace
+
+float NeonL2Sq(const float* a, const float* b, std::size_t dim) {
+  float32x4_t acc0 = vdupq_n_f32(0.0f);
+  float32x4_t acc1 = vdupq_n_f32(0.0f);
+  float32x4_t acc2 = vdupq_n_f32(0.0f);
+  float32x4_t acc3 = vdupq_n_f32(0.0f);
+  std::size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const float32x4_t d0 = vsubq_f32(vld1q_f32(a + i), vld1q_f32(b + i));
+    const float32x4_t d1 =
+        vsubq_f32(vld1q_f32(a + i + 4), vld1q_f32(b + i + 4));
+    const float32x4_t d2 =
+        vsubq_f32(vld1q_f32(a + i + 8), vld1q_f32(b + i + 8));
+    const float32x4_t d3 =
+        vsubq_f32(vld1q_f32(a + i + 12), vld1q_f32(b + i + 12));
+    acc0 = vaddq_f32(acc0, vmulq_f32(d0, d0));
+    acc1 = vaddq_f32(acc1, vmulq_f32(d1, d1));
+    acc2 = vaddq_f32(acc2, vmulq_f32(d2, d2));
+    acc3 = vaddq_f32(acc3, vmulq_f32(d3, d3));
+  }
+  float lanes[16];
+  vst1q_f32(lanes, acc0);
+  vst1q_f32(lanes + 4, acc1);
+  vst1q_f32(lanes + 8, acc2);
+  vst1q_f32(lanes + 12, acc3);
+  return FinishL2(lanes, a + i, b + i, dim - i);
+}
+
+float NeonDot(const float* a, const float* b, std::size_t dim) {
+  float32x4_t acc0 = vdupq_n_f32(0.0f);
+  float32x4_t acc1 = vdupq_n_f32(0.0f);
+  float32x4_t acc2 = vdupq_n_f32(0.0f);
+  float32x4_t acc3 = vdupq_n_f32(0.0f);
+  std::size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    acc0 = vaddq_f32(acc0, vmulq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+    acc1 = vaddq_f32(acc1,
+                     vmulq_f32(vld1q_f32(a + i + 4), vld1q_f32(b + i + 4)));
+    acc2 = vaddq_f32(acc2,
+                     vmulq_f32(vld1q_f32(a + i + 8), vld1q_f32(b + i + 8)));
+    acc3 = vaddq_f32(acc3,
+                     vmulq_f32(vld1q_f32(a + i + 12), vld1q_f32(b + i + 12)));
+  }
+  float lanes[16];
+  vst1q_f32(lanes, acc0);
+  vst1q_f32(lanes + 4, acc1);
+  vst1q_f32(lanes + 8, acc2);
+  vst1q_f32(lanes + 12, acc3);
+  return FinishDot(lanes, a + i, b + i, dim - i);
+}
+
+float NeonNorm(const float* a, std::size_t dim) {
+  return std::sqrt(NeonDot(a, a, dim));
+}
+
+void NeonL2SqBatch(const float* query, const float* const* rows,
+                   std::size_t n, std::size_t dim, float* out) {
+  for (std::size_t r = 0; r < n; ++r) out[r] = NeonL2Sq(query, rows[r], dim);
+}
+
+void NeonDotBatch(const float* query, const float* const* rows, std::size_t n,
+                  std::size_t dim, float* out) {
+  for (std::size_t r = 0; r < n; ++r) out[r] = NeonDot(query, rows[r], dim);
+}
+
+}  // namespace gass::core::simd::internal
+
+#endif  // defined(__aarch64__) && defined(__ARM_NEON)

@@ -1,0 +1,78 @@
+// Scalar reference kernels in the canonical 16-lane order (see simd.h).
+//
+// This translation unit is the portable reference the vector kernels are
+// tested against, so src/CMakeLists.txt compiles it with auto-vectorization
+// and floating-point contraction disabled: the loops below must stay plain
+// scalar multiplies and adds for "GASS_SIMD_LEVEL=scalar" to mean what it
+// says (and for the bit-identity contract to hold on compilers that would
+// otherwise emit FMAs).
+
+#include <cmath>
+#include <cstddef>
+
+#include "core/simd/simd.h"
+
+namespace gass::core::simd::internal {
+
+namespace {
+
+constexpr std::size_t kLanes = 16;
+
+// The canonical reduction: lanes 16 -> 8 -> 4 -> 2 -> 1, pairwise.
+inline float ReduceLanes(const float* acc) {
+  float s8[8];
+  for (int l = 0; l < 8; ++l) s8[l] = acc[l] + acc[l + 8];
+  float s4[4];
+  for (int l = 0; l < 4; ++l) s4[l] = s8[l] + s8[l + 4];
+  const float s2_0 = s4[0] + s4[2];
+  const float s2_1 = s4[1] + s4[3];
+  return s2_0 + s2_1;
+}
+
+}  // namespace
+
+float ScalarL2Sq(const float* a, const float* b, std::size_t dim) {
+  float acc[kLanes] = {};
+  std::size_t i = 0;
+  for (; i + kLanes <= dim; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const float d = a[i + l] - b[i + l];
+      acc[l] = acc[l] + d * d;
+    }
+  }
+  for (std::size_t l = 0; i < dim; ++i, ++l) {
+    const float d = a[i] - b[i];
+    acc[l] = acc[l] + d * d;
+  }
+  return ReduceLanes(acc);
+}
+
+float ScalarDot(const float* a, const float* b, std::size_t dim) {
+  float acc[kLanes] = {};
+  std::size_t i = 0;
+  for (; i + kLanes <= dim; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      acc[l] = acc[l] + a[i + l] * b[i + l];
+    }
+  }
+  for (std::size_t l = 0; i < dim; ++i, ++l) {
+    acc[l] = acc[l] + a[i] * b[i];
+  }
+  return ReduceLanes(acc);
+}
+
+float ScalarNorm(const float* a, std::size_t dim) {
+  return std::sqrt(ScalarDot(a, a, dim));
+}
+
+void ScalarL2SqBatch(const float* query, const float* const* rows,
+                     std::size_t n, std::size_t dim, float* out) {
+  for (std::size_t r = 0; r < n; ++r) out[r] = ScalarL2Sq(query, rows[r], dim);
+}
+
+void ScalarDotBatch(const float* query, const float* const* rows,
+                    std::size_t n, std::size_t dim, float* out) {
+  for (std::size_t r = 0; r < n; ++r) out[r] = ScalarDot(query, rows[r], dim);
+}
+
+}  // namespace gass::core::simd::internal

@@ -1,0 +1,180 @@
+// Runtime CPU-feature detection and the kernel dispatch tables.
+//
+// Which kernel sets exist in this binary is decided at build time
+// (GASS_SIMD_HAVE_AVX2 / _AVX512 / _NEON, set by src/CMakeLists.txt when the
+// toolchain accepts the matching -m flags); which of those actually runs is
+// decided here, once, at first use — from the CPU's feature bits, overridden
+// by the GASS_SIMD_LEVEL environment variable.
+
+#include "core/simd/simd.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/macros.h"
+
+namespace gass::core::simd {
+
+namespace {
+
+const DistanceKernels kScalarKernels = {
+    internal::ScalarL2Sq, internal::ScalarDot, internal::ScalarNorm,
+    internal::ScalarL2SqBatch, internal::ScalarDotBatch};
+
+#if defined(GASS_SIMD_HAVE_AVX2)
+const DistanceKernels kAvx2Kernels = {
+    internal::Avx2L2Sq, internal::Avx2Dot, internal::Avx2Norm,
+    internal::Avx2L2SqBatch, internal::Avx2DotBatch};
+#endif
+
+#if defined(GASS_SIMD_HAVE_AVX512)
+const DistanceKernels kAvx512Kernels = {
+    internal::Avx512L2Sq, internal::Avx512Dot, internal::Avx512Norm,
+    internal::Avx512L2SqBatch, internal::Avx512DotBatch};
+#endif
+
+#if defined(GASS_SIMD_HAVE_NEON)
+const DistanceKernels kNeonKernels = {
+    internal::NeonL2Sq, internal::NeonDot, internal::NeonNorm,
+    internal::NeonL2SqBatch, internal::NeonDotBatch};
+#endif
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kNeon:
+      return "neon";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool ParseSimdLevel(const char* text, SimdLevel* out) {
+  if (text == nullptr) return false;
+  if (std::strcmp(text, "scalar") == 0) {
+    *out = SimdLevel::kScalar;
+  } else if (std::strcmp(text, "neon") == 0) {
+    *out = SimdLevel::kNeon;
+  } else if (std::strcmp(text, "avx2") == 0) {
+    *out = SimdLevel::kAvx2;
+  } else if (std::strcmp(text, "avx512") == 0) {
+    *out = SimdLevel::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+SimdLevel DetectedSimdLevel() {
+#if defined(GASS_SIMD_HAVE_AVX512)
+  if (__builtin_cpu_supports("avx512f")) return SimdLevel::kAvx512;
+#endif
+#if defined(GASS_SIMD_HAVE_AVX2)
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+#if defined(GASS_SIMD_HAVE_NEON)
+  return SimdLevel::kNeon;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+bool IsSupported(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kNeon:
+#if defined(GASS_SIMD_HAVE_NEON)
+      return true;
+#else
+      return false;
+#endif
+    case SimdLevel::kAvx2:
+#if defined(GASS_SIMD_HAVE_AVX2)
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case SimdLevel::kAvx512:
+#if defined(GASS_SIMD_HAVE_AVX512)
+      return __builtin_cpu_supports("avx512f");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+std::vector<SimdLevel> SupportedSimdLevels() {
+  std::vector<SimdLevel> levels;
+  for (SimdLevel level : {SimdLevel::kScalar, SimdLevel::kNeon,
+                          SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    if (IsSupported(level)) levels.push_back(level);
+  }
+  return levels;
+}
+
+const DistanceKernels& KernelsFor(SimdLevel level) {
+  GASS_CHECK_MSG(IsSupported(level), "SIMD level '%s' is not supported here",
+                 SimdLevelName(level));
+  switch (level) {
+#if defined(GASS_SIMD_HAVE_NEON)
+    case SimdLevel::kNeon:
+      return kNeonKernels;
+#endif
+#if defined(GASS_SIMD_HAVE_AVX2)
+    case SimdLevel::kAvx2:
+      return kAvx2Kernels;
+#endif
+#if defined(GASS_SIMD_HAVE_AVX512)
+    case SimdLevel::kAvx512:
+      return kAvx512Kernels;
+#endif
+    default:
+      return kScalarKernels;
+  }
+}
+
+SimdLevel ResolveSimdLevel(const char* override_text) {
+  const SimdLevel detected = DetectedSimdLevel();
+  if (override_text == nullptr || *override_text == '\0' ||
+      std::strcmp(override_text, "auto") == 0) {
+    return detected;
+  }
+  SimdLevel requested;
+  if (!ParseSimdLevel(override_text, &requested)) {
+    std::fprintf(stderr,
+                 "GASS_SIMD_LEVEL='%s' is not a level "
+                 "(scalar|neon|avx2|avx512|auto); using '%s'\n",
+                 override_text, SimdLevelName(detected));
+    return detected;
+  }
+  if (!IsSupported(requested)) {
+    std::fprintf(stderr,
+                 "GASS_SIMD_LEVEL='%s' is not supported on this "
+                 "build/CPU; using '%s'\n",
+                 override_text, SimdLevelName(detected));
+    return detected;
+  }
+  return requested;
+}
+
+SimdLevel ActiveSimdLevel() {
+  static const SimdLevel level =
+      ResolveSimdLevel(std::getenv("GASS_SIMD_LEVEL"));
+  return level;
+}
+
+const DistanceKernels& ActiveKernels() {
+  static const DistanceKernels& kernels = KernelsFor(ActiveSimdLevel());
+  return kernels;
+}
+
+}  // namespace gass::core::simd

@@ -1,0 +1,142 @@
+// SIMD distance-kernel subsystem: explicit AVX-512 / AVX2 / NEON / scalar
+// implementations of the core kernels (L2Sq, Dot, Norm, plus batched
+// variants) behind one dispatch table chosen once at startup from runtime
+// CPU-feature detection, overridable with the GASS_SIMD_LEVEL environment
+// variable ("scalar", "neon", "avx2", "avx512", or "auto").
+//
+// Numerical contract — the canonical lane order
+// ---------------------------------------------
+// Every implementation, at every level, computes bit-identical results by
+// following one fixed accumulation schedule ("the canonical order"):
+//
+//   * 16 virtual accumulator lanes; element i of the input contributes to
+//     lane i mod 16 while full 16-element blocks last.
+//   * The final r = dim mod 16 tail elements go to lanes 0..r-1 (one per
+//     lane, in order); the remaining lanes are left untouched.
+//   * Per element the update is  acc = acc + (x * y)  — an IEEE multiply
+//     followed by an IEEE add, never a fused multiply-add (the kernel
+//     translation units are compiled with -ffp-contract=off).
+//   * Reduction: s8[l] = acc[l] + acc[l+8];  s4[l] = s8[l] + s8[l+4];
+//     s2[l] = s4[l] + s4[l+2];  result = s2[0] + s2[1].
+//
+// Because IEEE-754 operations are deterministic, a fixed schedule makes the
+// scalar reference and all vector kernels agree to the last bit, so index
+// builds, searches, and the paper's distance-computation counts are
+// reproducible across SIMD levels (see docs/PERF.md). The batched kernels
+// evaluate each row with exactly the single-vector schedule, so batch and
+// loop evaluation also agree bitwise.
+
+#ifndef GASS_CORE_SIMD_SIMD_H_
+#define GASS_CORE_SIMD_SIMD_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace gass::core::simd {
+
+/// Kernel instruction tiers, ordered weakest to strongest. kNeon is only
+/// supported on AArch64; kAvx2/kAvx512 only on x86-64 CPUs (and builds)
+/// with the matching features.
+enum class SimdLevel : int {
+  kScalar = 0,
+  kNeon = 1,
+  kAvx2 = 2,
+  kAvx512 = 3,
+};
+
+/// The dispatch table: one function pointer per kernel. All pointers are
+/// always non-null.
+struct DistanceKernels {
+  /// Squared Euclidean distance between two `dim`-dimensional vectors.
+  float (*l2sq)(const float* a, const float* b, std::size_t dim);
+  /// Dot product of two `dim`-dimensional vectors.
+  float (*dot)(const float* a, const float* b, std::size_t dim);
+  /// Euclidean norm of a vector.
+  float (*norm)(const float* a, std::size_t dim);
+  /// out[i] = L2Sq(query, rows[i]) for i in [0, n); bit-identical to the
+  /// corresponding l2sq calls but amortizes query loads across rows.
+  void (*l2sq_batch)(const float* query, const float* const* rows,
+                     std::size_t n, std::size_t dim, float* out);
+  /// out[i] = Dot(query, rows[i]) for i in [0, n).
+  void (*dot_batch)(const float* query, const float* const* rows,
+                    std::size_t n, std::size_t dim, float* out);
+};
+
+/// Human-readable lower-case level name ("scalar", "neon", ...).
+const char* SimdLevelName(SimdLevel level);
+
+/// Parses a level name (case-sensitive, lower-case). Returns false and
+/// leaves `*out` untouched for unknown names (including "auto").
+bool ParseSimdLevel(const char* text, SimdLevel* out);
+
+/// Strongest level this binary AND this CPU support. Never higher than what
+/// the build enabled (a binary compiled without AVX-512 kernels reports at
+/// most kAvx2 even on an AVX-512 machine).
+SimdLevel DetectedSimdLevel();
+
+/// Whether `level` is runnable here (compiled in and CPU-supported).
+bool IsSupported(SimdLevel level);
+
+/// Every runnable level, weakest first. Always contains kScalar.
+std::vector<SimdLevel> SupportedSimdLevels();
+
+/// The kernel table for a specific level. Aborts if unsupported — guard
+/// with IsSupported() when probing.
+const DistanceKernels& KernelsFor(SimdLevel level);
+
+/// Resolves the level to run at given an override string (the value of
+/// GASS_SIMD_LEVEL): null/empty/"auto" → DetectedSimdLevel(); a valid,
+/// supported level name → that level; anything else → a warning on stderr
+/// and DetectedSimdLevel(). Pure — exposed separately from ActiveSimdLevel
+/// so the policy is testable without mutating the environment.
+SimdLevel ResolveSimdLevel(const char* override_text);
+
+/// The process-wide level: ResolveSimdLevel(getenv("GASS_SIMD_LEVEL")),
+/// computed once on first use and fixed thereafter.
+SimdLevel ActiveSimdLevel();
+
+/// The process-wide kernel table, KernelsFor(ActiveSimdLevel()).
+const DistanceKernels& ActiveKernels();
+
+namespace internal {
+
+// Per-level entry points, defined in kernels_<level>.cc. The scalar set is
+// always compiled; the others only when the toolchain/arch provides the
+// instruction set (see GASS_SIMD_HAVE_* in src/CMakeLists.txt).
+float ScalarL2Sq(const float* a, const float* b, std::size_t dim);
+float ScalarDot(const float* a, const float* b, std::size_t dim);
+float ScalarNorm(const float* a, std::size_t dim);
+void ScalarL2SqBatch(const float* query, const float* const* rows,
+                     std::size_t n, std::size_t dim, float* out);
+void ScalarDotBatch(const float* query, const float* const* rows,
+                    std::size_t n, std::size_t dim, float* out);
+
+float Avx2L2Sq(const float* a, const float* b, std::size_t dim);
+float Avx2Dot(const float* a, const float* b, std::size_t dim);
+float Avx2Norm(const float* a, std::size_t dim);
+void Avx2L2SqBatch(const float* query, const float* const* rows,
+                   std::size_t n, std::size_t dim, float* out);
+void Avx2DotBatch(const float* query, const float* const* rows,
+                  std::size_t n, std::size_t dim, float* out);
+
+float Avx512L2Sq(const float* a, const float* b, std::size_t dim);
+float Avx512Dot(const float* a, const float* b, std::size_t dim);
+float Avx512Norm(const float* a, std::size_t dim);
+void Avx512L2SqBatch(const float* query, const float* const* rows,
+                     std::size_t n, std::size_t dim, float* out);
+void Avx512DotBatch(const float* query, const float* const* rows,
+                    std::size_t n, std::size_t dim, float* out);
+
+float NeonL2Sq(const float* a, const float* b, std::size_t dim);
+float NeonDot(const float* a, const float* b, std::size_t dim);
+float NeonNorm(const float* a, std::size_t dim);
+void NeonL2SqBatch(const float* query, const float* const* rows,
+                   std::size_t n, std::size_t dim, float* out);
+void NeonDotBatch(const float* query, const float* const* rows,
+                  std::size_t n, std::size_t dim, float* out);
+
+}  // namespace internal
+
+}  // namespace gass::core::simd
+
+#endif  // GASS_CORE_SIMD_SIMD_H_

@@ -129,7 +129,32 @@ Graph NnDescent(DistanceComputer& dc, const NnDescentParams& params,
     }
 
     // Local join: (new ∪ reverse_new) × (new ∪ old ∪ reverse_old).
+    // Pairs with a fixed are evaluated through the batched kernels
+    // (prefetch, one kernel call per chunk, then the pool inserts in the
+    // original pair order — counts and updates unchanged).
     std::uint64_t updates = 0;
+    constexpr std::size_t kChunk = core::DistanceComputer::kBatchChunk;
+    VectorId chunk[kChunk];
+    float dist[kChunk];
+    const auto join_against = [&](VectorId a, const VectorId* bs,
+                                  std::size_t count) {
+      std::size_t i = 0;
+      while (i < count) {
+        std::size_t m = 0;
+        for (; i < count && m < kChunk; ++i) {
+          const VectorId b = bs[i];
+          if (a == b) continue;
+          dc.Prefetch(b);
+          chunk[m++] = b;
+        }
+        if (m == 0) continue;
+        dc.BetweenBatch(a, chunk, m, dist);
+        for (std::size_t j = 0; j < m; ++j) {
+          updates += pools[a].Insert(chunk[j], dist[j]) ? 1 : 0;
+          updates += pools[chunk[j]].Insert(a, dist[j]) ? 1 : 0;
+        }
+      }
+    };
     std::vector<VectorId> join_new, join_old;
     for (VectorId v = 0; v < n; ++v) {
       join_new = new_lists[v];
@@ -149,20 +174,9 @@ Graph NnDescent(DistanceComputer& dc, const NnDescentParams& params,
       for (std::size_t i = 0; i < join_new.size(); ++i) {
         const VectorId a = join_new[i];
         // new × new (unordered pairs).
-        for (std::size_t j = i + 1; j < join_new.size(); ++j) {
-          const VectorId b = join_new[j];
-          if (a == b) continue;
-          const float d = dc.Between(a, b);
-          updates += pools[a].Insert(b, d) ? 1 : 0;
-          updates += pools[b].Insert(a, d) ? 1 : 0;
-        }
+        join_against(a, join_new.data() + i + 1, join_new.size() - i - 1);
         // new × old.
-        for (VectorId b : join_old) {
-          if (a == b) continue;
-          const float d = dc.Between(a, b);
-          updates += pools[a].Insert(b, d) ? 1 : 0;
-          updates += pools[b].Insert(a, d) ? 1 : 0;
-        }
+        join_against(a, join_old.data(), join_old.size());
       }
     }
 

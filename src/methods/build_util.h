@@ -13,6 +13,27 @@
 
 namespace gass::methods {
 
+/// Appends (u, dc.Between(v, u)) for every u in [ids, ids + n) to `scored`,
+/// evaluating distances through the batched kernels with rows prefetched
+/// ahead of the compute. Same count and bit-identical distances as the
+/// per-neighbor loop it replaces.
+inline void AppendScored(core::DistanceComputer& dc, core::VectorId v,
+                         const core::VectorId* ids, std::size_t n,
+                         std::vector<core::Neighbor>* scored) {
+  constexpr std::size_t kChunk = core::DistanceComputer::kBatchChunk;
+  float dist[kChunk];
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t m = n - done < kChunk ? n - done : kChunk;
+    for (std::size_t j = 0; j < m; ++j) dc.Prefetch(ids[done + j]);
+    dc.BetweenBatch(v, ids + done, m, dist);
+    for (std::size_t j = 0; j < m; ++j) {
+      scored->emplace_back(ids[done + j], dist[j]);
+    }
+    done += m;
+  }
+}
+
 /// Installs `kept` as v's neighbor list and adds the reverse edge to each
 /// kept neighbor; a reverse list that overflows `prune.max_degree` is
 /// re-pruned with the same ND strategy (the standard II/Vamana overflow
@@ -33,9 +54,7 @@ inline void InstallBidirectional(core::DistanceComputer& dc,
     if (back.size() > prune.max_degree) {
       std::vector<core::Neighbor> candidates;
       candidates.reserve(back.size());
-      for (core::VectorId u : back) {
-        candidates.emplace_back(u, dc.Between(nb.id, u));
-      }
+      AppendScored(dc, nb.id, back.data(), back.size(), &candidates);
       std::sort(candidates.begin(), candidates.end());
       const std::vector<core::Neighbor> re_kept =
           diversify::Diversify(dc, nb.id, candidates, prune, stats);
@@ -54,7 +73,7 @@ inline void CapDegrees(core::DistanceComputer& dc, core::Graph* graph,
     if (list.size() <= max_degree) continue;
     std::vector<core::Neighbor> scored;
     scored.reserve(list.size());
-    for (core::VectorId u : list) scored.emplace_back(u, dc.Between(v, u));
+    AppendScored(dc, v, list.data(), list.size(), &scored);
     std::sort(scored.begin(), scored.end());
     list.clear();
     for (std::size_t i = 0; i < max_degree; ++i) list.push_back(scored[i].id);

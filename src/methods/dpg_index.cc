@@ -4,6 +4,7 @@
 
 #include "core/macros.h"
 #include "diversify/diversify.h"
+#include "methods/build_util.h"
 
 namespace gass::methods {
 
@@ -28,10 +29,9 @@ BuildStats DpgIndex::Build(const core::Dataset& data) {
   graph_ = Graph(data.size());
   for (VectorId v = 0; v < data.size(); ++v) {
     std::vector<Neighbor> candidates;
-    candidates.reserve(base.Neighbors(v).size());
-    for (VectorId u : base.Neighbors(v)) {
-      candidates.emplace_back(u, dc.Between(v, u));
-    }
+    const auto& base_list = base.Neighbors(v);
+    candidates.reserve(base_list.size());
+    AppendScored(dc, v, base_list.data(), base_list.size(), &candidates);
     std::sort(candidates.begin(), candidates.end());
     const std::vector<Neighbor> kept =
         diversify::Diversify(dc, v, candidates, prune);

@@ -5,6 +5,7 @@
 #include "core/macros.h"
 #include "core/rng.h"
 #include "diversify/diversify.h"
+#include "methods/build_util.h"
 
 namespace gass::methods {
 
@@ -29,10 +30,9 @@ BuildStats FanngIndex::Build(const core::Dataset& data) {
   graph_ = Graph(data.size());
   for (VectorId v = 0; v < data.size(); ++v) {
     std::vector<Neighbor> candidates;
-    candidates.reserve(base.Neighbors(v).size());
-    for (VectorId u : base.Neighbors(v)) {
-      candidates.emplace_back(u, dc.Between(v, u));
-    }
+    const auto& base_list = base.Neighbors(v);
+    candidates.reserve(base_list.size());
+    AppendScored(dc, v, base_list.data(), base_list.size(), &candidates);
     std::sort(candidates.begin(), candidates.end());
     const std::vector<Neighbor> kept =
         diversify::Diversify(dc, v, candidates, prune);
@@ -77,9 +77,7 @@ BuildStats FanngIndex::Build(const core::Dataset& data) {
         if (list.size() > params_.max_degree) {
           std::vector<Neighbor> candidates;
           candidates.reserve(list.size());
-          for (VectorId u : list) {
-            candidates.emplace_back(u, dc.Between(current, u));
-          }
+          AppendScored(dc, current, list.data(), list.size(), &candidates);
           std::sort(candidates.begin(), candidates.end());
           const std::vector<Neighbor> kept =
               diversify::Diversify(dc, current, candidates, prune);

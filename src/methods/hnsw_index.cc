@@ -27,12 +27,24 @@ core::VectorId HnswIndex::DescendToLayer(DistanceComputer& dc,
     bool improved = true;
     while (improved) {
       improved = false;
-      for (VectorId u : layers_[l].Neighbors(current)) {
-        const float d = dc.ToQuery(query, u);
-        if (d < current_dist) {
-          current_dist = d;
-          current = u;
-          improved = true;
+      // Prefetch-then-batch over the full neighbor list of the node we
+      // started this sweep from; the sequential scan below makes the greedy
+      // step (and the distance count) identical to the one-at-a-time loop.
+      const auto& list = layers_[l].Neighbors(current);
+      const VectorId* ids = list.data();
+      const std::size_t degree = list.size();
+      constexpr std::size_t kChunk = DistanceComputer::kBatchChunk;
+      float dist[kChunk];
+      for (std::size_t i = 0; i < degree; i += kChunk) {
+        const std::size_t m = std::min(kChunk, degree - i);
+        for (std::size_t j = 0; j < m; ++j) dc.Prefetch(ids[i + j]);
+        dc.ToQueryBatch(query, ids + i, m, dist);
+        for (std::size_t j = 0; j < m; ++j) {
+          if (dist[j] < current_dist) {
+            current_dist = dist[j];
+            current = ids[i + j];
+            improved = true;
+          }
         }
       }
     }

@@ -29,15 +29,16 @@ BuildStats HvsIndex::Build(const core::Dataset& data) {
 
   // Local density per node: distance to the nearest of `density_sample`
   // random others (simplification of HVS's density estimate; smaller =
-  // denser).
+  // denser). Routed through a DistanceComputer so these evaluations show up
+  // in the build's distance count like every other full-vector distance.
+  core::DistanceComputer density_dc(data);
   std::vector<float> density(data.size());
   for (VectorId v = 0; v < data.size(); ++v) {
     float nearest = 3.402823466e38f;
     for (std::size_t s = 0; s < params_.density_sample; ++s) {
       const VectorId u = static_cast<VectorId>(rng.UniformInt(data.size()));
       if (u == v) continue;
-      nearest = std::min(nearest,
-                         core::L2Sq(data.Row(v), data.Row(u), data.dim()));
+      nearest = std::min(nearest, density_dc.Between(v, u));
     }
     density[v] = nearest;
   }
@@ -83,7 +84,8 @@ BuildStats HvsIndex::Build(const core::Dataset& data) {
 
   BuildStats stats;
   stats.elapsed_seconds = timer.Seconds();
-  stats.distance_computations = base_stats.distance_computations;
+  stats.distance_computations =
+      base_stats.distance_computations + density_dc.count();
   stats.index_bytes = IndexBytes();
   stats.peak_bytes = stats.index_bytes;
   return stats;

@@ -5,6 +5,7 @@
 #include "core/beam_search.h"
 #include "core/macros.h"
 #include "diversify/diversify.h"
+#include "methods/build_util.h"
 
 namespace gass::methods {
 
@@ -30,7 +31,7 @@ BuildStats NgtIndex::Build(const core::Dataset& data) {
     auto& list = graph_.MutableNeighbors(v);
     std::vector<Neighbor> candidates;
     candidates.reserve(list.size());
-    for (VectorId u : list) candidates.emplace_back(u, dc.Between(v, u));
+    AppendScored(dc, v, list.data(), list.size(), &candidates);
     std::sort(candidates.begin(), candidates.end());
     const std::vector<Neighbor> kept =
         diversify::Diversify(dc, v, candidates, prune);

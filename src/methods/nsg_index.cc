@@ -39,9 +39,8 @@ BuildStats NsgIndex::Build(const core::Dataset& data) {
                             params_.build_beam_width, visited_.get(),
                             &evaluated);
     // Candidate set: the visited nodes plus v's base-graph neighbors.
-    for (VectorId u : base.Neighbors(v)) {
-      evaluated.emplace_back(u, dc.Between(v, u));
-    }
+    const auto& base_list = base.Neighbors(v);
+    AppendScored(dc, v, base_list.data(), base_list.size(), &evaluated);
     std::sort(evaluated.begin(), evaluated.end());
     evaluated.erase(std::unique(evaluated.begin(), evaluated.end()),
                     evaluated.end());

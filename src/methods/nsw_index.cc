@@ -48,7 +48,7 @@ BuildStats NswIndex::Build(const core::Dataset& data) {
         if (back.size() > params_.degree_cap) {
           std::vector<Neighbor> scored;
           scored.reserve(back.size());
-          for (VectorId u : back) scored.emplace_back(u, dc.Between(nb.id, u));
+          AppendScored(dc, nb.id, back.data(), back.size(), &scored);
           std::sort(scored.begin(), scored.end());
           back.clear();
           for (std::size_t i = 0; i < params_.degree_cap; ++i) {

@@ -1,0 +1,98 @@
+#include "methods/search_params.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace gass::methods {
+
+namespace {
+
+bool ParseSize(const std::string& text, std::size_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) return false;
+  *out = static_cast<std::size_t>(value);
+  return true;
+}
+
+bool ParseFloat(const std::string& text, float* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const float value = std::strtof(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+SearchParams MakeSearchParams(std::size_t k, std::size_t beam_width,
+                              std::size_t num_seeds) {
+  SearchParams params;
+  params.k = k;
+  params.beam_width = beam_width;
+  params.num_seeds = num_seeds;
+  return params;
+}
+
+bool ParseSearchParams(const std::string& spec, SearchParams* params,
+                       std::string* error) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string token = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (token.empty()) continue;
+
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Fail(error, "expected key=value, got '" + token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "k") {
+      if (!ParseSize(value, &params->k) || params->k == 0) {
+        return Fail(error, "bad k '" + value + "'");
+      }
+    } else if (key == "beam") {
+      if (!ParseSize(value, &params->beam_width) || params->beam_width == 0) {
+        return Fail(error, "bad beam '" + value + "'");
+      }
+    } else if (key == "seeds") {
+      if (!ParseSize(value, &params->num_seeds)) {
+        return Fail(error, "bad seeds '" + value + "'");
+      }
+    } else if (key == "prune") {
+      if (!ParseFloat(value, &params->prune_bound)) {
+        return Fail(error, "bad prune '" + value + "'");
+      }
+    } else {
+      return Fail(error, "unknown search parameter '" + key +
+                             "' (expected k, beam, seeds, or prune)");
+    }
+  }
+  return true;
+}
+
+std::string SearchParamsToString(const SearchParams& params) {
+  char buffer[128];
+  if (params.prune_bound < std::numeric_limits<float>::max()) {
+    std::snprintf(buffer, sizeof(buffer), "k=%zu,beam=%zu,seeds=%zu,prune=%g",
+                  params.k, params.beam_width, params.num_seeds,
+                  static_cast<double>(params.prune_bound));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "k=%zu,beam=%zu,seeds=%zu",
+                  params.k, params.beam_width, params.num_seeds);
+  }
+  return buffer;
+}
+
+}  // namespace gass::methods

@@ -6,6 +6,7 @@
 #include "core/rng.h"
 #include "diversify/diversify.h"
 #include "knngraph/exact_knn_graph.h"
+#include "methods/build_util.h"
 
 namespace gass::methods {
 
@@ -40,7 +41,7 @@ BuildStats SptagIndex::Build(const core::Dataset& data) {
     auto& list = graph_.MutableNeighbors(v);
     std::vector<Neighbor> candidates;
     candidates.reserve(list.size());
-    for (VectorId u : list) candidates.emplace_back(u, dc.Between(v, u));
+    AppendScored(dc, v, list.data(), list.size(), &candidates);
     std::sort(candidates.begin(), candidates.end());
     const std::vector<Neighbor> kept =
         diversify::Diversify(dc, v, candidates, prune);

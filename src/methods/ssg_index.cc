@@ -38,18 +38,24 @@ BuildStats SsgIndex::Build(const core::Dataset& data) {
     visited_->NewEpoch();
     visited_->MarkVisited(v);
     std::vector<Neighbor> candidates;
+    std::vector<VectorId> pending;
     for (VectorId u : base.Neighbors(v)) {
       if (!visited_->TryVisit(u)) continue;
-      candidates.emplace_back(u, dc.Between(v, u));
+      pending.push_back(u);
     }
+    AppendScored(dc, v, pending.data(), pending.size(), &candidates);
     const std::size_t one_hop = candidates.size();
     for (std::size_t i = 0;
          i < one_hop && candidates.size() < params_.expansion_limit; ++i) {
+      pending.clear();
       for (VectorId w : base.Neighbors(candidates[i].id)) {
-        if (candidates.size() >= params_.expansion_limit) break;
+        if (candidates.size() + pending.size() >= params_.expansion_limit) {
+          break;
+        }
         if (!visited_->TryVisit(w)) continue;
-        candidates.emplace_back(w, dc.Between(v, w));
+        pending.push_back(w);
       }
+      AppendScored(dc, v, pending.data(), pending.size(), &candidates);
     }
     std::sort(candidates.begin(), candidates.end());
     const std::vector<Neighbor> kept =

@@ -30,9 +30,8 @@ void VamanaIndex::RefinePass(core::DistanceComputer& dc, float alpha,
                             params_.build_beam_width,
                             params_.build_beam_width, visited_.get(),
                             &evaluated);
-    for (VectorId u : graph_.Neighbors(v)) {
-      evaluated.emplace_back(u, dc.Between(v, u));
-    }
+    const auto& current = graph_.Neighbors(v);
+    AppendScored(dc, v, current.data(), current.size(), &evaluated);
     std::sort(evaluated.begin(), evaluated.end());
     evaluated.erase(std::unique(evaluated.begin(), evaluated.end()),
                     evaluated.end());

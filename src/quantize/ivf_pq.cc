@@ -135,13 +135,30 @@ std::vector<Neighbor> IvfPqIndex::Search(const core::Dataset& data,
 
   std::vector<Neighbor> result;
   if (rerank > 0) {
-    // Exact re-ranking of the ADC shortlist.
+    // Exact re-ranking of the ADC shortlist through a DistanceComputer:
+    // full-vector evaluations are batched (rows prefetched ahead of the
+    // kernel call) and counted exactly as before, one per shortlist entry.
+    core::DistanceComputer dc(data);
     core::CandidatePool exact(k);
-    for (const Neighbor& nb : pool.contents()) {
-      const float d = core::L2Sq(query, data.Row(nb.id), dim_);
-      if (stats != nullptr) ++stats->distance_computations;
-      if (d < exact.WorstDistance()) exact.Insert(Neighbor(nb.id, d));
+    const auto& shortlist = pool.contents();
+    constexpr std::size_t kChunk = core::DistanceComputer::kBatchChunk;
+    VectorId ids[kChunk];
+    float dist[kChunk];
+    std::size_t i = 0;
+    while (i < shortlist.size()) {
+      std::size_t m = 0;
+      for (; i < shortlist.size() && m < kChunk; ++i) {
+        dc.Prefetch(shortlist[i].id);
+        ids[m++] = shortlist[i].id;
+      }
+      dc.ToQueryBatch(query, ids, m, dist);
+      for (std::size_t j = 0; j < m; ++j) {
+        if (dist[j] < exact.WorstDistance()) {
+          exact.Insert(Neighbor(ids[j], dist[j]));
+        }
+      }
     }
+    if (stats != nullptr) stats->distance_computations += dc.count();
     result = exact.TopK(k);
   } else {
     result = pool.TopK(k);

@@ -248,12 +248,23 @@ VectorId StackedNswLayers::Descend(DistanceComputer& dc,
     bool improved = true;
     while (improved) {
       improved = false;
-      for (VectorId u : layers_[l].Neighbors(current)) {
-        const float d = dc.ToQuery(query, u);
-        if (d < current_dist) {
-          current_dist = d;
-          current = u;
-          improved = true;
+      // Prefetch-then-batch sweep; sequential scan keeps the greedy step
+      // and distance count identical to the one-at-a-time loop.
+      const auto& list = layers_[l].Neighbors(current);
+      const VectorId* ids = list.data();
+      const std::size_t degree = list.size();
+      constexpr std::size_t kChunk = DistanceComputer::kBatchChunk;
+      float dist[kChunk];
+      for (std::size_t i = 0; i < degree; i += kChunk) {
+        const std::size_t m = std::min(kChunk, degree - i);
+        for (std::size_t j = 0; j < m; ++j) dc.Prefetch(ids[i + j]);
+        dc.ToQueryBatch(query, ids + i, m, dist);
+        for (std::size_t j = 0; j < m; ++j) {
+          if (dist[j] < current_dist) {
+            current_dist = dist[j];
+            current = ids[i + j];
+            improved = true;
+          }
         }
       }
     }

@@ -4,6 +4,7 @@
 
 #include "core/deadline.h"
 #include "core/macros.h"
+#include "methods/search_params.h"
 
 namespace gass::serve {
 
@@ -43,14 +44,11 @@ BatchResult QueryExecutor::SearchBatch(const float* queries,
       // on which worker ran the query or in what order.
       lease->rng =
           core::Rng(options_.seed ^ (0x9E3779B97F4A7C15ULL * (q + 1)));
-      methods::SearchParams query_params = params;
       core::Deadline deadline;  // Unlimited unless a timeout is configured.
-      if (options_.timeout_seconds > 0) {
-        deadline = core::Deadline::After(options_.timeout_seconds);
-        query_params.deadline = &deadline;
-      } else {
-        query_params.deadline = nullptr;
-      }
+      const bool timed = options_.timeout_seconds > 0;
+      if (timed) deadline = core::Deadline::After(options_.timeout_seconds);
+      const methods::SearchParams query_params =
+          methods::WithDeadline(params, timed ? &deadline : nullptr);
       methods::SearchResult result =
           index_.Search(queries + q * dim, query_params, lease.get());
       metrics_.RecordQuery(result.stats);

@@ -168,6 +168,98 @@ TEST(BeamSearchTest, PruneBoundCutsCostWithoutChangingBetterAnswers) {
   EXPECT_LE(dc_bound.count(), dc_free.count());
 }
 
+// The pre-batching expansion loop, kept as an executable reference: one
+// TryVisit / ToQuery / filter / Insert per neighbor. The batched search must
+// reproduce its neighbor IDs, bitwise distances, evaluation order, and
+// distance count exactly.
+std::vector<Neighbor> ReferenceBeamSearch(const Graph& graph,
+                                          DistanceComputer& dc,
+                                          const float* query,
+                                          const std::vector<VectorId>& seeds,
+                                          std::size_t k,
+                                          std::size_t beam_width,
+                                          VisitedTable* visited,
+                                          std::vector<Neighbor>* evaluated) {
+  const std::size_t width = beam_width < k ? k : beam_width;
+  CandidatePool pool(width);
+  visited->NewEpoch();
+  for (VectorId seed : seeds) {
+    if (!visited->TryVisit(seed)) continue;
+    const float d = dc.ToQuery(query, seed);
+    if (evaluated != nullptr) evaluated->push_back(Neighbor(seed, d));
+    pool.Insert(Neighbor(seed, d));
+  }
+  for (;;) {
+    const std::size_t next = pool.FirstUnexplored();
+    if (next == pool.size()) break;
+    const VectorId v = pool[next].id;
+    pool.MarkExplored(next);
+    for (const VectorId u : graph.Neighbors(v)) {
+      if (!visited->TryVisit(u)) continue;
+      const float d = dc.ToQuery(query, u);
+      if (evaluated != nullptr) evaluated->push_back(Neighbor(u, d));
+      if (d >= pool.WorstDistance()) continue;
+      pool.Insert(Neighbor(u, d));
+    }
+  }
+  return pool.TopK(k);
+}
+
+TEST(BeamSearchTest, BatchedExpansionMatchesPerNeighborReference) {
+  BeamFixture fixture;
+  VisitedTable visited(fixture.data.size());
+  for (const std::size_t beam : {4u, 16u, 64u}) {
+    for (VectorId q = 0; q < 20; ++q) {
+      DistanceComputer dc_batched(fixture.data);
+      DistanceComputer dc_ref(fixture.data);
+      const auto batched = BeamSearch(fixture.graph, dc_batched,
+                                      fixture.data.Row(q), {0, 7}, 10, beam,
+                                      &visited);
+      const auto reference =
+          ReferenceBeamSearch(fixture.graph, dc_ref, fixture.data.Row(q),
+                              {0, 7}, 10, beam, &visited, nullptr);
+      ASSERT_EQ(batched.size(), reference.size()) << "beam=" << beam
+                                                  << " q=" << q;
+      for (std::size_t i = 0; i < batched.size(); ++i) {
+        EXPECT_EQ(batched[i].id, reference[i].id);
+        EXPECT_EQ(batched[i].distance, reference[i].distance);  // Bitwise.
+      }
+      EXPECT_EQ(dc_batched.count(), dc_ref.count()) << "beam=" << beam
+                                                    << " q=" << q;
+    }
+  }
+}
+
+TEST(BeamSearchCollectTest, BatchedCollectMatchesPerNeighborReference) {
+  BeamFixture fixture;
+  VisitedTable visited(fixture.data.size());
+  for (VectorId q = 0; q < 10; ++q) {
+    DistanceComputer dc_batched(fixture.data);
+    DistanceComputer dc_ref(fixture.data);
+    std::vector<Neighbor> eval_batched;
+    std::vector<Neighbor> eval_ref;
+    const auto batched =
+        BeamSearchCollect(fixture.graph, dc_batched, fixture.data.Row(q), {0},
+                          10, 32, &visited, &eval_batched);
+    const auto reference =
+        ReferenceBeamSearch(fixture.graph, dc_ref, fixture.data.Row(q), {0},
+                            10, 32, &visited, &eval_ref);
+    ASSERT_EQ(batched.size(), reference.size());
+    for (std::size_t i = 0; i < batched.size(); ++i) {
+      EXPECT_EQ(batched[i].id, reference[i].id);
+      EXPECT_EQ(batched[i].distance, reference[i].distance);
+    }
+    // The evaluation trace — ids, distances, and order — must be identical.
+    ASSERT_EQ(eval_batched.size(), eval_ref.size());
+    for (std::size_t i = 0; i < eval_batched.size(); ++i) {
+      EXPECT_EQ(eval_batched[i].id, eval_ref[i].id);
+      EXPECT_EQ(eval_batched[i].distance, eval_ref[i].distance);
+    }
+    EXPECT_EQ(dc_batched.count(), dc_ref.count());
+    EXPECT_EQ(eval_batched.size(), dc_batched.count());
+  }
+}
+
 TEST(BeamSearchTest, SingletonGraph) {
   Dataset data(1, 4);
   for (std::size_t d = 0; d < 4; ++d) data.MutableRow(0)[d] = 1.0f;

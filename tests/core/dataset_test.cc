@@ -1,7 +1,9 @@
 #include "core/dataset.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -74,6 +76,48 @@ TEST(DatasetTest, AppendIntoEmptyAdoptsDim) {
   a.Append(b);
   EXPECT_EQ(a.dim(), 4u);
   EXPECT_EQ(a.size(), 2u);
+}
+
+bool IsAligned(const float* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % Dataset::kAlignment == 0;
+}
+
+// The storage alignment contract (see core/dataset.h): data() is 64-byte
+// aligned however the dataset was produced, so SIMD kernels and prefetch
+// can rely on it.
+TEST(DatasetAlignmentTest, ContractIsCacheLineSized) {
+  EXPECT_EQ(Dataset::kAlignment, 64u);
+}
+
+TEST(DatasetAlignmentTest, AllConstructionPathsAligned) {
+  Dataset data = MakeSequential(5, 7);
+  EXPECT_TRUE(IsAligned(data.data()));
+
+  Dataset clone = data.Clone();
+  EXPECT_TRUE(IsAligned(clone.data()));
+
+  Dataset prefix = data.Prefix(3);
+  EXPECT_TRUE(IsAligned(prefix.data()));
+
+  Dataset selected = data.Select({4, 1, 2});
+  EXPECT_TRUE(IsAligned(selected.data()));
+
+  Dataset appended = MakeSequential(2, 7);
+  appended.Append(data);
+  EXPECT_TRUE(IsAligned(appended.data()));
+
+  Dataset moved = std::move(clone);
+  EXPECT_TRUE(IsAligned(moved.data()));
+}
+
+TEST(DatasetAlignmentTest, LoadedDatasetsAligned) {
+  Dataset data = MakeSequential(9, 6);
+  const std::string path = TempPath("aligned.fvecs");
+  ASSERT_TRUE(WriteFvecs(path, data).ok());
+  Dataset loaded;
+  ASSERT_TRUE(ReadFvecs(path, &loaded).ok());
+  EXPECT_TRUE(IsAligned(loaded.data()));
+  std::remove(path.c_str());
 }
 
 TEST(DatasetIoTest, FvecsRoundTrip) {

@@ -92,5 +92,74 @@ TEST(DistanceComputerTest, ExposesDatasetMetadata) {
   EXPECT_EQ(&dc.dataset(), &data);
 }
 
+Dataset MakeRandomDataset(std::size_t n, std::size_t dim,
+                          std::uint64_t seed) {
+  Dataset data(n, dim);
+  Rng rng(seed);
+  for (VectorId i = 0; i < n; ++i) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      data.MutableRow(i)[d] = rng.UniformFloat(-2.0f, 2.0f);
+    }
+  }
+  return data;
+}
+
+// The batch path must be indistinguishable from the loop it replaces:
+// bitwise-equal distances and exactly n counted computations, including
+// when n exceeds the internal chunk size.
+TEST(DistanceComputerTest, ToQueryBatchMatchesLoopBitwise) {
+  const std::size_t n = DistanceComputer::kBatchChunk * 2 + 5;
+  Dataset data = MakeRandomDataset(n, 37, 11);
+  const std::vector<float> query(data.Row(0), data.Row(0) + data.dim());
+
+  std::vector<VectorId> ids;
+  for (VectorId i = n; i-- > 0;) ids.push_back(i);  // Non-trivial order.
+
+  DistanceComputer dc_batch(data);
+  std::vector<float> batch(ids.size());
+  dc_batch.ToQueryBatch(query.data(), ids.data(), ids.size(), batch.data());
+  EXPECT_EQ(dc_batch.count(), ids.size());
+
+  DistanceComputer dc_loop(data);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(batch[i], dc_loop.ToQuery(query.data(), ids[i])) << "i=" << i;
+  }
+  EXPECT_EQ(dc_loop.count(), dc_batch.count());
+}
+
+TEST(DistanceComputerTest, BetweenBatchMatchesLoopBitwise) {
+  Dataset data = MakeRandomDataset(20, 9, 5);
+  const std::vector<VectorId> ids = {3, 19, 0, 7, 7, 12};
+
+  DistanceComputer dc_batch(data);
+  std::vector<float> batch(ids.size());
+  dc_batch.BetweenBatch(4, ids.data(), ids.size(), batch.data());
+  EXPECT_EQ(dc_batch.count(), ids.size());
+
+  DistanceComputer dc_loop(data);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(batch[i], dc_loop.Between(4, ids[i])) << "i=" << i;
+  }
+}
+
+TEST(DistanceComputerTest, EmptyBatchIsFree) {
+  Dataset data = MakeRandomDataset(4, 6, 3);
+  DistanceComputer dc(data);
+  const float query[6] = {};
+  float out = -1.0f;
+  dc.ToQueryBatch(query, nullptr, 0, &out);
+  EXPECT_EQ(dc.count(), 0u);
+  EXPECT_EQ(out, -1.0f);  // Output untouched.
+}
+
+TEST(DistanceComputerTest, PrefetchIsCountFreeAndHarmless) {
+  Dataset data = MakeRandomDataset(8, 16, 9);
+  DistanceComputer dc(data);
+  for (VectorId i = 0; i < 8; ++i) dc.Prefetch(i);
+  EXPECT_EQ(dc.count(), 0u);
+  EXPECT_FLOAT_EQ(dc.Between(2, 2), 0.0f);
+  EXPECT_EQ(dc.count(), 1u);
+}
+
 }  // namespace
 }  // namespace gass::core

@@ -1,0 +1,114 @@
+// Recall parity across SIMD levels: HNSW must build the same graph, return
+// the same neighbor IDs with bit-identical distances, and report the same
+// distance-computation counts under every GASS_SIMD_LEVEL.
+//
+// The active level is resolved once per process, so each level runs in a
+// re-exec'd child: this binary, invoked with GASS_PARITY_CHILD=1, prints a
+// build+search trace (neighbor ids, hex-exact distances, distance counts)
+// and exits before gtest starts. The parent launches one child per
+// supported level and asserts the traces are byte-identical.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "core/simd/simd.h"
+#include "methods/hnsw_index.h"
+#include "synth/generators.h"
+
+namespace gass {
+namespace {
+
+void PrintParityTrace() {
+  const core::Dataset data = synth::UniformHypercube(1200, 24, 99);
+  const core::Dataset queries = synth::UniformHypercube(25, 24, 100);
+
+  methods::HnswParams build;
+  build.m = 8;
+  build.seed = 7;
+  methods::HnswIndex index(build);
+  index.Build(data);
+
+  methods::SearchParams params;
+  params.k = 10;
+  params.beam_width = 50;
+  for (core::VectorId q = 0; q < queries.size(); ++q) {
+    const methods::SearchResult result = index.Search(queries.Row(q), params);
+    std::printf("q%u", static_cast<unsigned>(q));
+    for (const core::Neighbor& nb : result.neighbors) {
+      // %a prints the exact bit pattern, so any divergence shows up.
+      std::printf(" %u:%a", static_cast<unsigned>(nb.id), nb.distance);
+    }
+    std::printf(" dc=%llu\n",
+                static_cast<unsigned long long>(
+                    result.stats.distance_computations));
+  }
+}
+
+// Runs before gtest in the re-exec'd children; a no-op in the parent.
+const int kChildHook = [] {
+  if (std::getenv("GASS_PARITY_CHILD") != nullptr) {
+    PrintParityTrace();
+    std::exit(0);
+  }
+  return 0;
+}();
+
+// /proc/self/exe must be resolved here, in the test process — inside the
+// popen shell it would name the shell.
+std::string SelfPath() {
+  char buffer[4096];
+  const ssize_t len = readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (len <= 0) return "";
+  return std::string(buffer, static_cast<std::size_t>(len));
+}
+
+// Launches this binary with the given SIMD level forced and captures the
+// trace. Returns an empty string on failure.
+std::string RunChild(const char* level_name) {
+  const std::string self = SelfPath();
+  if (self.empty()) return "";
+  const std::string command = std::string("GASS_PARITY_CHILD=1 GASS_SIMD_LEVEL=") +
+                              level_name + " '" + self + "'";
+  std::FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return "";
+  std::string output;
+  char buffer[4096];
+  std::size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    output.append(buffer, got);
+  }
+  const int status = pclose(pipe);
+  if (status != 0) return "";
+  return output;
+}
+
+TEST(SimdParityTest, HnswIdenticalUnderEveryLevel) {
+  const std::vector<core::simd::SimdLevel> levels =
+      core::simd::SupportedSimdLevels();
+  ASSERT_FALSE(levels.empty());
+
+  const std::string reference = RunChild(core::simd::SimdLevelName(levels[0]));
+  ASSERT_FALSE(reference.empty()) << "scalar child produced no trace";
+  // 25 queries → 25 trace lines, each carrying a distance count.
+  EXPECT_EQ(std::count(reference.begin(), reference.end(), '\n'), 25);
+  EXPECT_NE(reference.find(" dc="), std::string::npos);
+
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    const char* name = core::simd::SimdLevelName(levels[i]);
+    const std::string trace = RunChild(name);
+    ASSERT_FALSE(trace.empty()) << name << " child produced no trace";
+    EXPECT_EQ(trace, reference)
+        << "HNSW results diverge between "
+        << core::simd::SimdLevelName(levels[0]) << " and " << name;
+  }
+}
+
+}  // namespace
+}  // namespace gass

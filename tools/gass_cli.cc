@@ -7,10 +7,11 @@
 //   gass_cli build      --method hnsw --base base.fvecs --graph graph.bin
 //   gass_cli eval       --method hnsw --base base.fvecs --queries q.fvecs
 //                       [--truth gt.ivecs] [--k 10] [--beams 10,40,160]
+//                       [--search-params k=10,seeds=48]
 //   gass_cli complexity --base base.fvecs [--k 100] [--sample 100]
 //   gass_cli serve-bench --method hnsw --base base.fvecs --queries q.fvecs
 //                       [--k 10] [--beam 100] [--threads 1,2,4] [--reps 16]
-//                       [--timeout-ms 0]
+//                       [--timeout-ms 0] [--search-params k=10,seeds=48]
 //   gass_cli methods
 //
 // All subcommands print human-readable tables to stdout and return nonzero
@@ -28,6 +29,7 @@
 #include "eval/ground_truth.h"
 #include "eval/recall.h"
 #include "methods/factory.h"
+#include "methods/search_params.h"
 #include "serve/executor.h"
 #include "synth/generators.h"
 #include "synth/workloads.h"
@@ -180,7 +182,19 @@ int CmdEval(const Flags& flags) {
   status =
       gass::core::ReadFvecs(flags.Get("queries", "queries.fvecs"), &queries);
   if (!status.ok()) return Fail(status);
-  const std::size_t k = static_cast<std::size_t>(flags.GetInt("k", 10));
+
+  // --search-params layers a "k=..,seeds=..,prune=.." spec over the
+  // defaults; the beam width comes from the --beams sweep below.
+  gass::methods::SearchParams base_params = gass::methods::MakeSearchParams(
+      static_cast<std::size_t>(flags.GetInt("k", 10)), 64, 48);
+  std::string spec_error;
+  if (!gass::methods::ParseSearchParams(flags.Get("search-params", ""),
+                                        &base_params, &spec_error)) {
+    std::fprintf(stderr, "error: bad --search-params: %s\n",
+                 spec_error.c_str());
+    return 1;
+  }
+  const std::size_t k = base_params.k;
 
   gass::eval::GroundTruth truth;
   if (flags.Has("truth")) {
@@ -211,16 +225,16 @@ int CmdEval(const Flags& flags) {
   auto index = gass::methods::CreateIndex(
       method, static_cast<std::uint64_t>(flags.GetInt("seed", 42)));
   const gass::methods::BuildStats build = index->Build(base);
-  std::printf("%s built in %.2fs\n\n", index->Name().c_str(),
+  std::printf("%s built in %.2fs\n", index->Name().c_str(),
               build.elapsed_seconds);
+  std::printf("search params: %s (beam swept below)\n\n",
+              gass::methods::SearchParamsToString(base_params).c_str());
   std::printf("%-8s %-10s %-14s %-12s\n", "beam", "recall", "dists/query",
               "time/query");
 
   for (const std::size_t beam : ParseBeams(flags.Get("beams", "10,40,160"))) {
-    gass::methods::SearchParams params;
-    params.k = k;
+    gass::methods::SearchParams params = base_params;
     params.beam_width = beam;
-    params.num_seeds = 48;
     std::vector<std::vector<gass::core::Neighbor>> results;
     double dists = 0.0, seconds = 0.0;
     for (VectorId q = 0; q < queries.size(); ++q) {
@@ -292,10 +306,17 @@ int CmdServeBench(const Flags& flags) {
                 nq * dim * sizeof(float));
   }
 
-  gass::methods::SearchParams params;
-  params.k = k;
-  params.beam_width = static_cast<std::size_t>(flags.GetInt("beam", 100));
-  params.num_seeds = 48;
+  gass::methods::SearchParams params = gass::methods::MakeSearchParams(
+      k, static_cast<std::size_t>(flags.GetInt("beam", 100)), 48);
+  std::string spec_error;
+  if (!gass::methods::ParseSearchParams(flags.Get("search-params", ""),
+                                        &params, &spec_error)) {
+    std::fprintf(stderr, "error: bad --search-params: %s\n",
+                 spec_error.c_str());
+    return 1;
+  }
+  std::printf("search params: %s\n",
+              gass::methods::SearchParamsToString(params).c_str());
 
   std::printf("%-8s %-12s %-12s %-12s %-10s\n", "threads", "qps", "p50",
               "p95", "expired");
