@@ -7,11 +7,21 @@
 // builders at every size; ELPIS ~2-3x faster than HNSW and Vamana at the
 // large tiers; SPTAG variants are the slowest; NSG/SSG pay for the EFANNA
 // base graph.
+//
+// Persistence hooks (docs/PERSISTENCE.md):
+//   --save-index <dir>   save every built index as <dir>/fig07_<tier>_<m>.gass
+//   --load-index <dir>   skip building: load each snapshot, then re-save it
+//                        and check the bytes match the file on disk, proving
+//                        the save -> load -> save cycle is byte-identical.
 
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/bench_util.h"
+#include "core/stats.h"
 #include "methods/factory.h"
 
 namespace gass::bench {
@@ -33,7 +43,20 @@ const MethodScale kSchedule[] = {
     {"hnsw", kTier1B.n},        {"elpis", kTier1B.n},
 };
 
-void Run() {
+std::string SnapshotPath(const std::string& dir, const Tier& tier,
+                         const char* method) {
+  return dir + "/fig07_" + tier.label + "_" + method + ".gass";
+}
+
+bool ReadFileBytes(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+void RunBuild(const std::string& save_dir) {
   PrintHeader("Figure 7: indexing time vs dataset size (Deep proxy)",
               "Methods stop at the tier where the paper reports them "
               "hitting the 48h / 1.4TB walls.");
@@ -49,6 +72,63 @@ void Run() {
       PrintRow({tier.label, entry.name, FormatSeconds(stats.elapsed_seconds),
                 FormatCount(static_cast<double>(stats.distance_computations)),
                 FormatBytes(static_cast<double>(stats.index_bytes))});
+      if (!save_dir.empty()) {
+        const std::string path = SnapshotPath(save_dir, tier, entry.name);
+        const core::Status save = methods::SaveIndex(*index, path);
+        if (!save.ok()) {
+          std::fprintf(stderr, "save %s: %s\n", path.c_str(),
+                       save.message().c_str());
+        }
+      }
+    }
+    PrintRule();
+  }
+}
+
+// Loads each snapshot written by --save-index, then saves the loaded index
+// again and compares the new bytes against the file on disk. "identical"
+// means the whole save -> load -> save cycle reproduced the snapshot
+// byte-for-byte — graph, seed structures, checksums and all.
+void RunLoad(const std::string& load_dir) {
+  PrintHeader("Figure 7 (warm start): loading saved indexes",
+              "Each snapshot is loaded, re-saved, and byte-compared against "
+              "the original file.");
+  PrintRow({"tier", "method", "load time", "index size", "round-trip"});
+  PrintRule();
+
+  for (const Tier& tier : {kTier1M, kTier25GB, kTier100GB, kTier1B}) {
+    const Workload workload = MakeWorkload("deep", tier);
+    for (const MethodScale& entry : kSchedule) {
+      if (tier.n > entry.max_n) continue;
+      const std::string path = SnapshotPath(load_dir, tier, entry.name);
+      auto index = methods::CreateIndex(entry.name, 42);
+      core::Timer timer;
+      const core::Status load =
+          methods::LoadIndex(index.get(), workload.base, path);
+      if (!load.ok()) {
+        PrintRow({tier.label, entry.name, "-", "-", "load failed"});
+        std::fprintf(stderr, "load %s: %s\n", path.c_str(),
+                     load.message().c_str());
+        continue;
+      }
+      const double load_seconds = timer.Seconds();
+
+      const std::string resaved = path + ".rt";
+      const core::Status save = methods::SaveIndex(*index, resaved);
+      std::string verdict = "resave failed";
+      if (save.ok()) {
+        std::string original, round_trip;
+        if (ReadFileBytes(path, &original) &&
+            ReadFileBytes(resaved, &round_trip)) {
+          verdict = original == round_trip ? "identical" : "DIFFERS";
+        } else {
+          verdict = "compare failed";
+        }
+        std::remove(resaved.c_str());
+      }
+      PrintRow({tier.label, entry.name, FormatSeconds(load_seconds),
+                FormatBytes(static_cast<double>(index->IndexBytes())),
+                verdict});
     }
     PrintRule();
   }
@@ -57,7 +137,25 @@ void Run() {
 }  // namespace
 }  // namespace gass::bench
 
-int main() {
-  gass::bench::Run();
+int main(int argc, char** argv) {
+  std::string save_dir;
+  std::string load_dir;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--save-index") == 0) {
+      save_dir = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--load-index") == 0) {
+      load_dir = argv[i + 1];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--save-index <dir>] [--load-index <dir>]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  if (!load_dir.empty()) {
+    gass::bench::RunLoad(load_dir);
+  } else {
+    gass::bench::RunBuild(save_dir);
+  }
   return 0;
 }

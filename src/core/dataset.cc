@@ -66,7 +66,7 @@ class File {
 
 Status ReadFvecs(const std::string& path, Dataset* out) {
   File file(path, "rb");
-  if (!file.ok()) return Status::Error("cannot open " + path);
+  if (!file.ok()) return Status::IoError("cannot open " + path);
 
   std::vector<float> values;
   std::size_t dim = 0;
@@ -75,15 +75,15 @@ Status ReadFvecs(const std::string& path, Dataset* out) {
     std::int32_t d = 0;
     std::size_t read = std::fread(&d, sizeof(d), 1, file.get());
     if (read == 0) break;  // Clean EOF between records.
-    if (d <= 0) return Status::Error("corrupt fvecs header in " + path);
+    if (d <= 0) return Status::Corruption("corrupt fvecs header in " + path);
     if (dim == 0) dim = static_cast<std::size_t>(d);
     if (static_cast<std::size_t>(d) != dim) {
-      return Status::Error("inconsistent dimensions in " + path);
+      return Status::Corruption("inconsistent dimensions in " + path);
     }
     values.resize((n + 1) * dim);
     if (std::fread(values.data() + n * dim, sizeof(float), dim, file.get()) !=
         dim) {
-      return Status::Error("truncated fvecs record in " + path);
+      return Status::Corruption("truncated fvecs record in " + path);
     }
     ++n;
   }
@@ -98,13 +98,13 @@ Status ReadFvecs(const std::string& path, Dataset* out) {
 
 Status WriteFvecs(const std::string& path, const Dataset& dataset) {
   File file(path, "wb");
-  if (!file.ok()) return Status::Error("cannot create " + path);
+  if (!file.ok()) return Status::IoError("cannot create " + path);
   const std::int32_t d = static_cast<std::int32_t>(dataset.dim());
   for (VectorId i = 0; i < dataset.size(); ++i) {
     if (std::fwrite(&d, sizeof(d), 1, file.get()) != 1 ||
         std::fwrite(dataset.Row(i), sizeof(float), dataset.dim(),
                     file.get()) != dataset.dim()) {
-      return Status::Error("short write to " + path);
+      return Status::IoError("short write to " + path);
     }
   }
   return Status::Ok();
@@ -112,7 +112,7 @@ Status WriteFvecs(const std::string& path, const Dataset& dataset) {
 
 Status ReadBvecs(const std::string& path, Dataset* out) {
   File file(path, "rb");
-  if (!file.ok()) return Status::Error("cannot open " + path);
+  if (!file.ok()) return Status::IoError("cannot open " + path);
 
   std::vector<float> values;
   std::vector<std::uint8_t> row;
@@ -122,14 +122,14 @@ Status ReadBvecs(const std::string& path, Dataset* out) {
     std::int32_t d = 0;
     std::size_t read = std::fread(&d, sizeof(d), 1, file.get());
     if (read == 0) break;
-    if (d <= 0) return Status::Error("corrupt bvecs header in " + path);
+    if (d <= 0) return Status::Corruption("corrupt bvecs header in " + path);
     if (dim == 0) dim = static_cast<std::size_t>(d);
     if (static_cast<std::size_t>(d) != dim) {
-      return Status::Error("inconsistent dimensions in " + path);
+      return Status::Corruption("inconsistent dimensions in " + path);
     }
     row.resize(dim);
     if (std::fread(row.data(), 1, dim, file.get()) != dim) {
-      return Status::Error("truncated bvecs record in " + path);
+      return Status::Corruption("truncated bvecs record in " + path);
     }
     values.resize((n + 1) * dim);
     for (std::size_t j = 0; j < dim; ++j) {
@@ -149,17 +149,17 @@ Status ReadBvecs(const std::string& path, Dataset* out) {
 Status ReadIvecs(const std::string& path,
                  std::vector<std::vector<std::int32_t>>* out) {
   File file(path, "rb");
-  if (!file.ok()) return Status::Error("cannot open " + path);
+  if (!file.ok()) return Status::IoError("cannot open " + path);
   out->clear();
   for (;;) {
     std::int32_t count = 0;
     std::size_t read = std::fread(&count, sizeof(count), 1, file.get());
     if (read == 0) break;
-    if (count < 0) return Status::Error("corrupt ivecs header in " + path);
+    if (count < 0) return Status::Corruption("corrupt ivecs header in " + path);
     std::vector<std::int32_t> row(static_cast<std::size_t>(count));
     if (count > 0 && std::fread(row.data(), sizeof(std::int32_t), row.size(),
                                 file.get()) != row.size()) {
-      return Status::Error("truncated ivecs record in " + path);
+      return Status::Corruption("truncated ivecs record in " + path);
     }
     out->push_back(std::move(row));
   }
@@ -169,15 +169,15 @@ Status ReadIvecs(const std::string& path,
 Status WriteIvecs(const std::string& path,
                   const std::vector<std::vector<std::int32_t>>& rows) {
   File file(path, "wb");
-  if (!file.ok()) return Status::Error("cannot create " + path);
+  if (!file.ok()) return Status::IoError("cannot create " + path);
   for (const auto& row : rows) {
     const std::int32_t count = static_cast<std::int32_t>(row.size());
     if (std::fwrite(&count, sizeof(count), 1, file.get()) != 1) {
-      return Status::Error("short write to " + path);
+      return Status::IoError("short write to " + path);
     }
     if (!row.empty() && std::fwrite(row.data(), sizeof(std::int32_t),
                                     row.size(), file.get()) != row.size()) {
-      return Status::Error("short write to " + path);
+      return Status::IoError("short write to " + path);
     }
   }
   return Status::Ok();

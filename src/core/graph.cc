@@ -81,9 +81,28 @@ std::size_t Graph::MemoryBytes() const {
   return bytes;
 }
 
+Status Graph::Validate() const {
+  const std::size_t n = adjacency_.size();
+  for (VectorId v = 0; v < n; ++v) {
+    for (const VectorId u : adjacency_[v]) {
+      if (u >= n) {
+        return Status::Corruption(
+            "graph vertex " + std::to_string(v) + " has neighbor id " +
+            std::to_string(u) + " out of range (n=" + std::to_string(n) +
+            ")");
+      }
+      if (u == v) {
+        return Status::Corruption("graph vertex " + std::to_string(v) +
+                                  " has a self-loop");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 Status Graph::Save(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::Error("cannot create " + path);
+  if (f == nullptr) return Status::IoError("cannot create " + path);
   const std::uint64_t n = adjacency_.size();
   bool ok = std::fwrite(&n, sizeof(n), 1, f) == 1;
   for (const auto& list : adjacency_) {
@@ -95,29 +114,29 @@ Status Graph::Save(const std::string& path) const {
               list.size());
   }
   std::fclose(f);
-  return ok ? Status::Ok() : Status::Error("short write to " + path);
+  return ok ? Status::Ok() : Status::IoError("short write to " + path);
 }
 
 Status Graph::Load(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::Error("cannot open " + path);
+  if (f == nullptr) return Status::IoError("cannot open " + path);
   std::uint64_t n = 0;
   if (std::fread(&n, sizeof(n), 1, f) != 1) {
     std::fclose(f);
-    return Status::Error("truncated graph file " + path);
+    return Status::Corruption("truncated graph file " + path);
   }
   adjacency_.assign(n, {});
   for (std::uint64_t v = 0; v < n; ++v) {
     std::uint32_t degree = 0;
     if (std::fread(&degree, sizeof(degree), 1, f) != 1) {
       std::fclose(f);
-      return Status::Error("truncated graph file " + path);
+      return Status::Corruption("truncated graph file " + path);
     }
     adjacency_[v].resize(degree);
     if (degree > 0 && std::fread(adjacency_[v].data(), sizeof(VectorId),
                                  degree, f) != degree) {
       std::fclose(f);
-      return Status::Error("truncated graph file " + path);
+      return Status::Corruption("truncated graph file " + path);
     }
   }
   std::fclose(f);

@@ -69,6 +69,12 @@ class Graph {
   /// Approximate heap usage in bytes (ids + per-vector overhead).
   std::size_t MemoryBytes() const;
 
+  /// Structural integrity check: every neighbor id is a valid vertex and no
+  /// vertex lists itself. Used by the snapshot loader (never trust on-disk
+  /// adjacency) and as a post-build assertion in construction tests.
+  /// Returns kCorruption naming the first offending vertex.
+  Status Validate() const;
+
   Status Save(const std::string& path) const;
   Status Load(const std::string& path);
 

@@ -1,7 +1,9 @@
 // Lightweight error propagation for recoverable failures (file IO, parsing).
 //
 // The library is exception-free: fatal invariant violations use GASS_CHECK,
-// recoverable conditions return Status.
+// recoverable conditions return Status. Each Status carries a machine-
+// readable code (so callers can branch on the failure class — e.g. retry
+// kIoError but never kCorruption) plus a human-readable message.
 
 #ifndef GASS_CORE_STATUS_H_
 #define GASS_CORE_STATUS_H_
@@ -11,28 +13,88 @@
 
 namespace gass::core {
 
+/// Failure class of a non-ok Status.
+enum class StatusCode {
+  kOk = 0,
+  kUnknown = 1,          ///< Legacy Error() without a class.
+  kIoError = 2,          ///< The environment failed (open/read/write).
+  kCorruption = 3,       ///< The bytes are wrong (checksum, bounds, magic).
+  kInvalidArgument = 4,  ///< The caller's request cannot be satisfied.
+  kUnimplemented = 5,    ///< The operation is not supported here.
+};
+
+/// Human-readable name of a code ("CORRUPTION", "IO_ERROR", ...).
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kUnknown: return "UNKNOWN";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kCorruption: return "CORRUPTION";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+  }
+  return "OK";
+}
+
 /// Result of an operation that can fail for environmental reasons.
 class Status {
  public:
   /// Success value.
   static Status Ok() { return Status(); }
 
-  /// Failure with a human-readable message.
+  /// Failure with a human-readable message (legacy, code kUnknown).
   static Status Error(std::string message) {
-    Status s;
-    s.ok_ = false;
-    s.message_ = std::move(message);
-    return s;
+    return Status(StatusCode::kUnknown, std::move(message));
   }
 
-  bool ok() const { return ok_; }
+  /// The environment failed: open/read/write/rename errors.
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+
+  /// The stored bytes are wrong: bad magic, checksum mismatch, impossible
+  /// lengths or offsets, out-of-range ids.
+  static Status Corruption(std::string message) {
+    return Status(StatusCode::kCorruption, std::move(message));
+  }
+
+  /// The request itself cannot be satisfied (wrong method, wrong dataset,
+  /// mismatched build parameters).
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+
+  /// The operation is not supported by this implementation.
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// "CORRUPTION: section 'graph': checksum mismatch" — for logs and CLIs.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
  private:
-  bool ok_ = true;
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_ = StatusCode::kOk;
   std::string message_;
 };
 
 }  // namespace gass::core
+
+/// Propagates a non-ok Status to the caller; evaluates `expr` exactly once.
+#define GASS_RETURN_IF_ERROR(expr)                     \
+  do {                                                 \
+    ::gass::core::Status gass_status_tmp_ = (expr);    \
+    if (!gass_status_tmp_.ok()) return gass_status_tmp_; \
+  } while (false)
 
 #endif  // GASS_CORE_STATUS_H_

@@ -116,6 +116,89 @@ float LshIndex::ProjectedDistance(const std::vector<float>& query_projection,
                     projection_dim_);
 }
 
+void LshIndex::EncodeTo(io::Encoder* enc) const {
+  enc->U64(dim_);
+  enc->F32(width_);
+  enc->U64(projection_dim_);
+  enc->U64(tables_.size());
+  for (const Table& table : tables_) {
+    enc->VecF32(table.directions);
+    enc->VecF32(table.offsets);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(table.buckets.size());
+    for (const auto& [key, bucket] : table.buckets) {
+      (void)bucket;
+      keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+    enc->U64(keys.size());
+    for (std::uint64_t key : keys) {
+      enc->U64(key);
+      enc->VecU32(table.buckets.at(key));
+    }
+  }
+  enc->VecF32(projections_);
+  enc->VecF32(projection_dirs_);
+}
+
+core::Status LshIndex::DecodeFrom(io::Decoder* dec, std::uint64_t expected_n,
+                                  LshIndex* out) {
+  LshIndex lsh;
+  lsh.dim_ = dec->U64();
+  lsh.width_ = dec->F32();
+  lsh.projection_dim_ = dec->U64();
+  const std::uint64_t num_tables = dec->U64();
+  if (!dec->Check(lsh.dim_ > 0 && lsh.dim_ <= (1u << 24),
+                  "lsh dimension out of range") ||
+      !dec->Check(num_tables <= 4096, "lsh table count out of range")) {
+    return dec->status();
+  }
+  lsh.tables_.resize(num_tables);
+  for (std::uint64_t t = 0; t < num_tables && dec->ok(); ++t) {
+    Table& table = lsh.tables_[t];
+    dec->VecF32(&table.directions, dec->remaining());
+    dec->VecF32(&table.offsets, dec->remaining());
+    if (!dec->Check(table.directions.size() ==
+                        table.offsets.size() * lsh.dim_,
+                    "lsh table " + std::to_string(t) +
+                        " direction/offset size mismatch")) {
+      return dec->status();
+    }
+    std::uint64_t num_buckets = dec->U64();
+    if (!dec->Check(num_buckets <= dec->remaining() / sizeof(std::uint64_t),
+                    "lsh bucket count exceeds remaining payload")) {
+      return dec->status();
+    }
+    table.buckets.reserve(num_buckets);
+    for (std::uint64_t b = 0; b < num_buckets && dec->ok(); ++b) {
+      const std::uint64_t key = dec->U64();
+      std::vector<core::VectorId> ids;
+      if (!dec->VecU32(&ids, expected_n)) return dec->status();
+      for (core::VectorId id : ids) {
+        if (!dec->Check(id < expected_n,
+                        "lsh bucket id " + std::to_string(id) +
+                            " out of range")) {
+          return dec->status();
+        }
+      }
+      if (!dec->Check(table.buckets.emplace(key, std::move(ids)).second,
+                      "duplicate lsh bucket key")) {
+        return dec->status();
+      }
+    }
+  }
+  dec->VecF32(&lsh.projections_, dec->remaining());
+  dec->VecF32(&lsh.projection_dirs_, dec->remaining());
+  GASS_RETURN_IF_ERROR(dec->status());
+  if (lsh.projections_.size() != expected_n * lsh.projection_dim_ ||
+      lsh.projection_dirs_.size() != lsh.projection_dim_ * lsh.dim_) {
+    dec->Fail("lsh projection array size mismatch");
+    return dec->status();
+  }
+  *out = std::move(lsh);
+  return core::Status::Ok();
+}
+
 std::size_t LshIndex::MemoryBytes() const {
   std::size_t total = projections_.size() * sizeof(float) +
                       projection_dirs_.size() * sizeof(float);

@@ -18,7 +18,9 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "core/status.h"
 #include "core/types.h"
+#include "io/serialize.h"
 
 namespace gass::hash {
 
@@ -51,6 +53,13 @@ class LshIndex {
 
   std::size_t num_tables() const { return tables_.size(); }
   std::size_t MemoryBytes() const;
+
+  /// Snapshot codec. Bucket keys are emitted sorted, so encoding is
+  /// deterministic despite the hash-map storage. Decode validates every
+  /// stored id against `expected_n` and all array sizes against dim_.
+  void EncodeTo(io::Encoder* enc) const;
+  static core::Status DecodeFrom(io::Decoder* dec, std::uint64_t expected_n,
+                                 LshIndex* out);
 
  private:
   struct Table {

@@ -1,0 +1,24 @@
+// Self-contained 64-bit content hash for snapshot checksums.
+//
+// The algorithm is XXH64 (Yann Collet's xxHash, public-domain algorithm),
+// re-implemented here so the snapshot format has zero external
+// dependencies and a single, frozen definition: the on-disk checksum is
+// *this* function forever, independent of any library version. Not a
+// cryptographic hash — it detects corruption (bit flips, truncation,
+// transposition), not adversaries.
+
+#ifndef GASS_IO_HASH_H_
+#define GASS_IO_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gass::io {
+
+/// One-shot 64-bit hash of `len` bytes.
+std::uint64_t Hash64(const void* data, std::size_t len,
+                     std::uint64_t seed = 0);
+
+}  // namespace gass::io
+
+#endif  // GASS_IO_HASH_H_

@@ -92,6 +92,10 @@ inline void EnsureConnectedFrom(core::DistanceComputer& dc,
     if (reachable[v]) continue;
     const std::vector<core::Neighbor> found = core::BeamSearch(
         *graph, dc, data.Row(v), {root}, 1, beam_width, visited);
+    // Repair edges added earlier in this pass can have made v reachable
+    // already; the search proves it by finding v itself. Linking then
+    // would put a self-loop in the graph (Graph::Validate() rejects it).
+    if (!found.empty() && found.front().id == v) continue;
     const core::VectorId anchor = found.empty() ? root : found.front().id;
     graph->AddEdgeUnique(anchor, v);
   }

@@ -5,6 +5,7 @@
 #include "core/macros.h"
 #include "diversify/diversify.h"
 #include "methods/build_util.h"
+#include "methods/fingerprint.h"
 
 namespace gass::methods {
 
@@ -52,6 +53,24 @@ BuildStats DpgIndex::Build(const core::Dataset& data) {
   stats.index_bytes = IndexBytes();
   stats.peak_bytes = stats.index_bytes + base.MemoryBytes() * 2;
   return stats;
+}
+
+std::uint64_t DpgIndex::ParamsFingerprint() const {
+  io::Encoder enc;
+  EncodeParams(&enc, params_.nndescent);
+  enc.U64(params_.max_degree);
+  enc.F32(params_.theta_degrees);
+  enc.U64(params_.seed);
+  return FingerprintBytes(enc);
+}
+
+core::Status DpgIndex::LoadAux(const io::SnapshotReader& reader,
+                               const std::string& prefix) {
+  (void)reader;
+  (void)prefix;
+  seed_selector_ = std::make_unique<seeds::KsRandomSeeds>(
+      data_->size(), params_.seed ^ 0x5EEDULL);
+  return core::Status::Ok();
 }
 
 }  // namespace gass::methods

@@ -25,8 +25,12 @@ class DpgIndex : public SingleGraphIndex {
 
   std::string Name() const override { return "DPG"; }
   BuildStats Build(const core::Dataset& data) override;
+  std::uint64_t ParamsFingerprint() const override;
 
  private:
+  core::Status LoadAux(const io::SnapshotReader& reader,
+                       const std::string& prefix) override;
+
   DpgParams params_;
 };
 

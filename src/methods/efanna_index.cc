@@ -1,6 +1,7 @@
 #include "methods/efanna_index.h"
 
 #include "core/macros.h"
+#include "methods/fingerprint.h"
 
 namespace gass::methods {
 
@@ -43,6 +44,40 @@ BuildStats EfannaIndex::Build(const core::Dataset& data) {
   // Trees + initial graph + NNDescent pools coexist during build.
   stats.peak_bytes = stats.index_bytes * 2 + init.MemoryBytes();
   return stats;
+}
+
+std::uint64_t EfannaIndex::ParamsFingerprint() const {
+  io::Encoder enc;
+  EncodeParams(&enc, params_.nndescent);
+  enc.U64(params_.num_trees);
+  enc.U64(params_.tree_leaf_size);
+  enc.U64(params_.init_candidates);
+  enc.U64(params_.seed);
+  return FingerprintBytes(enc);
+}
+
+core::Status EfannaIndex::SaveAux(io::SnapshotWriter* writer,
+                                  const std::string& prefix) const {
+  const auto* kd = dynamic_cast<const seeds::KdSeeds*>(seed_selector_.get());
+  if (kd == nullptr) {
+    return core::Status::Unimplemented(
+        "EFANNA snapshot requires a KD seed selector");
+  }
+  io::Encoder enc;
+  kd->forest()->EncodeTo(&enc);
+  return writer->AddSection(prefix + "kdforest", std::move(enc));
+}
+
+core::Status EfannaIndex::LoadAux(const io::SnapshotReader& reader,
+                                  const std::string& prefix) {
+  io::AlignedBytes buffer;
+  io::Decoder dec(nullptr, 0, "");
+  GASS_RETURN_IF_ERROR(reader.OpenSection(prefix + "kdforest", &buffer, &dec));
+  auto forest = std::make_shared<trees::KdForest>();
+  GASS_RETURN_IF_ERROR(trees::KdForest::DecodeFrom(&dec, *data_, forest.get()));
+  if (!dec.ExpectEnd()) return dec.status();
+  seed_selector_ = std::make_unique<seeds::KdSeeds>(std::move(forest), data_);
+  return core::Status::Ok();
 }
 
 }  // namespace gass::methods

@@ -6,6 +6,7 @@
 
 #include "core/macros.h"
 #include "core/thread_pool.h"
+#include "methods/fingerprint.h"
 
 namespace gass::methods {
 
@@ -147,6 +148,68 @@ std::size_t ElpisIndex::IndexBytes() const {
     if (leaf.index != nullptr) total += leaf.index->IndexBytes();
   }
   return total;
+}
+
+std::uint64_t ElpisIndex::ParamsFingerprint() const {
+  io::Encoder enc;
+  enc.U64(params_.tree.num_segments);
+  enc.U64(params_.tree.leaf_size);
+  enc.U64(params_.tree.min_leaf_size);
+  EncodeParams(&enc, params_.leaf_hnsw);
+  enc.U64(params_.seed);
+  return FingerprintBytes(enc);
+}
+
+core::Status ElpisIndex::SaveSections(io::SnapshotWriter* writer,
+                                      const std::string& prefix) const {
+  if (tree_ == nullptr) {
+    return core::Status::InvalidArgument("ELPIS snapshot before Build");
+  }
+  io::Encoder enc;
+  tree_->EncodeTo(&enc);
+  GASS_RETURN_IF_ERROR(writer->AddSection(prefix + "tree", std::move(enc)));
+  for (std::size_t i = 0; i < leaves_.size(); ++i) {
+    GASS_RETURN_IF_ERROR(leaves_[i].index->SaveSections(
+        writer, prefix + "leaf" + std::to_string(i) + "."));
+  }
+  return core::Status::Ok();
+}
+
+core::Status ElpisIndex::LoadSections(const io::SnapshotReader& reader,
+                                      const std::string& prefix,
+                                      const core::Dataset& data) {
+  io::AlignedBytes buffer;
+  io::Decoder dec(nullptr, 0, "");
+  GASS_RETURN_IF_ERROR(reader.OpenSection(prefix + "tree", &buffer, &dec));
+  std::unique_ptr<summaries::EapcaTree> tree;
+  GASS_RETURN_IF_ERROR(
+      summaries::EapcaTree::DecodeFrom(&dec, data.size(), &tree));
+  if (!dec.ExpectEnd()) return dec.status();
+
+  // Leaves are reconstructed from the tree partition (the leaf datasets are
+  // row selections, not stored); only each leaf's HNSW sections live in the
+  // snapshot. Resize up front so leaf.data stays at a stable address while
+  // its index loads.
+  std::vector<Leaf> leaves(tree->num_leaves());
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    Leaf& leaf = leaves[i];
+    leaf.global_ids = tree->LeafMembers(i);
+    if (leaf.global_ids.empty()) {
+      return core::Status::Corruption("ELPIS snapshot has an empty leaf");
+    }
+    leaf.data = data.Select(leaf.global_ids);
+    HnswParams hnsw_params = params_.leaf_hnsw;
+    hnsw_params.seed = params_.seed ^ (i * 0x9E3779B97F4A7C15ULL);
+    leaf.index = std::make_unique<HnswIndex>(hnsw_params);
+    GASS_RETURN_IF_ERROR(leaf.index->LoadSections(
+        reader, prefix + "leaf" + std::to_string(i) + ".", leaf.data));
+  }
+
+  tree_ = std::move(tree);
+  leaves_ = std::move(leaves);
+  data_ = &data;
+  last_probed_ = 0;
+  return core::Status::Ok();
 }
 
 }  // namespace gass::methods

@@ -55,6 +55,13 @@ class ElpisIndex : public GraphIndex {
   /// nprobe ablation bench).
   std::size_t last_probed() const { return last_probed_; }
 
+  std::uint64_t ParamsFingerprint() const override;
+  core::Status SaveSections(io::SnapshotWriter* writer,
+                            const std::string& prefix) const override;
+  core::Status LoadSections(const io::SnapshotReader& reader,
+                            const std::string& prefix,
+                            const core::Dataset& data) override;
+
  private:
   struct Leaf {
     std::vector<core::VectorId> global_ids;

@@ -146,4 +146,20 @@ std::vector<std::string> AllMethodNames() {
           "lshapg", "elpis"};
 }
 
+core::Status LoadAnyIndex(const std::string& path, const core::Dataset& data,
+                          std::uint64_t seed,
+                          std::unique_ptr<GraphIndex>* out) {
+  io::SnapshotReader reader;
+  GASS_RETURN_IF_ERROR(io::SnapshotReader::Open(path, &reader));
+  for (const std::string& name : AllMethodNames()) {
+    std::unique_ptr<GraphIndex> candidate = CreateIndex(name, seed);
+    if (candidate->Name() != reader.method()) continue;
+    GASS_RETURN_IF_ERROR(LoadIndex(candidate.get(), data, path));
+    *out = std::move(candidate);
+    return core::Status::Ok();
+  }
+  return core::Status::InvalidArgument("snapshot method '" + reader.method() +
+                                       "' is not a registered method");
+}
+
 }  // namespace gass::methods

@@ -23,6 +23,16 @@ std::unique_ptr<GraphIndex> CreateIndex(const std::string& name,
 /// All recognized method names, in the paper's taxonomy order.
 std::vector<std::string> AllMethodNames();
 
+/// Opens the snapshot at `path`, instantiates the registered method whose
+/// Name() matches the snapshot header (constructed with `seed`, which must
+/// match the seed the saved index was built with — the params fingerprint
+/// is verified), loads it against `data`, and returns it. Fails with a
+/// descriptive status on unknown methods, fingerprint mismatches, or any
+/// corruption the defensive decoder detects.
+core::Status LoadAnyIndex(const std::string& path, const core::Dataset& data,
+                          std::uint64_t seed,
+                          std::unique_ptr<GraphIndex>* out);
+
 }  // namespace gass::methods
 
 #endif  // GASS_METHODS_FACTORY_H_

@@ -6,6 +6,7 @@
 #include "core/rng.h"
 #include "diversify/diversify.h"
 #include "methods/build_util.h"
+#include "methods/fingerprint.h"
 
 namespace gass::methods {
 
@@ -98,6 +99,25 @@ BuildStats FanngIndex::Build(const core::Dataset& data) {
   stats.index_bytes = IndexBytes();
   stats.peak_bytes = stats.index_bytes + base.MemoryBytes() * 2;
   return stats;
+}
+
+std::uint64_t FanngIndex::ParamsFingerprint() const {
+  io::Encoder enc;
+  EncodeParams(&enc, params_.nndescent);
+  enc.U64(params_.max_degree);
+  enc.F64(params_.training_walks_per_node);
+  enc.U64(params_.max_walk_hops);
+  enc.U64(params_.seed);
+  return FingerprintBytes(enc);
+}
+
+core::Status FanngIndex::LoadAux(const io::SnapshotReader& reader,
+                                 const std::string& prefix) {
+  (void)reader;
+  (void)prefix;
+  seed_selector_ = std::make_unique<seeds::KsRandomSeeds>(
+      data_->size(), params_.seed ^ 0x5EEDULL);
+  return core::Status::Ok();
 }
 
 }  // namespace gass::methods

@@ -38,7 +38,12 @@ class FanngIndex : public SingleGraphIndex {
   /// Escape edges added by traverse-and-add in the last Build.
   std::size_t escape_edges() const { return escape_edges_; }
 
+  std::uint64_t ParamsFingerprint() const override;
+
  private:
+  core::Status LoadAux(const io::SnapshotReader& reader,
+                       const std::string& prefix) override;
+
   FanngParams params_;
   std::size_t escape_edges_ = 0;
 };

@@ -59,4 +59,91 @@ std::size_t SingleGraphIndex::IndexBytes() const {
   return total;
 }
 
+core::Status GraphIndex::SaveSections(io::SnapshotWriter* writer,
+                                      const std::string& prefix) const {
+  (void)writer;
+  (void)prefix;
+  return core::Status::Unimplemented(Name() + " does not support snapshots");
+}
+
+core::Status GraphIndex::LoadSections(const io::SnapshotReader& reader,
+                                      const std::string& prefix,
+                                      const core::Dataset& data) {
+  (void)reader;
+  (void)prefix;
+  (void)data;
+  return core::Status::Unimplemented(Name() + " does not support snapshots");
+}
+
+core::Status SingleGraphIndex::SaveSections(io::SnapshotWriter* writer,
+                                            const std::string& prefix) const {
+  io::Encoder enc;
+  io::EncodeGraph(graph_, &enc);
+  GASS_RETURN_IF_ERROR(writer->AddSection(prefix + "graph", std::move(enc)));
+  return SaveAux(writer, prefix);
+}
+
+core::Status SingleGraphIndex::LoadSections(const io::SnapshotReader& reader,
+                                            const std::string& prefix,
+                                            const core::Dataset& data) {
+  io::AlignedBytes buffer;
+  io::Decoder dec(nullptr, 0, "");
+  GASS_RETURN_IF_ERROR(reader.OpenSection(prefix + "graph", &buffer, &dec));
+  GASS_RETURN_IF_ERROR(io::DecodeGraph(&dec, data.size(), &graph_));
+  if (!dec.ExpectEnd()) return dec.status();
+  data_ = &data;
+  visited_ = std::make_unique<core::VisitedTable>(data.size());
+  return LoadAux(reader, prefix);
+}
+
+core::Status SingleGraphIndex::SaveAux(io::SnapshotWriter* writer,
+                                       const std::string& prefix) const {
+  (void)writer;
+  (void)prefix;
+  return core::Status::Ok();
+}
+
+core::Status SingleGraphIndex::LoadAux(const io::SnapshotReader& reader,
+                                       const std::string& prefix) {
+  (void)reader;
+  (void)prefix;
+  return core::Status::Unimplemented(Name() +
+                                     " does not restore seed structures");
+}
+
+core::Status SaveIndex(const GraphIndex& index, const std::string& path) {
+  if (index.data() == nullptr) {
+    return core::Status::InvalidArgument("cannot save an unbuilt " +
+                                         index.Name() + " index");
+  }
+  io::SnapshotWriter writer(index.Name(), index.ParamsFingerprint(),
+                            index.data()->size(), index.data()->dim());
+  GASS_RETURN_IF_ERROR(index.SaveSections(&writer, ""));
+  return writer.WriteTo(path);
+}
+
+core::Status LoadIndex(GraphIndex* index, const core::Dataset& data,
+                       const std::string& path) {
+  io::SnapshotReader reader;
+  GASS_RETURN_IF_ERROR(io::SnapshotReader::Open(path, &reader));
+  if (reader.method() != index->Name()) {
+    return core::Status::InvalidArgument(
+        path + ": snapshot holds a " + reader.method() +
+        " index, cannot load into " + index->Name());
+  }
+  if (reader.params_fingerprint() != index->ParamsFingerprint()) {
+    return core::Status::InvalidArgument(
+        path + ": snapshot was built with different " + index->Name() +
+        " parameters (fingerprint mismatch)");
+  }
+  if (reader.data_n() != data.size() || reader.data_dim() != data.dim()) {
+    return core::Status::InvalidArgument(
+        path + ": snapshot was built over a " +
+        std::to_string(reader.data_n()) + "x" +
+        std::to_string(reader.data_dim()) + " dataset, got " +
+        std::to_string(data.size()) + "x" + std::to_string(data.dim()));
+  }
+  return index->LoadSections(reader, "", data);
+}
+
 }  // namespace gass::methods

@@ -15,7 +15,9 @@
 #include "core/neighbor.h"
 #include "core/rng.h"
 #include "core/stats.h"
+#include "core/status.h"
 #include "core/visited.h"
+#include "io/snapshot.h"
 #include "seeds/seed_selector.h"
 
 namespace gass::methods {
@@ -40,6 +42,11 @@ struct SearchParams {
 struct SearchResult {
   std::vector<core::Neighbor> neighbors;
   core::SearchStats stats;
+  /// True when a deadline cut the search short: `neighbors` holds the
+  /// best-so-far answers, not a full-effort result. Set by deadline-running
+  /// callers (serve::QueryExecutor) so batch consumers can tell truncated
+  /// results apart without digging through stats.
+  bool expired = false;
 };
 
 /// Costs of one index construction.
@@ -113,9 +120,41 @@ class GraphIndex {
 
   const core::Dataset* data() const { return data_; }
 
+  // --- Persistence (see docs/PERSISTENCE.md) ---
+
+  /// Stable 64-bit hash of the construction parameters (including the
+  /// build seed). Stored in snapshot headers; LoadIndex() rejects a
+  /// snapshot whose fingerprint differs from the target index's, so an
+  /// index can never silently adopt a graph built with other knobs.
+  virtual std::uint64_t ParamsFingerprint() const { return 0; }
+
+  /// Writes the built index's state as snapshot sections named under
+  /// `prefix` (composite indexes nest: HVS saves its base HNSW under
+  /// "base.", ELPIS each leaf under "leaf<i>."). Default: kUnimplemented.
+  virtual core::Status SaveSections(io::SnapshotWriter* writer,
+                                    const std::string& prefix) const;
+
+  /// Restores state from sections under `prefix`, binding the index to
+  /// `data` (which must be the dataset the snapshot was built over and must
+  /// outlive the index). Every count, offset, and neighbor id is validated
+  /// before use. Default: kUnimplemented.
+  virtual core::Status LoadSections(const io::SnapshotReader& reader,
+                                    const std::string& prefix,
+                                    const core::Dataset& data);
+
  protected:
   const core::Dataset* data_ = nullptr;
 };
+
+/// Saves a built index to `path` as a crash-safe snapshot (written to
+/// "<path>.tmp", fsynced, atomically renamed).
+core::Status SaveIndex(const GraphIndex& index, const std::string& path);
+
+/// Loads a snapshot into an unbuilt (or rebuilt) index. Fails with a
+/// descriptive error when the snapshot's method name, params fingerprint,
+/// or dataset shape (n, dim) does not match `index`/`data`.
+core::Status LoadIndex(GraphIndex* index, const core::Dataset& data,
+                       const std::string& path);
 
 /// Common implementation: a single base graph searched with Algorithm 1,
 /// seeded by a pluggable SS strategy. Subclasses implement BuildGraph() and
@@ -136,7 +175,24 @@ class SingleGraphIndex : public GraphIndex {
   }
   seeds::SeedSelector* seed_selector() { return seed_selector_.get(); }
 
+  /// Saves the base graph under "<prefix>graph" plus any method sections
+  /// (SaveAux); the inverse decodes and Validate()s the graph, rebinds
+  /// `data`, and delegates seed-structure restoration to LoadAux.
+  core::Status SaveSections(io::SnapshotWriter* writer,
+                            const std::string& prefix) const override;
+  core::Status LoadSections(const io::SnapshotReader& reader,
+                            const std::string& prefix,
+                            const core::Dataset& data) override;
+
  protected:
+  /// Method-specific auxiliary sections (seed trees, hash tables). The
+  /// defaults save nothing / fail with kUnimplemented — every method that
+  /// snapshots must override LoadAux to reinstall its seed selector.
+  virtual core::Status SaveAux(io::SnapshotWriter* writer,
+                               const std::string& prefix) const;
+  virtual core::Status LoadAux(const io::SnapshotReader& reader,
+                               const std::string& prefix);
+
   /// Shared implementation behind both Search overloads. `rng` null means
   /// "use the seed selector's internal serial stream" (the classic
   /// single-threaded path, bit-for-bit identical to historic behavior).

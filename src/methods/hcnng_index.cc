@@ -7,6 +7,7 @@
 #include "core/rng.h"
 #include "trees/hierarchical_clustering.h"
 #include "trees/kd_tree.h"
+#include "methods/fingerprint.h"
 
 namespace gass::methods {
 
@@ -112,6 +113,40 @@ BuildStats HcnngIndex::Build(const core::Dataset& data) {
       stats.index_bytes +
       params_.leaf_size * params_.leaf_size * sizeof(float) * 2;
   return stats;
+}
+
+std::uint64_t HcnngIndex::ParamsFingerprint() const {
+  io::Encoder enc;
+  enc.U64(params_.num_clusterings);
+  enc.U64(params_.leaf_size);
+  enc.U64(params_.mst_degree_cap);
+  enc.U64(params_.kd_num_trees);
+  enc.U64(params_.seed);
+  return FingerprintBytes(enc);
+}
+
+core::Status HcnngIndex::SaveAux(io::SnapshotWriter* writer,
+                                 const std::string& prefix) const {
+  const auto* kd = dynamic_cast<const seeds::KdSeeds*>(seed_selector_.get());
+  if (kd == nullptr) {
+    return core::Status::Unimplemented(
+        "HCNNG snapshot requires a KD seed selector");
+  }
+  io::Encoder enc;
+  kd->forest()->EncodeTo(&enc);
+  return writer->AddSection(prefix + "kdforest", std::move(enc));
+}
+
+core::Status HcnngIndex::LoadAux(const io::SnapshotReader& reader,
+                                 const std::string& prefix) {
+  io::AlignedBytes buffer;
+  io::Decoder dec(nullptr, 0, "");
+  GASS_RETURN_IF_ERROR(reader.OpenSection(prefix + "kdforest", &buffer, &dec));
+  auto forest = std::make_shared<trees::KdForest>();
+  GASS_RETURN_IF_ERROR(trees::KdForest::DecodeFrom(&dec, *data_, forest.get()));
+  if (!dec.ExpectEnd()) return dec.status();
+  seed_selector_ = std::make_unique<seeds::KdSeeds>(std::move(forest), data_);
+  return core::Status::Ok();
 }
 
 }  // namespace gass::methods

@@ -28,8 +28,14 @@ class HcnngIndex : public SingleGraphIndex {
 
   std::string Name() const override { return "HCNNG"; }
   BuildStats Build(const core::Dataset& data) override;
+  std::uint64_t ParamsFingerprint() const override;
 
  private:
+  core::Status SaveAux(io::SnapshotWriter* writer,
+                       const std::string& prefix) const override;
+  core::Status LoadAux(const io::SnapshotReader& reader,
+                       const std::string& prefix) override;
+
   HcnngParams params_;
 };
 

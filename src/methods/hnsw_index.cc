@@ -8,6 +8,7 @@
 #include "core/macros.h"
 #include "diversify/diversify.h"
 #include "methods/build_util.h"
+#include "methods/fingerprint.h"
 
 namespace gass::methods {
 
@@ -192,78 +193,90 @@ SearchResult HnswIndex::SearchWith(const float* query,
 }
 
 core::Status HnswIndex::Save(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return core::Status::Error("cannot create " + path);
-  const std::uint64_t magic = 0x47415353484E5357ULL;  // "GASSHNSW".
-  const std::uint64_t n = level_.size();
-  const std::uint64_t num_layers = layers_.size();
-  const std::uint64_t inserted = inserted_;
-  const std::uint32_t entry = entry_;
-  const std::uint32_t entry_level = entry_level_;
-  bool ok = std::fwrite(&magic, sizeof(magic), 1, f) == 1 &&
-            std::fwrite(&n, sizeof(n), 1, f) == 1 &&
-            std::fwrite(&num_layers, sizeof(num_layers), 1, f) == 1 &&
-            std::fwrite(&inserted, sizeof(inserted), 1, f) == 1 &&
-            std::fwrite(&entry, sizeof(entry), 1, f) == 1 &&
-            std::fwrite(&entry_level, sizeof(entry_level), 1, f) == 1 &&
-            (level_.empty() ||
-             std::fwrite(level_.data(), sizeof(std::uint32_t), level_.size(),
-                         f) == level_.size());
-  std::fclose(f);
-  if (!ok) return core::Status::Error("short write to " + path);
-
-  // Graphs go to sidecar sections via the Graph serializer appended to the
-  // same file.
-  core::Status status = base_.Save(path + ".base");
-  if (!status.ok()) return status;
-  for (std::size_t l = 0; l < layers_.size(); ++l) {
-    status = layers_[l].Save(path + ".layer" + std::to_string(l));
-    if (!status.ok()) return status;
-  }
-  return core::Status::Ok();
+  return SaveIndex(*this, path);
 }
 
 core::Status HnswIndex::Load(const std::string& path,
                              const core::Dataset& data) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return core::Status::Error("cannot open " + path);
-  std::uint64_t magic = 0, n = 0, num_layers = 0, inserted = 0;
-  std::uint32_t entry = 0, entry_level = 0;
-  const bool ok = std::fread(&magic, sizeof(magic), 1, f) == 1 &&
-                  std::fread(&n, sizeof(n), 1, f) == 1 &&
-                  std::fread(&num_layers, sizeof(num_layers), 1, f) == 1 &&
-                  std::fread(&inserted, sizeof(inserted), 1, f) == 1 &&
-                  std::fread(&entry, sizeof(entry), 1, f) == 1 &&
-                  std::fread(&entry_level, sizeof(entry_level), 1, f) == 1;
-  if (!ok || magic != 0x47415353484E5357ULL) {
-    std::fclose(f);
-    return core::Status::Error("not a GASS HNSW index: " + path);
-  }
-  if (n != data.size()) {
-    std::fclose(f);
-    return core::Status::Error("index/data size mismatch for " + path);
-  }
-  level_.resize(n);
-  if (n > 0 &&
-      std::fread(level_.data(), sizeof(std::uint32_t), n, f) != n) {
-    std::fclose(f);
-    return core::Status::Error("truncated HNSW index: " + path);
-  }
-  std::fclose(f);
+  return LoadIndex(this, data, path);
+}
 
-  core::Status status = base_.Load(path + ".base");
-  if (!status.ok()) return status;
-  layers_.resize(num_layers);
-  for (std::size_t l = 0; l < num_layers; ++l) {
-    status = layers_[l].Load(path + ".layer" + std::to_string(l));
-    if (!status.ok()) return status;
+std::uint64_t HnswIndex::ParamsFingerprint() const {
+  io::Encoder enc;
+  EncodeParams(&enc, params_);
+  return FingerprintBytes(enc);
+}
+
+core::Status HnswIndex::SaveSections(io::SnapshotWriter* writer,
+                                     const std::string& prefix) const {
+  io::Encoder meta;
+  meta.U32(entry_);
+  meta.U32(entry_level_);
+  meta.U64(inserted_);
+  meta.U64(layers_.size());
+  meta.VecU32(level_);
+  GASS_RETURN_IF_ERROR(writer->AddSection(prefix + "meta", std::move(meta)));
+
+  io::Encoder base;
+  io::EncodeGraph(base_, &base);
+  GASS_RETURN_IF_ERROR(writer->AddSection(prefix + "base", std::move(base)));
+
+  io::Encoder layers;
+  for (const Graph& layer : layers_) io::EncodeGraph(layer, &layers);
+  return writer->AddSection(prefix + "layers", std::move(layers));
+}
+
+core::Status HnswIndex::LoadSections(const io::SnapshotReader& reader,
+                                     const std::string& prefix,
+                                     const core::Dataset& data) {
+  const std::uint64_t n = data.size();
+  io::AlignedBytes buffer;
+  io::Decoder dec(nullptr, 0, "");
+  GASS_RETURN_IF_ERROR(reader.OpenSection(prefix + "meta", &buffer, &dec));
+  const std::uint32_t entry = dec.U32();
+  const std::uint32_t entry_level = dec.U32();
+  const std::uint64_t inserted = dec.U64();
+  const std::uint64_t num_layers = dec.U64();
+  std::vector<std::uint32_t> level;
+  dec.VecU32(&level, n);
+  if (!dec.ExpectEnd()) return dec.status();
+  dec.Check(level.size() == n, "HNSW level table size mismatch");
+  dec.Check(inserted <= n, "HNSW inserted count exceeds dataset size");
+  dec.Check(num_layers <= (1ULL << 20), "implausible HNSW layer count");
+  dec.Check(entry < n, "HNSW entry point out of range");
+  dec.Check(entry_level <= num_layers, "HNSW entry level above layer stack");
+  for (std::uint32_t node_level : level) {
+    if (node_level > num_layers) {
+      dec.Check(false, "HNSW node level above layer stack");
+      break;
+    }
   }
-  data_ = &data;
+  if (!dec.ok()) return dec.status();
+
+  Graph base;
+  GASS_RETURN_IF_ERROR(reader.OpenSection(prefix + "base", &buffer, &dec));
+  GASS_RETURN_IF_ERROR(io::DecodeGraph(&dec, n, &base));
+  if (!dec.ExpectEnd()) return dec.status();
+
+  std::vector<Graph> layers(num_layers);
+  GASS_RETURN_IF_ERROR(reader.OpenSection(prefix + "layers", &buffer, &dec));
+  for (std::uint64_t l = 0; l < num_layers; ++l) {
+    GASS_RETURN_IF_ERROR(io::DecodeGraph(&dec, n, &layers[l]));
+  }
+  if (!dec.ExpectEnd()) return dec.status();
+
+  base_ = std::move(base);
+  layers_ = std::move(layers);
+  level_ = std::move(level);
   entry_ = entry;
   entry_level_ = entry_level;
   inserted_ = inserted;
+  data_ = &data;
   visited_ = std::make_unique<core::VisitedTable>(data.size());
-  level_rng_ = std::make_unique<core::Rng>(params_.seed ^ inserted_);
+  // Replay the level stream (one draw per inserted node) so a later
+  // Extend() continues exactly where the saved build left off.
+  level_rng_ = std::make_unique<core::Rng>(params_.seed);
+  for (std::uint64_t i = 0; i < inserted_; ++i) level_rng_->UniformDouble();
   return core::Status::Ok();
 }
 

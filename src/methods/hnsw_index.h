@@ -61,10 +61,18 @@ class HnswIndex : public GraphIndex {
   std::size_t inserted_count() const { return inserted_; }
 
   /// Persists the full index (levels, entry point, base graph and layer
-  /// graphs). The raw vectors are not included; Load() must be given the
-  /// same dataset.
+  /// graphs) as a single snapshot file. The raw vectors are not included;
+  /// Load() must be given the same dataset. Thin wrappers over
+  /// methods::SaveIndex / methods::LoadIndex.
   core::Status Save(const std::string& path) const;
   core::Status Load(const std::string& path, const core::Dataset& data);
+
+  std::uint64_t ParamsFingerprint() const override;
+  core::Status SaveSections(io::SnapshotWriter* writer,
+                            const std::string& prefix) const override;
+  core::Status LoadSections(const io::SnapshotReader& reader,
+                            const std::string& prefix,
+                            const core::Dataset& data) override;
 
  private:
   /// Greedy descent from the entry point down to (exclusive) layer

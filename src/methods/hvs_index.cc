@@ -6,6 +6,7 @@
 #include "core/beam_search.h"
 #include "core/macros.h"
 #include "core/rng.h"
+#include "methods/fingerprint.h"
 
 namespace gass::methods {
 
@@ -147,6 +148,76 @@ std::size_t HvsIndex::IndexBytes() const {
              level.pq.MemoryBytes();
   }
   return total;
+}
+
+std::uint64_t HvsIndex::ParamsFingerprint() const {
+  io::Encoder enc;
+  EncodeParams(&enc, params_.base);
+  enc.U64(params_.num_levels);
+  enc.F64(params_.level_fraction);
+  enc.U64(params_.top_subspaces);
+  enc.U64(params_.density_sample);
+  enc.U64(params_.seed);
+  return FingerprintBytes(enc);
+}
+
+core::Status HvsIndex::SaveSections(io::SnapshotWriter* writer,
+                                    const std::string& prefix) const {
+  if (base_ == nullptr) {
+    return core::Status::InvalidArgument("HVS snapshot before Build");
+  }
+  GASS_RETURN_IF_ERROR(base_->SaveSections(writer, prefix + "base."));
+  io::Encoder enc;
+  enc.U64(levels_.size());
+  for (const Level& level : levels_) {
+    enc.VecU32(level.members);
+    level.pq.EncodeTo(&enc);
+    enc.VecU8(level.codes);
+  }
+  return writer->AddSection(prefix + "levels", std::move(enc));
+}
+
+core::Status HvsIndex::LoadSections(const io::SnapshotReader& reader,
+                                    const std::string& prefix,
+                                    const core::Dataset& data) {
+  HnswParams base_params = params_.base;
+  base_params.seed = params_.seed;
+  auto base = std::make_unique<HnswIndex>(base_params);
+  GASS_RETURN_IF_ERROR(base->LoadSections(reader, prefix + "base.", data));
+
+  io::AlignedBytes buffer;
+  io::Decoder dec(nullptr, 0, "");
+  GASS_RETURN_IF_ERROR(reader.OpenSection(prefix + "levels", &buffer, &dec));
+  const std::uint64_t num_levels = dec.U64();
+  if (!dec.Check(num_levels <= 64, "implausible HVS level count")) {
+    return dec.status();
+  }
+  std::vector<Level> levels(num_levels);
+  for (std::uint64_t l = 0; l < num_levels && dec.ok(); ++l) {
+    Level& level = levels[l];
+    dec.VecU32(&level.members, data.size());
+    for (VectorId member : level.members) {
+      if (member >= data.size()) {
+        dec.Check(false, "HVS level member id out of range");
+        break;
+      }
+    }
+    GASS_RETURN_IF_ERROR(
+        quantize::ProductQuantizer::DecodeFrom(&dec, &level.pq));
+    dec.VecU8(&level.codes, dec.remaining());
+    dec.Check(level.pq.dim() == data.dim(),
+              "HVS level quantizer dimensionality mismatch");
+    dec.Check(level.codes.size() ==
+                  level.members.size() * level.pq.code_size(),
+              "HVS level code block size mismatch");
+  }
+  if (!dec.ExpectEnd()) return dec.status();
+
+  base_ = std::move(base);
+  levels_ = std::move(levels);
+  data_ = &data;
+  visited_ = std::make_unique<core::VisitedTable>(data.size());
+  return core::Status::Ok();
 }
 
 }  // namespace gass::methods

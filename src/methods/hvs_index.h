@@ -57,6 +57,13 @@ class HvsIndex : public GraphIndex {
     return levels_[level].members.size();
   }
 
+  std::uint64_t ParamsFingerprint() const override;
+  core::Status SaveSections(io::SnapshotWriter* writer,
+                            const std::string& prefix) const override;
+  core::Status LoadSections(const io::SnapshotReader& reader,
+                            const std::string& prefix,
+                            const core::Dataset& data) override;
+
  private:
   /// Quantized-level descent (read-only) + base beam search over `visited`.
   SearchResult SearchThrough(const float* query, const SearchParams& params,

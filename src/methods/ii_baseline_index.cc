@@ -7,6 +7,7 @@
 #include "core/macros.h"
 #include "core/rng.h"
 #include "methods/build_util.h"
+#include "methods/fingerprint.h"
 
 namespace gass::methods {
 
@@ -231,6 +232,42 @@ void IiBaselineIndex::AttachQuerySeeds(seeds::Strategy strategy) {
       break;
     }
   }
+}
+
+std::uint64_t IiBaselineIndex::ParamsFingerprint() const {
+  io::Encoder enc;
+  enc.U64(params_.max_degree);
+  enc.U64(params_.build_beam_width);
+  enc.U8(static_cast<std::uint8_t>(params_.candidate_source));
+  enc.U64(params_.ivf.num_lists);
+  enc.U64(params_.ivf.kmeans_iters);
+  enc.U64(params_.ivf.pq.num_subspaces);
+  enc.U64(params_.ivf.pq.codebook_size);
+  enc.U64(params_.ivf_nprobe);
+  enc.U8(static_cast<std::uint8_t>(params_.diversify.strategy));
+  enc.F32(params_.diversify.alpha);
+  enc.F32(params_.diversify.theta_degrees);
+  enc.U8(static_cast<std::uint8_t>(params_.build_ss));
+  enc.U8(static_cast<std::uint8_t>(params_.query_ss));
+  enc.U64(params_.build_seeds);
+  enc.U64(params_.kd_num_trees);
+  enc.U64(params_.kd_leaf_size);
+  enc.U64(params_.bkt_branching);
+  enc.U64(params_.lsh_tables);
+  enc.U64(params_.sn_max_degree);
+  enc.U64(params_.seed);
+  return FingerprintBytes(enc);
+}
+
+core::Status IiBaselineIndex::LoadAux(const io::SnapshotReader& reader,
+                                      const std::string& prefix) {
+  (void)reader;
+  (void)prefix;
+  // Every query seed structure is rebuilt deterministically from the
+  // dataset + params (AttachQuerySeeds always starts from a fresh RNG), so
+  // nothing auxiliary is stored in the snapshot.
+  AttachQuerySeeds(params_.query_ss);
+  return core::Status::Ok();
 }
 
 }  // namespace gass::methods

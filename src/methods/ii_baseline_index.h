@@ -73,7 +73,12 @@ class IiBaselineIndex : public SingleGraphIndex {
   /// graph).
   void AttachQuerySeeds(seeds::Strategy strategy);
 
+  std::uint64_t ParamsFingerprint() const override;
+
  private:
+  core::Status LoadAux(const io::SnapshotReader& reader,
+                       const std::string& prefix) override;
+
   IiBaselineParams params_;
   diversify::PruneStats prune_stats_;
 };

@@ -1,6 +1,7 @@
 #include "methods/kgraph_index.h"
 
 #include "core/macros.h"
+#include "methods/fingerprint.h"
 
 namespace gass::methods {
 
@@ -24,6 +25,22 @@ BuildStats KgraphIndex::Build(const core::Dataset& data) {
   // paper observes KGraph/EFANNA footprints far above their index sizes).
   stats.peak_bytes = stats.index_bytes * 2;
   return stats;
+}
+
+std::uint64_t KgraphIndex::ParamsFingerprint() const {
+  io::Encoder enc;
+  EncodeParams(&enc, params_.nndescent);
+  enc.U64(params_.seed);
+  return FingerprintBytes(enc);
+}
+
+core::Status KgraphIndex::LoadAux(const io::SnapshotReader& reader,
+                                  const std::string& prefix) {
+  (void)reader;
+  (void)prefix;
+  seed_selector_ = std::make_unique<seeds::KsRandomSeeds>(
+      data_->size(), params_.seed ^ 0x5EEDULL);
+  return core::Status::Ok();
 }
 
 }  // namespace gass::methods

@@ -21,8 +21,12 @@ class KgraphIndex : public SingleGraphIndex {
 
   std::string Name() const override { return "KGraph"; }
   BuildStats Build(const core::Dataset& data) override;
+  std::uint64_t ParamsFingerprint() const override;
 
  private:
+  core::Status LoadAux(const io::SnapshotReader& reader,
+                       const std::string& prefix) override;
+
   KgraphParams params_;
 };
 

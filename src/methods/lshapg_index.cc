@@ -5,6 +5,7 @@
 #include "core/beam_search.h"
 #include "core/macros.h"
 #include "core/neighbor.h"
+#include "methods/fingerprint.h"
 
 namespace gass::methods {
 
@@ -111,6 +112,38 @@ std::size_t LshApgIndex::IndexBytes() const {
   std::size_t total = graph_.MemoryBytes();
   if (lsh_ != nullptr) total += lsh_->MemoryBytes();
   return total;
+}
+
+std::uint64_t LshApgIndex::ParamsFingerprint() const {
+  io::Encoder enc;
+  EncodeParams(&enc, params_.hnsw);
+  EncodeParams(&enc, params_.lsh);
+  enc.U64(params_.seed);
+  return FingerprintBytes(enc);
+}
+
+core::Status LshApgIndex::SaveAux(io::SnapshotWriter* writer,
+                                  const std::string& prefix) const {
+  if (lsh_ == nullptr) {
+    return core::Status::Unimplemented("LSHAPG snapshot requires LSH tables");
+  }
+  io::Encoder enc;
+  lsh_->EncodeTo(&enc);
+  return writer->AddSection(prefix + "lsh", std::move(enc));
+}
+
+core::Status LshApgIndex::LoadAux(const io::SnapshotReader& reader,
+                                  const std::string& prefix) {
+  io::AlignedBytes buffer;
+  io::Decoder dec(nullptr, 0, "");
+  GASS_RETURN_IF_ERROR(reader.OpenSection(prefix + "lsh", &buffer, &dec));
+  hash::LshIndex lsh;
+  GASS_RETURN_IF_ERROR(hash::LshIndex::DecodeFrom(&dec, data_->size(), &lsh));
+  if (!dec.ExpectEnd()) return dec.status();
+  lsh_ = std::make_shared<const hash::LshIndex>(std::move(lsh));
+  seed_selector_ = std::make_unique<seeds::LshSeeds>(
+      lsh_, data_->size(), params_.seed ^ 0x5EEDULL);
+  return core::Status::Ok();
 }
 
 }  // namespace gass::methods

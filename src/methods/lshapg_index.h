@@ -36,8 +36,14 @@ class LshApgIndex : public SingleGraphIndex {
   SearchResult Search(const float* query, const SearchParams& params,
                       SearchContext* ctx) const override;
   std::size_t IndexBytes() const override;
+  std::uint64_t ParamsFingerprint() const override;
 
  private:
+  core::Status SaveAux(io::SnapshotWriter* writer,
+                       const std::string& prefix) const override;
+  core::Status LoadAux(const io::SnapshotReader& reader,
+                       const std::string& prefix) override;
+
   /// LSH-seeded beam search with probabilistic routing. `rng` null = the
   /// selector's serial stream (see SingleGraphIndex::SearchWith).
   SearchResult SearchRouted(const float* query, const SearchParams& params,

@@ -6,6 +6,7 @@
 #include "core/macros.h"
 #include "diversify/diversify.h"
 #include "methods/build_util.h"
+#include "methods/fingerprint.h"
 
 namespace gass::methods {
 
@@ -93,6 +94,36 @@ std::size_t NgtIndex::IndexBytes() const {
   std::size_t total = graph_.MemoryBytes();
   if (vp_tree_ != nullptr) total += vp_tree_->MemoryBytes();
   return total;
+}
+
+std::uint64_t NgtIndex::ParamsFingerprint() const {
+  io::Encoder enc;
+  EncodeParams(&enc, params_.nndescent);
+  enc.U64(params_.max_degree);
+  enc.U64(params_.seed);
+  return FingerprintBytes(enc);
+}
+
+core::Status NgtIndex::SaveAux(io::SnapshotWriter* writer,
+                               const std::string& prefix) const {
+  if (vp_tree_ == nullptr) {
+    return core::Status::Unimplemented("NGT snapshot requires a VP tree");
+  }
+  io::Encoder enc;
+  vp_tree_->EncodeTo(&enc);
+  return writer->AddSection(prefix + "vptree", std::move(enc));
+}
+
+core::Status NgtIndex::LoadAux(const io::SnapshotReader& reader,
+                               const std::string& prefix) {
+  io::AlignedBytes buffer;
+  io::Decoder dec(nullptr, 0, "");
+  GASS_RETURN_IF_ERROR(reader.OpenSection(prefix + "vptree", &buffer, &dec));
+  trees::VpTree tree;
+  GASS_RETURN_IF_ERROR(trees::VpTree::DecodeFrom(&dec, data_->size(), &tree));
+  if (!dec.ExpectEnd()) return dec.status();
+  vp_tree_ = std::make_unique<trees::VpTree>(std::move(tree));
+  return core::Status::Ok();
 }
 
 }  // namespace gass::methods

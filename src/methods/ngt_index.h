@@ -31,8 +31,14 @@ class NgtIndex : public SingleGraphIndex {
   SearchResult Search(const float* query, const SearchParams& params,
                       SearchContext* ctx) const override;
   std::size_t IndexBytes() const override;
+  std::uint64_t ParamsFingerprint() const override;
 
  private:
+  core::Status SaveAux(io::SnapshotWriter* writer,
+                       const std::string& prefix) const override;
+  core::Status LoadAux(const io::SnapshotReader& reader,
+                       const std::string& prefix) override;
+
   /// VP-tree seeding (deterministic) + Algorithm 1 over `visited`.
   SearchResult SearchOver(const float* query, const SearchParams& params,
                           core::VisitedTable* visited) const;

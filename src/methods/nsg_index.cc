@@ -7,6 +7,7 @@
 #include "diversify/diversify.h"
 #include "methods/base_graphs.h"
 #include "methods/build_util.h"
+#include "methods/fingerprint.h"
 
 namespace gass::methods {
 
@@ -95,6 +96,40 @@ SearchResult NsgIndex::SearchFrom(const float* query,
   result.stats.distance_computations = dc.count();
   result.stats.elapsed_seconds = timer.Seconds();
   return result;
+}
+
+std::uint64_t NsgIndex::ParamsFingerprint() const {
+  io::Encoder enc;
+  EncodeParams(&enc, params_.nndescent);
+  enc.U64(params_.num_trees);
+  enc.U64(params_.tree_leaf_size);
+  enc.U64(params_.init_candidates);
+  enc.U64(params_.max_degree);
+  enc.U64(params_.build_beam_width);
+  enc.U64(params_.seed);
+  return FingerprintBytes(enc);
+}
+
+core::Status NsgIndex::SaveAux(io::SnapshotWriter* writer,
+                               const std::string& prefix) const {
+  io::Encoder enc;
+  enc.U32(medoid_);
+  return writer->AddSection(prefix + "medoid", std::move(enc));
+}
+
+core::Status NsgIndex::LoadAux(const io::SnapshotReader& reader,
+                               const std::string& prefix) {
+  io::AlignedBytes buffer;
+  io::Decoder dec(nullptr, 0, "");
+  GASS_RETURN_IF_ERROR(reader.OpenSection(prefix + "medoid", &buffer, &dec));
+  const core::VectorId medoid = dec.U32();
+  if (!dec.ExpectEnd()) return dec.status();
+  if (!dec.Check(medoid < data_->size(), "medoid id out of range")) {
+    return dec.status();
+  }
+  medoid_ = medoid;
+  query_rng_ = std::make_unique<core::Rng>(params_.seed ^ 0x5EEDULL);
+  return core::Status::Ok();
 }
 
 }  // namespace gass::methods

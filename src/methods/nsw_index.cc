@@ -6,6 +6,7 @@
 #include "core/macros.h"
 #include "core/rng.h"
 #include "methods/build_util.h"
+#include "methods/fingerprint.h"
 
 namespace gass::methods {
 
@@ -68,6 +69,24 @@ BuildStats NswIndex::Build(const core::Dataset& data) {
   stats.index_bytes = IndexBytes();
   stats.peak_bytes = stats.index_bytes;
   return stats;
+}
+
+std::uint64_t NswIndex::ParamsFingerprint() const {
+  io::Encoder enc;
+  enc.U64(params_.max_degree);
+  enc.U64(params_.build_beam_width);
+  enc.U64(params_.degree_cap);
+  enc.U64(params_.seed);
+  return FingerprintBytes(enc);
+}
+
+core::Status NswIndex::LoadAux(const io::SnapshotReader& reader,
+                               const std::string& prefix) {
+  (void)reader;
+  (void)prefix;
+  seed_selector_ = std::make_unique<seeds::KsRandomSeeds>(
+      data_->size(), params_.seed ^ 0x5EEDULL);
+  return core::Status::Ok();
 }
 
 }  // namespace gass::methods

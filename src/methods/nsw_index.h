@@ -28,8 +28,12 @@ class NswIndex : public SingleGraphIndex {
 
   std::string Name() const override { return "NSW"; }
   BuildStats Build(const core::Dataset& data) override;
+  std::uint64_t ParamsFingerprint() const override;
 
  private:
+  core::Status LoadAux(const io::SnapshotReader& reader,
+                       const std::string& prefix) override;
+
   NswParams params_;
 };
 

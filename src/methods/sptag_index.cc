@@ -7,6 +7,7 @@
 #include "diversify/diversify.h"
 #include "knngraph/exact_knn_graph.h"
 #include "methods/build_util.h"
+#include "methods/fingerprint.h"
 
 namespace gass::methods {
 
@@ -73,6 +74,63 @@ BuildStats SptagIndex::Build(const core::Dataset& data) {
   stats.peak_bytes =
       stats.index_bytes + graph_.MemoryBytes() * params_.num_partitions;
   return stats;
+}
+
+std::uint64_t SptagIndex::ParamsFingerprint() const {
+  io::Encoder enc;
+  enc.U64(params_.num_partitions);
+  enc.U64(params_.tp_tree.leaf_size);
+  enc.U64(params_.tp_tree.projection_dims);
+  enc.U64(params_.leaf_knn);
+  enc.U64(params_.max_degree);
+  enc.U8(params_.seed_tree == SptagSeedTree::kBkt ? 1 : 0);
+  enc.U64(params_.kd_num_trees);
+  enc.U64(params_.bkt_branching);
+  enc.U64(params_.seed);
+  return FingerprintBytes(enc);
+}
+
+core::Status SptagIndex::SaveAux(io::SnapshotWriter* writer,
+                                 const std::string& prefix) const {
+  if (params_.seed_tree == SptagSeedTree::kBkt) {
+    const auto* km = dynamic_cast<const seeds::KmSeeds*>(seed_selector_.get());
+    if (km == nullptr) {
+      return core::Status::Unimplemented(
+          "SPTAG-BKT snapshot requires a k-means-tree seed selector");
+    }
+    io::Encoder enc;
+    km->tree()->EncodeTo(&enc);
+    return writer->AddSection(prefix + "bkt", std::move(enc));
+  }
+  const auto* kd = dynamic_cast<const seeds::KdSeeds*>(seed_selector_.get());
+  if (kd == nullptr) {
+    return core::Status::Unimplemented(
+        "SPTAG-KDT snapshot requires a KD seed selector");
+  }
+  io::Encoder enc;
+  kd->forest()->EncodeTo(&enc);
+  return writer->AddSection(prefix + "kdforest", std::move(enc));
+}
+
+core::Status SptagIndex::LoadAux(const io::SnapshotReader& reader,
+                                 const std::string& prefix) {
+  io::AlignedBytes buffer;
+  io::Decoder dec(nullptr, 0, "");
+  if (params_.seed_tree == SptagSeedTree::kBkt) {
+    GASS_RETURN_IF_ERROR(reader.OpenSection(prefix + "bkt", &buffer, &dec));
+    auto tree = std::make_shared<trees::BkMeansTree>();
+    GASS_RETURN_IF_ERROR(
+        trees::BkMeansTree::DecodeFrom(&dec, data_->size(), tree.get()));
+    if (!dec.ExpectEnd()) return dec.status();
+    seed_selector_ = std::make_unique<seeds::KmSeeds>(std::move(tree), data_);
+    return core::Status::Ok();
+  }
+  GASS_RETURN_IF_ERROR(reader.OpenSection(prefix + "kdforest", &buffer, &dec));
+  auto forest = std::make_shared<trees::KdForest>();
+  GASS_RETURN_IF_ERROR(trees::KdForest::DecodeFrom(&dec, *data_, forest.get()));
+  if (!dec.ExpectEnd()) return dec.status();
+  seed_selector_ = std::make_unique<seeds::KdSeeds>(std::move(forest), data_);
+  return core::Status::Ok();
 }
 
 }  // namespace gass::methods

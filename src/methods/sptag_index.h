@@ -39,8 +39,14 @@ class SptagIndex : public SingleGraphIndex {
                                                     : "SPTAG-KDT";
   }
   BuildStats Build(const core::Dataset& data) override;
+  std::uint64_t ParamsFingerprint() const override;
 
  private:
+  core::Status SaveAux(io::SnapshotWriter* writer,
+                       const std::string& prefix) const override;
+  core::Status LoadAux(const io::SnapshotReader& reader,
+                       const std::string& prefix) override;
+
   SptagParams params_;
 };
 

@@ -7,6 +7,7 @@
 #include "diversify/diversify.h"
 #include "methods/base_graphs.h"
 #include "methods/build_util.h"
+#include "methods/fingerprint.h"
 
 namespace gass::methods {
 
@@ -81,6 +82,29 @@ BuildStats SsgIndex::Build(const core::Dataset& data) {
   stats.index_bytes = IndexBytes();
   stats.peak_bytes = stats.index_bytes + base.MemoryBytes() * 3;
   return stats;
+}
+
+std::uint64_t SsgIndex::ParamsFingerprint() const {
+  io::Encoder enc;
+  EncodeParams(&enc, params_.nndescent);
+  enc.U64(params_.num_trees);
+  enc.U64(params_.tree_leaf_size);
+  enc.U64(params_.init_candidates);
+  enc.U64(params_.max_degree);
+  enc.F32(params_.theta_degrees);
+  enc.U64(params_.expansion_limit);
+  enc.U64(params_.num_dfs_roots);
+  enc.U64(params_.seed);
+  return FingerprintBytes(enc);
+}
+
+core::Status SsgIndex::LoadAux(const io::SnapshotReader& reader,
+                               const std::string& prefix) {
+  (void)reader;
+  (void)prefix;
+  seed_selector_ = std::make_unique<seeds::KsRandomSeeds>(
+      data_->size(), params_.seed ^ 0x5EEDULL);
+  return core::Status::Ok();
 }
 
 }  // namespace gass::methods

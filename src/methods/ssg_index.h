@@ -32,8 +32,12 @@ class SsgIndex : public SingleGraphIndex {
 
   std::string Name() const override { return "SSG"; }
   BuildStats Build(const core::Dataset& data) override;
+  std::uint64_t ParamsFingerprint() const override;
 
  private:
+  core::Status LoadAux(const io::SnapshotReader& reader,
+                       const std::string& prefix) override;
+
   SsgParams params_;
 };
 

@@ -33,7 +33,14 @@ class VamanaIndex : public SingleGraphIndex {
 
   core::VectorId medoid() const { return medoid_; }
 
+  std::uint64_t ParamsFingerprint() const override;
+
  private:
+  core::Status SaveAux(io::SnapshotWriter* writer,
+                       const std::string& prefix) const override;
+  core::Status LoadAux(const io::SnapshotReader& reader,
+                       const std::string& prefix) override;
+
   /// MD + KS seeding with the given RNG, then Algorithm 1 over `visited`.
   SearchResult SearchFrom(const float* query, const SearchParams& params,
                           core::VisitedTable* visited, core::Rng* rng) const;

@@ -192,6 +192,61 @@ std::vector<VectorId> IvfPqIndex::Candidates(const float* query,
   return ids;
 }
 
+void IvfPqIndex::EncodeTo(io::Encoder* enc) const {
+  enc->U64(dim_);
+  pq_.EncodeTo(enc);
+  enc->VecF32(coarse_centroids_);
+  enc->U64(lists_.size());
+  for (const List& list : lists_) {
+    enc->VecU32(list.ids);
+    enc->VecU8(list.codes);
+  }
+}
+
+core::Status IvfPqIndex::DecodeFrom(io::Decoder* dec,
+                                    std::uint64_t expected_n,
+                                    IvfPqIndex* out) {
+  IvfPqIndex index;
+  index.dim_ = dec->U64();
+  GASS_RETURN_IF_ERROR(ProductQuantizer::DecodeFrom(dec, &index.pq_));
+  if (!dec->Check(index.pq_.dim() == index.dim_,
+                  "ivfpq sub-quantizer dimension mismatch")) {
+    return dec->status();
+  }
+  dec->VecF32(&index.coarse_centroids_, dec->remaining());
+  const std::uint64_t num_lists = dec->U64();
+  GASS_RETURN_IF_ERROR(dec->status());
+  if (index.coarse_centroids_.size() != num_lists * index.dim_ ||
+      num_lists == 0) {
+    dec->Fail("ivfpq coarse centroid array size mismatch");
+    return dec->status();
+  }
+  const std::size_t code_size = index.pq_.code_size();
+  index.lists_.resize(num_lists);
+  for (std::uint64_t l = 0; l < num_lists && dec->ok(); ++l) {
+    List& list = index.lists_[l];
+    if (!dec->VecU32(&list.ids, expected_n) ||
+        !dec->VecU8(&list.codes, dec->remaining())) {
+      return dec->status();
+    }
+    if (!dec->Check(list.codes.size() == list.ids.size() * code_size,
+                    "ivfpq list " + std::to_string(l) +
+                        " code block size mismatch")) {
+      return dec->status();
+    }
+    for (core::VectorId id : list.ids) {
+      if (!dec->Check(id < expected_n, "ivfpq posting id " +
+                                           std::to_string(id) +
+                                           " out of range")) {
+        return dec->status();
+      }
+    }
+  }
+  GASS_RETURN_IF_ERROR(dec->status());
+  *out = std::move(index);
+  return core::Status::Ok();
+}
+
 std::size_t IvfPqIndex::MemoryBytes() const {
   std::size_t total = coarse_centroids_.size() * sizeof(float) +
                       pq_.MemoryBytes();

@@ -17,6 +17,8 @@
 #include "core/dataset.h"
 #include "core/neighbor.h"
 #include "core/stats.h"
+#include "core/status.h"
+#include "io/serialize.h"
 #include "quantize/product_quantizer.h"
 
 namespace gass::quantize {
@@ -51,6 +53,12 @@ class IvfPqIndex {
 
   std::size_t num_lists() const { return lists_.size(); }
   std::size_t MemoryBytes() const;
+
+  /// Snapshot codec. Decode validates every posting-list id against
+  /// `expected_n` and each code block against the PQ code size.
+  void EncodeTo(io::Encoder* enc) const;
+  static core::Status DecodeFrom(io::Decoder* dec, std::uint64_t expected_n,
+                                 IvfPqIndex* out);
 
  private:
   struct List {

@@ -122,6 +122,59 @@ void ProductQuantizer::Decode(const std::uint8_t* code, float* vector) const {
   }
 }
 
+void ProductQuantizer::EncodeTo(io::Encoder* enc) const {
+  enc->U64(dim_);
+  enc->U64(codebook_size_);
+  enc->U64(starts_.size());
+  for (std::size_t s : starts_) enc->U64(s);
+  enc->VecF32(centroids_);
+}
+
+core::Status ProductQuantizer::DecodeFrom(io::Decoder* dec,
+                                          ProductQuantizer* out) {
+  ProductQuantizer pq;
+  pq.dim_ = dec->U64();
+  pq.codebook_size_ = dec->U64();
+  const std::uint64_t num_starts = dec->U64();
+  if (!dec->Check(pq.dim_ > 0 && pq.dim_ <= (1u << 24),
+                  "pq dimension out of range") ||
+      !dec->Check(pq.codebook_size_ > 0 && pq.codebook_size_ <= 256,
+                  "pq codebook size out of range") ||
+      !dec->Check(num_starts >= 2 && num_starts <= pq.dim_ + 1,
+                  "pq subspace count out of range") ||
+      !dec->Check(num_starts <= dec->remaining() / sizeof(std::uint64_t),
+                  "pq subspace table exceeds remaining payload")) {
+    return dec->status();
+  }
+  pq.starts_.resize(num_starts);
+  for (std::uint64_t m = 0; m < num_starts; ++m) {
+    pq.starts_[m] = dec->U64();
+  }
+  GASS_RETURN_IF_ERROR(dec->status());
+  if (pq.starts_.front() != 0 || pq.starts_.back() != pq.dim_) {
+    dec->Fail("pq subspace boundaries do not span the dimension");
+    return dec->status();
+  }
+  // Offsets are derived state: recompute rather than trust the file.
+  std::size_t offset = 0;
+  pq.offsets_.resize(num_starts - 1);
+  for (std::size_t m = 0; m + 1 < num_starts; ++m) {
+    if (pq.starts_[m + 1] <= pq.starts_[m]) {
+      dec->Fail("pq subspace boundaries not strictly increasing");
+      return dec->status();
+    }
+    pq.offsets_[m] = offset;
+    offset += pq.codebook_size_ * (pq.starts_[m + 1] - pq.starts_[m]);
+  }
+  if (!dec->VecF32(&pq.centroids_, offset)) return dec->status();
+  if (pq.centroids_.size() != offset) {
+    dec->Fail("pq centroid array size mismatch");
+    return dec->status();
+  }
+  *out = std::move(pq);
+  return core::Status::Ok();
+}
+
 std::vector<float> ProductQuantizer::BuildAdcTable(const float* query) const {
   std::vector<float> table(num_subspaces() * codebook_size_);
   for (std::size_t m = 0; m < num_subspaces(); ++m) {

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "core/status.h"
+#include "io/serialize.h"
 
 namespace gass::quantize {
 
@@ -53,6 +55,11 @@ class ProductQuantizer {
   std::size_t MemoryBytes() const {
     return centroids_.size() * sizeof(float);
   }
+
+  /// Snapshot codec. Decode re-derives the codebook offsets from the stored
+  /// subspace boundaries and validates the centroid array size against them.
+  void EncodeTo(io::Encoder* enc) const;
+  static core::Status DecodeFrom(io::Decoder* dec, ProductQuantizer* out);
 
  private:
   std::size_t SubspaceLength(std::size_t m) const {

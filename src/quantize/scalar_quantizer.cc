@@ -41,6 +41,25 @@ void ScalarQuantizer::Decode(const std::uint8_t* code, float* vector) const {
   }
 }
 
+void ScalarQuantizer::EncodeTo(io::Encoder* enc) const {
+  enc->VecF32(mins_);
+  enc->VecF32(scales_);
+}
+
+core::Status ScalarQuantizer::DecodeFrom(io::Decoder* dec,
+                                         ScalarQuantizer* out) {
+  ScalarQuantizer sq;
+  dec->VecF32(&sq.mins_, dec->remaining());
+  dec->VecF32(&sq.scales_, dec->remaining());
+  GASS_RETURN_IF_ERROR(dec->status());
+  if (sq.mins_.size() != sq.scales_.size() || sq.mins_.empty()) {
+    dec->Fail("scalar quantizer min/scale size mismatch");
+    return dec->status();
+  }
+  *out = std::move(sq);
+  return core::Status::Ok();
+}
+
 float ScalarQuantizer::AsymmetricL2Sq(const float* query,
                                       const std::uint8_t* code) const {
   float acc = 0.0f;

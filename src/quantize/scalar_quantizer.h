@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "core/status.h"
+#include "io/serialize.h"
 
 namespace gass::quantize {
 
@@ -32,6 +34,10 @@ class ScalarQuantizer {
   std::size_t MemoryBytes() const {
     return (mins_.size() + scales_.size()) * sizeof(float);
   }
+
+  /// Snapshot codec.
+  void EncodeTo(io::Encoder* enc) const;
+  static core::Status DecodeFrom(io::Decoder* dec, ScalarQuantizer* out);
 
  private:
   std::vector<float> mins_;

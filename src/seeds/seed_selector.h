@@ -134,6 +134,9 @@ class KdSeeds : public SeedSelector {
                                      core::Rng* rng) const override;
   Strategy strategy() const override { return Strategy::kKd; }
   std::size_t MemoryBytes() const override { return forest_->MemoryBytes(); }
+  const std::shared_ptr<const trees::KdForest>& forest() const {
+    return forest_;
+  }
 
  private:
   std::shared_ptr<const trees::KdForest> forest_;
@@ -152,6 +155,9 @@ class KmSeeds : public SeedSelector {
                                      core::Rng* rng) const override;
   Strategy strategy() const override { return Strategy::kKm; }
   std::size_t MemoryBytes() const override { return tree_->MemoryBytes(); }
+  const std::shared_ptr<const trees::BkMeansTree>& tree() const {
+    return tree_;
+  }
 
  private:
   std::shared_ptr<const trees::BkMeansTree> tree_;
@@ -172,6 +178,9 @@ class LshSeeds : public SeedSelector {
                                      core::Rng* rng) const override;
   Strategy strategy() const override { return Strategy::kLsh; }
   std::size_t MemoryBytes() const override { return index_->MemoryBytes(); }
+  const std::shared_ptr<const hash::LshIndex>& index() const {
+    return index_;
+  }
 
  private:
   std::shared_ptr<const hash::LshIndex> index_;

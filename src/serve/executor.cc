@@ -51,7 +51,8 @@ BatchResult QueryExecutor::SearchBatch(const float* queries,
           methods::WithDeadline(params, timed ? &deadline : nullptr);
       methods::SearchResult result =
           index_.Search(queries + q * dim, query_params, lease.get());
-      metrics_.RecordQuery(result.stats);
+      result.expired = result.stats.deadline_expiries > 0;
+      metrics_.RecordQuery(result.stats, result.expired);
       batch.results[q] = std::move(result);
     }
   };
@@ -68,7 +69,7 @@ BatchResult QueryExecutor::SearchBatch(const float* queries,
 
   batch.elapsed_seconds = timer.Seconds();
   for (const methods::SearchResult& r : batch.results) {
-    batch.expired += r.stats.deadline_expiries;
+    if (r.expired) ++batch.expired;
   }
   return batch;
 }

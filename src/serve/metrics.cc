@@ -71,19 +71,22 @@ std::string ServeMetrics::Dump() const {
       "latency p99      %.3f ms\n"
       "dists/query      %.1f\n"
       "hops/query       %.1f\n"
-      "deadline expiry  %llu\n",
+      "deadline expiry  %llu\n"
+      "expired queries  %llu\n",
       static_cast<unsigned long long>(n), Qps(),
       1e3 * LatencyQuantileSeconds(0.50), 1e3 * LatencyQuantileSeconds(0.95),
       1e3 * LatencyQuantileSeconds(0.99),
       static_cast<double>(totals.distance_computations) / nq,
       static_cast<double>(totals.hops) / nq,
-      static_cast<unsigned long long>(totals.deadline_expiries));
+      static_cast<unsigned long long>(totals.deadline_expiries),
+      static_cast<unsigned long long>(expired_queries()));
   return buffer;
 }
 
 void ServeMetrics::Reset() {
   stats_.Reset();
   histogram_.Reset();
+  expired_.store(0, std::memory_order_relaxed);
   window_.Reset();
 }
 

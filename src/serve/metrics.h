@@ -60,16 +60,25 @@ class LatencyHistogram {
 /// other members are read-side. Reset() must not race with RecordQuery().
 class ServeMetrics {
  public:
-  /// `stats.elapsed_seconds` must hold the query's wall latency.
-  void RecordQuery(const core::SearchStats& stats) {
+  /// `stats.elapsed_seconds` must hold the query's wall latency. `expired`
+  /// marks a query whose deadline cut the search short (counted separately
+  /// from stats.deadline_expiries, which tallies expiry *events* — one query
+  /// can expire in several sub-searches, e.g. ELPIS leaves).
+  void RecordQuery(const core::SearchStats& stats, bool expired = false) {
     stats_.Add(stats);
     histogram_.Record(stats.elapsed_seconds);
+    if (expired) expired_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Totals across all recorded queries.
   core::SearchStats TotalStats() const { return stats_.Snapshot(); }
 
   std::uint64_t queries() const { return stats_.queries(); }
+
+  /// Queries whose results were deadline-truncated.
+  std::uint64_t expired_queries() const {
+    return expired_.load(std::memory_order_relaxed);
+  }
 
   double LatencyQuantileSeconds(double q) const {
     return histogram_.QuantileSeconds(q);
@@ -89,6 +98,7 @@ class ServeMetrics {
  private:
   core::SearchStats::AtomicAccumulator stats_;
   LatencyHistogram histogram_;
+  std::atomic<std::uint64_t> expired_{0};
   core::Timer window_;
 };
 

@@ -36,6 +36,7 @@ class EapcaSummarizer {
 
   EapcaSummary Summarize(const float* vector) const;
 
+  std::size_t dim() const { return dim_; }
   std::size_t num_segments() const { return starts_.size() - 1; }
   std::size_t SegmentLength(std::size_t segment) const {
     return starts_[segment + 1] - starts_[segment];

@@ -141,4 +141,66 @@ std::size_t EapcaTree::MemoryBytes() const {
   return total;
 }
 
+void EapcaTree::EncodeTo(io::Encoder* enc) const {
+  enc->U64(summarizer_.dim());
+  enc->U64(summarizer_.num_segments());
+  enc->U64(leaves_.size());
+  for (std::size_t leaf = 0; leaf < leaves_.size(); ++leaf) {
+    enc->VecU32(leaves_[leaf]);
+    const LeafEnvelope& env = envelopes_[leaf];
+    enc->VecF32(env.min_means);
+    enc->VecF32(env.max_means);
+    enc->VecF32(env.min_stds);
+    enc->VecF32(env.max_stds);
+  }
+}
+
+core::Status EapcaTree::DecodeFrom(io::Decoder* dec,
+                                   std::uint64_t expected_n,
+                                   std::unique_ptr<EapcaTree>* out) {
+  const std::uint64_t dim = dec->U64();
+  const std::uint64_t num_segments = dec->U64();
+  const std::uint64_t num_leaves = dec->U64();
+  if (!dec->Check(dim > 0 && dim <= (1u << 24),
+                  "eapca dimension out of range") ||
+      !dec->Check(num_segments > 0 && num_segments <= dim,
+                  "eapca segment count out of range") ||
+      !dec->Check(num_leaves > 0 && num_leaves <= expected_n,
+                  "eapca leaf count out of range")) {
+    return dec->status();
+  }
+  std::unique_ptr<EapcaTree> tree(new EapcaTree());
+  tree->summarizer_ = EapcaSummarizer(dim, num_segments);
+  tree->leaves_.resize(num_leaves);
+  tree->envelopes_.resize(num_leaves);
+  for (std::uint64_t leaf = 0; leaf < num_leaves && dec->ok(); ++leaf) {
+    if (!dec->VecU32(&tree->leaves_[leaf], expected_n)) break;
+    LeafEnvelope& env = tree->envelopes_[leaf];
+    dec->VecF32(&env.min_means, num_segments);
+    dec->VecF32(&env.max_means, num_segments);
+    dec->VecF32(&env.min_stds, num_segments);
+    dec->VecF32(&env.max_stds, num_segments);
+    if (!dec->ok()) break;
+    const std::size_t segments = tree->summarizer_.num_segments();
+    if (!dec->Check(env.min_means.size() == segments &&
+                        env.max_means.size() == segments &&
+                        env.min_stds.size() == segments &&
+                        env.max_stds.size() == segments,
+                    "eapca leaf " + std::to_string(leaf) +
+                        " envelope size mismatch")) {
+      break;
+    }
+    for (core::VectorId id : tree->leaves_[leaf]) {
+      if (!dec->Check(id < expected_n, "eapca member id " +
+                                           std::to_string(id) +
+                                           " out of range")) {
+        return dec->status();
+      }
+    }
+  }
+  GASS_RETURN_IF_ERROR(dec->status());
+  *out = std::move(tree);
+  return core::Status::Ok();
+}
+
 }  // namespace gass::summaries

@@ -11,10 +11,13 @@
 #define GASS_SUMMARIES_EAPCA_TREE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/dataset.h"
+#include "core/status.h"
 #include "core/types.h"
+#include "io/serialize.h"
 #include "summaries/eapca.h"
 
 namespace gass::summaries {
@@ -52,6 +55,15 @@ class EapcaTree {
                        std::size_t leaf) const;
 
   std::size_t MemoryBytes() const;
+
+  /// Snapshot codec. The summarizer is reconstructed from its (dim,
+  /// num_segments) pair; leaf membership and envelopes are stored verbatim.
+  /// Decode validates member ids against `expected_n` and envelope sizes
+  /// against the segment count. Returns via unique_ptr because the default
+  /// constructor is private.
+  void EncodeTo(io::Encoder* enc) const;
+  static core::Status DecodeFrom(io::Decoder* dec, std::uint64_t expected_n,
+                                 std::unique_ptr<EapcaTree>* out);
 
  private:
   struct LeafEnvelope {

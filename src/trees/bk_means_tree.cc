@@ -219,4 +219,87 @@ std::size_t BkMeansTree::MemoryBytes() const {
   return total;
 }
 
+void BkMeansTree::EncodeTo(io::Encoder* enc) const {
+  enc->U64(dim_);
+  enc->U64(nodes_.size());
+  for (const Node& node : nodes_) {
+    enc->U64(node.children.size());
+    for (std::int32_t c : node.children) {
+      enc->U32(static_cast<std::uint32_t>(c));
+    }
+    enc->U32(node.begin);
+    enc->U32(node.end);
+    enc->U32(static_cast<std::uint32_t>(node.centroid));
+  }
+  enc->VecU32(ids_);
+  enc->VecF32(centroids_);
+}
+
+core::Status BkMeansTree::DecodeFrom(io::Decoder* dec,
+                                     std::uint64_t expected_n,
+                                     BkMeansTree* out) {
+  BkMeansTree tree;
+  tree.dim_ = dec->U64();
+  const std::uint64_t num_nodes = dec->U64();
+  if (!dec->Check(tree.dim_ > 0 && tree.dim_ <= (1u << 24),
+                  "bkt dimension out of range") ||
+      !dec->Check(num_nodes <= dec->remaining() / (4 * sizeof(std::uint32_t)),
+                  "bkt node count exceeds remaining payload")) {
+    return dec->status();
+  }
+  tree.nodes_.resize(num_nodes);
+  for (std::uint64_t i = 0; i < num_nodes && dec->ok(); ++i) {
+    Node& node = tree.nodes_[i];
+    const std::uint64_t num_children = dec->U64();
+    if (!dec->Check(num_children <=
+                        dec->remaining() / sizeof(std::uint32_t),
+                    "bkt child count exceeds remaining payload")) {
+      return dec->status();
+    }
+    node.children.resize(num_children);
+    for (std::uint64_t c = 0; c < num_children; ++c) {
+      node.children[c] = static_cast<std::int32_t>(dec->U32());
+    }
+    node.begin = dec->U32();
+    node.end = dec->U32();
+    node.centroid = static_cast<std::int32_t>(dec->U32());
+  }
+  if (!dec->VecU32(&tree.ids_, expected_n) ||
+      !dec->VecF32(&tree.centroids_, dec->remaining())) {
+    return dec->status();
+  }
+  if (!dec->Check(tree.centroids_.size() % tree.dim_ == 0,
+                  "bkt centroid array not a multiple of dim")) {
+    return dec->status();
+  }
+  const std::int64_t num_centroids = tree.centroids_.size() / tree.dim_;
+  for (std::uint64_t i = 0; i < num_nodes; ++i) {
+    const Node& node = tree.nodes_[i];
+    for (std::int32_t c : node.children) {
+      if (!dec->Check(c >= 0 && c < static_cast<std::int64_t>(num_nodes),
+                      "bkt node " + std::to_string(i) +
+                          " child link out of range")) {
+        return dec->status();
+      }
+    }
+    if (!dec->Check(node.centroid >= -1 && node.centroid < num_centroids,
+                    "bkt node " + std::to_string(i) +
+                        " centroid index out of range") ||
+        !dec->Check(node.begin <= node.end && node.end <= tree.ids_.size(),
+                    "bkt node " + std::to_string(i) +
+                        " leaf range out of bounds")) {
+      return dec->status();
+    }
+  }
+  for (core::VectorId id : tree.ids_) {
+    if (!dec->Check(id < expected_n,
+                    "bkt id " + std::to_string(id) + " out of range")) {
+      return dec->status();
+    }
+  }
+  GASS_RETURN_IF_ERROR(dec->status());
+  *out = std::move(tree);
+  return core::Status::Ok();
+}
+
 }  // namespace gass::trees

@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "core/status.h"
 #include "core/types.h"
+#include "io/serialize.h"
 
 namespace gass::trees {
 
@@ -36,6 +38,12 @@ class BkMeansTree {
 
   std::size_t num_nodes() const { return nodes_.size(); }
   std::size_t MemoryBytes() const;
+
+  /// Snapshot codec. Decode validates child links, centroid indices, leaf
+  /// ranges, and every stored id against `expected_n`.
+  void EncodeTo(io::Encoder* enc) const;
+  static core::Status DecodeFrom(io::Decoder* dec, std::uint64_t expected_n,
+                                 BkMeansTree* out);
 
  private:
   struct Node {

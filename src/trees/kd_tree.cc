@@ -171,4 +171,84 @@ std::size_t KdForest::MemoryBytes() const {
   return total;
 }
 
+void KdTree::EncodeTo(io::Encoder* enc) const {
+  enc->U64(nodes_.size());
+  for (const Node& node : nodes_) {
+    enc->U32(static_cast<std::uint32_t>(node.split_dim));
+    enc->F32(node.split_value);
+    enc->U32(static_cast<std::uint32_t>(node.left));
+    enc->U32(static_cast<std::uint32_t>(node.right));
+    enc->U32(node.begin);
+    enc->U32(node.end);
+  }
+  enc->VecU32(ids_);
+}
+
+core::Status KdTree::DecodeFrom(io::Decoder* dec, std::uint64_t expected_n,
+                                KdTree* out) {
+  KdTree tree;
+  constexpr std::size_t kNodeBytes = 6 * sizeof(std::uint32_t);
+  const std::uint64_t num_nodes = dec->U64();
+  if (!dec->Check(num_nodes <= dec->remaining() / kNodeBytes,
+                  "kd node count exceeds remaining payload")) {
+    return dec->status();
+  }
+  tree.nodes_.resize(num_nodes);
+  for (std::uint64_t i = 0; i < num_nodes; ++i) {
+    Node& node = tree.nodes_[i];
+    node.split_dim = static_cast<std::int32_t>(dec->U32());
+    node.split_value = dec->F32();
+    node.left = static_cast<std::int32_t>(dec->U32());
+    node.right = static_cast<std::int32_t>(dec->U32());
+    node.begin = dec->U32();
+    node.end = dec->U32();
+  }
+  if (!dec->VecU32(&tree.ids_, expected_n)) return dec->status();
+  const auto valid_child = [&](std::int32_t c) {
+    return c >= -1 && c < static_cast<std::int64_t>(num_nodes);
+  };
+  for (std::uint64_t i = 0; i < num_nodes; ++i) {
+    const Node& node = tree.nodes_[i];
+    if (!dec->Check(valid_child(node.left) && valid_child(node.right),
+                    "kd node " + std::to_string(i) +
+                        " child link out of range") ||
+        !dec->Check(node.begin <= node.end && node.end <= tree.ids_.size(),
+                    "kd node " + std::to_string(i) +
+                        " leaf range out of bounds")) {
+      return dec->status();
+    }
+  }
+  for (core::VectorId id : tree.ids_) {
+    if (!dec->Check(id < expected_n,
+                    "kd id " + std::to_string(id) + " out of range")) {
+      return dec->status();
+    }
+  }
+  GASS_RETURN_IF_ERROR(dec->status());
+  *out = std::move(tree);
+  return core::Status::Ok();
+}
+
+void KdForest::EncodeTo(io::Encoder* enc) const {
+  enc->U64(trees_.size());
+  for (const KdTree& tree : trees_) tree.EncodeTo(enc);
+}
+
+core::Status KdForest::DecodeFrom(io::Decoder* dec, const core::Dataset& data,
+                                  KdForest* out) {
+  KdForest forest;
+  const std::uint64_t num_trees = dec->U64();
+  if (!dec->Check(num_trees <= 4096, "kd forest tree count out of range")) {
+    return dec->status();
+  }
+  forest.trees_.resize(num_trees);
+  for (std::uint64_t t = 0; t < num_trees; ++t) {
+    GASS_RETURN_IF_ERROR(
+        KdTree::DecodeFrom(dec, data.size(), &forest.trees_[t]));
+  }
+  forest.data_ = &data;
+  *out = std::move(forest);
+  return core::Status::Ok();
+}
+
 }  // namespace gass::trees

@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "core/status.h"
 #include "core/types.h"
+#include "io/serialize.h"
 
 namespace gass::trees {
 
@@ -46,6 +48,12 @@ class KdTree {
 
   std::size_t num_nodes() const { return nodes_.size(); }
   std::size_t MemoryBytes() const;
+
+  /// Snapshot codec. Decode validates child links, leaf ranges, and every
+  /// stored id against `expected_n`.
+  void EncodeTo(io::Encoder* enc) const;
+  static core::Status DecodeFrom(io::Decoder* dec, std::uint64_t expected_n,
+                                 KdTree* out);
 
  private:
   struct Node {
@@ -80,6 +88,11 @@ class KdForest {
 
   std::size_t num_trees() const { return trees_.size(); }
   std::size_t MemoryBytes() const;
+
+  /// Snapshot codec. Decode rebinds the forest to `data`.
+  void EncodeTo(io::Encoder* enc) const;
+  static core::Status DecodeFrom(io::Decoder* dec, const core::Dataset& data,
+                                 KdForest* out);
 
  private:
   std::vector<KdTree> trees_;

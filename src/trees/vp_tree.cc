@@ -101,4 +101,50 @@ std::vector<Neighbor> VpTree::Search(const Dataset& data, const float* query,
   return pool.TopK(k);
 }
 
+void VpTree::EncodeTo(io::Encoder* enc) const {
+  enc->U64(nodes_.size());
+  for (const Node& node : nodes_) {
+    enc->U32(node.vantage);
+    enc->F32(node.radius);
+    enc->U32(static_cast<std::uint32_t>(node.inside));
+    enc->U32(static_cast<std::uint32_t>(node.outside));
+  }
+}
+
+core::Status VpTree::DecodeFrom(io::Decoder* dec, std::uint64_t expected_n,
+                                VpTree* out) {
+  VpTree tree;
+  constexpr std::size_t kNodeBytes = 4 * sizeof(std::uint32_t);
+  const std::uint64_t num_nodes = dec->U64();
+  if (!dec->Check(num_nodes <= dec->remaining() / kNodeBytes,
+                  "vp node count exceeds remaining payload")) {
+    return dec->status();
+  }
+  tree.nodes_.resize(num_nodes);
+  for (std::uint64_t i = 0; i < num_nodes; ++i) {
+    Node& node = tree.nodes_[i];
+    node.vantage = dec->U32();
+    node.radius = dec->F32();
+    node.inside = static_cast<std::int32_t>(dec->U32());
+    node.outside = static_cast<std::int32_t>(dec->U32());
+  }
+  GASS_RETURN_IF_ERROR(dec->status());
+  const auto valid_child = [&](std::int32_t c) {
+    return c >= -1 && c < static_cast<std::int64_t>(num_nodes);
+  };
+  for (std::uint64_t i = 0; i < num_nodes; ++i) {
+    const Node& node = tree.nodes_[i];
+    if (!dec->Check(node.vantage < expected_n,
+                    "vp node " + std::to_string(i) +
+                        " vantage id out of range") ||
+        !dec->Check(valid_child(node.inside) && valid_child(node.outside),
+                    "vp node " + std::to_string(i) +
+                        " child link out of range")) {
+      return dec->status();
+    }
+  }
+  *out = std::move(tree);
+  return core::Status::Ok();
+}
+
 }  // namespace gass::trees

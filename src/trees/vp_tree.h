@@ -13,7 +13,9 @@
 #include "core/dataset.h"
 #include "core/neighbor.h"
 #include "core/rng.h"
+#include "core/status.h"
 #include "core/types.h"
+#include "io/serialize.h"
 
 namespace gass::trees {
 
@@ -32,6 +34,12 @@ class VpTree {
   std::size_t MemoryBytes() const {
     return nodes_.size() * sizeof(Node);
   }
+
+  /// Snapshot codec. Decode validates vantage ids against `expected_n` and
+  /// child links against the node count.
+  void EncodeTo(io::Encoder* enc) const;
+  static core::Status DecodeFrom(io::Decoder* dec, std::uint64_t expected_n,
+                                 VpTree* out);
 
  private:
   struct Node {

@@ -1,6 +1,8 @@
 // End-to-end pipeline: generate a proxy workload, build several indexes,
 // verify the evaluation harness invariants that the benches rely on.
 
+#include <unistd.h>
+
 #include <cstdio>
 
 #include <gtest/gtest.h>
@@ -82,6 +84,42 @@ TEST(IntegrationTest, GraphPersistenceRoundTripPreservesSearch) {
   ASSERT_FALSE(result.neighbors.empty());
   EXPECT_EQ(result.neighbors[0].id, 7u);
   std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, IndexSnapshotRoundTripBitIdentical) {
+  // Full-index persistence (docs/PERSISTENCE.md): build, save, reload via
+  // the method registry, and require bit-identical SearchResults — ids and
+  // float distances — for a single-graph and a composite method.
+  const Dataset data = synth::MakeDatasetProxy("deep", 500, 5);
+  for (const char* name : {"hnsw", "elpis"}) {
+    auto original = methods::CreateIndex(name, 9);
+    original->Build(data);
+    // Process-unique: the forced-scalar ctest variant runs concurrently.
+    const std::string path = std::string(::testing::TempDir()) +
+                             "/integration_" + std::to_string(::getpid()) +
+                             "_" + name + ".gass";
+    ASSERT_TRUE(methods::SaveIndex(*original, path).ok()) << name;
+
+    std::unique_ptr<methods::GraphIndex> restored;
+    ASSERT_TRUE(methods::LoadAnyIndex(path, data, 9, &restored).ok()) << name;
+    EXPECT_EQ(restored->Name(), original->Name());
+
+    methods::SearchParams params;
+    params.k = 10;
+    params.beam_width = 64;
+    for (VectorId q = 0; q < 15; ++q) {
+      const auto a = original->Search(data.Row(q * 17), params);
+      const auto b = restored->Search(data.Row(q * 17), params);
+      ASSERT_EQ(a.neighbors.size(), b.neighbors.size()) << name;
+      for (std::size_t i = 0; i < a.neighbors.size(); ++i) {
+        EXPECT_EQ(a.neighbors[i].id, b.neighbors[i].id)
+            << name << " query " << q << " rank " << i;
+        EXPECT_EQ(a.neighbors[i].distance, b.neighbors[i].distance)
+            << name << " query " << q << " rank " << i;
+      }
+    }
+    std::remove(path.c_str());
+  }
 }
 
 TEST(IntegrationTest, HardQueriesReduceRecall) {

@@ -1,0 +1,66 @@
+#include "io/hash.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gass::io {
+namespace {
+
+// The snapshot format freezes Hash64 as XXH64; these are the algorithm's
+// published test vectors. If any of these ever fails, the on-disk checksum
+// definition has drifted and every existing snapshot becomes unreadable.
+TEST(HashTest, MatchesXxh64ReferenceVectors) {
+  EXPECT_EQ(Hash64("", 0, 0), 0xEF46DB3751D8E999ULL);
+  EXPECT_EQ(Hash64("a", 1, 0), 0xD24EC4F1A98C6E5BULL);
+  EXPECT_EQ(Hash64("abc", 3, 0), 0x44BC2CF5AD770999ULL);
+}
+
+TEST(HashTest, SeedChangesTheHash) {
+  const std::string input = "snapshot section payload";
+  EXPECT_NE(Hash64(input.data(), input.size(), 0),
+            Hash64(input.data(), input.size(), 1));
+}
+
+TEST(HashTest, Deterministic) {
+  const std::string input(1000, 'x');
+  EXPECT_EQ(Hash64(input.data(), input.size(), 7),
+            Hash64(input.data(), input.size(), 7));
+}
+
+TEST(HashTest, EveryBitFlipChangesShortInput) {
+  // Corruption detection is the whole job: a single flipped bit anywhere in
+  // a short payload must change the checksum.
+  std::vector<std::uint8_t> payload(24);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 37 + 1);
+  }
+  const std::uint64_t clean = Hash64(payload.data(), payload.size());
+  for (std::size_t byte = 0; byte < payload.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      payload[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(Hash64(payload.data(), payload.size()), clean)
+          << "flip at byte " << byte << " bit " << bit;
+      payload[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
+}
+
+TEST(HashTest, LengthMatters) {
+  // Truncation detection: a prefix must not hash like the full buffer.
+  // Exercise all the tail paths (1, 4, 8-byte steps) and the 32-byte
+  // striped loop.
+  std::vector<std::uint8_t> payload(100);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i);
+  }
+  const std::uint64_t full = Hash64(payload.data(), payload.size());
+  for (std::size_t len : {99u, 96u, 64u, 33u, 32u, 31u, 8u, 4u, 1u, 0u}) {
+    EXPECT_NE(Hash64(payload.data(), len), full) << "len " << len;
+  }
+}
+
+}  // namespace
+}  // namespace gass::io

@@ -76,6 +76,17 @@ TEST(NnDescentTest, TraceRecordsConvergence) {
             trace.updates_per_iteration.front() / 2);
 }
 
+TEST(NnDescentTest, ProducesValidGraph) {
+  // The same invariant the snapshot loader enforces (every neighbor id in
+  // range, no self-loops) must already hold straight out of the builder.
+  const Dataset data = synth::UniformHypercube(500, 10, 21);
+  DistanceComputer dc(data);
+  NnDescentParams params;
+  params.k = 12;
+  const Graph graph = NnDescent(dc, params, 23);
+  EXPECT_TRUE(graph.Validate().ok());
+}
+
 TEST(NnDescentTest, NoSelfLoopsNoDuplicates) {
   const Dataset data = synth::UniformHypercube(150, 6, 13);
   DistanceComputer dc(data);

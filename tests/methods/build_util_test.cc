@@ -120,6 +120,43 @@ TEST(EnsureConnectedFromTest, RepairsDisconnectedComponents) {
   EXPECT_EQ(graph.ReachableFrom(0), 60u);
 }
 
+TEST(EnsureConnectedFromTest, NoSelfLoopWhenRepairReachesNodeMidPass) {
+  // Regression: a repair edge added for an earlier node can make a later
+  // unreachable node v reachable, so v's own beam search finds v itself as
+  // the nearest "reachable" anchor. Linking then would create v->v.
+  const Dataset data = synth::UniformHypercube(12, 4, 23);
+  DistanceComputer dc(data);
+  Graph graph(12);
+  // Connected cluster {0..9} around the root.
+  for (VectorId v = 0; v < 9; ++v) graph.AddEdge(v, v + 1);
+  for (VectorId v = 1; v <= 9; ++v) graph.AddEdge(v, v - 1);
+  // Island 10 -> 11: repairing 10 first makes 11 reachable before 11's
+  // own repair turn.
+  graph.AddEdge(10, 11);
+  ASSERT_LT(graph.ReachableFrom(0), 12u);
+
+  core::VisitedTable visited(12);
+  EnsureConnectedFrom(dc, &graph, 0, 16, &visited);
+  EXPECT_EQ(graph.ReachableFrom(0), 12u);
+  EXPECT_TRUE(graph.Validate().ok());
+}
+
+TEST(EnsureConnectedFromTest, RepairedGraphsStayValid) {
+  // Post-build invariant shared with the snapshot loader: repairs never
+  // introduce out-of-range ids or self-loops.
+  const Dataset data = synth::UniformHypercube(80, 4, 29);
+  DistanceComputer dc(data);
+  Graph graph(80);
+  // Four disjoint directed chains.
+  for (VectorId start : {0u, 20u, 40u, 60u}) {
+    for (VectorId v = start; v + 1 < start + 20; ++v) graph.AddEdge(v, v + 1);
+  }
+  core::VisitedTable visited(80);
+  EnsureConnectedFrom(dc, &graph, 0, 16, &visited);
+  EXPECT_EQ(graph.ReachableFrom(0), 80u);
+  EXPECT_TRUE(graph.Validate().ok());
+}
+
 TEST(EnsureConnectedFromTest, NoopOnConnectedGraph) {
   const Dataset data = synth::UniformHypercube(30, 4, 19);
   DistanceComputer dc(data);

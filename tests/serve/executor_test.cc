@@ -102,7 +102,23 @@ TEST_F(ExecutorTest, ExpiredDeadlineYieldsPartialResults) {
     EXPECT_FALSE(r.neighbors.empty());
     EXPECT_LE(r.neighbors.size(), params.k);
     EXPECT_EQ(r.stats.deadline_expiries, 1u);
+    // Per-query truncation flag, so batch consumers need not dig through
+    // stats to tell partial results apart.
+    EXPECT_TRUE(r.expired);
   }
+  EXPECT_EQ(executor.metrics().expired_queries(), queries_.size());
+}
+
+TEST_F(ExecutorTest, UnlimitedDeadlineNeverFlagsExpired) {
+  ExecutorOptions options;
+  options.threads = 2;
+  QueryExecutor executor(*index_, options);
+  SearchParams params;
+  params.k = 10;
+  const BatchResult batch = executor.SearchBatch(
+      queries_.data(), queries_.size(), queries_.dim(), params);
+  for (const auto& r : batch.results) EXPECT_FALSE(r.expired);
+  EXPECT_EQ(executor.metrics().expired_queries(), 0u);
 }
 
 TEST_F(ExecutorTest, MetricsAccumulateAcrossBatches) {

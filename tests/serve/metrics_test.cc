@@ -103,15 +103,34 @@ TEST(ServeMetricsTest, DumpMentionsKeyFigures) {
   EXPECT_NE(dump.find("deadline"), std::string::npos);
 }
 
+TEST(ServeMetricsTest, CountsExpiredQueriesSeparatelyFromExpiryEvents) {
+  ServeMetrics metrics;
+  core::SearchStats stats;
+  stats.elapsed_seconds = 0.001;
+  // One query with three expiry events (e.g. an ELPIS query whose deadline
+  // fired in three leaf searches) is still ONE expired query.
+  stats.deadline_expiries = 3;
+  metrics.RecordQuery(stats, /*expired=*/true);
+  core::SearchStats clean;
+  clean.elapsed_seconds = 0.001;
+  metrics.RecordQuery(clean, /*expired=*/false);
+  metrics.RecordQuery(clean);  // Default: not expired.
+  EXPECT_EQ(metrics.queries(), 3u);
+  EXPECT_EQ(metrics.expired_queries(), 1u);
+  EXPECT_EQ(metrics.TotalStats().deadline_expiries, 3u);
+  EXPECT_NE(metrics.Dump().find("expired"), std::string::npos);
+}
+
 TEST(ServeMetricsTest, ResetClearsCountsAndWindow) {
   ServeMetrics metrics;
   core::SearchStats stats;
   stats.elapsed_seconds = 0.001;
-  metrics.RecordQuery(stats);
+  metrics.RecordQuery(stats, /*expired=*/true);
   metrics.Reset();
   EXPECT_EQ(metrics.queries(), 0u);
   EXPECT_DOUBLE_EQ(metrics.LatencyQuantileSeconds(0.5), 0.0);
   EXPECT_EQ(metrics.TotalStats().distance_computations, 0u);
+  EXPECT_EQ(metrics.expired_queries(), 0u);
 }
 
 }  // namespace

@@ -4,15 +4,22 @@
 //                       [--queries 100 --queries-out q.fvecs] [--seed 42]
 //   gass_cli gt         --base base.fvecs --queries q.fvecs --k 10
 //                       --out gt.ivecs
-//   gass_cli build      --method hnsw --base base.fvecs --graph graph.bin
+//   gass_cli build      --method hnsw --base base.fvecs [--graph graph.bin]
+//                       [--save index.gass]
 //   gass_cli eval       --method hnsw --base base.fvecs --queries q.fvecs
 //                       [--truth gt.ivecs] [--k 10] [--beams 10,40,160]
-//                       [--search-params k=10,seeds=48]
+//                       [--search-params k=10,seeds=48] [--load index.gass]
 //   gass_cli complexity --base base.fvecs [--k 100] [--sample 100]
 //   gass_cli serve-bench --method hnsw --base base.fvecs --queries q.fvecs
 //                       [--k 10] [--beam 100] [--threads 1,2,4] [--reps 16]
 //                       [--timeout-ms 0] [--search-params k=10,seeds=48]
+//                       [--load index.gass]
 //   gass_cli methods
+//
+// --save writes a crash-safe checksummed snapshot of the built index (see
+// docs/PERSISTENCE.md); --load warm-starts eval/serve-bench from such a
+// snapshot instead of rebuilding (the --method, --base and --seed must
+// match the saved build).
 //
 // All subcommands print human-readable tables to stdout and return nonzero
 // on error.
@@ -172,6 +179,11 @@ int CmdBuild(const Flags& flags) {
     if (!save.ok()) return Fail(save);
     std::printf("base graph saved to %s\n", flags.Get("graph", "").c_str());
   }
+  if (flags.Has("save")) {
+    const Status save = gass::methods::SaveIndex(*index, flags.Get("save", ""));
+    if (!save.ok()) return Fail(save);
+    std::printf("index snapshot saved to %s\n", flags.Get("save", "").c_str());
+  }
   return 0;
 }
 
@@ -224,9 +236,17 @@ int CmdEval(const Flags& flags) {
   const std::string method = flags.Get("method", "hnsw");
   auto index = gass::methods::CreateIndex(
       method, static_cast<std::uint64_t>(flags.GetInt("seed", 42)));
-  const gass::methods::BuildStats build = index->Build(base);
-  std::printf("%s built in %.2fs\n", index->Name().c_str(),
-              build.elapsed_seconds);
+  if (flags.Has("load")) {
+    const Status load =
+        gass::methods::LoadIndex(index.get(), base, flags.Get("load", ""));
+    if (!load.ok()) return Fail(load);
+    std::printf("%s loaded from %s\n", index->Name().c_str(),
+                flags.Get("load", "").c_str());
+  } else {
+    const gass::methods::BuildStats build = index->Build(base);
+    std::printf("%s built in %.2fs\n", index->Name().c_str(),
+                build.elapsed_seconds);
+  }
   std::printf("search params: %s (beam swept below)\n\n",
               gass::methods::SearchParamsToString(base_params).c_str());
   std::printf("%-8s %-10s %-14s %-12s\n", "beam", "recall", "dists/query",
@@ -294,9 +314,18 @@ int CmdServeBench(const Flags& flags) {
                  index->Name().c_str());
     return 1;
   }
-  const gass::methods::BuildStats build = index->Build(base);
-  std::printf("%s built over %zu vectors in %.2fs\n\n", index->Name().c_str(),
-              base.size(), build.elapsed_seconds);
+  if (flags.Has("load")) {
+    const Status load =
+        gass::methods::LoadIndex(index.get(), base, flags.Get("load", ""));
+    if (!load.ok()) return Fail(load);
+    std::printf("%s loaded over %zu vectors from %s\n\n",
+                index->Name().c_str(), base.size(),
+                flags.Get("load", "").c_str());
+  } else {
+    const gass::methods::BuildStats build = index->Build(base);
+    std::printf("%s built over %zu vectors in %.2fs\n\n",
+                index->Name().c_str(), base.size(), build.elapsed_seconds);
+  }
 
   const std::size_t nq = queries.size();
   const std::size_t dim = queries.dim();
