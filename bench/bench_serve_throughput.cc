@@ -1,21 +1,43 @@
-// Serving throughput: recall vs QPS for one shared index searched by a
-// growing number of executor threads (Deep proxy, 100GB tier).
+// Serving throughput, closed- and open-loop (Deep proxy, 100GB tier).
 //
-// Expected shape: QPS scales near-linearly with threads up to the core
-// count (the search path is read-only; contexts keep threads from ever
-// touching shared mutable state), then flattens. Recall is identical at
-// every thread count — the executor reseeds per query, so results do not
-// depend on scheduling. The hardware line makes single-core containers
-// explicit: with one core, the sweep measures overhead, not scaling.
+// Closed loop (the default sweep): recall vs QPS for one shared index
+// searched by a growing number of executor threads. QPS scales
+// near-linearly up to the core count, then flattens; recall is identical at
+// every thread count because the executor reseeds per query.
+//
+// Open loop (--arrival=poisson [--rate=N]): clients do NOT wait for the
+// previous answer — arrivals follow a Poisson process at the given rate and
+// go through serve::Frontend (bounded queue, load shedding, adaptive
+// degradation). The headline metric is *goodput*: in-deadline completions
+// per second. A well-behaved frontend holds goodput near the closed-loop
+// peak even at 2x the saturation rate, shedding the overflow explicitly
+// instead of letting every query's latency blow through its deadline.
+//
+// Flags (all optional; "--key=value" or "--key value"):
+//   --arrival=closed|poisson|both   default: both
+//   --rate=N            open-loop arrivals/sec; default: sweep
+//                       {0.5x, 1x, 2x} of the measured closed-loop peak
+//   --queries=N         arrivals per open-loop run (default: ~1s of traffic)
+//   --deadline-ms=D     per-query budget, default 10
+//   --queue=N           admission queue bound, default 64
+//   --threads=N         frontend workers, default: hardware concurrency
+//   --seed=N            arrival-process seed, default 42
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/bench_util.h"
+#include "core/rng.h"
 #include "eval/recall.h"
 #include "methods/factory.h"
 #include "serve/executor.h"
+#include "serve/frontend.h"
 
 namespace gass::bench {
 namespace {
@@ -23,19 +45,73 @@ namespace {
 // Tile the workload's queries so the batch is long enough to time.
 constexpr std::size_t kReps = 32;
 
-void Run() {
-  PrintHeader("Serving throughput: shared index, concurrent executor "
-              "(Deep proxy, 100GB tier)",
-              "One built HNSW searched through serve::QueryExecutor at "
-              "increasing thread counts; identical per-query results at "
-              "every count.");
-  std::printf("hardware threads available: %u\n\n",
-              std::thread::hardware_concurrency());
+struct Options {
+  bool closed_loop = true;
+  bool open_loop = true;
+  double rate = 0.0;  // 0 = sweep multiples of the measured peak.
+  std::size_t queries = 0;  // 0 = ~1 second of traffic at the chosen rate.
+  double deadline_seconds = 0.010;
+  std::size_t queue_capacity = 64;
+  std::size_t threads = 0;
+  std::uint64_t seed = 42;
+};
 
-  const Workload workload = MakeWorkload("deep", kTier100GB);
-  auto index = methods::CreateIndex("hnsw", 42);
-  index->Build(workload.base);
+bool ParseOptions(int argc, char** argv, Options* options) {
+  std::vector<std::string> entries;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
+      return false;
+    }
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      entries.push_back(arg);
+    } else if (i + 1 < argc) {
+      entries.push_back(arg + "=" + argv[++i]);
+    } else {
+      std::fprintf(stderr, "flag --%s needs a value\n", arg.c_str());
+      return false;
+    }
+  }
+  for (const std::string& entry : entries) {
+    const std::size_t eq = entry.find('=');
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    if (key == "arrival") {
+      options->closed_loop = value == "closed" || value == "both";
+      options->open_loop = value == "poisson" || value == "both";
+      if (!options->closed_loop && !options->open_loop) {
+        std::fprintf(stderr, "--arrival must be closed, poisson, or both\n");
+        return false;
+      }
+    } else if (key == "rate") {
+      options->rate = std::atof(value.c_str());
+    } else if (key == "queries") {
+      options->queries = static_cast<std::size_t>(std::atol(value.c_str()));
+    } else if (key == "deadline-ms") {
+      options->deadline_seconds = std::atof(value.c_str()) * 1e-3;
+    } else if (key == "queue") {
+      options->queue_capacity =
+          static_cast<std::size_t>(std::atol(value.c_str()));
+    } else if (key == "threads") {
+      options->threads = static_cast<std::size_t>(std::atol(value.c_str()));
+    } else if (key == "seed") {
+      options->seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    } else {
+      std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
+      return false;
+    }
+  }
+  return true;
+}
 
+/// Closed-loop thread sweep; returns the peak QPS seen (the saturation
+/// rate the open-loop runs are calibrated against).
+double RunClosedLoop(methods::GraphIndex& index, const Workload& workload,
+                     const methods::SearchParams& params) {
+  std::printf("== closed loop: executor thread sweep ==\n");
   const std::size_t nq = workload.queries.size();
   const std::size_t dim = workload.queries.dim();
   std::vector<float> batch(kReps * nq * dim);
@@ -44,18 +120,13 @@ void Run() {
                 nq * dim * sizeof(float));
   }
 
-  methods::SearchParams params;
-  params.k = workload.k;
-  params.beam_width = 100;
-  params.num_seeds = 32;
-
   PrintRow({"threads", "qps", "speedup", "recall", "p50 lat", "p95 lat"});
   PrintRule();
-  double base_qps = 0.0;
+  double base_qps = 0.0, peak_qps = 0.0;
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
     serve::ExecutorOptions options;
     options.threads = threads;
-    serve::QueryExecutor executor(*index, options);
+    serve::QueryExecutor executor(index, options);
 
     // Warm-up run populates the session pool and touches the graph.
     executor.SearchBatch(batch.data(), nq, dim, params);
@@ -71,6 +142,7 @@ void Run() {
     const double recall =
         eval::MeanRecall(answers, workload.truth, workload.k);
     if (threads == 1) base_qps = result.Qps();
+    peak_qps = std::max(peak_qps, result.Qps());
 
     char qps[32], speedup[16], recall_cell[16];
     std::snprintf(qps, sizeof(qps), "%.0f", result.Qps());
@@ -82,12 +154,192 @@ void Run() {
               FormatSeconds(executor.metrics().LatencyQuantileSeconds(0.95))});
   }
   PrintRule();
+  return peak_qps;
+}
+
+struct OpenLoopPoint {
+  double rate = 0.0;
+  std::uint64_t submitted = 0;
+  std::uint64_t full = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t shed = 0;
+  double elapsed_seconds = 0.0;
+  double goodput = 0.0;  ///< In-deadline completions (full+degraded)/sec.
+  double p50 = 0.0, p99 = 0.0;  ///< Latency of executed (unshed) queries.
+  std::vector<std::uint64_t> occupancy;  ///< Executed queries per step.
+};
+
+/// One open-loop run: Poisson arrivals at `rate` submitted to a Frontend.
+/// The submitter sleeps out exponential inter-arrival gaps, so offered load
+/// is `rate` regardless of how fast answers come back.
+OpenLoopPoint RunOpenLoop(methods::GraphIndex& index,
+                          const Workload& workload,
+                          const methods::SearchParams& params,
+                          const Options& options, double rate) {
+  using Clock = std::chrono::steady_clock;
+  OpenLoopPoint point;
+  point.rate = rate;
+  std::size_t num_arrivals = options.queries;
+  if (num_arrivals == 0) {
+    // ~1 second of traffic, bounded so extreme rates stay tractable.
+    num_arrivals = static_cast<std::size_t>(
+        std::clamp(rate, 500.0, 50000.0));
+  }
+
+  serve::FrontendOptions frontend_options;
+  frontend_options.threads = options.threads;
+  frontend_options.queue_capacity = options.queue_capacity;
+  frontend_options.deadline_seconds = options.deadline_seconds;
+  frontend_options.seed = options.seed;
+  serve::Frontend frontend(index, frontend_options);
+
+  const std::size_t nq = workload.queries.size();
+  const std::size_t dim = workload.queries.dim();
+  // Warm-up: seed the session pool and the p50 predictor, then reset the
+  // books so the measured window starts clean.
+  for (std::size_t q = 0; q < nq; ++q) {
+    frontend.Submit(workload.queries.data() + q * dim, dim, params,
+                    core::Deadline())
+        .get();
+  }
+  frontend.Drain();
+  frontend.metrics().Reset();
+
+  // Pre-draw the arrival schedule so the submit loop does no RNG work.
+  core::Rng rng(options.seed ^ 0xA881AALL);
+  std::vector<double> arrival_offsets(num_arrivals);
+  double t = 0.0;
+  for (std::size_t i = 0; i < num_arrivals; ++i) {
+    t += -std::log(1.0 - rng.UniformDouble()) / rate;
+    arrival_offsets[i] = t;
+  }
+
+  std::vector<serve::Frontend::Ticket> tickets;
+  tickets.reserve(num_arrivals);
+  const Clock::time_point start = Clock::now();
+  for (std::size_t i = 0; i < num_arrivals; ++i) {
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(arrival_offsets[i])));
+    tickets.push_back(
+        frontend.Submit(workload.queries.data() + (i % nq) * dim, dim,
+                        params));
+  }
+  for (auto& ticket : tickets) {
+    switch (ticket.get().outcome) {
+      case methods::ServeOutcome::kFull: ++point.full; break;
+      case methods::ServeOutcome::kDegraded: ++point.degraded; break;
+      case methods::ServeOutcome::kExpired: ++point.expired; break;
+      case methods::ServeOutcome::kRejected: ++point.shed; break;
+    }
+  }
+  point.elapsed_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  point.submitted = num_arrivals;
+  point.goodput = point.elapsed_seconds > 0
+                      ? static_cast<double>(point.full + point.degraded) /
+                            point.elapsed_seconds
+                      : 0.0;
+  point.p50 = frontend.metrics().LatencyQuantileSeconds(0.50);
+  point.p99 = frontend.metrics().LatencyQuantileSeconds(0.99);
+  for (std::size_t s = 0; s < serve::ServeMetrics::kMaxDegradeSteps; ++s) {
+    point.occupancy.push_back(frontend.metrics().degrade_step_count(s));
+  }
+  return point;
+}
+
+std::string OccupancyCell(const OpenLoopPoint& point) {
+  const std::uint64_t executed =
+      point.full + point.degraded + point.expired;
+  if (executed == 0) return "-";
+  std::string cell;
+  for (std::size_t s = 0; s < point.occupancy.size(); ++s) {
+    if (point.occupancy[s] == 0) continue;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%ss%zu:%.0f%%", cell.empty() ? "" : " ",
+                  s,
+                  100.0 * static_cast<double>(point.occupancy[s]) /
+                      static_cast<double>(executed));
+    cell += buf;
+  }
+  return cell;
+}
+
+void PrintOpenLoopPoint(const OpenLoopPoint& point) {
+  char rate[32], goodput[32], shed[16], expired[16];
+  std::snprintf(rate, sizeof(rate), "%.0f", point.rate);
+  std::snprintf(goodput, sizeof(goodput), "%.0f", point.goodput);
+  std::snprintf(shed, sizeof(shed), "%.1f%%",
+                100.0 * static_cast<double>(point.shed) /
+                    static_cast<double>(point.submitted));
+  std::snprintf(expired, sizeof(expired), "%llu",
+                static_cast<unsigned long long>(point.expired));
+  PrintRow({rate, goodput, shed, expired, FormatSeconds(point.p50),
+            FormatSeconds(point.p99), OccupancyCell(point)});
+}
+
+void Run(const Options& options) {
+  PrintHeader("Serving throughput: closed- and open-loop "
+              "(Deep proxy, 100GB tier)",
+              "Closed loop saturates one shared HNSW through "
+              "serve::QueryExecutor; open loop offers Poisson arrivals to "
+              "serve::Frontend and reports goodput (in-deadline answers/s), "
+              "shed rate, and degradation-step occupancy.");
+  std::printf("hardware threads available: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  const Workload workload = MakeWorkload("deep", kTier100GB);
+  auto index = methods::CreateIndex("hnsw", 42);
+  index->Build(workload.base);
+
+  methods::SearchParams params;
+  params.k = workload.k;
+  params.beam_width = 100;
+  params.num_seeds = 32;
+
+  double peak_qps = 0.0;
+  if (options.closed_loop) {
+    peak_qps = RunClosedLoop(*index, workload, params);
+    std::printf("closed-loop peak: %.0f qps\n\n", peak_qps);
+  }
+
+  if (!options.open_loop) return;
+  std::vector<double> rates;
+  if (options.rate > 0) {
+    rates.push_back(options.rate);
+  } else if (peak_qps > 0) {
+    // Below, at, and past saturation: the 2x point is where shedding and
+    // degradation have to earn their keep.
+    rates = {0.5 * peak_qps, peak_qps, 2.0 * peak_qps};
+  } else {
+    std::fprintf(stderr,
+                 "--arrival=poisson needs --rate=N when the closed-loop "
+                 "sweep is skipped\n");
+    return;
+  }
+  std::printf("== open loop: Poisson arrivals -> Frontend "
+              "(deadline %.1fms, queue %zu) ==\n",
+              options.deadline_seconds * 1e3, options.queue_capacity);
+  PrintRow({"rate/s", "goodput/s", "shed", "expired", "p50 lat", "p99 lat",
+            "degrade occupancy"});
+  PrintRule();
+  for (const double rate : rates) {
+    PrintOpenLoopPoint(RunOpenLoop(*index, workload, params, options, rate));
+  }
+  PrintRule();
+  std::printf("goodput = full + degraded completions per second of wall "
+              "time; shed queries were rejected up front (bounded queue, "
+              "predicted-late, or forced), expired queries ran but were "
+              "deadline-truncated.\n");
 }
 
 }  // namespace
 }  // namespace gass::bench
 
-int main() {
-  gass::bench::Run();
+int main(int argc, char** argv) {
+  gass::bench::Options options;
+  if (!gass::bench::ParseOptions(argc, argv, &options)) return 1;
+  gass::bench::Run(options);
   return 0;
 }

@@ -33,15 +33,29 @@ class Deadline {
   /// An already-expired deadline (for tests and load-shedding).
   static Deadline Expired() { return Deadline(Clock::time_point::min()); }
 
+  /// The earlier of two deadlines. An unlimited deadline is later than
+  /// everything, so Earliest(unlimited, d) == d. Lets layered budgets
+  /// (caller deadline vs. executor timeout) combine without either side
+  /// silently overriding the other.
+  static Deadline Earliest(const Deadline& a, const Deadline& b) {
+    return a.at_ <= b.at_ ? a : b;
+  }
+
   bool unlimited() const { return at_ == Clock::time_point::max(); }
 
   bool IsExpired() const {
     return !unlimited() && Clock::now() >= at_;
   }
 
-  /// Seconds until expiry (negative when past; +inf when unlimited).
+  /// Seconds until expiry (negative when past; +inf when unlimited, -inf
+  /// for Expired()).
   double RemainingSeconds() const {
     if (unlimited()) return std::numeric_limits<double>::infinity();
+    // time_point::min() - now would overflow the int64 tick count and wrap
+    // positive, making an Expired() deadline look like infinite budget.
+    if (at_ == Clock::time_point::min()) {
+      return -std::numeric_limits<double>::infinity();
+    }
     return std::chrono::duration<double>(at_ - Clock::now()).count();
   }
 

@@ -23,8 +23,9 @@ SearchResult FlatGraphSearcher::Search(const float* query,
   const std::vector<core::VectorId> seeds =
       seed_selector_->Select(dc, query, params.num_seeds);
   result.neighbors =
-      core::BeamSearch(flat_, dc, query, seeds, params.k, params.beam_width,
-                       visited_.get(), &result.stats);
+      core::BeamSearch(flat_, dc, query, seeds, params.k,
+                       EffectiveBeamWidth(params), visited_.get(),
+                       &result.stats);
   result.stats.distance_computations = dc.count();
   result.stats.elapsed_seconds = timer.Seconds();
   return result;

@@ -5,6 +5,16 @@
 
 namespace gass::methods {
 
+const char* ServeOutcomeName(ServeOutcome outcome) {
+  switch (outcome) {
+    case ServeOutcome::kFull: return "full";
+    case ServeOutcome::kDegraded: return "degraded";
+    case ServeOutcome::kExpired: return "expired";
+    case ServeOutcome::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
 SearchResult GraphIndex::Search(const float* query, const SearchParams& params,
                                 SearchContext* ctx) const {
   (void)query;
@@ -46,10 +56,11 @@ SearchResult SingleGraphIndex::SearchWith(const float* query,
       rng != nullptr ? seed_selector_->Select(dc, query, params.num_seeds, rng)
                      : seed_selector_->Select(dc, query, params.num_seeds);
   result.neighbors = core::BeamSearch(
-      graph_, dc, query, seeds, params.k, params.beam_width, visited,
+      graph_, dc, query, seeds, params.k, EffectiveBeamWidth(params), visited,
       &result.stats, params.prune_bound, params.deadline);
   result.stats.distance_computations = dc.count();
   result.stats.elapsed_seconds = timer.Seconds();
+  result.degrade_step = params.degrade_step;
   return result;
 }
 

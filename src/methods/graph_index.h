@@ -36,7 +36,37 @@ struct SearchParams {
   /// On expiry the search stops and returns its best-so-far answers,
   /// flagging `stats.deadline_expiries`. Null = unlimited.
   const core::Deadline* deadline = nullptr;
+  /// Adaptive-degradation step: 0 = full effort; each step halves the
+  /// effective beam width, never below k (see EffectiveBeamWidth()).
+  /// Set by serve::Frontend under queue pressure so an overloaded server
+  /// trades recall for latency instead of missing every deadline at once.
+  std::uint32_t degrade_step = 0;
 };
+
+/// The beam width a search actually runs with: `beam_width >> degrade_step`,
+/// clamped to at least `k`. Every method's query path consumes the beam
+/// width through this helper, so the serving tier's degradation knob applies
+/// uniformly. With degrade_step == 0 this is exactly `max(beam_width, k)`,
+/// the historic behavior.
+inline std::size_t EffectiveBeamWidth(const SearchParams& params) {
+  const std::size_t width =
+      params.degrade_step >= 63 ? 0 : params.beam_width >> params.degrade_step;
+  return width > params.k ? width : params.k;
+}
+
+/// How the serving tier handled a query. Plain (non-serving) searches always
+/// report kFull; serve::Frontend distinguishes the four overload outcomes so
+/// clients can tell a complete answer from a cheapened, truncated, or shed
+/// one (see docs/SERVING.md).
+enum class ServeOutcome : std::uint8_t {
+  kFull = 0,   ///< Full-effort result.
+  kDegraded,   ///< Served at a reduced effort step (see degrade_step).
+  kExpired,    ///< Deadline truncated the search; best-so-far answers.
+  kRejected,   ///< Shed before execution; no answers.
+};
+
+/// Short lowercase label ("full", "degraded", "expired", "rejected").
+const char* ServeOutcomeName(ServeOutcome outcome);
 
 /// One query's answers plus its costs.
 struct SearchResult {
@@ -47,6 +77,11 @@ struct SearchResult {
   /// callers (serve::QueryExecutor) so batch consumers can tell truncated
   /// results apart without digging through stats.
   bool expired = false;
+  /// Overload disposition, set by the serving tier (kExpired wins over
+  /// kDegraded when both apply; kRejected results carry no neighbors).
+  ServeOutcome outcome = ServeOutcome::kFull;
+  /// Degradation step the query actually ran with (0 = full effort).
+  std::uint32_t degrade_step = 0;
 };
 
 /// Costs of one index construction.

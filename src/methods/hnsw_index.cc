@@ -184,7 +184,7 @@ SearchResult HnswIndex::SearchWith(const float* query,
   }
 
   result.neighbors =
-      core::BeamSearch(base_, dc, query, seeds, params.k, params.beam_width,
+      core::BeamSearch(base_, dc, query, seeds, params.k, EffectiveBeamWidth(params),
                        visited, &result.stats, params.prune_bound,
                        params.deadline);
   result.stats.distance_computations = dc.count();

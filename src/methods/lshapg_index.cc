@@ -65,7 +65,7 @@ SearchResult LshApgIndex::SearchRouted(const float* query,
 
   // Beam search with probabilistic routing: each unvisited neighbor's
   // projected distance gates the exact evaluation.
-  const std::size_t width = std::max(params.beam_width, params.k);
+  const std::size_t width = EffectiveBeamWidth(params);
   core::CandidatePool pool(width);
   visited->NewEpoch();
   const std::vector<float> query_projection = lsh_->ProjectQuery(query);

@@ -82,7 +82,7 @@ SearchResult NgtIndex::SearchOver(const float* query,
   if (seeds.empty()) seeds.push_back(0);
 
   result.neighbors =
-      core::BeamSearch(graph_, dc, query, seeds, params.k, params.beam_width,
+      core::BeamSearch(graph_, dc, query, seeds, params.k, EffectiveBeamWidth(params),
                        visited, &result.stats, params.prune_bound,
                        params.deadline);
   result.stats.distance_computations = dc.count();

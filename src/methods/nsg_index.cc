@@ -90,7 +90,7 @@ SearchResult NsgIndex::SearchFrom(const float* query,
     seeds.push_back(static_cast<VectorId>(rng->UniformInt(data_->size())));
   }
   result.neighbors =
-      core::BeamSearch(graph_, dc, query, seeds, params.k, params.beam_width,
+      core::BeamSearch(graph_, dc, query, seeds, params.k, EffectiveBeamWidth(params),
                        visited, &result.stats, params.prune_bound,
                        params.deadline);
   result.stats.distance_computations = dc.count();

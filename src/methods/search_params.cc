@@ -74,9 +74,15 @@ bool ParseSearchParams(const std::string& spec, SearchParams* params,
       if (!ParseFloat(value, &params->prune_bound)) {
         return Fail(error, "bad prune '" + value + "'");
       }
+    } else if (key == "degrade") {
+      std::size_t step = 0;
+      if (!ParseSize(value, &step) || step > 62) {
+        return Fail(error, "bad degrade '" + value + "'");
+      }
+      params->degrade_step = static_cast<std::uint32_t>(step);
     } else {
       return Fail(error, "unknown search parameter '" + key +
-                             "' (expected k, beam, seeds, or prune)");
+                             "' (expected k, beam, seeds, prune, or degrade)");
     }
   }
   return true;
@@ -84,15 +90,19 @@ bool ParseSearchParams(const std::string& spec, SearchParams* params,
 
 std::string SearchParamsToString(const SearchParams& params) {
   char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), "k=%zu,beam=%zu,seeds=%zu",
+                params.k, params.beam_width, params.num_seeds);
+  std::string out = buffer;
   if (params.prune_bound < std::numeric_limits<float>::max()) {
-    std::snprintf(buffer, sizeof(buffer), "k=%zu,beam=%zu,seeds=%zu,prune=%g",
-                  params.k, params.beam_width, params.num_seeds,
+    std::snprintf(buffer, sizeof(buffer), ",prune=%g",
                   static_cast<double>(params.prune_bound));
-  } else {
-    std::snprintf(buffer, sizeof(buffer), "k=%zu,beam=%zu,seeds=%zu",
-                  params.k, params.beam_width, params.num_seeds);
+    out += buffer;
   }
-  return buffer;
+  if (params.degrade_step > 0) {
+    std::snprintf(buffer, sizeof(buffer), ",degrade=%u", params.degrade_step);
+    out += buffer;
+  }
+  return out;
 }
 
 }  // namespace gass::methods

@@ -21,7 +21,8 @@ SearchParams MakeSearchParams(std::size_t k, std::size_t beam_width,
 /// Parses a comma-separated "key=value" spec into `*params` (on top of
 /// whatever `*params` already holds, so callers can layer a spec over
 /// defaults). Recognized keys: `k`, `beam` (beam width L), `seeds` (seed
-/// count), `prune` (squared-distance prune bound, float). Returns false —
+/// count), `prune` (squared-distance prune bound, float), `degrade`
+/// (degradation step, halves the effective beam per step). Returns false —
 /// leaving `*params` partially updated — and describes the problem in
 /// `*error` (when non-null) for unknown keys, malformed numbers, or zero
 /// k/beam.
@@ -29,8 +30,9 @@ bool ParseSearchParams(const std::string& spec, SearchParams* params,
                        std::string* error = nullptr);
 
 /// Formats params as a spec string ParseSearchParams accepts, e.g.
-/// "k=10,beam=64,seeds=48". The prune bound is included only when set; the
-/// deadline (a caller-owned pointer) is never part of the round trip.
+/// "k=10,beam=64,seeds=48". The prune bound and degrade step are included
+/// only when set; the deadline (a caller-owned pointer) is never part of
+/// the round trip.
 std::string SearchParamsToString(const SearchParams& params);
 
 /// Copy of `params` with the deadline replaced (null = unlimited).

@@ -44,14 +44,24 @@ BatchResult QueryExecutor::SearchBatch(const float* queries,
       // on which worker ran the query or in what order.
       lease->rng =
           core::Rng(options_.seed ^ (0x9E3779B97F4A7C15ULL * (q + 1)));
-      core::Deadline deadline;  // Unlimited unless a timeout is configured.
-      const bool timed = options_.timeout_seconds > 0;
-      if (timed) deadline = core::Deadline::After(options_.timeout_seconds);
-      const methods::SearchParams query_params =
-          methods::WithDeadline(params, timed ? &deadline : nullptr);
+      // Effective deadline: the earlier of the caller's params.deadline and
+      // the executor's per-query timeout (see the header contract).
+      core::Deadline deadline =
+          params.deadline != nullptr ? *params.deadline : core::Deadline();
+      if (options_.timeout_seconds > 0) {
+        deadline = core::Deadline::Earliest(
+            deadline, core::Deadline::After(options_.timeout_seconds));
+      }
+      const methods::SearchParams query_params = methods::WithDeadline(
+          params, deadline.unlimited() ? nullptr : &deadline);
       methods::SearchResult result =
           index_.Search(queries + q * dim, query_params, lease.get());
       result.expired = result.stats.deadline_expiries > 0;
+      result.outcome = result.expired ? methods::ServeOutcome::kExpired
+                       : params.degrade_step > 0
+                           ? methods::ServeOutcome::kDegraded
+                           : methods::ServeOutcome::kFull;
+      result.degrade_step = params.degrade_step;
       metrics_.RecordQuery(result.stats, result.expired);
       batch.results[q] = std::move(result);
     }

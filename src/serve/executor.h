@@ -58,8 +58,14 @@ class QueryExecutor {
   QueryExecutor& operator=(const QueryExecutor&) = delete;
 
   /// Searches `queries[i * dim .. (i+1) * dim)` for i in [0, num_queries),
-  /// all with the same SearchParams (any caller-set params.deadline is
-  /// replaced by the executor's per-query timeout).
+  /// all with the same SearchParams.
+  ///
+  /// Deadline contract: each query runs under the *earlier* of the
+  /// caller-set `params.deadline` (which must outlive the call) and the
+  /// executor's own per-query timeout (`options.timeout_seconds`, measured
+  /// from that query's start). A caller deadline is never loosened by a
+  /// longer executor timeout, and never silently overwritten by a shorter
+  /// one being absent — min always wins.
   BatchResult SearchBatch(const float* queries, std::size_t num_queries,
                           std::size_t dim, const methods::SearchParams& params);
 

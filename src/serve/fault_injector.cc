@@ -1,0 +1,38 @@
+#include "serve/fault_injector.h"
+
+#include <chrono>
+#include <thread>
+
+namespace gass::serve {
+
+void FaultInjector::OnExecute(std::uint64_t id) {
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex_);
+    ++arrivals_;
+    gate_cv_.notify_all();
+    gate_cv_.wait(lock, [this] { return gate_open_; });
+  }
+  const double spike = LatencySpikeSeconds(id);
+  if (spike > 0) {
+    spikes_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::duration<double>(spike));
+  }
+}
+
+void FaultInjector::CloseGate() {
+  std::lock_guard<std::mutex> lock(gate_mutex_);
+  gate_open_ = false;
+}
+
+void FaultInjector::OpenGate() {
+  std::lock_guard<std::mutex> lock(gate_mutex_);
+  gate_open_ = true;
+  gate_cv_.notify_all();
+}
+
+void FaultInjector::WaitForArrivals(std::uint64_t n) {
+  std::unique_lock<std::mutex> lock(gate_mutex_);
+  gate_cv_.wait(lock, [this, n] { return arrivals_ >= n; });
+}
+
+}  // namespace gass::serve

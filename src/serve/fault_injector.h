@@ -1,0 +1,123 @@
+// Deterministic fault injection for the serve path.
+//
+// Overload behaviour is timing-dependent and therefore miserable to test:
+// whether a queue overflows depends on how fast workers drain it. The
+// FaultInjector makes that controllable — per-query latency spikes, forced
+// admission rejections, forced session-acquire failures, and an execution
+// gate that parks workers until the test releases them — all keyed off the
+// query's admission id, so a fixed submission order reproduces the exact
+// same fault sequence on every run.
+//
+// The hooks are compiled in unconditionally and cost one null check per
+// query when unused (serve::Frontend takes an optional FaultInjector*,
+// default null), so production builds and test builds run the same code.
+
+#ifndef GASS_SERVE_FAULT_INJECTOR_H_
+#define GASS_SERVE_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace gass::serve {
+
+/// Which queries fault, selected by admission id. A period of 0 disables
+/// that fault; period p fires on every id with id % p == 0 — deterministic,
+/// order-independent, and easy to reason about in tests ("ids 0, 3, 6
+/// reject").
+struct FaultPlan {
+  /// Sleep this long inside execution (before the search runs) on every
+  /// latency_spike_period-th query. Simulates a slow shard, a page fault
+  /// storm, or a GC pause downstream.
+  std::uint64_t latency_spike_period = 0;
+  double latency_spike_seconds = 0.0;
+  /// Force admission to reject every reject_period-th query as if the
+  /// queue were full.
+  std::uint64_t reject_period = 0;
+  /// Force the worker-side session acquisition to fail for every
+  /// session_fail_period-th query (simulates context-pool exhaustion);
+  /// the frontend sheds the query.
+  std::uint64_t session_fail_period = 0;
+  /// When true the gate starts closed: workers entering execution block
+  /// until OpenGate(). Turns "the server is saturated" into a test-
+  /// controlled, fully deterministic state.
+  bool gate_execution = false;
+};
+
+/// Thread-safe; one instance may serve a whole Frontend. All decision
+/// methods are pure functions of (plan, id) — only the gate and the
+/// counters carry state.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(const FaultPlan& plan)
+      : plan_(plan), gate_open_(!plan.gate_execution) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Admission-side: force-reject this query?
+  bool ShouldRejectAdmission(std::uint64_t id) const {
+    return Fires(plan_.reject_period, id);
+  }
+
+  /// Worker-side: fail this query's session acquisition?
+  bool ShouldFailSessionAcquire(std::uint64_t id) const {
+    return Fires(plan_.session_fail_period, id);
+  }
+
+  /// Latency spike for this query (0 = none).
+  double LatencySpikeSeconds(std::uint64_t id) const {
+    return Fires(plan_.latency_spike_period, id) ? plan_.latency_spike_seconds
+                                                 : 0.0;
+  }
+
+  /// Worker-side execution hook: applies the latency spike (a real sleep,
+  /// so deadlines and queue pressure react as they would to a slow query)
+  /// and blocks while the gate is closed. Call before running query `id`.
+  void OnExecute(std::uint64_t id);
+
+  /// Gate control (tests). Opening wakes every parked worker; arrivals()
+  /// counts workers that have reached the gate, so a test can wait until
+  /// the server is provably wedged before measuring shedding.
+  void CloseGate();
+  void OpenGate();
+  /// Blocks until at least `n` workers have entered OnExecute().
+  void WaitForArrivals(std::uint64_t n);
+
+  std::uint64_t injected_spikes() const {
+    return spikes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t forced_rejections() const {
+    return rejections_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t forced_session_failures() const {
+    return session_failures_.load(std::memory_order_relaxed);
+  }
+
+  /// Called by the frontend when it acts on a decision, so tests can assert
+  /// the injected fault count against the observed shed/latency counts.
+  void CountRejection() { rejections_.fetch_add(1, std::memory_order_relaxed); }
+  void CountSessionFailure() {
+    session_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  static bool Fires(std::uint64_t period, std::uint64_t id) {
+    return period != 0 && id % period == 0;
+  }
+
+  FaultPlan plan_;
+  std::mutex gate_mutex_;
+  std::condition_variable gate_cv_;
+  bool gate_open_ = true;
+  std::uint64_t arrivals_ = 0;  // Guarded by gate_mutex_.
+  std::atomic<std::uint64_t> spikes_{0};
+  std::atomic<std::uint64_t> rejections_{0};
+  std::atomic<std::uint64_t> session_failures_{0};
+};
+
+}  // namespace gass::serve
+
+#endif  // GASS_SERVE_FAULT_INJECTOR_H_

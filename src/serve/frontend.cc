@@ -1,0 +1,192 @@
+#include "serve/frontend.h"
+
+#include "core/macros.h"
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "methods/search_params.h"
+
+namespace gass::serve {
+
+Frontend::Frontend(const methods::GraphIndex& index,
+                   const FrontendOptions& options, FaultInjector* faults)
+    : index_(index),
+      options_(options),
+      faults_(faults),
+      sessions_(index, options.seed ^ 0xF207E7D5E55105ULL) {
+  GASS_CHECK_MSG(index.SupportsConcurrentSearch(),
+                 "%s does not support concurrent search; clone one instance "
+                 "per thread instead (see docs/SERVING.md)",
+                 index.Name().c_str());
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  std::size_t threads = options_.threads;
+  if (threads == 0) threads = core::DefaultThreadCount();
+  workers_.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Frontend::~Frontend() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void Frontend::Reject(Task* task, ServeMetrics* metrics) {
+  metrics->RecordShed();
+  methods::SearchResult result;
+  result.outcome = methods::ServeOutcome::kRejected;
+  task->promise.set_value(std::move(result));
+}
+
+bool Frontend::PredictedLate(const core::Deadline& deadline) const {
+  if (!options_.shed_predicted_late || deadline.unlimited()) return false;
+  if (metrics_.queries() < options_.min_service_samples) return false;
+  const double p50 = metrics_.LatencyQuantileSeconds(0.5);
+  return deadline.RemainingSeconds() < options_.shed_safety_factor * p50;
+}
+
+std::size_t Frontend::DegradeStepForDepth(std::size_t depth) const {
+  const std::size_t max_step = options_.max_degrade_step;
+  if (max_step == 0) return 0;
+  const double fill = static_cast<double>(depth) /
+                      static_cast<double>(options_.queue_capacity);
+  const double low = options_.degrade_low_fraction;
+  const double high = options_.degrade_high_fraction;
+  if (fill <= low || high <= low) return fill >= high ? max_step : 0;
+  if (fill >= high) return max_step;
+  // Evenly spaced interior steps: (low, high) splits into max_step - 1
+  // bands mapping to steps 1 .. max_step - 1.
+  const double t = (fill - low) / (high - low);
+  const std::size_t step =
+      1 + static_cast<std::size_t>(t * static_cast<double>(max_step - 1));
+  return step > max_step ? max_step : step;
+}
+
+Frontend::Ticket Frontend::Submit(const float* query, std::size_t dim,
+                                  const methods::SearchParams& params) {
+  const core::Deadline deadline =
+      options_.deadline_seconds > 0
+          ? core::Deadline::After(options_.deadline_seconds)
+          : core::Deadline();
+  return Submit(query, dim, params, deadline);
+}
+
+Frontend::Ticket Frontend::Submit(const float* query, std::size_t dim,
+                                  const methods::SearchParams& params,
+                                  const core::Deadline& deadline) {
+  Task task;
+  task.query = query;
+  task.dim = dim;
+  task.params = params;
+  task.params.deadline = nullptr;  // The frontend owns the deadline.
+  task.deadline = deadline;
+  task.id = submitted_.fetch_add(1, std::memory_order_relaxed);
+  Ticket ticket = task.promise.get_future();
+
+  if (faults_ != nullptr && faults_->ShouldRejectAdmission(task.id)) {
+    faults_->CountRejection();
+    Reject(&task, &metrics_);
+    return ticket;
+  }
+  // Predicted-late shedding at admission: if the budget already cannot
+  // cover a median service, reject now instead of queueing doomed work.
+  if (PredictedLate(task.deadline)) {
+    Reject(&task, &metrics_);
+    return ticket;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_ || queue_.size() >= options_.queue_capacity) {
+      Reject(&task, &metrics_);
+      return ticket;
+    }
+    queue_.push_back(std::move(task));
+    metrics_.RecordQueueDepth(queue_.size());
+  }
+  work_cv_.notify_one();
+  return ticket;
+}
+
+methods::SearchResult Frontend::Search(const float* query, std::size_t dim,
+                                       const methods::SearchParams& params) {
+  return Submit(query, dim, params).get();
+}
+
+void Frontend::WorkerLoop() {
+  for (;;) {
+    Task task;
+    std::size_t depth_after_pop = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and all accepted work done.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      depth_after_pop = queue_.size();
+      ++in_service_;
+    }
+
+    // Pressure is sampled when service starts: the depth left behind in
+    // the queue decides this query's degradation step.
+    const std::size_t step = DegradeStepForDepth(depth_after_pop);
+
+    bool shed = false;
+    if (faults_ != nullptr && faults_->ShouldFailSessionAcquire(task.id)) {
+      faults_->CountSessionFailure();
+      shed = true;
+    } else if (task.deadline.IsExpired() || PredictedLate(task.deadline)) {
+      // Queue wait consumed the budget (or the p50 prediction says the
+      // rest of it cannot cover a median service): shed instead of
+      // executing to certain expiry.
+      shed = true;
+    }
+
+    if (shed) {
+      Reject(&task, &metrics_);
+    } else {
+      if (faults_ != nullptr) faults_->OnExecute(task.id);
+      SearchSessionPool::Lease lease = sessions_.Acquire();
+      // Same determinism contract as QueryExecutor: results depend only on
+      // (seed, admission id), never on which worker ran the query.
+      lease->rng =
+          core::Rng(options_.seed ^ (0x9E3779B97F4A7C15ULL * (task.id + 1)));
+      methods::SearchParams query_params = task.params;
+      query_params.degrade_step = static_cast<std::uint32_t>(step);
+      query_params.deadline =
+          task.deadline.unlimited() ? nullptr : &task.deadline;
+      methods::SearchResult result =
+          index_.Search(task.query, query_params, lease.get());
+      result.expired = result.stats.deadline_expiries > 0;
+      result.degrade_step = static_cast<std::uint32_t>(step);
+      result.outcome = result.expired ? methods::ServeOutcome::kExpired
+                       : step > 0     ? methods::ServeOutcome::kDegraded
+                                      : methods::ServeOutcome::kFull;
+      metrics_.RecordQuery(result.stats, result.expired);
+      metrics_.RecordDegradeStep(
+          step, result.outcome == methods::ServeOutcome::kDegraded);
+      task.promise.set_value(std::move(result));
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_service_;
+      if (queue_.empty() && in_service_ == 0) drain_cv_.notify_all();
+    }
+  }
+}
+
+void Frontend::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drain_cv_.wait(lock, [this] { return queue_.empty() && in_service_ == 0; });
+}
+
+std::size_t Frontend::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace gass::serve

@@ -1,0 +1,170 @@
+// Overload-resilient serving frontend: bounded admission, load shedding,
+// and adaptive degradation on top of the concurrent search path.
+//
+// QueryExecutor answers "how fast can N threads drain a batch"; it will
+// happily accept unbounded work and, under overload, miss every deadline at
+// once. The Frontend is the piece that faces an *open-loop* world, where
+// clients do not wait for the previous answer before sending the next
+// query. It degrades gracefully instead of collapsing:
+//
+//   * Bounded admission queue — work beyond `queue_capacity` is rejected
+//     immediately (shed), so queue delay is bounded and memory cannot grow
+//     without limit.
+//   * Deadline-aware load shedding — a query whose remaining budget cannot
+//     cover the observed p50 service time is shed up front (at admission
+//     and again at dequeue, where queue wait may have consumed the budget)
+//     rather than executed to certain expiry.
+//   * Adaptive degradation — as the queue fills, the effective beam width
+//     shrinks in discrete steps (SearchParams::degrade_step, each step
+//     halves the beam, never below k), restoring automatically as pressure
+//     drains. Cheaper answers for everyone beats no answers for most.
+//
+// Every query's disposition is explicit in its SearchResult::outcome —
+// kFull / kDegraded / kExpired / kRejected — and aggregated in ServeMetrics
+// (shed/degraded counts, per-step occupancy, queue high-water mark). See
+// docs/SERVING.md for how to read them and pick settings.
+
+#ifndef GASS_SERVE_FRONTEND_H_
+#define GASS_SERVE_FRONTEND_H_
+
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/deadline.h"
+#include "methods/graph_index.h"
+#include "serve/fault_injector.h"
+#include "serve/metrics.h"
+#include "serve/search_session.h"
+
+namespace gass::serve {
+
+struct FrontendOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Admission-queue bound (clamped to >= 1). Submissions beyond it shed.
+  std::size_t queue_capacity = 64;
+  /// Default per-query budget applied at admission; <= 0 = unlimited.
+  /// The Submit overload taking a Deadline overrides it per query.
+  double deadline_seconds = 0.0;
+  /// Shed queries predicted to miss their deadline: remaining budget <
+  /// shed_safety_factor * observed p50 service time. Needs at least
+  /// min_service_samples completed queries before it activates (a cold
+  /// server has no p50 to predict with).
+  bool shed_predicted_late = true;
+  double shed_safety_factor = 1.0;
+  std::size_t min_service_samples = 32;
+  /// Deepest degradation step (0 disables degradation). Step s halves the
+  /// effective beam width s times (never below k).
+  std::size_t max_degrade_step = 3;
+  /// Queue-fill fractions mapping depth to degradation step: at or below
+  /// `low` fill the frontend serves full effort, at or above `high` it
+  /// serves max_degrade_step, with evenly spaced discrete steps between
+  /// (see DegradeStepForDepth).
+  double degrade_low_fraction = 0.25;
+  double degrade_high_fraction = 0.75;
+  /// Base seed for per-query RNG reseeding — the same (seed, admission id)
+  /// determinism contract as QueryExecutor.
+  std::uint64_t seed = 0xF207E7DULL;
+};
+
+/// Open-loop serving frontend over one shared, built index.
+///
+/// Thread-safe: Submit may be called from any number of client threads.
+/// The queried vectors must stay alive until the returned ticket resolves.
+/// The index must support concurrent search and outlive the frontend.
+///
+/// Destruction drains the queue (accepted queries still run) and joins the
+/// workers; a closed FaultInjector gate must be opened first or the
+/// destructor will wait on it forever.
+class Frontend {
+ public:
+  /// Resolves to the query's SearchResult; outcome tells full / degraded /
+  /// expired / rejected apart. Rejected tickets resolve immediately.
+  using Ticket = std::future<methods::SearchResult>;
+
+  Frontend(const methods::GraphIndex& index, const FrontendOptions& options,
+           FaultInjector* faults = nullptr);
+  ~Frontend();
+
+  Frontend(const Frontend&) = delete;
+  Frontend& operator=(const Frontend&) = delete;
+
+  /// Admission with the default deadline (options.deadline_seconds from
+  /// now). Any caller-set params.deadline is ignored — the frontend owns
+  /// deadlines (they must survive the queue wait, so they cannot point
+  /// into the caller's stack).
+  Ticket Submit(const float* query, std::size_t dim,
+                const methods::SearchParams& params);
+
+  /// Admission with an explicit per-query deadline.
+  Ticket Submit(const float* query, std::size_t dim,
+                const methods::SearchParams& params,
+                const core::Deadline& deadline);
+
+  /// Blocking convenience: Submit + wait.
+  methods::SearchResult Search(const float* query, std::size_t dim,
+                               const methods::SearchParams& params);
+
+  /// Blocks until every admitted query has resolved and the queue is empty.
+  void Drain();
+
+  /// The degradation step a query dequeued at `depth` runs with: 0 at or
+  /// below the low watermark, max_degrade_step at or above the high one,
+  /// evenly spaced discrete steps between. Pure function of (options,
+  /// depth) — exposed so tests and benches can pin the mapping.
+  std::size_t DegradeStepForDepth(std::size_t depth) const;
+
+  const ServeMetrics& metrics() const { return metrics_; }
+  ServeMetrics& metrics() { return metrics_; }
+
+  /// Queries currently waiting for a worker (excludes in-service).
+  std::size_t queue_depth() const;
+  /// Total queries ever submitted (accepted or shed).
+  std::uint64_t submitted() const {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+  std::size_t thread_count() const { return workers_.size(); }
+  const FrontendOptions& options() const { return options_; }
+
+ private:
+  struct Task {
+    const float* query = nullptr;
+    std::size_t dim = 0;
+    methods::SearchParams params;
+    core::Deadline deadline;
+    std::uint64_t id = 0;
+    std::promise<methods::SearchResult> promise;
+  };
+
+  void WorkerLoop();
+  /// Fulfills a ticket as shed (kRejected) and records the metrics.
+  static void Reject(Task* task, ServeMetrics* metrics);
+  /// True when the remaining budget cannot cover the observed p50 service
+  /// time (and prediction is active).
+  bool PredictedLate(const core::Deadline& deadline) const;
+
+  const methods::GraphIndex& index_;
+  FrontendOptions options_;
+  FaultInjector* faults_;  // Not owned; null = no injection.
+  SearchSessionPool sessions_;
+  ServeMetrics metrics_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   // Queue non-empty or stopping.
+  std::condition_variable drain_cv_;  // Queue empty and nothing in service.
+  std::deque<Task> queue_;
+  std::size_t in_service_ = 0;  // Dequeued, promise not yet fulfilled.
+  bool stop_ = false;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gass::serve
+
+#endif  // GASS_SERVE_FRONTEND_H_

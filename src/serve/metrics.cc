@@ -25,8 +25,17 @@ double LatencyHistogram::BucketMidNanos(std::size_t index) {
 }
 
 void LatencyHistogram::Record(double seconds) {
-  if (seconds < 0) seconds = 0;
-  const auto nanos = static_cast<std::uint64_t>(seconds * 1e9);
+  // NaN and negatives clamp to zero (bottom bucket). The top clamp happens
+  // in floating point, *before* the integer cast: a sample past ~584 years
+  // of nanoseconds (or +inf) would otherwise be undefined behavior in the
+  // cast and could wrap to a tiny bucket, corrupting every quantile above
+  // it. Saturating here pins such samples to the top bucket instead.
+  if (!(seconds > 0)) seconds = 0;
+  const double nanos_fp = seconds * 1e9;
+  constexpr double kMaxNanos = 9.2e18;  // < 2^63, exactly representable.
+  const std::uint64_t nanos =
+      nanos_fp >= kMaxNanos ? static_cast<std::uint64_t>(kMaxNanos)
+                            : static_cast<std::uint64_t>(nanos_fp);
   buckets_[BucketIndex(nanos)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -61,7 +70,7 @@ std::string ServeMetrics::Dump() const {
   const core::SearchStats totals = TotalStats();
   const std::uint64_t n = queries();
   const double nq = n == 0 ? 1.0 : static_cast<double>(n);
-  char buffer[512];
+  char buffer[768];
   std::snprintf(
       buffer, sizeof(buffer),
       "queries          %llu\n"
@@ -72,14 +81,20 @@ std::string ServeMetrics::Dump() const {
       "dists/query      %.1f\n"
       "hops/query       %.1f\n"
       "deadline expiry  %llu\n"
-      "expired queries  %llu\n",
+      "expired queries  %llu\n"
+      "shed queries     %llu\n"
+      "degraded queries %llu\n"
+      "queue high-water %llu\n",
       static_cast<unsigned long long>(n), Qps(),
       1e3 * LatencyQuantileSeconds(0.50), 1e3 * LatencyQuantileSeconds(0.95),
       1e3 * LatencyQuantileSeconds(0.99),
       static_cast<double>(totals.distance_computations) / nq,
       static_cast<double>(totals.hops) / nq,
       static_cast<unsigned long long>(totals.deadline_expiries),
-      static_cast<unsigned long long>(expired_queries()));
+      static_cast<unsigned long long>(expired_queries()),
+      static_cast<unsigned long long>(shed_queries()),
+      static_cast<unsigned long long>(degraded_queries()),
+      static_cast<unsigned long long>(queue_depth_high_water()));
   return buffer;
 }
 
@@ -87,6 +102,12 @@ void ServeMetrics::Reset() {
   stats_.Reset();
   histogram_.Reset();
   expired_.store(0, std::memory_order_relaxed);
+  shed_.store(0, std::memory_order_relaxed);
+  degraded_.store(0, std::memory_order_relaxed);
+  queue_high_water_.store(0, std::memory_order_relaxed);
+  for (auto& slot : degrade_occupancy_) {
+    slot.store(0, std::memory_order_relaxed);
+  }
   window_.Reset();
 }
 

@@ -21,8 +21,11 @@ namespace gass::serve {
 /// Lock-free, log-bucketed latency histogram (HDR-style, base 2 with 8
 /// sub-buckets per octave → ≤ ~6% relative quantile error).
 ///
-/// Record() is wait-free (one relaxed fetch_add). Covers ~8ns to ~18min;
-/// out-of-range samples clamp to the edge buckets.
+/// Record() is wait-free (one relaxed fetch_add). Covers ~8ns to ~2.4h;
+/// out-of-range samples — including the absurd ones an overload spike can
+/// produce (hours-long waits, +inf from a division by a zero rate, NaN) —
+/// saturate into the edge buckets instead of wrapping the nanosecond
+/// conversion, so percentile math stays monotone no matter what is fed in.
 class LatencyHistogram {
  public:
   LatencyHistogram() { Reset(); }
@@ -80,6 +83,57 @@ class ServeMetrics {
     return expired_.load(std::memory_order_relaxed);
   }
 
+  // --- Overload accounting (written by serve::Frontend) ---
+
+  /// Occupancy counters cover degradation steps [0, kMaxDegradeSteps);
+  /// deeper steps clamp into the last slot.
+  static constexpr std::size_t kMaxDegradeSteps = 8;
+
+  /// One query shed (rejected before execution: queue full, forced fault,
+  /// or predicted-late). Shed queries are NOT RecordQuery()'d — they never
+  /// ran, so they pollute neither the latency histogram nor the per-query
+  /// cost averages.
+  void RecordShed() { shed_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// The degradation step one executed query actually ran with (0 = full
+  /// effort). Feeds the per-step occupancy, and — when `count_degraded` —
+  /// the degraded_queries() total. Pass false for a query whose *outcome*
+  /// is not degraded (outcome precedence: a query that ran at a reduced
+  /// step but then expired reports kExpired, and must count as expired,
+  /// not degraded, so the outcome categories stay disjoint and
+  /// full + degraded + expired == executed).
+  void RecordDegradeStep(std::size_t step, bool count_degraded = true) {
+    if (step > 0 && count_degraded) {
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (step >= kMaxDegradeSteps) step = kMaxDegradeSteps - 1;
+    degrade_occupancy_[step].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Admission-queue depth observed after an enqueue; keeps the high-water
+  /// mark (lock-free CAS max).
+  void RecordQueueDepth(std::size_t depth) {
+    std::uint64_t seen = queue_high_water_.load(std::memory_order_relaxed);
+    while (depth > seen && !queue_high_water_.compare_exchange_weak(
+                               seen, depth, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t shed_queries() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t degraded_queries() const {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t queue_depth_high_water() const {
+    return queue_high_water_.load(std::memory_order_relaxed);
+  }
+  /// Executed queries that ran at degradation step `step` (clamped).
+  std::uint64_t degrade_step_count(std::size_t step) const {
+    if (step >= kMaxDegradeSteps) step = kMaxDegradeSteps - 1;
+    return degrade_occupancy_[step].load(std::memory_order_relaxed);
+  }
+
   double LatencyQuantileSeconds(double q) const {
     return histogram_.QuantileSeconds(q);
   }
@@ -99,6 +153,10 @@ class ServeMetrics {
   core::SearchStats::AtomicAccumulator stats_;
   LatencyHistogram histogram_;
   std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> queue_high_water_{0};
+  std::array<std::atomic<std::uint64_t>, kMaxDegradeSteps> degrade_occupancy_{};
   core::Timer window_;
 };
 

@@ -1,0 +1,54 @@
+#include "serve/retry.h"
+
+#include <chrono>
+#include <thread>
+
+namespace gass::serve {
+
+double BackoffSeconds(const RetryPolicy& policy, std::size_t retry,
+                      core::Rng* rng) {
+  if (retry == 0) return 0.0;
+  double backoff = policy.initial_backoff_seconds;
+  for (std::size_t i = 1; i < retry; ++i) {
+    backoff *= policy.backoff_multiplier;
+    if (backoff >= policy.max_backoff_seconds) break;  // Saturated; stop early.
+  }
+  if (backoff > policy.max_backoff_seconds) backoff = policy.max_backoff_seconds;
+  if (rng != nullptr && policy.jitter_fraction > 0) {
+    const double scale =
+        1.0 + policy.jitter_fraction * (2.0 * rng->UniformDouble() - 1.0);
+    backoff *= scale;
+  }
+  return backoff < 0 ? 0.0 : backoff;
+}
+
+bool ShouldRetry(const RetryPolicy& policy, std::size_t attempts_made,
+                 double backoff_seconds, const core::Deadline& deadline) {
+  if (attempts_made >= policy.max_attempts) return false;
+  // Never retry past the deadline: the backoff sleep itself must fit in
+  // the remaining budget, or the retry would arrive already dead.
+  return deadline.RemainingSeconds() > backoff_seconds;
+}
+
+methods::SearchResult SearchWithRetry(Frontend& frontend, const float* query,
+                                      std::size_t dim,
+                                      const methods::SearchParams& params,
+                                      const core::Deadline& deadline,
+                                      const RetryPolicy& policy,
+                                      core::Rng* rng,
+                                      std::size_t* attempts_out) {
+  std::size_t attempts = 0;
+  methods::SearchResult result;
+  for (;;) {
+    result = frontend.Submit(query, dim, params, deadline).get();
+    ++attempts;
+    if (result.outcome != methods::ServeOutcome::kRejected) break;
+    const double backoff = BackoffSeconds(policy, attempts, rng);
+    if (!ShouldRetry(policy, attempts, backoff, deadline)) break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+  }
+  if (attempts_out != nullptr) *attempts_out = attempts;
+  return result;
+}
+
+}  // namespace gass::serve

@@ -1,0 +1,62 @@
+// Client-side retry for shed queries: capped exponential backoff with
+// jitter, budget-aware so a retry is never scheduled past the deadline.
+//
+// A frontend that sheds load only helps if clients back off instead of
+// hammering it harder; this is the reference retry loop used by the serve
+// benches, the CLI, and the tests. All arithmetic is deterministic for a
+// fixed Rng state, so backoff sequences can be pinned in tests.
+
+#ifndef GASS_SERVE_RETRY_H_
+#define GASS_SERVE_RETRY_H_
+
+#include <cstddef>
+
+#include "core/deadline.h"
+#include "core/rng.h"
+#include "methods/graph_index.h"
+#include "serve/frontend.h"
+
+namespace gass::serve {
+
+struct RetryPolicy {
+  /// Total attempts, including the first (1 = never retry).
+  std::size_t max_attempts = 4;
+  /// Backoff before retry r (1-based) grows as initial * multiplier^(r-1),
+  /// capped at max_backoff_seconds, then jittered.
+  double initial_backoff_seconds = 0.0005;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 0.01;
+  /// Multiplicative jitter: the capped backoff is scaled by a uniform
+  /// draw from [1 - jitter_fraction, 1 + jitter_fraction). Zero = none.
+  double jitter_fraction = 0.2;
+};
+
+/// Backoff before retry number `retry` (1-based: the wait after the first
+/// rejection is retry == 1). Capped exponential growth, then jitter drawn
+/// from `rng` (null = no jitter). Deterministic for a fixed rng state.
+double BackoffSeconds(const RetryPolicy& policy, std::size_t retry,
+                      core::Rng* rng);
+
+/// Whether one more attempt is allowed after `attempts_made` attempts: the
+/// attempt cap must not be exhausted AND the deadline's remaining budget
+/// must cover the backoff sleep — a retry that would wake up past the
+/// deadline is pointless load, so it is never made.
+bool ShouldRetry(const RetryPolicy& policy, std::size_t attempts_made,
+                 double backoff_seconds, const core::Deadline& deadline);
+
+/// Blocking submit-with-retry loop: submits to `frontend`, and while the
+/// result is kRejected, sleeps the policy backoff and resubmits — stopping
+/// when the policy or the deadline says so. Returns the final result (the
+/// last rejection when retries exhaust). `attempts_out` (optional) reports
+/// how many submissions were made.
+methods::SearchResult SearchWithRetry(Frontend& frontend, const float* query,
+                                      std::size_t dim,
+                                      const methods::SearchParams& params,
+                                      const core::Deadline& deadline,
+                                      const RetryPolicy& policy,
+                                      core::Rng* rng,
+                                      std::size_t* attempts_out = nullptr);
+
+}  // namespace gass::serve
+
+#endif  // GASS_SERVE_RETRY_H_

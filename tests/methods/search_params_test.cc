@@ -102,6 +102,50 @@ TEST(SearchParamsToStringTest, IncludesPruneOnlyWhenSet) {
   EXPECT_FLOAT_EQ(reparsed.prune_bound, 1.5f);
 }
 
+TEST(ParseSearchParamsTest, ParsesDegradeStep) {
+  SearchParams params;
+  ASSERT_TRUE(ParseSearchParams("k=5,beam=64,degrade=2", &params));
+  EXPECT_EQ(params.degrade_step, 2u);
+  ASSERT_TRUE(ParseSearchParams("degrade=0", &params));
+  EXPECT_EQ(params.degrade_step, 0u);
+}
+
+TEST(ParseSearchParamsTest, RejectsOversizedDegradeStep) {
+  // Steps above 62 would shift past the width of beam_width; the parser
+  // rejects them instead of letting EffectiveBeamWidth clamp silently.
+  SearchParams params;
+  std::string error;
+  EXPECT_TRUE(ParseSearchParams("degrade=62", &params));
+  EXPECT_FALSE(ParseSearchParams("degrade=63", &params, &error));
+  EXPECT_NE(error.find("degrade"), std::string::npos);
+}
+
+TEST(SearchParamsToStringTest, IncludesDegradeOnlyWhenSet) {
+  SearchParams params = MakeSearchParams(10, 64, 48);
+  EXPECT_EQ(SearchParamsToString(params).find("degrade"), std::string::npos);
+
+  params.degrade_step = 3;
+  const std::string spec = SearchParamsToString(params);
+  EXPECT_NE(spec.find("degrade=3"), std::string::npos);
+
+  SearchParams reparsed;
+  ASSERT_TRUE(ParseSearchParams(spec, &reparsed));
+  EXPECT_EQ(reparsed.degrade_step, 3u);
+}
+
+TEST(EffectiveBeamWidthTest, HalvesPerStepAndFloorsAtK) {
+  SearchParams params = MakeSearchParams(10, 64, 48);
+  EXPECT_EQ(EffectiveBeamWidth(params), 64u);  // Step 0: untouched.
+  params.degrade_step = 1;
+  EXPECT_EQ(EffectiveBeamWidth(params), 32u);
+  params.degrade_step = 2;
+  EXPECT_EQ(EffectiveBeamWidth(params), 16u);
+  params.degrade_step = 3;
+  EXPECT_EQ(EffectiveBeamWidth(params), 10u);  // 8 < k: floor at k.
+  params.degrade_step = 62;                    // Deep steps never underflow.
+  EXPECT_EQ(EffectiveBeamWidth(params), 10u);
+}
+
 TEST(WithDeadlineTest, ReplacesOnlyTheDeadline) {
   const SearchParams base = MakeSearchParams(10, 64, 48);
   core::Deadline deadline = core::Deadline::After(10.0);

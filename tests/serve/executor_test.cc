@@ -109,6 +109,41 @@ TEST_F(ExecutorTest, ExpiredDeadlineYieldsPartialResults) {
   EXPECT_EQ(executor.metrics().expired_queries(), queries_.size());
 }
 
+TEST_F(ExecutorTest, CallerDeadlineHonoredWhenExecutorHasNoTimeout) {
+  // Regression: SearchBatch used to overwrite a caller-set params.deadline
+  // with its own (here: absent) timeout, silently loosening the budget. The
+  // contract is min(caller deadline, executor timeout).
+  ExecutorOptions options;
+  options.threads = 2;  // No timeout_seconds: executor side is unlimited.
+  QueryExecutor executor(*index_, options);
+  SearchParams params;
+  params.k = 10;
+  params.beam_width = 100;
+  const core::Deadline expired = core::Deadline::Expired();
+  params.deadline = &expired;
+  const BatchResult batch = executor.SearchBatch(
+      queries_.data(), queries_.size(), queries_.dim(), params);
+  EXPECT_EQ(batch.expired, queries_.size());
+  for (const auto& r : batch.results) EXPECT_TRUE(r.expired);
+}
+
+TEST_F(ExecutorTest, TighterExecutorTimeoutStillAppliesUnderCallerDeadline) {
+  // The other direction of the min: a generous caller deadline must not
+  // loosen a tight executor timeout.
+  ExecutorOptions options;
+  options.threads = 2;
+  options.timeout_seconds = 1e-9;
+  QueryExecutor executor(*index_, options);
+  SearchParams params;
+  params.k = 10;
+  params.beam_width = 100;
+  const core::Deadline generous = core::Deadline::After(3600.0);
+  params.deadline = &generous;
+  const BatchResult batch = executor.SearchBatch(
+      queries_.data(), queries_.size(), queries_.dim(), params);
+  EXPECT_EQ(batch.expired, queries_.size());
+}
+
 TEST_F(ExecutorTest, UnlimitedDeadlineNeverFlagsExpired) {
   ExecutorOptions options;
   options.threads = 2;

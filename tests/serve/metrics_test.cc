@@ -1,5 +1,7 @@
 #include "serve/metrics.h"
 
+#include <cmath>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,6 +47,29 @@ TEST(LatencyHistogramTest, ExtremeSamplesClampWithoutCrashing) {
   histogram.Record(1e9);      // ~31 years clamps to the top bucket.
   EXPECT_EQ(histogram.count(), 3u);
   EXPECT_GT(histogram.QuantileSeconds(1.0), histogram.QuantileSeconds(0.0));
+}
+
+TEST(LatencyHistogramTest, TopBucketSaturatesInsteadOfWrapping) {
+  // Overload spikes can produce absurd elapsed times (stalled clocks,
+  // multi-hour hangs, or garbage from a fault injector). The histogram must
+  // pin them to the top bucket — a float-to-uint64 overflow would wrap to a
+  // *low* bucket and silently drag p99 down exactly when it matters most.
+  LatencyHistogram histogram;
+  histogram.Record(1e18);  // ~31 billion years in seconds.
+  histogram.Record(std::numeric_limits<double>::max());
+  histogram.Record(std::numeric_limits<double>::infinity());
+  histogram.Record(std::numeric_limits<double>::quiet_NaN());
+  histogram.Record(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(histogram.count(), 5u);
+  // The three huge samples all land in the top bucket, so the upper
+  // quantiles report the histogram's maximum representable latency rather
+  // than a wrapped-around small value.
+  const double top = histogram.QuantileSeconds(1.0);
+  EXPECT_GT(top, 1.0);                       // Far above any real latency...
+  EXPECT_TRUE(std::isfinite(top));           // ...but still a finite bucket.
+  EXPECT_GE(histogram.QuantileSeconds(0.9), top * 0.5);
+  // NaN and -inf clamp to the bottom bucket, not UB.
+  EXPECT_LT(histogram.QuantileSeconds(0.0), 1e-6);
 }
 
 TEST(LatencyHistogramTest, ConcurrentRecordsAllCounted) {
@@ -121,16 +146,82 @@ TEST(ServeMetricsTest, CountsExpiredQueriesSeparatelyFromExpiryEvents) {
   EXPECT_NE(metrics.Dump().find("expired"), std::string::npos);
 }
 
+TEST(ServeMetricsTest, ShedQueriesCountedWithoutPollutingLatency) {
+  ServeMetrics metrics;
+  metrics.RecordShed();
+  metrics.RecordShed();
+  EXPECT_EQ(metrics.shed_queries(), 2u);
+  // Shed queries never executed: they contribute no latency samples and do
+  // not count as served queries.
+  EXPECT_EQ(metrics.queries(), 0u);
+  EXPECT_DOUBLE_EQ(metrics.LatencyQuantileSeconds(0.5), 0.0);
+  EXPECT_NE(metrics.Dump().find("shed"), std::string::npos);
+}
+
+TEST(ServeMetricsTest, DegradeStepOccupancyAndDegradedCount) {
+  ServeMetrics metrics;
+  metrics.RecordDegradeStep(0);  // Full effort: occupancy only.
+  metrics.RecordDegradeStep(0);
+  metrics.RecordDegradeStep(1);
+  metrics.RecordDegradeStep(3);
+  metrics.RecordDegradeStep(3);
+  EXPECT_EQ(metrics.degraded_queries(), 3u);  // Steps > 0 only.
+  EXPECT_EQ(metrics.degrade_step_count(0), 2u);
+  EXPECT_EQ(metrics.degrade_step_count(1), 1u);
+  EXPECT_EQ(metrics.degrade_step_count(2), 0u);
+  EXPECT_EQ(metrics.degrade_step_count(3), 2u);
+  // Steps beyond the tracked range clamp into the last slot rather than
+  // indexing out of bounds.
+  metrics.RecordDegradeStep(ServeMetrics::kMaxDegradeSteps + 5);
+  EXPECT_EQ(metrics.degrade_step_count(ServeMetrics::kMaxDegradeSteps - 1),
+            1u);
+  // The read side clamps the same way, so querying past the range reads the
+  // last slot instead of indexing out of bounds.
+  EXPECT_EQ(metrics.degrade_step_count(ServeMetrics::kMaxDegradeSteps), 1u);
+  EXPECT_NE(metrics.Dump().find("degraded"), std::string::npos);
+}
+
+TEST(ServeMetricsTest, QueueDepthHighWaterIsAMax) {
+  ServeMetrics metrics;
+  EXPECT_EQ(metrics.queue_depth_high_water(), 0u);
+  metrics.RecordQueueDepth(3);
+  metrics.RecordQueueDepth(9);
+  metrics.RecordQueueDepth(5);  // Lower sample must not regress the mark.
+  EXPECT_EQ(metrics.queue_depth_high_water(), 9u);
+}
+
+TEST(ServeMetricsTest, ConcurrentHighWaterKeepsGlobalMax) {
+  ServeMetrics metrics;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&metrics, t] {
+      for (std::uint64_t d = 0; d < 2000; ++d) {
+        metrics.RecordQueueDepth(d * (t + 1));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(metrics.queue_depth_high_water(), 1999u * kThreads);
+}
+
 TEST(ServeMetricsTest, ResetClearsCountsAndWindow) {
   ServeMetrics metrics;
   core::SearchStats stats;
   stats.elapsed_seconds = 0.001;
   metrics.RecordQuery(stats, /*expired=*/true);
+  metrics.RecordShed();
+  metrics.RecordDegradeStep(2);
+  metrics.RecordQueueDepth(17);
   metrics.Reset();
   EXPECT_EQ(metrics.queries(), 0u);
   EXPECT_DOUBLE_EQ(metrics.LatencyQuantileSeconds(0.5), 0.0);
   EXPECT_EQ(metrics.TotalStats().distance_computations, 0u);
   EXPECT_EQ(metrics.expired_queries(), 0u);
+  EXPECT_EQ(metrics.shed_queries(), 0u);
+  EXPECT_EQ(metrics.degraded_queries(), 0u);
+  EXPECT_EQ(metrics.queue_depth_high_water(), 0u);
+  EXPECT_EQ(metrics.degrade_step_count(2), 0u);
 }
 
 }  // namespace

@@ -14,7 +14,16 @@
 //                       [--k 10] [--beam 100] [--threads 1,2,4] [--reps 16]
 //                       [--timeout-ms 0] [--search-params k=10,seeds=48]
 //                       [--load index.gass]
+//                       [--arrival poisson --rate N [--num-arrivals N]
+//                        [--queue 64] [--deadline-ms 10] [--retries 0]]
 //   gass_cli methods
+//
+// serve-bench defaults to the closed-loop executor thread sweep. With
+// --arrival poisson it instead offers an open-loop Poisson stream at
+// --rate arrivals/sec to serve::Frontend (bounded queue, load shedding,
+// adaptive degradation; see docs/SERVING.md) and reports goodput, shed
+// rate, and degradation-step occupancy. --retries N additionally re-issues
+// shed queries through serve::SearchWithRetry once the burst drains.
 //
 // --save writes a crash-safe checksummed snapshot of the built index (see
 // docs/PERSISTENCE.md); --load warm-starts eval/serve-bench from such a
@@ -31,13 +40,20 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+#include <cmath>
+#include <thread>
+
 #include "core/dataset.h"
+#include "core/rng.h"
 #include "eval/complexity.h"
 #include "eval/ground_truth.h"
 #include "eval/recall.h"
 #include "methods/factory.h"
 #include "methods/search_params.h"
 #include "serve/executor.h"
+#include "serve/frontend.h"
+#include "serve/retry.h"
 #include "synth/generators.h"
 #include "synth/workloads.h"
 
@@ -289,6 +305,141 @@ int CmdComplexity(const Flags& flags) {
   return 0;
 }
 
+// Open-loop serve bench: Poisson arrivals at --rate offered to a
+// serve::Frontend; goodput/shed/degradation reported, with an optional
+// SearchWithRetry pass over the shed queries afterwards.
+int RunPoissonServeBench(gass::methods::GraphIndex& index,
+                         const Dataset& queries,
+                         const gass::methods::SearchParams& params,
+                         const Flags& flags) {
+  using Clock = std::chrono::steady_clock;
+  using gass::methods::ServeOutcome;
+
+  const double rate = std::atof(flags.Get("rate", "0").c_str());
+  if (rate <= 0) {
+    std::fprintf(stderr, "error: --arrival poisson needs --rate > 0\n");
+    return 1;
+  }
+  const std::size_t num_arrivals = static_cast<std::size_t>(flags.GetInt(
+      "num-arrivals",
+      static_cast<long>(std::clamp(rate, 500.0, 50000.0))));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+
+  gass::serve::FrontendOptions options;
+  options.threads = static_cast<std::size_t>(flags.GetInt("threads", 0));
+  options.queue_capacity =
+      static_cast<std::size_t>(flags.GetInt("queue", 64));
+  options.deadline_seconds =
+      static_cast<double>(flags.GetInt("deadline-ms", 10)) * 1e-3;
+  options.seed = seed;
+  gass::serve::Frontend frontend(index, options);
+
+  const std::size_t nq = queries.size();
+  const std::size_t dim = queries.dim();
+  // Warm-up primes the session pool and the p50 predictor.
+  for (std::size_t q = 0; q < nq; ++q) {
+    frontend
+        .Submit(queries.data() + q * dim, dim, params, gass::core::Deadline())
+        .get();
+  }
+  frontend.Drain();
+  frontend.metrics().Reset();
+
+  gass::core::Rng rng(seed ^ 0xA881AALL);
+  std::vector<double> offsets(num_arrivals);
+  double t = 0.0;
+  for (std::size_t i = 0; i < num_arrivals; ++i) {
+    t += -std::log(1.0 - rng.UniformDouble()) / rate;
+    offsets[i] = t;
+  }
+
+  std::vector<gass::serve::Frontend::Ticket> tickets;
+  std::vector<std::size_t> query_of;
+  tickets.reserve(num_arrivals);
+  query_of.reserve(num_arrivals);
+  const Clock::time_point start = Clock::now();
+  for (std::size_t i = 0; i < num_arrivals; ++i) {
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(offsets[i])));
+    query_of.push_back(i % nq);
+    tickets.push_back(
+        frontend.Submit(queries.data() + (i % nq) * dim, dim, params));
+  }
+  std::uint64_t full = 0, degraded = 0, expired = 0, shed = 0;
+  std::vector<std::size_t> shed_queries;
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    switch (tickets[i].get().outcome) {
+      case ServeOutcome::kFull: ++full; break;
+      case ServeOutcome::kDegraded: ++degraded; break;
+      case ServeOutcome::kExpired: ++expired; break;
+      case ServeOutcome::kRejected:
+        ++shed;
+        shed_queries.push_back(query_of[i]);
+        break;
+    }
+  }
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::printf("\nopen loop: %zu Poisson arrivals at %.0f/s "
+              "(deadline %.1fms, queue %zu)\n",
+              num_arrivals, rate, options.deadline_seconds * 1e3,
+              options.queue_capacity);
+  std::printf("%-14s %-12s %-10s %-10s %-10s %-10s\n", "goodput/s", "shed",
+              "expired", "degraded", "p50", "p99");
+  char shed_cell[48];
+  std::snprintf(shed_cell, sizeof(shed_cell), "%llu (%.1f%%)",
+                static_cast<unsigned long long>(shed),
+                num_arrivals > 0 ? 100.0 * static_cast<double>(shed) /
+                                       static_cast<double>(num_arrivals)
+                                 : 0.0);
+  std::printf("%-14.0f %-12s %-10llu %-10llu %-10.3f %-10.3f\n",
+              elapsed > 0 ? static_cast<double>(full + degraded) / elapsed
+                          : 0.0,
+              shed_cell,
+              static_cast<unsigned long long>(expired),
+              static_cast<unsigned long long>(degraded),
+              1e3 * frontend.metrics().LatencyQuantileSeconds(0.50),
+              1e3 * frontend.metrics().LatencyQuantileSeconds(0.99));
+  std::printf("degrade occupancy:");
+  const std::uint64_t executed = full + degraded + expired;
+  for (std::size_t s = 0; s < gass::serve::ServeMetrics::kMaxDegradeSteps;
+       ++s) {
+    const std::uint64_t count = frontend.metrics().degrade_step_count(s);
+    if (count == 0) continue;
+    std::printf(" s%zu:%.0f%%", s,
+                executed > 0 ? 100.0 * static_cast<double>(count) /
+                                   static_cast<double>(executed)
+                             : 0.0);
+  }
+  std::printf("  queue high-water: %llu\n",
+              static_cast<unsigned long long>(
+                  frontend.metrics().queue_depth_high_water()));
+
+  const std::size_t retries =
+      static_cast<std::size_t>(flags.GetInt("retries", 0));
+  if (retries > 0 && !shed_queries.empty()) {
+    gass::serve::RetryPolicy policy;
+    policy.max_attempts = retries + 1;  // First attempt + N retries.
+    gass::core::Rng retry_rng(seed ^ 0x8E784ULL);
+    std::uint64_t recovered = 0;
+    for (const std::size_t q : shed_queries) {
+      const gass::methods::SearchResult result = gass::serve::SearchWithRetry(
+          frontend, queries.data() + q * dim, dim, params,
+          gass::core::Deadline::After(options.deadline_seconds), policy,
+          &retry_rng);
+      if (result.outcome != ServeOutcome::kRejected) ++recovered;
+    }
+    std::printf("retry pass: %llu of %zu shed queries recovered with <= %zu "
+                "retries (capped backoff + jitter)\n",
+                static_cast<unsigned long long>(recovered),
+                shed_queries.size(), retries);
+  }
+  return 0;
+}
+
 // Throughput of the concurrent serving path at each thread count: builds
 // once, then drives tiled query batches through serve::QueryExecutor.
 int CmdServeBench(const Flags& flags) {
@@ -346,6 +497,10 @@ int CmdServeBench(const Flags& flags) {
   }
   std::printf("search params: %s\n",
               gass::methods::SearchParamsToString(params).c_str());
+
+  if (flags.Get("arrival", "closed") == "poisson") {
+    return RunPoissonServeBench(*index, queries, params, flags);
+  }
 
   std::printf("%-8s %-12s %-12s %-12s %-10s\n", "threads", "qps", "p50",
               "p95", "expired");
