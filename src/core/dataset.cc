@@ -32,6 +32,20 @@ Dataset Dataset::Select(const std::vector<VectorId>& ids) const {
   return out;
 }
 
+DatasetView DatasetView::All(const Dataset& parent) {
+  std::vector<VectorId> ids(parent.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<VectorId>(i);
+  }
+  return DatasetView(parent, std::move(ids));
+}
+
+Dataset DatasetView::Materialize() const {
+  GASS_CHECK(parent_ != nullptr || ids_.empty());
+  if (parent_ == nullptr) return Dataset();
+  return parent_->Select(ids_);
+}
+
 void Dataset::Append(const Dataset& other) {
   if (other.empty()) return;
   if (empty()) {

@@ -85,6 +85,61 @@ class Dataset {
   std::vector<float, AlignedAllocator<float, kAlignment>> data_;
 };
 
+/// Zero-copy row-subset view over a Dataset: a list of row ids plus a
+/// pointer to the parent's storage. Row(i) resolves straight into the
+/// parent buffer, so building a view never duplicates vector data — the
+/// sharding partitioners (src/shard/) iterate candidate subsets through
+/// views and only materialize a real Dataset (Materialize) for the rows a
+/// shard finally owns.
+///
+/// The parent dataset must outlive the view. Because rows alias the parent
+/// buffer, the Dataset alignment contract carries over unchanged: the
+/// parent's base address is 64-byte aligned, and a viewed row is 64-byte
+/// aligned exactly when the parent row is (dim a multiple of 16). The SIMD
+/// kernels use unaligned loads either way, so any viewed row is legal input.
+class DatasetView {
+ public:
+  DatasetView() = default;
+
+  /// View of the given parent rows, in order. Ids must be < parent.size().
+  DatasetView(const Dataset& parent, std::vector<VectorId> ids)
+      : parent_(&parent), ids_(std::move(ids)) {
+#ifndef NDEBUG
+    for (const VectorId id : ids_) GASS_DCHECK(id < parent.size());
+#endif
+  }
+
+  /// View of every parent row (identity id map, still zero-copy).
+  static DatasetView All(const Dataset& parent);
+
+  std::size_t size() const { return ids_.size(); }
+  std::size_t dim() const { return parent_ != nullptr ? parent_->dim() : 0; }
+  bool empty() const { return ids_.empty(); }
+
+  /// Pointer into the PARENT buffer for view row `i`.
+  const float* Row(std::size_t i) const {
+    GASS_DCHECK(i < ids_.size());
+    return parent_->Row(ids_[i]);
+  }
+
+  /// Parent id of view row `i`.
+  VectorId GlobalId(std::size_t i) const {
+    GASS_DCHECK(i < ids_.size());
+    return ids_[i];
+  }
+
+  const std::vector<VectorId>& ids() const { return ids_; }
+  const Dataset* parent() const { return parent_; }
+
+  /// Copies the viewed rows into an owning Dataset (the one deliberate
+  /// copy, used when a shard's rows must live contiguously for a build).
+  Dataset Materialize() const;
+
+ private:
+  const Dataset* parent_ = nullptr;
+  std::vector<VectorId> ids_;
+};
+
 /// Reads an fvecs file (per vector: int32 dim then dim float32 values).
 Status ReadFvecs(const std::string& path, Dataset* out);
 

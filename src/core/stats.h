@@ -19,12 +19,16 @@ struct SearchStats {
   std::uint64_t distance_computations = 0;
   std::uint64_t hops = 0;
   std::uint64_t deadline_expiries = 0;
+  /// Shard sub-searches this query fanned out to (0 for unsharded indexes;
+  /// set by shard::ShardedIndex, aggregated additively like the rest).
+  std::uint64_t shards_probed = 0;
   double elapsed_seconds = 0.0;
 
   SearchStats& operator+=(const SearchStats& other) {
     distance_computations += other.distance_computations;
     hops += other.hops;
     deadline_expiries += other.deadline_expiries;
+    shards_probed += other.shards_probed;
     elapsed_seconds += other.elapsed_seconds;
     return *this;
   }
@@ -44,6 +48,7 @@ struct SearchStats {
       hops_.fetch_add(s.hops, std::memory_order_relaxed);
       deadline_expiries_.fetch_add(s.deadline_expiries,
                                    std::memory_order_relaxed);
+      shards_probed_.fetch_add(s.shards_probed, std::memory_order_relaxed);
       // Stored in nanoseconds so the hot path never touches floating-point
       // CAS loops (pre-C++20 atomic<double> has no fetch_add).
       elapsed_ns_.fetch_add(
@@ -58,6 +63,7 @@ struct SearchStats {
           distance_computations_.load(std::memory_order_relaxed);
       s.hops = hops_.load(std::memory_order_relaxed);
       s.deadline_expiries = deadline_expiries_.load(std::memory_order_relaxed);
+      s.shards_probed = shards_probed_.load(std::memory_order_relaxed);
       s.elapsed_seconds =
           static_cast<double>(elapsed_ns_.load(std::memory_order_relaxed)) *
           1e-9;
@@ -73,6 +79,7 @@ struct SearchStats {
       distance_computations_.store(0, std::memory_order_relaxed);
       hops_.store(0, std::memory_order_relaxed);
       deadline_expiries_.store(0, std::memory_order_relaxed);
+      shards_probed_.store(0, std::memory_order_relaxed);
       elapsed_ns_.store(0, std::memory_order_relaxed);
       queries_.store(0, std::memory_order_relaxed);
     }
@@ -81,6 +88,7 @@ struct SearchStats {
     std::atomic<std::uint64_t> distance_computations_{0};
     std::atomic<std::uint64_t> hops_{0};
     std::atomic<std::uint64_t> deadline_expiries_{0};
+    std::atomic<std::uint64_t> shards_probed_{0};
     std::atomic<std::uint64_t> elapsed_ns_{0};
     std::atomic<std::uint64_t> queries_{0};
   };

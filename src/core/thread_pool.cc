@@ -42,6 +42,12 @@ bool ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_exception_ != nullptr) {
+    std::exception_ptr pending = first_exception_;
+    first_exception_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(pending);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -55,7 +61,17 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      // An exception escaping a worker would std::terminate the process;
+      // capture the first one for the next Wait() instead (see the header
+      // contract). Later tasks still run.
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (first_exception_ == nullptr) {
+        first_exception_ = std::current_exception();
+      }
+    }
     {
       std::unique_lock<std::mutex> lock(mutex_);
       if (--in_flight_ == 0) all_done_.notify_all();
@@ -79,16 +95,27 @@ void ParallelFor(std::size_t count, std::size_t threads,
   }
   std::vector<std::thread> workers;
   workers.reserve(threads);
+  std::mutex exception_mutex;
+  std::exception_ptr first_exception;
   const std::size_t chunk = (count + threads - 1) / threads;
   for (std::size_t w = 0; w < threads; ++w) {
     const std::size_t begin = w * chunk;
     const std::size_t end = std::min(begin + chunk, count);
     if (begin >= end) break;
-    workers.emplace_back([w, begin, end, &fn] {
-      for (std::size_t i = begin; i < end; ++i) fn(w, i);
-    });
+    workers.emplace_back(
+        [w, begin, end, &fn, &exception_mutex, &first_exception] {
+          try {
+            for (std::size_t i = begin; i < end; ++i) fn(w, i);
+          } catch (...) {
+            std::unique_lock<std::mutex> lock(exception_mutex);
+            if (first_exception == nullptr) {
+              first_exception = std::current_exception();
+            }
+          }
+        });
   }
   for (auto& worker : workers) worker.join();
+  if (first_exception != nullptr) std::rethrow_exception(first_exception);
 }
 
 }  // namespace gass::core

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -28,6 +29,15 @@ namespace gass::core {
 /// Submit() during or after shutdown returns false and the task is
 /// dropped, never enqueued into a dying pool. Submit/Wait may be called
 /// from any thread; tasks must not themselves block on the pool.
+///
+/// Exception contract: a throwing task does NOT take the process down (the
+/// historical behavior — an exception escaping a worker thread is
+/// std::terminate). The worker catches it, the remaining tasks still run,
+/// and the *first* captured exception is rethrown to the caller of the
+/// next Wait(). Parallel shard builds (shard::ShardedIndex) rely on this:
+/// one shard's std::bad_alloc surfaces in the coordinating thread as an
+/// ordinary exception instead of aborting the server. Exceptions still
+/// pending when Shutdown() runs without a Wait() are dropped.
 class ThreadPool {
  public:
   /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
@@ -43,7 +53,8 @@ class ThreadPool {
   /// begun. A true return guarantees the task will run.
   [[nodiscard]] bool Submit(std::function<void()> task);
 
-  /// Blocks until every accepted task has completed.
+  /// Blocks until every accepted task has completed, then rethrows the
+  /// first exception any task threw since the last Wait() (clearing it).
   void Wait();
 
   /// Stops accepting tasks, drains the queue, and joins the workers.
@@ -59,6 +70,7 @@ class ThreadPool {
   std::condition_variable task_available_;
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
+  std::exception_ptr first_exception_;  // Guarded by mutex_.
   bool shutting_down_ = false;
   bool joined_ = false;
 };
@@ -69,6 +81,10 @@ class ThreadPool {
 /// `worker_index` is in [0, threads) and is stable within a chunk, letting
 /// callers keep per-worker scratch (DistanceComputer, VisitedTable) without
 /// locking.
+///
+/// An exception thrown by `fn` ends that worker's chunk (other chunks run
+/// to completion) and the first one captured is rethrown on the calling
+/// thread after the join — same contract as ThreadPool::Wait().
 void ParallelFor(std::size_t count, std::size_t threads,
                  const std::function<void(std::size_t, std::size_t)>& fn);
 

@@ -122,29 +122,29 @@ core::Status SingleGraphIndex::LoadAux(const io::SnapshotReader& reader,
                                      " does not restore seed structures");
 }
 
-core::Status SaveIndex(const GraphIndex& index, const std::string& path) {
-  if (index.data() == nullptr) {
-    return core::Status::InvalidArgument("cannot save an unbuilt " +
-                                         index.Name() + " index");
+core::Status GraphIndex::SaveSnapshot(const std::string& path) const {
+  if (data_ == nullptr) {
+    return core::Status::InvalidArgument("cannot save an unbuilt " + Name() +
+                                         " index");
   }
-  io::SnapshotWriter writer(index.Name(), index.ParamsFingerprint(),
-                            index.data()->size(), index.data()->dim());
-  GASS_RETURN_IF_ERROR(index.SaveSections(&writer, ""));
+  io::SnapshotWriter writer(Name(), ParamsFingerprint(), data_->size(),
+                            data_->dim());
+  GASS_RETURN_IF_ERROR(SaveSections(&writer, ""));
   return writer.WriteTo(path);
 }
 
-core::Status LoadIndex(GraphIndex* index, const core::Dataset& data,
-                       const std::string& path) {
+core::Status GraphIndex::LoadSnapshot(const std::string& path,
+                                      const core::Dataset& data) {
   io::SnapshotReader reader;
   GASS_RETURN_IF_ERROR(io::SnapshotReader::Open(path, &reader));
-  if (reader.method() != index->Name()) {
-    return core::Status::InvalidArgument(
-        path + ": snapshot holds a " + reader.method() +
-        " index, cannot load into " + index->Name());
+  if (reader.method() != Name()) {
+    return core::Status::InvalidArgument(path + ": snapshot holds a " +
+                                         reader.method() +
+                                         " index, cannot load into " + Name());
   }
-  if (reader.params_fingerprint() != index->ParamsFingerprint()) {
+  if (reader.params_fingerprint() != ParamsFingerprint()) {
     return core::Status::InvalidArgument(
-        path + ": snapshot was built with different " + index->Name() +
+        path + ": snapshot was built with different " + Name() +
         " parameters (fingerprint mismatch)");
   }
   if (reader.data_n() != data.size() || reader.data_dim() != data.dim()) {
@@ -154,7 +154,16 @@ core::Status LoadIndex(GraphIndex* index, const core::Dataset& data,
         std::to_string(reader.data_dim()) + " dataset, got " +
         std::to_string(data.size()) + "x" + std::to_string(data.dim()));
   }
-  return index->LoadSections(reader, "", data);
+  return LoadSections(reader, "", data);
+}
+
+core::Status SaveIndex(const GraphIndex& index, const std::string& path) {
+  return index.SaveSnapshot(path);
+}
+
+core::Status LoadIndex(GraphIndex* index, const core::Dataset& data,
+                       const std::string& path) {
+  return index->LoadSnapshot(path, data);
 }
 
 }  // namespace gass::methods

@@ -177,17 +177,32 @@ class GraphIndex {
                                     const std::string& prefix,
                                     const core::Dataset& data);
 
+  /// Writes this built index to `path`. The default writes one crash-safe
+  /// snapshot file (header + SaveSections); indexes whose on-disk form is a
+  /// *set* of files override it (shard::ShardedIndex writes a manifest at
+  /// `path` plus one snapshot per shard next to it). SaveIndex() delegates
+  /// here, so callers never need to know which layout they are saving.
+  virtual core::Status SaveSnapshot(const std::string& path) const;
+
+  /// Inverse of SaveSnapshot: validates the snapshot's method name, params
+  /// fingerprint, and dataset shape against this index / `data`, then
+  /// restores state. LoadIndex() delegates here.
+  virtual core::Status LoadSnapshot(const std::string& path,
+                                    const core::Dataset& data);
+
  protected:
   const core::Dataset* data_ = nullptr;
 };
 
 /// Saves a built index to `path` as a crash-safe snapshot (written to
-/// "<path>.tmp", fsynced, atomically renamed).
+/// "<path>.tmp", fsynced, atomically renamed). Thin wrapper over
+/// GraphIndex::SaveSnapshot — composite indexes may write extra files.
 core::Status SaveIndex(const GraphIndex& index, const std::string& path);
 
 /// Loads a snapshot into an unbuilt (or rebuilt) index. Fails with a
 /// descriptive error when the snapshot's method name, params fingerprint,
-/// or dataset shape (n, dim) does not match `index`/`data`.
+/// or dataset shape (n, dim) does not match `index`/`data`. Thin wrapper
+/// over GraphIndex::LoadSnapshot.
 core::Status LoadIndex(GraphIndex* index, const core::Dataset& data,
                        const std::string& path);
 

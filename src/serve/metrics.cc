@@ -84,7 +84,9 @@ std::string ServeMetrics::Dump() const {
       "expired queries  %llu\n"
       "shed queries     %llu\n"
       "degraded queries %llu\n"
-      "queue high-water %llu\n",
+      "queue high-water %llu\n"
+      "fan-out queries  %llu\n"
+      "shards probed    %llu (%.2f per fanned query)\n",
       static_cast<unsigned long long>(n), Qps(),
       1e3 * LatencyQuantileSeconds(0.50), 1e3 * LatencyQuantileSeconds(0.95),
       1e3 * LatencyQuantileSeconds(0.99),
@@ -94,7 +96,13 @@ std::string ServeMetrics::Dump() const {
       static_cast<unsigned long long>(expired_queries()),
       static_cast<unsigned long long>(shed_queries()),
       static_cast<unsigned long long>(degraded_queries()),
-      static_cast<unsigned long long>(queue_depth_high_water()));
+      static_cast<unsigned long long>(queue_depth_high_water()),
+      static_cast<unsigned long long>(fanout_queries()),
+      static_cast<unsigned long long>(totals.shards_probed),
+      fanout_queries() == 0
+          ? 0.0
+          : static_cast<double>(totals.shards_probed) /
+                static_cast<double>(fanout_queries()));
   return buffer;
 }
 
@@ -102,6 +110,7 @@ void ServeMetrics::Reset() {
   stats_.Reset();
   histogram_.Reset();
   expired_.store(0, std::memory_order_relaxed);
+  fanout_.store(0, std::memory_order_relaxed);
   shed_.store(0, std::memory_order_relaxed);
   degraded_.store(0, std::memory_order_relaxed);
   queue_high_water_.store(0, std::memory_order_relaxed);

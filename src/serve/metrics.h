@@ -71,6 +71,9 @@ class ServeMetrics {
     stats_.Add(stats);
     histogram_.Record(stats.elapsed_seconds);
     if (expired) expired_.fetch_add(1, std::memory_order_relaxed);
+    if (stats.shards_probed > 0) {
+      fanout_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   /// Totals across all recorded queries.
@@ -81,6 +84,18 @@ class ServeMetrics {
   /// Queries whose results were deadline-truncated.
   std::uint64_t expired_queries() const {
     return expired_.load(std::memory_order_relaxed);
+  }
+
+  // --- Sharded fan-out accounting (written via stats.shards_probed) ---
+
+  /// Queries that fanned out to a sharded index (stats.shards_probed > 0).
+  /// Zero when serving an unsharded index.
+  std::uint64_t fanout_queries() const {
+    return fanout_.load(std::memory_order_relaxed);
+  }
+  /// Shard sub-searches dispatched across all recorded queries.
+  std::uint64_t shards_probed_total() const {
+    return stats_.Snapshot().shards_probed;
   }
 
   // --- Overload accounting (written by serve::Frontend) ---
@@ -153,6 +168,7 @@ class ServeMetrics {
   core::SearchStats::AtomicAccumulator stats_;
   LatencyHistogram histogram_;
   std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> fanout_{0};
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> degraded_{0};
   std::atomic<std::uint64_t> queue_high_water_{0};

@@ -1,0 +1,640 @@
+#include "shard/sharded_index.h"
+
+#include <algorithm>
+#include <cctype>
+#include <condition_variable>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "core/distance.h"
+#include "core/macros.h"
+#include "core/stats.h"
+#include "io/hash.h"
+#include "io/serialize.h"
+#include "io/snapshot.h"
+#include "methods/factory.h"
+#include "methods/fingerprint.h"
+
+namespace gass::shard {
+
+namespace {
+
+/// Golden-ratio odd multiplier (same mix constant as core::Rng).
+constexpr std::uint64_t kSeedMix = 0x9E3779B97F4A7C15ULL;
+/// Seed for the per-shard whole-file hashes stored in the manifest.
+constexpr std::uint64_t kShardFileHashSeed = 0x53484152ULL;  // "SHAR"
+/// Decode-time sanity cap on shard counts (far above anything sensible).
+constexpr std::uint64_t kMaxShards = 1ULL << 20;
+
+constexpr char kManifestSection[] = "sharded.manifest";
+constexpr char kAssignmentSection[] = "sharded.assignment";
+constexpr char kCentroidsSection[] = "sharded.centroids";
+constexpr char kMethodPrefix[] = "SHARDED:";
+
+core::Status ReadFileBytes(const std::string& path,
+                           std::vector<std::uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return core::Status::IoError("cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return core::Status::IoError("cannot stat " + path);
+  out->resize(static_cast<std::size_t>(size));
+  in.seekg(0, std::ios::beg);
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(out->data()), size);
+  }
+  if (!in) return core::Status::IoError("cannot read " + path);
+  return core::Status::Ok();
+}
+
+bool IsKnownMethod(const std::string& name) {
+  for (const std::string& known : methods::AllMethodNames()) {
+    if (known == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsShardedSnapshotMethod(const std::string& method) {
+  return method.rfind(kMethodPrefix, 0) == 0;
+}
+
+ShardedIndex::ShardedIndex(const ShardedIndexOptions& options)
+    : options_(options) {
+  GASS_CHECK_MSG(IsKnownMethod(options_.method),
+                 "unknown sub-index method '%s'", options_.method.c_str());
+  GASS_CHECK_MSG(options_.partitioner.num_shards >= 1,
+                 "num_shards must be >= 1");
+}
+
+ShardedIndex::~ShardedIndex() = default;
+
+std::string ShardedIndex::Name() const {
+  std::string name = kMethodPrefix;
+  for (const char c : options_.method) {
+    name.push_back(
+        static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+  return name;
+}
+
+std::uint64_t ShardedIndex::SubIndexSeed(std::uint64_t seed, std::size_t s) {
+  // s == 0 yields `seed` itself, so a K=1 sharded build constructs its one
+  // sub-index exactly as the unsharded CreateIndex(method, seed) would —
+  // the foundation of the bit-identity guarantee.
+  return seed ^ (kSeedMix * static_cast<std::uint64_t>(s));
+}
+
+std::string ShardedIndex::ShardPath(const std::string& path, std::size_t s) {
+  return path + ".shard" + std::to_string(s);
+}
+
+std::uint64_t ShardedIndex::ParamsFingerprint() const {
+  io::Encoder enc;
+  enc.Str("sharded");
+  enc.Str(options_.method);
+  enc.U8(static_cast<std::uint8_t>(options_.partitioner.kind));
+  enc.U64(options_.partitioner.num_shards);
+  enc.U64(options_.partitioner.kmeans_sample);
+  enc.U64(options_.partitioner.kmeans_iters);
+  enc.F64(options_.partitioner.balance_slack);
+  enc.U64(options_.seed);
+  // Fold in the sub-method's own parameter fingerprint (a prototype is
+  // enough: every shard uses the same construction knobs, only the seed
+  // mix differs and the base seed is already encoded above).
+  enc.U64(methods::CreateIndex(options_.method,
+                               SubIndexSeed(options_.seed, 0))
+              ->ParamsFingerprint());
+  return methods::FingerprintBytes(enc);
+}
+
+methods::BuildStats ShardedIndex::Build(const core::Dataset& data) {
+  GASS_CHECK_MSG(shards_.empty(), "ShardedIndex::Build called twice");
+  core::Timer timer;
+  partitioning_ = Partition(data, options_.partitioner, options_.seed);
+  partition_seconds_ = timer.Seconds();
+  const std::size_t k = partitioning_.num_shards();
+  shard_data_.resize(k);
+  shards_.resize(k);
+  shard_build_seconds_.assign(k, 0.0);
+  std::vector<methods::BuildStats> sub_stats(k);
+  {
+    // Shard builds are independent, so they simply fan out on a pool; a
+    // failing build (e.g. std::bad_alloc) surfaces here via Wait()'s
+    // exception propagation instead of taking the process down.
+    core::ThreadPool pool(options_.build_threads);
+    for (std::size_t s = 0; s < k; ++s) {
+      const bool accepted = pool.Submit([this, &data, &sub_stats, s] {
+        core::Timer shard_timer;
+        shard_data_[s] = partitioning_.ShardView(data, s).Materialize();
+        shards_[s] = methods::CreateIndex(options_.method,
+                                          SubIndexSeed(options_.seed, s));
+        sub_stats[s] = shards_[s]->Build(shard_data_[s]);
+        shard_build_seconds_[s] = shard_timer.Seconds();
+      });
+      GASS_CHECK(accepted);
+    }
+    pool.Wait();
+  }
+  FinishInit(data);
+
+  methods::BuildStats out;
+  out.distance_computations = partitioning_.distance_computations;
+  for (const methods::BuildStats& s : sub_stats) {
+    out.distance_computations += s.distance_computations;
+    // Shard builds overlap in time, so the transient peaks can coexist;
+    // summing is the conservative bound.
+    out.peak_bytes += s.peak_bytes;
+  }
+  for (const core::Dataset& d : shard_data_) out.peak_bytes += d.SizeBytes();
+  out.index_bytes = IndexBytes();
+  out.elapsed_seconds = timer.Seconds();
+  return out;
+}
+
+void ShardedIndex::FinishInit(const core::Dataset& data) {
+  data_ = &data;
+  max_shard_size_ = 1;
+  for (const core::Dataset& d : shard_data_) {
+    max_shard_size_ = std::max(max_shard_size_, d.size());
+  }
+  {
+    std::unique_lock<std::mutex> lock(ctx_mutex_);
+    ctx_pool_.clear();
+  }
+  fanout_pool_.reset();
+  if (options_.fanout_threads > 0) {
+    fanout_pool_ =
+        std::make_unique<core::ThreadPool>(options_.fanout_threads);
+  }
+  serial_ctx_ = std::make_unique<methods::SearchContext>(max_shard_size_,
+                                                         options_.seed);
+  probe_counts_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    probe_counts_[s].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t ShardedIndex::EffectiveNprobe() const {
+  GASS_CHECK_MSG(!shards_.empty(), "EffectiveNprobe before Build");
+  const std::size_t k = shards_.size();
+  if (options_.nprobe == 0) return k;
+  return std::min(options_.nprobe, k);
+}
+
+const methods::GraphIndex& ShardedIndex::shard(std::size_t s) const {
+  GASS_CHECK(s < shards_.size());
+  return *shards_[s];
+}
+
+std::size_t ShardedIndex::shard_size(std::size_t s) const {
+  GASS_CHECK(s < shard_data_.size());
+  return shard_data_[s].size();
+}
+
+std::uint64_t ShardedIndex::probe_count(std::size_t s) const {
+  GASS_CHECK(s < shards_.size());
+  return probe_counts_[s].load(std::memory_order_relaxed);
+}
+
+const core::Graph& ShardedIndex::graph() const {
+  GASS_CHECK_MSG(false, "a SHARDED index has no single base graph");
+  static const core::Graph kEmpty;
+  return kEmpty;
+}
+
+std::size_t ShardedIndex::IndexBytes() const {
+  std::size_t total = partitioning_.centroids.SizeBytes() +
+                      partitioning_.assignment.size() * sizeof(std::uint32_t);
+  for (const std::vector<core::VectorId>& ids : partitioning_.shard_ids) {
+    total += ids.size() * sizeof(core::VectorId);
+  }
+  for (const std::unique_ptr<methods::GraphIndex>& s : shards_) {
+    total += s->IndexBytes();
+  }
+  return total;
+}
+
+std::unique_ptr<methods::SearchContext> ShardedIndex::AcquireContext() const {
+  {
+    std::unique_lock<std::mutex> lock(ctx_mutex_);
+    if (!ctx_pool_.empty()) {
+      std::unique_ptr<methods::SearchContext> ctx =
+          std::move(ctx_pool_.back());
+      ctx_pool_.pop_back();
+      return ctx;
+    }
+  }
+  // Sized for the largest shard: VisitedTable is epoch-stamped, so one
+  // table serves any smaller shard without clearing.
+  return std::make_unique<methods::SearchContext>(max_shard_size_,
+                                                  /*seed=*/0);
+}
+
+void ShardedIndex::ReleaseContext(
+    std::unique_ptr<methods::SearchContext> ctx) const {
+  std::unique_lock<std::mutex> lock(ctx_mutex_);
+  ctx_pool_.push_back(std::move(ctx));
+}
+
+methods::SearchResult ShardedIndex::Search(
+    const float* query, const methods::SearchParams& params) {
+  GASS_CHECK_MSG(!shards_.empty(), "Search before Build");
+  return SearchImpl(query, params, &serial_ctx_->rng);
+}
+
+methods::SearchResult ShardedIndex::Search(const float* query,
+                                           const methods::SearchParams& params,
+                                           methods::SearchContext* ctx) const {
+  GASS_CHECK_MSG(!shards_.empty(), "Search before Build");
+  return SearchImpl(query, params, &ctx->rng);
+}
+
+methods::SearchResult ShardedIndex::SearchImpl(
+    const float* query, const methods::SearchParams& params,
+    core::Rng* rng) const {
+  core::Timer timer;
+  const std::size_t k_shards = shards_.size();
+  const std::size_t nprobe = EffectiveNprobe();
+  const std::size_t dim = data_->dim();
+
+  // Route: rank every shard by centroid distance. Ties break toward the
+  // lower shard id (pair comparison), keeping routing deterministic.
+  std::vector<std::pair<float, std::uint32_t>> ranked(k_shards);
+  for (std::size_t s = 0; s < k_shards; ++s) {
+    ranked[s] = {core::L2Sq(query,
+                            partitioning_.centroids.Row(
+                                static_cast<core::VectorId>(s)),
+                            dim),
+                 static_cast<std::uint32_t>(s)};
+  }
+  std::sort(ranked.begin(), ranked.end());
+
+  // One RNG draw per query, fanned into per-probe streams by rank, so
+  // parallel and caller-thread fan-out see identical sub-search seeds.
+  const std::uint64_t query_seed = rng->Next();
+
+  std::vector<methods::SearchResult> sub(nprobe);
+  std::vector<std::uint8_t> ran(nprobe, 0);
+
+  auto run_probe = [&](std::size_t rank) {
+    // Deadline poll between probes: once the budget is gone, remaining
+    // shards are skipped entirely — the merged answer stays whatever the
+    // completed probes produced (all valid ids), never garbage.
+    if (params.deadline != nullptr && params.deadline->IsExpired()) return;
+    const std::uint32_t s = ranked[rank].second;
+    std::unique_ptr<methods::SearchContext> sctx = AcquireContext();
+    sctx->rng = core::Rng(query_seed ^ (kSeedMix * (rank + 1)));
+    sub[rank] = shards_[s]->Search(query, params, sctx.get());
+    ran[rank] = 1;
+    probe_counts_[s].fetch_add(1, std::memory_order_relaxed);
+    ReleaseContext(std::move(sctx));
+  };
+
+  if (fanout_pool_ != nullptr && nprobe > 1) {
+    // Per-query completion latch: the internal pool is shared by every
+    // concurrent query, so ThreadPool::Wait() (a global barrier) would
+    // serialize them; count down only this query's probes instead.
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::size_t remaining = nprobe - 1;
+    auto finish_one = [&] {
+      std::unique_lock<std::mutex> lock(done_mutex);
+      if (--remaining == 0) done_cv.notify_one();
+    };
+    for (std::size_t rank = 1; rank < nprobe; ++rank) {
+      const bool accepted = fanout_pool_->Submit([&, rank] {
+        try {
+          run_probe(rank);
+        } catch (...) {
+          finish_one();  // Never leave the caller waiting.
+          throw;
+        }
+        finish_one();
+      });
+      if (!accepted) {
+        run_probe(rank);
+        finish_one();
+      }
+    }
+    run_probe(0);  // The caller searches the nearest shard itself.
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  } else {
+    for (std::size_t rank = 0; rank < nprobe; ++rank) run_probe(rank);
+  }
+
+  methods::SearchResult merged;
+  merged.degrade_step = params.degrade_step;
+  std::size_t probed = 0;
+  bool sub_expired = false;
+  for (std::size_t rank = 0; rank < nprobe; ++rank) {
+    if (!ran[rank]) continue;
+    ++probed;
+    merged.stats.distance_computations += sub[rank].stats.distance_computations;
+    merged.stats.hops += sub[rank].stats.hops;
+    if (sub[rank].stats.deadline_expiries > 0) sub_expired = true;
+  }
+  merged.stats.distance_computations += k_shards;  // Centroid routing.
+  merged.stats.shards_probed = probed;
+
+  // Merge local results into global ids. A single completed probe passes
+  // its list through untouched (order, ties, distances) — with K=1 this is
+  // what makes the facade bit-identical to the unsharded index.
+  if (probed == 1) {
+    for (std::size_t rank = 0; rank < nprobe; ++rank) {
+      if (!ran[rank]) continue;
+      const std::uint32_t s = ranked[rank].second;
+      merged.neighbors = std::move(sub[rank].neighbors);
+      for (core::Neighbor& nb : merged.neighbors) {
+        nb.id = partitioning_.shard_ids[s][nb.id];
+      }
+      break;
+    }
+  } else if (probed > 1) {
+    std::vector<core::Neighbor> all;
+    for (std::size_t rank = 0; rank < nprobe; ++rank) {
+      if (!ran[rank]) continue;
+      const std::uint32_t s = ranked[rank].second;
+      for (const core::Neighbor& nb : sub[rank].neighbors) {
+        all.emplace_back(partitioning_.shard_ids[s][nb.id], nb.distance);
+      }
+    }
+    // Neighbor's operator< is (distance, id) — cross-shard ties resolve to
+    // the lower global id, independent of probe completion order.
+    std::sort(all.begin(), all.end());
+    if (all.size() > params.k) all.resize(params.k);
+    merged.neighbors = std::move(all);
+  }
+
+  // Expired when the deadline skipped probes or truncated any sub-search;
+  // one query reports at most one expiry regardless of fan-out width.
+  merged.expired = sub_expired || probed < nprobe;
+  merged.stats.deadline_expiries = merged.expired ? 1 : 0;
+  merged.stats.elapsed_seconds = timer.Seconds();
+  return merged;
+}
+
+core::Status ShardedIndex::SaveSnapshot(const std::string& path) const {
+  if (shards_.empty() || data_ == nullptr) {
+    return core::Status::InvalidArgument("cannot save an unbuilt " + Name() +
+                                         " index");
+  }
+  const std::size_t k = shards_.size();
+  // Shard files first, manifest last: a crash mid-save can orphan shard
+  // files but never publish a manifest whose shards are missing, because
+  // the manifest itself is written crash-safely after all of them exist.
+  std::vector<std::uint64_t> shard_sizes(k);
+  std::vector<std::uint64_t> shard_hashes(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    const std::string shard_path = ShardPath(path, s);
+    GASS_RETURN_IF_ERROR(methods::SaveIndex(*shards_[s], shard_path));
+    std::vector<std::uint8_t> bytes;
+    GASS_RETURN_IF_ERROR(ReadFileBytes(shard_path, &bytes));
+    shard_sizes[s] = shard_data_[s].size();
+    shard_hashes[s] = io::Hash64(bytes.data(), bytes.size(),
+                                 kShardFileHashSeed);
+  }
+
+  io::SnapshotWriter writer(Name(), ParamsFingerprint(), data_->size(),
+                            data_->dim());
+  io::Encoder manifest;
+  manifest.Str(options_.method);
+  manifest.U8(static_cast<std::uint8_t>(options_.partitioner.kind));
+  manifest.U64(k);
+  manifest.U64(options_.partitioner.kmeans_sample);
+  manifest.U64(options_.partitioner.kmeans_iters);
+  manifest.F64(options_.partitioner.balance_slack);
+  manifest.VecU64(shard_sizes);
+  manifest.VecU64(shard_hashes);
+  GASS_RETURN_IF_ERROR(
+      writer.AddSection(kManifestSection, std::move(manifest)));
+
+  io::Encoder assignment;
+  assignment.VecU32(partitioning_.assignment);
+  GASS_RETURN_IF_ERROR(
+      writer.AddSection(kAssignmentSection, std::move(assignment)));
+
+  io::Encoder centroids;
+  io::EncodeDataset(partitioning_.centroids, &centroids);
+  GASS_RETURN_IF_ERROR(
+      writer.AddSection(kCentroidsSection, std::move(centroids)));
+  return writer.WriteTo(path);
+}
+
+core::Status ShardedIndex::LoadSnapshot(const std::string& path,
+                                        const core::Dataset& data) {
+  const core::Status status = LoadSnapshotImpl(path, data);
+  if (!status.ok()) {
+    shards_.clear();
+    shard_data_.clear();
+    partition_seconds_ = 0.0;
+    shard_build_seconds_.clear();
+    partitioning_ = Partitioning();
+    data_ = nullptr;
+    fanout_pool_.reset();
+    serial_ctx_.reset();
+    probe_counts_.reset();
+  }
+  return status;
+}
+
+core::Status ShardedIndex::LoadSnapshotImpl(const std::string& path,
+                                            const core::Dataset& data) {
+  io::SnapshotReader reader;
+  GASS_RETURN_IF_ERROR(io::SnapshotReader::Open(path, &reader));
+  if (reader.method() != Name()) {
+    return core::Status::InvalidArgument(path + ": snapshot holds a " +
+                                         reader.method() +
+                                         " index, cannot load into " + Name());
+  }
+  if (reader.params_fingerprint() != ParamsFingerprint()) {
+    return core::Status::InvalidArgument(
+        path + ": snapshot was built with different " + Name() +
+        " parameters (fingerprint mismatch)");
+  }
+  if (reader.data_n() != data.size() || reader.data_dim() != data.dim()) {
+    return core::Status::InvalidArgument(
+        path + ": snapshot was built over a " +
+        std::to_string(reader.data_n()) + "x" +
+        std::to_string(reader.data_dim()) + " dataset, got " +
+        std::to_string(data.size()) + "x" + std::to_string(data.dim()));
+  }
+
+  io::AlignedBytes buffer;
+  io::Decoder dec(nullptr, 0, "");
+  GASS_RETURN_IF_ERROR(reader.OpenSection(kManifestSection, &buffer, &dec));
+  std::string method;
+  dec.Str(&method, io::kMaxMethodName);
+  const std::uint8_t kind = dec.U8();
+  const std::uint64_t k = dec.U64();
+  const std::uint64_t kmeans_sample = dec.U64();
+  const std::uint64_t kmeans_iters = dec.U64();
+  const double balance_slack = dec.F64();
+  std::vector<std::uint64_t> shard_sizes;
+  std::vector<std::uint64_t> shard_hashes;
+  dec.VecU64(&shard_sizes, kMaxShards);
+  dec.VecU64(&shard_hashes, kMaxShards);
+  if (!dec.ExpectEnd()) return dec.status();
+  // Semantic cross-checks. Every field below is also covered by the header
+  // fingerprint (already verified), so a disagreement means the manifest
+  // payload was altered behind a resealed checksum — reject loudly.
+  if (method != options_.method ||
+      kind != static_cast<std::uint8_t>(options_.partitioner.kind) ||
+      k != options_.partitioner.num_shards ||
+      kmeans_sample != options_.partitioner.kmeans_sample ||
+      kmeans_iters != options_.partitioner.kmeans_iters ||
+      balance_slack != options_.partitioner.balance_slack) {
+    return core::Status::Corruption(
+        path + ": manifest partitioner state contradicts the fingerprinted "
+               "construction parameters");
+  }
+  if (shard_sizes.size() != k || shard_hashes.size() != k) {
+    return core::Status::Corruption(
+        path + ": manifest shard table length does not match shard count");
+  }
+  std::uint64_t total = 0;
+  for (const std::uint64_t size : shard_sizes) total += size;
+  if (total != data.size()) {
+    return core::Status::Corruption(
+        path + ": manifest shard sizes do not cover the dataset (" +
+        std::to_string(total) + " of " + std::to_string(data.size()) +
+        " rows)");
+  }
+
+  GASS_RETURN_IF_ERROR(reader.OpenSection(kAssignmentSection, &buffer, &dec));
+  std::vector<std::uint32_t> assignment;
+  dec.VecU32(&assignment, data.size());
+  if (!dec.ExpectEnd()) return dec.status();
+  if (assignment.size() != data.size()) {
+    return core::Status::Corruption(
+        path + ": assignment covers " + std::to_string(assignment.size()) +
+        " rows, dataset has " + std::to_string(data.size()));
+  }
+  std::vector<std::vector<core::VectorId>> shard_ids(k);
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] >= k) {
+      return core::Status::Corruption(
+          path + ": assignment references shard " +
+          std::to_string(assignment[i]) + " of " + std::to_string(k));
+    }
+    shard_ids[assignment[i]].push_back(static_cast<core::VectorId>(i));
+  }
+  for (std::size_t s = 0; s < k; ++s) {
+    if (shard_ids[s].size() != shard_sizes[s]) {
+      return core::Status::Corruption(
+          path + ": shard " + std::to_string(s) + " has " +
+          std::to_string(shard_ids[s].size()) +
+          " assigned rows but the manifest declares " +
+          std::to_string(shard_sizes[s]));
+    }
+  }
+
+  GASS_RETURN_IF_ERROR(reader.OpenSection(kCentroidsSection, &buffer, &dec));
+  core::Dataset centroids;
+  GASS_RETURN_IF_ERROR(io::DecodeDataset(&dec, &centroids));
+  if (!dec.ExpectEnd()) return dec.status();
+  if (centroids.size() != k || centroids.dim() != data.dim()) {
+    return core::Status::Corruption(
+        path + ": centroid section holds " +
+        std::to_string(centroids.size()) + "x" +
+        std::to_string(centroids.dim()) + ", expected " + std::to_string(k) +
+        "x" + std::to_string(data.dim()));
+  }
+  // Centroids are a pure function of (data, assignment); recomputing and
+  // comparing bitwise catches value tampering that a resealed checksum
+  // would otherwise let through.
+  const core::Dataset recomputed = ComputeCentroids(data, shard_ids);
+  if (centroids.size() > 0 &&
+      std::memcmp(centroids.data(), recomputed.data(),
+                  centroids.SizeBytes()) != 0) {
+    return core::Status::Corruption(
+        path + ": stored centroids do not match the shard member means");
+  }
+
+  shard_data_.clear();
+  shards_.clear();
+  partition_seconds_ = 0.0;
+  shard_build_seconds_.clear();
+  shard_data_.resize(k);
+  shards_.resize(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    const std::string shard_path = ShardPath(path, s);
+    std::vector<std::uint8_t> bytes;
+    core::Status read = ReadFileBytes(shard_path, &bytes);
+    if (!read.ok()) {
+      return core::Status::Corruption(path + ": shard file " + shard_path +
+                                      " is missing or unreadable (" +
+                                      read.message() + ")");
+    }
+    if (io::Hash64(bytes.data(), bytes.size(), kShardFileHashSeed) !=
+        shard_hashes[s]) {
+      return core::Status::Corruption(
+          path + ": shard file " + shard_path +
+          " does not match the hash recorded in the manifest");
+    }
+    shard_data_[s] = data.Select(shard_ids[s]);
+    shards_[s] = methods::CreateIndex(options_.method,
+                                      SubIndexSeed(options_.seed, s));
+    GASS_RETURN_IF_ERROR(
+        methods::LoadIndex(shards_[s].get(), shard_data_[s], shard_path));
+  }
+
+  partitioning_.assignment = std::move(assignment);
+  partitioning_.shard_ids = std::move(shard_ids);
+  partitioning_.centroids = std::move(centroids);
+  partitioning_.distance_computations = 0;
+  FinishInit(data);
+  return core::Status::Ok();
+}
+
+core::Status LoadShardedIndex(const std::string& path,
+                              const core::Dataset& data, std::uint64_t seed,
+                              std::unique_ptr<ShardedIndex>* out) {
+  io::SnapshotReader reader;
+  GASS_RETURN_IF_ERROR(io::SnapshotReader::Open(path, &reader));
+  if (!IsShardedSnapshotMethod(reader.method())) {
+    return core::Status::InvalidArgument(
+        path + ": not a sharded snapshot (method " + reader.method() + ")");
+  }
+  io::AlignedBytes buffer;
+  io::Decoder dec(nullptr, 0, "");
+  GASS_RETURN_IF_ERROR(reader.OpenSection(kManifestSection, &buffer, &dec));
+  ShardedIndexOptions options;
+  options.seed = seed;
+  dec.Str(&options.method, io::kMaxMethodName);
+  const std::uint8_t kind = dec.U8();
+  const std::uint64_t num_shards = dec.U64();
+  const std::uint64_t kmeans_sample = dec.U64();
+  const std::uint64_t kmeans_iters = dec.U64();
+  const double balance_slack = dec.F64();
+  if (!dec.ok()) return dec.status();
+  if (!IsKnownMethod(options.method)) {
+    return core::Status::Corruption(path + ": manifest names unknown method '" +
+                                    options.method + "'");
+  }
+  if (kind > static_cast<std::uint8_t>(PartitionerKind::kKMeans)) {
+    return core::Status::Corruption(path +
+                                    ": manifest names an unknown partitioner");
+  }
+  if (num_shards == 0 || num_shards > kMaxShards) {
+    return core::Status::Corruption(path + ": manifest shard count " +
+                                    std::to_string(num_shards) +
+                                    " is out of range");
+  }
+  options.partitioner.kind = static_cast<PartitionerKind>(kind);
+  options.partitioner.num_shards = static_cast<std::size_t>(num_shards);
+  options.partitioner.kmeans_sample = static_cast<std::size_t>(kmeans_sample);
+  options.partitioner.kmeans_iters = static_cast<std::size_t>(kmeans_iters);
+  options.partitioner.balance_slack = balance_slack;
+
+  auto index = std::make_unique<ShardedIndex>(options);
+  GASS_RETURN_IF_ERROR(index->LoadSnapshot(path, data));
+  *out = std::move(index);
+  return core::Status::Ok();
+}
+
+}  // namespace gass::shard

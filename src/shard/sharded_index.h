@@ -1,0 +1,179 @@
+// ShardedIndex: K per-shard graph indexes behind one GraphIndex facade.
+//
+// Build partitions the dataset into K shards (see shard/partitioner.h),
+// builds one sub-index of any factory method per shard — in parallel on a
+// core::ThreadPool, each shard with a deterministic derived seed — and
+// keeps one routing centroid per shard. Search routes each query to the
+// `nprobe` nearest centroids, fans a beam search out to those shards
+// (parallel on an internal pool, or on the caller thread), and merges the
+// per-shard top-k into one global result carrying correct global VectorIds.
+//
+// Why shard: graph builds are superlinear in n, so K builds of n/K rows
+// each — run concurrently — cut build wall-clock by far more than K-way
+// parallelism alone; and centroid routing turns a well-clustered partition
+// into an accuracy knob (nprobe) that trades recall for per-query work,
+// exactly the IVF idea transplanted onto graph indexes. With K=1 and the
+// contiguous partitioner the facade is bit-identical to the unsharded
+// index (same seed, same data order, same graph). See docs/SHARDING.md.
+//
+// Thread-safety matches the library contract: Build once, then the const
+// three-argument Search may run concurrently from many threads
+// (SupportsConcurrentSearch() is true); per-query scratch for sub-searches
+// comes from an internal context freelist sized to the largest shard.
+//
+// Persistence: SaveSnapshot writes a checksummed manifest snapshot at
+// `path` (partitioner state, assignment, centroids, per-shard file
+// hashes) plus one ordinary index snapshot per shard at
+// ShardPath(path, s). LoadSnapshot validates everything — including
+// semantic cross-checks that survive a resealed checksum — before any
+// shard is searched.
+
+#ifndef GASS_SHARD_SHARDED_INDEX_H_
+#define GASS_SHARD_SHARDED_INDEX_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "methods/graph_index.h"
+#include "shard/partitioner.h"
+
+namespace gass::shard {
+
+struct ShardedIndexOptions {
+  /// Factory name of the per-shard method (lowercase, e.g. "hnsw").
+  std::string method = "hnsw";
+  PartitionerParams partitioner;
+  /// Shards probed per query: the nprobe nearest routing centroids.
+  /// 0 = probe every shard. Query-time knob (excluded from the params
+  /// fingerprint); adjustable after build via SetNprobe().
+  std::size_t nprobe = 0;
+  /// Threads for the parallel shard builds; 0 = hardware concurrency.
+  std::size_t build_threads = 0;
+  /// Threads for parallel per-query fan-out; 0 = fan out on the caller
+  /// thread (the right choice when an outer executor already runs one
+  /// query per thread).
+  std::size_t fanout_threads = 0;
+  /// Base seed. Shard s's sub-index is built with seed ^ (mix * s), so
+  /// shard 0 of a K=1 index uses exactly `seed` (bit-identity baseline).
+  std::uint64_t seed = 42;
+};
+
+/// K per-shard indexes + centroid routing, behind the GraphIndex interface.
+class ShardedIndex : public methods::GraphIndex {
+ public:
+  explicit ShardedIndex(const ShardedIndexOptions& options);
+  ~ShardedIndex() override;
+
+  /// "SHARDED:<METHOD>" (e.g. "SHARDED:HNSW").
+  std::string Name() const override;
+
+  methods::BuildStats Build(const core::Dataset& data) override;
+
+  methods::SearchResult Search(const float* query,
+                               const methods::SearchParams& params) override;
+  methods::SearchResult Search(const float* query,
+                               const methods::SearchParams& params,
+                               methods::SearchContext* ctx) const override;
+  bool SupportsConcurrentSearch() const override { return true; }
+
+  /// No single base graph; check HasBaseGraph() first (as with ELPIS).
+  const core::Graph& graph() const override;
+  bool HasBaseGraph() const override { return false; }
+
+  std::size_t IndexBytes() const override;
+
+  /// Hash of (method, partitioner params, seed, sub-index params); nprobe
+  /// and thread counts are query/run-time knobs and excluded.
+  std::uint64_t ParamsFingerprint() const override;
+
+  core::Status SaveSnapshot(const std::string& path) const override;
+  core::Status LoadSnapshot(const std::string& path,
+                            const core::Dataset& data) override;
+
+  const ShardedIndexOptions& options() const { return options_; }
+  std::size_t num_shards() const { return shards_.size(); }
+  /// The nprobe a search will actually use: options clamped to [1, K].
+  std::size_t EffectiveNprobe() const;
+  /// Adjusts nprobe after build (for sweeps). Not thread-safe against
+  /// concurrent searches.
+  void SetNprobe(std::size_t nprobe) { options_.nprobe = nprobe; }
+
+  /// Partition state (valid after Build/LoadSnapshot).
+  const Partitioning& partitioning() const { return partitioning_; }
+  const methods::GraphIndex& shard(std::size_t s) const;
+  std::size_t shard_size(std::size_t s) const;
+  /// Sub-searches dispatched to shard `s` since build/load (relaxed).
+  std::uint64_t probe_count(std::size_t s) const;
+
+  /// Build-time breakdown (valid after Build; empty after LoadSnapshot).
+  /// partition_seconds() + max(shard_build_seconds()) is the parallel
+  /// critical path: the build wall-clock on a machine with >= K free
+  /// cores, where every shard constructs concurrently.
+  double partition_seconds() const { return partition_seconds_; }
+  const std::vector<double>& shard_build_seconds() const {
+    return shard_build_seconds_;
+  }
+
+  /// Seed shard `s`'s sub-index is constructed with (s = 0 yields `seed`).
+  static std::uint64_t SubIndexSeed(std::uint64_t seed, std::size_t s);
+
+  /// Path of shard s's snapshot file: "<path>.shard<s>".
+  static std::string ShardPath(const std::string& path, std::size_t s);
+
+ private:
+  methods::SearchResult SearchImpl(const float* query,
+                                   const methods::SearchParams& params,
+                                   core::Rng* rng) const;
+  /// LoadSnapshot body; the wrapper resets this index to the unbuilt state
+  /// when any step fails, so a rejected snapshot never leaves a
+  /// half-loaded, searchable index behind.
+  core::Status LoadSnapshotImpl(const std::string& path,
+                                const core::Dataset& data);
+  /// Pops a pooled sub-search context (sized for the largest shard) or
+  /// creates one.
+  std::unique_ptr<methods::SearchContext> AcquireContext() const;
+  void ReleaseContext(std::unique_ptr<methods::SearchContext> ctx) const;
+  /// Common post-partition state setup (context sizing, fan-out pool,
+  /// probe counters).
+  void FinishInit(const core::Dataset& data);
+
+  ShardedIndexOptions options_;
+  Partitioning partitioning_;
+  /// Materialized per-shard rows; each sub-index binds to its entry, so
+  /// these must live exactly as long as shards_.
+  std::vector<core::Dataset> shard_data_;
+  std::vector<std::unique_ptr<methods::GraphIndex>> shards_;
+  std::size_t max_shard_size_ = 0;
+  double partition_seconds_ = 0.0;
+  std::vector<double> shard_build_seconds_;
+
+  std::unique_ptr<core::ThreadPool> fanout_pool_;
+  /// Serial-path context backing the two-argument Search.
+  std::unique_ptr<methods::SearchContext> serial_ctx_;
+
+  mutable std::mutex ctx_mutex_;
+  mutable std::vector<std::unique_ptr<methods::SearchContext>> ctx_pool_;
+
+  /// One relaxed counter per shard (array: std::atomic is not movable).
+  std::unique_ptr<std::atomic<std::uint64_t>[]> probe_counts_;
+};
+
+/// Opens the sharded manifest at `path`, reconstructs a ShardedIndex with
+/// the method and partitioner recorded in it (plus the given base `seed`,
+/// verified against the stored params fingerprint), and loads every shard.
+/// The counterpart of methods::LoadAnyIndex for sharded snapshots.
+core::Status LoadShardedIndex(const std::string& path,
+                              const core::Dataset& data, std::uint64_t seed,
+                              std::unique_ptr<ShardedIndex>* out);
+
+/// True when the snapshot at `path` is a sharded manifest (method name
+/// "SHARDED:..."), letting CLIs pick the right loader without parsing.
+bool IsShardedSnapshotMethod(const std::string& method);
+
+}  // namespace gass::shard
+
+#endif  // GASS_SHARD_SHARDED_INDEX_H_

@@ -120,6 +120,73 @@ TEST(DatasetAlignmentTest, LoadedDatasetsAligned) {
   std::remove(path.c_str());
 }
 
+TEST(DatasetViewTest, DefaultIsEmpty) {
+  DatasetView view;
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.size(), 0u);
+  EXPECT_EQ(view.dim(), 0u);
+  EXPECT_EQ(view.parent(), nullptr);
+}
+
+TEST(DatasetViewTest, RowsAliasParentStorage) {
+  const Dataset data = MakeSequential(8, 5);
+  const DatasetView view(data, {6, 2, 2, 0});
+  ASSERT_EQ(view.size(), 4u);
+  EXPECT_EQ(view.dim(), 5u);
+  // Pointer equality, not value equality: a view row IS the parent row.
+  EXPECT_EQ(view.Row(0), data.Row(6));
+  EXPECT_EQ(view.Row(1), data.Row(2));
+  EXPECT_EQ(view.Row(2), data.Row(2));  // Duplicates allowed, still aliased.
+  EXPECT_EQ(view.Row(3), data.Row(0));
+  EXPECT_EQ(view.GlobalId(0), 6u);
+  EXPECT_EQ(view.GlobalId(3), 0u);
+  EXPECT_EQ(view.parent(), &data);
+}
+
+TEST(DatasetViewTest, AllIsIdentityOverParent) {
+  const Dataset data = MakeSequential(5, 3);
+  const DatasetView view = DatasetView::All(data);
+  ASSERT_EQ(view.size(), data.size());
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    EXPECT_EQ(view.Row(i), data.Row(static_cast<VectorId>(i)));
+    EXPECT_EQ(view.GlobalId(i), i);
+  }
+}
+
+TEST(DatasetViewTest, MaterializeCopiesIntoAlignedDataset) {
+  const Dataset data = MakeSequential(8, 5);
+  const DatasetView view(data, {7, 1, 4});
+  Dataset owned = view.Materialize();
+  ASSERT_EQ(owned.size(), 3u);
+  ASSERT_EQ(owned.dim(), 5u);
+  EXPECT_TRUE(IsAligned(owned.data()));
+  for (std::size_t i = 0; i < owned.size(); ++i) {
+    for (std::size_t d = 0; d < owned.dim(); ++d) {
+      EXPECT_FLOAT_EQ(owned.Row(static_cast<VectorId>(i))[d],
+                      view.Row(i)[d]);
+    }
+    // A real copy, not an alias.
+    EXPECT_NE(owned.Row(static_cast<VectorId>(i)), view.Row(i));
+  }
+  owned.MutableRow(0)[0] = -1.0f;
+  EXPECT_FLOAT_EQ(data.Row(7)[0], 35.0f);  // Parent untouched.
+}
+
+TEST(DatasetViewTest, AlignmentCarriesOverForPaddedDims) {
+  // When dim is a multiple of 16 floats every parent row sits on a 64-byte
+  // boundary, and a view row — being the same pointer — inherits that.
+  const Dataset data = MakeSequential(6, 16);
+  const DatasetView view(data, {5, 3, 1});
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    ASSERT_TRUE(IsAligned(view.Row(i)));
+  }
+  const Dataset owned = view.Materialize();
+  ASSERT_TRUE(IsAligned(owned.data()));
+  for (std::size_t i = 0; i < owned.size(); ++i) {
+    ASSERT_TRUE(IsAligned(owned.Row(static_cast<VectorId>(i))));
+  }
+}
+
 TEST(DatasetIoTest, FvecsRoundTrip) {
   Dataset data = MakeSequential(7, 5);
   const std::string path = TempPath("roundtrip.fvecs");

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -79,6 +81,53 @@ TEST(ThreadPoolTest, ReportsThreadCount) {
   EXPECT_EQ(pool.thread_count(), 3u);
 }
 
+// Regression: a throwing task used to escape the worker thread and
+// std::terminate the whole process. The contract (see core/thread_pool.h)
+// is now: the worker catches it, every other accepted task still runs, and
+// the first captured exception is rethrown by the next Wait().
+TEST(ThreadPoolTest, WaitRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.Submit([] { throw std::runtime_error("task boom"); }));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+  }
+  try {
+    pool.Wait();
+    FAIL() << "Wait() must rethrow the task's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "task boom");
+  }
+  EXPECT_EQ(ran.load(), 20);  // The failure never cancelled other tasks.
+
+  // The exception is cleared on rethrow: the pool stays usable and a later
+  // Wait() with only clean tasks returns normally.
+  ASSERT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 21);
+}
+
+TEST(ThreadPoolTest, OnlyOneExceptionSurvivesManyFailures) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pool.Submit(
+        [i] { throw std::runtime_error("boom " + std::to_string(i)); }));
+  }
+  // Exactly one Wait() throws (the first captured failure); the rest were
+  // swallowed by design, and the next Wait() is clean.
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, ShutdownWithPendingExceptionDoesNotTerminate) {
+  // No Wait() before destruction: the pending exception is dropped, not
+  // rethrown from the destructor (which would terminate).
+  ThreadPool pool(2);
+  ASSERT_TRUE(pool.Submit([] { throw std::runtime_error("dropped"); }));
+  pool.Shutdown();
+  SUCCEED();
+}
+
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
   std::vector<std::atomic<int>> hits(1000);
   ParallelFor(1000, 4, [&](std::size_t, std::size_t i) {
@@ -119,6 +168,30 @@ TEST(ParallelForTest, MoreThreadsThanItems) {
     hits[i].fetch_add(1);
   });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, RethrowsTaskExceptionAfterJoin) {
+  std::atomic<int> hits{0};
+  EXPECT_THROW(ParallelFor(100, 4,
+                           [&](std::size_t, std::size_t i) {
+                             if (i == 37) throw std::runtime_error("pf boom");
+                             hits.fetch_add(1);
+                           }),
+               std::runtime_error);
+  // The throwing worker's chunk ends early, but the other chunks run to
+  // completion: at least the three other quarters must have been covered.
+  EXPECT_GE(hits.load(), 74);
+}
+
+TEST(ParallelForTest, SerialPathRethrowsToo) {
+  std::vector<int> order;
+  EXPECT_THROW(ParallelFor(10, 1,
+                           [&](std::size_t, std::size_t i) {
+                             if (i == 5) throw std::runtime_error("serial");
+                             order.push_back(static_cast<int>(i));
+                           }),
+               std::runtime_error);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
 TEST(DefaultThreadCountTest, Positive) {

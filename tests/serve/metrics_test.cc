@@ -146,6 +146,27 @@ TEST(ServeMetricsTest, CountsExpiredQueriesSeparatelyFromExpiryEvents) {
   EXPECT_NE(metrics.Dump().find("expired"), std::string::npos);
 }
 
+TEST(ServeMetricsTest, FanoutAccountingFromShardsProbed) {
+  ServeMetrics metrics;
+  core::SearchStats plain;
+  plain.elapsed_seconds = 0.001;
+  metrics.RecordQuery(plain);  // Unsharded query: no fan-out.
+  core::SearchStats fanned;
+  fanned.elapsed_seconds = 0.001;
+  fanned.shards_probed = 3;
+  metrics.RecordQuery(fanned);
+  metrics.RecordQuery(fanned);
+  EXPECT_EQ(metrics.queries(), 3u);
+  EXPECT_EQ(metrics.fanout_queries(), 2u);
+  EXPECT_EQ(metrics.shards_probed_total(), 6u);
+  const std::string dump = metrics.Dump();
+  EXPECT_NE(dump.find("fan-out"), std::string::npos);
+  EXPECT_NE(dump.find("shards probed"), std::string::npos);
+  metrics.Reset();
+  EXPECT_EQ(metrics.fanout_queries(), 0u);
+  EXPECT_EQ(metrics.shards_probed_total(), 0u);
+}
+
 TEST(ServeMetricsTest, ShedQueriesCountedWithoutPollutingLatency) {
   ServeMetrics metrics;
   metrics.RecordShed();

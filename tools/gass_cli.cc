@@ -5,18 +5,28 @@
 //   gass_cli gt         --base base.fvecs --queries q.fvecs --k 10
 //                       --out gt.ivecs
 //   gass_cli build      --method hnsw --base base.fvecs [--graph graph.bin]
-//                       [--save index.gass]
+//                       [--save index.gass] [sharding flags]
 //   gass_cli eval       --method hnsw --base base.fvecs --queries q.fvecs
 //                       [--truth gt.ivecs] [--k 10] [--beams 10,40,160]
 //                       [--search-params k=10,seeds=48] [--load index.gass]
+//                       [sharding flags]
 //   gass_cli complexity --base base.fvecs [--k 100] [--sample 100]
 //   gass_cli serve-bench --method hnsw --base base.fvecs --queries q.fvecs
 //                       [--k 10] [--beam 100] [--threads 1,2,4] [--reps 16]
 //                       [--timeout-ms 0] [--search-params k=10,seeds=48]
-//                       [--load index.gass]
+//                       [--load index.gass] [sharding flags]
 //                       [--arrival poisson --rate N [--num-arrivals N]
 //                        [--queue 64] [--deadline-ms 10] [--retries 0]]
 //   gass_cli methods
+//
+// Sharding flags (build/eval/serve-bench; see docs/SHARDING.md):
+//   --shards K              partition the base into K shards and build one
+//                           --method sub-index per shard (0/absent = plain
+//                           unsharded index)
+//   --partitioner P         contiguous | random | kmeans (default kmeans)
+//   --nprobe N              shards probed per query (default 0 = all)
+//   --build-threads T       threads for the parallel shard builds (0 = all)
+//   --fanout-threads T      threads for per-query fan-out (0 = caller thread)
 //
 // serve-bench defaults to the closed-loop executor thread sweep. With
 // --arrival poisson it instead offers an open-loop Poisson stream at
@@ -54,6 +64,7 @@
 #include "serve/executor.h"
 #include "serve/frontend.h"
 #include "serve/retry.h"
+#include "shard/sharded_index.h"
 #include "synth/generators.h"
 #include "synth/workloads.h"
 
@@ -101,6 +112,57 @@ class Flags {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.message().c_str());
   return 1;
+}
+
+// Builds an unconstructed index from --method plus the optional sharding
+// flags. --shards 0 (or absent) yields the plain factory index; otherwise a
+// shard::ShardedIndex wrapping K per-shard --method sub-indexes. Returns
+// null (with a message on stderr) on a bad flag combination.
+std::unique_ptr<gass::methods::GraphIndex> MakeIndexFromFlags(
+    const Flags& flags) {
+  const std::string method = flags.Get("method", "hnsw");
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const std::size_t shards =
+      static_cast<std::size_t>(flags.GetInt("shards", 0));
+  if (shards <= 0) {
+    return gass::methods::CreateIndex(method, seed);
+  }
+  gass::shard::ShardedIndexOptions options;
+  options.method = method;
+  options.seed = seed;
+  options.partitioner.num_shards = shards;
+  const std::string partitioner = flags.Get("partitioner", "kmeans");
+  if (!gass::shard::ParsePartitionerKind(partitioner,
+                                         &options.partitioner.kind)) {
+    std::fprintf(stderr,
+                 "error: unknown --partitioner '%s' "
+                 "(want contiguous, random, or kmeans)\n",
+                 partitioner.c_str());
+    return nullptr;
+  }
+  options.nprobe = static_cast<std::size_t>(flags.GetInt("nprobe", 0));
+  options.build_threads =
+      static_cast<std::size_t>(flags.GetInt("build-threads", 0));
+  options.fanout_threads =
+      static_cast<std::size_t>(flags.GetInt("fanout-threads", 0));
+  return std::make_unique<gass::shard::ShardedIndex>(options);
+}
+
+// One-line shard summary ("4 shards (kmeans, nprobe 2): 2510 2380 ...") for
+// index-construction commands; empty for unsharded indexes.
+std::string ShardSummary(const gass::methods::GraphIndex& index) {
+  const auto* sharded = dynamic_cast<const gass::shard::ShardedIndex*>(&index);
+  if (sharded == nullptr) return "";
+  std::string line = std::to_string(sharded->num_shards()) + " shards (" +
+                     gass::shard::PartitionerKindName(
+                         sharded->options().partitioner.kind) +
+                     ", nprobe " + std::to_string(sharded->EffectiveNprobe()) +
+                     "):";
+  for (std::size_t s = 0; s < sharded->num_shards(); ++s) {
+    line += " " + std::to_string(sharded->shard_size(s));
+  }
+  return line;
 }
 
 std::vector<std::size_t> ParseBeams(const std::string& spec) {
@@ -179,16 +241,17 @@ int CmdBuild(const Flags& flags) {
   const Status status =
       gass::core::ReadFvecs(flags.Get("base", "base.fvecs"), &base);
   if (!status.ok()) return Fail(status);
-  const std::string method = flags.Get("method", "hnsw");
 
-  auto index = gass::methods::CreateIndex(
-      method, static_cast<std::uint64_t>(flags.GetInt("seed", 42)));
+  auto index = MakeIndexFromFlags(flags);
+  if (index == nullptr) return 1;
   const gass::methods::BuildStats stats = index->Build(base);
   std::printf("%s built over %zu vectors in %.2fs "
               "(%llu distance computations, %zu index bytes)\n",
               index->Name().c_str(), base.size(), stats.elapsed_seconds,
               static_cast<unsigned long long>(stats.distance_computations),
               stats.index_bytes);
+  const std::string shard_summary = ShardSummary(*index);
+  if (!shard_summary.empty()) std::printf("%s\n", shard_summary.c_str());
 
   if (flags.Has("graph") && index->HasBaseGraph()) {
     const Status save = index->graph().Save(flags.Get("graph", ""));
@@ -249,9 +312,8 @@ int CmdEval(const Flags& flags) {
     truth = gass::eval::BruteForceKnn(base, queries, k);
   }
 
-  const std::string method = flags.Get("method", "hnsw");
-  auto index = gass::methods::CreateIndex(
-      method, static_cast<std::uint64_t>(flags.GetInt("seed", 42)));
+  auto index = MakeIndexFromFlags(flags);
+  if (index == nullptr) return 1;
   if (flags.Has("load")) {
     const Status load =
         gass::methods::LoadIndex(index.get(), base, flags.Get("load", ""));
@@ -263,6 +325,8 @@ int CmdEval(const Flags& flags) {
     std::printf("%s built in %.2fs\n", index->Name().c_str(),
                 build.elapsed_seconds);
   }
+  const std::string shard_summary = ShardSummary(*index);
+  if (!shard_summary.empty()) std::printf("%s\n", shard_summary.c_str());
   std::printf("search params: %s (beam swept below)\n\n",
               gass::methods::SearchParamsToString(base_params).c_str());
   std::printf("%-8s %-10s %-14s %-12s\n", "beam", "recall", "dists/query",
@@ -455,9 +519,8 @@ int CmdServeBench(const Flags& flags) {
   const double timeout_seconds =
       static_cast<double>(flags.GetInt("timeout-ms", 0)) * 1e-3;
 
-  const std::string method = flags.Get("method", "hnsw");
-  auto index = gass::methods::CreateIndex(
-      method, static_cast<std::uint64_t>(flags.GetInt("seed", 42)));
+  auto index = MakeIndexFromFlags(flags);
+  if (index == nullptr) return 1;
   if (!index->SupportsConcurrentSearch()) {
     std::fprintf(stderr,
                  "error: %s does not support concurrent search "
@@ -469,14 +532,17 @@ int CmdServeBench(const Flags& flags) {
     const Status load =
         gass::methods::LoadIndex(index.get(), base, flags.Get("load", ""));
     if (!load.ok()) return Fail(load);
-    std::printf("%s loaded over %zu vectors from %s\n\n",
+    std::printf("%s loaded over %zu vectors from %s\n",
                 index->Name().c_str(), base.size(),
                 flags.Get("load", "").c_str());
   } else {
     const gass::methods::BuildStats build = index->Build(base);
-    std::printf("%s built over %zu vectors in %.2fs\n\n",
+    std::printf("%s built over %zu vectors in %.2fs\n",
                 index->Name().c_str(), base.size(), build.elapsed_seconds);
   }
+  const std::string shard_summary = ShardSummary(*index);
+  if (!shard_summary.empty()) std::printf("%s\n", shard_summary.c_str());
+  std::printf("\n");
 
   const std::size_t nq = queries.size();
   const std::size_t dim = queries.dim();
