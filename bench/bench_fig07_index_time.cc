@@ -22,6 +22,7 @@
 
 #include "common/bench_util.h"
 #include "core/stats.h"
+#include "io/open_index.h"
 #include "methods/factory.h"
 
 namespace gass::bench {
@@ -101,10 +102,12 @@ void RunLoad(const std::string& load_dir) {
     for (const MethodScale& entry : kSchedule) {
       if (tier.n > entry.max_n) continue;
       const std::string path = SnapshotPath(load_dir, tier, entry.name);
-      auto index = methods::CreateIndex(entry.name, 42);
+      // io::OpenIndex reads the method from the snapshot itself — the same
+      // unified entry point the CLI uses for --load.
+      std::unique_ptr<methods::GraphIndex> index;
       core::Timer timer;
       const core::Status load =
-          methods::LoadIndex(index.get(), workload.base, path);
+          io::OpenIndex(path, workload.base, 42, &index);
       if (!load.ok()) {
         PrintRow({tier.label, entry.name, "-", "-", "load failed"});
         std::fprintf(stderr, "load %s: %s\n", path.c_str(),

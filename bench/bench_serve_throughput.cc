@@ -22,6 +22,12 @@
 //   --queue=N           admission queue bound, default 64
 //   --threads=N         frontend workers, default: hardware concurrency
 //   --seed=N            arrival-process seed, default 42
+//   --trace=N           trace a deterministic 1-in-N query sample (0 = off);
+//                       prints a span-coverage line per sweep point
+//   --trace-out=PATH    write sampled traces + metrics as JSON
+//   --metrics-out=PATH  write metrics as Prometheus text
+//                       (each sweep point overwrites the files; the last
+//                       point wins — see docs/OBSERVABILITY.md)
 
 #include <algorithm>
 #include <chrono>
@@ -36,6 +42,7 @@
 #include "core/rng.h"
 #include "eval/recall.h"
 #include "methods/factory.h"
+#include "obs/exporter.h"
 #include "serve/executor.h"
 #include "serve/frontend.h"
 
@@ -54,6 +61,9 @@ struct Options {
   std::size_t queue_capacity = 64;
   std::size_t threads = 0;
   std::uint64_t seed = 42;
+  std::uint64_t trace_period = 0;  // 0 = tracing off.
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 bool ParseOptions(int argc, char** argv, Options* options) {
@@ -99,6 +109,13 @@ bool ParseOptions(int argc, char** argv, Options* options) {
       options->threads = static_cast<std::size_t>(std::atol(value.c_str()));
     } else if (key == "seed") {
       options->seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    } else if (key == "trace") {
+      options->trace_period =
+          static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    } else if (key == "trace-out") {
+      options->trace_out = value;
+    } else if (key == "metrics-out") {
+      options->metrics_out = value;
     } else {
       std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
       return false;
@@ -107,10 +124,53 @@ bool ParseOptions(int argc, char** argv, Options* options) {
   return true;
 }
 
+/// Prints span coverage (sum of stage spans vs end-to-end latency, mean
+/// over traces) and writes the --trace-out / --metrics-out artifacts.
+void ReportTraces(const Options& options, const serve::ServeMetrics& metrics,
+                  const obs::Tracer& tracer) {
+  const std::vector<const obs::QueryTrace*> traces = tracer.Completed();
+  double coverage_sum = 0.0;
+  std::size_t covered = 0;
+  for (const obs::QueryTrace* trace : traces) {
+    std::uint64_t span_ns = 0;
+    for (std::size_t i = 0; i < trace->size(); ++i) {
+      span_ns += trace->span(i).duration_ns;
+    }
+    if (trace->total_ns() > 0) {
+      coverage_sum += static_cast<double>(span_ns) /
+                      static_cast<double>(trace->total_ns());
+      ++covered;
+    }
+  }
+  std::printf("  traces: %zu collected", traces.size());
+  if (covered > 0) {
+    std::printf(", stage spans cover %.1f%% of end-to-end latency (mean)",
+                100.0 * coverage_sum / static_cast<double>(covered));
+  }
+  std::printf("\n");
+
+  obs::Exporter exporter;
+  metrics.ExportTo(&exporter, "gass_serve_");
+  exporter.AddTracer(tracer);
+  if (!options.trace_out.empty()) {
+    const core::Status status = exporter.WriteJson(options.trace_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "trace-out: %s\n", status.message().c_str());
+    }
+  }
+  if (!options.metrics_out.empty()) {
+    const core::Status status = exporter.WritePrometheus(options.metrics_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "metrics-out: %s\n", status.message().c_str());
+    }
+  }
+}
+
 /// Closed-loop thread sweep; returns the peak QPS seen (the saturation
 /// rate the open-loop runs are calibrated against).
 double RunClosedLoop(methods::GraphIndex& index, const Workload& workload,
-                     const methods::SearchParams& params) {
+                     const methods::SearchParams& params,
+                     const Options& bench_options) {
   std::printf("== closed loop: executor thread sweep ==\n");
   const std::size_t nq = workload.queries.size();
   const std::size_t dim = workload.queries.dim();
@@ -126,11 +186,13 @@ double RunClosedLoop(methods::GraphIndex& index, const Workload& workload,
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
     serve::ExecutorOptions options;
     options.threads = threads;
+    options.trace.sample_period = bench_options.trace_period;
     serve::QueryExecutor executor(index, options);
 
     // Warm-up run populates the session pool and touches the graph.
     executor.SearchBatch(batch.data(), nq, dim, params);
     executor.metrics().Reset();
+    executor.tracer().Reset();
 
     const serve::BatchResult result =
         executor.SearchBatch(batch.data(), kReps * nq, dim, params);
@@ -152,6 +214,9 @@ double RunClosedLoop(methods::GraphIndex& index, const Workload& workload,
     PrintRow({std::to_string(threads), qps, speedup, recall_cell,
               FormatSeconds(executor.metrics().LatencyQuantileSeconds(0.50)),
               FormatSeconds(executor.metrics().LatencyQuantileSeconds(0.95))});
+    if (executor.tracer().enabled()) {
+      ReportTraces(bench_options, executor.metrics(), executor.tracer());
+    }
   }
   PrintRule();
   return peak_qps;
@@ -192,6 +257,7 @@ OpenLoopPoint RunOpenLoop(methods::GraphIndex& index,
   frontend_options.queue_capacity = options.queue_capacity;
   frontend_options.deadline_seconds = options.deadline_seconds;
   frontend_options.seed = options.seed;
+  frontend_options.trace.sample_period = options.trace_period;
   serve::Frontend frontend(index, frontend_options);
 
   const std::size_t nq = workload.queries.size();
@@ -205,6 +271,7 @@ OpenLoopPoint RunOpenLoop(methods::GraphIndex& index,
   }
   frontend.Drain();
   frontend.metrics().Reset();
+  frontend.tracer().Reset();
 
   // Pre-draw the arrival schedule so the submit loop does no RNG work.
   core::Rng rng(options.seed ^ 0xA881AALL);
@@ -245,6 +312,10 @@ OpenLoopPoint RunOpenLoop(methods::GraphIndex& index,
   point.p99 = frontend.metrics().LatencyQuantileSeconds(0.99);
   for (std::size_t s = 0; s < serve::ServeMetrics::kMaxDegradeSteps; ++s) {
     point.occupancy.push_back(frontend.metrics().degrade_step_count(s));
+  }
+  if (frontend.tracer().enabled()) {
+    frontend.Drain();  // Quiesce workers before reading completed traces.
+    ReportTraces(options, frontend.metrics(), frontend.tracer());
   }
   return point;
 }
@@ -300,7 +371,7 @@ void Run(const Options& options) {
 
   double peak_qps = 0.0;
   if (options.closed_loop) {
-    peak_qps = RunClosedLoop(*index, workload, params);
+    peak_qps = RunClosedLoop(*index, workload, params, options);
     std::printf("closed-loop peak: %.0f qps\n\n", peak_qps);
   }
 

@@ -75,6 +75,7 @@ std::vector<Neighbor> BeamSearch(const GraphT& graph, DistanceComputer& dc,
   }
 
   std::uint64_t hops = 0;
+  std::uint64_t prefetched = 0;
   for (;;) {
     if (deadline != nullptr && hops % kDeadlineCheckHops == 0 &&
         deadline->IsExpired()) {
@@ -107,6 +108,7 @@ std::vector<Neighbor> BeamSearch(const GraphT& graph, DistanceComputer& dc,
         chunk[m++] = u;
       }
       if (m == 0) continue;
+      prefetched += m;
       dc.ToQueryBatch(query, chunk, m, dist);
       for (std::size_t j = 0; j < m; ++j) {
         if (dist[j] >= pool.WorstDistance()) continue;
@@ -115,7 +117,10 @@ std::vector<Neighbor> BeamSearch(const GraphT& graph, DistanceComputer& dc,
     }
   }
 
-  if (stats != nullptr) stats->hops += hops;
+  if (stats != nullptr) {
+    stats->hops += hops;
+    stats->prefetches += prefetched;
+  }
   return pool.TopK(k);
 }
 
@@ -144,6 +149,7 @@ std::vector<Neighbor> BeamSearchCollect(const GraphT& graph,
   }
 
   std::uint64_t hops = 0;
+  std::uint64_t prefetched = 0;
   for (;;) {
     const std::size_t next = pool.FirstUnexplored();
     if (next == pool.size()) break;
@@ -168,6 +174,7 @@ std::vector<Neighbor> BeamSearchCollect(const GraphT& graph,
         chunk[m++] = u;
       }
       if (m == 0) continue;
+      prefetched += m;
       dc.ToQueryBatch(query, chunk, m, dist);
       for (std::size_t j = 0; j < m; ++j) {
         evaluated->push_back(Neighbor(chunk[j], dist[j]));
@@ -177,7 +184,10 @@ std::vector<Neighbor> BeamSearchCollect(const GraphT& graph,
     }
   }
 
-  if (stats != nullptr) stats->hops += hops;
+  if (stats != nullptr) {
+    stats->hops += hops;
+    stats->prefetches += prefetched;
+  }
   return pool.TopK(k);
 }
 

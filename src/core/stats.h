@@ -22,6 +22,10 @@ struct SearchStats {
   /// Shard sub-searches this query fanned out to (0 for unsharded indexes;
   /// set by shard::ShardedIndex, aggregated additively like the rest).
   std::uint64_t shards_probed = 0;
+  /// Vectors prefetched ahead of the batched distance evaluations in beam
+  /// search (the memory-latency-hiding half of the SIMD pipeline; see
+  /// docs/PERF.md). Deterministic for a fixed search, like hops.
+  std::uint64_t prefetches = 0;
   double elapsed_seconds = 0.0;
 
   SearchStats& operator+=(const SearchStats& other) {
@@ -29,6 +33,7 @@ struct SearchStats {
     hops += other.hops;
     deadline_expiries += other.deadline_expiries;
     shards_probed += other.shards_probed;
+    prefetches += other.prefetches;
     elapsed_seconds += other.elapsed_seconds;
     return *this;
   }
@@ -49,6 +54,7 @@ struct SearchStats {
       deadline_expiries_.fetch_add(s.deadline_expiries,
                                    std::memory_order_relaxed);
       shards_probed_.fetch_add(s.shards_probed, std::memory_order_relaxed);
+      prefetches_.fetch_add(s.prefetches, std::memory_order_relaxed);
       // Stored in nanoseconds so the hot path never touches floating-point
       // CAS loops (pre-C++20 atomic<double> has no fetch_add).
       elapsed_ns_.fetch_add(
@@ -64,6 +70,7 @@ struct SearchStats {
       s.hops = hops_.load(std::memory_order_relaxed);
       s.deadline_expiries = deadline_expiries_.load(std::memory_order_relaxed);
       s.shards_probed = shards_probed_.load(std::memory_order_relaxed);
+      s.prefetches = prefetches_.load(std::memory_order_relaxed);
       s.elapsed_seconds =
           static_cast<double>(elapsed_ns_.load(std::memory_order_relaxed)) *
           1e-9;
@@ -80,6 +87,7 @@ struct SearchStats {
       hops_.store(0, std::memory_order_relaxed);
       deadline_expiries_.store(0, std::memory_order_relaxed);
       shards_probed_.store(0, std::memory_order_relaxed);
+      prefetches_.store(0, std::memory_order_relaxed);
       elapsed_ns_.store(0, std::memory_order_relaxed);
       queries_.store(0, std::memory_order_relaxed);
     }
@@ -89,6 +97,7 @@ struct SearchStats {
     std::atomic<std::uint64_t> hops_{0};
     std::atomic<std::uint64_t> deadline_expiries_{0};
     std::atomic<std::uint64_t> shards_probed_{0};
+    std::atomic<std::uint64_t> prefetches_{0};
     std::atomic<std::uint64_t> elapsed_ns_{0};
     std::atomic<std::uint64_t> queries_{0};
   };

@@ -1,0 +1,38 @@
+#include "io/open_index.h"
+
+#include <utility>
+
+#include "io/snapshot.h"
+#include "methods/factory.h"
+#include "shard/sharded_index.h"
+
+namespace gass::io {
+
+core::Status OpenIndex(const std::string& path, const core::Dataset& data,
+                       const OpenIndexOptions& options,
+                       std::unique_ptr<methods::GraphIndex>* out) {
+  SnapshotReader reader;
+  GASS_RETURN_IF_ERROR(SnapshotReader::Open(path, &reader));
+  if (shard::IsShardedSnapshotMethod(reader.method())) {
+    std::unique_ptr<shard::ShardedIndex> sharded;
+    GASS_RETURN_IF_ERROR(
+        shard::LoadShardedIndex(path, data, options.seed, &sharded));
+    if (options.nprobe > 0) sharded->SetNprobe(options.nprobe);
+    if (options.fanout_threads > 0) {
+      sharded->SetFanoutThreads(options.fanout_threads);
+    }
+    *out = std::move(sharded);
+    return core::Status::Ok();
+  }
+  return methods::LoadAnyIndex(path, data, options.seed, out);
+}
+
+core::Status OpenIndex(const std::string& path, const core::Dataset& data,
+                       std::uint64_t seed,
+                       std::unique_ptr<methods::GraphIndex>* out) {
+  OpenIndexOptions options;
+  options.seed = seed;
+  return OpenIndex(path, data, options, out);
+}
+
+}  // namespace gass::io

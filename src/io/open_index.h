@@ -1,0 +1,50 @@
+// One-call snapshot opening for any on-disk index layout.
+//
+// A snapshot at `path` is either a plain per-method snapshot (load with
+// methods::LoadAnyIndex) or a sharded manifest plus per-shard files (load
+// with shard::LoadShardedIndex) — and every CLI/bench used to sniff the
+// difference itself. OpenIndex centralizes the dispatch: it reads the
+// snapshot header once, checks the method name with
+// shard::IsShardedSnapshotMethod, and hands back a ready-to-search
+// GraphIndex either way.
+
+#ifndef GASS_IO_OPEN_INDEX_H_
+#define GASS_IO_OPEN_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/dataset.h"
+#include "core/status.h"
+#include "methods/graph_index.h"
+
+namespace gass::io {
+
+struct OpenIndexOptions {
+  /// Base seed; must match the seed the saved index was built with (the
+  /// snapshot's params fingerprint is verified by the underlying loader).
+  std::uint64_t seed = 42;
+  /// Sharded snapshots only: post-load nprobe override (0 = keep the
+  /// manifest default of probing every shard).
+  std::size_t nprobe = 0;
+  /// Sharded snapshots only: per-query fan-out threads (0 = fan out on
+  /// the caller thread — the right choice under an outer executor).
+  std::size_t fanout_threads = 0;
+};
+
+/// Opens the snapshot at `path` — plain or sharded — against `data` and
+/// returns the loaded index. The sniff reads only the snapshot header;
+/// both loaders then re-validate everything they consume.
+core::Status OpenIndex(const std::string& path, const core::Dataset& data,
+                       const OpenIndexOptions& options,
+                       std::unique_ptr<methods::GraphIndex>* out);
+
+/// Convenience overload with default options except the seed.
+core::Status OpenIndex(const std::string& path, const core::Dataset& data,
+                       std::uint64_t seed,
+                       std::unique_ptr<methods::GraphIndex>* out);
+
+}  // namespace gass::io
+
+#endif  // GASS_IO_OPEN_INDEX_H_

@@ -20,6 +20,10 @@
 #include "io/snapshot.h"
 #include "seeds/seed_selector.h"
 
+namespace gass::obs {
+class QueryTrace;  // obs/trace.h; methods/ only carries the pointer.
+}  // namespace gass::obs
+
 namespace gass::methods {
 
 /// Per-query search knobs.
@@ -41,6 +45,13 @@ struct SearchParams {
   /// Set by serve::Frontend under queue pressure so an overloaded server
   /// trades recall for latency instead of missing every deadline at once.
   std::uint32_t degrade_step = 0;
+  /// Per-query trace sink (owned by the caller's obs::Tracer; null = not
+  /// traced, the common case). Trace-aware indexes (shard::ShardedIndex)
+  /// append stage spans to it; plain indexes ignore it and the serving
+  /// tier records one whole-search span instead. Carried here — not as a
+  /// fourth Search argument — so the span plumbing crosses the GraphIndex
+  /// virtual boundary without touching twelve method signatures.
+  obs::QueryTrace* trace = nullptr;
 };
 
 /// The beam width a search actually runs with: `beam_width >> degrade_step`,

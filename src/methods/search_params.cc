@@ -44,6 +44,13 @@ SearchParams MakeSearchParams(std::size_t k, std::size_t beam_width,
 
 bool ParseSearchParams(const std::string& spec, SearchParams* params,
                        std::string* error) {
+  // One slot per recognized key, in the order documented in the header. A
+  // spec that names the same key twice is ambiguous — which value did the
+  // caller mean? — so it is rejected instead of silently letting the last
+  // entry win.
+  enum Key { kKeyK, kKeyBeam, kKeySeeds, kKeyPrune, kKeyDegrade, kKeyCount };
+  bool seen[kKeyCount] = {};
+
   std::size_t start = 0;
   while (start <= spec.size()) {
     std::size_t comma = spec.find(',', start);
@@ -54,35 +61,69 @@ bool ParseSearchParams(const std::string& spec, SearchParams* params,
 
     const std::size_t eq = token.find('=');
     if (eq == std::string::npos) {
-      return Fail(error, "expected key=value, got '" + token + "'");
+      return Fail(error,
+                  "search parameter '" + token + "': expected key=value");
     }
     const std::string key = token.substr(0, eq);
     const std::string value = token.substr(eq + 1);
+
+    Key slot = kKeyCount;
     if (key == "k") {
-      if (!ParseSize(value, &params->k) || params->k == 0) {
-        return Fail(error, "bad k '" + value + "'");
-      }
+      slot = kKeyK;
     } else if (key == "beam") {
-      if (!ParseSize(value, &params->beam_width) || params->beam_width == 0) {
-        return Fail(error, "bad beam '" + value + "'");
-      }
+      slot = kKeyBeam;
     } else if (key == "seeds") {
-      if (!ParseSize(value, &params->num_seeds)) {
-        return Fail(error, "bad seeds '" + value + "'");
-      }
+      slot = kKeySeeds;
     } else if (key == "prune") {
-      if (!ParseFloat(value, &params->prune_bound)) {
-        return Fail(error, "bad prune '" + value + "'");
-      }
+      slot = kKeyPrune;
     } else if (key == "degrade") {
-      std::size_t step = 0;
-      if (!ParseSize(value, &step) || step > 62) {
-        return Fail(error, "bad degrade '" + value + "'");
-      }
-      params->degrade_step = static_cast<std::uint32_t>(step);
+      slot = kKeyDegrade;
     } else {
       return Fail(error, "unknown search parameter '" + key +
                              "' (expected k, beam, seeds, prune, or degrade)");
+    }
+    if (seen[slot]) {
+      return Fail(error, "duplicate search parameter '" + key + "': value '" +
+                             value + "' would override an earlier entry");
+    }
+    seen[slot] = true;
+
+    switch (slot) {
+      case kKeyK:
+        if (!ParseSize(value, &params->k) || params->k == 0) {
+          return Fail(error, "search parameter 'k': bad value '" + value +
+                                 "' (expected a positive integer)");
+        }
+        break;
+      case kKeyBeam:
+        if (!ParseSize(value, &params->beam_width) || params->beam_width == 0) {
+          return Fail(error, "search parameter 'beam': bad value '" + value +
+                                 "' (expected a positive integer)");
+        }
+        break;
+      case kKeySeeds:
+        if (!ParseSize(value, &params->num_seeds)) {
+          return Fail(error, "search parameter 'seeds': bad value '" + value +
+                                 "' (expected a non-negative integer)");
+        }
+        break;
+      case kKeyPrune:
+        if (!ParseFloat(value, &params->prune_bound)) {
+          return Fail(error, "search parameter 'prune': bad value '" + value +
+                                 "' (expected a float)");
+        }
+        break;
+      case kKeyDegrade: {
+        std::size_t step = 0;
+        if (!ParseSize(value, &step) || step > 62) {
+          return Fail(error, "search parameter 'degrade': bad value '" + value +
+                                 "' (expected an integer in [0, 62])");
+        }
+        params->degrade_step = static_cast<std::uint32_t>(step);
+        break;
+      }
+      case kKeyCount:
+        break;  // Unreachable: unknown keys return above.
     }
   }
   return true;

@@ -22,10 +22,12 @@ SearchParams MakeSearchParams(std::size_t k, std::size_t beam_width,
 /// whatever `*params` already holds, so callers can layer a spec over
 /// defaults). Recognized keys: `k`, `beam` (beam width L), `seeds` (seed
 /// count), `prune` (squared-distance prune bound, float), `degrade`
-/// (degradation step, halves the effective beam per step). Returns false —
-/// leaving `*params` partially updated — and describes the problem in
-/// `*error` (when non-null) for unknown keys, malformed numbers, or zero
-/// k/beam.
+/// (degradation step, halves the effective beam per step). Each key may
+/// appear at most once per spec; a repeated key is rejected rather than
+/// letting the last entry silently win. Returns false — leaving `*params`
+/// partially updated — and describes the problem in `*error` (when
+/// non-null), always naming the offending key and its value, for unknown
+/// keys, duplicate keys, malformed numbers, or zero k/beam.
 bool ParseSearchParams(const std::string& spec, SearchParams* params,
                        std::string* error = nullptr);
 

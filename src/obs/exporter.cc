@@ -1,0 +1,278 @@
+#include "obs/exporter.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace gass::obs {
+
+namespace {
+
+/// Formats a double for both output formats: plain decimal, enough digits
+/// to round-trip, never scientific's locale pitfalls. NaN/inf never reach
+/// here from our producers, but guard anyway (JSON has no literal for
+/// them).
+std::string FormatDouble(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+std::string FormatU64(std::uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  return buffer;
+}
+
+/// JSON string escaping for names/labels (quotes, backslashes, control
+/// bytes; our producers emit ASCII identifiers, so this is belt-and-
+/// suspenders).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendJsonSample(std::string* out, const std::string& name,
+                      const std::string& labels, double value) {
+  *out += "{\"name\":\"";
+  *out += JsonEscape(name);
+  *out += "\"";
+  if (!labels.empty()) {
+    *out += ",\"labels\":\"";
+    *out += JsonEscape(labels);
+    *out += "\"";
+  }
+  *out += ",\"value\":";
+  *out += FormatDouble(value);
+  *out += "}";
+}
+
+void AppendPromHeader(std::string* out, const std::string& name,
+                      const std::string& help, const char* type) {
+  if (!help.empty()) {
+    *out += "# HELP ";
+    *out += name;
+    *out += " ";
+    *out += help;
+    *out += "\n";
+  }
+  *out += "# TYPE ";
+  *out += name;
+  *out += " ";
+  *out += type;
+  *out += "\n";
+}
+
+}  // namespace
+
+void Exporter::AddCounter(const std::string& name, double value,
+                          const std::string& help,
+                          const std::string& labels) {
+  counters_.push_back(Sample{name, help, labels, value});
+}
+
+void Exporter::AddGauge(const std::string& name, double value,
+                        const std::string& help, const std::string& labels) {
+  gauges_.push_back(Sample{name, help, labels, value});
+}
+
+void Exporter::AddHistogram(const std::string& name,
+                            const LatencyHistogram& histogram,
+                            const std::string& help) {
+  HistogramSnapshot snap;
+  snap.name = name;
+  snap.help = help;
+  snap.count = histogram.count();
+  snap.sum_seconds = histogram.ApproxSumSeconds();
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    const std::uint64_t n = histogram.bucket_count(i);
+    if (n != 0) {
+      snap.buckets.emplace_back(LatencyHistogram::BucketUpperSeconds(i), n);
+    }
+  }
+  histograms_.push_back(std::move(snap));
+}
+
+void Exporter::AddTrace(const QueryTrace& trace) {
+  TraceSnapshot snap;
+  snap.admission_id = trace.admission_id();
+  snap.total_ns = trace.total_ns();
+  snap.dropped = trace.dropped();
+  const std::size_t n = trace.size();
+  snap.spans.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) snap.spans.push_back(trace.span(i));
+  traces_.push_back(std::move(snap));
+}
+
+void Exporter::AddTracer(const Tracer& tracer) {
+  for (const QueryTrace* trace : tracer.Completed()) AddTrace(*trace);
+}
+
+std::string Exporter::ToJson() const {
+  std::string out = "{\"counters\":[";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (i != 0) out += ",";
+    AppendJsonSample(&out, counters_[i].name, counters_[i].labels,
+                     counters_[i].value);
+  }
+  out += "],\"gauges\":[";
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    if (i != 0) out += ",";
+    AppendJsonSample(&out, gauges_[i].name, gauges_[i].labels,
+                     gauges_[i].value);
+  }
+  out += "],\"histograms\":[";
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    const HistogramSnapshot& h = histograms_[i];
+    if (i != 0) out += ",";
+    out += "{\"name\":\"";
+    out += JsonEscape(h.name);
+    out += "\",\"count\":";
+    out += FormatU64(h.count);
+    out += ",\"sum_seconds\":";
+    out += FormatDouble(h.sum_seconds);
+    out += ",\"buckets\":[";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b != 0) out += ",";
+      out += "{\"le\":";
+      out += FormatDouble(h.buckets[b].first);
+      out += ",\"count\":";
+      out += FormatU64(h.buckets[b].second);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "],\"traces\":[";
+  for (std::size_t i = 0; i < traces_.size(); ++i) {
+    const TraceSnapshot& t = traces_[i];
+    if (i != 0) out += ",";
+    out += "{\"admission_id\":";
+    out += FormatU64(t.admission_id);
+    out += ",\"total_ns\":";
+    out += FormatU64(t.total_ns);
+    out += ",\"dropped_spans\":";
+    out += FormatU64(t.dropped);
+    out += ",\"spans\":[";
+    for (std::size_t s = 0; s < t.spans.size(); ++s) {
+      const TraceSpan& span = t.spans[s];
+      if (s != 0) out += ",";
+      out += "{\"stage\":\"";
+      out += StageName(span.stage);
+      out += "\",\"shard\":";
+      char shard_buf[16];
+      std::snprintf(shard_buf, sizeof(shard_buf), "%d", span.shard);
+      out += shard_buf;
+      out += ",\"start_ns\":";
+      out += FormatU64(span.start_ns);
+      out += ",\"duration_ns\":";
+      out += FormatU64(span.duration_ns);
+      out += ",\"distance_computations\":";
+      out += FormatU64(span.distance_computations);
+      out += ",\"hops\":";
+      out += FormatU64(span.hops);
+      out += ",\"prefetches\":";
+      out += FormatU64(span.prefetches);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Exporter::ToPrometheus() const {
+  std::string out;
+  for (const Sample& c : counters_) {
+    AppendPromHeader(&out, c.name, c.help, "counter");
+    out += c.name;
+    if (!c.labels.empty()) {
+      out += "{";
+      out += c.labels;
+      out += "}";
+    }
+    out += " ";
+    out += FormatDouble(c.value);
+    out += "\n";
+  }
+  for (const Sample& g : gauges_) {
+    AppendPromHeader(&out, g.name, g.help, "gauge");
+    out += g.name;
+    if (!g.labels.empty()) {
+      out += "{";
+      out += g.labels;
+      out += "}";
+    }
+    out += " ";
+    out += FormatDouble(g.value);
+    out += "\n";
+  }
+  for (const HistogramSnapshot& h : histograms_) {
+    AppendPromHeader(&out, h.name, h.help, "histogram");
+    std::uint64_t cumulative = 0;
+    for (const auto& [upper, count] : h.buckets) {
+      cumulative += count;
+      out += h.name;
+      out += "_bucket{le=\"";
+      out += FormatDouble(upper);
+      out += "\"} ";
+      out += FormatU64(cumulative);
+      out += "\n";
+    }
+    out += h.name;
+    out += "_bucket{le=\"+Inf\"} ";
+    out += FormatU64(h.count);
+    out += "\n";
+    out += h.name;
+    out += "_sum ";
+    out += FormatDouble(h.sum_seconds);
+    out += "\n";
+    out += h.name;
+    out += "_count ";
+    out += FormatU64(h.count);
+    out += "\n";
+  }
+  return out;
+}
+
+core::Status Exporter::WriteFile(const std::string& path,
+                                 const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return core::Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.flush();
+  if (!out) return core::Status::IoError("short write to '" + path + "'");
+  return core::Status::Ok();
+}
+
+core::Status Exporter::WriteJson(const std::string& path) const {
+  return WriteFile(path, ToJson() + "\n");
+}
+
+core::Status Exporter::WritePrometheus(const std::string& path) const {
+  return WriteFile(path, ToPrometheus());
+}
+
+}  // namespace gass::obs

@@ -1,0 +1,101 @@
+// Metrics/trace exporter: collects counters, gauges, histograms, and
+// sampled query traces, then renders them as JSON or Prometheus text.
+//
+// The exporter is a passive sink: producers (serve::ServeMetrics::ExportTo,
+// the CLI, benches) push snapshots in, and the two renderers walk the
+// collected state. It lives in obs/ and depends only on core, so any layer
+// can export without pulling in the serving tier.
+//
+// Formats:
+//  * ToJson(): one object with "counters", "gauges", "histograms", and
+//    "traces" arrays. Trace spans carry stage name, shard, start/duration
+//    nanoseconds, and work counters — the machine-readable form of a
+//    `serve-bench --trace` run.
+//  * ToPrometheus(): text exposition format (# HELP/# TYPE lines, then
+//    samples). Histograms emit cumulative `_bucket{le="..."}` series over
+//    the non-empty bucket edges plus the mandatory `+Inf`, `_sum`
+//    (midpoint approximation), and `_count`. Traces are not representable
+//    in Prometheus and are omitted.
+
+#ifndef GASS_OBS_EXPORTER_H_
+#define GASS_OBS_EXPORTER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
+
+namespace gass::obs {
+
+class Exporter {
+ public:
+  /// Adds one cumulative counter sample. `labels` is a pre-formatted
+  /// Prometheus label body without braces (e.g. `step="3"`); empty = none.
+  void AddCounter(const std::string& name, double value,
+                  const std::string& help = "",
+                  const std::string& labels = "");
+
+  /// Adds one point-in-time gauge sample.
+  void AddGauge(const std::string& name, double value,
+                const std::string& help = "",
+                const std::string& labels = "");
+
+  /// Snapshots `histogram`'s buckets under `name` (counts are copied; the
+  /// histogram may keep recording afterwards).
+  void AddHistogram(const std::string& name,
+                    const LatencyHistogram& histogram,
+                    const std::string& help = "");
+
+  /// Copies one finished trace's spans.
+  void AddTrace(const QueryTrace& trace);
+
+  /// Copies every completed trace held by `tracer`.
+  void AddTracer(const Tracer& tracer);
+
+  std::string ToJson() const;
+  std::string ToPrometheus() const;
+
+  core::Status WriteJson(const std::string& path) const;
+  core::Status WritePrometheus(const std::string& path) const;
+
+  std::size_t num_traces() const { return traces_.size(); }
+
+ private:
+  struct Sample {
+    std::string name;
+    std::string help;
+    std::string labels;
+    double value = 0.0;
+  };
+  struct HistogramSnapshot {
+    std::string name;
+    std::string help;
+    std::uint64_t count = 0;
+    double sum_seconds = 0.0;
+    /// (upper edge seconds, per-bucket count) for non-empty buckets, in
+    /// ascending edge order.
+    std::vector<std::pair<double, std::uint64_t>> buckets;
+  };
+  struct TraceSnapshot {
+    std::uint64_t admission_id = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t dropped = 0;
+    std::vector<TraceSpan> spans;
+  };
+
+  static core::Status WriteFile(const std::string& path,
+                                const std::string& text);
+
+  std::vector<Sample> counters_;
+  std::vector<Sample> gauges_;
+  std::vector<HistogramSnapshot> histograms_;
+  std::vector<TraceSnapshot> traces_;
+};
+
+}  // namespace gass::obs
+
+#endif  // GASS_OBS_EXPORTER_H_

@@ -1,0 +1,78 @@
+#include "obs/histogram.h"
+
+#include <bit>
+
+namespace gass::obs {
+
+std::size_t LatencyHistogram::BucketIndex(std::uint64_t nanos) {
+  if (nanos < kSub) nanos = kSub;  // Clamp into the first octave.
+  // Normalize the value into [8, 16): the shift count selects the octave,
+  // the three bits below the leading one select the sub-bucket.
+  std::size_t shift = static_cast<std::size_t>(std::bit_width(nanos)) - 4;
+  if (shift >= kShifts) shift = kShifts - 1;
+  const std::uint64_t normalized = nanos >> shift;
+  const std::size_t sub =
+      normalized >= 2 * kSub ? kSub - 1 : static_cast<std::size_t>(normalized - kSub);
+  return shift * kSub + sub;
+}
+
+double LatencyHistogram::BucketMidNanos(std::size_t index) {
+  const std::size_t shift = index / kSub;
+  const std::size_t sub = index % kSub;
+  return (static_cast<double>(kSub + sub) + 0.5) *
+         static_cast<double>(std::uint64_t{1} << shift);
+}
+
+double LatencyHistogram::BucketUpperSeconds(std::size_t index) {
+  const std::size_t shift = index / kSub;
+  const std::size_t sub = index % kSub;
+  return static_cast<double>(kSub + sub + 1) *
+         static_cast<double>(std::uint64_t{1} << shift) * 1e-9;
+}
+
+void LatencyHistogram::Record(double seconds) {
+  // NaN and negatives clamp to zero (bottom bucket). The top clamp happens
+  // in floating point, *before* the integer cast: a sample past ~584 years
+  // of nanoseconds (or +inf) would otherwise be undefined behavior in the
+  // cast and could wrap to a tiny bucket, corrupting every quantile above
+  // it. Saturating here pins such samples to the top bucket instead.
+  if (!(seconds > 0)) seconds = 0;
+  const double nanos_fp = seconds * 1e9;
+  constexpr double kMaxNanos = 9.2e18;  // < 2^63, exactly representable.
+  const std::uint64_t nanos =
+      nanos_fp >= kMaxNanos ? static_cast<std::uint64_t>(kMaxNanos)
+                            : static_cast<std::uint64_t>(nanos_fp);
+  buckets_[BucketIndex(nanos)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::QuantileSeconds(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the q-quantile sample (1-based, nearest-rank method).
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketMidNanos(i) * 1e-9;
+  }
+  return BucketMidNanos(kBuckets - 1) * 1e-9;
+}
+
+double LatencyHistogram::ApproxSumSeconds() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) sum += static_cast<double>(n) * BucketMidSeconds(i);
+  }
+  return sum;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace gass::obs

@@ -1,0 +1,73 @@
+// Lock-free, log-bucketed latency histogram (HDR-style, base 2 with 8
+// sub-buckets per octave → ≤ ~6% relative quantile error).
+//
+// Lives in obs/ (not serve/) so the metrics exporter can walk histogram
+// buckets without depending on the serving tier; serve::ServeMetrics
+// aliases it. Record() is wait-free (one relaxed fetch_add). Covers ~8ns
+// to ~2.4h; out-of-range samples — including the absurd ones an overload
+// spike can produce (hours-long waits, +inf from a division by a zero
+// rate, NaN) — saturate into the edge buckets instead of wrapping the
+// nanosecond conversion, so percentile math stays monotone no matter what
+// is fed in.
+
+#ifndef GASS_OBS_HISTOGRAM_H_
+#define GASS_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace gass::obs {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram() { Reset(); }
+
+  void Record(double seconds);
+
+  /// Approximate latency at quantile `q` in [0, 1] (0.5 = median). Returns
+  /// 0 when empty. Not linearizable against concurrent Record()s.
+  double QuantileSeconds(double q) const;
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Samples landed in bucket `index` (for exporters walking the buckets).
+  std::uint64_t bucket_count(std::size_t index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+
+  /// Inclusive upper edge of bucket `index`, in seconds — the Prometheus
+  /// `le` boundary for that bucket.
+  static double BucketUpperSeconds(std::size_t index);
+
+  /// Midpoint of bucket `index`, in seconds (quantile/sum estimates).
+  static double BucketMidSeconds(std::size_t index) {
+    return BucketMidNanos(index) * 1e-9;
+  }
+
+  /// Approximate sum of all recorded samples, in seconds (each sample
+  /// counted at its bucket midpoint). Feeds the Prometheus `_sum` series.
+  double ApproxSumSeconds() const;
+
+  /// Not safe concurrently with Record().
+  void Reset();
+
+  // 8 sub-buckets per power-of-two octave over nanoseconds; shift 0 covers
+  // [8ns, 16ns), shift kShifts-1 tops out around 2^43 ns ≈ 2.4 h.
+  static constexpr std::size_t kSub = 8;
+  static constexpr std::size_t kShifts = 40;
+  static constexpr std::size_t kBuckets = kSub * kShifts;
+
+ private:
+  static std::size_t BucketIndex(std::uint64_t nanos);
+  static double BucketMidNanos(std::size_t index);
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+};
+
+}  // namespace gass::obs
+
+#endif  // GASS_OBS_HISTOGRAM_H_

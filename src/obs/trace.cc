@@ -1,0 +1,121 @@
+#include "obs/trace.h"
+
+#include "core/rng.h"
+
+namespace gass::obs {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kQueue:
+      return "queue";
+    case Stage::kSession:
+      return "session";
+    case Stage::kSearch:
+      return "search";
+    case Stage::kRoute:
+      return "route";
+    case Stage::kShardSearch:
+      return "shard_search";
+    case Stage::kMerge:
+      return "merge";
+  }
+  return "unknown";
+}
+
+void QueryTrace::Begin(std::uint64_t admission_id) {
+  admission_id_ = admission_id;
+  total_ns_ = 0;
+  count_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  start_ = std::chrono::steady_clock::now();
+}
+
+std::uint64_t QueryTrace::ElapsedNs() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+void QueryTrace::AddSpan(const TraceSpan& span) {
+  std::uint32_t idx = count_.load(std::memory_order_relaxed);
+  do {
+    if (idx >= kMaxSpans) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // Release on success publishes the claimed slot index; the matching
+    // acquire in size() keeps post-quiesce readers from seeing a count
+    // ahead of the span writes below (writes happen-before the fan-out
+    // join that precedes any read, but the fence costs nothing here).
+  } while (!count_.compare_exchange_weak(idx, idx + 1,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed));
+  spans_[idx] = span;
+}
+
+void Tracer::Configure(const TracerOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  options_ = options;
+  completed_.clear();
+  free_.clear();
+  slots_.clear();
+  if (options_.sample_period > 0) {
+    slots_.reserve(options_.max_traces);
+    free_.reserve(options_.max_traces);
+    completed_.reserve(options_.max_traces);
+    for (std::size_t i = 0; i < options_.max_traces; ++i) {
+      slots_.push_back(std::make_unique<QueryTrace>());
+    }
+    for (auto& slot : slots_) free_.push_back(slot.get());
+  }
+  overflowed_.store(0, std::memory_order_relaxed);
+}
+
+bool Tracer::ShouldSample(std::uint64_t admission_id) const {
+  if (options_.sample_period == 0) return false;
+  if (options_.sample_period == 1) return true;
+  // One SplitMix64 step keyed on (seed, id): deterministic, stateless, and
+  // well-mixed even for the sequential ids the frontend assigns.
+  return core::Rng(options_.seed ^ admission_id).Next() %
+             options_.sample_period ==
+         0;
+}
+
+QueryTrace* Tracer::StartTrace(std::uint64_t admission_id) {
+  if (!ShouldSample(admission_id)) return nullptr;
+  QueryTrace* trace = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (free_.empty()) {
+      overflowed_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    trace = free_.back();
+    free_.pop_back();
+  }
+  trace->Begin(admission_id);
+  return trace;
+}
+
+void Tracer::FinishTrace(QueryTrace* trace) {
+  if (trace == nullptr) return;
+  trace->Finish();
+  std::lock_guard<std::mutex> lock(mutex_);
+  completed_.push_back(trace);
+}
+
+std::vector<const QueryTrace*> Tracer::Completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<const QueryTrace*>(completed_.begin(), completed_.end());
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  completed_.clear();
+  free_.clear();
+  for (auto& slot : slots_) free_.push_back(slot.get());
+  overflowed_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace gass::obs

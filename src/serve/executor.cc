@@ -13,18 +13,18 @@ QueryExecutor::QueryExecutor(const methods::GraphIndex& index,
     : index_(index),
       options_(options),
       pool_(options.threads),
-      sessions_(index, options.seed ^ 0xC0417E57ULL) {
+      sessions_(index, options.seed ^ 0xC0417E57ULL),
+      tracer_(options.trace) {
   GASS_CHECK_MSG(index.SupportsConcurrentSearch(),
                  "%s does not support concurrent search; clone one instance "
                  "per thread instead (see docs/SERVING.md)",
                  index.Name().c_str());
 }
 
-BatchResult QueryExecutor::SearchBatch(const float* queries,
-                                       std::size_t num_queries,
-                                       std::size_t dim,
-                                       const methods::SearchParams& params) {
+BatchResult QueryExecutor::SearchBatch(
+    const std::vector<SearchRequest>& requests) {
   BatchResult batch;
+  const std::size_t num_queries = requests.size();
   batch.results.resize(num_queries);
   if (num_queries == 0) return batch;
 
@@ -40,30 +40,74 @@ BatchResult QueryExecutor::SearchBatch(const float* queries,
     for (;;) {
       const std::size_t q = next_query.fetch_add(1, std::memory_order_relaxed);
       if (q >= num_queries) break;
-      // Reseed per query: results depend only on (seed, query index), never
-      // on which worker ran the query or in what order.
-      lease->rng =
-          core::Rng(options_.seed ^ (0x9E3779B97F4A7C15ULL * (q + 1)));
-      // Effective deadline: the earlier of the caller's params.deadline and
-      // the executor's per-query timeout (see the header contract).
-      core::Deadline deadline =
-          params.deadline != nullptr ? *params.deadline : core::Deadline();
+      const SearchRequest& request = requests[q];
+      const std::uint64_t id = request.admission_id == kAutoAdmissionId
+                                   ? static_cast<std::uint64_t>(q)
+                                   : request.admission_id;
+      // Trace attachment: the request's own sink wins over the sampler.
+      obs::QueryTrace* trace = request.trace;
+      bool owned_trace = false;
+      if (trace != nullptr) {
+        trace->Begin(id);
+      } else {
+        trace = tracer_.StartTrace(id);
+        owned_trace = trace != nullptr;
+      }
+      obs::StageTimer session_timer(trace, obs::Stage::kSession);
+      // Reseed per query: results depend only on (seed, admission id),
+      // never on which worker ran the query or in what order.
+      lease->rng = core::Rng(options_.seed ^ (0x9E3779B97F4A7C15ULL * (id + 1)));
+      // Effective deadline: the earliest of the request deadline, the
+      // caller's params.deadline, and the executor's per-query timeout
+      // (see the header contract).
+      core::Deadline deadline = request.params.deadline != nullptr
+                                    ? *request.params.deadline
+                                    : core::Deadline();
+      if (request.has_deadline) {
+        deadline = core::Deadline::Earliest(deadline, request.deadline);
+      }
       if (options_.timeout_seconds > 0) {
         deadline = core::Deadline::Earliest(
             deadline, core::Deadline::After(options_.timeout_seconds));
       }
-      const methods::SearchParams query_params = methods::WithDeadline(
-          params, deadline.unlimited() ? nullptr : &deadline);
-      methods::SearchResult result =
-          index_.Search(queries + q * dim, query_params, lease.get());
-      result.expired = result.stats.deadline_expiries > 0;
-      result.outcome = result.expired ? methods::ServeOutcome::kExpired
-                       : params.degrade_step > 0
-                           ? methods::ServeOutcome::kDegraded
-                           : methods::ServeOutcome::kFull;
-      result.degrade_step = params.degrade_step;
-      metrics_.RecordQuery(result.stats, result.expired);
-      batch.results[q] = std::move(result);
+      methods::SearchParams query_params = methods::WithDeadline(
+          request.params, deadline.unlimited() ? nullptr : &deadline);
+      query_params.trace = trace;
+      session_timer.Stop();
+
+      const std::size_t spans_before = trace != nullptr ? trace->size() : 0;
+      obs::StageTimer search_timer(trace, obs::Stage::kSearch);
+      SearchResponse response(
+          index_.Search(request.query, query_params, lease.get()));
+      if (trace != nullptr && trace->size() > spans_before) {
+        // The index recorded its own stage breakdown (sharded fan-out); an
+        // enclosing span would double-count it.
+        search_timer.Cancel();
+      } else {
+        search_timer.SetStats(response.stats);
+        search_timer.Stop();
+      }
+      response.admission_id = id;
+      response.expired = response.stats.deadline_expiries > 0;
+      response.outcome = response.expired ? methods::ServeOutcome::kExpired
+                         : request.params.degrade_step > 0
+                             ? methods::ServeOutcome::kDegraded
+                             : methods::ServeOutcome::kFull;
+      response.degrade_step = request.params.degrade_step;
+      metrics_.RecordQuery(response.stats, response.expired);
+      if (trace != nullptr) {
+        if (owned_trace) {
+          tracer_.FinishTrace(trace);
+        } else {
+          trace->Finish();
+        }
+        for (std::size_t i = 0; i < trace->size(); ++i) {
+          const obs::TraceSpan& span = trace->span(i);
+          metrics_.RecordStageNanos(span.stage, span.duration_ns);
+        }
+        response.trace = trace;
+      }
+      batch.results[q] = std::move(response);
     }
   };
 
@@ -82,6 +126,19 @@ BatchResult QueryExecutor::SearchBatch(const float* queries,
     if (r.expired) ++batch.expired;
   }
   return batch;
+}
+
+BatchResult QueryExecutor::SearchBatch(const float* queries,
+                                       std::size_t num_queries,
+                                       std::size_t dim,
+                                       const methods::SearchParams& params) {
+  std::vector<SearchRequest> requests(num_queries);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    requests[q].query = queries + q * dim;
+    requests[q].dim = dim;
+    requests[q].params = params;
+  }
+  return SearchBatch(requests);
 }
 
 }  // namespace gass::serve

@@ -17,7 +17,9 @@
 
 #include "core/thread_pool.h"
 #include "methods/graph_index.h"
+#include "obs/trace.h"
 #include "serve/metrics.h"
+#include "serve/request.h"
 #include "serve/search_session.h"
 
 namespace gass::serve {
@@ -29,11 +31,15 @@ struct ExecutorOptions {
   double timeout_seconds = 0.0;
   /// Base seed for the per-query RNG streams.
   std::uint64_t seed = 0x5E44E5ULL;
+  /// Trace sampling (obs::TracerOptions::sample_period 0 = off), keyed on
+  /// each query's admission id — the batch index, unless the request
+  /// carries an explicit id.
+  obs::TracerOptions trace;
 };
 
 /// Results of one SearchBatch call.
 struct BatchResult {
-  std::vector<methods::SearchResult> results;  ///< One per query, in order.
+  std::vector<SearchResponse> results;  ///< One per query, in order.
   std::uint64_t expired = 0;      ///< Queries cut short by the deadline.
   double elapsed_seconds = 0.0;   ///< Wall time for the whole batch.
 
@@ -57,21 +63,31 @@ class QueryExecutor {
   QueryExecutor(const QueryExecutor&) = delete;
   QueryExecutor& operator=(const QueryExecutor&) = delete;
 
-  /// Searches `queries[i * dim .. (i+1) * dim)` for i in [0, num_queries),
-  /// all with the same SearchParams.
+  /// Runs one batch of SearchRequests — the primary entry point. Each
+  /// request's auto admission id resolves to its batch index (so the
+  /// historic (seed, query index) determinism contract is unchanged).
   ///
-  /// Deadline contract: each query runs under the *earlier* of the
-  /// caller-set `params.deadline` (which must outlive the call) and the
-  /// executor's own per-query timeout (`options.timeout_seconds`, measured
-  /// from that query's start). A caller deadline is never loosened by a
-  /// longer executor timeout, and never silently overwritten by a shorter
-  /// one being absent — min always wins.
+  /// Deadline contract: each query runs under the *earliest* of the
+  /// request deadline (when has_deadline), the caller-set
+  /// `params.deadline` (which must outlive the call), and the executor's
+  /// own per-query timeout (`options.timeout_seconds`, measured from that
+  /// query's start). A caller deadline is never loosened by a longer
+  /// executor timeout, and never silently overwritten by a shorter one
+  /// being absent — min always wins.
+  BatchResult SearchBatch(const std::vector<SearchRequest>& requests);
+
+  /// Forwarding overload: searches `queries[i * dim .. (i+1) * dim)` for
+  /// i in [0, num_queries), all with the same SearchParams.
   BatchResult SearchBatch(const float* queries, std::size_t num_queries,
                           std::size_t dim, const methods::SearchParams& params);
 
   /// Cumulative metrics across all batches since construction/Reset().
   const ServeMetrics& metrics() const { return metrics_; }
   ServeMetrics& metrics() { return metrics_; }
+
+  /// The executor's trace sampler (configured from options.trace).
+  const obs::Tracer& tracer() const { return tracer_; }
+  obs::Tracer& tracer() { return tracer_; }
 
   std::size_t thread_count() const { return pool_.thread_count(); }
 
@@ -81,6 +97,7 @@ class QueryExecutor {
   core::ThreadPool pool_;
   SearchSessionPool sessions_;
   ServeMetrics metrics_;
+  obs::Tracer tracer_;
 };
 
 }  // namespace gass::serve

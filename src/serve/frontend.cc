@@ -12,7 +12,8 @@ Frontend::Frontend(const methods::GraphIndex& index,
     : index_(index),
       options_(options),
       faults_(faults),
-      sessions_(index, options.seed ^ 0xF207E7D5E55105ULL) {
+      sessions_(index, options.seed ^ 0xF207E7D5E55105ULL),
+      tracer_(options.trace) {
   GASS_CHECK_MSG(index.SupportsConcurrentSearch(),
                  "%s does not support concurrent search; clone one instance "
                  "per thread instead (see docs/SERVING.md)",
@@ -35,11 +36,30 @@ Frontend::~Frontend() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void Frontend::Reject(Task* task, ServeMetrics* metrics) {
-  metrics->RecordShed();
-  methods::SearchResult result;
-  result.outcome = methods::ServeOutcome::kRejected;
-  task->promise.set_value(std::move(result));
+void Frontend::Reject(Task* task) {
+  metrics_.RecordShed();
+  SearchResponse response;
+  response.outcome = methods::ServeOutcome::kRejected;
+  response.admission_id = task->id;
+  FinishTaskTrace(task, &response);
+  task->promise.set_value(std::move(response));
+}
+
+void Frontend::FinishTaskTrace(Task* task, SearchResponse* response) {
+  if (task->trace == nullptr) return;
+  if (task->owned_trace) {
+    tracer_.FinishTrace(task->trace);
+  } else {
+    task->trace->Finish();
+  }
+  // Traced queries feed the per-stage latency histograms; the untraced
+  // majority never touches them.
+  for (std::size_t i = 0; i < task->trace->size(); ++i) {
+    const obs::TraceSpan& span = task->trace->span(i);
+    metrics_.RecordStageNanos(span.stage, span.duration_ns);
+  }
+  response->trace = task->trace;
+  task->trace = nullptr;
 }
 
 bool Frontend::PredictedLate(const core::Deadline& deadline) const {
@@ -68,40 +88,69 @@ std::size_t Frontend::DegradeStepForDepth(std::size_t depth) const {
 
 Frontend::Ticket Frontend::Submit(const float* query, std::size_t dim,
                                   const methods::SearchParams& params) {
-  const core::Deadline deadline =
-      options_.deadline_seconds > 0
-          ? core::Deadline::After(options_.deadline_seconds)
-          : core::Deadline();
-  return Submit(query, dim, params, deadline);
+  SearchRequest request;
+  request.query = query;
+  request.dim = dim;
+  request.params = params;
+  return Submit(request);
 }
 
 Frontend::Ticket Frontend::Submit(const float* query, std::size_t dim,
                                   const methods::SearchParams& params,
                                   const core::Deadline& deadline) {
+  SearchRequest request;
+  request.query = query;
+  request.dim = dim;
+  request.params = params;
+  request.deadline = deadline;
+  request.has_deadline = true;
+  return Submit(request);
+}
+
+Frontend::Ticket Frontend::Submit(const SearchRequest& request) {
   Task task;
-  task.query = query;
-  task.dim = dim;
-  task.params = params;
+  task.query = request.query;
+  task.dim = request.dim;
+  task.params = request.params;
   task.params.deadline = nullptr;  // The frontend owns the deadline.
-  task.deadline = deadline;
-  task.id = submitted_.fetch_add(1, std::memory_order_relaxed);
+  task.params.trace = nullptr;     // Likewise the trace attachment.
+  task.deadline = request.has_deadline
+                      ? request.deadline
+                      : (options_.deadline_seconds > 0
+                             ? core::Deadline::After(options_.deadline_seconds)
+                             : core::Deadline());
+  const std::uint64_t auto_id =
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+  task.id =
+      request.admission_id == kAutoAdmissionId ? auto_id : request.admission_id;
+  // The trace clock starts at admission, so queue wait is span #1. A
+  // caller-provided sink wins over the sampler; either way the untraced
+  // path costs one hash, no lock, no allocation.
+  if (request.trace != nullptr) {
+    task.trace = request.trace;
+    task.trace->Begin(task.id);
+    task.owned_trace = false;
+  } else {
+    task.trace = tracer_.StartTrace(task.id);
+    task.owned_trace = task.trace != nullptr;
+  }
   Ticket ticket = task.promise.get_future();
 
   if (faults_ != nullptr && faults_->ShouldRejectAdmission(task.id)) {
     faults_->CountRejection();
-    Reject(&task, &metrics_);
+    Reject(&task);
     return ticket;
   }
   // Predicted-late shedding at admission: if the budget already cannot
   // cover a median service, reject now instead of queueing doomed work.
   if (PredictedLate(task.deadline)) {
-    Reject(&task, &metrics_);
+    Reject(&task);
     return ticket;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stop_ || queue_.size() >= options_.queue_capacity) {
-      Reject(&task, &metrics_);
+      Reject(&task);
       return ticket;
     }
     queue_.push_back(std::move(task));
@@ -109,6 +158,10 @@ Frontend::Ticket Frontend::Submit(const float* query, std::size_t dim,
   }
   work_cv_.notify_one();
   return ticket;
+}
+
+SearchResponse Frontend::Search(const SearchRequest& request) {
+  return Submit(request).get();
 }
 
 methods::SearchResult Frontend::Search(const float* query, std::size_t dim,
@@ -130,6 +183,16 @@ void Frontend::WorkerLoop() {
       ++in_service_;
     }
 
+    // Queue-wait span: the trace clock started at admission, so the wait
+    // is simply the elapsed time at dequeue.
+    if (task.trace != nullptr) {
+      obs::TraceSpan queue_span;
+      queue_span.stage = obs::Stage::kQueue;
+      queue_span.start_ns = 0;
+      queue_span.duration_ns = task.trace->ElapsedNs();
+      task.trace->AddSpan(queue_span);
+    }
+
     // Pressure is sampled when service starts: the depth left behind in
     // the queue decides this query's degradation step.
     const std::size_t step = DegradeStepForDepth(depth_after_pop);
@@ -146,9 +209,10 @@ void Frontend::WorkerLoop() {
     }
 
     if (shed) {
-      Reject(&task, &metrics_);
+      Reject(&task);
     } else {
       if (faults_ != nullptr) faults_->OnExecute(task.id);
+      obs::StageTimer session_timer(task.trace, obs::Stage::kSession);
       SearchSessionPool::Lease lease = sessions_.Acquire();
       // Same determinism contract as QueryExecutor: results depend only on
       // (seed, admission id), never on which worker ran the query.
@@ -158,17 +222,34 @@ void Frontend::WorkerLoop() {
       query_params.degrade_step = static_cast<std::uint32_t>(step);
       query_params.deadline =
           task.deadline.unlimited() ? nullptr : &task.deadline;
-      methods::SearchResult result =
-          index_.Search(task.query, query_params, lease.get());
-      result.expired = result.stats.deadline_expiries > 0;
-      result.degrade_step = static_cast<std::uint32_t>(step);
-      result.outcome = result.expired ? methods::ServeOutcome::kExpired
-                       : step > 0     ? methods::ServeOutcome::kDegraded
-                                      : methods::ServeOutcome::kFull;
-      metrics_.RecordQuery(result.stats, result.expired);
+      query_params.trace = task.trace;
+      session_timer.Stop();
+
+      const std::size_t spans_before =
+          task.trace != nullptr ? task.trace->size() : 0;
+      obs::StageTimer search_timer(task.trace, obs::Stage::kSearch);
+      SearchResponse response(
+          index_.Search(task.query, query_params, lease.get()));
+      if (task.trace != nullptr && task.trace->size() > spans_before) {
+        // A trace-aware index (shard::ShardedIndex) already recorded its
+        // own finer-grained breakdown; an enclosing search span would
+        // double-count those nanoseconds in the stage histograms.
+        search_timer.Cancel();
+      } else {
+        search_timer.SetStats(response.stats);
+        search_timer.Stop();
+      }
+      response.admission_id = task.id;
+      response.expired = response.stats.deadline_expiries > 0;
+      response.degrade_step = static_cast<std::uint32_t>(step);
+      response.outcome = response.expired ? methods::ServeOutcome::kExpired
+                         : step > 0       ? methods::ServeOutcome::kDegraded
+                                          : methods::ServeOutcome::kFull;
+      metrics_.RecordQuery(response.stats, response.expired);
       metrics_.RecordDegradeStep(
-          step, result.outcome == methods::ServeOutcome::kDegraded);
-      task.promise.set_value(std::move(result));
+          step, response.outcome == methods::ServeOutcome::kDegraded);
+      FinishTaskTrace(&task, &response);
+      task.promise.set_value(std::move(response));
     }
 
     {

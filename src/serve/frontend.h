@@ -37,8 +37,10 @@
 
 #include "core/deadline.h"
 #include "methods/graph_index.h"
+#include "obs/trace.h"
 #include "serve/fault_injector.h"
 #include "serve/metrics.h"
+#include "serve/request.h"
 #include "serve/search_session.h"
 
 namespace gass::serve {
@@ -70,6 +72,11 @@ struct FrontendOptions {
   /// Base seed for per-query RNG reseeding — the same (seed, admission id)
   /// determinism contract as QueryExecutor.
   std::uint64_t seed = 0xF207E7DULL;
+  /// Trace sampling (obs::TracerOptions::sample_period 0 = off). Sampled
+  /// queries get per-stage spans recorded into the frontend's tracer and
+  /// fed into the per-stage latency histograms; the sampled set is a pure
+  /// function of (trace.seed, admission id).
+  obs::TracerOptions trace;
 };
 
 /// Open-loop serving frontend over one shared, built index.
@@ -83,9 +90,10 @@ struct FrontendOptions {
 /// destructor will wait on it forever.
 class Frontend {
  public:
-  /// Resolves to the query's SearchResult; outcome tells full / degraded /
-  /// expired / rejected apart. Rejected tickets resolve immediately.
-  using Ticket = std::future<methods::SearchResult>;
+  /// Resolves to the query's SearchResponse (a methods::SearchResult plus
+  /// admission id and trace); outcome tells full / degraded / expired /
+  /// rejected apart. Rejected tickets resolve immediately.
+  using Ticket = std::future<SearchResponse>;
 
   Frontend(const methods::GraphIndex& index, const FrontendOptions& options,
            FaultInjector* faults = nullptr);
@@ -94,19 +102,25 @@ class Frontend {
   Frontend(const Frontend&) = delete;
   Frontend& operator=(const Frontend&) = delete;
 
-  /// Admission with the default deadline (options.deadline_seconds from
-  /// now). Any caller-set params.deadline is ignored — the frontend owns
-  /// deadlines (they must survive the queue wait, so they cannot point
-  /// into the caller's stack).
+  /// Admission of one SearchRequest — the primary entry point. The
+  /// request's deadline is honored when has_deadline is set, otherwise the
+  /// default budget (options.deadline_seconds) applies; any caller-set
+  /// params.deadline is ignored — the frontend owns deadlines (they must
+  /// survive the queue wait, so they cannot point into the caller's
+  /// stack). An auto admission id is resolved to the submission counter.
+  Ticket Submit(const SearchRequest& request);
+
+  /// Forwarding overload: admission with the default deadline.
   Ticket Submit(const float* query, std::size_t dim,
                 const methods::SearchParams& params);
 
-  /// Admission with an explicit per-query deadline.
+  /// Forwarding overload: admission with an explicit per-query deadline.
   Ticket Submit(const float* query, std::size_t dim,
                 const methods::SearchParams& params,
                 const core::Deadline& deadline);
 
   /// Blocking convenience: Submit + wait.
+  SearchResponse Search(const SearchRequest& request);
   methods::SearchResult Search(const float* query, std::size_t dim,
                                const methods::SearchParams& params);
 
@@ -121,6 +135,11 @@ class Frontend {
 
   const ServeMetrics& metrics() const { return metrics_; }
   ServeMetrics& metrics() { return metrics_; }
+
+  /// The frontend's trace sampler (configured from options.trace).
+  /// Completed traces accumulate here until tracer().Reset().
+  const obs::Tracer& tracer() const { return tracer_; }
+  obs::Tracer& tracer() { return tracer_; }
 
   /// Queries currently waiting for a worker (excludes in-service).
   std::size_t queue_depth() const;
@@ -138,12 +157,20 @@ class Frontend {
     methods::SearchParams params;
     core::Deadline deadline;
     std::uint64_t id = 0;
-    std::promise<methods::SearchResult> promise;
+    /// Trace sink for this query (null = untraced); owned_trace marks a
+    /// tracer slot that must be retired via FinishTrace.
+    obs::QueryTrace* trace = nullptr;
+    bool owned_trace = false;
+    std::promise<SearchResponse> promise;
   };
 
   void WorkerLoop();
   /// Fulfills a ticket as shed (kRejected) and records the metrics.
-  static void Reject(Task* task, ServeMetrics* metrics);
+  void Reject(Task* task);
+  /// Finishes the task's trace (if any): stamps the total, feeds the
+  /// per-stage histograms, retires tracer-owned slots, and points the
+  /// response at the trace.
+  void FinishTaskTrace(Task* task, SearchResponse* response);
   /// True when the remaining budget cannot cover the observed p50 service
   /// time (and prediction is active).
   bool PredictedLate(const core::Deadline& deadline) const;
@@ -153,6 +180,7 @@ class Frontend {
   FaultInjector* faults_;  // Not owned; null = no injection.
   SearchSessionPool sessions_;
   ServeMetrics metrics_;
+  obs::Tracer tracer_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;   // Queue non-empty or stopping.

@@ -1,64 +1,10 @@
 #include "serve/metrics.h"
 
-#include <bit>
 #include <cstdio>
 
+#include "obs/exporter.h"
+
 namespace gass::serve {
-
-std::size_t LatencyHistogram::BucketIndex(std::uint64_t nanos) {
-  if (nanos < kSub) nanos = kSub;  // Clamp into the first octave.
-  // Normalize the value into [8, 16): the shift count selects the octave,
-  // the three bits below the leading one select the sub-bucket.
-  std::size_t shift = static_cast<std::size_t>(std::bit_width(nanos)) - 4;
-  if (shift >= kShifts) shift = kShifts - 1;
-  const std::uint64_t normalized = nanos >> shift;
-  const std::size_t sub =
-      normalized >= 2 * kSub ? kSub - 1 : static_cast<std::size_t>(normalized - kSub);
-  return shift * kSub + sub;
-}
-
-double LatencyHistogram::BucketMidNanos(std::size_t index) {
-  const std::size_t shift = index / kSub;
-  const std::size_t sub = index % kSub;
-  return (static_cast<double>(kSub + sub) + 0.5) *
-         static_cast<double>(std::uint64_t{1} << shift);
-}
-
-void LatencyHistogram::Record(double seconds) {
-  // NaN and negatives clamp to zero (bottom bucket). The top clamp happens
-  // in floating point, *before* the integer cast: a sample past ~584 years
-  // of nanoseconds (or +inf) would otherwise be undefined behavior in the
-  // cast and could wrap to a tiny bucket, corrupting every quantile above
-  // it. Saturating here pins such samples to the top bucket instead.
-  if (!(seconds > 0)) seconds = 0;
-  const double nanos_fp = seconds * 1e9;
-  constexpr double kMaxNanos = 9.2e18;  // < 2^63, exactly representable.
-  const std::uint64_t nanos =
-      nanos_fp >= kMaxNanos ? static_cast<std::uint64_t>(kMaxNanos)
-                            : static_cast<std::uint64_t>(nanos_fp);
-  buckets_[BucketIndex(nanos)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-}
-
-double LatencyHistogram::QuantileSeconds(double q) const {
-  const std::uint64_t total = count();
-  if (total == 0) return 0.0;
-  if (q < 0) q = 0;
-  if (q > 1) q = 1;
-  // Rank of the q-quantile sample (1-based, nearest-rank method).
-  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total - 1)) + 1;
-  std::uint64_t seen = 0;
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    seen += buckets_[i].load(std::memory_order_relaxed);
-    if (seen >= rank) return BucketMidNanos(i) * 1e-9;
-  }
-  return BucketMidNanos(kBuckets - 1) * 1e-9;
-}
-
-void LatencyHistogram::Reset() {
-  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-}
 
 double ServeMetrics::Qps() const {
   const double elapsed = window_.Seconds();
@@ -106,9 +52,66 @@ std::string ServeMetrics::Dump() const {
   return buffer;
 }
 
+void ServeMetrics::ExportTo(obs::Exporter* exporter,
+                            const std::string& prefix) const {
+  const core::SearchStats totals = TotalStats();
+  exporter->AddCounter(prefix + "queries_total",
+                       static_cast<double>(queries()),
+                       "Queries executed and recorded");
+  exporter->AddCounter(prefix + "expired_queries_total",
+                       static_cast<double>(expired_queries()),
+                       "Queries whose results were deadline-truncated");
+  exporter->AddCounter(prefix + "shed_queries_total",
+                       static_cast<double>(shed_queries()),
+                       "Queries rejected before execution");
+  exporter->AddCounter(prefix + "degraded_queries_total",
+                       static_cast<double>(degraded_queries()),
+                       "Queries served at a reduced effort step");
+  exporter->AddCounter(prefix + "fanout_queries_total",
+                       static_cast<double>(fanout_queries()),
+                       "Queries that fanned out to a sharded index");
+  exporter->AddCounter(prefix + "shards_probed_total",
+                       static_cast<double>(totals.shards_probed),
+                       "Shard sub-searches dispatched");
+  exporter->AddCounter(prefix + "distance_computations_total",
+                       static_cast<double>(totals.distance_computations),
+                       "Distance evaluations across all queries");
+  exporter->AddCounter(prefix + "hops_total",
+                       static_cast<double>(totals.hops),
+                       "Graph vertices expanded across all queries");
+  exporter->AddCounter(prefix + "prefetches_total",
+                       static_cast<double>(totals.prefetches),
+                       "Vectors prefetched ahead of batched distances");
+  exporter->AddCounter(prefix + "deadline_expiries_total",
+                       static_cast<double>(totals.deadline_expiries),
+                       "Deadline expiry events (>=1 possible per query)");
+  for (std::size_t step = 0; step < kMaxDegradeSteps; ++step) {
+    const std::uint64_t n = degrade_step_count(step);
+    if (n == 0 && step > 0) continue;  // Step 0 always exported.
+    char labels[24];
+    std::snprintf(labels, sizeof(labels), "step=\"%zu\"", step);
+    exporter->AddCounter(prefix + "degrade_step_queries_total",
+                         static_cast<double>(n),
+                         "Executed queries by degradation step", labels);
+  }
+  exporter->AddGauge(prefix + "queue_depth_high_water",
+                     static_cast<double>(queue_depth_high_water()),
+                     "Deepest admission queue observed");
+  exporter->AddHistogram(prefix + "latency_seconds", histogram_,
+                         "End-to-end query latency");
+  for (std::size_t s = 0; s < obs::kNumStages; ++s) {
+    if (stage_histograms_[s].count() == 0) continue;
+    exporter->AddHistogram(
+        prefix + "stage_seconds_" +
+            obs::StageName(static_cast<obs::Stage>(s)),
+        stage_histograms_[s], "Per-stage latency (traced queries)");
+  }
+}
+
 void ServeMetrics::Reset() {
   stats_.Reset();
   histogram_.Reset();
+  for (auto& h : stage_histograms_) h.Reset();
   expired_.store(0, std::memory_order_relaxed);
   fanout_.store(0, std::memory_order_relaxed);
   shed_.store(0, std::memory_order_relaxed);

@@ -1,10 +1,14 @@
-// Serving-side observability: lock-free latency histogram, QPS, and atomic
+// Serving-side observability: lock-free latency histograms, QPS, and atomic
 // aggregation of per-query SearchStats.
 //
 // Every counter on the record path is a relaxed atomic, so concurrent
 // serving threads never contend on a lock to report a finished query.
 // Readers (quantiles, dumps) see a consistent-enough snapshot for
 // monitoring; exact totals are available once the writers quiesce.
+//
+// The histogram implementation lives in obs/histogram.h (the exporter
+// walks its buckets without a serve dependency); the alias below keeps the
+// historic serve::LatencyHistogram name working.
 
 #ifndef GASS_SERVE_METRICS_H_
 #define GASS_SERVE_METRICS_H_
@@ -15,47 +19,16 @@
 #include <string>
 
 #include "core/stats.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
+
+namespace gass::obs {
+class Exporter;  // obs/exporter.h; only needed by ExportTo callers.
+}  // namespace gass::obs
 
 namespace gass::serve {
 
-/// Lock-free, log-bucketed latency histogram (HDR-style, base 2 with 8
-/// sub-buckets per octave → ≤ ~6% relative quantile error).
-///
-/// Record() is wait-free (one relaxed fetch_add). Covers ~8ns to ~2.4h;
-/// out-of-range samples — including the absurd ones an overload spike can
-/// produce (hours-long waits, +inf from a division by a zero rate, NaN) —
-/// saturate into the edge buckets instead of wrapping the nanosecond
-/// conversion, so percentile math stays monotone no matter what is fed in.
-class LatencyHistogram {
- public:
-  LatencyHistogram() { Reset(); }
-
-  void Record(double seconds);
-
-  /// Approximate latency at quantile `q` in [0, 1] (0.5 = median). Returns
-  /// 0 when empty. Not linearizable against concurrent Record()s.
-  double QuantileSeconds(double q) const;
-
-  std::uint64_t count() const {
-    return count_.load(std::memory_order_relaxed);
-  }
-
-  /// Not safe concurrently with Record().
-  void Reset();
-
-  // 8 sub-buckets per power-of-two octave over nanoseconds; shift 0 covers
-  // [8ns, 16ns), shift kShifts-1 tops out around 2^43 ns ≈ 2.4 h.
-  static constexpr std::size_t kSub = 8;
-  static constexpr std::size_t kShifts = 40;
-  static constexpr std::size_t kBuckets = kSub * kShifts;
-
- private:
-  static std::size_t BucketIndex(std::uint64_t nanos);
-  static double BucketMidNanos(std::size_t index);
-
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_;
-  std::atomic<std::uint64_t> count_{0};
-};
+using LatencyHistogram = obs::LatencyHistogram;
 
 /// Aggregated serving metrics for one executor / one shared index.
 ///
@@ -96,6 +69,21 @@ class ServeMetrics {
   /// Shard sub-searches dispatched across all recorded queries.
   std::uint64_t shards_probed_total() const {
     return stats_.Snapshot().shards_probed;
+  }
+
+  // --- Per-stage latency (written from sampled traces) ---
+
+  /// Records one span's duration into the stage's histogram. Only sampled
+  /// (traced) queries reach here, so stage histograms describe the traced
+  /// subset — deterministic under the sampler's (seed, id) contract, and
+  /// unbiased when the period is 1.
+  void RecordStageNanos(obs::Stage stage, std::uint64_t nanos) {
+    stage_histograms_[static_cast<std::size_t>(stage)].Record(
+        static_cast<double>(nanos) * 1e-9);
+  }
+
+  const LatencyHistogram& stage_histogram(obs::Stage stage) const {
+    return stage_histograms_[static_cast<std::size_t>(stage)];
   }
 
   // --- Overload accounting (written by serve::Frontend) ---
@@ -161,12 +149,20 @@ class ServeMetrics {
   /// deadline expiries) for benches and the CLI.
   std::string Dump() const;
 
+  /// Registers every metric on `exporter`, each name prefixed with
+  /// `prefix` (e.g. "gass_serve_"): query/shed/expiry counters, the
+  /// end-to-end latency histogram, one "<prefix>stage_seconds_<stage>"
+  /// histogram per serve stage that saw samples, per-step degrade
+  /// occupancy (label step="N"), and the queue high-water gauge.
+  void ExportTo(obs::Exporter* exporter, const std::string& prefix) const;
+
   /// Not safe concurrently with RecordQuery().
   void Reset();
 
  private:
   core::SearchStats::AtomicAccumulator stats_;
   LatencyHistogram histogram_;
+  std::array<LatencyHistogram, obs::kNumStages> stage_histograms_;
   std::atomic<std::uint64_t> expired_{0};
   std::atomic<std::uint64_t> fanout_{0};
   std::atomic<std::uint64_t> shed_{0};

@@ -1,0 +1,68 @@
+// The unified serve-path request/response pair.
+//
+// One query used to travel through three different signatures — the
+// executor's (queries, n, dim, params), the frontend's (query, dim,
+// params, deadline), and the index's (query, params, ctx) — which left no
+// place to attach per-query concerns like a trace handle or a stable
+// admission id. SearchRequest is that place: everything the serving tier
+// needs to know about one query, in one struct, with the old signatures
+// kept as thin forwarding overloads.
+//
+// SearchResponse extends methods::SearchResult (publicly, so existing
+// callers that slice into a SearchResult or read .outcome / .neighbors
+// through the base keep compiling) with the admission id the query ran
+// under and the trace captured for it, if any.
+
+#ifndef GASS_SERVE_REQUEST_H_
+#define GASS_SERVE_REQUEST_H_
+
+#include <cstdint>
+
+#include "core/deadline.h"
+#include "methods/graph_index.h"
+#include "obs/trace.h"
+
+namespace gass::serve {
+
+/// "Assign me an id": the serving tier substitutes its own sequential id
+/// (frontend: submission order; executor: batch index). Explicit ids exist
+/// so replayed workloads hit the same deterministic RNG/sampling streams.
+inline constexpr std::uint64_t kAutoAdmissionId = ~std::uint64_t{0};
+
+struct SearchRequest {
+  /// The query vector (`dim` floats); must stay alive until the response
+  /// resolves.
+  const float* query = nullptr;
+  std::size_t dim = 0;
+  methods::SearchParams params;
+  /// Per-query deadline, honored only when `has_deadline` is true (a
+  /// default-constructed Deadline means "explicitly unlimited", which is
+  /// different from "use the server's default budget" — the flag keeps the
+  /// two apart). params.deadline is ignored by request-based entry points;
+  /// the serving tier owns deadline storage.
+  core::Deadline deadline;
+  bool has_deadline = false;
+  /// Identity for RNG reseeding and trace sampling; kAutoAdmissionId lets
+  /// the serving tier assign the next sequential id.
+  std::uint64_t admission_id = kAutoAdmissionId;
+  /// Caller-owned trace sink. Null (the default) delegates the decision to
+  /// the server's obs::Tracer sampler; non-null forces this query traced
+  /// into the given object.
+  obs::QueryTrace* trace = nullptr;
+};
+
+struct SearchResponse : methods::SearchResult {
+  SearchResponse() = default;
+  explicit SearchResponse(methods::SearchResult&& result)
+      : methods::SearchResult(std::move(result)) {}
+
+  /// The admission id the query actually ran under (auto ids resolved).
+  std::uint64_t admission_id = 0;
+  /// The query's trace: the request's own, or the server tracer's slot
+  /// (valid until that tracer is Reset/reconfigured). Null = not sampled.
+  const obs::QueryTrace* trace = nullptr;
+};
+
+}  // namespace gass::serve
+
+#endif  // GASS_SERVE_REQUEST_H_

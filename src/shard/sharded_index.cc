@@ -11,6 +11,7 @@
 #include "core/macros.h"
 #include "core/stats.h"
 #include "io/hash.h"
+#include "obs/trace.h"
 #include "io/serialize.h"
 #include "io/snapshot.h"
 #include "methods/factory.h"
@@ -178,6 +179,14 @@ void ShardedIndex::FinishInit(const core::Dataset& data) {
   }
 }
 
+void ShardedIndex::SetFanoutThreads(std::size_t threads) {
+  options_.fanout_threads = threads;
+  fanout_pool_.reset();
+  if (threads > 0) {
+    fanout_pool_ = std::make_unique<core::ThreadPool>(threads);
+  }
+}
+
 std::size_t ShardedIndex::EffectiveNprobe() const {
   GASS_CHECK_MSG(!shards_.empty(), "EffectiveNprobe before Build");
   const std::size_t k = shards_.size();
@@ -253,13 +262,46 @@ methods::SearchResult ShardedIndex::Search(const float* query,
   return SearchImpl(query, params, &ctx->rng);
 }
 
+serve::SearchResponse ShardedIndex::Search(
+    const serve::SearchRequest& request) const {
+  GASS_CHECK_MSG(!shards_.empty(), "Search before Build");
+  // Standalone requests have no admission counter; auto resolves to 0.
+  const std::uint64_t id = request.admission_id == serve::kAutoAdmissionId
+                               ? 0
+                               : request.admission_id;
+  // Same (seed, admission id) reseed contract as the serve tier, so a
+  // request-based search is reproducible without a Frontend in front.
+  core::Rng rng(options_.seed ^ (kSeedMix * (id + 1)));
+  methods::SearchParams params = request.params;
+  core::Deadline deadline =
+      request.has_deadline ? request.deadline : core::Deadline();
+  params.deadline = deadline.unlimited() ? nullptr : &deadline;
+  if (request.trace != nullptr) request.trace->Begin(id);
+  params.trace = request.trace;
+  serve::SearchResponse response(SearchImpl(request.query, params, &rng));
+  response.admission_id = id;
+  response.outcome = response.expired ? methods::ServeOutcome::kExpired
+                     : params.degrade_step > 0
+                         ? methods::ServeOutcome::kDegraded
+                         : methods::ServeOutcome::kFull;
+  if (request.trace != nullptr) {
+    request.trace->Finish();
+    response.trace = request.trace;
+  }
+  return response;
+}
+
 methods::SearchResult ShardedIndex::SearchImpl(
     const float* query, const methods::SearchParams& params,
     core::Rng* rng) const {
   core::Timer timer;
+  obs::QueryTrace* trace = params.trace;
   const std::size_t k_shards = shards_.size();
   const std::size_t nprobe = EffectiveNprobe();
   const std::size_t dim = data_->dim();
+
+  // Route span: centroid ranking + shard selection.
+  obs::StageTimer route_timer(trace, obs::Stage::kRoute);
 
   // Route: rank every shard by centroid distance. Ties break toward the
   // lower shard id (pair comparison), keeping routing deterministic.
@@ -277,8 +319,21 @@ methods::SearchResult ShardedIndex::SearchImpl(
   // parallel and caller-thread fan-out see identical sub-search seeds.
   const std::uint64_t query_seed = rng->Next();
 
+  {
+    core::SearchStats route_stats;
+    route_stats.distance_computations = k_shards;  // One per centroid.
+    route_timer.SetStats(route_stats);
+    route_timer.Stop();
+  }
+
   std::vector<methods::SearchResult> sub(nprobe);
   std::vector<std::uint8_t> ran(nprobe, 0);
+
+  // Sub-searches never see the trace: their costs and time are reported
+  // as one kShardSearch span per probe, and a trace-aware sub-index would
+  // otherwise record a nested, double-counted breakdown.
+  methods::SearchParams sub_params = params;
+  sub_params.trace = nullptr;
 
   auto run_probe = [&](std::size_t rank) {
     // Deadline poll between probes: once the budget is gone, remaining
@@ -286,9 +341,12 @@ methods::SearchResult ShardedIndex::SearchImpl(
     // completed probes produced (all valid ids), never garbage.
     if (params.deadline != nullptr && params.deadline->IsExpired()) return;
     const std::uint32_t s = ranked[rank].second;
+    obs::StageTimer probe_timer(trace, obs::Stage::kShardSearch,
+                                static_cast<std::int32_t>(s));
     std::unique_ptr<methods::SearchContext> sctx = AcquireContext();
     sctx->rng = core::Rng(query_seed ^ (kSeedMix * (rank + 1)));
-    sub[rank] = shards_[s]->Search(query, params, sctx.get());
+    sub[rank] = shards_[s]->Search(query, sub_params, sctx.get());
+    probe_timer.SetStats(sub[rank].stats);
     ran[rank] = 1;
     probe_counts_[s].fetch_add(1, std::memory_order_relaxed);
     ReleaseContext(std::move(sctx));
@@ -327,6 +385,9 @@ methods::SearchResult ShardedIndex::SearchImpl(
     for (std::size_t rank = 0; rank < nprobe; ++rank) run_probe(rank);
   }
 
+  // Merge span: per-shard stat aggregation + global-id top-k merge.
+  obs::StageTimer merge_timer(trace, obs::Stage::kMerge);
+
   methods::SearchResult merged;
   merged.degrade_step = params.degrade_step;
   std::size_t probed = 0;
@@ -336,6 +397,7 @@ methods::SearchResult ShardedIndex::SearchImpl(
     ++probed;
     merged.stats.distance_computations += sub[rank].stats.distance_computations;
     merged.stats.hops += sub[rank].stats.hops;
+    merged.stats.prefetches += sub[rank].stats.prefetches;
     if (sub[rank].stats.deadline_expiries > 0) sub_expired = true;
   }
   merged.stats.distance_computations += k_shards;  // Centroid routing.
@@ -369,6 +431,8 @@ methods::SearchResult ShardedIndex::SearchImpl(
     if (all.size() > params.k) all.resize(params.k);
     merged.neighbors = std::move(all);
   }
+
+  merge_timer.Stop();
 
   // Expired when the deadline skipped probes or truncated any sub-search;
   // one query reports at most one expiry regardless of fan-out width.

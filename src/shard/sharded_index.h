@@ -39,6 +39,7 @@
 
 #include "core/thread_pool.h"
 #include "methods/graph_index.h"
+#include "serve/request.h"
 #include "shard/partitioner.h"
 
 namespace gass::shard {
@@ -78,6 +79,14 @@ class ShardedIndex : public methods::GraphIndex {
   methods::SearchResult Search(const float* query,
                                const methods::SearchParams& params,
                                methods::SearchContext* ctx) const override;
+
+  /// Request-based entry point (the serve-tier API, usable standalone):
+  /// derives the per-query RNG from (seed, admission id), honors the
+  /// request deadline, and — when the request carries a trace — records
+  /// route / per-shard search / merge spans into it. Thread-safe like the
+  /// three-argument Search.
+  serve::SearchResponse Search(const serve::SearchRequest& request) const;
+
   bool SupportsConcurrentSearch() const override { return true; }
 
   /// No single base graph; check HasBaseGraph() first (as with ELPIS).
@@ -101,6 +110,9 @@ class ShardedIndex : public methods::GraphIndex {
   /// Adjusts nprobe after build (for sweeps). Not thread-safe against
   /// concurrent searches.
   void SetNprobe(std::size_t nprobe) { options_.nprobe = nprobe; }
+  /// Re-sizes the per-query fan-out pool after build/load (0 = fan out on
+  /// the caller thread). Not thread-safe against concurrent searches.
+  void SetFanoutThreads(std::size_t threads);
 
   /// Partition state (valid after Build/LoadSnapshot).
   const Partitioning& partitioning() const { return partitioning_; }

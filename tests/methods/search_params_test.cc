@@ -72,6 +72,44 @@ TEST(ParseSearchParamsTest, RejectsZeroKAndBeam) {
   EXPECT_TRUE(ParseSearchParams("seeds=0", &params));  // Zero seeds is legal.
 }
 
+TEST(ParseSearchParamsTest, ErrorsNameTheKeyAndValue) {
+  SearchParams params;
+  std::string error;
+  EXPECT_FALSE(ParseSearchParams("k=abc", &params, &error));
+  EXPECT_NE(error.find("'k'"), std::string::npos) << error;
+  EXPECT_NE(error.find("'abc'"), std::string::npos) << error;
+
+  EXPECT_FALSE(ParseSearchParams("beam=0", &params, &error));
+  EXPECT_NE(error.find("'beam'"), std::string::npos) << error;
+  EXPECT_NE(error.find("'0'"), std::string::npos) << error;
+
+  EXPECT_FALSE(ParseSearchParams("prune=fast", &params, &error));
+  EXPECT_NE(error.find("'prune'"), std::string::npos) << error;
+  EXPECT_NE(error.find("'fast'"), std::string::npos) << error;
+
+  EXPECT_FALSE(ParseSearchParams("degrade=99", &params, &error));
+  EXPECT_NE(error.find("'degrade'"), std::string::npos) << error;
+  EXPECT_NE(error.find("'99'"), std::string::npos) << error;
+}
+
+TEST(ParseSearchParamsTest, RejectsDuplicateKeys) {
+  SearchParams params;
+  std::string error;
+  EXPECT_FALSE(ParseSearchParams("k=3,beam=64,k=5", &params, &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+  EXPECT_NE(error.find("'k'"), std::string::npos) << error;
+  EXPECT_NE(error.find("'5'"), std::string::npos) << error;
+
+  // Same value twice is still a duplicate: the spec is malformed either way.
+  EXPECT_FALSE(ParseSearchParams("seeds=8,seeds=8", &params, &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+  EXPECT_NE(error.find("'seeds'"), std::string::npos) << error;
+
+  // Distinct keys never trip the duplicate check.
+  EXPECT_TRUE(
+      ParseSearchParams("k=3,beam=64,seeds=8,prune=1.5,degrade=1", &params));
+}
+
 TEST(ParseSearchParamsTest, NullErrorPointerIsSafe) {
   SearchParams params;
   EXPECT_FALSE(ParseSearchParams("bogus=1", &params, nullptr));

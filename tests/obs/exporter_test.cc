@@ -1,0 +1,167 @@
+#include "obs/exporter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/histogram.h"
+#include "obs/trace.h"
+
+namespace gass::obs {
+namespace {
+
+// Minimal Prometheus text-format checker: every line must be a `# HELP`,
+// a `# TYPE`, or a `<name>[{labels}] <float>` sample whose value parses.
+// Returns true and fills `samples` with the metric names seen.
+bool ParsePrometheus(const std::string& text,
+                     std::vector<std::string>* samples) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      continue;
+    }
+    if (line[0] == '#') return false;  // Malformed comment.
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space + 1 >= line.size()) return false;
+    std::string name_part = line.substr(0, space);
+    const std::string value_part = line.substr(space + 1);
+    char* end = nullptr;
+    std::strtod(value_part.c_str(), &end);
+    const bool is_inf = value_part == "+Inf";
+    if (!is_inf && (end == nullptr || *end != '\0')) return false;
+    const std::size_t brace = name_part.find('{');
+    if (brace != std::string::npos) {
+      if (name_part.back() != '}') return false;
+      name_part = name_part.substr(0, brace);
+    }
+    if (name_part.empty()) return false;
+    samples->push_back(name_part);
+  }
+  return true;
+}
+
+TEST(ExporterTest, CountersAndGaugesRoundTrip) {
+  Exporter exporter;
+  exporter.AddCounter("queries_total", 42.0, "Total queries.");
+  exporter.AddCounter("step_queries_total", 7.0, "Per-step.", "step=\"3\"");
+  exporter.AddGauge("queue_depth", 5.0);
+
+  const std::string json = exporter.ToJson();
+  EXPECT_NE(json.find("\"queries_total\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"queue_depth\""), std::string::npos) << json;
+
+  const std::string prom = exporter.ToPrometheus();
+  EXPECT_NE(prom.find("queries_total 42"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("step_queries_total{step=\"3\"} 7"), std::string::npos)
+      << prom;
+  std::vector<std::string> names;
+  EXPECT_TRUE(ParsePrometheus(prom, &names)) << prom;
+}
+
+TEST(ExporterTest, HistogramEmitsCumulativeBuckets) {
+  LatencyHistogram histogram;
+  histogram.Record(0.001);
+  histogram.Record(0.002);
+  histogram.Record(0.080);
+
+  Exporter exporter;
+  exporter.AddHistogram("latency_seconds", histogram, "Query latency.");
+  const std::string prom = exporter.ToPrometheus();
+
+  std::vector<std::string> names;
+  ASSERT_TRUE(ParsePrometheus(prom, &names)) << prom;
+  EXPECT_NE(prom.find("latency_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("latency_seconds_count 3"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("latency_seconds_sum "), std::string::npos) << prom;
+
+  // Bucket counts must be cumulative: extract them in order and check
+  // monotonicity, ending exactly at the total count.
+  std::istringstream in(prom);
+  std::string line;
+  std::uint64_t previous = 0;
+  std::uint64_t last = 0;
+  std::size_t buckets = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("latency_seconds_bucket", 0) != 0) continue;
+    const std::size_t space = line.rfind(' ');
+    const std::uint64_t count =
+        std::strtoull(line.c_str() + space + 1, nullptr, 10);
+    EXPECT_GE(count, previous) << line;
+    previous = count;
+    last = count;
+    ++buckets;
+  }
+  EXPECT_GE(buckets, 2u);  // At least one real edge plus +Inf.
+  EXPECT_EQ(last, 3u);
+}
+
+TEST(ExporterTest, TracesAppearInJsonOnly) {
+  QueryTrace trace;
+  trace.Begin(12);
+  TraceSpan span;
+  span.stage = Stage::kShardSearch;
+  span.shard = 2;
+  span.duration_ns = 1000;
+  span.distance_computations = 64;
+  trace.AddSpan(span);
+  trace.Finish();
+
+  Exporter exporter;
+  exporter.AddTrace(trace);
+  EXPECT_EQ(exporter.num_traces(), 1u);
+
+  const std::string json = exporter.ToJson();
+  EXPECT_NE(json.find("\"traces\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"shard_search\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"admission_id\":12"), std::string::npos) << json;
+
+  const std::string prom = exporter.ToPrometheus();
+  EXPECT_EQ(prom.find("shard_search"), std::string::npos) << prom;
+}
+
+TEST(ExporterTest, AddTracerCopiesCompletedTraces) {
+  TracerOptions options;
+  options.sample_period = 1;
+  options.max_traces = 8;
+  Tracer tracer(options);
+  for (std::uint64_t id = 0; id < 3; ++id) {
+    QueryTrace* trace = tracer.StartTrace(id);
+    ASSERT_NE(trace, nullptr);
+    tracer.FinishTrace(trace);
+  }
+  Exporter exporter;
+  exporter.AddTracer(tracer);
+  EXPECT_EQ(exporter.num_traces(), 3u);
+}
+
+TEST(ExporterTest, JsonEscapesAndStaysFinite) {
+  Exporter exporter;
+  exporter.AddCounter("weird\"name", 1.0, "", "line\nbreak");
+  const std::string json = exporter.ToJson();
+  EXPECT_NE(json.find("weird\\\"name"), std::string::npos) << json;
+  EXPECT_NE(json.find("line\\nbreak"), std::string::npos) << json;
+}
+
+TEST(ExporterTest, WritesFiles) {
+  Exporter exporter;
+  exporter.AddCounter("c", 1.0);
+  const std::string json_path = ::testing::TempDir() + "/exporter_test.json";
+  const std::string prom_path = ::testing::TempDir() + "/exporter_test.prom";
+  EXPECT_TRUE(exporter.WriteJson(json_path).ok());
+  EXPECT_TRUE(exporter.WritePrometheus(prom_path).ok());
+  std::remove(json_path.c_str());
+  std::remove(prom_path.c_str());
+
+  EXPECT_FALSE(exporter.WriteJson("/nonexistent-dir/x.json").ok());
+}
+
+}  // namespace
+}  // namespace gass::obs

@@ -1,0 +1,107 @@
+// Verifies the tentpole "zero heap allocation on the untraced path"
+// contract (docs/OBSERVABILITY.md) with a counting global operator new:
+// a null-trace StageTimer and an unsampled / disabled Tracer::StartTrace
+// must never allocate.
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/stats.h"
+#include "obs/trace.h"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace gass::obs {
+namespace {
+
+std::uint64_t Allocations() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+TEST(UntracedOverheadTest, NullStageTimerNeverAllocates) {
+  core::SearchStats stats;
+  stats.distance_computations = 123;
+  const std::uint64_t before = Allocations();
+  for (int i = 0; i < 1000; ++i) {
+    StageTimer timer(nullptr, Stage::kSearch);
+    timer.SetStats(stats);
+    timer.Stop();
+  }
+  EXPECT_EQ(Allocations(), before);
+}
+
+TEST(UntracedOverheadTest, DisabledTracerNeverAllocates) {
+  Tracer tracer;  // sample_period = 0.
+  const std::uint64_t before = Allocations();
+  for (std::uint64_t id = 0; id < 1000; ++id) {
+    QueryTrace* trace = tracer.StartTrace(id);
+    EXPECT_EQ(trace, nullptr);
+    tracer.FinishTrace(trace);
+  }
+  EXPECT_EQ(Allocations(), before);
+}
+
+TEST(UntracedOverheadTest, UnsampledStartTraceNeverAllocates) {
+  TracerOptions options;
+  options.sample_period = 64;
+  options.max_traces = 4;
+  Tracer tracer(options);  // Slot preallocation happens here, not later.
+
+  // Collect ids the sampler skips, then show the skip path is free.
+  std::vector<std::uint64_t> unsampled;
+  for (std::uint64_t id = 0; id < 4096 && unsampled.size() < 1000; ++id) {
+    if (!tracer.ShouldSample(id)) unsampled.push_back(id);
+  }
+  ASSERT_GE(unsampled.size(), 100u);
+
+  const std::uint64_t before = Allocations();
+  for (const std::uint64_t id : unsampled) {
+    EXPECT_EQ(tracer.StartTrace(id), nullptr);
+  }
+  EXPECT_EQ(Allocations(), before);
+}
+
+TEST(UntracedOverheadTest, TracedSpanRecordingDoesNotAllocate) {
+  // Even on the sampled path, span recording itself is allocation-free:
+  // spans land in the trace's inline array.
+  TracerOptions options;
+  options.sample_period = 1;
+  options.max_traces = 1;
+  Tracer tracer(options);
+  QueryTrace* trace = tracer.StartTrace(0);
+  ASSERT_NE(trace, nullptr);
+
+  const std::uint64_t before = Allocations();
+  for (int i = 0; i < 64; ++i) {
+    StageTimer timer(trace, Stage::kShardSearch, i);
+    timer.Stop();
+  }
+  trace->Finish();
+  EXPECT_EQ(Allocations(), before);
+}
+
+}  // namespace
+}  // namespace gass::obs

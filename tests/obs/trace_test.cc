@@ -1,0 +1,207 @@
+#include "obs/trace.h"
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gass::obs {
+namespace {
+
+TEST(StageNameTest, StableLabels) {
+  EXPECT_STREQ(StageName(Stage::kQueue), "queue");
+  EXPECT_STREQ(StageName(Stage::kSession), "session");
+  EXPECT_STREQ(StageName(Stage::kSearch), "search");
+  EXPECT_STREQ(StageName(Stage::kRoute), "route");
+  EXPECT_STREQ(StageName(Stage::kShardSearch), "shard_search");
+  EXPECT_STREQ(StageName(Stage::kMerge), "merge");
+}
+
+TEST(QueryTraceTest, BeginResetsAndStampsId) {
+  QueryTrace trace;
+  trace.Begin(7);
+  EXPECT_EQ(trace.admission_id(), 7u);
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.total_ns(), 0u);
+
+  TraceSpan span;
+  span.stage = Stage::kSearch;
+  trace.AddSpan(span);
+  EXPECT_EQ(trace.size(), 1u);
+
+  trace.Begin(9);  // Re-arming clears the previous query's spans.
+  EXPECT_EQ(trace.admission_id(), 9u);
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(QueryTraceTest, FinishStampsTotal) {
+  QueryTrace trace;
+  trace.Begin(0);
+  trace.Finish();
+  // A steady clock cannot go backwards; total covers everything since
+  // Begin, so it is at least the elapsed time of the spans inside it.
+  EXPECT_GE(trace.total_ns(), 0u);
+  EXPECT_LE(trace.total_ns(), trace.ElapsedNs());
+}
+
+TEST(QueryTraceTest, OverCapacitySpansAreCountedNotStored) {
+  QueryTrace trace;
+  trace.Begin(0);
+  TraceSpan span;
+  for (std::size_t i = 0; i < QueryTrace::kMaxSpans + 10; ++i) {
+    span.start_ns = i;
+    trace.AddSpan(span);
+  }
+  EXPECT_EQ(trace.size(), QueryTrace::kMaxSpans);
+  EXPECT_EQ(trace.dropped(), 10u);
+}
+
+TEST(QueryTraceTest, ConcurrentAddSpanLosesNothing) {
+  QueryTrace trace;
+  trace.Begin(0);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 8;  // 64 total, under kMaxSpans.
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&trace, t]() {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        TraceSpan span;
+        span.stage = Stage::kShardSearch;
+        span.shard = static_cast<std::int32_t>(t * kPerThread + i);
+        trace.AddSpan(span);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(trace.size(), kThreads * kPerThread);
+  EXPECT_EQ(trace.dropped(), 0u);
+  std::set<std::int32_t> shards;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    shards.insert(trace.span(i).shard);
+  }
+  EXPECT_EQ(shards.size(), kThreads * kPerThread);  // Every span distinct.
+}
+
+TEST(StageTimerTest, NullTraceIsANoOp) {
+  StageTimer timer(nullptr, Stage::kSearch);
+  core::SearchStats stats;
+  stats.distance_computations = 5;
+  timer.SetStats(stats);
+  timer.Stop();  // Must not crash; nothing to record into.
+}
+
+TEST(StageTimerTest, RecordsOneSpanWithCounters) {
+  QueryTrace trace;
+  trace.Begin(0);
+  {
+    StageTimer timer(&trace, Stage::kShardSearch, /*shard=*/3);
+    core::SearchStats stats;
+    stats.distance_computations = 11;
+    stats.hops = 4;
+    stats.prefetches = 2;
+    timer.SetStats(stats);
+  }  // Destructor stops.
+  ASSERT_EQ(trace.size(), 1u);
+  const TraceSpan& span = trace.span(0);
+  EXPECT_EQ(span.stage, Stage::kShardSearch);
+  EXPECT_EQ(span.shard, 3);
+  EXPECT_EQ(span.distance_computations, 11u);
+  EXPECT_EQ(span.hops, 4u);
+  EXPECT_EQ(span.prefetches, 2u);
+}
+
+TEST(StageTimerTest, StopIsIdempotentAndCancelDiscards) {
+  QueryTrace trace;
+  trace.Begin(0);
+  StageTimer timer(&trace, Stage::kSearch);
+  timer.Stop();
+  timer.Stop();  // Second stop records nothing.
+  EXPECT_EQ(trace.size(), 1u);
+
+  StageTimer cancelled(&trace, Stage::kSearch);
+  cancelled.Cancel();
+  cancelled.Stop();
+  EXPECT_EQ(trace.size(), 1u);  // Cancelled span never lands.
+}
+
+TEST(TracerTest, DisabledTracerNeverSamples) {
+  Tracer tracer;  // Default options: sample_period = 0.
+  EXPECT_FALSE(tracer.enabled());
+  for (std::uint64_t id = 0; id < 100; ++id) {
+    EXPECT_FALSE(tracer.ShouldSample(id));
+    EXPECT_EQ(tracer.StartTrace(id), nullptr);
+  }
+}
+
+TEST(TracerTest, PeriodOneSamplesEverything) {
+  TracerOptions options;
+  options.sample_period = 1;
+  options.max_traces = 16;
+  Tracer tracer(options);
+  for (std::uint64_t id = 0; id < 16; ++id) {
+    EXPECT_TRUE(tracer.ShouldSample(id));
+    QueryTrace* trace = tracer.StartTrace(id);
+    ASSERT_NE(trace, nullptr);
+    EXPECT_EQ(trace->admission_id(), id);
+    tracer.FinishTrace(trace);
+  }
+  EXPECT_EQ(tracer.Completed().size(), 16u);
+  EXPECT_EQ(tracer.overflowed(), 0u);
+}
+
+TEST(TracerTest, SamplingIsDeterministicInAdmissionId) {
+  TracerOptions options;
+  options.sample_period = 4;
+  Tracer a(options), b(options);
+  std::vector<std::uint64_t> sampled_a, sampled_b;
+  for (std::uint64_t id = 0; id < 1000; ++id) {
+    if (a.ShouldSample(id)) sampled_a.push_back(id);
+    if (b.ShouldSample(id)) sampled_b.push_back(id);
+  }
+  EXPECT_EQ(sampled_a, sampled_b);
+  // Roughly 1-in-4 of ids should be picked (SplitMix64 is well mixed).
+  EXPECT_GT(sampled_a.size(), 150u);
+  EXPECT_LT(sampled_a.size(), 350u);
+
+  // A different seed picks a different subset.
+  options.seed ^= 0xDEADBEEFULL;
+  Tracer c(options);
+  std::vector<std::uint64_t> sampled_c;
+  for (std::uint64_t id = 0; id < 1000; ++id) {
+    if (c.ShouldSample(id)) sampled_c.push_back(id);
+  }
+  EXPECT_NE(sampled_a, sampled_c);
+}
+
+TEST(TracerTest, SlotPoolIsBoundedAndOverflowCounted) {
+  TracerOptions options;
+  options.sample_period = 1;
+  options.max_traces = 4;
+  Tracer tracer(options);
+  std::vector<QueryTrace*> live;
+  for (std::uint64_t id = 0; id < 4; ++id) {
+    QueryTrace* trace = tracer.StartTrace(id);
+    ASSERT_NE(trace, nullptr);
+    live.push_back(trace);
+  }
+  EXPECT_EQ(tracer.StartTrace(99), nullptr);  // Pool exhausted.
+  EXPECT_EQ(tracer.overflowed(), 1u);
+  for (QueryTrace* trace : live) tracer.FinishTrace(trace);
+  // Slots are single-use: finishing does not recycle them.
+  EXPECT_EQ(tracer.StartTrace(100), nullptr);
+  EXPECT_EQ(tracer.Completed().size(), 4u);
+
+  tracer.Reset();
+  EXPECT_EQ(tracer.overflowed(), 0u);
+  EXPECT_EQ(tracer.Completed().size(), 0u);
+  EXPECT_NE(tracer.StartTrace(0), nullptr);  // Slots are free again.
+}
+
+TEST(TracerTest, FinishNullIsSafe) {
+  Tracer tracer;
+  tracer.FinishTrace(nullptr);  // No-op by contract.
+}
+
+}  // namespace
+}  // namespace gass::obs

@@ -15,6 +15,7 @@
 //                       [--k 10] [--beam 100] [--threads 1,2,4] [--reps 16]
 //                       [--timeout-ms 0] [--search-params k=10,seeds=48]
 //                       [--load index.gass] [sharding flags]
+//                       [--trace N [--trace-out t.json] [--metrics-out m.prom]]
 //                       [--arrival poisson --rate N [--num-arrivals N]
 //                        [--queue 64] [--deadline-ms 10] [--retries 0]]
 //   gass_cli methods
@@ -37,8 +38,17 @@
 //
 // --save writes a crash-safe checksummed snapshot of the built index (see
 // docs/PERSISTENCE.md); --load warm-starts eval/serve-bench from such a
-// snapshot instead of rebuilding (the --method, --base and --seed must
-// match the saved build).
+// snapshot through io::OpenIndex, which sniffs the manifest and picks the
+// plain or sharded loader itself — the --method and --shards flags are not
+// needed (and ignored) when loading, but --base and --seed must match the
+// saved build. --nprobe and --fanout-threads still apply post-load.
+//
+// Tracing (serve-bench; see docs/OBSERVABILITY.md): --trace N samples a
+// deterministic 1-in-N subset of queries (1 = all) and records per-stage
+// spans — queue, session, and either one search span or route / per-shard
+// search / merge for sharded indexes. A span-coverage summary is printed;
+// --trace-out writes the traces plus serve metrics as JSON and
+// --metrics-out writes the metrics as Prometheus text.
 //
 // All subcommands print human-readable tables to stdout and return nonzero
 // on error.
@@ -59,8 +69,10 @@
 #include "eval/complexity.h"
 #include "eval/ground_truth.h"
 #include "eval/recall.h"
+#include "io/open_index.h"
 #include "methods/factory.h"
 #include "methods/search_params.h"
+#include "obs/exporter.h"
 #include "serve/executor.h"
 #include "serve/frontend.h"
 #include "serve/retry.h"
@@ -147,6 +159,74 @@ std::unique_ptr<gass::methods::GraphIndex> MakeIndexFromFlags(
   options.fanout_threads =
       static_cast<std::size_t>(flags.GetInt("fanout-threads", 0));
   return std::make_unique<gass::shard::ShardedIndex>(options);
+}
+
+// --load path: io::OpenIndex sniffs the snapshot manifest and dispatches to
+// the plain or sharded loader itself; only the post-load query knobs come
+// from flags.
+Status LoadIndexFromFlags(const Flags& flags, const Dataset& base,
+                          std::unique_ptr<gass::methods::GraphIndex>* index) {
+  gass::io::OpenIndexOptions options;
+  options.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  options.nprobe = static_cast<std::size_t>(flags.GetInt("nprobe", 0));
+  options.fanout_threads =
+      static_cast<std::size_t>(flags.GetInt("fanout-threads", 0));
+  return gass::io::OpenIndex(flags.Get("load", ""), base, options, index);
+}
+
+// Tracer options for serve-bench from --trace N (0/absent = off).
+gass::obs::TracerOptions TraceOptionsFromFlags(const Flags& flags) {
+  gass::obs::TracerOptions options;
+  options.sample_period =
+      static_cast<std::uint64_t>(flags.GetInt("trace", 0));
+  return options;
+}
+
+// Prints the span-coverage summary for a traced serve-bench run (what
+// fraction of each traced query's end-to-end latency the recorded stage
+// spans account for) and writes --trace-out / --metrics-out artifacts.
+int ReportTraces(const Flags& flags, const gass::serve::ServeMetrics& metrics,
+                 const gass::obs::Tracer& tracer) {
+  const std::vector<const gass::obs::QueryTrace*> traces = tracer.Completed();
+  double coverage_sum = 0.0;
+  std::size_t covered = 0;
+  for (const gass::obs::QueryTrace* trace : traces) {
+    std::uint64_t span_ns = 0;
+    for (std::size_t i = 0; i < trace->size(); ++i) {
+      span_ns += trace->span(i).duration_ns;
+    }
+    if (trace->total_ns() > 0) {
+      coverage_sum += static_cast<double>(span_ns) /
+                      static_cast<double>(trace->total_ns());
+      ++covered;
+    }
+  }
+  std::printf("traces: %zu collected (%llu lost to the slot cap)",
+              traces.size(),
+              static_cast<unsigned long long>(tracer.overflowed()));
+  if (covered > 0) {
+    std::printf("; stage spans cover %.1f%% of end-to-end latency (mean)",
+                100.0 * coverage_sum / static_cast<double>(covered));
+  }
+  std::printf("\n");
+
+  gass::obs::Exporter exporter;
+  metrics.ExportTo(&exporter, "gass_serve_");
+  exporter.AddTracer(tracer);
+  if (flags.Has("trace-out")) {
+    const Status status = exporter.WriteJson(flags.Get("trace-out", ""));
+    if (!status.ok()) return Fail(status);
+    std::printf("traces + metrics written to %s (JSON)\n",
+                flags.Get("trace-out", "").c_str());
+  }
+  if (flags.Has("metrics-out")) {
+    const Status status =
+        exporter.WritePrometheus(flags.Get("metrics-out", ""));
+    if (!status.ok()) return Fail(status);
+    std::printf("metrics written to %s (Prometheus text)\n",
+                flags.Get("metrics-out", "").c_str());
+  }
+  return 0;
 }
 
 // One-line shard summary ("4 shards (kmeans, nprobe 2): 2510 2380 ...") for
@@ -312,15 +392,15 @@ int CmdEval(const Flags& flags) {
     truth = gass::eval::BruteForceKnn(base, queries, k);
   }
 
-  auto index = MakeIndexFromFlags(flags);
-  if (index == nullptr) return 1;
+  std::unique_ptr<gass::methods::GraphIndex> index;
   if (flags.Has("load")) {
-    const Status load =
-        gass::methods::LoadIndex(index.get(), base, flags.Get("load", ""));
+    const Status load = LoadIndexFromFlags(flags, base, &index);
     if (!load.ok()) return Fail(load);
     std::printf("%s loaded from %s\n", index->Name().c_str(),
                 flags.Get("load", "").c_str());
   } else {
+    index = MakeIndexFromFlags(flags);
+    if (index == nullptr) return 1;
     const gass::methods::BuildStats build = index->Build(base);
     std::printf("%s built in %.2fs\n", index->Name().c_str(),
                 build.elapsed_seconds);
@@ -397,6 +477,7 @@ int RunPoissonServeBench(gass::methods::GraphIndex& index,
   options.deadline_seconds =
       static_cast<double>(flags.GetInt("deadline-ms", 10)) * 1e-3;
   options.seed = seed;
+  options.trace = TraceOptionsFromFlags(flags);
   gass::serve::Frontend frontend(index, options);
 
   const std::size_t nq = queries.size();
@@ -409,6 +490,7 @@ int RunPoissonServeBench(gass::methods::GraphIndex& index,
   }
   frontend.Drain();
   frontend.metrics().Reset();
+  frontend.tracer().Reset();  // Warm-up queries should not occupy slots.
 
   gass::core::Rng rng(seed ^ 0xA881AALL);
   std::vector<double> offsets(num_arrivals);
@@ -482,6 +564,12 @@ int RunPoissonServeBench(gass::methods::GraphIndex& index,
               static_cast<unsigned long long>(
                   frontend.metrics().queue_depth_high_water()));
 
+  if (frontend.tracer().enabled()) {
+    frontend.Drain();  // Quiesce workers before reading completed traces.
+    const int rc = ReportTraces(flags, frontend.metrics(), frontend.tracer());
+    if (rc != 0) return rc;
+  }
+
   const std::size_t retries =
       static_cast<std::size_t>(flags.GetInt("retries", 0));
   if (retries > 0 && !shed_queries.empty()) {
@@ -519,26 +607,26 @@ int CmdServeBench(const Flags& flags) {
   const double timeout_seconds =
       static_cast<double>(flags.GetInt("timeout-ms", 0)) * 1e-3;
 
-  auto index = MakeIndexFromFlags(flags);
-  if (index == nullptr) return 1;
+  std::unique_ptr<gass::methods::GraphIndex> index;
+  if (flags.Has("load")) {
+    const Status load = LoadIndexFromFlags(flags, base, &index);
+    if (!load.ok()) return Fail(load);
+    std::printf("%s loaded over %zu vectors from %s\n",
+                index->Name().c_str(), base.size(),
+                flags.Get("load", "").c_str());
+  } else {
+    index = MakeIndexFromFlags(flags);
+    if (index == nullptr) return 1;
+    const gass::methods::BuildStats build = index->Build(base);
+    std::printf("%s built over %zu vectors in %.2fs\n",
+                index->Name().c_str(), base.size(), build.elapsed_seconds);
+  }
   if (!index->SupportsConcurrentSearch()) {
     std::fprintf(stderr,
                  "error: %s does not support concurrent search "
                  "(see docs/SERVING.md)\n",
                  index->Name().c_str());
     return 1;
-  }
-  if (flags.Has("load")) {
-    const Status load =
-        gass::methods::LoadIndex(index.get(), base, flags.Get("load", ""));
-    if (!load.ok()) return Fail(load);
-    std::printf("%s loaded over %zu vectors from %s\n",
-                index->Name().c_str(), base.size(),
-                flags.Get("load", "").c_str());
-  } else {
-    const gass::methods::BuildStats build = index->Build(base);
-    std::printf("%s built over %zu vectors in %.2fs\n",
-                index->Name().c_str(), base.size(), build.elapsed_seconds);
   }
   const std::string shard_summary = ShardSummary(*index);
   if (!shard_summary.empty()) std::printf("%s\n", shard_summary.c_str());
@@ -574,9 +662,11 @@ int CmdServeBench(const Flags& flags) {
     gass::serve::ExecutorOptions options;
     options.threads = threads;
     options.timeout_seconds = timeout_seconds;
+    options.trace = TraceOptionsFromFlags(flags);
     gass::serve::QueryExecutor executor(*index, options);
     executor.SearchBatch(batch.data(), nq, dim, params);  // Warm-up.
     executor.metrics().Reset();
+    executor.tracer().Reset();  // Warm-up queries should not occupy slots.
     const gass::serve::BatchResult result =
         executor.SearchBatch(batch.data(), reps * nq, dim, params);
     std::printf("%-8zu %-12.0f %-12.3f %-12.3f %-10llu\n", threads,
@@ -584,6 +674,12 @@ int CmdServeBench(const Flags& flags) {
                 1e3 * executor.metrics().LatencyQuantileSeconds(0.50),
                 1e3 * executor.metrics().LatencyQuantileSeconds(0.95),
                 static_cast<unsigned long long>(result.expired));
+    // With --trace the coverage summary and any --trace-out/--metrics-out
+    // artifacts follow each row (later rows overwrite earlier files).
+    if (executor.tracer().enabled()) {
+      const int rc = ReportTraces(flags, executor.metrics(), executor.tracer());
+      if (rc != 0) return rc;
+    }
   }
   return 0;
 }

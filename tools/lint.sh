@@ -1,0 +1,62 @@
+#!/usr/bin/env sh
+# Style lint for the gass tree (no clang-format in the toolchain, so the
+# invariants are checked directly). Covers every C++ source under src/ —
+# including src/obs/ — plus tests/, bench/, tools/, and examples/.
+#
+#   tools/lint.sh [repo-root]
+#
+# Checks, each of which holds across the current tree:
+#   * no tab characters in C++ sources (2-space indent everywhere)
+#   * no trailing whitespace
+#   * no CRLF line endings
+#   * every file ends with exactly one trailing newline
+#   * headers carry a GASS_..._H_ include guard (no #pragma once)
+#   * no `using namespace std`
+#
+# Exit status 0 when clean; 1 with one "file: problem" line per finding.
+
+set -u
+
+root="${1:-$(dirname "$0")/..}"
+cd "$root" || exit 2
+
+fail=0
+report() {
+  printf '%s: %s\n' "$1" "$2" >&2
+  fail=1
+}
+
+files=$(find src tests bench tools examples \
+  \( -name '*.cc' -o -name '*.h' \) -type f 2>/dev/null | sort)
+
+for f in $files; do
+  if grep -q "$(printf '\t')" "$f"; then
+    report "$f" 'tab character (use spaces)'
+  fi
+  if grep -q ' $' "$f"; then
+    report "$f" 'trailing whitespace'
+  fi
+  if grep -q "$(printf '\r')" "$f"; then
+    report "$f" 'CRLF line ending'
+  fi
+  if [ -s "$f" ] && [ "$(tail -c 1 "$f" | od -An -c | tr -d ' ')" != '\n' ]; then
+    report "$f" 'missing trailing newline'
+  fi
+  if grep -q 'using namespace std' "$f"; then
+    report "$f" 'using namespace std'
+  fi
+  case "$f" in
+    *.h)
+      if grep -q '#pragma once' "$f"; then
+        report "$f" '#pragma once (use a GASS_..._H_ include guard)'
+      elif ! grep -q '#ifndef GASS_.*_H_' "$f"; then
+        report "$f" 'missing GASS_..._H_ include guard'
+      fi
+      ;;
+  esac
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "lint: $(echo "$files" | wc -l | tr -d ' ') files clean"
+fi
+exit "$fail"
