@@ -28,6 +28,26 @@
 //   --metrics-out=PATH  write metrics as Prometheus text
 //                       (each sweep point overwrites the files; the last
 //                       point wins — see docs/OBSERVABILITY.md)
+//
+// Sharded serving + fault tolerance (see docs/SHARDING.md "Failure
+// semantics"): --shards=K serves a sharded index (K hnsw sub-indexes,
+// kmeans partitions) instead of the plain one, and the fault knobs below
+// demonstrate graceful degradation — with one of K shards permanently
+// failing, the run completes with zero query-level errors, every routed
+// query reports one failed shard (partial results), and recall drops by
+// roughly 1/K.
+//   --shards=K          sub-indexes (0 = unsharded, the default)
+//   --nprobe=N          shards probed per query (0 = all)
+//   --fanout-threads=T  per-query fan-out pool (needed for hedging)
+//   --timeout-ms=D      closed-loop per-query budget (0 = none; hedging
+//                       needs a budget to take a fraction of)
+//   --breaker-threshold=N / --breaker-probe=N   circuit-breaker knobs
+//   --hedge=F           hedge after F of the remaining budget
+//   --shard-fault-shard=S --shard-fault-fail-period=N
+//   --shard-fault-slow-period=N --shard-fault-slow-ms=M
+//   --shard-fault-slow-attempts=A   injected shard fault plan
+// Each sweep row gains a fan-out health line (partial/failed/hedged
+// counters + breaker states) when the index is sharded.
 
 #include <algorithm>
 #include <chrono>
@@ -44,7 +64,9 @@
 #include "methods/factory.h"
 #include "obs/exporter.h"
 #include "serve/executor.h"
+#include "serve/fault_injector.h"
 #include "serve/frontend.h"
+#include "shard/sharded_index.h"
 
 namespace gass::bench {
 namespace {
@@ -64,6 +86,19 @@ struct Options {
   std::uint64_t trace_period = 0;  // 0 = tracing off.
   std::string trace_out;
   std::string metrics_out;
+  // Sharded serving + fault tolerance (0 shards = plain index).
+  std::size_t shards = 0;
+  std::size_t nprobe = 0;
+  std::size_t fanout_threads = 0;
+  double timeout_seconds = 0.0;  // Closed-loop per-query budget.
+  std::uint32_t breaker_threshold = 3;
+  std::uint64_t breaker_probe = 16;
+  double hedge_fraction = 0.0;
+  std::uint32_t fault_shard = 0;
+  std::uint64_t fault_fail_period = 0;
+  std::uint64_t fault_slow_period = 0;
+  double fault_slow_seconds = 0.050;
+  std::uint32_t fault_slow_attempts = 1;
 };
 
 bool ParseOptions(int argc, char** argv, Options* options) {
@@ -116,6 +151,37 @@ bool ParseOptions(int argc, char** argv, Options* options) {
       options->trace_out = value;
     } else if (key == "metrics-out") {
       options->metrics_out = value;
+    } else if (key == "shards") {
+      options->shards = static_cast<std::size_t>(std::atol(value.c_str()));
+    } else if (key == "nprobe") {
+      options->nprobe = static_cast<std::size_t>(std::atol(value.c_str()));
+    } else if (key == "fanout-threads") {
+      options->fanout_threads =
+          static_cast<std::size_t>(std::atol(value.c_str()));
+    } else if (key == "timeout-ms") {
+      options->timeout_seconds = std::atof(value.c_str()) * 1e-3;
+    } else if (key == "breaker-threshold") {
+      options->breaker_threshold =
+          static_cast<std::uint32_t>(std::atol(value.c_str()));
+    } else if (key == "breaker-probe") {
+      options->breaker_probe =
+          static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    } else if (key == "hedge") {
+      options->hedge_fraction = std::atof(value.c_str());
+    } else if (key == "shard-fault-shard") {
+      options->fault_shard =
+          static_cast<std::uint32_t>(std::atol(value.c_str()));
+    } else if (key == "shard-fault-fail-period") {
+      options->fault_fail_period =
+          static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    } else if (key == "shard-fault-slow-period") {
+      options->fault_slow_period =
+          static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    } else if (key == "shard-fault-slow-ms") {
+      options->fault_slow_seconds = std::atof(value.c_str()) * 1e-3;
+    } else if (key == "shard-fault-slow-attempts") {
+      options->fault_slow_attempts =
+          static_cast<std::uint32_t>(std::atol(value.c_str()));
     } else {
       std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
       return false;
@@ -166,6 +232,21 @@ void ReportTraces(const Options& options, const serve::ServeMetrics& metrics,
   }
 }
 
+/// Per-row fan-out health line for sharded runs: partial/failed/hedged
+/// counters plus the breaker-state summary. No-op for plain indexes.
+void ReportShardHealth(const serve::ServeMetrics& metrics,
+                       const methods::GraphIndex& index) {
+  const auto* sharded = dynamic_cast<const shard::ShardedIndex*>(&index);
+  if (sharded == nullptr) return;
+  std::printf("  fan-out health: partial %llu | shards failed %llu | "
+              "hedged %llu (%llu wins) | %s\n",
+              static_cast<unsigned long long>(metrics.partial_queries()),
+              static_cast<unsigned long long>(metrics.shards_failed_total()),
+              static_cast<unsigned long long>(metrics.shards_hedged_total()),
+              static_cast<unsigned long long>(metrics.hedge_wins_total()),
+              sharded->health().Summary().c_str());
+}
+
 /// Closed-loop thread sweep; returns the peak QPS seen (the saturation
 /// rate the open-loop runs are calibrated against).
 double RunClosedLoop(methods::GraphIndex& index, const Workload& workload,
@@ -186,6 +267,7 @@ double RunClosedLoop(methods::GraphIndex& index, const Workload& workload,
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
     serve::ExecutorOptions options;
     options.threads = threads;
+    options.timeout_seconds = bench_options.timeout_seconds;
     options.trace.sample_period = bench_options.trace_period;
     serve::QueryExecutor executor(index, options);
 
@@ -214,6 +296,7 @@ double RunClosedLoop(methods::GraphIndex& index, const Workload& workload,
     PrintRow({std::to_string(threads), qps, speedup, recall_cell,
               FormatSeconds(executor.metrics().LatencyQuantileSeconds(0.50)),
               FormatSeconds(executor.metrics().LatencyQuantileSeconds(0.95))});
+    ReportShardHealth(executor.metrics(), index);
     if (executor.tracer().enabled()) {
       ReportTraces(bench_options, executor.metrics(), executor.tracer());
     }
@@ -313,6 +396,7 @@ OpenLoopPoint RunOpenLoop(methods::GraphIndex& index,
   for (std::size_t s = 0; s < serve::ServeMetrics::kMaxDegradeSteps; ++s) {
     point.occupancy.push_back(frontend.metrics().degrade_step_count(s));
   }
+  ReportShardHealth(frontend.metrics(), index);
   if (frontend.tracer().enabled()) {
     frontend.Drain();  // Quiesce workers before reading completed traces.
     ReportTraces(options, frontend.metrics(), frontend.tracer());
@@ -361,8 +445,45 @@ void Run(const Options& options) {
               std::thread::hardware_concurrency());
 
   const Workload workload = MakeWorkload("deep", kTier100GB);
-  auto index = methods::CreateIndex("hnsw", 42);
+  std::unique_ptr<methods::GraphIndex> index;
+  std::unique_ptr<serve::FaultInjector> injector;
+  shard::ShardedIndex* sharded = nullptr;
+  if (options.shards > 0) {
+    shard::ShardedIndexOptions shard_options;
+    shard_options.method = "hnsw";
+    shard_options.seed = 42;
+    shard_options.partitioner.num_shards = options.shards;
+    shard_options.nprobe = options.nprobe;
+    shard_options.fanout_threads = options.fanout_threads;
+    shard_options.breaker.failure_threshold = options.breaker_threshold;
+    shard_options.breaker.probe_period = options.breaker_probe;
+    shard_options.hedge_fraction = options.hedge_fraction;
+    auto owned = std::make_unique<shard::ShardedIndex>(shard_options);
+    sharded = owned.get();
+    index = std::move(owned);
+  } else {
+    index = methods::CreateIndex("hnsw", 42);
+  }
   index->Build(workload.base);
+  if (sharded != nullptr &&
+      (options.fault_fail_period > 0 || options.fault_slow_period > 0)) {
+    serve::FaultPlan plan;
+    serve::ShardFaultPlan fault;
+    fault.shard = options.fault_shard;
+    fault.fail_period = options.fault_fail_period;
+    fault.slow_period = options.fault_slow_period;
+    fault.slow_seconds = options.fault_slow_seconds;
+    fault.slow_attempts = options.fault_slow_attempts;
+    plan.shard_faults.push_back(fault);
+    injector = std::make_unique<serve::FaultInjector>(plan);
+    sharded->SetFaultInjector(injector.get());
+    std::printf("shard fault plan: shard %u, fail period %llu, slow period "
+                "%llu (%.1fms x %u attempts)\n\n",
+                fault.shard,
+                static_cast<unsigned long long>(fault.fail_period),
+                static_cast<unsigned long long>(fault.slow_period),
+                1e3 * fault.slow_seconds, fault.slow_attempts);
+  }
 
   methods::SearchParams params;
   params.k = workload.k;

@@ -22,6 +22,16 @@ struct SearchStats {
   /// Shard sub-searches this query fanned out to (0 for unsharded indexes;
   /// set by shard::ShardedIndex, aggregated additively like the rest).
   std::uint64_t shards_probed = 0;
+  /// Shard sub-searches that contributed nothing because the shard failed
+  /// (sub-search error or injected fault) or was skipped by an open circuit
+  /// breaker. Fault-caused, unlike deadline_expiries; see docs/SHARDING.md
+  /// "Failure semantics".
+  std::uint64_t shards_failed = 0;
+  /// Hedged backup sub-searches launched after the hedge trigger fired
+  /// (shard::ShardedIndexOptions::hedge_fraction), and how many of those
+  /// backups resolved their shard before the primary did.
+  std::uint64_t shards_hedged = 0;
+  std::uint64_t hedge_wins = 0;
   /// Vectors prefetched ahead of the batched distance evaluations in beam
   /// search (the memory-latency-hiding half of the SIMD pipeline; see
   /// docs/PERF.md). Deterministic for a fixed search, like hops.
@@ -33,6 +43,9 @@ struct SearchStats {
     hops += other.hops;
     deadline_expiries += other.deadline_expiries;
     shards_probed += other.shards_probed;
+    shards_failed += other.shards_failed;
+    shards_hedged += other.shards_hedged;
+    hedge_wins += other.hedge_wins;
     prefetches += other.prefetches;
     elapsed_seconds += other.elapsed_seconds;
     return *this;
@@ -54,6 +67,9 @@ struct SearchStats {
       deadline_expiries_.fetch_add(s.deadline_expiries,
                                    std::memory_order_relaxed);
       shards_probed_.fetch_add(s.shards_probed, std::memory_order_relaxed);
+      shards_failed_.fetch_add(s.shards_failed, std::memory_order_relaxed);
+      shards_hedged_.fetch_add(s.shards_hedged, std::memory_order_relaxed);
+      hedge_wins_.fetch_add(s.hedge_wins, std::memory_order_relaxed);
       prefetches_.fetch_add(s.prefetches, std::memory_order_relaxed);
       // Stored in nanoseconds so the hot path never touches floating-point
       // CAS loops (pre-C++20 atomic<double> has no fetch_add).
@@ -70,6 +86,9 @@ struct SearchStats {
       s.hops = hops_.load(std::memory_order_relaxed);
       s.deadline_expiries = deadline_expiries_.load(std::memory_order_relaxed);
       s.shards_probed = shards_probed_.load(std::memory_order_relaxed);
+      s.shards_failed = shards_failed_.load(std::memory_order_relaxed);
+      s.shards_hedged = shards_hedged_.load(std::memory_order_relaxed);
+      s.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
       s.prefetches = prefetches_.load(std::memory_order_relaxed);
       s.elapsed_seconds =
           static_cast<double>(elapsed_ns_.load(std::memory_order_relaxed)) *
@@ -87,6 +106,9 @@ struct SearchStats {
       hops_.store(0, std::memory_order_relaxed);
       deadline_expiries_.store(0, std::memory_order_relaxed);
       shards_probed_.store(0, std::memory_order_relaxed);
+      shards_failed_.store(0, std::memory_order_relaxed);
+      shards_hedged_.store(0, std::memory_order_relaxed);
+      hedge_wins_.store(0, std::memory_order_relaxed);
       prefetches_.store(0, std::memory_order_relaxed);
       elapsed_ns_.store(0, std::memory_order_relaxed);
       queries_.store(0, std::memory_order_relaxed);
@@ -97,6 +119,9 @@ struct SearchStats {
     std::atomic<std::uint64_t> hops_{0};
     std::atomic<std::uint64_t> deadline_expiries_{0};
     std::atomic<std::uint64_t> shards_probed_{0};
+    std::atomic<std::uint64_t> shards_failed_{0};
+    std::atomic<std::uint64_t> shards_hedged_{0};
+    std::atomic<std::uint64_t> hedge_wins_{0};
     std::atomic<std::uint64_t> prefetches_{0};
     std::atomic<std::uint64_t> elapsed_ns_{0};
     std::atomic<std::uint64_t> queries_{0};

@@ -52,6 +52,12 @@ struct SearchParams {
   /// fourth Search argument — so the span plumbing crosses the GraphIndex
   /// virtual boundary without touching twelve method signatures.
   obs::QueryTrace* trace = nullptr;
+  /// Admission id of the enclosing serve request (serve::Frontend /
+  /// serve::QueryExecutor assign one per query; 0 = unserved/unknown).
+  /// Carried here, like `trace`, so composite indexes can key deterministic
+  /// per-shard decisions — fault injection, trace sampling — on the query
+  /// identity. Never part of the ParseSearchParams round trip.
+  std::uint64_t admission_id = 0;
 };
 
 /// The beam width a search actually runs with: `beam_width >> degrade_step`,
@@ -88,6 +94,14 @@ struct SearchResult {
   /// callers (serve::QueryExecutor) so batch consumers can tell truncated
   /// results apart without digging through stats.
   bool expired = false;
+  /// True when a fault — not a deadline — cost the query some shard's
+  /// contribution: a sub-search failed, a fault was injected, or an open
+  /// circuit breaker skipped the shard at routing time. Independent of
+  /// `expired`: a query can be partial without being expired (a shard
+  /// failed fast, the rest completed) and expired without being partial
+  /// (every shard answered, some truncated by the deadline). Set by
+  /// shard::ShardedIndex; see docs/SHARDING.md "Failure semantics".
+  bool partial = false;
   /// Overload disposition, set by the serving tier (kExpired wins over
   /// kDegraded when both apply; kRejected results carry no neighbors).
   ServeOutcome outcome = ServeOutcome::kFull;

@@ -18,6 +18,8 @@ const char* StageName(Stage stage) {
       return "shard_search";
     case Stage::kMerge:
       return "merge";
+    case Stage::kHedge:
+      return "hedge";
   }
   return "unknown";
 }

@@ -49,12 +49,14 @@ enum class Stage : std::uint8_t {
   kRoute,         ///< Centroid ranking / shard selection (sharded).
   kShardSearch,   ///< One shard's sub-search (one span per probe).
   kMerge,         ///< Per-shard top-k merge into the global result.
+  kHedge,         ///< Hedged fan-out window: backup launch → resolution.
 };
 
-inline constexpr std::size_t kNumStages = 6;
+inline constexpr std::size_t kNumStages = 7;
 
 /// Short lowercase label ("queue", "session", "search", "route",
-/// "shard_search", "merge") — stable: exported in JSON and metric names.
+/// "shard_search", "merge", "hedge") — stable: exported in JSON and
+/// metric names.
 const char* StageName(Stage stage);
 
 /// One timed stage of one query, with the stage's work counters.

@@ -72,6 +72,7 @@ BatchResult QueryExecutor::SearchBatch(
       }
       methods::SearchParams query_params = methods::WithDeadline(
           request.params, deadline.unlimited() ? nullptr : &deadline);
+      query_params.admission_id = id;
       query_params.trace = trace;
       session_timer.Stop();
 
@@ -89,12 +90,15 @@ BatchResult QueryExecutor::SearchBatch(
       }
       response.admission_id = id;
       response.expired = response.stats.deadline_expiries > 0;
+      response.shards_ok = response.stats.shards_probed;
+      response.shards_failed = response.stats.shards_failed;
+      response.shards_hedged = response.stats.shards_hedged;
       response.outcome = response.expired ? methods::ServeOutcome::kExpired
                          : request.params.degrade_step > 0
                              ? methods::ServeOutcome::kDegraded
                              : methods::ServeOutcome::kFull;
       response.degrade_step = request.params.degrade_step;
-      metrics_.RecordQuery(response.stats, response.expired);
+      metrics_.RecordQuery(response.stats, response.expired, response.partial);
       if (trace != nullptr) {
         if (owned_trace) {
           tracer_.FinishTrace(trace);

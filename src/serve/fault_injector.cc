@@ -19,6 +19,29 @@ void FaultInjector::OnExecute(std::uint64_t id) {
   }
 }
 
+void FaultInjector::OnShardSearch(std::uint64_t id, std::uint32_t shard,
+                                  std::uint32_t attempt) {
+  const double delay = ShardSearchDelaySeconds(id, shard, attempt);
+  if (delay > 0) {
+    shard_delays_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+  }
+}
+
+bool FaultInjector::OnShardReload(std::uint32_t shard) {
+  for (std::size_t i = 0; i < plan_.shard_faults.size(); ++i) {
+    const ShardFaultPlan& p = plan_.shard_faults[i];
+    if (p.shard != shard || p.reload_corrupt_times == 0) continue;
+    const std::uint64_t attempt =
+        reload_attempts_[i].fetch_add(1, std::memory_order_relaxed);
+    if (attempt < p.reload_corrupt_times) {
+      reload_corruptions_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
 void FaultInjector::CloseGate() {
   std::lock_guard<std::mutex> lock(gate_mutex_);
   gate_open_ = false;

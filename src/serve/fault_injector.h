@@ -18,9 +18,38 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <vector>
 
 namespace gass::serve {
+
+/// Faults scoped to one shard of a sharded index, keyed on (admission id,
+/// shard id) so every scenario is reproducible: the same query stream hits
+/// the same shard-level failures on every run. Consumed by
+/// shard::ShardedIndex (which takes an optional FaultInjector*); the serve
+/// layer only defines the plan so the dependency stays acyclic
+/// (gass_shard links gass_serve, never the reverse).
+struct ShardFaultPlan {
+  std::uint32_t shard = 0;
+  /// Fail this shard's sub-search on every fail_period-th admission id
+  /// (same `id % p == 0` rule as FaultPlan). The failure is injected as an
+  /// exception inside the fan-out worker, so it exercises the exact
+  /// exception-to-status path a real sub-search failure would take.
+  std::uint64_t fail_period = 0;
+  /// Sleep inside this shard's sub-search on every slow_period-th
+  /// admission id — the "slow shard" a hedged backup is meant to beat.
+  std::uint64_t slow_period = 0;
+  double slow_seconds = 0.0;
+  /// How many attempts of a slow query are slow: 1 (default) slows only
+  /// the primary sub-search, so a hedged backup models a healthy replica
+  /// and can win; 2+ slows the hedge too (the shard itself is sick).
+  std::uint32_t slow_attempts = 1;
+  /// Fail the first N online reload attempts of this shard with a
+  /// corruption error (the snapshot "is" corrupt), keeping it quarantined;
+  /// attempt N+1 onward succeeds.
+  std::uint64_t reload_corrupt_times = 0;
+};
 
 /// Which queries fault, selected by admission id. A period of 0 disables
 /// that fault; period p fires on every id with id % p == 0 — deterministic,
@@ -43,6 +72,9 @@ struct FaultPlan {
   /// until OpenGate(). Turns "the server is saturated" into a test-
   /// controlled, fully deterministic state.
   bool gate_execution = false;
+  /// Per-shard faults (slow shard, failing shard, corrupt reload); at most
+  /// one plan per shard id — the first matching entry wins.
+  std::vector<ShardFaultPlan> shard_faults;
 };
 
 /// Thread-safe; one instance may serve a whole Frontend. All decision
@@ -52,7 +84,15 @@ class FaultInjector {
  public:
   FaultInjector() = default;
   explicit FaultInjector(const FaultPlan& plan)
-      : plan_(plan), gate_open_(!plan.gate_execution) {}
+      : plan_(plan), gate_open_(!plan.gate_execution) {
+    if (!plan_.shard_faults.empty()) {
+      reload_attempts_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+          plan_.shard_faults.size());
+      for (std::size_t i = 0; i < plan_.shard_faults.size(); ++i) {
+        reload_attempts_[i].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
 
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
@@ -77,6 +117,51 @@ class FaultInjector {
   /// so deadlines and queue pressure react as they would to a slow query)
   /// and blocks while the gate is closed. Call before running query `id`.
   void OnExecute(std::uint64_t id);
+
+  // --- Shard-level decisions (consumed by shard::ShardedIndex) ---
+
+  /// Fail shard `shard`'s sub-search for admission id `id`? Pure; the
+  /// shard layer acts by throwing inside its fan-out worker and counts
+  /// the injection via CountShardFailure().
+  bool ShouldFailShardSearch(std::uint64_t id, std::uint32_t shard) const {
+    const ShardFaultPlan* p = FindShardPlan(shard);
+    return p != nullptr && Fires(p->fail_period, id);
+  }
+
+  /// Injected sub-search delay for (id, shard, attempt); 0 = none.
+  /// Attempt 0 is the primary probe, 1 the hedged backup.
+  double ShardSearchDelaySeconds(std::uint64_t id, std::uint32_t shard,
+                                 std::uint32_t attempt) const {
+    const ShardFaultPlan* p = FindShardPlan(shard);
+    if (p == nullptr || !Fires(p->slow_period, id)) return 0.0;
+    return attempt < p->slow_attempts ? p->slow_seconds : 0.0;
+  }
+
+  /// Sub-search entry hook: sleeps the injected delay (a real sleep, so
+  /// hedging and deadlines react as they would to a genuinely slow shard).
+  void OnShardSearch(std::uint64_t id, std::uint32_t shard,
+                     std::uint32_t attempt);
+
+  /// Reload hook: true = inject snapshot corruption into this reload
+  /// attempt (the shard layer fails the reload with kCorruption). Counts
+  /// attempts per shard so the first `reload_corrupt_times` fail and later
+  /// ones succeed.
+  bool OnShardReload(std::uint32_t shard);
+
+  std::uint64_t injected_shard_failures() const {
+    return shard_failures_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t injected_shard_delays() const {
+    return shard_delays_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t injected_reload_corruptions() const {
+    return reload_corruptions_.load(std::memory_order_relaxed);
+  }
+
+  /// Called by the shard layer when it acts on ShouldFailShardSearch().
+  void CountShardFailure() {
+    shard_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Gate control (tests). Opening wakes every parked worker; arrivals()
   /// counts workers that have reached the gate, so a test can wait until
@@ -108,6 +193,13 @@ class FaultInjector {
     return period != 0 && id % period == 0;
   }
 
+  const ShardFaultPlan* FindShardPlan(std::uint32_t shard) const {
+    for (const ShardFaultPlan& p : plan_.shard_faults) {
+      if (p.shard == shard) return &p;
+    }
+    return nullptr;
+  }
+
   FaultPlan plan_;
   std::mutex gate_mutex_;
   std::condition_variable gate_cv_;
@@ -116,6 +208,11 @@ class FaultInjector {
   std::atomic<std::uint64_t> spikes_{0};
   std::atomic<std::uint64_t> rejections_{0};
   std::atomic<std::uint64_t> session_failures_{0};
+  std::atomic<std::uint64_t> shard_failures_{0};
+  std::atomic<std::uint64_t> shard_delays_{0};
+  std::atomic<std::uint64_t> reload_corruptions_{0};
+  /// Reload attempts seen so far, one slot per plan_.shard_faults entry.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> reload_attempts_;
 };
 
 }  // namespace gass::serve

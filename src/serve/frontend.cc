@@ -219,6 +219,7 @@ void Frontend::WorkerLoop() {
       lease->rng =
           core::Rng(options_.seed ^ (0x9E3779B97F4A7C15ULL * (task.id + 1)));
       methods::SearchParams query_params = task.params;
+      query_params.admission_id = task.id;
       query_params.degrade_step = static_cast<std::uint32_t>(step);
       query_params.deadline =
           task.deadline.unlimited() ? nullptr : &task.deadline;
@@ -241,11 +242,14 @@ void Frontend::WorkerLoop() {
       }
       response.admission_id = task.id;
       response.expired = response.stats.deadline_expiries > 0;
+      response.shards_ok = response.stats.shards_probed;
+      response.shards_failed = response.stats.shards_failed;
+      response.shards_hedged = response.stats.shards_hedged;
       response.degrade_step = static_cast<std::uint32_t>(step);
       response.outcome = response.expired ? methods::ServeOutcome::kExpired
                          : step > 0       ? methods::ServeOutcome::kDegraded
                                           : methods::ServeOutcome::kFull;
-      metrics_.RecordQuery(response.stats, response.expired);
+      metrics_.RecordQuery(response.stats, response.expired, response.partial);
       metrics_.RecordDegradeStep(
           step, response.outcome == methods::ServeOutcome::kDegraded);
       FinishTaskTrace(&task, &response);

@@ -16,7 +16,7 @@ std::string ServeMetrics::Dump() const {
   const core::SearchStats totals = TotalStats();
   const std::uint64_t n = queries();
   const double nq = n == 0 ? 1.0 : static_cast<double>(n);
-  char buffer[768];
+  char buffer[1024];
   std::snprintf(
       buffer, sizeof(buffer),
       "queries          %llu\n"
@@ -28,11 +28,14 @@ std::string ServeMetrics::Dump() const {
       "hops/query       %.1f\n"
       "deadline expiry  %llu\n"
       "expired queries  %llu\n"
+      "partial queries  %llu\n"
       "shed queries     %llu\n"
       "degraded queries %llu\n"
       "queue high-water %llu\n"
       "fan-out queries  %llu\n"
-      "shards probed    %llu (%.2f per fanned query)\n",
+      "shards probed    %llu (%.2f per fanned query)\n"
+      "shards failed    %llu\n"
+      "shards hedged    %llu (%llu hedge wins)\n",
       static_cast<unsigned long long>(n), Qps(),
       1e3 * LatencyQuantileSeconds(0.50), 1e3 * LatencyQuantileSeconds(0.95),
       1e3 * LatencyQuantileSeconds(0.99),
@@ -40,6 +43,7 @@ std::string ServeMetrics::Dump() const {
       static_cast<double>(totals.hops) / nq,
       static_cast<unsigned long long>(totals.deadline_expiries),
       static_cast<unsigned long long>(expired_queries()),
+      static_cast<unsigned long long>(partial_queries()),
       static_cast<unsigned long long>(shed_queries()),
       static_cast<unsigned long long>(degraded_queries()),
       static_cast<unsigned long long>(queue_depth_high_water()),
@@ -48,7 +52,10 @@ std::string ServeMetrics::Dump() const {
       fanout_queries() == 0
           ? 0.0
           : static_cast<double>(totals.shards_probed) /
-                static_cast<double>(fanout_queries()));
+                static_cast<double>(fanout_queries()),
+      static_cast<unsigned long long>(totals.shards_failed),
+      static_cast<unsigned long long>(totals.shards_hedged),
+      static_cast<unsigned long long>(totals.hedge_wins));
   return buffer;
 }
 
@@ -73,6 +80,18 @@ void ServeMetrics::ExportTo(obs::Exporter* exporter,
   exporter->AddCounter(prefix + "shards_probed_total",
                        static_cast<double>(totals.shards_probed),
                        "Shard sub-searches dispatched");
+  exporter->AddCounter(prefix + "partial_queries_total",
+                       static_cast<double>(partial_queries()),
+                       "Queries missing a shard contribution to a fault");
+  exporter->AddCounter(prefix + "shards_failed_total",
+                       static_cast<double>(totals.shards_failed),
+                       "Shard contributions lost to faults or open breakers");
+  exporter->AddCounter(prefix + "shards_hedged_total",
+                       static_cast<double>(totals.shards_hedged),
+                       "Hedged backup sub-searches launched");
+  exporter->AddCounter(prefix + "hedge_wins_total",
+                       static_cast<double>(totals.hedge_wins),
+                       "Hedged backups that resolved before the primary");
   exporter->AddCounter(prefix + "distance_computations_total",
                        static_cast<double>(totals.distance_computations),
                        "Distance evaluations across all queries");
@@ -113,6 +132,7 @@ void ServeMetrics::Reset() {
   histogram_.Reset();
   for (auto& h : stage_histograms_) h.Reset();
   expired_.store(0, std::memory_order_relaxed);
+  partial_.store(0, std::memory_order_relaxed);
   fanout_.store(0, std::memory_order_relaxed);
   shed_.store(0, std::memory_order_relaxed);
   degraded_.store(0, std::memory_order_relaxed);

@@ -39,12 +39,17 @@ class ServeMetrics {
   /// `stats.elapsed_seconds` must hold the query's wall latency. `expired`
   /// marks a query whose deadline cut the search short (counted separately
   /// from stats.deadline_expiries, which tallies expiry *events* — one query
-  /// can expire in several sub-searches, e.g. ELPIS leaves).
-  void RecordQuery(const core::SearchStats& stats, bool expired = false) {
+  /// can expire in several sub-searches, e.g. ELPIS leaves). `partial`
+  /// marks a query that lost a shard's contribution to a fault (failed
+  /// sub-search or breaker skip) — independent of `expired`; see
+  /// docs/SHARDING.md "Failure semantics".
+  void RecordQuery(const core::SearchStats& stats, bool expired = false,
+                   bool partial = false) {
     stats_.Add(stats);
     histogram_.Record(stats.elapsed_seconds);
     if (expired) expired_.fetch_add(1, std::memory_order_relaxed);
-    if (stats.shards_probed > 0) {
+    if (partial) partial_.fetch_add(1, std::memory_order_relaxed);
+    if (stats.shards_probed > 0 || stats.shards_failed > 0) {
       fanout_.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -69,6 +74,22 @@ class ServeMetrics {
   /// Shard sub-searches dispatched across all recorded queries.
   std::uint64_t shards_probed_total() const {
     return stats_.Snapshot().shards_probed;
+  }
+  /// Queries that returned with a fault-caused missing shard contribution.
+  std::uint64_t partial_queries() const {
+    return partial_.load(std::memory_order_relaxed);
+  }
+  /// Shard contributions lost to faults (failed sub-searches + breaker
+  /// skips) across all recorded queries.
+  std::uint64_t shards_failed_total() const {
+    return stats_.Snapshot().shards_failed;
+  }
+  /// Hedged backup sub-searches launched / won across all queries.
+  std::uint64_t shards_hedged_total() const {
+    return stats_.Snapshot().shards_hedged;
+  }
+  std::uint64_t hedge_wins_total() const {
+    return stats_.Snapshot().hedge_wins;
   }
 
   // --- Per-stage latency (written from sampled traces) ---
@@ -164,6 +185,7 @@ class ServeMetrics {
   LatencyHistogram histogram_;
   std::array<LatencyHistogram, obs::kNumStages> stage_histograms_;
   std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> partial_{0};
   std::atomic<std::uint64_t> fanout_{0};
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> degraded_{0};

@@ -61,6 +61,15 @@ struct SearchResponse : methods::SearchResult {
   /// The query's trace: the request's own, or the server tracer's slot
   /// (valid until that tracer is Reset/reconfigured). Null = not sampled.
   const obs::QueryTrace* trace = nullptr;
+  /// Fan-out accounting (0 for unsharded indexes): shards whose results
+  /// merged into `neighbors`, shards that contributed nothing because they
+  /// failed or were breaker-skipped (fault-caused — pairs with the
+  /// inherited `partial` flag, as deadline-caused misses pair with
+  /// `expired`), and hedged backup sub-searches launched. Filled from
+  /// stats.shards_* by the serving tier / shard::ShardedIndex.
+  std::uint64_t shards_ok = 0;
+  std::uint64_t shards_failed = 0;
+  std::uint64_t shards_hedged = 0;
 };
 
 }  // namespace gass::serve

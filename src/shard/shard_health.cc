@@ -1,0 +1,136 @@
+#include "shard/shard_health.h"
+
+#include <cstdio>
+
+namespace gass::shard {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+ShardHealthTable::ShardHealthTable(std::size_t num_shards,
+                                   const ShardBreakerOptions& options)
+    : options_(options),
+      num_shards_(num_shards),
+      shards_(std::make_unique<Shard[]>(num_shards)) {}
+
+ShardRoute ShardHealthTable::RouteDecision(std::size_t s) {
+  if (!enabled()) return ShardRoute::kSearch;
+  Shard& shard = shards_[s];
+  const BreakerState state = shard.state.load(std::memory_order_acquire);
+  if (state == BreakerState::kClosed) return ShardRoute::kSearch;
+  if (state == BreakerState::kOpen) {
+    bool want_probe = false;
+    if (shard.force_probe.load(std::memory_order_relaxed)) {
+      bool expected = true;
+      want_probe = shard.force_probe.compare_exchange_strong(
+          expected, false, std::memory_order_relaxed);
+    }
+    if (!want_probe) {
+      const std::uint64_t period =
+          options_.probe_period == 0 ? 1 : options_.probe_period;
+      const std::uint64_t tick =
+          shard.open_ticks.fetch_add(1, std::memory_order_relaxed) + 1;
+      want_probe = tick % period == 0;
+    }
+    if (want_probe) {
+      BreakerState expected = BreakerState::kOpen;
+      if (shard.state.compare_exchange_strong(expected, BreakerState::kHalfOpen,
+                                              std::memory_order_acq_rel)) {
+        probes_.fetch_add(1, std::memory_order_relaxed);
+        return ShardRoute::kProbe;
+      }
+    }
+  }
+  // Open without a probe grant, or half-open with a probe already in
+  // flight: the query routes around the shard.
+  skips_.fetch_add(1, std::memory_order_relaxed);
+  return ShardRoute::kSkip;
+}
+
+bool ShardHealthTable::OnResult(std::size_t s, bool ok) {
+  if (!enabled()) return false;
+  Shard& shard = shards_[s];
+  if (ok) {
+    shard.consecutive_failures.store(0, std::memory_order_relaxed);
+    // A success always closes the breaker: the normal case is a half-open
+    // probe passing; the rare case is an in-flight search that outlived a
+    // trip and proved the shard healthy after all.
+    const BreakerState prev =
+        shard.state.exchange(BreakerState::kClosed, std::memory_order_acq_rel);
+    if (prev != BreakerState::kClosed) {
+      recoveries_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return false;
+  }
+  const BreakerState state = shard.state.load(std::memory_order_acquire);
+  if (state == BreakerState::kHalfOpen) {
+    // The probe failed: back to open, and the probe countdown restarts so
+    // the next probe is a full probe_period away.
+    shard.open_ticks.store(0, std::memory_order_relaxed);
+    shard.state.store(BreakerState::kOpen, std::memory_order_release);
+    return false;
+  }
+  const std::uint32_t failures =
+      shard.consecutive_failures.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (failures >= options_.failure_threshold) {
+    BreakerState expected = BreakerState::kClosed;
+    if (shard.state.compare_exchange_strong(expected, BreakerState::kOpen,
+                                            std::memory_order_acq_rel)) {
+      shard.open_ticks.store(0, std::memory_order_relaxed);
+      trips_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ShardHealthTable::OnProbeAbandoned(std::size_t s) {
+  BreakerState expected = BreakerState::kHalfOpen;
+  shards_[s].state.compare_exchange_strong(expected, BreakerState::kOpen,
+                                           std::memory_order_acq_rel);
+}
+
+void ShardHealthTable::OnReloaded(std::size_t s) {
+  Shard& shard = shards_[s];
+  shard.consecutive_failures.store(0, std::memory_order_relaxed);
+  shard.generation.fetch_add(1, std::memory_order_relaxed);
+  shard.force_probe.store(true, std::memory_order_relaxed);
+}
+
+std::string ShardHealthTable::Summary() const {
+  std::size_t closed = 0, open = 0, half_open = 0;
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    switch (state(s)) {
+      case BreakerState::kClosed:
+        ++closed;
+        break;
+      case BreakerState::kOpen:
+        ++open;
+        break;
+      case BreakerState::kHalfOpen:
+        ++half_open;
+        break;
+    }
+  }
+  char buffer[192];
+  std::snprintf(buffer, sizeof(buffer),
+                "breaker: %zu/%zu closed, %zu open, %zu half-open | "
+                "trips %llu recoveries %llu probes %llu skips %llu",
+                closed, num_shards_, open, half_open,
+                static_cast<unsigned long long>(trips()),
+                static_cast<unsigned long long>(recoveries()),
+                static_cast<unsigned long long>(probes_granted()),
+                static_cast<unsigned long long>(skips()));
+  return std::string(buffer);
+}
+
+}  // namespace gass::shard

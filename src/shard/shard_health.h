@@ -1,0 +1,155 @@
+// Per-shard health tracking for the sharded serve path: a deterministic
+// circuit breaker per shard.
+//
+// The breaker is the classic three-state machine (closed → open →
+// half-open), but every transition is driven by counters, never by wall
+// time, so a fixed query stream reproduces the exact same trip/probe/
+// recovery sequence on every run — which is what makes the fault suite
+// (tests/shard/shard_fault_test.cc) assertable:
+//
+//   closed:    sub-searches run normally. `failure_threshold` consecutive
+//              failures trip the shard to open.
+//   open:      routing skips the shard (the query substitutes the next
+//              nearest centroid instead of failing); every
+//              `probe_period`-th routing decision that considers the shard
+//              is granted a half-open probe.
+//   half-open: exactly one probe sub-search is in flight. Success closes
+//              the breaker (the shard re-enters rotation); failure re-opens
+//              it and the probe countdown restarts.
+//
+// An online reload (ShardedIndex::ReloadShard) does not close the breaker
+// directly — it resets the failure count and forces the next routing
+// decision to probe, so a recovered shard re-enters rotation through the
+// same half-open path a spontaneously-healed shard would.
+//
+// Thread-safety: all methods are safe to call concurrently; state is a
+// per-shard atomic with CAS transitions, so two queries racing to probe a
+// half-open shard cannot both win.
+
+#ifndef GASS_SHARD_SHARD_HEALTH_H_
+#define GASS_SHARD_SHARD_HEALTH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace gass::shard {
+
+/// Circuit-breaker knobs, per shard. The defaults are conservative: three
+/// consecutive failures quarantine a shard, and while open one routing
+/// decision in sixteen probes it.
+struct ShardBreakerOptions {
+  /// Consecutive sub-search failures that trip the breaker. 0 disables the
+  /// breaker entirely: every shard is always routed to (failures still
+  /// count into stats, they just never quarantine).
+  std::uint32_t failure_threshold = 3;
+  /// While open, every probe_period-th routing decision that considers the
+  /// shard is granted a half-open probe (min 1: every decision probes).
+  std::uint64_t probe_period = 16;
+};
+
+enum class BreakerState : std::uint8_t {
+  kClosed = 0,
+  kOpen,
+  kHalfOpen,
+};
+
+/// Short lowercase label ("closed", "open", "half-open").
+const char* BreakerStateName(BreakerState state);
+
+/// What routing should do with a shard (see RouteDecision()).
+enum class ShardRoute : std::uint8_t {
+  kSearch = 0,  ///< Closed breaker: search normally.
+  kProbe,       ///< Half-open probe granted to THIS query: search, and the
+                ///< result decides whether the breaker closes or re-opens.
+  kSkip,        ///< Open (or probe already in flight): skip the shard.
+};
+
+/// One breaker per shard. See the file comment for the state machine.
+class ShardHealthTable {
+ public:
+  ShardHealthTable(std::size_t num_shards, const ShardBreakerOptions& options);
+
+  ShardHealthTable(const ShardHealthTable&) = delete;
+  ShardHealthTable& operator=(const ShardHealthTable&) = delete;
+
+  /// Routing-time decision for shard `s`. kSkip increments the skip
+  /// counter; kProbe atomically moves the shard open → half-open, so at
+  /// most one probe is in flight at a time.
+  ShardRoute RouteDecision(std::size_t s);
+
+  /// Outcome of one sub-search attempt against shard `s` (primary, hedge,
+  /// or half-open probe — the first attempt to resolve the shard reports).
+  /// Returns true when this call tripped the breaker closed → open, so the
+  /// caller can kick off recovery exactly once per trip.
+  bool OnResult(std::size_t s, bool ok);
+
+  /// A granted half-open probe was never executed (the query's deadline
+  /// expired first): release the half-open state back to open so a later
+  /// query can probe, without counting a failure against the shard.
+  void OnProbeAbandoned(std::size_t s);
+
+  /// A fresh copy of shard `s` was successfully reloaded from its
+  /// snapshot: reset the failure count, bump the generation, and force the
+  /// next routing decision to grant a half-open probe. Does NOT close the
+  /// breaker — the shard re-enters rotation only by passing that probe.
+  void OnReloaded(std::size_t s);
+
+  bool enabled() const { return options_.failure_threshold != 0; }
+  std::size_t num_shards() const { return num_shards_; }
+
+  BreakerState state(std::size_t s) const {
+    return shards_[s].state.load(std::memory_order_acquire);
+  }
+  std::uint32_t consecutive_failures(std::size_t s) const {
+    return shards_[s].consecutive_failures.load(std::memory_order_relaxed);
+  }
+  /// Reload generation of shard `s` (starts at 0, +1 per OnReloaded()).
+  std::uint64_t generation(std::size_t s) const {
+    return shards_[s].generation.load(std::memory_order_relaxed);
+  }
+
+  /// Lifetime transition counters (for metrics / bench reporting).
+  std::uint64_t trips() const {
+    return trips_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t recoveries() const {
+    return recoveries_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t probes_granted() const {
+    return probes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t skips() const {
+    return skips_.load(std::memory_order_relaxed);
+  }
+
+  /// One-line human summary, e.g.
+  /// "breaker: 7/8 closed, 1 open | trips 1 recoveries 0 probes 12 skips 840".
+  std::string Summary() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<BreakerState> state{BreakerState::kClosed};
+    std::atomic<std::uint32_t> consecutive_failures{0};
+    /// Routing decisions that considered this shard while open; drives the
+    /// every-Nth probe cadence.
+    std::atomic<std::uint64_t> open_ticks{0};
+    /// Set by OnReloaded(): the next routing decision probes immediately.
+    std::atomic<bool> force_probe{false};
+    std::atomic<std::uint64_t> generation{0};
+  };
+
+  ShardBreakerOptions options_;
+  std::size_t num_shards_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<std::uint64_t> trips_{0};
+  std::atomic<std::uint64_t> recoveries_{0};
+  std::atomic<std::uint64_t> probes_{0};
+  std::atomic<std::uint64_t> skips_{0};
+};
+
+}  // namespace gass::shard
+
+#endif  // GASS_SHARD_SHARD_HEALTH_H_

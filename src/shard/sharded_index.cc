@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <fstream>
+#include <stdexcept>
 #include <utility>
 
 #include "core/distance.h"
@@ -16,8 +18,51 @@
 #include "io/snapshot.h"
 #include "methods/factory.h"
 #include "methods/fingerprint.h"
+#include "serve/fault_injector.h"
 
 namespace gass::shard {
+
+/// One sub-search attempt's outcome within the hedged fan-out.
+struct HedgeAttempt {
+  methods::SearchResult result;
+  /// Offsets from HedgeState::timer, for the coordinator's trace spans.
+  double start = 0.0;
+  double duration = 0.0;
+  bool failed = false;
+  /// Deadline already expired when the attempt started; nothing ran.
+  bool skipped = false;
+};
+
+/// One selected shard of a hedged fan-out: up to two attempts (primary and
+/// hedged backup), resolved by whichever finishes its winner CAS first.
+struct HedgeSlot {
+  std::uint32_t shard = 0;
+  bool probe_granted = false;
+  HedgeAttempt attempts[2];
+  /// Index of the attempt that resolved the slot (-1 = still outstanding).
+  /// The release CAS publishes that attempt's fields to the coordinator.
+  std::atomic<int> winner{-1};
+  std::atomic<bool> hedged{false};
+};
+
+/// Heap-shared state of one hedged fan-out, kept alive by shared_ptr so an
+/// abandoned straggler — a sub-search the query stopped waiting for at its
+/// deadline — can finish harmlessly on the pool after the caller's stack
+/// frame (query vector, deadline, result slots) is long gone. Everything a
+/// straggler touches lives here or is an immutable/thread-safe index
+/// member.
+struct HedgeState {
+  std::vector<float> query;          // Own copy; the caller's may vanish.
+  core::Deadline deadline;           // Own copy, referenced by sub_params.
+  methods::SearchParams sub_params;  // trace nulled, deadline = &deadline.
+  std::uint64_t query_seed = 0;
+  std::vector<HedgeSlot> slots;
+  core::Timer timer;                 // Attempt-offset origin.
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t unresolved = 0;        // Guarded by mutex.
+};
 
 namespace {
 
@@ -70,7 +115,15 @@ ShardedIndex::ShardedIndex(const ShardedIndexOptions& options)
                  "num_shards must be >= 1");
 }
 
-ShardedIndex::~ShardedIndex() = default;
+ShardedIndex::~ShardedIndex() {
+  // Ordering matters: background reloads touch shards_/health_, and
+  // abandoned hedge stragglers on the fan-out pool touch the context pool,
+  // probe counters, and breakers — all of which are destroyed before
+  // fanout_pool_ (declaration order). Drain both worlds explicitly while
+  // every member is still alive.
+  WaitForReloads();
+  if (fanout_pool_ != nullptr) fanout_pool_->Shutdown();
+}
 
 std::string ShardedIndex::Name() const {
   std::string name = kMethodPrefix;
@@ -156,6 +209,7 @@ methods::BuildStats ShardedIndex::Build(const core::Dataset& data) {
 }
 
 void ShardedIndex::FinishInit(const core::Dataset& data) {
+  WaitForReloads();
   data_ = &data;
   max_shard_size_ = 1;
   for (const core::Dataset& d : shard_data_) {
@@ -177,6 +231,25 @@ void ShardedIndex::FinishInit(const core::Dataset& data) {
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     probe_counts_[s].store(0, std::memory_order_relaxed);
   }
+  health_ = std::make_unique<ShardHealthTable>(shards_.size(),
+                                               options_.breaker);
+  shard_locks_ = std::make_unique<std::shared_mutex[]>(shards_.size());
+  {
+    std::lock_guard<std::mutex> lock(reload_mutex_);
+    reload_inflight_.assign(shards_.size(), 0);
+  }
+}
+
+void ShardedIndex::SetBreakerOptions(const ShardBreakerOptions& breaker) {
+  options_.breaker = breaker;
+  if (!shards_.empty()) {
+    health_ = std::make_unique<ShardHealthTable>(shards_.size(), breaker);
+  }
+}
+
+const ShardHealthTable& ShardedIndex::health() const {
+  GASS_CHECK_MSG(health_ != nullptr, "health() before Build");
+  return *health_;
 }
 
 void ShardedIndex::SetFanoutThreads(std::size_t threads) {
@@ -280,6 +353,9 @@ serve::SearchResponse ShardedIndex::Search(
   params.trace = request.trace;
   serve::SearchResponse response(SearchImpl(request.query, params, &rng));
   response.admission_id = id;
+  response.shards_ok = response.stats.shards_probed;
+  response.shards_failed = response.stats.shards_failed;
+  response.shards_hedged = response.stats.shards_hedged;
   response.outcome = response.expired ? methods::ServeOutcome::kExpired
                      : params.degrade_step > 0
                          ? methods::ServeOutcome::kDegraded
@@ -290,6 +366,17 @@ serve::SearchResponse ShardedIndex::Search(
   }
   return response;
 }
+
+namespace {
+
+// Per-probe disposition after fan-out (indexes the `state` array below).
+enum : std::uint8_t {
+  kProbeNotRun = 0,  // Deadline expired before the probe started/resolved.
+  kProbeOk = 1,      // Completed; its result merges.
+  kProbeFailed = 2,  // Sub-search failed (real or injected fault).
+};
+
+}  // namespace
 
 methods::SearchResult ShardedIndex::SearchImpl(
     const float* query, const methods::SearchParams& params,
@@ -315,8 +402,38 @@ methods::SearchResult ShardedIndex::SearchImpl(
   }
   std::sort(ranked.begin(), ranked.end());
 
-  // One RNG draw per query, fanned into per-probe streams by rank, so
-  // parallel and caller-thread fan-out see identical sub-search seeds.
+  // Walk the ranked list and select up to nprobe shards, skipping any
+  // with an open breaker (unless this decision is granted the half-open
+  // probe) — the query substitutes the next-nearest centroid instead of
+  // failing. With every breaker closed this selects exactly the first
+  // nprobe ranks, preserving the historic routing bit-for-bit.
+  struct Selected {
+    std::uint32_t shard;
+    bool probe_granted;
+  };
+  std::vector<Selected> selected;
+  selected.reserve(nprobe);
+  std::size_t breaker_skips = 0;
+  for (std::size_t i = 0; i < k_shards && selected.size() < nprobe; ++i) {
+    const std::uint32_t s = ranked[i].second;
+    switch (health_->RouteDecision(s)) {
+      case ShardRoute::kSearch:
+        selected.push_back({s, false});
+        break;
+      case ShardRoute::kProbe:
+        selected.push_back({s, true});
+        break;
+      case ShardRoute::kSkip:
+        ++breaker_skips;
+        break;
+    }
+  }
+  const std::size_t n_sel = selected.size();
+
+  // One RNG draw per query, fanned into per-probe streams by selection
+  // position, so parallel, caller-thread, and hedged fan-out all see
+  // identical sub-search seeds (a hedged backup replays its primary's
+  // stream and returns the same answers, modulo deadline truncation).
   const std::uint64_t query_seed = rng->Next();
 
   {
@@ -326,8 +443,10 @@ methods::SearchResult ShardedIndex::SearchImpl(
     route_timer.Stop();
   }
 
-  std::vector<methods::SearchResult> sub(nprobe);
-  std::vector<std::uint8_t> ran(nprobe, 0);
+  std::vector<methods::SearchResult> sub(n_sel);
+  std::vector<std::uint8_t> state(n_sel, kProbeNotRun);
+  std::size_t hedges_launched = 0;
+  std::size_t hedge_wins = 0;
 
   // Sub-searches never see the trace: their costs and time are reported
   // as one kShardSearch span per probe, and a trace-aware sub-index would
@@ -335,54 +454,185 @@ methods::SearchResult ShardedIndex::SearchImpl(
   methods::SearchParams sub_params = params;
   sub_params.trace = nullptr;
 
-  auto run_probe = [&](std::size_t rank) {
-    // Deadline poll between probes: once the budget is gone, remaining
-    // shards are skipped entirely — the merged answer stays whatever the
-    // completed probes produced (all valid ids), never garbage.
-    if (params.deadline != nullptr && params.deadline->IsExpired()) return;
-    const std::uint32_t s = ranked[rank].second;
-    obs::StageTimer probe_timer(trace, obs::Stage::kShardSearch,
-                                static_cast<std::int32_t>(s));
-    std::unique_ptr<methods::SearchContext> sctx = AcquireContext();
-    sctx->rng = core::Rng(query_seed ^ (kSeedMix * (rank + 1)));
-    sub[rank] = shards_[s]->Search(query, sub_params, sctx.get());
-    probe_timer.SetStats(sub[rank].stats);
-    ran[rank] = 1;
-    probe_counts_[s].fetch_add(1, std::memory_order_relaxed);
-    ReleaseContext(std::move(sctx));
-  };
+  const bool hedged = options_.hedge_fraction > 0.0 &&
+                      fanout_pool_ != nullptr && params.deadline != nullptr &&
+                      !params.deadline->unlimited() && n_sel > 0;
 
-  if (fanout_pool_ != nullptr && nprobe > 1) {
-    // Per-query completion latch: the internal pool is shared by every
-    // concurrent query, so ThreadPool::Wait() (a global barrier) would
-    // serialize them; count down only this query's probes instead.
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
-    std::size_t remaining = nprobe - 1;
-    auto finish_one = [&] {
-      std::unique_lock<std::mutex> lock(done_mutex);
-      if (--remaining == 0) done_cv.notify_one();
-    };
-    for (std::size_t rank = 1; rank < nprobe; ++rank) {
-      const bool accepted = fanout_pool_->Submit([&, rank] {
-        try {
-          run_probe(rank);
-        } catch (...) {
-          finish_one();  // Never leave the caller waiting.
-          throw;
-        }
-        finish_one();
-      });
-      if (!accepted) {
-        run_probe(rank);
-        finish_one();
+  if (hedged) {
+    // Hedged fan-out: every probe runs on the pool; the caller thread
+    // coordinates. After hedge_fraction of the remaining budget elapses
+    // with shards still outstanding, one backup attempt per outstanding
+    // shard launches; the first attempt to finish resolves its shard. At
+    // the deadline the coordinator stops waiting — stragglers keep the
+    // heap-shared HedgeState alive and finish harmlessly later.
+    auto hstate = std::make_shared<HedgeState>();
+    hstate->query.assign(query, query + dim);
+    hstate->deadline = *params.deadline;
+    hstate->sub_params = sub_params;
+    hstate->sub_params.deadline = &hstate->deadline;
+    hstate->query_seed = query_seed;
+    hstate->slots = std::vector<HedgeSlot>(n_sel);
+    hstate->unresolved = n_sel;
+    for (std::size_t idx = 0; idx < n_sel; ++idx) {
+      hstate->slots[idx].shard = selected[idx].shard;
+      hstate->slots[idx].probe_granted = selected[idx].probe_granted;
+    }
+    const std::uint64_t fanout_begin_ns =
+        trace != nullptr ? trace->ElapsedNs() : 0;
+    hstate->timer.Reset();
+    for (std::size_t idx = 0; idx < n_sel; ++idx) {
+      const bool accepted = fanout_pool_->Submit(
+          [this, hstate, idx] { RunHedgedAttempt(hstate, idx, 0); });
+      if (!accepted) RunHedgedAttempt(hstate, idx, 0);
+    }
+
+    const double remaining = hstate->deadline.RemainingSeconds();
+    const double hedge_delay =
+        options_.hedge_fraction * (remaining > 0.0 ? remaining : 0.0);
+    std::unique_lock<std::mutex> lock(hstate->mutex);
+    const bool all_done = hstate->cv.wait_for(
+        lock, std::chrono::duration<double>(hedge_delay),
+        [&] { return hstate->unresolved == 0; });
+    if (!all_done) {
+      lock.unlock();
+      const std::uint64_t hedge_begin_ns =
+          trace != nullptr ? trace->ElapsedNs() : 0;
+      for (std::size_t idx = 0; idx < n_sel; ++idx) {
+        HedgeSlot& slot = hstate->slots[idx];
+        if (slot.winner.load(std::memory_order_acquire) != -1) continue;
+        slot.hedged.store(true, std::memory_order_relaxed);
+        ++hedges_launched;
+        const bool accepted = fanout_pool_->Submit(
+            [this, hstate, idx] { RunHedgedAttempt(hstate, idx, 1); });
+        if (!accepted) RunHedgedAttempt(hstate, idx, 1);
+      }
+      lock.lock();
+      while (hstate->unresolved > 0) {
+        const double rem = hstate->deadline.RemainingSeconds();
+        if (rem <= 0.0) break;  // Abandon stragglers at the deadline.
+        hstate->cv.wait_for(lock, std::chrono::duration<double>(rem),
+                            [&] { return hstate->unresolved == 0; });
+        if (hstate->unresolved == 0) break;
+      }
+      if (trace != nullptr) {
+        obs::TraceSpan hedge_span;
+        hedge_span.stage = obs::Stage::kHedge;
+        hedge_span.start_ns = hedge_begin_ns;
+        hedge_span.duration_ns = trace->ElapsedNs() - hedge_begin_ns;
+        trace->AddSpan(hedge_span);
       }
     }
-    run_probe(0);  // The caller searches the nearest shard itself.
-    std::unique_lock<std::mutex> lock(done_mutex);
-    done_cv.wait(lock, [&] { return remaining == 0; });
+    lock.unlock();
+
+    // Harvest resolved slots. An unresolved slot (winner still -1) was
+    // abandoned at the deadline: it stays kProbeNotRun and its eventual
+    // completion touches only HedgeState + thread-safe index members.
+    for (std::size_t idx = 0; idx < n_sel; ++idx) {
+      HedgeSlot& slot = hstate->slots[idx];
+      const int w = slot.winner.load(std::memory_order_acquire);
+      if (w < 0) continue;
+      HedgeAttempt& att = slot.attempts[w];
+      if (slot.hedged.load(std::memory_order_relaxed) && w == 1 &&
+          !att.skipped && !att.failed) {
+        ++hedge_wins;
+      }
+      if (att.skipped) {
+        state[idx] = kProbeNotRun;
+      } else if (att.failed) {
+        state[idx] = kProbeFailed;
+      } else {
+        state[idx] = kProbeOk;
+        sub[idx] = std::move(att.result);
+        if (trace != nullptr) {
+          obs::TraceSpan span;
+          span.stage = obs::Stage::kShardSearch;
+          span.shard = static_cast<std::int32_t>(slot.shard);
+          span.start_ns =
+              fanout_begin_ns +
+              static_cast<std::uint64_t>(att.start * 1e9);
+          span.duration_ns = static_cast<std::uint64_t>(att.duration * 1e9);
+          span.distance_computations = sub[idx].stats.distance_computations;
+          span.hops = sub[idx].stats.hops;
+          span.prefetches = sub[idx].stats.prefetches;
+          trace->AddSpan(span);
+        }
+      }
+    }
   } else {
-    for (std::size_t rank = 0; rank < nprobe; ++rank) run_probe(rank);
+    auto run_probe = [&](std::size_t idx) {
+      const std::uint32_t s = selected[idx].shard;
+      // Deadline poll between probes: once the budget is gone, remaining
+      // shards are skipped entirely — the merged answer stays whatever
+      // the completed probes produced (all valid ids), never garbage.
+      if (params.deadline != nullptr && params.deadline->IsExpired()) {
+        if (selected[idx].probe_granted) health_->OnProbeAbandoned(s);
+        return;
+      }
+      obs::StageTimer probe_timer(trace, obs::Stage::kShardSearch,
+                                  static_cast<std::int32_t>(s));
+      bool failed = false;
+      if (faults_ != nullptr) {
+        faults_->OnShardSearch(params.admission_id, s, /*attempt=*/0);
+      }
+      try {
+        if (faults_ != nullptr &&
+            faults_->ShouldFailShardSearch(params.admission_id, s)) {
+          faults_->CountShardFailure();
+          // Thrown (not returned) so injected failures walk the exact
+          // exception-to-status path a real sub-search failure takes.
+          throw std::runtime_error("injected shard fault");
+        }
+        std::unique_ptr<methods::SearchContext> sctx = AcquireContext();
+        sctx->rng = core::Rng(query_seed ^ (kSeedMix * (idx + 1)));
+        {
+          std::shared_lock<std::shared_mutex> shard_lock(shard_locks_[s]);
+          sub[idx] = shards_[s]->Search(query, sub_params, sctx.get());
+        }
+        ReleaseContext(std::move(sctx));
+      } catch (...) {
+        // A failing shard costs the query that shard's contribution, never
+        // the query: the failure becomes per-shard status (kProbeFailed →
+        // shards_failed/partial) and feeds the breaker.
+        failed = true;
+      }
+      probe_counts_[s].fetch_add(1, std::memory_order_relaxed);
+      if (failed) {
+        probe_timer.Cancel();
+        state[idx] = kProbeFailed;
+      } else {
+        probe_timer.SetStats(sub[idx].stats);
+        state[idx] = kProbeOk;
+      }
+      health_->OnResult(s, !failed);
+    };
+
+    if (fanout_pool_ != nullptr && n_sel > 1) {
+      // Per-query completion latch: the internal pool is shared by every
+      // concurrent query, so ThreadPool::Wait() (a global barrier) would
+      // serialize them; count down only this query's probes instead.
+      std::mutex done_mutex;
+      std::condition_variable done_cv;
+      std::size_t remaining = n_sel - 1;
+      auto finish_one = [&] {
+        std::unique_lock<std::mutex> lock(done_mutex);
+        if (--remaining == 0) done_cv.notify_one();
+      };
+      for (std::size_t idx = 1; idx < n_sel; ++idx) {
+        const bool accepted = fanout_pool_->Submit([&, idx] {
+          run_probe(idx);  // Never throws: failures become kProbeFailed.
+          finish_one();
+        });
+        if (!accepted) {
+          run_probe(idx);
+          finish_one();
+        }
+      }
+      run_probe(0);  // The caller searches the nearest shard itself.
+      std::unique_lock<std::mutex> lock(done_mutex);
+      done_cv.wait(lock, [&] { return remaining == 0; });
+    } else {
+      for (std::size_t idx = 0; idx < n_sel; ++idx) run_probe(idx);
+    }
   }
 
   // Merge span: per-shard stat aggregation + global-id top-k merge.
@@ -391,26 +641,41 @@ methods::SearchResult ShardedIndex::SearchImpl(
   methods::SearchResult merged;
   merged.degrade_step = params.degrade_step;
   std::size_t probed = 0;
+  std::size_t failed_probes = 0;
+  std::size_t deadline_missed = 0;
   bool sub_expired = false;
-  for (std::size_t rank = 0; rank < nprobe; ++rank) {
-    if (!ran[rank]) continue;
-    ++probed;
-    merged.stats.distance_computations += sub[rank].stats.distance_computations;
-    merged.stats.hops += sub[rank].stats.hops;
-    merged.stats.prefetches += sub[rank].stats.prefetches;
-    if (sub[rank].stats.deadline_expiries > 0) sub_expired = true;
+  for (std::size_t idx = 0; idx < n_sel; ++idx) {
+    switch (state[idx]) {
+      case kProbeOk:
+        ++probed;
+        merged.stats.distance_computations +=
+            sub[idx].stats.distance_computations;
+        merged.stats.hops += sub[idx].stats.hops;
+        merged.stats.prefetches += sub[idx].stats.prefetches;
+        if (sub[idx].stats.deadline_expiries > 0) sub_expired = true;
+        break;
+      case kProbeFailed:
+        ++failed_probes;
+        break;
+      default:
+        ++deadline_missed;
+        break;
+    }
   }
   merged.stats.distance_computations += k_shards;  // Centroid routing.
   merged.stats.shards_probed = probed;
+  merged.stats.shards_failed = failed_probes + breaker_skips;
+  merged.stats.shards_hedged = hedges_launched;
+  merged.stats.hedge_wins = hedge_wins;
 
   // Merge local results into global ids. A single completed probe passes
   // its list through untouched (order, ties, distances) — with K=1 this is
   // what makes the facade bit-identical to the unsharded index.
   if (probed == 1) {
-    for (std::size_t rank = 0; rank < nprobe; ++rank) {
-      if (!ran[rank]) continue;
-      const std::uint32_t s = ranked[rank].second;
-      merged.neighbors = std::move(sub[rank].neighbors);
+    for (std::size_t idx = 0; idx < n_sel; ++idx) {
+      if (state[idx] != kProbeOk) continue;
+      const std::uint32_t s = selected[idx].shard;
+      merged.neighbors = std::move(sub[idx].neighbors);
       for (core::Neighbor& nb : merged.neighbors) {
         nb.id = partitioning_.shard_ids[s][nb.id];
       }
@@ -418,10 +683,10 @@ methods::SearchResult ShardedIndex::SearchImpl(
     }
   } else if (probed > 1) {
     std::vector<core::Neighbor> all;
-    for (std::size_t rank = 0; rank < nprobe; ++rank) {
-      if (!ran[rank]) continue;
-      const std::uint32_t s = ranked[rank].second;
-      for (const core::Neighbor& nb : sub[rank].neighbors) {
+    for (std::size_t idx = 0; idx < n_sel; ++idx) {
+      if (state[idx] != kProbeOk) continue;
+      const std::uint32_t s = selected[idx].shard;
+      for (const core::Neighbor& nb : sub[idx].neighbors) {
         all.emplace_back(partitioning_.shard_ids[s][nb.id], nb.distance);
       }
     }
@@ -434,12 +699,135 @@ methods::SearchResult ShardedIndex::SearchImpl(
 
   merge_timer.Stop();
 
-  // Expired when the deadline skipped probes or truncated any sub-search;
-  // one query reports at most one expiry regardless of fan-out width.
-  merged.expired = sub_expired || probed < nprobe;
+  // Two independent flags (see docs/SHARDING.md "Failure semantics"):
+  // `expired` is deadline-caused — a sub-search truncated, a probe never
+  // started, or a hedged straggler was abandoned at the deadline; one
+  // query reports at most one expiry regardless of fan-out width.
+  // `partial` is fault-caused — a sub-search failed or an open breaker
+  // skipped a shard the routing wanted.
+  merged.expired = sub_expired || deadline_missed > 0;
+  merged.partial = failed_probes + breaker_skips > 0;
   merged.stats.deadline_expiries = merged.expired ? 1 : 0;
   merged.stats.elapsed_seconds = timer.Seconds();
   return merged;
+}
+
+void ShardedIndex::RunHedgedAttempt(const std::shared_ptr<HedgeState>& state,
+                                    std::size_t idx, int attempt) const {
+  HedgeSlot& slot = state->slots[idx];
+  HedgeAttempt& att = slot.attempts[attempt];
+  att.start = state->timer.Seconds();
+  bool failed = false;
+  bool skipped = false;
+  if (state->deadline.IsExpired()) {
+    skipped = true;
+  } else {
+    const std::uint32_t s = slot.shard;
+    if (faults_ != nullptr) {
+      faults_->OnShardSearch(state->sub_params.admission_id, s,
+                             static_cast<std::uint32_t>(attempt));
+    }
+    try {
+      if (faults_ != nullptr &&
+          faults_->ShouldFailShardSearch(state->sub_params.admission_id, s)) {
+        faults_->CountShardFailure();
+        throw std::runtime_error("injected shard fault");
+      }
+      std::unique_ptr<methods::SearchContext> sctx = AcquireContext();
+      // Seeded by selection position, independent of attempt: the backup
+      // replays the primary's stream, so whichever attempt wins returns
+      // the same answers (modulo deadline truncation).
+      sctx->rng = core::Rng(state->query_seed ^ (kSeedMix * (idx + 1)));
+      {
+        std::shared_lock<std::shared_mutex> shard_lock(shard_locks_[s]);
+        att.result =
+            shards_[s]->Search(state->query.data(), state->sub_params,
+                               sctx.get());
+      }
+      ReleaseContext(std::move(sctx));
+    } catch (...) {
+      failed = true;
+    }
+    probe_counts_[s].fetch_add(1, std::memory_order_relaxed);
+  }
+  att.duration = state->timer.Seconds() - att.start;
+  att.failed = failed;
+  att.skipped = skipped;
+  // First attempt to finish resolves the shard; the release CAS publishes
+  // this attempt's fields to the coordinator. The loser's outcome is
+  // discarded (it computed the same answers anyway — same seed).
+  int expected = -1;
+  if (!slot.winner.compare_exchange_strong(expected, attempt,
+                                           std::memory_order_acq_rel)) {
+    return;
+  }
+  if (skipped) {
+    if (slot.probe_granted) health_->OnProbeAbandoned(slot.shard);
+  } else {
+    health_->OnResult(slot.shard, !failed);
+  }
+  std::lock_guard<std::mutex> lock(state->mutex);
+  --state->unresolved;
+  state->cv.notify_all();
+}
+
+core::Status ShardedIndex::ReloadShard(std::size_t s) {
+  GASS_CHECK(s < shards_.size());
+  if (snapshot_path_.empty()) {
+    return core::Status::InvalidArgument(
+        "no recovery snapshot recorded for " + Name() +
+        " (LoadSnapshot records one; after Build + SaveSnapshot call "
+        "SetRecoverySnapshot)");
+  }
+  if (faults_ != nullptr &&
+      faults_->OnShardReload(static_cast<std::uint32_t>(s))) {
+    return core::Status::Corruption("injected reload corruption for shard " +
+                                    std::to_string(s));
+  }
+  const std::string shard_path = ShardPath(snapshot_path_, s);
+  std::unique_ptr<methods::GraphIndex> fresh =
+      methods::CreateIndex(options_.method, SubIndexSeed(options_.seed, s));
+  // LoadIndex re-validates the snapshot's checksums, method name, params
+  // fingerprint, and dataset binding, so a corrupted shard file fails here
+  // and the old (quarantined) sub-index keeps serving.
+  GASS_RETURN_IF_ERROR(
+      methods::LoadIndex(fresh.get(), shard_data_[s], shard_path));
+  {
+    std::unique_lock<std::shared_mutex> lock(shard_locks_[s]);
+    shards_[s] = std::move(fresh);
+  }
+  // Re-enter rotation through the half-open path: the next routing
+  // decision probes this shard, and only a passing probe closes the
+  // breaker (generation bump included).
+  health_->OnReloaded(s);
+  return core::Status::Ok();
+}
+
+bool ShardedIndex::StartShardReload(std::size_t s) {
+  GASS_CHECK(s < shards_.size());
+  std::lock_guard<std::mutex> lock(reload_mutex_);
+  if (reload_inflight_[s] != 0) return false;
+  reload_inflight_[s] = 1;
+  reload_threads_.emplace_back([this, s] {
+    // Status intentionally discarded: a failed background reload leaves
+    // the breaker open, which is the observable signal.
+    (void)ReloadShard(s);
+    std::lock_guard<std::mutex> inner(reload_mutex_);
+    reload_inflight_[s] = 0;
+  });
+  return true;
+}
+
+void ShardedIndex::WaitForReloads() {
+  // Swap the threads out before joining: a finishing worker re-takes
+  // reload_mutex_ to clear its in-flight flag, so joining under the lock
+  // would deadlock.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(reload_mutex_);
+    threads.swap(reload_threads_);
+  }
+  for (std::thread& t : threads) t.join();
 }
 
 core::Status ShardedIndex::SaveSnapshot(const std::string& path) const {
@@ -502,6 +890,9 @@ core::Status ShardedIndex::LoadSnapshot(const std::string& path,
     fanout_pool_.reset();
     serial_ctx_.reset();
     probe_counts_.reset();
+    health_.reset();
+    shard_locks_.reset();
+    snapshot_path_.clear();
   }
   return status;
 }
@@ -652,6 +1043,9 @@ core::Status ShardedIndex::LoadSnapshotImpl(const std::string& path,
   partitioning_.centroids = std::move(centroids);
   partitioning_.distance_computations = 0;
   FinishInit(data);
+  // Record where the shards live so ReloadShard can recover any one of
+  // them online later.
+  snapshot_path_ = path;
   return core::Status::Ok();
 }
 

@@ -34,15 +34,25 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/thread_pool.h"
 #include "methods/graph_index.h"
 #include "serve/request.h"
 #include "shard/partitioner.h"
+#include "shard/shard_health.h"
+
+namespace gass::serve {
+class FaultInjector;  // serve/fault_injector.h; the header only carries a
+                      // pointer so shard/ stays light to include.
+}  // namespace gass::serve
 
 namespace gass::shard {
+
+struct HedgeState;  // Heap-shared fan-out state (sharded_index.cc).
 
 struct ShardedIndexOptions {
   /// Factory name of the per-shard method (lowercase, e.g. "hnsw").
@@ -61,6 +71,17 @@ struct ShardedIndexOptions {
   /// Base seed. Shard s's sub-index is built with seed ^ (mix * s), so
   /// shard 0 of a K=1 index uses exactly `seed` (bit-identity baseline).
   std::uint64_t seed = 42;
+  /// Per-shard circuit breaker (see shard/shard_health.h). The default
+  /// trips a shard after 3 consecutive sub-search failures; threshold 0
+  /// disables quarantining entirely.
+  ShardBreakerOptions breaker;
+  /// Hedged fan-out: after this fraction of the query's remaining deadline
+  /// budget elapses with shards still outstanding, launch one backup
+  /// sub-search per outstanding shard on the fanout pool and take the
+  /// first result per shard. 0 (default) disables hedging and keeps the
+  /// classic fan-out path (bit-identical to previous behavior). Requires a
+  /// deadline and fanout_threads > 0 to take effect.
+  double hedge_fraction = 0.0;
 };
 
 /// K per-shard indexes + centroid routing, behind the GraphIndex interface.
@@ -113,6 +134,51 @@ class ShardedIndex : public methods::GraphIndex {
   /// Re-sizes the per-query fan-out pool after build/load (0 = fan out on
   /// the caller thread). Not thread-safe against concurrent searches.
   void SetFanoutThreads(std::size_t threads);
+  /// Adjusts the hedge trigger after build/load (see
+  /// ShardedIndexOptions::hedge_fraction). Not thread-safe against
+  /// concurrent searches.
+  void SetHedgeFraction(double fraction) { options_.hedge_fraction = fraction; }
+  /// Attaches (or detaches, with null) a fault injector whose
+  /// ShardFaultPlan entries drive deterministic shard-level faults: slow
+  /// sub-searches, failing sub-searches (injected as exceptions inside the
+  /// fan-out worker, exercising the same path a real failure takes), and
+  /// corrupt reloads. The injector is shared with — and outlived by rules
+  /// of — the serve tier; not thread-safe against concurrent searches.
+  void SetFaultInjector(serve::FaultInjector* faults) { faults_ = faults; }
+  /// Replaces the breaker configuration (resets all breaker state). Not
+  /// thread-safe against concurrent searches.
+  void SetBreakerOptions(const ShardBreakerOptions& breaker);
+
+  /// Per-shard breaker state + transition counters (valid after
+  /// Build/LoadSnapshot).
+  const ShardHealthTable& health() const;
+
+  // --- Online shard recovery (see docs/SHARDING.md "Failure semantics") ---
+
+  /// Synchronously re-loads shard `s` from its snapshot file
+  /// (ShardPath(recovery_snapshot(), s)), swapping the fresh sub-index in
+  /// under that shard's lock while concurrent searches continue on every
+  /// other shard. On success the breaker's failure count resets and the
+  /// next routing decision probes the shard (half-open), so it re-enters
+  /// rotation only by passing that probe. On failure (missing/corrupt
+  /// file, injected corruption) the shard keeps serving its old state —
+  /// quarantined if the breaker was open. Requires a recovery snapshot
+  /// path: recorded automatically by LoadSnapshot, or set explicitly after
+  /// Build + SaveSnapshot via SetRecoverySnapshot.
+  core::Status ReloadShard(std::size_t s);
+
+  /// Launches ReloadShard(s) on a background thread. Returns false (and
+  /// does nothing) when a reload of that shard is already in flight. The
+  /// thread's Status is discarded — the breaker state tells the story —
+  /// so use ReloadShard directly when the caller needs the error.
+  bool StartShardReload(std::size_t s);
+
+  /// Joins every background reload launched so far (tests and shutdown).
+  void WaitForReloads();
+
+  /// Manifest path used for per-shard reloads; LoadSnapshot records it.
+  void SetRecoverySnapshot(const std::string& path) { snapshot_path_ = path; }
+  const std::string& recovery_snapshot() const { return snapshot_path_; }
 
   /// Partition state (valid after Build/LoadSnapshot).
   const Partitioning& partitioning() const { return partitioning_; }
@@ -140,6 +206,12 @@ class ShardedIndex : public methods::GraphIndex {
   methods::SearchResult SearchImpl(const float* query,
                                    const methods::SearchParams& params,
                                    core::Rng* rng) const;
+  /// One sub-search attempt of the hedged fan-out (attempt 0 = primary,
+  /// 1 = backup); runs on the fanout pool, resolves its slot via a winner
+  /// CAS, and touches only `state` plus immutable/thread-safe members so
+  /// an abandoned straggler stays harmless after its query returns.
+  void RunHedgedAttempt(const std::shared_ptr<HedgeState>& state,
+                        std::size_t idx, int attempt) const;
   /// LoadSnapshot body; the wrapper resets this index to the unbuilt state
   /// when any step fails, so a rejected snapshot never leaves a
   /// half-loaded, searchable index behind.
@@ -172,6 +244,20 @@ class ShardedIndex : public methods::GraphIndex {
 
   /// One relaxed counter per shard (array: std::atomic is not movable).
   std::unique_ptr<std::atomic<std::uint64_t>[]> probe_counts_;
+
+  /// Per-shard circuit breakers (constructed by FinishInit).
+  std::unique_ptr<ShardHealthTable> health_;
+  /// Guards each shards_[s] pointer: sub-searches hold it shared,
+  /// ReloadShard swaps the fresh sub-index in under a unique lock.
+  std::unique_ptr<std::shared_mutex[]> shard_locks_;
+  /// Optional shard-level fault injector (not owned; see SetFaultInjector).
+  serve::FaultInjector* faults_ = nullptr;
+  /// Manifest path for per-shard recovery reloads ("" = none recorded).
+  std::string snapshot_path_;
+
+  std::mutex reload_mutex_;
+  std::vector<std::thread> reload_threads_;     // Guarded by reload_mutex_.
+  std::vector<std::uint8_t> reload_inflight_;   // Guarded by reload_mutex_.
 };
 
 /// Opens the sharded manifest at `path`, reconstructs a ShardedIndex with

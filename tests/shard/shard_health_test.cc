@@ -1,0 +1,231 @@
+// ShardHealthTable state-machine contract (see shard/shard_health.h):
+//   - failure_threshold consecutive failures trip closed -> open, and
+//     OnResult reports the trip exactly once;
+//   - while open, every probe_period-th routing decision is granted a
+//     half-open probe and concurrent decisions cannot double-grant;
+//   - a passing probe closes the breaker, a failing probe re-opens it and
+//     restarts the probe countdown;
+//   - OnProbeAbandoned releases half-open back to open without counting a
+//     failure;
+//   - OnReloaded bumps the generation and forces the next decision to
+//     probe without closing the breaker;
+//   - threshold 0 disables the breaker entirely.
+// Plus the serve::FaultInjector shard-plan units the fault suite builds on.
+
+#include "shard/shard_health.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve/fault_injector.h"
+
+namespace gass::shard {
+namespace {
+
+ShardBreakerOptions MakeOptions(std::uint32_t threshold,
+                                std::uint64_t probe_period) {
+  ShardBreakerOptions options;
+  options.failure_threshold = threshold;
+  options.probe_period = probe_period;
+  return options;
+}
+
+TEST(ShardHealthTest, StartsClosedAndRoutesNormally) {
+  ShardHealthTable health(4, MakeOptions(3, 16));
+  EXPECT_TRUE(health.enabled());
+  EXPECT_EQ(health.num_shards(), 4u);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(health.state(s), BreakerState::kClosed);
+    EXPECT_EQ(health.RouteDecision(s), ShardRoute::kSearch);
+  }
+  EXPECT_EQ(health.trips(), 0u);
+  EXPECT_EQ(health.skips(), 0u);
+}
+
+TEST(ShardHealthTest, ConsecutiveFailuresTripExactlyAtThreshold) {
+  ShardHealthTable health(2, MakeOptions(3, 16));
+  EXPECT_FALSE(health.OnResult(0, false));
+  EXPECT_FALSE(health.OnResult(0, false));
+  EXPECT_EQ(health.state(0), BreakerState::kClosed);
+  EXPECT_EQ(health.consecutive_failures(0), 2u);
+  // The third consecutive failure trips, and reports the trip exactly once.
+  EXPECT_TRUE(health.OnResult(0, false));
+  EXPECT_EQ(health.state(0), BreakerState::kOpen);
+  EXPECT_EQ(health.trips(), 1u);
+  EXPECT_FALSE(health.OnResult(0, false));
+  EXPECT_EQ(health.trips(), 1u);
+  // The other shard is untouched.
+  EXPECT_EQ(health.state(1), BreakerState::kClosed);
+}
+
+TEST(ShardHealthTest, SuccessResetsTheFailureStreak) {
+  ShardHealthTable health(1, MakeOptions(3, 16));
+  health.OnResult(0, false);
+  health.OnResult(0, false);
+  health.OnResult(0, true);  // Streak broken.
+  health.OnResult(0, false);
+  health.OnResult(0, false);
+  EXPECT_EQ(health.state(0), BreakerState::kClosed);
+  EXPECT_EQ(health.trips(), 0u);
+}
+
+TEST(ShardHealthTest, OpenBreakerSkipsAndProbesEveryNthDecision) {
+  ShardHealthTable health(1, MakeOptions(1, 4));
+  EXPECT_TRUE(health.OnResult(0, false));  // Threshold 1: trips immediately.
+  // Decisions 1..3 skip; decision 4 is granted the half-open probe.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(health.RouteDecision(0), ShardRoute::kSkip) << "decision " << i;
+  }
+  EXPECT_EQ(health.RouteDecision(0), ShardRoute::kProbe);
+  EXPECT_EQ(health.state(0), BreakerState::kHalfOpen);
+  EXPECT_EQ(health.probes_granted(), 1u);
+  EXPECT_EQ(health.skips(), 3u);
+  // While the probe is in flight every other decision skips — no
+  // double-grant.
+  EXPECT_EQ(health.RouteDecision(0), ShardRoute::kSkip);
+  EXPECT_EQ(health.probes_granted(), 1u);
+}
+
+TEST(ShardHealthTest, PassingProbeClosesTheBreaker) {
+  ShardHealthTable health(1, MakeOptions(1, 1));
+  health.OnResult(0, false);
+  ASSERT_EQ(health.RouteDecision(0), ShardRoute::kProbe);
+  EXPECT_FALSE(health.OnResult(0, true));
+  EXPECT_EQ(health.state(0), BreakerState::kClosed);
+  EXPECT_EQ(health.recoveries(), 1u);
+  EXPECT_EQ(health.RouteDecision(0), ShardRoute::kSearch);
+}
+
+TEST(ShardHealthTest, FailingProbeReopensAndRestartsTheCountdown) {
+  ShardHealthTable health(1, MakeOptions(1, 4));
+  health.OnResult(0, false);
+  for (int i = 0; i < 3; ++i) health.RouteDecision(0);
+  ASSERT_EQ(health.RouteDecision(0), ShardRoute::kProbe);
+  EXPECT_FALSE(health.OnResult(0, false));  // Probe failure is not a trip.
+  EXPECT_EQ(health.state(0), BreakerState::kOpen);
+  EXPECT_EQ(health.trips(), 1u);
+  EXPECT_EQ(health.recoveries(), 0u);
+  // The countdown restarted: the next probe is a full period away again.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(health.RouteDecision(0), ShardRoute::kSkip) << "decision " << i;
+  }
+  EXPECT_EQ(health.RouteDecision(0), ShardRoute::kProbe);
+}
+
+TEST(ShardHealthTest, AbandonedProbeReleasesHalfOpenWithoutAFailure) {
+  ShardHealthTable health(1, MakeOptions(1, 1));
+  health.OnResult(0, false);
+  ASSERT_EQ(health.RouteDecision(0), ShardRoute::kProbe);
+  health.OnProbeAbandoned(0);
+  EXPECT_EQ(health.state(0), BreakerState::kOpen);
+  // A later query can probe again.
+  EXPECT_EQ(health.RouteDecision(0), ShardRoute::kProbe);
+  // Abandoning a shard that is not half-open is a no-op.
+  EXPECT_FALSE(health.OnResult(0, true));
+  EXPECT_EQ(health.state(0), BreakerState::kClosed);
+  health.OnProbeAbandoned(0);
+  EXPECT_EQ(health.state(0), BreakerState::kClosed);
+}
+
+TEST(ShardHealthTest, ReloadForcesAProbeWithoutClosing) {
+  ShardHealthTable health(1, MakeOptions(1, 1000000));
+  health.OnResult(0, false);
+  EXPECT_EQ(health.generation(0), 0u);
+  health.OnReloaded(0);
+  EXPECT_EQ(health.generation(0), 1u);
+  EXPECT_EQ(health.consecutive_failures(0), 0u);
+  // Not closed: re-entry goes through the half-open probe...
+  EXPECT_EQ(health.state(0), BreakerState::kOpen);
+  // ...which the reload forces immediately, long before the probe period.
+  EXPECT_EQ(health.RouteDecision(0), ShardRoute::kProbe);
+  EXPECT_FALSE(health.OnResult(0, true));
+  EXPECT_EQ(health.state(0), BreakerState::kClosed);
+  EXPECT_EQ(health.recoveries(), 1u);
+}
+
+TEST(ShardHealthTest, ThresholdZeroDisablesTheBreaker) {
+  ShardHealthTable health(2, MakeOptions(0, 16));
+  EXPECT_FALSE(health.enabled());
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(health.OnResult(0, false));
+  EXPECT_EQ(health.state(0), BreakerState::kClosed);
+  EXPECT_EQ(health.RouteDecision(0), ShardRoute::kSearch);
+  EXPECT_EQ(health.trips(), 0u);
+}
+
+TEST(ShardHealthTest, SummaryCountsStatesAndTransitions) {
+  ShardHealthTable health(3, MakeOptions(1, 1));
+  health.OnResult(1, false);
+  const std::string summary = health.Summary();
+  EXPECT_NE(summary.find("2/3 closed"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("1 open"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("trips 1"), std::string::npos) << summary;
+}
+
+TEST(ShardHealthTest, StateNames) {
+  EXPECT_STREQ(BreakerStateName(BreakerState::kClosed), "closed");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kOpen), "open");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kHalfOpen), "half-open");
+}
+
+// --- serve::FaultInjector shard-fault plan ---
+
+serve::FaultPlan OneShardPlan(std::uint32_t shard, std::uint64_t fail_period,
+                              std::uint64_t slow_period = 0,
+                              std::uint64_t reload_corrupt_times = 0) {
+  serve::FaultPlan plan;
+  serve::ShardFaultPlan fault;
+  fault.shard = shard;
+  fault.fail_period = fail_period;
+  fault.slow_period = slow_period;
+  fault.slow_seconds = 0.001;
+  fault.reload_corrupt_times = reload_corrupt_times;
+  plan.shard_faults.push_back(fault);
+  return plan;
+}
+
+TEST(ShardFaultPlanTest, FailPeriodKeysOnAdmissionIdAndShard) {
+  serve::FaultInjector faults(OneShardPlan(2, 3));
+  // Only shard 2 is planned; every 3rd admission id fires.
+  EXPECT_TRUE(faults.ShouldFailShardSearch(0, 2));
+  EXPECT_FALSE(faults.ShouldFailShardSearch(1, 2));
+  EXPECT_FALSE(faults.ShouldFailShardSearch(2, 2));
+  EXPECT_TRUE(faults.ShouldFailShardSearch(3, 2));
+  EXPECT_FALSE(faults.ShouldFailShardSearch(0, 1));
+  EXPECT_FALSE(faults.ShouldFailShardSearch(3, 0));
+  faults.CountShardFailure();
+  EXPECT_EQ(faults.injected_shard_failures(), 1u);
+}
+
+TEST(ShardFaultPlanTest, SlowPlanDelaysOnlyEarlyAttempts) {
+  serve::FaultPlan plan = OneShardPlan(0, 0, /*slow_period=*/1);
+  plan.shard_faults[0].slow_attempts = 1;
+  serve::FaultInjector faults(plan);
+  EXPECT_GT(faults.ShardSearchDelaySeconds(0, 0, /*attempt=*/0), 0.0);
+  // attempt 1 (the hedged backup) models a healthy replica: no delay.
+  EXPECT_EQ(faults.ShardSearchDelaySeconds(0, 0, /*attempt=*/1), 0.0);
+  EXPECT_EQ(faults.ShardSearchDelaySeconds(0, 1, 0), 0.0);  // Other shard.
+  faults.OnShardSearch(0, 0, 0);
+  EXPECT_EQ(faults.injected_shard_delays(), 1u);
+  faults.OnShardSearch(0, 0, 1);
+  EXPECT_EQ(faults.injected_shard_delays(), 1u);
+}
+
+TEST(ShardFaultPlanTest, ReloadCorruptionFiresFirstNTimes) {
+  serve::FaultInjector faults(OneShardPlan(1, 0, 0, /*reload_corrupt=*/2));
+  EXPECT_TRUE(faults.OnShardReload(1));
+  EXPECT_TRUE(faults.OnShardReload(1));
+  EXPECT_FALSE(faults.OnShardReload(1));  // Third reload succeeds.
+  EXPECT_FALSE(faults.OnShardReload(0));  // Unplanned shard never corrupts.
+  EXPECT_EQ(faults.injected_reload_corruptions(), 2u);
+}
+
+TEST(ShardFaultPlanTest, EmptyPlanInjectsNothing) {
+  serve::FaultInjector faults;
+  EXPECT_FALSE(faults.ShouldFailShardSearch(0, 0));
+  EXPECT_EQ(faults.ShardSearchDelaySeconds(0, 0, 0), 0.0);
+  EXPECT_FALSE(faults.OnShardReload(0));
+}
+
+}  // namespace
+}  // namespace gass::shard

@@ -29,6 +29,28 @@
 //   --build-threads T       threads for the parallel shard builds (0 = all)
 //   --fanout-threads T      threads for per-query fan-out (0 = caller thread)
 //
+// Shard fault tolerance (serve-bench, sharded indexes only; see
+// docs/SHARDING.md "Failure semantics"):
+//   --breaker-threshold N   consecutive failures before a shard's circuit
+//                           breaker opens (0 = breaker off; default 3)
+//   --breaker-probe N       every Nth routing decision against an open
+//                           breaker becomes a half-open probe (default 16)
+//   --hedge F               fraction of the remaining deadline after which
+//                           an outstanding shard gets a hedged backup
+//                           sub-search (0/absent = off; needs
+//                           --fanout-threads > 0 and a deadline)
+//   --shard-fault-shard S         shard the injected fault plan targets
+//   --shard-fault-fail-period N   fail every Nth admission's sub-search on S
+//   --shard-fault-slow-period N   delay every Nth admission's sub-search
+//   --shard-fault-slow-ms M       the injected delay (default 50)
+//   --shard-fault-slow-attempts A attempts per slot that sleep (default 1,
+//                                 so a hedged backup models a healthy
+//                                 replica; 2 also slows the backup)
+//   --shard-fault-reload-corrupt N  first N ReloadShard(S) calls fail
+// A serve-bench run with a permanently failing shard (fail-period 1) must
+// finish with zero query-level errors: the lost shard surfaces as partial
+// results + breaker-state counters, never as exceptions.
+//
 // serve-bench defaults to the closed-loop executor thread sweep. With
 // --arrival poisson it instead offers an open-loop Poisson stream at
 // --rate arrivals/sec to serve::Frontend (bounded queue, load shedding,
@@ -74,6 +96,7 @@
 #include "methods/search_params.h"
 #include "obs/exporter.h"
 #include "serve/executor.h"
+#include "serve/fault_injector.h"
 #include "serve/frontend.h"
 #include "serve/retry.h"
 #include "shard/sharded_index.h"
@@ -243,6 +266,102 @@ std::string ShardSummary(const gass::methods::GraphIndex& index) {
     line += " " + std::to_string(sharded->shard_size(s));
   }
   return line;
+}
+
+// --shard-fault-* flags -> a FaultPlan with one ShardFaultPlan entry (an
+// empty plan when no fault flag is present).
+gass::serve::FaultPlan ShardFaultPlanFromFlags(const Flags& flags) {
+  gass::serve::FaultPlan plan;
+  if (!flags.Has("shard-fault-fail-period") &&
+      !flags.Has("shard-fault-slow-period") &&
+      !flags.Has("shard-fault-reload-corrupt")) {
+    return plan;
+  }
+  gass::serve::ShardFaultPlan fault;
+  fault.shard =
+      static_cast<std::uint32_t>(flags.GetInt("shard-fault-shard", 0));
+  fault.fail_period = static_cast<std::uint64_t>(
+      flags.GetInt("shard-fault-fail-period", 0));
+  fault.slow_period = static_cast<std::uint64_t>(
+      flags.GetInt("shard-fault-slow-period", 0));
+  fault.slow_seconds =
+      static_cast<double>(flags.GetInt("shard-fault-slow-ms", 50)) * 1e-3;
+  fault.slow_attempts = static_cast<std::uint32_t>(
+      flags.GetInt("shard-fault-slow-attempts", 1));
+  fault.reload_corrupt_times = static_cast<std::uint64_t>(
+      flags.GetInt("shard-fault-reload-corrupt", 0));
+  plan.shard_faults.push_back(fault);
+  return plan;
+}
+
+// Applies the breaker / hedge / shard-fault flags to a sharded index.
+// `injector` receives the owning FaultInjector (it must outlive the serving
+// run). Returns false (with a message) when a fault-tolerance flag targets
+// an unsharded index.
+bool ConfigureShardFaults(gass::methods::GraphIndex& index, const Flags& flags,
+                          std::unique_ptr<gass::serve::FaultInjector>* injector) {
+  const gass::serve::FaultPlan plan = ShardFaultPlanFromFlags(flags);
+  const bool wants_faults = !plan.shard_faults.empty() ||
+                            flags.Has("breaker-threshold") ||
+                            flags.Has("breaker-probe") || flags.Has("hedge");
+  auto* sharded = dynamic_cast<gass::shard::ShardedIndex*>(&index);
+  if (sharded == nullptr) {
+    if (wants_faults) {
+      std::fprintf(stderr,
+                   "error: --breaker-*/--hedge/--shard-fault-* need a "
+                   "sharded index (--shards K or a sharded --load)\n");
+      return false;
+    }
+    return true;
+  }
+  if (flags.Has("breaker-threshold") || flags.Has("breaker-probe")) {
+    gass::shard::ShardBreakerOptions breaker;
+    breaker.failure_threshold = static_cast<std::uint32_t>(
+        flags.GetInt("breaker-threshold", 3));
+    breaker.probe_period =
+        static_cast<std::uint64_t>(flags.GetInt("breaker-probe", 16));
+    sharded->SetBreakerOptions(breaker);
+  }
+  if (flags.Has("hedge")) {
+    sharded->SetHedgeFraction(std::atof(flags.Get("hedge", "0").c_str()));
+  }
+  if (!plan.shard_faults.empty()) {
+    *injector = std::make_unique<gass::serve::FaultInjector>(plan);
+    sharded->SetFaultInjector(injector->get());
+  }
+  return true;
+}
+
+// Fault-tolerance summary after a serving run: partial/failed/hedged
+// counters from the metrics, injected-fault tallies, and the breaker-state
+// line. Prints nothing for unsharded runs without faults.
+void ReportShardFaults(const gass::serve::ServeMetrics& metrics,
+                       const gass::methods::GraphIndex& index,
+                       const gass::serve::FaultInjector* injector) {
+  const auto* sharded = dynamic_cast<const gass::shard::ShardedIndex*>(&index);
+  if (sharded == nullptr) return;
+  if (metrics.shards_failed_total() == 0 &&
+      metrics.shards_hedged_total() == 0 && metrics.partial_queries() == 0 &&
+      injector == nullptr && !sharded->health().enabled()) {
+    return;
+  }
+  std::printf("fan-out health: partial %llu | shards failed %llu | "
+              "hedged %llu (%llu wins)\n",
+              static_cast<unsigned long long>(metrics.partial_queries()),
+              static_cast<unsigned long long>(metrics.shards_failed_total()),
+              static_cast<unsigned long long>(metrics.shards_hedged_total()),
+              static_cast<unsigned long long>(metrics.hedge_wins_total()));
+  std::printf("%s\n", sharded->health().Summary().c_str());
+  if (injector != nullptr) {
+    std::printf("injected: %llu shard failures, %llu delays, "
+                "%llu reload corruptions\n",
+                static_cast<unsigned long long>(
+                    injector->injected_shard_failures()),
+                static_cast<unsigned long long>(
+                    injector->injected_shard_delays()),
+                static_cast<unsigned long long>(
+                    injector->injected_reload_corruptions()));
+  }
 }
 
 std::vector<std::size_t> ParseBeams(const std::string& spec) {
@@ -455,7 +574,8 @@ int CmdComplexity(const Flags& flags) {
 int RunPoissonServeBench(gass::methods::GraphIndex& index,
                          const Dataset& queries,
                          const gass::methods::SearchParams& params,
-                         const Flags& flags) {
+                         const Flags& flags,
+                         const gass::serve::FaultInjector* shard_injector) {
   using Clock = std::chrono::steady_clock;
   using gass::methods::ServeOutcome;
 
@@ -563,6 +683,7 @@ int RunPoissonServeBench(gass::methods::GraphIndex& index,
   std::printf("  queue high-water: %llu\n",
               static_cast<unsigned long long>(
                   frontend.metrics().queue_depth_high_water()));
+  ReportShardFaults(frontend.metrics(), index, shard_injector);
 
   if (frontend.tracer().enabled()) {
     frontend.Drain();  // Quiesce workers before reading completed traces.
@@ -630,6 +751,11 @@ int CmdServeBench(const Flags& flags) {
   }
   const std::string shard_summary = ShardSummary(*index);
   if (!shard_summary.empty()) std::printf("%s\n", shard_summary.c_str());
+
+  // Shard fault-tolerance flags; the injector must outlive every serving
+  // run below (the sharded index keeps a raw pointer to it).
+  std::unique_ptr<gass::serve::FaultInjector> shard_injector;
+  if (!ConfigureShardFaults(*index, flags, &shard_injector)) return 1;
   std::printf("\n");
 
   const std::size_t nq = queries.size();
@@ -653,7 +779,8 @@ int CmdServeBench(const Flags& flags) {
               gass::methods::SearchParamsToString(params).c_str());
 
   if (flags.Get("arrival", "closed") == "poisson") {
-    return RunPoissonServeBench(*index, queries, params, flags);
+    return RunPoissonServeBench(*index, queries, params, flags,
+                                shard_injector.get());
   }
 
   std::printf("%-8s %-12s %-12s %-12s %-10s\n", "threads", "qps", "p50",
@@ -674,6 +801,7 @@ int CmdServeBench(const Flags& flags) {
                 1e3 * executor.metrics().LatencyQuantileSeconds(0.50),
                 1e3 * executor.metrics().LatencyQuantileSeconds(0.95),
                 static_cast<unsigned long long>(result.expired));
+    ReportShardFaults(executor.metrics(), *index, shard_injector.get());
     // With --trace the coverage summary and any --trace-out/--metrics-out
     // artifacts follow each row (later rows overwrite earlier files).
     if (executor.tracer().enabled()) {
