@@ -6,11 +6,11 @@ namespace gass::core {
 template std::vector<Neighbor> BeamSearch<Graph>(
     const Graph&, DistanceComputer&, const float*,
     const std::vector<VectorId>&, std::size_t, std::size_t, VisitedTable*,
-    SearchStats*, float, const Deadline*);
+    SearchStats*, float, const Deadline*, const TombstoneSet*);
 template std::vector<Neighbor> BeamSearch<FlatGraph>(
     const FlatGraph&, DistanceComputer&, const float*,
     const std::vector<VectorId>&, std::size_t, std::size_t, VisitedTable*,
-    SearchStats*, float, const Deadline*);
+    SearchStats*, float, const Deadline*, const TombstoneSet*);
 template std::vector<Neighbor> BeamSearchCollect<Graph>(
     const Graph&, DistanceComputer&, const float*,
     const std::vector<VectorId>&, std::size_t, std::size_t, VisitedTable*,

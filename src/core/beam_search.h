@@ -17,12 +17,34 @@
 #include "core/graph.h"
 #include "core/neighbor.h"
 #include "core/stats.h"
+#include "core/tombstones.h"
 #include "core/types.h"
 #include "core/visited.h"
 
 namespace gass::core {
 
 namespace internal {
+
+/// Result emission shared by BeamSearch overloads: the pool's best k
+/// candidates, minus logically deleted ids. Tombstoned nodes still steer
+/// the traversal (they stay in the graph as waypoints); they are only
+/// barred from the answer. With deletions present the result may hold
+/// fewer than k neighbors — the pool is not re-widened, keeping the
+/// explored set (and therefore distance_computations/hops) bit-identical
+/// to a tombstone-free search. The null/empty path is the exact pre-delete
+/// code path.
+inline std::vector<Neighbor> EmitTopK(const CandidatePool& pool,
+                                      std::size_t k,
+                                      const TombstoneSet* tombstones) {
+  if (tombstones == nullptr || tombstones->empty()) return pool.TopK(k);
+  std::vector<Neighbor> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < pool.size() && out.size() < k; ++i) {
+    if (tombstones->Contains(pool[i].id)) continue;
+    out.push_back(pool[i]);
+  }
+  return out;
+}
 
 inline void ExpandNeighbors(const Graph& graph, VectorId v,
                             const VectorId** out, std::size_t* degree) {
@@ -53,6 +75,9 @@ inline constexpr std::size_t kExpandBatch = DistanceComputer::kBatchChunk;
 /// `deadline`, when given, is polled every kDeadlineCheckHops expansions;
 /// on expiry the search stops and returns its best-so-far answers (a
 /// partial result), recording the cutoff in `stats->deadline_expiries`.
+///
+/// `tombstones`, when given, filters logically deleted ids out of the
+/// returned results (traversal is unaffected; see internal::EmitTopK).
 inline constexpr std::uint64_t kDeadlineCheckHops = 32;
 
 template <typename GraphT>
@@ -63,7 +88,8 @@ std::vector<Neighbor> BeamSearch(const GraphT& graph, DistanceComputer& dc,
                                  VisitedTable* visited,
                                  SearchStats* stats = nullptr,
                                  float prune_bound = 3.402823466e38f,
-                                 const Deadline* deadline = nullptr) {
+                                 const Deadline* deadline = nullptr,
+                                 const TombstoneSet* tombstones = nullptr) {
   const std::size_t width = beam_width < k ? k : beam_width;
   CandidatePool pool(width);
   pool.SetPruneBound(prune_bound);
@@ -121,7 +147,7 @@ std::vector<Neighbor> BeamSearch(const GraphT& graph, DistanceComputer& dc,
     stats->hops += hops;
     stats->prefetches += prefetched;
   }
-  return pool.TopK(k);
+  return internal::EmitTopK(pool, k, tombstones);
 }
 
 /// BeamSearch variant that also returns every vertex whose distance was

@@ -1,0 +1,94 @@
+#include "io/fs.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace gass::io {
+
+std::string ParentDirectory(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+core::Status FsyncParentDirectory(const std::string& path) {
+  const std::string dir = ParentDirectory(path);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return core::Status::IoError("cannot open directory " + dir + ": " +
+                                 std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return core::Status::IoError("cannot fsync directory " + dir + ": " +
+                                 std::strerror(saved_errno));
+  }
+  return core::Status::Ok();
+}
+
+core::Status TruncateFile(const std::string& path, std::uint64_t size) {
+  std::uint64_t current = 0;
+  GASS_RETURN_IF_ERROR(FileSize(path, &current));
+  if (size > current) {
+    return core::Status::InvalidArgument(
+        path + ": refusing to extend file from " + std::to_string(current) +
+        " to " + std::to_string(size) + " bytes");
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) {
+    return core::Status::IoError("cannot open " + path + ": " +
+                                 std::strerror(errno));
+  }
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    const int saved_errno = errno;
+    ::close(fd);
+    return core::Status::IoError("cannot truncate " + path + ": " +
+                                 std::strerror(saved_errno));
+  }
+  if (::fsync(fd) != 0) {
+    const int saved_errno = errno;
+    ::close(fd);
+    return core::Status::IoError("cannot fsync " + path + ": " +
+                                 std::strerror(saved_errno));
+  }
+  ::close(fd);
+  return FsyncParentDirectory(path);
+}
+
+core::Status FileSize(const std::string& path, std::uint64_t* out) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return core::Status::IoError("cannot stat " + path + ": " +
+                                 std::strerror(errno));
+  }
+  *out = static_cast<std::uint64_t>(st.st_size);
+  return core::Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+core::Status CreateDirectory(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0) return FsyncParentDirectory(path);
+  if (errno == EEXIST) {
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      return core::Status::Ok();
+    }
+    return core::Status::IoError(path + ": exists but is not a directory");
+  }
+  return core::Status::IoError("cannot create directory " + path + ": " +
+                               std::strerror(errno));
+}
+
+}  // namespace gass::io

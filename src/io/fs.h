@@ -1,0 +1,48 @@
+// Small filesystem durability helpers shared by the snapshot writer and the
+// write-ahead log.
+//
+// POSIX makes a freshly renamed file durable only once the *parent
+// directory* has been fsynced: fsync on the data file persists its bytes,
+// but the rename that links the new name into the directory lives in the
+// directory's metadata, which has its own dirty state. A power failure
+// between rename and directory fsync can resurrect the old file (or no
+// file) even though the data itself was flushed. Every crash-safe
+// tmp+rename sequence in this codebase therefore ends with
+// FsyncParentDirectory (see docs/PERSISTENCE.md "Durability & live
+// updates").
+
+#ifndef GASS_IO_FS_H_
+#define GASS_IO_FS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+
+namespace gass::io {
+
+/// Returns the directory component of `path` ("." when there is none).
+std::string ParentDirectory(const std::string& path);
+
+/// fsyncs the directory containing `path`, making a preceding rename (or
+/// create/unlink) of `path` itself durable.
+core::Status FsyncParentDirectory(const std::string& path);
+
+/// Truncates the file at `path` to exactly `size` bytes and makes the new
+/// length durable (fsync of the file, then of its parent directory). Used
+/// to cut a torn WAL tail; refuses to *extend* a file.
+core::Status TruncateFile(const std::string& path, std::uint64_t size);
+
+/// Size of the file at `path` in bytes.
+core::Status FileSize(const std::string& path, std::uint64_t* out);
+
+/// Whether a regular file exists at `path`.
+bool FileExists(const std::string& path);
+
+/// Creates the directory at `path` (one level, mode 0755) and makes the
+/// new entry durable by fsyncing its parent. Ok if it already exists.
+core::Status CreateDirectory(const std::string& path);
+
+}  // namespace gass::io
+
+#endif  // GASS_IO_FS_H_

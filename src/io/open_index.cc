@@ -35,4 +35,27 @@ core::Status OpenIndex(const std::string& path, const core::Dataset& data,
   return OpenIndex(path, data, options, out);
 }
 
+core::Status OpenLiveIndex(const core::Dataset& base,
+                           const OpenLiveIndexOptions& options,
+                           std::unique_ptr<serve::LiveIndex>* live,
+                           std::unique_ptr<serve::Updater>* updater,
+                           serve::RecoveryReport* report) {
+  const std::string ckpt = serve::Updater::CheckpointPath(options.updater);
+  SnapshotReader reader;
+  GASS_RETURN_IF_ERROR(SnapshotReader::Open(ckpt, &reader));
+  // The method names are pinned by LiveHnsw::MethodName() and
+  // LiveShardedIndex::Name(); Updater::Open re-verifies name and
+  // fingerprint against the shell before loading anything.
+  if (reader.method() == "LIVE-HNSW") {
+    *live = serve::LiveHnsw::Shell(base, options.hnsw);
+  } else if (reader.method() == "LIVE-SHARDED-HNSW") {
+    *live = shard::LiveShardedIndex::Shell(base, options.sharded);
+  } else {
+    return core::Status::InvalidArgument(
+        ckpt + ": not a live-index checkpoint (method " + reader.method() +
+        "); open it with OpenIndex instead");
+  }
+  return serve::Updater::Open(live->get(), options.updater, updater, report);
+}
+
 }  // namespace gass::io

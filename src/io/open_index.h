@@ -18,6 +18,9 @@
 #include "core/dataset.h"
 #include "core/status.h"
 #include "methods/graph_index.h"
+#include "serve/live_hnsw.h"
+#include "serve/updater.h"
+#include "shard/live_sharded_index.h"
 
 namespace gass::io {
 
@@ -44,6 +47,28 @@ core::Status OpenIndex(const std::string& path, const core::Dataset& data,
 core::Status OpenIndex(const std::string& path, const core::Dataset& data,
                        std::uint64_t seed,
                        std::unique_ptr<methods::GraphIndex>* out);
+
+struct OpenLiveIndexOptions {
+  /// Checkpoint/WAL location and durability knobs; the checkpoint is read
+  /// from serve::Updater::CheckpointPath(updater).
+  serve::UpdaterOptions updater;
+  /// Shell parameters when the checkpoint holds a LIVE-HNSW index — must
+  /// match the original build (fingerprint-verified by Updater::Open).
+  serve::LiveHnswOptions hnsw;
+  /// Shell parameters when the checkpoint holds LIVE-SHARDED-HNSW.
+  shard::LiveShardedOptions sharded;
+};
+
+/// Recovers a live (updatable) index from its checkpoint + WALs: sniffs
+/// which LiveIndex implementation the checkpoint holds, builds the
+/// matching shell over `base` (the original build dataset), and replays
+/// through serve::Updater::Open. On success `*live` owns the index,
+/// `*updater` accepts new updates, and `*report` says what replay did.
+core::Status OpenLiveIndex(const core::Dataset& base,
+                           const OpenLiveIndexOptions& options,
+                           std::unique_ptr<serve::LiveIndex>* live,
+                           std::unique_ptr<serve::Updater>* updater,
+                           serve::RecoveryReport* report);
 
 }  // namespace gass::io
 

@@ -5,6 +5,7 @@
 
 #include <unistd.h>
 
+#include "io/fs.h"
 #include "io/hash.h"
 
 namespace gass::io {
@@ -141,7 +142,10 @@ core::Status SnapshotWriter::WriteTo(const std::string& path) const {
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     return core::Status::IoError("cannot rename " + tmp + " to " + path);
   }
-  return core::Status::Ok();
+  // The rename lives in the parent directory's metadata; without this
+  // fsync a power failure can roll the directory back to the old entry
+  // even though the data file itself was flushed above.
+  return FsyncParentDirectory(path);
 }
 
 core::Status SnapshotReader::Open(const std::string& path,

@@ -1,0 +1,447 @@
+#include "io/wal.h"
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/macros.h"
+#include "io/fs.h"
+#include "io/hash.h"
+
+namespace gass::io {
+
+namespace {
+
+void PutU32(std::uint8_t* dst, std::uint32_t v) {
+  std::memcpy(dst, &v, sizeof(v));
+}
+
+void PutU64(std::uint8_t* dst, std::uint64_t v) {
+  std::memcpy(dst, &v, sizeof(v));
+}
+
+std::uint32_t GetU32(const std::uint8_t* src) {
+  std::uint32_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+
+std::uint64_t GetU64(const std::uint8_t* src) {
+  std::uint64_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+
+void EncodeFileHeader(const WalHeader& header, std::uint8_t* buf) {
+  std::memset(buf, 0, kWalFileHeaderBytes);
+  PutU64(buf + 0, kWalMagic);
+  PutU32(buf + 8, kWalFormatVersion);
+  PutU32(buf + 12, header.stream);
+  PutU64(buf + 16, header.dim);
+  PutU64(buf + 24, header.base_sequence);
+  PutU64(buf + 32, header.fingerprint);
+  PutU64(buf + 56, Hash64(buf, 56));
+}
+
+bool DecodeFileHeader(const std::uint8_t* buf, WalHeader* header) {
+  if (GetU64(buf + 0) != kWalMagic) return false;
+  if (GetU32(buf + 8) != kWalFormatVersion) return false;
+  if (GetU64(buf + 56) != Hash64(buf, 56)) return false;
+  header->stream = GetU32(buf + 12);
+  header->dim = GetU64(buf + 16);
+  header->base_sequence = GetU64(buf + 24);
+  header->fingerprint = GetU64(buf + 32);
+  return true;
+}
+
+core::Status SyncFile(std::FILE* file, const std::string& path) {
+  if (std::fflush(file) != 0) {
+    return core::Status::IoError("cannot flush " + path + ": " +
+                                 std::strerror(errno));
+  }
+  if (::fsync(::fileno(file)) != 0) {
+    return core::Status::IoError("cannot fsync " + path + ": " +
+                                 std::strerror(errno));
+  }
+  return core::Status::Ok();
+}
+
+std::uint64_t PayloadBytes(std::uint8_t op, std::size_t dim) {
+  return op == kWalOpInsert ? 8 + dim * sizeof(float) : 8;
+}
+
+}  // namespace
+
+const char* WalFsyncPolicyName(WalFsyncPolicy policy) {
+  switch (policy) {
+    case WalFsyncPolicy::kEveryRecord:
+      return "every";
+    case WalFsyncPolicy::kEveryN:
+      return "every_n";
+    case WalFsyncPolicy::kInterval:
+      return "interval";
+  }
+  return "unknown";
+}
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+core::Status WalWriter::Create(const std::string& path,
+                               const WalHeader& header,
+                               const WalFsyncOptions& fsync,
+                               std::unique_ptr<WalWriter>* out) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return core::Status::IoError("cannot create " + tmp + ": " +
+                                 std::strerror(errno));
+  }
+  std::uint8_t buf[kWalFileHeaderBytes];
+  EncodeFileHeader(header, buf);
+  if (std::fwrite(buf, 1, kWalFileHeaderBytes, file) != kWalFileHeaderBytes) {
+    std::fclose(file);
+    std::remove(tmp.c_str());
+    return core::Status::IoError("cannot write WAL header to " + tmp);
+  }
+  core::Status sync = SyncFile(file, tmp);
+  if (!sync.ok()) {
+    std::fclose(file);
+    std::remove(tmp.c_str());
+    return sync;
+  }
+  // Rename under the live name while keeping the FILE* open: a POSIX fd
+  // follows the inode through the rename, so the writer appends to the
+  // (now durable) renamed file without reopening.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fclose(file);
+    std::remove(tmp.c_str());
+    return core::Status::IoError("cannot rename " + tmp + " to " + path +
+                                 ": " + std::strerror(errno));
+  }
+  core::Status dir = FsyncParentDirectory(path);
+  if (!dir.ok()) {
+    std::fclose(file);
+    return dir;
+  }
+  auto writer = std::unique_ptr<WalWriter>(new WalWriter());
+  writer->path_ = path;
+  writer->header_ = header;
+  writer->fsync_ = fsync;
+  writer->file_ = file;
+  writer->bytes_written_ = kWalFileHeaderBytes;
+  *out = std::move(writer);
+  return core::Status::Ok();
+}
+
+core::Status WalWriter::OpenForAppend(const std::string& path,
+                                      const WalHeader& expected,
+                                      const WalFsyncOptions& fsync,
+                                      std::unique_ptr<WalWriter>* out) {
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) {
+    return core::Status::IoError("cannot open " + path + ": " +
+                                 std::strerror(errno));
+  }
+  std::uint8_t buf[kWalFileHeaderBytes];
+  if (std::fread(buf, 1, kWalFileHeaderBytes, file) != kWalFileHeaderBytes) {
+    std::fclose(file);
+    return core::Status::Corruption(path + ": short WAL header");
+  }
+  WalHeader header;
+  if (!DecodeFileHeader(buf, &header)) {
+    std::fclose(file);
+    return core::Status::Corruption(path + ": invalid WAL header");
+  }
+  if (header.stream != expected.stream || header.dim != expected.dim ||
+      header.fingerprint != expected.fingerprint) {
+    std::fclose(file);
+    return core::Status::InvalidArgument(
+        path + ": WAL header does not match this index");
+  }
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return core::Status::IoError("cannot seek to end of " + path);
+  }
+  const long end = std::ftell(file);
+  if (end < 0) {
+    std::fclose(file);
+    return core::Status::IoError("cannot tell position in " + path);
+  }
+  auto writer = std::unique_ptr<WalWriter>(new WalWriter());
+  writer->path_ = path;
+  writer->header_ = header;
+  writer->fsync_ = fsync;
+  writer->file_ = file;
+  writer->bytes_written_ = static_cast<std::uint64_t>(end);
+  *out = std::move(writer);
+  return core::Status::Ok();
+}
+
+core::Status WalWriter::Append(std::uint8_t op, std::uint64_t sequence,
+                               std::uint64_t id, const float* vec,
+                               std::size_t dim) {
+  if (failed_) {
+    return core::Status::IoError(path_ +
+                                 ": WAL writer failed; no further appends");
+  }
+  GASS_CHECK(op == kWalOpInsert || op == kWalOpDelete);
+  GASS_CHECK((op == kWalOpInsert) == (vec != nullptr));
+  const std::uint64_t payload_bytes = PayloadBytes(op, dim);
+  std::vector<std::uint8_t> record(kWalRecordHeaderBytes + payload_bytes);
+  std::uint8_t* payload = record.data() + kWalRecordHeaderBytes;
+  PutU64(payload, id);
+  if (op == kWalOpInsert) {
+    std::memcpy(payload + 8, vec, dim * sizeof(float));
+  }
+  std::uint8_t* head = record.data();
+  std::memset(head, 0, kWalRecordHeaderBytes);
+  PutU32(head + 0, kWalRecordMagic);
+  head[4] = op;
+  PutU64(head + 8, sequence);
+  PutU64(head + 16, payload_bytes);
+  // Seeding the payload hash with the header hash chains the two: any bit
+  // flip in either region breaks the single stored checksum.
+  PutU64(head + 24, Hash64(payload, payload_bytes, Hash64(head, 24)));
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    failed_ = true;
+    return core::Status::IoError("cannot append to " + path_ + ": " +
+                                 std::strerror(errno));
+  }
+  bytes_written_ += record.size();
+  ++appended_records_;
+  ++records_since_sync_;
+  bool should_sync = false;
+  switch (fsync_.policy) {
+    case WalFsyncPolicy::kEveryRecord:
+      should_sync = true;
+      break;
+    case WalFsyncPolicy::kEveryN:
+      should_sync = records_since_sync_ >= fsync_.sync_every_n;
+      break;
+    case WalFsyncPolicy::kInterval:
+      should_sync = since_sync_.Seconds() >= fsync_.sync_interval_seconds;
+      break;
+  }
+  if (should_sync) GASS_RETURN_IF_ERROR(SyncNow());
+  return core::Status::Ok();
+}
+
+core::Status WalWriter::Sync() {
+  if (failed_) {
+    return core::Status::IoError(path_ +
+                                 ": WAL writer failed; no further syncs");
+  }
+  if (records_since_sync_ == 0) return core::Status::Ok();
+  return SyncNow();
+}
+
+core::Status WalWriter::SyncNow() {
+  if (fail_sync_armed_) {
+    if (fail_sync_after_ == 0) {
+      // Injected fsync failure: from here the durable length of the file
+      // is unknown, so the writer latches and nothing further can be
+      // acknowledged — recovery will replay whatever prefix survived.
+      failed_ = true;
+      return core::Status::IoError(path_ + ": injected fsync failure");
+    }
+    --fail_sync_after_;
+  }
+  core::Status status = SyncFile(file_, path_);
+  if (!status.ok()) {
+    failed_ = true;
+    return status;
+  }
+  records_since_sync_ = 0;
+  ++syncs_;
+  since_sync_.Reset();
+  return core::Status::Ok();
+}
+
+core::Status ReplayWal(const std::string& path, const WalHeader& expected,
+                       std::uint64_t watermark, const WalApplyFn& apply,
+                       WalReplayStats* stats) {
+  *stats = WalReplayStats{};
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    // Missing file ⇒ the WAL was never durably created (crash before the
+    // create's rename reached disk). header_valid stays false.
+    return core::Status::Ok();
+  }
+  std::vector<std::uint8_t> bytes;
+  {
+    std::fseek(file, 0, SEEK_END);
+    const long end = std::ftell(file);
+    if (end < 0) {
+      std::fclose(file);
+      return core::Status::IoError("cannot tell size of " + path);
+    }
+    bytes.resize(static_cast<std::size_t>(end));
+    std::fseek(file, 0, SEEK_SET);
+    if (!bytes.empty() &&
+        std::fread(bytes.data(), 1, bytes.size(), file) != bytes.size()) {
+      std::fclose(file);
+      return core::Status::IoError("cannot read " + path);
+    }
+  }
+  std::fclose(file);
+
+  if (bytes.size() < kWalFileHeaderBytes) return core::Status::Ok();
+  WalHeader header;
+  if (!DecodeFileHeader(bytes.data(), &header)) return core::Status::Ok();
+  if (header.stream != expected.stream || header.dim != expected.dim ||
+      header.fingerprint != expected.fingerprint) {
+    return core::Status::InvalidArgument(
+        path + ": WAL header does not match this index");
+  }
+  stats->header_valid = true;
+  stats->valid_bytes = kWalFileHeaderBytes;
+  // Sequences must rise strictly within a file; records at or below this
+  // are duplicated/reordered bytes and are skipped, never applied twice.
+  std::uint64_t high_seq = header.base_sequence;
+
+  std::size_t off = kWalFileHeaderBytes;
+  const std::size_t dim = static_cast<std::size_t>(header.dim);
+  while (off < bytes.size()) {
+    if (bytes.size() - off < kWalRecordHeaderBytes) break;  // torn header
+    const std::uint8_t* head = bytes.data() + off;
+    if (GetU32(head + 0) != kWalRecordMagic) break;
+    const std::uint8_t op = head[4];
+    if (op != kWalOpInsert && op != kWalOpDelete) break;
+    const std::uint64_t sequence = GetU64(head + 8);
+    const std::uint64_t payload_bytes = GetU64(head + 16);
+    if (payload_bytes != PayloadBytes(op, dim)) break;
+    if (bytes.size() - off - kWalRecordHeaderBytes < payload_bytes) break;
+    const std::uint8_t* payload = head + kWalRecordHeaderBytes;
+    const std::uint64_t want =
+        Hash64(payload, payload_bytes, Hash64(head, 24));
+    if (GetU64(head + 24) != want) break;
+
+    // Record is fully valid; classify and advance.
+    off += kWalRecordHeaderBytes + static_cast<std::size_t>(payload_bytes);
+    stats->valid_bytes = off;
+    if (sequence <= high_seq) {
+      if (sequence <= header.base_sequence || sequence <= watermark) {
+        ++stats->records_old;
+      } else {
+        ++stats->records_duplicate;
+      }
+      continue;
+    }
+    high_seq = sequence;
+    stats->last_sequence = sequence;
+    if (sequence <= watermark) {
+      ++stats->records_old;
+      continue;
+    }
+    const std::uint64_t id = GetU64(payload);
+    const float* vec = nullptr;
+    std::vector<float> vec_copy;
+    if (op == kWalOpInsert) {
+      // Payload floats are not alignment-guaranteed within the byte
+      // stream; copy them out before handing a float* to the callback.
+      vec_copy.resize(dim);
+      std::memcpy(vec_copy.data(), payload + 8, dim * sizeof(float));
+      vec = vec_copy.data();
+    }
+    GASS_RETURN_IF_ERROR(apply(op, sequence, id, vec));
+    ++stats->records_applied;
+  }
+  if (stats->valid_bytes < bytes.size()) {
+    stats->torn_tail = true;
+    stats->torn_bytes = bytes.size() - stats->valid_bytes;
+  }
+  return core::Status::Ok();
+}
+
+core::Status TruncateWal(const std::string& path, std::uint64_t valid_bytes) {
+  return TruncateFile(path, valid_bytes);
+}
+
+core::Status ApplyWalFaults(const std::string& path,
+                            const WalFaultPlan& plan) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return core::Status::IoError("cannot open " + path + ": " +
+                                 std::strerror(errno));
+  }
+  std::vector<std::uint8_t> bytes;
+  std::fseek(file, 0, SEEK_END);
+  const long end = std::ftell(file);
+  if (end < 0) {
+    std::fclose(file);
+    return core::Status::IoError("cannot tell size of " + path);
+  }
+  bytes.resize(static_cast<std::size_t>(end));
+  std::fseek(file, 0, SEEK_SET);
+  if (!bytes.empty() &&
+      std::fread(bytes.data(), 1, bytes.size(), file) != bytes.size()) {
+    std::fclose(file);
+    return core::Status::IoError("cannot read " + path);
+  }
+  std::fclose(file);
+
+  if (plan.duplicate_record != kWalNoFault) {
+    // Walk record boundaries (headers only; checksums not needed) to find
+    // the plan.duplicate_record-th record and re-append its bytes.
+    std::size_t off = kWalFileHeaderBytes;
+    std::uint64_t index = 0;
+    bool found = false;
+    while (off + kWalRecordHeaderBytes <= bytes.size()) {
+      const std::uint8_t* head = bytes.data() + off;
+      if (GetU32(head + 0) != kWalRecordMagic) break;
+      std::uint64_t payload_bytes = GetU64(head + 16);
+      const std::size_t record_bytes =
+          kWalRecordHeaderBytes + static_cast<std::size_t>(payload_bytes);
+      if (bytes.size() - off < record_bytes) break;
+      if (index == plan.duplicate_record) {
+        std::vector<std::uint8_t> copy(bytes.begin() + off,
+                                       bytes.begin() + off + record_bytes);
+        bytes.insert(bytes.end(), copy.begin(), copy.end());
+        found = true;
+        break;
+      }
+      off += record_bytes;
+      ++index;
+    }
+    if (!found) {
+      return core::Status::InvalidArgument(
+          path + ": no record #" + std::to_string(plan.duplicate_record) +
+          " to duplicate");
+    }
+  }
+  if (plan.flip_offset != kWalNoFault) {
+    if (plan.flip_offset >= bytes.size()) {
+      return core::Status::InvalidArgument(
+          path + ": flip offset " + std::to_string(plan.flip_offset) +
+          " beyond file size " + std::to_string(bytes.size()));
+    }
+    bytes[static_cast<std::size_t>(plan.flip_offset)] ^= plan.flip_mask;
+  }
+  if (plan.truncate_to != kWalNoFault) {
+    if (plan.truncate_to > bytes.size()) {
+      return core::Status::InvalidArgument(
+          path + ": cannot truncate to " + std::to_string(plan.truncate_to) +
+          " (file is " + std::to_string(bytes.size()) + " bytes)");
+    }
+    bytes.resize(static_cast<std::size_t>(plan.truncate_to));
+  }
+
+  file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return core::Status::IoError("cannot rewrite " + path + ": " +
+                                 std::strerror(errno));
+  }
+  if (!bytes.empty() &&
+      std::fwrite(bytes.data(), 1, bytes.size(), file) != bytes.size()) {
+    std::fclose(file);
+    return core::Status::IoError("cannot write " + path);
+  }
+  std::fclose(file);
+  return core::Status::Ok();
+}
+
+}  // namespace gass::io

@@ -1,0 +1,233 @@
+// Append-only, per-index write-ahead log for live updates.
+//
+// The update path (serve::Updater) logs every insert/delete here *before*
+// applying it to the in-memory index, so a crash between "update accepted"
+// and "next checkpoint" loses nothing: recovery loads the last checkpoint
+// and replays the log's tail. The format is deliberately dumb — a fixed
+// 64-byte file header followed by fixed-header records — because recovery
+// must be able to reason about every byte of a half-written file.
+//
+// On-disk layout (all integers little-endian, matching io/serialize.h):
+//
+//   file header, 64 bytes:
+//     [ 0] u64  magic (kWalMagic)
+//     [ 8] u32  format version (kWalFormatVersion)
+//     [12] u32  stream id (shard the log belongs to; 0 for plain indexes)
+//     [16] u64  vector dimension
+//     [24] u64  base sequence (records in this file have sequence > this)
+//     [32] u64  index params fingerprint
+//     [40] 16 reserved zero bytes
+//     [56] u64  XXH64 of bytes [0, 56)
+//
+//   record = 32-byte header + payload:
+//     [ 0] u32  record magic (kWalRecordMagic)
+//     [ 4] u8   op (kWalOpInsert / kWalOpDelete)
+//     [ 5] 3 zero bytes
+//     [ 8] u64  sequence (strictly increasing within a file)
+//     [16] u64  payload bytes
+//     [24] u64  XXH64 of the payload, seeded with XXH64 of bytes [0, 24) —
+//               one checksum covers header and payload together
+//     payload: u64 id, then for inserts `dim` raw f32 components
+//
+// Crash model (see docs/PERSISTENCE.md "Durability & live updates"): the
+// log is written strictly sequentially and synced per WalFsyncOptions, so
+// after a crash the file is a fully valid prefix followed by at most one
+// torn region. Replay verifies every checksum and treats the FIRST invalid
+// byte as the end of the log — in this model nothing beyond it was ever
+// acknowledged, so stopping there is exactly correct, and TruncateWal cuts
+// the tail so the file can be appended to again. Records whose sequence is
+// not strictly greater than everything seen before (duplicated or
+// reordered bytes, or records already covered by a checkpoint watermark)
+// are skipped and counted, which is what makes replay idempotent.
+
+#ifndef GASS_IO_WAL_H_
+#define GASS_IO_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/status.h"
+#include "core/stats.h"
+
+namespace gass::io {
+
+inline constexpr std::uint64_t kWalMagic = 0x004C4157'53534147ULL;  // GASSWAL
+inline constexpr std::uint32_t kWalFormatVersion = 1;
+inline constexpr std::uint32_t kWalRecordMagic = 0x43455257U;  // WREC
+inline constexpr std::size_t kWalFileHeaderBytes = 64;
+inline constexpr std::size_t kWalRecordHeaderBytes = 32;
+
+inline constexpr std::uint8_t kWalOpInsert = 1;
+inline constexpr std::uint8_t kWalOpDelete = 2;
+
+/// When an Append becomes durable (and may be acknowledged to the client).
+enum class WalFsyncPolicy : std::uint8_t {
+  kEveryRecord = 0,  ///< fsync before Append returns: zero-loss window.
+  kEveryN = 1,       ///< fsync every `sync_every_n` records.
+  kInterval = 2,     ///< fsync when `sync_interval_seconds` elapsed.
+};
+
+/// Lowercase label ("every", "every_n", "interval").
+const char* WalFsyncPolicyName(WalFsyncPolicy policy);
+
+struct WalFsyncOptions {
+  WalFsyncPolicy policy = WalFsyncPolicy::kEveryRecord;
+  std::size_t sync_every_n = 64;
+  double sync_interval_seconds = 0.05;
+};
+
+/// Identity fields of a WAL file header.
+struct WalHeader {
+  std::uint32_t stream = 0;
+  std::uint64_t dim = 0;
+  std::uint64_t base_sequence = 0;
+  std::uint64_t fingerprint = 0;
+};
+
+/// Append side of one WAL file. Not thread-safe: the updater serializes
+/// writers (see serve::Updater).
+class WalWriter {
+ public:
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Creates (or atomically replaces) the WAL at `path` with an empty log
+  /// whose header carries `header`. The header is written to a temp file,
+  /// fsynced, renamed into place, and the directory fsynced — the same
+  /// crash-safe sequence as snapshots, reused for checkpoint rotation.
+  static core::Status Create(const std::string& path, const WalHeader& header,
+                             const WalFsyncOptions& fsync,
+                             std::unique_ptr<WalWriter>* out);
+
+  /// Opens an existing WAL (already validated and, if torn, truncated by
+  /// replay) for further appends. `expected` must match the on-disk header.
+  static core::Status OpenForAppend(const std::string& path,
+                                    const WalHeader& expected,
+                                    const WalFsyncOptions& fsync,
+                                    std::unique_ptr<WalWriter>* out);
+
+  /// Appends one record and applies the fsync policy. `vec` supplies `dim`
+  /// floats for inserts and must be null for deletes. A failed write or
+  /// sync latches the writer into a failed state (every later Append
+  /// errors): after a lost sync the file's durable length is unknown, so
+  /// nothing further may be acknowledged. Sequence numbers must be strictly
+  /// increasing; the caller (serve::Updater) assigns them.
+  core::Status Append(std::uint8_t op, std::uint64_t sequence,
+                      std::uint64_t id, const float* vec, std::size_t dim);
+
+  /// Forces an fsync now, regardless of policy.
+  core::Status Sync();
+
+  const std::string& path() const { return path_; }
+  const WalHeader& header() const { return header_; }
+  /// Total file bytes written (header + records).
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t appended_records() const { return appended_records_; }
+  std::uint64_t syncs() const { return syncs_; }
+  bool failed() const { return failed_; }
+
+  /// Deterministic fault hook: the (n+1)-th fsync from now fails and
+  /// latches the writer (0 = the very next sync). Drives the
+  /// fsync-failure leg of the crash-recovery harness.
+  void FailNextSyncAfter(std::uint64_t n) {
+    fail_sync_after_ = n;
+    fail_sync_armed_ = true;
+  }
+
+ private:
+  WalWriter() = default;
+
+  core::Status SyncNow();
+
+  std::string path_;
+  WalHeader header_;
+  WalFsyncOptions fsync_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t appended_records_ = 0;
+  std::uint64_t records_since_sync_ = 0;
+  std::uint64_t syncs_ = 0;
+  core::Timer since_sync_;
+  bool failed_ = false;
+  bool fail_sync_armed_ = false;
+  std::uint64_t fail_sync_after_ = 0;
+};
+
+/// What one replay pass found.
+struct WalReplayStats {
+  /// False when the file is missing or its 64-byte header is invalid —
+  /// the crash-consistent reading is "this WAL was never durably created";
+  /// the caller recreates it. No records are replayed in that case.
+  bool header_valid = false;
+  std::uint64_t records_applied = 0;
+  /// Records skipped because sequence <= the caller's watermark (already
+  /// covered by the checkpoint being replayed onto).
+  std::uint64_t records_old = 0;
+  /// Records skipped because sequence <= an earlier record in this file
+  /// (duplicated/reordered bytes). Valid bytes, not a torn tail.
+  std::uint64_t records_duplicate = 0;
+  /// Byte length of the valid prefix (header + whole valid records).
+  std::uint64_t valid_bytes = 0;
+  /// File bytes past the valid prefix (0 when the file ends cleanly).
+  std::uint64_t torn_bytes = 0;
+  bool torn_tail = false;
+  /// Highest sequence seen among valid records (0 when none).
+  std::uint64_t last_sequence = 0;
+};
+
+/// Replay callback: op is kWalOpInsert/kWalOpDelete, `vec` points at the
+/// record's `dim` floats for inserts (null for deletes). A non-ok return
+/// aborts the replay and is propagated.
+using WalApplyFn = std::function<core::Status(
+    std::uint8_t op, std::uint64_t sequence, std::uint64_t id,
+    const float* vec)>;
+
+/// Scans the WAL at `path`, verifies every checksum, and calls `apply` for
+/// each valid record with sequence > `watermark` (in file order). Stops
+/// cleanly at the first invalid byte (torn tail). `expected` pins the
+/// header identity (stream, dim, fingerprint; base_sequence is read, not
+/// checked). Returns non-ok only for environmental errors or an apply
+/// failure — a torn or absent log is a *normal* crash outcome, reported
+/// through `stats`.
+core::Status ReplayWal(const std::string& path, const WalHeader& expected,
+                       std::uint64_t watermark, const WalApplyFn& apply,
+                       WalReplayStats* stats);
+
+/// Truncates the WAL to its valid prefix after a torn-tail replay and
+/// makes the new length durable (file + parent directory fsync).
+core::Status TruncateWal(const std::string& path, std::uint64_t valid_bytes);
+
+// --- Deterministic fault injection (crash-recovery test harness) ---
+
+inline constexpr std::uint64_t kWalNoFault = ~std::uint64_t{0};
+
+/// A deterministic corruption applied to a WAL file (simulating a crash
+/// mid-append or media damage). Fields default to "no fault"; several may
+/// be combined. `fail_sync_after` is writer-side — tests arm it with
+/// WalWriter::FailNextSyncAfter — and is ignored by ApplyWalFaults.
+struct WalFaultPlan {
+  /// Truncate the file to exactly this many bytes (torn tail at any byte).
+  std::uint64_t truncate_to = kWalNoFault;
+  /// XOR `flip_mask` into the byte at this offset.
+  std::uint64_t flip_offset = kWalNoFault;
+  std::uint8_t flip_mask = 0x01;
+  /// Re-append the bytes of the record at this index (0-based) at EOF —
+  /// a duplicated record with a stale sequence.
+  std::uint64_t duplicate_record = kWalNoFault;
+  /// Writer-side: nth future fsync fails (see WalWriter::FailNextSyncAfter).
+  std::uint64_t fail_sync_after = kWalNoFault;
+};
+
+/// Applies `plan` to the file at `path` in the order duplicate → flip →
+/// truncate. Record boundaries are located by walking the record headers
+/// (bounds-checked, checksums not required). Test-only: the rewrite is not
+/// itself crash-safe.
+core::Status ApplyWalFaults(const std::string& path, const WalFaultPlan& plan);
+
+}  // namespace gass::io
+
+#endif  // GASS_IO_WAL_H_

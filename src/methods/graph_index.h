@@ -16,6 +16,7 @@
 #include "core/rng.h"
 #include "core/stats.h"
 #include "core/status.h"
+#include "core/tombstones.h"
 #include "core/visited.h"
 #include "io/snapshot.h"
 #include "seeds/seed_selector.h"
@@ -58,6 +59,13 @@ struct SearchParams {
   /// per-shard decisions — fault injection, trace sampling — on the query
   /// identity. Never part of the ParseSearchParams round trip.
   std::uint64_t admission_id = 0;
+  /// Logically deleted ids to filter out of the returned neighbors (owned
+  /// by the caller, e.g. serve::Updater, which keeps it consistent under
+  /// its search lock). Traversal still walks tombstoned nodes — they
+  /// remain graph waypoints — so with deletions a result may hold fewer
+  /// than k answers. Null (the default) is the exact pre-delete code path.
+  /// Like `trace`, never part of the ParseSearchParams round trip.
+  const core::TombstoneSet* tombstones = nullptr;
 };
 
 /// The beam width a search actually runs with: `beam_width >> degrade_step`,
@@ -166,8 +174,11 @@ class GraphIndex {
   /// shared instance.
   virtual bool SupportsConcurrentSearch() const { return false; }
 
-  /// Creates a context sized for this (built) index.
-  SearchContext MakeSearchContext(std::uint64_t seed) const;
+  /// Creates a context sized for this (built) index. Virtual so composite
+  /// indexes whose sub-searches run over a different vertex range than the
+  /// bound dataset (shard::LiveShardedIndex sizes by its largest shard
+  /// arena) can widen the visited table.
+  virtual SearchContext MakeSearchContext(std::uint64_t seed) const;
 
   /// The searchable base graph (for inspection, flat re-layout, and tests).
   /// Indexes with no single base graph (ELPIS) abort; check HasBaseGraph().

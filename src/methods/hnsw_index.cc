@@ -186,7 +186,7 @@ SearchResult HnswIndex::SearchWith(const float* query,
   result.neighbors =
       core::BeamSearch(base_, dc, query, seeds, params.k, EffectiveBeamWidth(params),
                        visited, &result.stats, params.prune_bound,
-                       params.deadline);
+                       params.deadline, params.tombstones);
   result.stats.distance_computations = dc.count();
   result.stats.elapsed_seconds = timer.Seconds();
   return result;

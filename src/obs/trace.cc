@@ -20,6 +20,10 @@ const char* StageName(Stage stage) {
       return "merge";
     case Stage::kHedge:
       return "hedge";
+    case Stage::kWalAppend:
+      return "wal_append";
+    case Stage::kApply:
+      return "apply";
   }
   return "unknown";
 }

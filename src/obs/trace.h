@@ -50,13 +50,15 @@ enum class Stage : std::uint8_t {
   kShardSearch,   ///< One shard's sub-search (one span per probe).
   kMerge,         ///< Per-shard top-k merge into the global result.
   kHedge,         ///< Hedged fan-out window: backup launch → resolution.
+  kWalAppend,     ///< Update path: WAL record append + fsync (durability).
+  kApply,         ///< Update path: in-memory apply under the update lock.
 };
 
-inline constexpr std::size_t kNumStages = 7;
+inline constexpr std::size_t kNumStages = 9;
 
 /// Short lowercase label ("queue", "session", "search", "route",
-/// "shard_search", "merge", "hedge") — stable: exported in JSON and
-/// metric names.
+/// "shard_search", "merge", "hedge", "wal_append", "apply") — stable:
+/// exported in JSON and metric names.
 const char* StageName(Stage stage);
 
 /// One timed stage of one query, with the stage's work counters.

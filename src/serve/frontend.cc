@@ -1,5 +1,7 @@
 #include "serve/frontend.h"
 
+#include <shared_mutex>
+
 #include "core/macros.h"
 #include "core/rng.h"
 #include "core/thread_pool.h"
@@ -9,11 +11,25 @@ namespace gass::serve {
 
 Frontend::Frontend(const methods::GraphIndex& index,
                    const FrontendOptions& options, FaultInjector* faults)
+    : Frontend(index, options, faults, nullptr) {}
+
+Frontend::Frontend(Updater& updater, const FrontendOptions& options,
+                   FaultInjector* faults)
+    : Frontend(updater.index(), options, faults, &updater) {}
+
+Frontend::Frontend(const methods::GraphIndex& index,
+                   const FrontendOptions& options, FaultInjector* faults,
+                   Updater* updater)
     : index_(index),
       options_(options),
       faults_(faults),
+      updater_(updater),
       sessions_(index, options.seed ^ 0xF207E7D5E55105ULL),
       tracer_(options.trace) {
+  // One exporter for the whole serving stack: the updater's WAL/apply
+  // counters land in this frontend's ServeMetrics (no-op if the updater
+  // was configured with an explicit sink).
+  if (updater_ != nullptr) updater_->BindMetrics(&metrics_);
   GASS_CHECK_MSG(index.SupportsConcurrentSearch(),
                  "%s does not support concurrent search; clone one instance "
                  "per thread instead (see docs/SERVING.md)",
@@ -38,6 +54,17 @@ Frontend::~Frontend() {
 
 void Frontend::Reject(Task* task) {
   metrics_.RecordShed();
+  if (task->kind != TaskKind::kSearch) {
+    if (task->trace != nullptr && task->owned_trace) {
+      tracer_.FinishTrace(task->trace);
+      task->trace = nullptr;
+    }
+    UpdateResult result;
+    result.status = core::Status::Error(
+        "update rejected: admission queue full or frontend stopping");
+    task->update_promise.set_value(std::move(result));
+    return;
+  }
   SearchResponse response;
   response.outcome = methods::ServeOutcome::kRejected;
   response.admission_id = task->id;
@@ -160,6 +187,47 @@ Frontend::Ticket Frontend::Submit(const SearchRequest& request) {
   return ticket;
 }
 
+Frontend::UpdateTicket Frontend::SubmitInsert(const float* vec,
+                                              std::size_t dim) {
+  GASS_CHECK_MSG(updater_ != nullptr,
+                 "SubmitInsert needs the updater-mode Frontend constructor");
+  Task task;
+  task.kind = TaskKind::kInsert;
+  task.update_vector.assign(vec, vec + dim);
+  return SubmitUpdate(std::move(task));
+}
+
+Frontend::UpdateTicket Frontend::SubmitDelete(core::VectorId id) {
+  GASS_CHECK_MSG(updater_ != nullptr,
+                 "SubmitDelete needs the updater-mode Frontend constructor");
+  Task task;
+  task.kind = TaskKind::kDelete;
+  task.delete_id = id;
+  return SubmitUpdate(std::move(task));
+}
+
+Frontend::UpdateTicket Frontend::SubmitUpdate(Task task) {
+  task.id = submitted_.fetch_add(1, std::memory_order_relaxed);
+  // Updates ride the query trace sampler: a sampled update records its
+  // queue wait plus the updater's wal_append / apply spans.
+  task.trace = tracer_.StartTrace(task.id);
+  task.owned_trace = task.trace != nullptr;
+  UpdateTicket ticket = task.update_promise.get_future();
+  // No deadline shedding: an update is durability work, not a query whose
+  // value decays — the only admission control is the queue bound.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_ || queue_.size() >= options_.queue_capacity) {
+      Reject(&task);
+      return ticket;
+    }
+    queue_.push_back(std::move(task));
+    metrics_.RecordQueueDepth(queue_.size());
+  }
+  work_cv_.notify_one();
+  return ticket;
+}
+
 SearchResponse Frontend::Search(const SearchRequest& request) {
   return Submit(request).get();
 }
@@ -191,6 +259,14 @@ void Frontend::WorkerLoop() {
       queue_span.start_ns = 0;
       queue_span.duration_ns = task.trace->ElapsedNs();
       task.trace->AddSpan(queue_span);
+    }
+
+    if (task.kind != TaskKind::kSearch) {
+      ServeUpdate(&task);
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_service_;
+      if (queue_.empty() && in_service_ == 0) drain_cv_.notify_all();
+      continue;
     }
 
     // Pressure is sampled when service starts: the depth left behind in
@@ -229,8 +305,18 @@ void Frontend::WorkerLoop() {
       const std::size_t spans_before =
           task.trace != nullptr ? task.trace->size() : 0;
       obs::StageTimer search_timer(task.trace, obs::Stage::kSearch);
+      // Live mode: hold the updater's search lock shared for the duration
+      // of the query (in-memory applies take it exclusive, briefly) and
+      // filter its tombstones at result emission.
+      std::shared_lock<std::shared_mutex> live_guard;
+      if (updater_ != nullptr) {
+        live_guard = std::shared_lock<std::shared_mutex>(
+            updater_->search_mutex());
+        query_params.tombstones = &updater_->tombstones();
+      }
       SearchResponse response(
           index_.Search(task.query, query_params, lease.get()));
+      if (live_guard.owns_lock()) live_guard.unlock();
       if (task.trace != nullptr && task.trace->size() > spans_before) {
         // A trace-aware index (shard::ShardedIndex) already recorded its
         // own finer-grained breakdown; an enclosing search span would
@@ -262,6 +348,26 @@ void Frontend::WorkerLoop() {
       if (queue_.empty() && in_service_ == 0) drain_cv_.notify_all();
     }
   }
+}
+
+void Frontend::ServeUpdate(Task* task) {
+  UpdateResult result =
+      task->kind == TaskKind::kInsert
+          ? updater_->Insert(task->update_vector.data(), task->trace)
+          : updater_->Delete(task->delete_id, task->trace);
+  if (task->trace != nullptr) {
+    if (task->owned_trace) {
+      tracer_.FinishTrace(task->trace);
+    } else {
+      task->trace->Finish();
+    }
+    for (std::size_t i = 0; i < task->trace->size(); ++i) {
+      const obs::TraceSpan& span = task->trace->span(i);
+      metrics_.RecordStageNanos(span.stage, span.duration_ns);
+    }
+    task->trace = nullptr;
+  }
+  task->update_promise.set_value(std::move(result));
 }
 
 void Frontend::Drain() {

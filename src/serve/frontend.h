@@ -42,6 +42,7 @@
 #include "serve/metrics.h"
 #include "serve/request.h"
 #include "serve/search_session.h"
+#include "serve/updater.h"
 
 namespace gass::serve {
 
@@ -95,7 +96,20 @@ class Frontend {
   /// rejected apart. Rejected tickets resolve immediately.
   using Ticket = std::future<SearchResponse>;
 
+  /// An update-resolving ticket: ok status = acknowledged (the WAL record
+  /// is durable per the updater's fsync policy).
+  using UpdateTicket = std::future<UpdateResult>;
+
   Frontend(const methods::GraphIndex& index, const FrontendOptions& options,
+           FaultInjector* faults = nullptr);
+
+  /// Live-serving mode: searches run over updater.index() under the
+  /// updater's search lock (shared side) with its tombstones filtered, and
+  /// SubmitInsert / SubmitDelete are admitted through the same bounded
+  /// queue as queries. The updater (and its LiveIndex) must outlive the
+  /// frontend; its counters are bound to this frontend's ServeMetrics
+  /// unless UpdaterOptions::metrics pinned another sink.
+  Frontend(Updater& updater, const FrontendOptions& options,
            FaultInjector* faults = nullptr);
   ~Frontend();
 
@@ -124,6 +138,17 @@ class Frontend {
   methods::SearchResult Search(const float* query, std::size_t dim,
                                const methods::SearchParams& params);
 
+  /// Admits one insert (updater mode only). The vector is copied at
+  /// admission, so the caller's buffer may be reused immediately. Updates
+  /// respect the queue bound (full queue = rejected ticket) but are never
+  /// shed by deadline prediction — durability work is not droppable for
+  /// latency. Workers funnel them into the updater, whose own mutex
+  /// serializes the log-then-apply protocol.
+  UpdateTicket SubmitInsert(const float* vec, std::size_t dim);
+
+  /// Admits one delete (updater mode only); same admission rules.
+  UpdateTicket SubmitDelete(core::VectorId id);
+
   /// Blocks until every admitted query has resolved and the queue is empty.
   void Drain();
 
@@ -150,8 +175,15 @@ class Frontend {
   std::size_t thread_count() const { return workers_.size(); }
   const FrontendOptions& options() const { return options_; }
 
+  /// The updater behind SubmitInsert/SubmitDelete (null in search-only
+  /// mode).
+  Updater* updater() { return updater_; }
+
  private:
+  enum class TaskKind : std::uint8_t { kSearch, kInsert, kDelete };
+
   struct Task {
+    TaskKind kind = TaskKind::kSearch;
     const float* query = nullptr;
     std::size_t dim = 0;
     methods::SearchParams params;
@@ -162,9 +194,21 @@ class Frontend {
     obs::QueryTrace* trace = nullptr;
     bool owned_trace = false;
     std::promise<SearchResponse> promise;
+    /// Update-task payload: the copied vector (inserts) or target id
+    /// (deletes), resolved through update_promise instead of promise.
+    std::vector<float> update_vector;
+    core::VectorId delete_id = core::kInvalidVectorId;
+    std::promise<UpdateResult> update_promise;
   };
 
+  Frontend(const methods::GraphIndex& index, const FrontendOptions& options,
+           FaultInjector* faults, Updater* updater);
+
   void WorkerLoop();
+  /// Executes one update task against the updater and resolves its ticket.
+  void ServeUpdate(Task* task);
+  /// Admits one update task (shared tail of SubmitInsert/SubmitDelete).
+  UpdateTicket SubmitUpdate(Task task);
   /// Fulfills a ticket as shed (kRejected) and records the metrics.
   void Reject(Task* task);
   /// Finishes the task's trace (if any): stamps the total, feeds the
@@ -177,7 +221,8 @@ class Frontend {
 
   const methods::GraphIndex& index_;
   FrontendOptions options_;
-  FaultInjector* faults_;  // Not owned; null = no injection.
+  FaultInjector* faults_;        // Not owned; null = no injection.
+  Updater* updater_ = nullptr;   // Not owned; null = search-only mode.
   SearchSessionPool sessions_;
   ServeMetrics metrics_;
   obs::Tracer tracer_;

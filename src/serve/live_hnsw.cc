@@ -1,0 +1,109 @@
+#include "serve/live_hnsw.h"
+
+#include <cstring>
+
+#include "core/macros.h"
+#include "io/serialize.h"
+#include "methods/fingerprint.h"
+
+namespace gass::serve {
+
+LiveHnsw::LiveHnsw(const core::Dataset& base, const LiveHnswOptions& options)
+    : base_(&base),
+      options_(options),
+      base_rows_(base.size()),
+      arena_(base.size() + options.reserve, base.dim()),
+      hnsw_(options.hnsw) {}
+
+std::unique_ptr<LiveHnsw> LiveHnsw::Build(const core::Dataset& base,
+                                          const LiveHnswOptions& options) {
+  GASS_CHECK_MSG(!base.empty(), "LiveHnsw needs a non-empty base set");
+  auto live = std::unique_ptr<LiveHnsw>(new LiveHnsw(base, options));
+  std::memcpy(live->arena_.mutable_data(), base.data(), base.SizeBytes());
+  live->hnsw_.BuildPrefix(live->arena_, base.size());
+  live->base_ = nullptr;  // Only Shell/LoadSections need the base later.
+  return live;
+}
+
+std::unique_ptr<LiveHnsw> LiveHnsw::Shell(const core::Dataset& base,
+                                          const LiveHnswOptions& options) {
+  GASS_CHECK_MSG(!base.empty(), "LiveHnsw needs a non-empty base set");
+  return std::unique_ptr<LiveHnsw>(new LiveHnsw(base, options));
+}
+
+std::uint64_t LiveHnsw::ParamsFingerprint() const {
+  io::Encoder enc;
+  methods::EncodeParams(&enc, options_.hnsw);
+  enc.U64(options_.reserve);
+  enc.U64(base_rows_);
+  return methods::FingerprintBytes(enc);
+}
+
+core::Status LiveHnsw::ApplyInsert(std::uint32_t stream, core::VectorId id,
+                                   const float* vec) {
+  (void)stream;
+  GASS_CHECK_MSG(id == hnsw_.inserted_count(),
+                 "non-dense live insert id %u (next is %zu)", id,
+                 hnsw_.inserted_count());
+  GASS_CHECK_MSG(id < arena_.size(), "live insert beyond arena capacity");
+  std::memcpy(arena_.MutableRow(id), vec, arena_.dim() * sizeof(float));
+  hnsw_.Extend(id + 1);
+  return core::Status::Ok();
+}
+
+core::Status LiveHnsw::SaveSections(io::SnapshotWriter* writer) const {
+  io::Encoder meta;
+  meta.U64(arena_.size());
+  meta.U64(base_rows_);
+  meta.U64(hnsw_.inserted_count());
+  meta.U64(arena_.dim());
+  GASS_RETURN_IF_ERROR(writer->AddSection("live.meta", std::move(meta)));
+
+  // Only rows beyond the base set travel in the checkpoint — the base
+  // vectors are re-materialized from the dataset at load time, keeping
+  // checkpoints proportional to the live delta, not the collection.
+  io::Encoder vectors;
+  const std::size_t live_rows = hnsw_.inserted_count() - base_rows_;
+  if (live_rows > 0) {
+    vectors.Bytes(arena_.Row(static_cast<core::VectorId>(base_rows_)),
+                  live_rows * arena_.dim() * sizeof(float));
+  }
+  GASS_RETURN_IF_ERROR(writer->AddSection("live.vectors", std::move(vectors)));
+
+  return hnsw_.SaveSections(writer, "live.index.");
+}
+
+core::Status LiveHnsw::LoadSections(const io::SnapshotReader& reader) {
+  GASS_CHECK_MSG(base_ != nullptr,
+                 "LoadSections requires a Shell()-constructed LiveHnsw");
+  io::AlignedBytes buffer;
+  io::Decoder dec(nullptr, 0, "");
+  GASS_RETURN_IF_ERROR(reader.OpenSection("live.meta", &buffer, &dec));
+  const std::uint64_t capacity = dec.U64();
+  const std::uint64_t base_rows = dec.U64();
+  const std::uint64_t inserted = dec.U64();
+  const std::uint64_t dim = dec.U64();
+  if (!dec.ExpectEnd()) return dec.status();
+  dec.Check(base_rows == base_->size(),
+            "checkpoint base row count does not match the dataset");
+  dec.Check(dim == base_->dim(),
+            "checkpoint dimension does not match the dataset");
+  dec.Check(capacity == arena_.size(),
+            "checkpoint arena capacity does not match LiveHnswOptions");
+  dec.Check(inserted >= base_rows && inserted <= capacity,
+            "checkpoint inserted count out of range");
+  if (!dec.ok()) return dec.status();
+
+  std::memcpy(arena_.mutable_data(), base_->data(), base_->SizeBytes());
+  const std::size_t live_rows = inserted - base_rows;
+  GASS_RETURN_IF_ERROR(reader.OpenSection("live.vectors", &buffer, &dec));
+  if (live_rows > 0) {
+    dec.Bytes(arena_.MutableRow(static_cast<core::VectorId>(base_rows)),
+              live_rows * dim * sizeof(float));
+  }
+  if (!dec.ExpectEnd()) return dec.status();
+
+  return hnsw_.LoadSections(reader, "live.index.", arena_);
+}
+
+}  // namespace gass::serve

@@ -1,0 +1,91 @@
+// LiveIndex over a single streaming HNSW.
+//
+// HNSW is the one method in the suite whose construction is inherently
+// incremental (one node at a time), which is exactly what a live update
+// path needs: LiveHnsw owns a fixed-capacity vector arena (base rows plus
+// reserved growth room), builds the index over the base prefix with
+// HnswIndex::BuildPrefix, and applies each acknowledged insert by copying
+// the vector into the arena and calling HnswIndex::Extend. One WAL stream;
+// deletes are tombstones handled entirely by serve::Updater.
+
+#ifndef GASS_SERVE_LIVE_HNSW_H_
+#define GASS_SERVE_LIVE_HNSW_H_
+
+#include <memory>
+
+#include "core/dataset.h"
+#include "methods/hnsw_index.h"
+#include "serve/live_index.h"
+
+namespace gass::serve {
+
+struct LiveHnswOptions {
+  methods::HnswParams hnsw;
+  /// Arena headroom: inserts accepted beyond the base set before the
+  /// index is full (a rebuild with a larger reserve is then needed).
+  std::size_t reserve = 1024;
+};
+
+class LiveHnsw : public LiveIndex {
+ public:
+  /// Builds over all rows of `base` with `options.reserve` rows of growth
+  /// room. `base` is copied into the arena; it need not outlive the index.
+  static std::unique_ptr<LiveHnsw> Build(const core::Dataset& base,
+                                         const LiveHnswOptions& options);
+
+  /// An unbuilt shell for checkpoint loading: LoadSections() restores the
+  /// arena (base rows re-materialized from `base`, live rows from the
+  /// checkpoint) and the index. `base` must be the dataset the original
+  /// Build() ran over and must stay alive until LoadSections returns.
+  static std::unique_ptr<LiveHnsw> Shell(const core::Dataset& base,
+                                         const LiveHnswOptions& options);
+
+  const methods::GraphIndex& SearchIndex() const override { return hnsw_; }
+  methods::GraphIndex* MutableSearchIndex() override { return &hnsw_; }
+
+  std::string MethodName() const override { return "LIVE-HNSW"; }
+  std::uint64_t ParamsFingerprint() const override;
+
+  std::size_t dim() const override { return arena_.dim(); }
+  std::size_t id_capacity() const override { return arena_.size(); }
+  std::size_t next_id() const override { return hnsw_.inserted_count(); }
+  std::uint32_t num_streams() const override { return 1; }
+
+  std::uint32_t RouteInsert(const float* vec) const override {
+    (void)vec;
+    return 0;
+  }
+  std::uint32_t RouteDelete(core::VectorId id) const override {
+    (void)id;
+    return 0;
+  }
+
+  bool CanInsert(std::uint32_t stream) const override {
+    (void)stream;
+    return hnsw_.inserted_count() < arena_.size();
+  }
+  bool Exists(core::VectorId id) const override {
+    return id < hnsw_.inserted_count();
+  }
+
+  core::Status ApplyInsert(std::uint32_t stream, core::VectorId id,
+                           const float* vec) override;
+
+  core::Status SaveSections(io::SnapshotWriter* writer) const override;
+  core::Status LoadSections(const io::SnapshotReader& reader) override;
+
+  const methods::HnswIndex& hnsw() const { return hnsw_; }
+
+ private:
+  LiveHnsw(const core::Dataset& base, const LiveHnswOptions& options);
+
+  const core::Dataset* base_;  ///< Shell-load source; null after Build.
+  LiveHnswOptions options_;
+  std::size_t base_rows_ = 0;
+  core::Dataset arena_;
+  methods::HnswIndex hnsw_;
+};
+
+}  // namespace gass::serve
+
+#endif  // GASS_SERVE_LIVE_HNSW_H_

@@ -16,7 +16,7 @@ std::string ServeMetrics::Dump() const {
   const core::SearchStats totals = TotalStats();
   const std::uint64_t n = queries();
   const double nq = n == 0 ? 1.0 : static_cast<double>(n);
-  char buffer[1024];
+  char buffer[1536];
   std::snprintf(
       buffer, sizeof(buffer),
       "queries          %llu\n"
@@ -35,7 +35,12 @@ std::string ServeMetrics::Dump() const {
       "fan-out queries  %llu\n"
       "shards probed    %llu (%.2f per fanned query)\n"
       "shards failed    %llu\n"
-      "shards hedged    %llu (%llu hedge wins)\n",
+      "shards hedged    %llu (%llu hedge wins)\n"
+      "updates applied  %llu\n"
+      "deletes applied  %llu\n"
+      "wal bytes        %llu\n"
+      "wal replayed     %llu\n"
+      "checkpoints      %llu\n",
       static_cast<unsigned long long>(n), Qps(),
       1e3 * LatencyQuantileSeconds(0.50), 1e3 * LatencyQuantileSeconds(0.95),
       1e3 * LatencyQuantileSeconds(0.99),
@@ -55,7 +60,12 @@ std::string ServeMetrics::Dump() const {
                 static_cast<double>(fanout_queries()),
       static_cast<unsigned long long>(totals.shards_failed),
       static_cast<unsigned long long>(totals.shards_hedged),
-      static_cast<unsigned long long>(totals.hedge_wins));
+      static_cast<unsigned long long>(totals.hedge_wins),
+      static_cast<unsigned long long>(updates_applied()),
+      static_cast<unsigned long long>(deletes_applied()),
+      static_cast<unsigned long long>(wal_bytes_written()),
+      static_cast<unsigned long long>(wal_replay_records()),
+      static_cast<unsigned long long>(checkpoints()));
   return buffer;
 }
 
@@ -104,6 +114,21 @@ void ServeMetrics::ExportTo(obs::Exporter* exporter,
   exporter->AddCounter(prefix + "deadline_expiries_total",
                        static_cast<double>(totals.deadline_expiries),
                        "Deadline expiry events (>=1 possible per query)");
+  exporter->AddCounter(prefix + "updates_applied_total",
+                       static_cast<double>(updates_applied()),
+                       "Acknowledged inserts applied to the live index");
+  exporter->AddCounter(prefix + "deletes_applied_total",
+                       static_cast<double>(deletes_applied()),
+                       "Acknowledged deletes applied (tombstones set)");
+  exporter->AddCounter(prefix + "wal_bytes_written_total",
+                       static_cast<double>(wal_bytes_written()),
+                       "Write-ahead log bytes made durable");
+  exporter->AddCounter(prefix + "wal_replay_records_total",
+                       static_cast<double>(wal_replay_records()),
+                       "WAL records replayed during recovery");
+  exporter->AddCounter(prefix + "checkpoints_total",
+                       static_cast<double>(checkpoints()),
+                       "Checkpoints written (snapshot + WAL rotation)");
   for (std::size_t step = 0; step < kMaxDegradeSteps; ++step) {
     const std::uint64_t n = degrade_step_count(step);
     if (n == 0 && step > 0) continue;  // Step 0 always exported.
@@ -140,6 +165,11 @@ void ServeMetrics::Reset() {
   for (auto& slot : degrade_occupancy_) {
     slot.store(0, std::memory_order_relaxed);
   }
+  updates_applied_.store(0, std::memory_order_relaxed);
+  deletes_applied_.store(0, std::memory_order_relaxed);
+  wal_bytes_.store(0, std::memory_order_relaxed);
+  wal_replay_records_.store(0, std::memory_order_relaxed);
+  checkpoints_.store(0, std::memory_order_relaxed);
   window_.Reset();
 }
 

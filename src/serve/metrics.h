@@ -158,6 +158,45 @@ class ServeMetrics {
     return degrade_occupancy_[step].load(std::memory_order_relaxed);
   }
 
+  // --- Live-update accounting (written by serve::Updater) ---
+
+  /// One acknowledged insert applied to the index (logged + in memory).
+  void RecordUpdateApplied() {
+    updates_applied_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// One acknowledged delete applied (tombstone set).
+  void RecordDeleteApplied() {
+    deletes_applied_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// WAL bytes made durable (record headers + payloads + file headers).
+  void AddWalBytes(std::uint64_t bytes) {
+    wal_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  /// Records replayed from WALs during recovery (Updater::Open).
+  void AddWalReplayRecords(std::uint64_t records) {
+    wal_replay_records_.fetch_add(records, std::memory_order_relaxed);
+  }
+  /// One completed checkpoint (snapshot written + WALs rotated).
+  void RecordCheckpoint() {
+    checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t updates_applied() const {
+    return updates_applied_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t deletes_applied() const {
+    return deletes_applied_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t wal_bytes_written() const {
+    return wal_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t wal_replay_records() const {
+    return wal_replay_records_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t checkpoints() const {
+    return checkpoints_.load(std::memory_order_relaxed);
+  }
+
   double LatencyQuantileSeconds(double q) const {
     return histogram_.QuantileSeconds(q);
   }
@@ -190,6 +229,11 @@ class ServeMetrics {
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> degraded_{0};
   std::atomic<std::uint64_t> queue_high_water_{0};
+  std::atomic<std::uint64_t> updates_applied_{0};
+  std::atomic<std::uint64_t> deletes_applied_{0};
+  std::atomic<std::uint64_t> wal_bytes_{0};
+  std::atomic<std::uint64_t> wal_replay_records_{0};
+  std::atomic<std::uint64_t> checkpoints_{0};
   std::array<std::atomic<std::uint64_t>, kMaxDegradeSteps> degrade_occupancy_{};
   core::Timer window_;
 };

@@ -1,0 +1,178 @@
+// Crash-consistent live updates: log first, then apply.
+//
+// Updater wraps a LiveIndex with the durability protocol of ISSUE 9:
+//
+//   Insert(v):  route → assign id + sequence → WAL append (+fsync per
+//               policy) → apply in memory (arena copy + graph Extend).
+//   Delete(id): route to the owning stream → WAL append → tombstone.
+//   Checkpoint: freeze updates → write one crash-safe snapshot (live
+//               state + tombstones + sequence watermark) → rotate every
+//               WAL to an empty log based at the watermark.
+//   Open:       load the checkpoint → replay each WAL's records with
+//               sequence > watermark (verifying every checksum, stopping
+//               at and truncating a torn tail) → ready to serve/append.
+//
+// The acknowledged-write guarantee: an update's Status is ok only after
+// its WAL record is written under the configured fsync policy, so with
+// kEveryRecord an acknowledged update survives any crash; with kEveryN /
+// kInterval the exposure window is exactly the unsynced suffix (see
+// docs/PERSISTENCE.md "Durability & live updates"). Replay is idempotent:
+// records at or below the checkpoint watermark — or duplicated within a
+// log — are skipped by sequence number, so replaying twice yields a
+// bit-identical index.
+//
+// Locking (two locks, never both held by searches):
+//  * update_mutex_ (plain mutex): serializes the whole update path —
+//    routing, id/sequence assignment, WAL append, checkpointing. Searches
+//    never take it, so log I/O does not block queries.
+//  * search_mutex_ (shared_mutex): searches hold it shared; only the brief
+//    in-memory apply (graph extend / tombstone flip) holds it exclusive.
+//    serve::Frontend takes the shared side around each query.
+
+#ifndef GASS_SERVE_UPDATER_H_
+#define GASS_SERVE_UPDATER_H_
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/tombstones.h"
+#include "io/wal.h"
+#include "obs/trace.h"
+#include "serve/live_index.h"
+#include "serve/metrics.h"
+
+namespace gass::serve {
+
+struct UpdaterOptions {
+  /// Directory holding the checkpoint and WAL files.
+  std::string directory;
+  /// File-name stem: "<dir>/<name>.ckpt", "<dir>/<name>.wal<stream>".
+  std::string name = "live";
+  io::WalFsyncOptions wal;
+  /// Automatic Checkpoint() after this many applied updates (0 = only
+  /// explicit calls).
+  std::uint64_t checkpoint_every = 0;
+  /// Metric sink (update/WAL/checkpoint counters and wal_append/apply
+  /// spans). Null = the updater owns a private ServeMetrics; Frontend
+  /// binds its own via BindMetrics() when it adopts the updater.
+  ServeMetrics* metrics = nullptr;
+};
+
+/// Outcome of one update.
+struct UpdateResult {
+  core::Status status = core::Status::Ok();
+  /// Assigned id (inserts) or the deleted id. Valid when status is ok.
+  core::VectorId id = core::kInvalidVectorId;
+  /// WAL sequence number the operation was logged under.
+  std::uint64_t sequence = 0;
+};
+
+/// What recovery (Updater::Open) found and did.
+struct RecoveryReport {
+  /// Sequence watermark of the checkpoint replayed onto.
+  std::uint64_t watermark = 0;
+  std::uint64_t records_applied = 0;
+  /// Valid records skipped as already-covered or duplicated.
+  std::uint64_t records_skipped = 0;
+  /// Streams whose WAL ended in a torn tail (truncated during recovery).
+  std::uint32_t torn_tails = 0;
+  std::uint64_t bytes_truncated = 0;
+  /// Streams whose WAL was missing or had an invalid header (recreated
+  /// empty — under the crash model such a log held nothing acknowledged).
+  std::uint32_t wals_recreated = 0;
+};
+
+class Updater {
+ public:
+  /// Starts a fresh updater over a just-built `live` index: writes the
+  /// initial checkpoint and one empty WAL per stream into
+  /// options.directory (which must exist). The LiveIndex must outlive the
+  /// updater.
+  static core::Status Create(LiveIndex* live, const UpdaterOptions& options,
+                             std::unique_ptr<Updater>* out);
+
+  /// Recovers from options.directory: loads the checkpoint into `live`
+  /// (a Shell()-constructed index over the original base dataset), then
+  /// replays each stream's WAL past the watermark. Torn tails are
+  /// truncated; invalid/missing WALs recreated. On success the updater
+  /// accepts new updates exactly where the crash left off.
+  static core::Status Open(LiveIndex* live, const UpdaterOptions& options,
+                           std::unique_ptr<Updater>* out,
+                           RecoveryReport* report);
+
+  /// Logs and applies one insert; `vec` must hold dim() floats. Ok status
+  /// = acknowledged (durable per the fsync policy). `trace` (optional)
+  /// receives wal_append / apply spans.
+  UpdateResult Insert(const float* vec, obs::QueryTrace* trace = nullptr);
+
+  /// Logs and applies one delete. InvalidArgument when `id` was never
+  /// inserted or is already deleted.
+  UpdateResult Delete(core::VectorId id, obs::QueryTrace* trace = nullptr);
+
+  /// Writes a crash-safe checkpoint and rotates every WAL. Concurrent
+  /// searches proceed; concurrent updates wait.
+  core::Status Checkpoint();
+
+  /// Search-side lock: Frontend (or any caller searching index()) holds
+  /// this shared for the duration of each query, and reads tombstones()
+  /// under it via SearchParams::tombstones.
+  std::shared_mutex& search_mutex() const { return search_mutex_; }
+  const core::TombstoneSet& tombstones() const { return tombstones_; }
+
+  const methods::GraphIndex& index() const { return live_->SearchIndex(); }
+  LiveIndex* live() { return live_; }
+  ServeMetrics& metrics() { return *metrics_; }
+
+  /// Adopts `metrics` as the sink iff the updater still uses its private
+  /// fallback (Frontend calls this so updater and frontend share one
+  /// exporter). No-op when UpdaterOptions::metrics was set explicitly.
+  void BindMetrics(ServeMetrics* metrics);
+
+  std::uint64_t last_sequence() const { return sequence_; }
+  std::uint64_t updates_since_checkpoint() const {
+    return applied_since_checkpoint_;
+  }
+
+  /// Test hook: the live WAL writer for `stream` (fault arming).
+  io::WalWriter* wal_for_test(std::uint32_t stream) {
+    return wals_[stream].get();
+  }
+
+  /// Checkpoint file path for this configuration.
+  static std::string CheckpointPath(const UpdaterOptions& options);
+  /// WAL file path for `stream` under this configuration.
+  static std::string WalPath(const UpdaterOptions& options,
+                             std::uint32_t stream);
+
+ private:
+  Updater(LiveIndex* live, const UpdaterOptions& options);
+
+  io::WalHeader HeaderFor(std::uint32_t stream,
+                          std::uint64_t base_sequence) const;
+  core::Status CheckpointLocked();
+  /// Writes "<name>.ckpt": upd.meta (watermark, next id) + upd.tombstones
+  /// + the LiveIndex's sections.
+  core::Status WriteCheckpoint(std::uint64_t watermark) const;
+
+  LiveIndex* live_;
+  UpdaterOptions options_;
+  std::unique_ptr<ServeMetrics> owned_metrics_;
+  ServeMetrics* metrics_;
+  bool metrics_bound_ = false;
+
+  std::mutex update_mutex_;
+  mutable std::shared_mutex search_mutex_;
+
+  std::vector<std::unique_ptr<io::WalWriter>> wals_;
+  core::TombstoneSet tombstones_;
+  std::uint64_t sequence_ = 0;  ///< Last assigned (and logged) sequence.
+  std::uint64_t applied_since_checkpoint_ = 0;
+};
+
+}  // namespace gass::serve
+
+#endif  // GASS_SERVE_UPDATER_H_

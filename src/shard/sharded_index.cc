@@ -450,9 +450,12 @@ methods::SearchResult ShardedIndex::SearchImpl(
 
   // Sub-searches never see the trace: their costs and time are reported
   // as one kShardSearch span per probe, and a trace-aware sub-index would
-  // otherwise record a nested, double-counted breakdown.
+  // otherwise record a nested, double-counted breakdown. Tombstones are
+  // keyed by GLOBAL id, so sub-searches (which speak local ids) must not
+  // see them either — deletions are filtered at the merge below.
   methods::SearchParams sub_params = params;
   sub_params.trace = nullptr;
+  sub_params.tombstones = nullptr;
 
   const bool hedged = options_.hedge_fraction > 0.0 &&
                       fanout_pool_ != nullptr && params.deadline != nullptr &&
@@ -670,7 +673,11 @@ methods::SearchResult ShardedIndex::SearchImpl(
 
   // Merge local results into global ids. A single completed probe passes
   // its list through untouched (order, ties, distances) — with K=1 this is
-  // what makes the facade bit-identical to the unsharded index.
+  // what makes the facade bit-identical to the unsharded index. Tombstones
+  // (global ids; see SearchParams::tombstones) are filtered here, after
+  // the local→global mapping, since sub-searches ran without them.
+  const core::TombstoneSet* tombstones = params.tombstones;
+  const bool filter = tombstones != nullptr && !tombstones->empty();
   if (probed == 1) {
     for (std::size_t idx = 0; idx < n_sel; ++idx) {
       if (state[idx] != kProbeOk) continue;
@@ -678,6 +685,14 @@ methods::SearchResult ShardedIndex::SearchImpl(
       merged.neighbors = std::move(sub[idx].neighbors);
       for (core::Neighbor& nb : merged.neighbors) {
         nb.id = partitioning_.shard_ids[s][nb.id];
+      }
+      if (filter) {
+        merged.neighbors.erase(
+            std::remove_if(merged.neighbors.begin(), merged.neighbors.end(),
+                           [&](const core::Neighbor& nb) {
+                             return tombstones->Contains(nb.id);
+                           }),
+            merged.neighbors.end());
       }
       break;
     }
@@ -687,7 +702,9 @@ methods::SearchResult ShardedIndex::SearchImpl(
       if (state[idx] != kProbeOk) continue;
       const std::uint32_t s = selected[idx].shard;
       for (const core::Neighbor& nb : sub[idx].neighbors) {
-        all.emplace_back(partitioning_.shard_ids[s][nb.id], nb.distance);
+        const core::VectorId gid = partitioning_.shard_ids[s][nb.id];
+        if (filter && tombstones->Contains(gid)) continue;
+        all.emplace_back(gid, nb.distance);
       }
     }
     // Neighbor's operator< is (distance, id) — cross-shard ties resolve to

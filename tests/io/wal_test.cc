@@ -1,0 +1,354 @@
+// WAL format and writer semantics: round trips, fsync policies, the
+// failed-writer latch, and the deterministic fault hooks the
+// crash-recovery harness (tests/serve/updater_test.cc) builds on.
+
+#include "io/wal.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/fs.h"
+
+namespace gass::io {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+WalHeader TestHeader() {
+  WalHeader header;
+  header.stream = 3;
+  header.dim = 4;
+  header.base_sequence = 0;
+  header.fingerprint = 0xFACE;
+  return header;
+}
+
+std::vector<float> Vec(float seed) {
+  return {seed, seed + 1, seed + 2, seed + 3};
+}
+
+struct Replayed {
+  std::uint8_t op;
+  std::uint64_t sequence;
+  std::uint64_t id;
+  std::vector<float> vec;
+};
+
+core::Status ReplayInto(const std::string& path, const WalHeader& expected,
+                        std::uint64_t watermark, std::vector<Replayed>* out,
+                        WalReplayStats* stats) {
+  return ReplayWal(
+      path, expected, watermark,
+      [&](std::uint8_t op, std::uint64_t seq, std::uint64_t id,
+          const float* vec) -> core::Status {
+        Replayed r{op, seq, id, {}};
+        if (op == kWalOpInsert) r.vec.assign(vec, vec + expected.dim);
+        out->push_back(std::move(r));
+        return core::Status::Ok();
+      },
+      stats);
+}
+
+TEST(WalTest, EmptyLogReplaysCleanly) {
+  const std::string path = TempPath("wal_empty.wal0");
+  std::unique_ptr<WalWriter> writer;
+  ASSERT_TRUE(WalWriter::Create(path, TestHeader(), {}, &writer).ok());
+  EXPECT_EQ(writer->bytes_written(), kWalFileHeaderBytes);
+  writer.reset();
+
+  std::vector<Replayed> records;
+  WalReplayStats stats;
+  ASSERT_TRUE(ReplayInto(path, TestHeader(), 0, &records, &stats).ok());
+  EXPECT_TRUE(stats.header_valid);
+  EXPECT_FALSE(stats.torn_tail);
+  EXPECT_EQ(stats.records_applied, 0u);
+  EXPECT_TRUE(records.empty());
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, AppendReplayRoundTrip) {
+  const std::string path = TempPath("wal_roundtrip.wal0");
+  std::unique_ptr<WalWriter> writer;
+  ASSERT_TRUE(WalWriter::Create(path, TestHeader(), {}, &writer).ok());
+  const std::vector<float> a = Vec(1.5F), b = Vec(-3.0F);
+  ASSERT_TRUE(writer->Append(kWalOpInsert, 1, 100, a.data(), 4).ok());
+  ASSERT_TRUE(writer->Append(kWalOpInsert, 2, 101, b.data(), 4).ok());
+  ASSERT_TRUE(writer->Append(kWalOpDelete, 3, 100, nullptr, 0).ok());
+  EXPECT_EQ(writer->appended_records(), 3u);
+  writer.reset();
+
+  std::vector<Replayed> records;
+  WalReplayStats stats;
+  ASSERT_TRUE(ReplayInto(path, TestHeader(), 0, &records, &stats).ok());
+  EXPECT_TRUE(stats.header_valid);
+  EXPECT_FALSE(stats.torn_tail);
+  EXPECT_EQ(stats.records_applied, 3u);
+  EXPECT_EQ(stats.last_sequence, 3u);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].op, kWalOpInsert);
+  EXPECT_EQ(records[0].id, 100u);
+  EXPECT_EQ(records[0].vec, a);
+  EXPECT_EQ(records[1].vec, b);
+  EXPECT_EQ(records[2].op, kWalOpDelete);
+  EXPECT_EQ(records[2].id, 100u);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, WatermarkSkipsCoveredRecords) {
+  const std::string path = TempPath("wal_watermark.wal0");
+  std::unique_ptr<WalWriter> writer;
+  ASSERT_TRUE(WalWriter::Create(path, TestHeader(), {}, &writer).ok());
+  const std::vector<float> v = Vec(0.0F);
+  for (std::uint64_t s = 1; s <= 5; ++s) {
+    ASSERT_TRUE(writer->Append(kWalOpInsert, s, 10 + s, v.data(), 4).ok());
+  }
+  writer.reset();
+
+  std::vector<Replayed> records;
+  WalReplayStats stats;
+  ASSERT_TRUE(ReplayInto(path, TestHeader(), 3, &records, &stats).ok());
+  EXPECT_EQ(stats.records_old, 3u);
+  EXPECT_EQ(stats.records_applied, 2u);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].sequence, 4u);
+  EXPECT_EQ(records[1].sequence, 5u);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, FsyncPolicyEveryRecordSyncsEachAppend) {
+  const std::string path = TempPath("wal_sync_every.wal0");
+  WalFsyncOptions fsync;
+  fsync.policy = WalFsyncPolicy::kEveryRecord;
+  std::unique_ptr<WalWriter> writer;
+  ASSERT_TRUE(WalWriter::Create(path, TestHeader(), fsync, &writer).ok());
+  const std::uint64_t base = writer->syncs();
+  const std::vector<float> v = Vec(0.0F);
+  for (std::uint64_t s = 1; s <= 4; ++s) {
+    ASSERT_TRUE(writer->Append(kWalOpInsert, s, s, v.data(), 4).ok());
+  }
+  EXPECT_EQ(writer->syncs() - base, 4u);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, FsyncPolicyEveryNBatchesSyncs) {
+  const std::string path = TempPath("wal_sync_n.wal0");
+  WalFsyncOptions fsync;
+  fsync.policy = WalFsyncPolicy::kEveryN;
+  fsync.sync_every_n = 3;
+  std::unique_ptr<WalWriter> writer;
+  ASSERT_TRUE(WalWriter::Create(path, TestHeader(), fsync, &writer).ok());
+  const std::uint64_t base = writer->syncs();
+  const std::vector<float> v = Vec(0.0F);
+  for (std::uint64_t s = 1; s <= 7; ++s) {
+    ASSERT_TRUE(writer->Append(kWalOpInsert, s, s, v.data(), 4).ok());
+  }
+  EXPECT_EQ(writer->syncs() - base, 2u);  // After records 3 and 6.
+  ASSERT_TRUE(writer->Sync().ok());       // Manual flush of the tail.
+  EXPECT_EQ(writer->syncs() - base, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, FailedSyncLatchesTheWriter) {
+  const std::string path = TempPath("wal_sync_fail.wal0");
+  std::unique_ptr<WalWriter> writer;
+  ASSERT_TRUE(WalWriter::Create(path, TestHeader(), {}, &writer).ok());
+  const std::vector<float> v = Vec(0.0F);
+  ASSERT_TRUE(writer->Append(kWalOpInsert, 1, 1, v.data(), 4).ok());
+  writer->FailNextSyncAfter(0);
+  EXPECT_FALSE(writer->Append(kWalOpInsert, 2, 2, v.data(), 4).ok());
+  EXPECT_TRUE(writer->failed());
+  // After a lost sync the durable length is unknown; nothing further may
+  // be acknowledged.
+  EXPECT_FALSE(writer->Append(kWalOpInsert, 3, 3, v.data(), 4).ok());
+  EXPECT_FALSE(writer->Sync().ok());
+  writer.reset();
+
+  // Only the record acknowledged before the failure is trusted on replay.
+  std::vector<Replayed> records;
+  WalReplayStats stats;
+  ASSERT_TRUE(ReplayInto(path, TestHeader(), 0, &records, &stats).ok());
+  ASSERT_GE(records.size(), 1u);
+  EXPECT_EQ(records[0].sequence, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, HeaderMismatchIsInvalid) {
+  const std::string path = TempPath("wal_header_mismatch.wal0");
+  std::unique_ptr<WalWriter> writer;
+  ASSERT_TRUE(WalWriter::Create(path, TestHeader(), {}, &writer).ok());
+  writer.reset();
+
+  // A well-formed header for a DIFFERENT index is a configuration error,
+  // not crash damage: replay refuses outright instead of quietly treating
+  // another index's log as empty.
+  WalHeader other = TestHeader();
+  other.fingerprint ^= 1;
+  std::vector<Replayed> records;
+  WalReplayStats stats;
+  EXPECT_FALSE(ReplayInto(path, other, 0, &records, &stats).ok());
+  EXPECT_FALSE(stats.header_valid);
+  EXPECT_TRUE(records.empty());
+
+  // A CORRUPTED header (checksum broken on disk) is crash damage: replay
+  // succeeds with header_valid=false so recovery recreates the log.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 16, SEEK_SET);  // Inside the header's dim field.
+    const unsigned char garbage = 0xFF;
+    ASSERT_EQ(std::fwrite(&garbage, 1, 1, f), 1u);
+    std::fclose(f);
+  }
+  ASSERT_TRUE(ReplayInto(path, TestHeader(), 0, &records, &stats).ok());
+  EXPECT_FALSE(stats.header_valid);
+  EXPECT_TRUE(records.empty());
+
+  // Missing file reads the same way: never durably created.
+  ASSERT_TRUE(
+      ReplayInto(TempPath("wal_never_existed.wal0"), TestHeader(), 0,
+                 &records, &stats)
+          .ok());
+  EXPECT_FALSE(stats.header_valid);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, OpenForAppendContinuesTheLog) {
+  const std::string path = TempPath("wal_reopen.wal0");
+  const std::vector<float> v = Vec(2.0F);
+  {
+    std::unique_ptr<WalWriter> writer;
+    ASSERT_TRUE(WalWriter::Create(path, TestHeader(), {}, &writer).ok());
+    ASSERT_TRUE(writer->Append(kWalOpInsert, 1, 7, v.data(), 4).ok());
+  }
+  {
+    std::unique_ptr<WalWriter> writer;
+    ASSERT_TRUE(
+        WalWriter::OpenForAppend(path, TestHeader(), {}, &writer).ok());
+    ASSERT_TRUE(writer->Append(kWalOpInsert, 2, 8, v.data(), 4).ok());
+  }
+  std::vector<Replayed> records;
+  WalReplayStats stats;
+  ASSERT_TRUE(ReplayInto(path, TestHeader(), 0, &records, &stats).ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].id, 8u);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, DuplicatedRecordIsSkippedBySequence) {
+  const std::string path = TempPath("wal_duplicate.wal0");
+  std::unique_ptr<WalWriter> writer;
+  ASSERT_TRUE(WalWriter::Create(path, TestHeader(), {}, &writer).ok());
+  const std::vector<float> v = Vec(0.0F);
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    ASSERT_TRUE(writer->Append(kWalOpInsert, s, s, v.data(), 4).ok());
+  }
+  writer.reset();
+
+  WalFaultPlan plan;
+  plan.duplicate_record = 1;  // Re-append record #1 (sequence 2) at EOF.
+  ASSERT_TRUE(ApplyWalFaults(path, plan).ok());
+
+  std::vector<Replayed> records;
+  WalReplayStats stats;
+  ASSERT_TRUE(ReplayInto(path, TestHeader(), 0, &records, &stats).ok());
+  EXPECT_EQ(stats.records_applied, 3u);
+  EXPECT_EQ(stats.records_duplicate, 1u);
+  EXPECT_FALSE(stats.torn_tail);  // Valid bytes, just stale — not damage.
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, BitFlipEndsTheLogAtTheFlippedRecord) {
+  const std::string path = TempPath("wal_bitflip.wal0");
+  std::unique_ptr<WalWriter> writer;
+  ASSERT_TRUE(WalWriter::Create(path, TestHeader(), {}, &writer).ok());
+  const std::vector<float> v = Vec(0.0F);
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    ASSERT_TRUE(writer->Append(kWalOpInsert, s, s, v.data(), 4).ok());
+  }
+  const std::uint64_t record_bytes =
+      (writer->bytes_written() - kWalFileHeaderBytes) / 3;
+  writer.reset();
+
+  WalFaultPlan plan;
+  // Flip one payload byte inside the SECOND record.
+  plan.flip_offset = kWalFileHeaderBytes + record_bytes +
+                     kWalRecordHeaderBytes + 2;
+  ASSERT_TRUE(ApplyWalFaults(path, plan).ok());
+
+  std::vector<Replayed> records;
+  WalReplayStats stats;
+  ASSERT_TRUE(ReplayInto(path, TestHeader(), 0, &records, &stats).ok());
+  // The crash model: first invalid byte = end of log. Record 1 survives;
+  // records 2 and 3 are gone even though record 3's bytes are intact.
+  EXPECT_EQ(stats.records_applied, 1u);
+  EXPECT_TRUE(stats.torn_tail);
+  EXPECT_EQ(stats.valid_bytes, kWalFileHeaderBytes + record_bytes);
+  EXPECT_EQ(stats.torn_bytes, 2 * record_bytes);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, TruncateWalCutsTheTornTailDurably) {
+  const std::string path = TempPath("wal_truncate.wal0");
+  std::unique_ptr<WalWriter> writer;
+  ASSERT_TRUE(WalWriter::Create(path, TestHeader(), {}, &writer).ok());
+  const std::vector<float> v = Vec(0.0F);
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    ASSERT_TRUE(writer->Append(kWalOpInsert, s, s, v.data(), 4).ok());
+  }
+  const std::uint64_t full = writer->bytes_written();
+  writer.reset();
+
+  WalFaultPlan plan;
+  plan.truncate_to = full - 5;  // Torn mid-record.
+  ASSERT_TRUE(ApplyWalFaults(path, plan).ok());
+
+  std::vector<Replayed> records;
+  WalReplayStats stats;
+  ASSERT_TRUE(ReplayInto(path, TestHeader(), 0, &records, &stats).ok());
+  EXPECT_EQ(stats.records_applied, 2u);
+  EXPECT_TRUE(stats.torn_tail);
+  ASSERT_TRUE(TruncateWal(path, stats.valid_bytes).ok());
+
+  std::uint64_t size = 0;
+  ASSERT_TRUE(FileSize(path, &size).ok());
+  EXPECT_EQ(size, stats.valid_bytes);
+  // The truncated log replays identically and is clean (appendable).
+  records.clear();
+  ASSERT_TRUE(ReplayInto(path, TestHeader(), 0, &records, &stats).ok());
+  EXPECT_EQ(stats.records_applied, 2u);
+  EXPECT_FALSE(stats.torn_tail);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, CreateReplacesAtomically) {
+  const std::string path = TempPath("wal_replace.wal0");
+  const std::vector<float> v = Vec(0.0F);
+  {
+    std::unique_ptr<WalWriter> writer;
+    ASSERT_TRUE(WalWriter::Create(path, TestHeader(), {}, &writer).ok());
+    ASSERT_TRUE(writer->Append(kWalOpInsert, 1, 1, v.data(), 4).ok());
+  }
+  // Rotation: Create over the same path with a new base sequence.
+  WalHeader rotated = TestHeader();
+  rotated.base_sequence = 1;
+  {
+    std::unique_ptr<WalWriter> writer;
+    ASSERT_TRUE(WalWriter::Create(path, rotated, {}, &writer).ok());
+    EXPECT_FALSE(FileExists(path + ".tmp"));  // Renamed away, never left.
+    ASSERT_TRUE(writer->Append(kWalOpInsert, 2, 2, v.data(), 4).ok());
+  }
+  std::vector<Replayed> records;
+  WalReplayStats stats;
+  ASSERT_TRUE(ReplayInto(path, rotated, 0, &records, &stats).ok());
+  ASSERT_EQ(records.size(), 1u);  // The old log's record is gone.
+  EXPECT_EQ(records[0].sequence, 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gass::io

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/exporter.h"
+
 namespace gass::serve {
 namespace {
 
@@ -226,6 +228,61 @@ TEST(ServeMetricsTest, ConcurrentHighWaterKeepsGlobalMax) {
   EXPECT_EQ(metrics.queue_depth_high_water(), 1999u * kThreads);
 }
 
+TEST(ServeMetricsTest, UpdateCountersAccumulateAndDump) {
+  ServeMetrics metrics;
+  metrics.RecordUpdateApplied();
+  metrics.RecordUpdateApplied();
+  metrics.RecordDeleteApplied();
+  metrics.AddWalBytes(640);
+  metrics.AddWalBytes(72);
+  metrics.AddWalReplayRecords(5);
+  metrics.RecordCheckpoint();
+  EXPECT_EQ(metrics.updates_applied(), 2u);
+  EXPECT_EQ(metrics.deletes_applied(), 1u);
+  EXPECT_EQ(metrics.wal_bytes_written(), 712u);
+  EXPECT_EQ(metrics.wal_replay_records(), 5u);
+  EXPECT_EQ(metrics.checkpoints(), 1u);
+  const std::string dump = metrics.Dump();
+  EXPECT_NE(dump.find("updates applied"), std::string::npos);
+  EXPECT_NE(dump.find("deletes applied"), std::string::npos);
+  EXPECT_NE(dump.find("checkpoints"), std::string::npos);
+}
+
+TEST(ServeMetricsTest, UpdateCountersRoundTripThroughTheExporter) {
+  ServeMetrics metrics;
+  metrics.RecordUpdateApplied();
+  metrics.RecordDeleteApplied();
+  metrics.RecordDeleteApplied();
+  metrics.AddWalBytes(128);
+  metrics.AddWalReplayRecords(9);
+  metrics.RecordCheckpoint();
+
+  obs::Exporter exporter;
+  metrics.ExportTo(&exporter, "gass_serve_");
+  const std::string prom = exporter.ToPrometheus();
+  EXPECT_NE(prom.find("gass_serve_updates_applied_total 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("gass_serve_deletes_applied_total 2"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("gass_serve_wal_bytes_written_total 128"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("gass_serve_wal_replay_records_total 9"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("gass_serve_checkpoints_total 1"), std::string::npos)
+      << prom;
+  const std::string json = exporter.ToJson();
+  EXPECT_NE(json.find("\"gass_serve_updates_applied_total\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"gass_serve_wal_bytes_written_total\""),
+            std::string::npos)
+      << json;
+}
+
 TEST(ServeMetricsTest, ResetClearsCountsAndWindow) {
   ServeMetrics metrics;
   core::SearchStats stats;
@@ -234,6 +291,11 @@ TEST(ServeMetricsTest, ResetClearsCountsAndWindow) {
   metrics.RecordShed();
   metrics.RecordDegradeStep(2);
   metrics.RecordQueueDepth(17);
+  metrics.RecordUpdateApplied();
+  metrics.RecordDeleteApplied();
+  metrics.AddWalBytes(64);
+  metrics.AddWalReplayRecords(3);
+  metrics.RecordCheckpoint();
   metrics.Reset();
   EXPECT_EQ(metrics.queries(), 0u);
   EXPECT_DOUBLE_EQ(metrics.LatencyQuantileSeconds(0.5), 0.0);
@@ -243,6 +305,11 @@ TEST(ServeMetricsTest, ResetClearsCountsAndWindow) {
   EXPECT_EQ(metrics.degraded_queries(), 0u);
   EXPECT_EQ(metrics.queue_depth_high_water(), 0u);
   EXPECT_EQ(metrics.degrade_step_count(2), 0u);
+  EXPECT_EQ(metrics.updates_applied(), 0u);
+  EXPECT_EQ(metrics.deletes_applied(), 0u);
+  EXPECT_EQ(metrics.wal_bytes_written(), 0u);
+  EXPECT_EQ(metrics.wal_replay_records(), 0u);
+  EXPECT_EQ(metrics.checkpoints(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,244 @@
+// LiveShardedIndex: centroid routing, per-shard WAL streams, tombstone
+// filtering at the merge, and recovery of sequence-interleaved streams.
+
+#include "shard/live_sharded_index.h"
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dataset.h"
+#include "core/rng.h"
+#include "io/fs.h"
+#include "io/open_index.h"
+#include "io/wal.h"
+#include "serve/updater.h"
+#include "../test_util.h"
+
+namespace gass::shard {
+namespace {
+
+constexpr std::size_t kBaseN = 96;
+constexpr std::size_t kDim = 8;
+constexpr std::size_t kShards = 3;
+
+std::string TempDirFor(const char* name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  EXPECT_TRUE(io::CreateDirectory(dir).ok());
+  return dir;
+}
+
+LiveShardedOptions ShardOptions(std::size_t reserve_per_shard) {
+  LiveShardedOptions options;
+  options.num_shards = kShards;
+  options.reserve_per_shard = reserve_per_shard;
+  return options;
+}
+
+std::unique_ptr<LiveShardedIndex> BuildLive(const core::Dataset& base,
+                                            std::size_t reserve_per_shard) {
+  auto live = std::make_unique<LiveShardedIndex>(
+      ShardOptions(reserve_per_shard));
+  live->Build(base);
+  return live;
+}
+
+TEST(LiveShardTest, RouteInsertPicksTheNearestShardWithRoom) {
+  const core::Dataset base = testing::SmallClustered(kBaseN, kDim, 41);
+  std::unique_ptr<LiveShardedIndex> live = BuildLive(base, 4);
+
+  // A base row routes to a shard whose centroid is nearest among those
+  // with room — with fresh arenas that is the globally nearest centroid.
+  const std::uint32_t home = live->RouteInsert(base.Row(0));
+  ASSERT_LT(home, kShards);
+  EXPECT_TRUE(live->CanInsert(home));
+
+  // Fill the home shard; the same vector must now spill elsewhere.
+  core::VectorId id = static_cast<core::VectorId>(live->next_id());
+  while (live->CanInsert(home)) {
+    ASSERT_TRUE(live->ApplyInsert(home, id, base.Row(0)).ok());
+    ++id;
+  }
+  const std::uint32_t spill = live->RouteInsert(base.Row(0));
+  EXPECT_NE(spill, home);
+  EXPECT_TRUE(live->CanInsert(spill));
+
+  // Deletes route to the owning shard, wherever the insert landed.
+  EXPECT_EQ(live->RouteDelete(static_cast<core::VectorId>(kBaseN)), home);
+}
+
+TEST(LiveShardTest, EveryShardIsAWalStream) {
+  const core::Dataset base = testing::SmallClustered(kBaseN, kDim, 42);
+  const std::string dir = TempDirFor("live_shard_streams");
+  std::unique_ptr<LiveShardedIndex> live = BuildLive(base, 32);
+
+  serve::UpdaterOptions options;
+  options.directory = dir;
+  std::unique_ptr<serve::Updater> updater;
+  ASSERT_TRUE(serve::Updater::Create(live.get(), options, &updater).ok());
+
+  // One WAL file per shard, each starting as a bare header.
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    std::uint64_t size = 0;
+    ASSERT_TRUE(
+        io::FileSize(serve::Updater::WalPath(options, s), &size).ok());
+    EXPECT_EQ(size, io::kWalFileHeaderBytes) << "stream " << s;
+  }
+
+  // Inserts near every cluster: records must spread across streams, and
+  // each record lands in exactly the stream RouteInsert named.
+  core::Rng rng(43);
+  std::set<std::uint32_t> streams_used;
+  for (std::size_t i = 0; i < 24; ++i) {
+    const float* row = base.Row(rng.UniformInt(base.size()));
+    const std::uint32_t expected_stream = live->RouteInsert(row);
+    const serve::UpdateResult result = updater->Insert(row);
+    ASSERT_TRUE(result.status.ok());
+    streams_used.insert(expected_stream);
+  }
+  EXPECT_GT(streams_used.size(), 1u) << "clustered inserts on one shard";
+  for (const std::uint32_t s : streams_used) {
+    std::uint64_t size = 0;
+    ASSERT_TRUE(
+        io::FileSize(serve::Updater::WalPath(options, s), &size).ok());
+    EXPECT_GT(size, io::kWalFileHeaderBytes) << "stream " << s;
+  }
+}
+
+TEST(LiveShardTest, MergeFiltersTombstonedGlobalIds) {
+  const core::Dataset base = testing::SmallClustered(kBaseN, kDim, 44);
+  const std::string dir = TempDirFor("live_shard_tombstones");
+  std::unique_ptr<LiveShardedIndex> live = BuildLive(base, 16);
+
+  serve::UpdaterOptions options;
+  options.directory = dir;
+  std::unique_ptr<serve::Updater> updater;
+  ASSERT_TRUE(serve::Updater::Create(live.get(), options, &updater).ok());
+
+  // Row 7 queried by itself must come back first — then vanish once
+  // deleted, with the merge filtering its GLOBAL id.
+  methods::SearchParams params = methods::SearchParams{.k = 5, .beam_width = 50, .num_seeds = 8};
+  params.tombstones = &updater->tombstones();
+  {
+    const methods::SearchResult result = live->Search(base.Row(7), params);
+    ASSERT_FALSE(result.neighbors.empty());
+    EXPECT_EQ(result.neighbors[0].id, 7u);
+  }
+  ASSERT_TRUE(updater->Delete(7).status.ok());
+  {
+    const methods::SearchResult result = live->Search(base.Row(7), params);
+    for (const auto& nb : result.neighbors) {
+      EXPECT_NE(nb.id, 7u) << "tombstoned id leaked through the merge";
+    }
+  }
+}
+
+TEST(LiveShardTest, InterleavedStreamsRecoverInGlobalSequenceOrder) {
+  const core::Dataset base = testing::SmallClustered(kBaseN, kDim, 45);
+  const std::string dir = TempDirFor("live_shard_recovery");
+  constexpr std::size_t kInserts = 30;
+
+  io::OpenLiveIndexOptions open_options;
+  open_options.updater.directory = dir;
+  open_options.sharded = ShardOptions(32);
+
+  // Drive inserts that bounce between clusters so consecutive sequence
+  // numbers land in different WAL streams — recovery must merge the
+  // streams back into global order (ids are assigned densely).
+  std::vector<std::vector<float>> vectors;
+  std::vector<core::VectorId> dead;
+  {
+    std::unique_ptr<LiveShardedIndex> live = BuildLive(base, 32);
+    std::unique_ptr<serve::Updater> updater;
+    ASSERT_TRUE(
+        serve::Updater::Create(live.get(), open_options.updater, &updater)
+            .ok());
+    core::Rng rng(46);
+    for (std::size_t i = 0; i < kInserts; ++i) {
+      std::vector<float> vec(kDim);
+      const float* row = base.Row(rng.UniformInt(base.size()));
+      for (std::size_t d = 0; d < kDim; ++d) {
+        vec[d] = row[d] + rng.UniformFloat(-0.05F, 0.05F);
+      }
+      const serve::UpdateResult result = updater->Insert(vec.data());
+      ASSERT_TRUE(result.status.ok());
+      vectors.push_back(std::move(vec));
+    }
+    // A couple of deletes: one base row, one live insert.
+    ASSERT_TRUE(updater->Delete(5).status.ok());
+    dead.push_back(5);
+    ASSERT_TRUE(
+        updater->Delete(static_cast<core::VectorId>(kBaseN + 2)).status.ok());
+    dead.push_back(static_cast<core::VectorId>(kBaseN + 2));
+  }
+
+  std::unique_ptr<serve::LiveIndex> live;
+  std::unique_ptr<serve::Updater> updater;
+  serve::RecoveryReport report;
+  ASSERT_TRUE(
+      io::OpenLiveIndex(base, open_options, &live, &updater, &report).ok());
+  EXPECT_EQ(report.records_applied, kInserts + dead.size());
+  EXPECT_EQ(live->next_id(), kBaseN + kInserts);
+  EXPECT_EQ(updater->tombstones().count(), dead.size());
+  EXPECT_EQ(updater->last_sequence(), kInserts + dead.size());
+
+  // Every surviving insert self-retrieves through the sharded merge.
+  methods::SearchParams params = methods::SearchParams{.k = 5, .beam_width = 50, .num_seeds = 8};
+  params.tombstones = &updater->tombstones();
+  for (std::size_t i = 0; i < kInserts; ++i) {
+    const auto id = static_cast<core::VectorId>(kBaseN + i);
+    bool deleted = false;
+    for (const core::VectorId d : dead) deleted |= d == id;
+    const methods::SearchResult result =
+        live->MutableSearchIndex()->Search(vectors[i].data(), params);
+    bool present = false;
+    for (const auto& nb : result.neighbors) {
+      EXPECT_FALSE(updater->tombstones().Contains(nb.id));
+      present |= nb.id == id;
+    }
+    EXPECT_EQ(present, !deleted) << "id " << id;
+  }
+}
+
+TEST(LiveShardTest, CheckpointRoundTripPreservesShardState) {
+  const core::Dataset base = testing::SmallClustered(kBaseN, kDim, 47);
+  const std::string dir = TempDirFor("live_shard_checkpoint");
+
+  io::OpenLiveIndexOptions open_options;
+  open_options.updater.directory = dir;
+  open_options.sharded = ShardOptions(16);
+
+  std::vector<float> vec(kDim, 1.5F);
+  {
+    std::unique_ptr<LiveShardedIndex> live = BuildLive(base, 16);
+    std::unique_ptr<serve::Updater> updater;
+    ASSERT_TRUE(
+        serve::Updater::Create(live.get(), open_options.updater, &updater)
+            .ok());
+    ASSERT_TRUE(updater->Insert(vec.data()).status.ok());
+    ASSERT_TRUE(updater->Delete(9).status.ok());
+    ASSERT_TRUE(updater->Checkpoint().ok());
+    // Post-checkpoint updates land in the rotated logs.
+    ASSERT_TRUE(updater->Insert(vec.data()).status.ok());
+  }
+
+  std::unique_ptr<serve::LiveIndex> live;
+  std::unique_ptr<serve::Updater> updater;
+  serve::RecoveryReport report;
+  ASSERT_TRUE(
+      io::OpenLiveIndex(base, open_options, &live, &updater, &report).ok());
+  EXPECT_EQ(report.watermark, 2u);
+  EXPECT_EQ(report.records_applied, 1u);  // Only the post-rotation insert.
+  EXPECT_EQ(live->next_id(), kBaseN + 2);
+  EXPECT_TRUE(updater->tombstones().Contains(9));
+
+  // The recovered sharded index keeps serving and updating.
+  ASSERT_TRUE(updater->Insert(vec.data()).status.ok());
+  EXPECT_EQ(updater->last_sequence(), 4u);
+}
+
+}  // namespace
+}  // namespace gass::shard

@@ -18,7 +18,21 @@
 //                       [--trace N [--trace-out t.json] [--metrics-out m.prom]]
 //                       [--arrival poisson --rate N [--num-arrivals N]
 //                        [--queue 64] [--deadline-ms 10] [--retries 0]]
+//   gass_cli update-bench --base base.fvecs --wal-dir DIR [--updates 1000]
+//                       [--delete-fraction 0.1] [--shards 0] [--reserve N]
+//                       [--wal-name live] [--wal-fsync every|everyn|interval]
+//                       [--wal-fsync-n 64] [--wal-fsync-interval-ms 50]
+//                       [--checkpoint-every 0] [--queries q.fvecs
+//                        [--search-every 4] [--k 10] [--beam 100]]
+//                       [--threads 0] [--queue 64] [--seed 42]
 //   gass_cli methods
+//
+// update-bench drives WAL-logged live inserts/deletes (closed loop, so the
+// rate includes full ack latency under the chosen fsync policy) through a
+// serve::Frontend — concurrent searches mixed in with --queries — then
+// reopens the checkpoint + WALs and verifies the recovered index
+// self-retrieves acknowledged inserts and drops acknowledged deletes. See
+// docs/PERSISTENCE.md "Durability & live updates".
 //
 // Sharding flags (build/eval/serve-bench; see docs/SHARDING.md):
 //   --shards K              partition the base into K shards and build one
@@ -91,6 +105,7 @@
 #include "eval/complexity.h"
 #include "eval/ground_truth.h"
 #include "eval/recall.h"
+#include "io/fs.h"
 #include "io/open_index.h"
 #include "methods/factory.h"
 #include "methods/search_params.h"
@@ -98,7 +113,10 @@
 #include "serve/executor.h"
 #include "serve/fault_injector.h"
 #include "serve/frontend.h"
+#include "serve/live_hnsw.h"
 #include "serve/retry.h"
+#include "serve/updater.h"
+#include "shard/live_sharded_index.h"
 #include "shard/sharded_index.h"
 #include "synth/generators.h"
 #include "synth/workloads.h"
@@ -812,6 +830,256 @@ int CmdServeBench(const Flags& flags) {
   return 0;
 }
 
+// WAL durability knobs shared by update-bench (see docs/PERSISTENCE.md).
+bool WalOptionsFromFlags(const Flags& flags,
+                         gass::io::WalFsyncOptions* wal) {
+  const std::string policy = flags.Get("wal-fsync", "every");
+  if (policy == "every") {
+    wal->policy = gass::io::WalFsyncPolicy::kEveryRecord;
+  } else if (policy == "everyn") {
+    wal->policy = gass::io::WalFsyncPolicy::kEveryN;
+  } else if (policy == "interval") {
+    wal->policy = gass::io::WalFsyncPolicy::kInterval;
+  } else {
+    std::fprintf(stderr,
+                 "error: --wal-fsync must be every | everyn | interval\n");
+    return false;
+  }
+  wal->sync_every_n =
+      static_cast<std::size_t>(flags.GetInt("wal-fsync-n", 64));
+  wal->sync_interval_seconds =
+      static_cast<double>(flags.GetInt("wal-fsync-interval-ms", 50)) * 1e-3;
+  return true;
+}
+
+// Live-update throughput bench: builds a live index over --base, streams
+// WAL-logged inserts/deletes through a serve::Frontend (concurrent
+// searches mixed in when --queries is given), then reopens from the
+// checkpoint + WALs and verifies the recovered state.
+int CmdUpdateBench(const Flags& flags) {
+  using Clock = std::chrono::steady_clock;
+
+  Dataset base;
+  Status status = gass::core::ReadFvecs(flags.Get("base", "base.fvecs"), &base);
+  if (!status.ok()) return Fail(status);
+  Dataset queries;
+  if (flags.Has("queries")) {
+    status = gass::core::ReadFvecs(flags.Get("queries", ""), &queries);
+    if (!status.ok()) return Fail(status);
+  }
+
+  const std::string wal_dir = flags.Get("wal-dir", "");
+  if (wal_dir.empty()) {
+    std::fprintf(stderr, "error: update-bench needs --wal-dir\n");
+    return 1;
+  }
+  status = gass::io::CreateDirectory(wal_dir);
+  if (!status.ok()) return Fail(status);
+
+  const std::size_t updates =
+      static_cast<std::size_t>(flags.GetInt("updates", 1000));
+  const double delete_fraction =
+      std::atof(flags.Get("delete-fraction", "0.1").c_str());
+  const std::size_t shards =
+      static_cast<std::size_t>(flags.GetInt("shards", 0));
+  const std::size_t reserve = static_cast<std::size_t>(
+      flags.GetInt("reserve", static_cast<long>(updates)));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const std::size_t dim = base.dim();
+
+  gass::serve::UpdaterOptions up_options;
+  up_options.directory = wal_dir;
+  up_options.name = flags.Get("wal-name", "live");
+  up_options.checkpoint_every =
+      static_cast<std::uint64_t>(flags.GetInt("checkpoint-every", 0));
+  if (!WalOptionsFromFlags(flags, &up_options.wal)) return 1;
+
+  gass::serve::LiveHnswOptions hnsw_options;
+  hnsw_options.hnsw.seed = seed;
+  hnsw_options.reserve = reserve;
+  gass::shard::LiveShardedOptions sharded_options;
+  sharded_options.num_shards = shards;
+  sharded_options.nprobe = static_cast<std::size_t>(flags.GetInt("nprobe", 0));
+  sharded_options.reserve_per_shard =
+      shards > 0 ? (reserve + shards - 1) / shards : reserve;
+  sharded_options.hnsw.seed = seed;
+  sharded_options.seed = seed;
+
+  // Build the live index and its durable state (checkpoint + empty WALs).
+  std::unique_ptr<gass::serve::LiveIndex> live;
+  if (shards > 0) {
+    auto index = std::make_unique<gass::shard::LiveShardedIndex>(
+        sharded_options);
+    index->Build(base);
+    live = std::move(index);
+  } else {
+    live = gass::serve::LiveHnsw::Build(base, hnsw_options);
+  }
+  std::unique_ptr<gass::serve::Updater> updater;
+  status = gass::serve::Updater::Create(live.get(), up_options, &updater);
+  if (!status.ok()) return Fail(status);
+  std::printf("%s built over %zu vectors (dim %zu, %u wal stream%s, "
+              "fsync %s)\n",
+              live->MethodName().c_str(), base.size(), dim,
+              live->num_streams(), live->num_streams() == 1 ? "" : "s",
+              gass::io::WalFsyncPolicyName(up_options.wal.policy));
+
+  gass::methods::SearchParams params = gass::methods::MakeSearchParams(
+      static_cast<std::size_t>(flags.GetInt("k", 10)),
+      static_cast<std::size_t>(flags.GetInt("beam", 100)), 48);
+
+  // The update vectors: base rows with additive noise, so inserts land in
+  // populated regions (and route non-trivially when sharded).
+  gass::core::Rng rng(seed ^ 0x0BADF00DULL);
+  std::vector<float> pending(updates * dim);
+  for (std::size_t u = 0; u < updates; ++u) {
+    const float* src = base.Row(rng.UniformInt(base.size()));
+    for (std::size_t d = 0; d < dim; ++d) {
+      pending[u * dim + d] = src[d] + rng.UniformFloat(-0.05F, 0.05F);
+    }
+  }
+
+  std::vector<VectorId> inserted;
+  std::vector<VectorId> deleted;
+  std::uint64_t search_full = 0, search_other = 0;
+  const std::size_t search_every =
+      static_cast<std::size_t>(flags.GetInt("search-every", 4));
+  std::uint64_t expected_sequence = 0;
+  std::size_t expected_next_id = base.size();
+  double elapsed = 0.0;
+  {
+    gass::serve::FrontendOptions fe_options;
+    fe_options.threads = static_cast<std::size_t>(flags.GetInt("threads", 0));
+    fe_options.queue_capacity =
+        static_cast<std::size_t>(flags.GetInt("queue", 64));
+    fe_options.seed = seed;
+    fe_options.trace = TraceOptionsFromFlags(flags);
+    gass::serve::Frontend frontend(*updater, fe_options);
+
+    std::vector<gass::serve::Frontend::Ticket> search_tickets;
+    const Clock::time_point start = Clock::now();
+    for (std::size_t u = 0; u < updates; ++u) {
+      // Closed-loop updates: each ticket is resolved before the next is
+      // admitted, so the measured rate includes the full ack latency
+      // (queue + WAL append + fsync + apply).
+      gass::serve::UpdateResult result =
+          frontend.SubmitInsert(pending.data() + u * dim, dim).get();
+      if (!result.status.ok()) {
+        std::fprintf(stderr, "error: insert %zu: %s\n", u,
+                     result.status.message().c_str());
+        return 1;
+      }
+      inserted.push_back(result.id);
+      if (delete_fraction > 0 && rng.UniformDouble() < delete_fraction) {
+        const VectorId victim =
+            inserted[rng.UniformInt(inserted.size())];
+        gass::serve::UpdateResult del = frontend.SubmitDelete(victim).get();
+        if (del.status.ok()) deleted.push_back(victim);
+        // Already-deleted victims report InvalidArgument; that is the
+        // expected outcome of random victim picking, not an error.
+      }
+      if (queries.size() > 0 && search_every > 0 && u % search_every == 0) {
+        const std::size_t q = rng.UniformInt(queries.size());
+        search_tickets.push_back(frontend.Submit(
+            queries.data() + q * queries.dim(), queries.dim(), params));
+      }
+    }
+    for (auto& ticket : search_tickets) {
+      if (ticket.get().outcome == gass::methods::ServeOutcome::kFull) {
+        ++search_full;
+      } else {
+        ++search_other;
+      }
+    }
+    frontend.Drain();
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+    expected_sequence = updater->last_sequence();
+    expected_next_id = live->next_id();
+
+    const gass::serve::ServeMetrics& metrics = frontend.metrics();
+    std::printf("\n%zu inserts + %zu deletes in %.3fs  (%.0f acked "
+                "updates/s)\n",
+                inserted.size(), deleted.size(), elapsed,
+                elapsed > 0 ? static_cast<double>(inserted.size() +
+                                                  deleted.size()) /
+                                  elapsed
+                            : 0.0);
+    std::printf("wal bytes %llu  checkpoints %llu  last sequence %llu\n",
+                static_cast<unsigned long long>(metrics.wal_bytes_written()),
+                static_cast<unsigned long long>(metrics.checkpoints()),
+                static_cast<unsigned long long>(expected_sequence));
+    if (search_full + search_other > 0) {
+      std::printf("concurrent searches: %llu full, %llu degraded/shed\n",
+                  static_cast<unsigned long long>(search_full),
+                  static_cast<unsigned long long>(search_other));
+    }
+    if (frontend.tracer().enabled()) {
+      const int rc = ReportTraces(flags, frontend.metrics(),
+                                  frontend.tracer());
+      if (rc != 0) return rc;
+    }
+    // Frontend and updater close here; the recovery below sees exactly
+    // what a crashed process would have left on disk (plus clean fsyncs).
+  }
+  updater.reset();
+  live.reset();
+
+  // Recovery: reopen from checkpoint + WALs and spot-check the result.
+  gass::io::OpenLiveIndexOptions open_options;
+  open_options.updater = up_options;
+  open_options.hnsw = hnsw_options;
+  open_options.sharded = sharded_options;
+  std::unique_ptr<gass::serve::LiveIndex> recovered;
+  std::unique_ptr<gass::serve::Updater> reopened;
+  gass::serve::RecoveryReport report;
+  status = gass::io::OpenLiveIndex(base, open_options, &recovered, &reopened,
+                                   &report);
+  if (!status.ok()) return Fail(status);
+  std::printf("\nrecovery: watermark %llu, %llu replayed, %llu skipped, "
+              "%u torn tail%s\n",
+              static_cast<unsigned long long>(report.watermark),
+              static_cast<unsigned long long>(report.records_applied),
+              static_cast<unsigned long long>(report.records_skipped),
+              report.torn_tails, report.torn_tails == 1 ? "" : "s");
+  if (recovered->next_id() != expected_next_id ||
+      reopened->last_sequence() != expected_sequence) {
+    std::fprintf(stderr,
+                 "error: recovered next_id %zu / sequence %llu, expected "
+                 "%zu / %llu\n",
+                 recovered->next_id(),
+                 static_cast<unsigned long long>(reopened->last_sequence()),
+                 expected_next_id,
+                 static_cast<unsigned long long>(expected_sequence));
+    return 1;
+  }
+  // Self-retrieval spot check: an acknowledged, undeleted insert queried
+  // by its own vector must come back; a deleted one must not.
+  std::size_t checked = 0, found = 0, dead_ok = 0, dead_total = 0;
+  const std::size_t sample = std::min<std::size_t>(64, inserted.size());
+  for (std::size_t i = 0; i < sample; ++i) {
+    const VectorId id = inserted[i * inserted.size() / sample];
+    const float* vec = pending.data() + (id - base.size()) * dim;
+    gass::methods::SearchParams check = params;
+    check.tombstones = &reopened->tombstones();
+    const gass::methods::SearchResult result =
+        recovered->MutableSearchIndex()->Search(vec, check);
+    bool present = false;
+    for (const auto& nb : result.neighbors) present |= nb.id == id;
+    if (reopened->tombstones().Contains(id)) {
+      ++dead_total;
+      if (!present) ++dead_ok;
+    } else {
+      ++checked;
+      if (present) ++found;
+    }
+  }
+  std::printf("verify: %zu/%zu live inserts self-retrieved, %zu/%zu "
+              "deletes absent\n",
+              found, checked, dead_ok, dead_total);
+  return found == checked && dead_ok == dead_total ? 0 : 1;
+}
+
 int CmdMethods() {
   for (const std::string& name : gass::methods::AllMethodNames()) {
     std::printf("%s\n", name.c_str());
@@ -822,8 +1090,8 @@ int CmdMethods() {
 void Usage() {
   std::fprintf(stderr,
                "usage: gass_cli "
-               "<gen|gt|build|eval|complexity|serve-bench|methods> "
-               "[--flag value ...]\n"
+               "<gen|gt|build|eval|complexity|serve-bench|update-bench|"
+               "methods> [--flag value ...]\n"
                "see the header of tools/gass_cli.cc for full flag lists\n");
 }
 
@@ -843,6 +1111,7 @@ int main(int argc, char** argv) {
   if (command == "eval") return CmdEval(flags);
   if (command == "complexity") return CmdComplexity(flags);
   if (command == "serve-bench") return CmdServeBench(flags);
+  if (command == "update-bench") return CmdUpdateBench(flags);
   if (command == "methods") return CmdMethods();
   Usage();
   return 1;
