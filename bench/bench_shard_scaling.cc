@@ -27,7 +27,16 @@
 //   --max-shards=K   largest shard count in the sweep {1,2,4,...}, default 8
 //   --beam=B         search beam width, default 64
 //   --fanout=T       per-query fan-out threads (0 = caller thread), default 0
+//   --max-replicas=R largest replica count in the overhead sweep {1,2,...},
+//                    default 2 (1 disables the replica table)
 //   --seed=N         default 42
+//
+// The replica-overhead table (at the largest K) quantifies what N-way
+// replication costs: build time and footprint scale ~linearly with R
+// (every replica is an independent construction of the same graph), while
+// recall is bit-identical by construction — replicas share the factory and
+// the derived seed, so they ARE the same graph. See docs/SHARDING.md
+// "Replication".
 
 #include <algorithm>
 #include <cmath>
@@ -55,6 +64,7 @@ struct Options {
   std::size_t max_shards = 8;
   std::size_t beam = 64;
   std::size_t fanout = 0;
+  std::size_t max_replicas = 2;
   std::uint64_t seed = 42;
 };
 
@@ -102,6 +112,9 @@ bool ParseOptions(int argc, char** argv, Options* options) {
       options->beam = static_cast<std::size_t>(std::atol(value.c_str()));
     } else if (key == "fanout") {
       options->fanout = static_cast<std::size_t>(std::atol(value.c_str()));
+    } else if (key == "max-replicas") {
+      options->max_replicas =
+          static_cast<std::size_t>(std::atol(value.c_str()));
     } else if (key == "seed") {
       options->seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
     } else {
@@ -265,6 +278,51 @@ void RunMethod(const std::string& method, const core::Dataset& base,
       std::snprintf(label, sizeof(label), "K=%zu", widest.num_shards());
       PrintSearchRow(label, std::to_string(nprobe),
                      RunQueries(widest, queries, truth, params));
+    }
+    PrintRule();
+  }
+
+  // Replica overhead at the largest K: R bit-identical replicas per shard
+  // multiply build cost and footprint by ~R, and buy replica failover /
+  // anti-entropy instead of recall — which must come out IDENTICAL to R=1
+  // (replicas share the factory and the derived per-shard seed, so every
+  // replica is the same graph).
+  if (widest.num_shards() > 1 && options.max_replicas > 1) {
+    widest.SetNprobe(0);
+    std::printf("-- replica overhead at K=%zu (nprobe = K) --\n",
+                widest.num_shards());
+    PrintRow({"replicas", "build", "vs R=1", "index size", "vs R=1",
+              "recall"});
+    PrintRule();
+    double r1_seconds = 0.0;
+    double r1_bytes = 0.0;
+    for (std::size_t r = 1; r <= options.max_replicas; r *= 2) {
+      shard::ShardedIndexOptions sharded_options;
+      sharded_options.method = method;
+      sharded_options.partitioner.kind = shard::PartitionerKind::kKMeans;
+      sharded_options.partitioner.num_shards = widest.num_shards();
+      sharded_options.seed = options.seed;
+      sharded_options.fanout_threads = options.fanout;
+      sharded_options.replicas = r;
+      shard::ShardedIndex index(sharded_options);
+      core::Timer timer;
+      index.Build(base);
+      const double seconds = timer.Seconds();
+      const double bytes = static_cast<double>(index.IndexBytes());
+      if (r == 1) {
+        r1_seconds = seconds;
+        r1_bytes = bytes;
+      }
+      const SearchPoint point = RunQueries(index, queries, truth, params);
+      char label[32], ratio[16], byte_ratio[16], recall[16];
+      std::snprintf(label, sizeof(label), "R=%zu", r);
+      std::snprintf(ratio, sizeof(ratio), "%.2fx",
+                    r1_seconds > 0 ? seconds / r1_seconds : 0.0);
+      std::snprintf(byte_ratio, sizeof(byte_ratio), "%.2fx",
+                    r1_bytes > 0 ? bytes / r1_bytes : 0.0);
+      std::snprintf(recall, sizeof(recall), "%.4f", point.recall);
+      PrintRow({label, FormatSeconds(seconds), ratio, FormatBytes(bytes),
+                byte_ratio, recall});
     }
     PrintRule();
   }

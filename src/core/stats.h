@@ -32,6 +32,11 @@ struct SearchStats {
   /// backups resolved their shard before the primary did.
   std::uint64_t shards_hedged = 0;
   std::uint64_t hedge_wins = 0;
+  /// Shard sub-searches that failed on one replica and were retried (and
+  /// answered) by another replica of the same shard — fault-masking that
+  /// never surfaces as shards_failed (set by shard::ShardedIndex when
+  /// replication > 1; see docs/SHARDING.md "Replication").
+  std::uint64_t replica_failovers = 0;
   /// Vectors prefetched ahead of the batched distance evaluations in beam
   /// search (the memory-latency-hiding half of the SIMD pipeline; see
   /// docs/PERF.md). Deterministic for a fixed search, like hops.
@@ -46,6 +51,7 @@ struct SearchStats {
     shards_failed += other.shards_failed;
     shards_hedged += other.shards_hedged;
     hedge_wins += other.hedge_wins;
+    replica_failovers += other.replica_failovers;
     prefetches += other.prefetches;
     elapsed_seconds += other.elapsed_seconds;
     return *this;
@@ -70,6 +76,8 @@ struct SearchStats {
       shards_failed_.fetch_add(s.shards_failed, std::memory_order_relaxed);
       shards_hedged_.fetch_add(s.shards_hedged, std::memory_order_relaxed);
       hedge_wins_.fetch_add(s.hedge_wins, std::memory_order_relaxed);
+      replica_failovers_.fetch_add(s.replica_failovers,
+                                   std::memory_order_relaxed);
       prefetches_.fetch_add(s.prefetches, std::memory_order_relaxed);
       // Stored in nanoseconds so the hot path never touches floating-point
       // CAS loops (pre-C++20 atomic<double> has no fetch_add).
@@ -89,6 +97,8 @@ struct SearchStats {
       s.shards_failed = shards_failed_.load(std::memory_order_relaxed);
       s.shards_hedged = shards_hedged_.load(std::memory_order_relaxed);
       s.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
+      s.replica_failovers =
+          replica_failovers_.load(std::memory_order_relaxed);
       s.prefetches = prefetches_.load(std::memory_order_relaxed);
       s.elapsed_seconds =
           static_cast<double>(elapsed_ns_.load(std::memory_order_relaxed)) *
@@ -109,6 +119,7 @@ struct SearchStats {
       shards_failed_.store(0, std::memory_order_relaxed);
       shards_hedged_.store(0, std::memory_order_relaxed);
       hedge_wins_.store(0, std::memory_order_relaxed);
+      replica_failovers_.store(0, std::memory_order_relaxed);
       prefetches_.store(0, std::memory_order_relaxed);
       elapsed_ns_.store(0, std::memory_order_relaxed);
       queries_.store(0, std::memory_order_relaxed);
@@ -122,6 +133,7 @@ struct SearchStats {
     std::atomic<std::uint64_t> shards_failed_{0};
     std::atomic<std::uint64_t> shards_hedged_{0};
     std::atomic<std::uint64_t> hedge_wins_{0};
+    std::atomic<std::uint64_t> replica_failovers_{0};
     std::atomic<std::uint64_t> prefetches_{0};
     std::atomic<std::uint64_t> elapsed_ns_{0};
     std::atomic<std::uint64_t> queries_{0};

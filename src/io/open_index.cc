@@ -15,8 +15,8 @@ core::Status OpenIndex(const std::string& path, const core::Dataset& data,
   GASS_RETURN_IF_ERROR(SnapshotReader::Open(path, &reader));
   if (shard::IsShardedSnapshotMethod(reader.method())) {
     std::unique_ptr<shard::ShardedIndex> sharded;
-    GASS_RETURN_IF_ERROR(
-        shard::LoadShardedIndex(path, data, options.seed, &sharded));
+    GASS_RETURN_IF_ERROR(shard::LoadShardedIndex(
+        path, data, options.seed, options.replicas, &sharded));
     if (options.nprobe > 0) sharded->SetNprobe(options.nprobe);
     if (options.fanout_threads > 0) {
       sharded->SetFanoutThreads(options.fanout_threads);

@@ -34,6 +34,10 @@ struct OpenIndexOptions {
   /// Sharded snapshots only: per-query fan-out threads (0 = fan out on
   /// the caller thread — the right choice under an outer executor).
   std::size_t fanout_threads = 0;
+  /// Sharded snapshots only: replicas attached per shard (0 or 1 = none).
+  /// A serving knob, not a snapshot property — every replica loads from
+  /// the same per-shard file.
+  std::size_t replicas = 1;
 };
 
 /// Opens the snapshot at `path` — plain or sharded — against `data` and

@@ -24,6 +24,8 @@ const char* StageName(Stage stage) {
       return "wal_append";
     case Stage::kApply:
       return "apply";
+    case Stage::kReplicaFailover:
+      return "replica_failover";
   }
   return "unknown";
 }

@@ -52,13 +52,15 @@ enum class Stage : std::uint8_t {
   kHedge,         ///< Hedged fan-out window: backup launch → resolution.
   kWalAppend,     ///< Update path: WAL record append + fsync (durability).
   kApply,         ///< Update path: in-memory apply under the update lock.
+  kReplicaFailover,  ///< Failed replica attempt retried on a peer replica
+                     ///< of the same shard (one span per failover).
 };
 
-inline constexpr std::size_t kNumStages = 9;
+inline constexpr std::size_t kNumStages = 10;
 
 /// Short lowercase label ("queue", "session", "search", "route",
-/// "shard_search", "merge", "hedge", "wal_append", "apply") — stable:
-/// exported in JSON and metric names.
+/// "shard_search", "merge", "hedge", "wal_append", "apply",
+/// "replica_failover") — stable: exported in JSON and metric names.
 const char* StageName(Stage stage);
 
 /// One timed stage of one query, with the stage's work counters.

@@ -93,6 +93,7 @@ BatchResult QueryExecutor::SearchBatch(
       response.shards_ok = response.stats.shards_probed;
       response.shards_failed = response.stats.shards_failed;
       response.shards_hedged = response.stats.shards_hedged;
+      response.replica_failovers = response.stats.replica_failovers;
       response.outcome = response.expired ? methods::ServeOutcome::kExpired
                          : request.params.degrade_step > 0
                              ? methods::ServeOutcome::kDegraded

@@ -32,6 +32,11 @@ namespace gass::serve {
 /// (gass_shard links gass_serve, never the reverse).
 struct ShardFaultPlan {
   std::uint32_t shard = 0;
+  /// Which replica of the shard the fail_period fault targets: -1 (the
+  /// default) faults any replica — the whole shard is sick — while a
+  /// specific replica id models one bad copy, leaving its peers healthy so
+  /// failover can answer the query. Slow/reload faults are shard-wide.
+  std::int32_t replica = -1;
   /// Fail this shard's sub-search on every fail_period-th admission id
   /// (same `id % p == 0` rule as FaultPlan). The failure is injected as an
   /// exception inside the fan-out worker, so it exercises the exact
@@ -120,9 +125,19 @@ class FaultInjector {
 
   // --- Shard-level decisions (consumed by shard::ShardedIndex) ---
 
-  /// Fail shard `shard`'s sub-search for admission id `id`? Pure; the
-  /// shard layer acts by throwing inside its fan-out worker and counts
-  /// the injection via CountShardFailure().
+  /// Fail shard `shard`'s sub-search on replica `replica` for admission id
+  /// `id`? Pure; the shard layer acts by throwing inside its fan-out
+  /// worker and counts the injection via CountShardFailure(). A plan with
+  /// replica = -1 matches every replica.
+  bool ShouldFailShardSearch(std::uint64_t id, std::uint32_t shard,
+                             std::int32_t replica) const {
+    const ShardFaultPlan* p = FindShardPlan(shard);
+    return p != nullptr && Fires(p->fail_period, id) &&
+           (p->replica < 0 || p->replica == replica);
+  }
+
+  /// Replica-oblivious form: fires if the plan would fault ANY replica of
+  /// the shard (kept for unreplicated callers and tests).
   bool ShouldFailShardSearch(std::uint64_t id, std::uint32_t shard) const {
     const ShardFaultPlan* p = FindShardPlan(shard);
     return p != nullptr && Fires(p->fail_period, id);

@@ -331,6 +331,7 @@ void Frontend::WorkerLoop() {
       response.shards_ok = response.stats.shards_probed;
       response.shards_failed = response.stats.shards_failed;
       response.shards_hedged = response.stats.shards_hedged;
+      response.replica_failovers = response.stats.replica_failovers;
       response.degrade_step = static_cast<std::uint32_t>(step);
       response.outcome = response.expired ? methods::ServeOutcome::kExpired
                          : step > 0       ? methods::ServeOutcome::kDegraded

@@ -36,6 +36,10 @@ std::string ServeMetrics::Dump() const {
       "shards probed    %llu (%.2f per fanned query)\n"
       "shards failed    %llu\n"
       "shards hedged    %llu (%llu hedge wins)\n"
+      "replica failover %llu\n"
+      "replicas quarantined %llu\n"
+      "replica rebuilds %llu\n"
+      "scrub passes     %llu\n"
       "updates applied  %llu\n"
       "deletes applied  %llu\n"
       "wal bytes        %llu\n"
@@ -61,6 +65,10 @@ std::string ServeMetrics::Dump() const {
       static_cast<unsigned long long>(totals.shards_failed),
       static_cast<unsigned long long>(totals.shards_hedged),
       static_cast<unsigned long long>(totals.hedge_wins),
+      static_cast<unsigned long long>(totals.replica_failovers),
+      static_cast<unsigned long long>(replicas_quarantined()),
+      static_cast<unsigned long long>(replica_rebuilds()),
+      static_cast<unsigned long long>(scrub_passes()),
       static_cast<unsigned long long>(updates_applied()),
       static_cast<unsigned long long>(deletes_applied()),
       static_cast<unsigned long long>(wal_bytes_written()),
@@ -102,6 +110,19 @@ void ServeMetrics::ExportTo(obs::Exporter* exporter,
   exporter->AddCounter(prefix + "hedge_wins_total",
                        static_cast<double>(totals.hedge_wins),
                        "Hedged backups that resolved before the primary");
+  exporter->AddCounter(prefix + "replica_failovers_total",
+                       static_cast<double>(totals.replica_failovers),
+                       "Sub-searches answered by a peer replica after the "
+                       "routed replica failed");
+  exporter->AddCounter(prefix + "replicas_quarantined_total",
+                       static_cast<double>(replicas_quarantined()),
+                       "Replicas force-opened after digest divergence");
+  exporter->AddCounter(prefix + "replica_rebuilds_total",
+                       static_cast<double>(replica_rebuilds()),
+                       "Quarantined replicas restored online");
+  exporter->AddCounter(prefix + "scrub_passes_total",
+                       static_cast<double>(scrub_passes()),
+                       "Anti-entropy digest passes completed");
   exporter->AddCounter(prefix + "distance_computations_total",
                        static_cast<double>(totals.distance_computations),
                        "Distance evaluations across all queries");
@@ -170,6 +191,9 @@ void ServeMetrics::Reset() {
   wal_bytes_.store(0, std::memory_order_relaxed);
   wal_replay_records_.store(0, std::memory_order_relaxed);
   checkpoints_.store(0, std::memory_order_relaxed);
+  replicas_quarantined_.store(0, std::memory_order_relaxed);
+  replica_rebuilds_.store(0, std::memory_order_relaxed);
+  scrub_passes_.store(0, std::memory_order_relaxed);
   window_.Reset();
 }
 

@@ -91,6 +91,37 @@ class ServeMetrics {
   std::uint64_t hedge_wins_total() const {
     return stats_.Snapshot().hedge_wins;
   }
+  /// Sub-searches answered by a peer replica after their routed replica
+  /// failed (replicated indexes only; flows in via stats).
+  std::uint64_t replica_failovers_total() const {
+    return stats_.Snapshot().replica_failovers;
+  }
+
+  // --- Replica anti-entropy accounting (written by the scrub driver) ---
+
+  /// One replica force-opened after its digest diverged from the shard
+  /// majority.
+  void RecordReplicaQuarantined() {
+    replicas_quarantined_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// One quarantined replica restored online (snapshot or peer copy).
+  void RecordReplicaRebuild() {
+    replica_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// One full anti-entropy pass over every (shard, replica) digest.
+  void RecordScrubPass() {
+    scrub_passes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t replicas_quarantined() const {
+    return replicas_quarantined_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t replica_rebuilds() const {
+    return replica_rebuilds_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t scrub_passes() const {
+    return scrub_passes_.load(std::memory_order_relaxed);
+  }
 
   // --- Per-stage latency (written from sampled traces) ---
 
@@ -234,6 +265,9 @@ class ServeMetrics {
   std::atomic<std::uint64_t> wal_bytes_{0};
   std::atomic<std::uint64_t> wal_replay_records_{0};
   std::atomic<std::uint64_t> checkpoints_{0};
+  std::atomic<std::uint64_t> replicas_quarantined_{0};
+  std::atomic<std::uint64_t> replica_rebuilds_{0};
+  std::atomic<std::uint64_t> scrub_passes_{0};
   std::array<std::atomic<std::uint64_t>, kMaxDegradeSteps> degrade_occupancy_{};
   core::Timer window_;
 };

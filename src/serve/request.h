@@ -70,6 +70,11 @@ struct SearchResponse : methods::SearchResult {
   std::uint64_t shards_ok = 0;
   std::uint64_t shards_failed = 0;
   std::uint64_t shards_hedged = 0;
+  /// Sub-searches that failed on one replica and were answered by a peer
+  /// replica of the same shard (replicated indexes only). A query with
+  /// failovers but shards_failed == 0 lost nothing — replication absorbed
+  /// the fault.
+  std::uint64_t replica_failovers = 0;
 };
 
 }  // namespace gass::serve

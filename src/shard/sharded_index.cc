@@ -1,9 +1,13 @@
 #include "shard/sharded_index.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cctype>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
@@ -31,12 +35,20 @@ struct HedgeAttempt {
   bool failed = false;
   /// Deadline already expired when the attempt started; nothing ran.
   bool skipped = false;
+  /// Replica failovers this attempt performed, and the replica that
+  /// finally resolved it (for the winner's breaker report).
+  std::size_t failovers = 0;
+  std::uint32_t final_replica = 0;
 };
 
 /// One selected shard of a hedged fan-out: up to two attempts (primary and
 /// hedged backup), resolved by whichever finishes its winner CAS first.
 struct HedgeSlot {
   std::uint32_t shard = 0;
+  /// Replica the routing stage chose; the backup attempt starts from the
+  /// next replica in the ring so the hedge races different hardware state
+  /// when R > 1.
+  std::uint32_t replica = 0;
   bool probe_granted = false;
   HedgeAttempt attempts[2];
   /// Index of the attempt that resolved the slot (-1 = still outstanding).
@@ -170,27 +182,58 @@ methods::BuildStats ShardedIndex::Build(const core::Dataset& data) {
   partitioning_ = Partition(data, options_.partitioner, options_.seed);
   partition_seconds_ = timer.Seconds();
   const std::size_t k = partitioning_.num_shards();
+  const std::size_t replicas = options_.replicas == 0 ? 1 : options_.replicas;
   shard_data_.resize(k);
-  shards_.resize(k);
+  shards_.clear();
+  shards_.reserve(k);
+  for (std::size_t s = 0; s < k; ++s) shards_.emplace_back(replicas);
   shard_build_seconds_.assign(k, 0.0);
-  std::vector<methods::BuildStats> sub_stats(k);
+  std::vector<double> materialize_seconds(k, 0.0);
+  std::vector<double> replica_seconds(k * replicas, 0.0);
+  std::vector<methods::BuildStats> sub_stats(k * replicas);
   {
     // Shard builds are independent, so they simply fan out on a pool; a
     // failing build (e.g. std::bad_alloc) surfaces here via Wait()'s
-    // exception propagation instead of taking the process down.
+    // exception propagation instead of taking the process down. Two
+    // phases: every shard's rows materialize first, then all k*R replica
+    // builds run concurrently (each replica of shard s uses the same
+    // derived seed, so they come out bit-identical).
     core::ThreadPool pool(options_.build_threads);
     for (std::size_t s = 0; s < k; ++s) {
-      const bool accepted = pool.Submit([this, &data, &sub_stats, s] {
-        core::Timer shard_timer;
-        shard_data_[s] = partitioning_.ShardView(data, s).Materialize();
-        shards_[s] = methods::CreateIndex(options_.method,
-                                          SubIndexSeed(options_.seed, s));
-        sub_stats[s] = shards_[s]->Build(shard_data_[s]);
-        shard_build_seconds_[s] = shard_timer.Seconds();
-      });
+      const bool accepted =
+          pool.Submit([this, &data, &materialize_seconds, s] {
+            core::Timer mat_timer;
+            shard_data_[s] = partitioning_.ShardView(data, s).Materialize();
+            materialize_seconds[s] = mat_timer.Seconds();
+          });
       GASS_CHECK(accepted);
     }
     pool.Wait();
+    for (std::size_t s = 0; s < k; ++s) {
+      for (std::size_t r = 0; r < replicas; ++r) {
+        const bool accepted = pool.Submit(
+            [this, &sub_stats, &replica_seconds, s, r, replicas] {
+              core::Timer replica_timer;
+              std::unique_ptr<methods::GraphIndex> index =
+                  methods::CreateIndex(options_.method,
+                                       SubIndexSeed(options_.seed, s));
+              sub_stats[s * replicas + r] = index->Build(shard_data_[s]);
+              shards_[s].Set(r, std::move(index));
+              replica_seconds[s * replicas + r] = replica_timer.Seconds();
+            });
+        GASS_CHECK(accepted);
+      }
+    }
+    pool.Wait();
+  }
+  // The shard's critical-path time: materialization plus its slowest
+  // replica build (replicas of one shard construct concurrently).
+  for (std::size_t s = 0; s < k; ++s) {
+    double slowest = 0.0;
+    for (std::size_t r = 0; r < replicas; ++r) {
+      slowest = std::max(slowest, replica_seconds[s * replicas + r]);
+    }
+    shard_build_seconds_[s] = materialize_seconds[s] + slowest;
   }
   FinishInit(data);
 
@@ -211,6 +254,7 @@ methods::BuildStats ShardedIndex::Build(const core::Dataset& data) {
 void ShardedIndex::FinishInit(const core::Dataset& data) {
   WaitForReloads();
   data_ = &data;
+  num_replicas_ = options_.replicas == 0 ? 1 : options_.replicas;
   max_shard_size_ = 1;
   for (const core::Dataset& d : shard_data_) {
     max_shard_size_ = std::max(max_shard_size_, d.size());
@@ -231,9 +275,8 @@ void ShardedIndex::FinishInit(const core::Dataset& data) {
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     probe_counts_[s].store(0, std::memory_order_relaxed);
   }
-  health_ = std::make_unique<ShardHealthTable>(shards_.size(),
+  health_ = std::make_unique<ShardHealthTable>(shards_.size(), num_replicas_,
                                                options_.breaker);
-  shard_locks_ = std::make_unique<std::shared_mutex[]>(shards_.size());
   {
     std::lock_guard<std::mutex> lock(reload_mutex_);
     reload_inflight_.assign(shards_.size(), 0);
@@ -243,7 +286,8 @@ void ShardedIndex::FinishInit(const core::Dataset& data) {
 void ShardedIndex::SetBreakerOptions(const ShardBreakerOptions& breaker) {
   options_.breaker = breaker;
   if (!shards_.empty()) {
-    health_ = std::make_unique<ShardHealthTable>(shards_.size(), breaker);
+    health_ = std::make_unique<ShardHealthTable>(shards_.size(),
+                                                 num_replicas_, breaker);
   }
 }
 
@@ -269,7 +313,13 @@ std::size_t ShardedIndex::EffectiveNprobe() const {
 
 const methods::GraphIndex& ShardedIndex::shard(std::size_t s) const {
   GASS_CHECK(s < shards_.size());
-  return *shards_[s];
+  return shards_[s].replica(0);
+}
+
+const methods::GraphIndex& ShardedIndex::replica(std::size_t s,
+                                                 std::size_t r) const {
+  GASS_CHECK(s < shards_.size() && r < shards_[s].size());
+  return shards_[s].replica(r);
 }
 
 std::size_t ShardedIndex::shard_size(std::size_t s) const {
@@ -294,8 +344,8 @@ std::size_t ShardedIndex::IndexBytes() const {
   for (const std::vector<core::VectorId>& ids : partitioning_.shard_ids) {
     total += ids.size() * sizeof(core::VectorId);
   }
-  for (const std::unique_ptr<methods::GraphIndex>& s : shards_) {
-    total += s->IndexBytes();
+  for (const ReplicaSet& s : shards_) {
+    total += s.IndexBytes();
   }
   return total;
 }
@@ -356,6 +406,7 @@ serve::SearchResponse ShardedIndex::Search(
   response.shards_ok = response.stats.shards_probed;
   response.shards_failed = response.stats.shards_failed;
   response.shards_hedged = response.stats.shards_hedged;
+  response.replica_failovers = response.stats.replica_failovers;
   response.outcome = response.expired ? methods::ServeOutcome::kExpired
                      : params.degrade_step > 0
                          ? methods::ServeOutcome::kDegraded
@@ -402,13 +453,26 @@ methods::SearchResult ShardedIndex::SearchImpl(
   }
   std::sort(ranked.begin(), ranked.end());
 
-  // Walk the ranked list and select up to nprobe shards, skipping any
-  // with an open breaker (unless this decision is granted the half-open
-  // probe) — the query substitutes the next-nearest centroid instead of
-  // failing. With every breaker closed this selects exactly the first
-  // nprobe ranks, preserving the historic routing bit-for-bit.
+  // One RNG draw per query, fanned into per-probe streams by selection
+  // position, so parallel, caller-thread, and hedged fan-out all see
+  // identical sub-search seeds (a hedged backup replays its primary's
+  // stream and returns the same answers, modulo deadline truncation).
+  // Drawn before shard selection — it also keys the deterministic replica
+  // choice below; routing itself never consumes the RNG, so the draw
+  // order does not change any R = 1 result.
+  const std::uint64_t query_seed = rng->Next();
+
+  // Walk the ranked list and select up to nprobe shards. For each shard a
+  // replica is chosen by health-aware power-of-two selection (R = 1: the
+  // one replica, exactly the historic path); a breaker-skip on the chosen
+  // replica falls through to the shard's remaining replicas, and only a
+  // shard whose every replica skips is routed around (the query
+  // substitutes the next-nearest centroid instead of failing). With every
+  // breaker closed this selects exactly the first nprobe ranks,
+  // preserving the historic routing bit-for-bit.
   struct Selected {
     std::uint32_t shard;
+    std::uint32_t replica;
     bool probe_granted;
   };
   std::vector<Selected> selected;
@@ -416,25 +480,28 @@ methods::SearchResult ShardedIndex::SearchImpl(
   std::size_t breaker_skips = 0;
   for (std::size_t i = 0; i < k_shards && selected.size() < nprobe; ++i) {
     const std::uint32_t s = ranked[i].second;
-    switch (health_->RouteDecision(s)) {
-      case ShardRoute::kSearch:
-        selected.push_back({s, false});
-        break;
-      case ShardRoute::kProbe:
-        selected.push_back({s, true});
-        break;
-      case ShardRoute::kSkip:
-        ++breaker_skips;
-        break;
+    const std::uint32_t start_r = static_cast<std::uint32_t>(
+        PickReplica(query_seed, s, num_replicas_, *health_));
+    bool routed = false;
+    for (std::size_t hop = 0; hop < num_replicas_ && !routed; ++hop) {
+      const std::uint32_t r =
+          static_cast<std::uint32_t>((start_r + hop) % num_replicas_);
+      switch (health_->RouteDecision(s, r)) {
+        case ShardRoute::kSearch:
+          selected.push_back({s, r, false});
+          routed = true;
+          break;
+        case ShardRoute::kProbe:
+          selected.push_back({s, r, true});
+          routed = true;
+          break;
+        case ShardRoute::kSkip:
+          break;
+      }
     }
+    if (!routed) ++breaker_skips;
   }
   const std::size_t n_sel = selected.size();
-
-  // One RNG draw per query, fanned into per-probe streams by selection
-  // position, so parallel, caller-thread, and hedged fan-out all see
-  // identical sub-search seeds (a hedged backup replays its primary's
-  // stream and returns the same answers, modulo deadline truncation).
-  const std::uint64_t query_seed = rng->Next();
 
   {
     core::SearchStats route_stats;
@@ -445,6 +512,8 @@ methods::SearchResult ShardedIndex::SearchImpl(
 
   std::vector<methods::SearchResult> sub(n_sel);
   std::vector<std::uint8_t> state(n_sel, kProbeNotRun);
+  // Per-probe replica-failover counts (each probe writes only its slot).
+  std::vector<std::size_t> failovers(n_sel, 0);
   std::size_t hedges_launched = 0;
   std::size_t hedge_wins = 0;
 
@@ -478,6 +547,7 @@ methods::SearchResult ShardedIndex::SearchImpl(
     hstate->unresolved = n_sel;
     for (std::size_t idx = 0; idx < n_sel; ++idx) {
       hstate->slots[idx].shard = selected[idx].shard;
+      hstate->slots[idx].replica = selected[idx].replica;
       hstate->slots[idx].probe_granted = selected[idx].probe_granted;
     }
     const std::uint64_t fanout_begin_ns =
@@ -503,6 +573,11 @@ methods::SearchResult ShardedIndex::SearchImpl(
       for (std::size_t idx = 0; idx < n_sel; ++idx) {
         HedgeSlot& slot = hstate->slots[idx];
         if (slot.winner.load(std::memory_order_acquire) != -1) continue;
+        // A backup the deadline has already killed would only report
+        // `skipped`: don't launch it, and don't count it into
+        // shards_hedged — the invariant hedge_wins <= shards_hedged must
+        // hold even under pathological deadlines.
+        if (hstate->deadline.IsExpired()) break;
         slot.hedged.store(true, std::memory_order_relaxed);
         ++hedges_launched;
         const bool accepted = fanout_pool_->Submit(
@@ -535,6 +610,7 @@ methods::SearchResult ShardedIndex::SearchImpl(
       const int w = slot.winner.load(std::memory_order_acquire);
       if (w < 0) continue;
       HedgeAttempt& att = slot.attempts[w];
+      failovers[idx] = att.failovers;
       if (slot.hedged.load(std::memory_order_relaxed) && w == 1 &&
           !att.skipped && !att.failed) {
         ++hedge_wins;
@@ -568,45 +644,30 @@ methods::SearchResult ShardedIndex::SearchImpl(
       // shards are skipped entirely — the merged answer stays whatever
       // the completed probes produced (all valid ids), never garbage.
       if (params.deadline != nullptr && params.deadline->IsExpired()) {
-        if (selected[idx].probe_granted) health_->OnProbeAbandoned(s);
+        if (selected[idx].probe_granted) {
+          health_->OnProbeAbandoned(s, selected[idx].replica);
+        }
         return;
       }
       obs::StageTimer probe_timer(trace, obs::Stage::kShardSearch,
                                   static_cast<std::int32_t>(s));
-      bool failed = false;
-      if (faults_ != nullptr) {
-        faults_->OnShardSearch(params.admission_id, s, /*attempt=*/0);
-      }
-      try {
-        if (faults_ != nullptr &&
-            faults_->ShouldFailShardSearch(params.admission_id, s)) {
-          faults_->CountShardFailure();
-          // Thrown (not returned) so injected failures walk the exact
-          // exception-to-status path a real sub-search failure takes.
-          throw std::runtime_error("injected shard fault");
-        }
-        std::unique_ptr<methods::SearchContext> sctx = AcquireContext();
-        sctx->rng = core::Rng(query_seed ^ (kSeedMix * (idx + 1)));
-        {
-          std::shared_lock<std::shared_mutex> shard_lock(shard_locks_[s]);
-          sub[idx] = shards_[s]->Search(query, sub_params, sctx.get());
-        }
-        ReleaseContext(std::move(sctx));
-      } catch (...) {
+      ProbeOutcome outcome;
+      SearchShardReplicas(s, selected[idx].replica, query, sub_params,
+                          query_seed ^ (kSeedMix * (idx + 1)),
+                          params.deadline, /*attempt=*/0,
+                          /*report_final=*/true, trace, &outcome);
+      failovers[idx] = outcome.failovers;
+      if (!outcome.ok) {
         // A failing shard costs the query that shard's contribution, never
         // the query: the failure becomes per-shard status (kProbeFailed →
-        // shards_failed/partial) and feeds the breaker.
-        failed = true;
-      }
-      probe_counts_[s].fetch_add(1, std::memory_order_relaxed);
-      if (failed) {
+        // shards_failed/partial) and already fed the breakers.
         probe_timer.Cancel();
         state[idx] = kProbeFailed;
       } else {
+        sub[idx] = std::move(outcome.result);
         probe_timer.SetStats(sub[idx].stats);
         state[idx] = kProbeOk;
       }
-      health_->OnResult(s, !failed);
     };
 
     if (fanout_pool_ != nullptr && n_sel > 1) {
@@ -670,6 +731,7 @@ methods::SearchResult ShardedIndex::SearchImpl(
   merged.stats.shards_failed = failed_probes + breaker_skips;
   merged.stats.shards_hedged = hedges_launched;
   merged.stats.hedge_wins = hedge_wins;
+  for (const std::size_t f : failovers) merged.stats.replica_failovers += f;
 
   // Merge local results into global ids. A single completed probe passes
   // its list through untouched (order, ties, distances) — with K=1 this is
@@ -729,47 +791,116 @@ methods::SearchResult ShardedIndex::SearchImpl(
   return merged;
 }
 
-void ShardedIndex::RunHedgedAttempt(const std::shared_ptr<HedgeState>& state,
-                                    std::size_t idx, int attempt) const {
-  HedgeSlot& slot = state->slots[idx];
-  HedgeAttempt& att = slot.attempts[attempt];
-  att.start = state->timer.Seconds();
-  bool failed = false;
-  bool skipped = false;
-  if (state->deadline.IsExpired()) {
-    skipped = true;
-  } else {
-    const std::uint32_t s = slot.shard;
+void ShardedIndex::SearchShardReplicas(
+    std::uint32_t s, std::uint32_t first_replica, const float* query,
+    const methods::SearchParams& sub_params, std::uint64_t attempt_seed,
+    const core::Deadline* deadline, std::uint32_t attempt, bool report_final,
+    obs::QueryTrace* trace, ProbeOutcome* out) const {
+  // Failover walk: try the routed replica; every failure feeds its breaker
+  // immediately, then the next untried replica of the same shard that the
+  // breakers will route retries under the SAME deadline. Replicas are
+  // bit-identical and every retry reseeds from attempt_seed, so a failover
+  // changes availability, never answers.
+  std::vector<bool> tried(num_replicas_, false);
+  std::uint32_t r = first_replica;
+  for (;;) {
+    tried[r] = true;
+    bool failed = false;
     if (faults_ != nullptr) {
-      faults_->OnShardSearch(state->sub_params.admission_id, s,
-                             static_cast<std::uint32_t>(attempt));
+      faults_->OnShardSearch(sub_params.admission_id, s, attempt);
     }
     try {
       if (faults_ != nullptr &&
-          faults_->ShouldFailShardSearch(state->sub_params.admission_id, s)) {
+          faults_->ShouldFailShardSearch(sub_params.admission_id, s,
+                                         static_cast<std::int32_t>(r))) {
         faults_->CountShardFailure();
+        // Thrown (not returned) so injected failures walk the exact
+        // exception-to-status path a real sub-search failure takes.
         throw std::runtime_error("injected shard fault");
       }
       std::unique_ptr<methods::SearchContext> sctx = AcquireContext();
-      // Seeded by selection position, independent of attempt: the backup
-      // replays the primary's stream, so whichever attempt wins returns
-      // the same answers (modulo deadline truncation).
-      sctx->rng = core::Rng(state->query_seed ^ (kSeedMix * (idx + 1)));
-      {
-        std::shared_lock<std::shared_mutex> shard_lock(shard_locks_[s]);
-        att.result =
-            shards_[s]->Search(state->query.data(), state->sub_params,
-                               sctx.get());
-      }
+      sctx->rng = core::Rng(attempt_seed);
+      out->result = shards_[s].Search(r, query, sub_params, sctx.get());
       ReleaseContext(std::move(sctx));
     } catch (...) {
       failed = true;
     }
     probe_counts_[s].fetch_add(1, std::memory_order_relaxed);
+    if (!failed) {
+      out->ok = true;
+      out->replica = r;
+      // Hedged attempts defer the success report to the winner CAS so a
+      // losing attempt cannot double-close a breaker.
+      if (report_final) health_->OnResult(s, r, true);
+      return;
+    }
+    health_->OnResult(s, r, false);
+    if (deadline != nullptr && deadline->IsExpired()) {
+      out->replica = r;
+      return;  // No budget left to retry elsewhere.
+    }
+    // Next untried replica the breakers will route, in ring order from the
+    // failed one. A candidate that skips is marked tried (its breaker said
+    // no — asking again within the same probe would grant spurious probes).
+    bool found = false;
+    std::uint32_t next = 0;
+    for (std::uint32_t step = 1; step < num_replicas_ && !found; ++step) {
+      const std::uint32_t cand =
+          static_cast<std::uint32_t>((r + step) % num_replicas_);
+      if (tried[cand]) continue;
+      if (health_->RouteDecision(s, cand) != ShardRoute::kSkip) {
+        next = cand;
+        found = true;
+      } else {
+        tried[cand] = true;
+      }
+    }
+    if (!found) {
+      out->replica = r;
+      return;  // Every replica failed or is breaker-skipped: shard fails.
+    }
+    ++out->failovers;
+    if (trace != nullptr) {
+      obs::TraceSpan span;
+      span.stage = obs::Stage::kReplicaFailover;
+      span.shard = static_cast<std::int32_t>(s);
+      span.start_ns = trace->ElapsedNs();
+      trace->AddSpan(span);
+    }
+    r = next;
+  }
+}
+
+void ShardedIndex::RunHedgedAttempt(const std::shared_ptr<HedgeState>& state,
+                                    std::size_t idx, int attempt) const {
+  HedgeSlot& slot = state->slots[idx];
+  HedgeAttempt& att = slot.attempts[attempt];
+  att.start = state->timer.Seconds();
+  if (state->deadline.IsExpired()) {
+    att.skipped = true;
+  } else {
+    // The backup starts from the next replica in the ring, so with R > 1 a
+    // hedge races different replica state instead of piling a second
+    // attempt onto the same possibly-struggling replica. Seeded by
+    // selection position, independent of attempt and replica: replicas are
+    // bit-identical, so whichever attempt wins returns the same answers
+    // (modulo deadline truncation).
+    const std::uint32_t first_r =
+        attempt == 0 ? slot.replica
+                     : static_cast<std::uint32_t>((slot.replica + 1) %
+                                                  num_replicas_);
+    ProbeOutcome outcome;
+    SearchShardReplicas(slot.shard, first_r, state->query.data(),
+                        state->sub_params,
+                        state->query_seed ^ (kSeedMix * (idx + 1)),
+                        &state->deadline, static_cast<std::uint32_t>(attempt),
+                        /*report_final=*/false, /*trace=*/nullptr, &outcome);
+    att.failed = !outcome.ok;
+    att.failovers = outcome.failovers;
+    att.final_replica = outcome.replica;
+    if (outcome.ok) att.result = std::move(outcome.result);
   }
   att.duration = state->timer.Seconds() - att.start;
-  att.failed = failed;
-  att.skipped = skipped;
   // First attempt to finish resolves the shard; the release CAS publishes
   // this attempt's fields to the coordinator. The loser's outcome is
   // discarded (it computed the same answers anyway — same seed).
@@ -778,10 +909,15 @@ void ShardedIndex::RunHedgedAttempt(const std::shared_ptr<HedgeState>& state,
                                            std::memory_order_acq_rel)) {
     return;
   }
-  if (skipped) {
-    if (slot.probe_granted) health_->OnProbeAbandoned(slot.shard);
-  } else {
-    health_->OnResult(slot.shard, !failed);
+  // Only the winner reports terminal success/abandonment: failed hops
+  // already fed their breakers inside SearchShardReplicas, and a success
+  // must close its breaker exactly once.
+  if (att.skipped) {
+    if (slot.probe_granted) {
+      health_->OnProbeAbandoned(slot.shard, slot.replica);
+    }
+  } else if (!att.failed) {
+    health_->OnResult(slot.shard, att.final_replica, true);
   }
   std::lock_guard<std::mutex> lock(state->mutex);
   --state->unresolved;
@@ -802,22 +938,111 @@ core::Status ShardedIndex::ReloadShard(std::size_t s) {
                                     std::to_string(s));
   }
   const std::string shard_path = ShardPath(snapshot_path_, s);
+  // Every replica reloads from the same shard file (replicas are
+  // bit-identical, and the snapshot stores one copy per shard), each
+  // swapped in under its own writer lock so searches keep flowing on the
+  // replicas not currently swapping. LoadIndex re-validates the snapshot's
+  // checksums, method name, params fingerprint, and dataset binding, so a
+  // corrupted shard file fails here and the old (quarantined) sub-indexes
+  // keep serving.
+  for (std::size_t r = 0; r < num_replicas_; ++r) {
+    std::unique_ptr<methods::GraphIndex> fresh =
+        methods::CreateIndex(options_.method, SubIndexSeed(options_.seed, s));
+    GASS_RETURN_IF_ERROR(
+        methods::LoadIndex(fresh.get(), shard_data_[s], shard_path));
+    shards_[s].SwapIn(r, std::move(fresh));
+    // Re-enter rotation through the half-open path: the next routing
+    // decision probes this replica, and only a passing probe closes the
+    // breaker (generation bump included).
+    health_->OnReloaded(s, r);
+  }
+  return core::Status::Ok();
+}
+
+core::Status ShardedIndex::RebuildReplica(std::size_t s, std::size_t r) {
+  GASS_CHECK(s < shards_.size());
+  GASS_CHECK(r < num_replicas_);
+  if (faults_ != nullptr &&
+      faults_->OnShardReload(static_cast<std::uint32_t>(s))) {
+    return core::Status::Corruption("injected rebuild corruption for shard " +
+                                    std::to_string(s));
+  }
   std::unique_ptr<methods::GraphIndex> fresh =
       methods::CreateIndex(options_.method, SubIndexSeed(options_.seed, s));
-  // LoadIndex re-validates the snapshot's checksums, method name, params
-  // fingerprint, and dataset binding, so a corrupted shard file fails here
-  // and the old (quarantined) sub-index keeps serving.
-  GASS_RETURN_IF_ERROR(
-      methods::LoadIndex(fresh.get(), shard_data_[s], shard_path));
-  {
-    std::unique_lock<std::shared_mutex> lock(shard_locks_[s]);
-    shards_[s] = std::move(fresh);
+  if (!snapshot_path_.empty()) {
+    // Snapshot-backed: the shard file is the canonical copy.
+    GASS_RETURN_IF_ERROR(methods::LoadIndex(fresh.get(), shard_data_[s],
+                                            ShardPath(snapshot_path_, s)));
+  } else {
+    if (num_replicas_ < 2) {
+      return core::Status::InvalidArgument(
+          "cannot rebuild the only replica of shard " + std::to_string(s) +
+          " without a recovery snapshot");
+    }
+    // Copy-from-healthy-peer: serialize a peer replica — preferring one
+    // whose breaker is closed — and restore the quarantined slot from that
+    // spill. Save/LoadIndex round-trip the full checksummed snapshot
+    // format, so a corrupt peer fails validation here instead of
+    // propagating its corruption.
+    std::size_t peer = num_replicas_;
+    for (std::size_t cand = 0; cand < num_replicas_; ++cand) {
+      if (cand == r) continue;
+      if (peer == num_replicas_) peer = cand;
+      if (health_->state(s, cand) == BreakerState::kClosed) {
+        peer = cand;
+        break;
+      }
+    }
+    const char* tmp = std::getenv("TMPDIR");
+    const std::string spill =
+        std::string(tmp != nullptr && tmp[0] != '\0' ? tmp : "/tmp") +
+        "/gass.replica.spill." + std::to_string(::getpid()) + "." +
+        std::to_string(s) + "." + std::to_string(r);
+    core::Status status = shards_[s].Save(peer, spill);
+    if (status.ok()) {
+      status = methods::LoadIndex(fresh.get(), shard_data_[s], spill);
+    }
+    std::remove(spill.c_str());
+    GASS_RETURN_IF_ERROR(status);
   }
-  // Re-enter rotation through the half-open path: the next routing
-  // decision probes this shard, and only a passing probe closes the
-  // breaker (generation bump included).
-  health_->OnReloaded(s);
+  shards_[s].SwapIn(r, std::move(fresh));
+  // Rebuilt but not yet trusted: generation bump + forced half-open probe;
+  // only a passing probe re-closes the breaker.
+  health_->OnReloaded(s, r);
   return core::Status::Ok();
+}
+
+ScrubReport ShardedIndex::ScrubReplicas(bool rebuild) {
+  GASS_CHECK_MSG(!shards_.empty(), "ScrubReplicas before Build");
+  ScrubReport report;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::size_t reps = shards_[s].size();
+    report.replicas_checked += reps;
+    if (reps < 2) continue;  // No peer group to compare against.
+    std::vector<std::uint64_t> digests(reps);
+    for (std::size_t r = 0; r < reps; ++r) {
+      digests[r] = shards_[s].Digest(r);
+    }
+    const std::uint64_t majority = MajorityDigest(digests);
+    for (std::size_t r = 0; r < reps; ++r) {
+      if (digests[r] == majority) continue;
+      // Replicas are bit-identical by construction, so divergence from the
+      // peer majority is corruption by definition: force the breaker open
+      // (routing stops using the replica immediately), then restore it
+      // online while the healthy replicas keep serving.
+      ++report.divergent;
+      health_->Quarantine(s, r);
+      ++report.quarantined;
+      if (rebuild) {
+        if (RebuildReplica(s, r).ok()) {
+          ++report.rebuilt;
+        } else {
+          ++report.rebuild_failures;
+        }
+      }
+    }
+  }
+  return report;
 }
 
 bool ShardedIndex::StartShardReload(std::size_t s) {
@@ -860,7 +1085,11 @@ core::Status ShardedIndex::SaveSnapshot(const std::string& path) const {
   std::vector<std::uint64_t> shard_hashes(k);
   for (std::size_t s = 0; s < k; ++s) {
     const std::string shard_path = ShardPath(path, s);
-    GASS_RETURN_IF_ERROR(methods::SaveIndex(*shards_[s], shard_path));
+    // Replicas are bit-identical, so the snapshot stores exactly one copy
+    // per shard (replica 0) — the on-disk format is replica-oblivious and
+    // unchanged from the unreplicated layout.
+    GASS_RETURN_IF_ERROR(
+        methods::SaveIndex(shards_[s].replica(0), shard_path));
     std::vector<std::uint8_t> bytes;
     GASS_RETURN_IF_ERROR(ReadFileBytes(shard_path, &bytes));
     shard_sizes[s] = shard_data_[s].size();
@@ -908,7 +1137,6 @@ core::Status ShardedIndex::LoadSnapshot(const std::string& path,
     serial_ctx_.reset();
     probe_counts_.reset();
     health_.reset();
-    shard_locks_.reset();
     snapshot_path_.clear();
   }
   return status;
@@ -1032,7 +1260,9 @@ core::Status ShardedIndex::LoadSnapshotImpl(const std::string& path,
   partition_seconds_ = 0.0;
   shard_build_seconds_.clear();
   shard_data_.resize(k);
-  shards_.resize(k);
+  const std::size_t replicas = options_.replicas == 0 ? 1 : options_.replicas;
+  shards_.reserve(k);
+  for (std::size_t s = 0; s < k; ++s) shards_.emplace_back(replicas);
   for (std::size_t s = 0; s < k; ++s) {
     const std::string shard_path = ShardPath(path, s);
     std::vector<std::uint8_t> bytes;
@@ -1049,10 +1279,16 @@ core::Status ShardedIndex::LoadSnapshotImpl(const std::string& path,
           " does not match the hash recorded in the manifest");
     }
     shard_data_[s] = data.Select(shard_ids[s]);
-    shards_[s] = methods::CreateIndex(options_.method,
-                                      SubIndexSeed(options_.seed, s));
-    GASS_RETURN_IF_ERROR(
-        methods::LoadIndex(shards_[s].get(), shard_data_[s], shard_path));
+    // The snapshot stores one copy per shard; every replica attaches from
+    // that same pre-built file, re-validating it R times (cheap relative
+    // to a rebuild, and each replica gets its own arena).
+    for (std::size_t r = 0; r < replicas; ++r) {
+      std::unique_ptr<methods::GraphIndex> sub = methods::CreateIndex(
+          options_.method, SubIndexSeed(options_.seed, s));
+      GASS_RETURN_IF_ERROR(
+          methods::LoadIndex(sub.get(), shard_data_[s], shard_path));
+      shards_[s].Set(r, std::move(sub));
+    }
   }
 
   partitioning_.assignment = std::move(assignment);
@@ -1069,6 +1305,13 @@ core::Status ShardedIndex::LoadSnapshotImpl(const std::string& path,
 core::Status LoadShardedIndex(const std::string& path,
                               const core::Dataset& data, std::uint64_t seed,
                               std::unique_ptr<ShardedIndex>* out) {
+  return LoadShardedIndex(path, data, seed, 1, out);
+}
+
+core::Status LoadShardedIndex(const std::string& path,
+                              const core::Dataset& data, std::uint64_t seed,
+                              std::size_t replicas,
+                              std::unique_ptr<ShardedIndex>* out) {
   io::SnapshotReader reader;
   GASS_RETURN_IF_ERROR(io::SnapshotReader::Open(path, &reader));
   if (!IsShardedSnapshotMethod(reader.method())) {
@@ -1080,6 +1323,7 @@ core::Status LoadShardedIndex(const std::string& path,
   GASS_RETURN_IF_ERROR(reader.OpenSection(kManifestSection, &buffer, &dec));
   ShardedIndexOptions options;
   options.seed = seed;
+  options.replicas = replicas == 0 ? 1 : replicas;
   dec.Str(&options.method, io::kMaxMethodName);
   const std::uint8_t kind = dec.U8();
   const std::uint64_t num_shards = dec.U64();

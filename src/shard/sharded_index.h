@@ -43,6 +43,7 @@
 #include "methods/graph_index.h"
 #include "serve/request.h"
 #include "shard/partitioner.h"
+#include "shard/replica_set.h"
 #include "shard/shard_health.h"
 
 namespace gass::serve {
@@ -71,6 +72,16 @@ struct ShardedIndexOptions {
   /// Base seed. Shard s's sub-index is built with seed ^ (mix * s), so
   /// shard 0 of a K=1 index uses exactly `seed` (bit-identity baseline).
   std::uint64_t seed = 42;
+  /// Replication factor R: copies of every shard's sub-index, all built by
+  /// the same factory with the same derived seed, so replicas are
+  /// bit-identical and any of them answers any query identically. Search
+  /// routes each probe to a health-chosen replica and fails over to peers
+  /// on failure; the anti-entropy scrubber (ScrubReplicas) compares
+  /// replica digests and rebuilds divergent copies online. 0 or 1 = no
+  /// replication (the exact pre-replication code path). A serving knob
+  /// like nprobe: excluded from the params fingerprint, so snapshots load
+  /// under any R.
+  std::size_t replicas = 1;
   /// Per-shard circuit breaker (see shard/shard_health.h). The default
   /// trips a shard after 3 consecutive sub-search failures; threshold 0
   /// disables quarantining entirely.
@@ -82,6 +93,19 @@ struct ShardedIndexOptions {
   /// classic fan-out path (bit-identical to previous behavior). Requires a
   /// deadline and fanout_threads > 0 to take effect.
   double hedge_fraction = 0.0;
+};
+
+/// Outcome of one anti-entropy scrub pass over every replica (see
+/// ShardedIndex::ScrubReplicas).
+struct ScrubReport {
+  std::size_t replicas_checked = 0;
+  /// Replicas whose digest disagreed with their shard's majority.
+  std::size_t divergent = 0;
+  /// Divergent replicas quarantined (breaker forced open).
+  std::size_t quarantined = 0;
+  /// Quarantined replicas rebuilt online this pass.
+  std::size_t rebuilt = 0;
+  std::size_t rebuild_failures = 0;
 };
 
 /// K per-shard indexes + centroid routing, behind the GraphIndex interface.
@@ -167,6 +191,26 @@ class ShardedIndex : public methods::GraphIndex {
   /// Build + SaveSnapshot via SetRecoverySnapshot.
   core::Status ReloadShard(std::size_t s);
 
+  /// Rebuilds one replica of shard `s` online: a fresh sub-index is
+  /// restored from the recovery snapshot when one is recorded, otherwise
+  /// copied from a healthy peer replica via a spill snapshot (serialized
+  /// under the peer's reader lock, re-validated on load), then swapped in
+  /// under replica `r`'s writer lock while searches continue everywhere
+  /// else. On success the replica's breaker generation bumps and its next
+  /// routing decision is a forced half-open probe (OnReloaded) — it
+  /// re-enters rotation only by passing that probe. With R == 1 and no
+  /// snapshot there is no peer to copy from and the call fails.
+  core::Status RebuildReplica(std::size_t s, std::size_t r);
+
+  /// One synchronous anti-entropy pass: digests every replica of every
+  /// shard (XXH64 over the adjacency, under the replica's reader lock),
+  /// quarantines any replica whose digest diverges from its shard's
+  /// majority, and — when `rebuild` is true — rebuilds each quarantined
+  /// replica via RebuildReplica. Safe to run concurrently with searches;
+  /// not with a second scrub. With R == 1 there is no majority to compare
+  /// against and the pass only counts replicas.
+  ScrubReport ScrubReplicas(bool rebuild = true);
+
   /// Launches ReloadShard(s) on a background thread. Returns false (and
   /// does nothing) when a reload of that shard is already in flight. The
   /// thread's Status is discarded — the breaker state tells the story —
@@ -183,6 +227,11 @@ class ShardedIndex : public methods::GraphIndex {
   /// Partition state (valid after Build/LoadSnapshot).
   const Partitioning& partitioning() const { return partitioning_; }
   const methods::GraphIndex& shard(std::size_t s) const;
+  /// Replication factor actually in effect (>= 1; valid after
+  /// Build/LoadSnapshot).
+  std::size_t num_replicas() const { return num_replicas_; }
+  /// Replica `r` of shard `s` (replica(s, 0) == shard(s)).
+  const methods::GraphIndex& replica(std::size_t s, std::size_t r) const;
   std::size_t shard_size(std::size_t s) const;
   /// Sub-searches dispatched to shard `s` since build/load (relaxed).
   std::uint64_t probe_count(std::size_t s) const;
@@ -203,13 +252,38 @@ class ShardedIndex : public methods::GraphIndex {
   static std::string ShardPath(const std::string& path, std::size_t s);
 
  private:
+  /// Outcome of one shard probe after replica failover (see
+  /// SearchShardReplicas).
+  struct ProbeOutcome {
+    bool ok = false;
+    /// Replica that resolved the probe (the last one attempted).
+    std::uint32_t replica = 0;
+    /// Failed attempts retried on a peer replica.
+    std::size_t failovers = 0;
+    methods::SearchResult result;
+  };
+
   methods::SearchResult SearchImpl(const float* query,
                                    const methods::SearchParams& params,
                                    core::Rng* rng) const;
+  /// One shard sub-search with replica failover: attempts `first_replica`,
+  /// and on failure retries the next routable replica of the same shard
+  /// while the deadline allows, feeding every failed attempt to that
+  /// replica's breaker. The final success is reported to the breaker only
+  /// when `report_final` (the hedged path reports it from the winner
+  /// instead, so racing attempts cannot double-report).
+  void SearchShardReplicas(std::uint32_t s, std::uint32_t first_replica,
+                           const float* query,
+                           const methods::SearchParams& sub_params,
+                           std::uint64_t attempt_seed,
+                           const core::Deadline* deadline,
+                           std::uint32_t attempt, bool report_final,
+                           obs::QueryTrace* trace, ProbeOutcome* out) const;
   /// One sub-search attempt of the hedged fan-out (attempt 0 = primary,
-  /// 1 = backup); runs on the fanout pool, resolves its slot via a winner
-  /// CAS, and touches only `state` plus immutable/thread-safe members so
-  /// an abandoned straggler stays harmless after its query returns.
+  /// 1 = backup, racing a different replica when R > 1); runs on the
+  /// fanout pool, resolves its slot via a winner CAS, and touches only
+  /// `state` plus immutable/thread-safe members so an abandoned straggler
+  /// stays harmless after its query returns.
   void RunHedgedAttempt(const std::shared_ptr<HedgeState>& state,
                         std::size_t idx, int attempt) const;
   /// LoadSnapshot body; the wrapper resets this index to the unbuilt state
@@ -230,7 +304,10 @@ class ShardedIndex : public methods::GraphIndex {
   /// Materialized per-shard rows; each sub-index binds to its entry, so
   /// these must live exactly as long as shards_.
   std::vector<core::Dataset> shard_data_;
-  std::vector<std::unique_ptr<methods::GraphIndex>> shards_;
+  /// One ReplicaSet per shard; replica 0 is the historic sub-index.
+  std::vector<ReplicaSet> shards_;
+  /// options_.replicas clamped to >= 1 (resolved by FinishInit).
+  std::size_t num_replicas_ = 1;
   std::size_t max_shard_size_ = 0;
   double partition_seconds_ = 0.0;
   std::vector<double> shard_build_seconds_;
@@ -245,11 +322,10 @@ class ShardedIndex : public methods::GraphIndex {
   /// One relaxed counter per shard (array: std::atomic is not movable).
   std::unique_ptr<std::atomic<std::uint64_t>[]> probe_counts_;
 
-  /// Per-shard circuit breakers (constructed by FinishInit).
+  /// Per-(shard, replica) circuit breakers (constructed by FinishInit).
+  /// Replica pointer swaps are guarded inside each ReplicaSet (per-replica
+  /// reader/writer locks).
   std::unique_ptr<ShardHealthTable> health_;
-  /// Guards each shards_[s] pointer: sub-searches hold it shared,
-  /// ReloadShard swaps the fresh sub-index in under a unique lock.
-  std::unique_ptr<std::shared_mutex[]> shard_locks_;
   /// Optional shard-level fault injector (not owned; see SetFaultInjector).
   serve::FaultInjector* faults_ = nullptr;
   /// Manifest path for per-shard recovery reloads ("" = none recorded).
@@ -266,6 +342,14 @@ class ShardedIndex : public methods::GraphIndex {
 /// The counterpart of methods::LoadAnyIndex for sharded snapshots.
 core::Status LoadShardedIndex(const std::string& path,
                               const core::Dataset& data, std::uint64_t seed,
+                              std::unique_ptr<ShardedIndex>* out);
+
+/// As above, but attaches `replicas` copies of each shard to the loaded
+/// snapshot (replication is a serving knob, not a snapshot property: every
+/// replica loads from the same per-shard file). `replicas == 0` means 1.
+core::Status LoadShardedIndex(const std::string& path,
+                              const core::Dataset& data, std::uint64_t seed,
+                              std::size_t replicas,
                               std::unique_ptr<ShardedIndex>* out);
 
 /// True when the snapshot at `path` is a sharded manifest (method name

@@ -1,0 +1,441 @@
+// Replicated shard serving contract (see docs/SHARDING.md "Replication"):
+//   - replicas of one shard are bit-identical by construction (same
+//     factory, same derived seed), so any replica answers any query
+//     identically and R > 1 never changes results, only availability;
+//   - replica selection is deterministic, health-aware power-of-two:
+//     closed beats half-open beats open, ties break toward fewer
+//     consecutive failures, and a forced-probe slot wins outright so a
+//     rebuilt replica cannot be starved out of its re-admission probe;
+//   - a permanently failing replica is masked by failover: zero failed
+//     shards, zero partial queries, top-k bit-identical to the fault-free
+//     run, and replica_failovers counts the masked faults;
+//   - the anti-entropy scrubber detects a single-bit divergence by digest,
+//     quarantines the divergent replica, rebuilds it online (peer copy or
+//     snapshot), and the replica re-enters rotation through a forced
+//     half-open probe;
+//   - replication is a serving knob: a snapshot written without replicas
+//     loads under any R.
+
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "core/graph.h"
+#include "serve/executor.h"
+#include "serve/fault_injector.h"
+#include "serve/request.h"
+#include "shard/replica_set.h"
+#include "shard/sharded_index.h"
+
+namespace gass::shard {
+namespace {
+
+using core::Dataset;
+using core::VectorId;
+
+constexpr std::size_t kN = 600;
+constexpr std::size_t kDim = 24;
+constexpr std::uint64_t kSeed = 42;
+
+ShardedIndexOptions MakeOptions(std::size_t shards, std::size_t replicas,
+                                std::uint32_t breaker_threshold = 3) {
+  ShardedIndexOptions options;
+  options.method = "hnsw";
+  options.partitioner.kind = PartitionerKind::kContiguous;
+  options.partitioner.num_shards = shards;
+  options.seed = kSeed;
+  options.nprobe = 0;  // All shards: every replica set is exercised.
+  options.replicas = replicas;
+  options.breaker.failure_threshold = breaker_threshold;
+  // No spontaneous probes: re-admission in these tests goes through the
+  // forced probe, so a huge period keeps the sequences exactly scripted.
+  options.breaker.probe_period = 1000000;
+  return options;
+}
+
+methods::SearchParams MakeParams() {
+  methods::SearchParams params;
+  params.k = 10;
+  params.beam_width = 48;
+  return params;
+}
+
+/// Request-based search: the per-query RNG (and with it the replica
+/// selection key) derives from (seed, admission id), so distinct ids
+/// exercise distinct replica choices — unlike a fresh fixed-seed context.
+serve::SearchResponse SearchId(const ShardedIndex& index, const float* query,
+                               std::uint64_t id) {
+  serve::SearchRequest request;
+  request.query = query;
+  request.dim = kDim;
+  request.params = MakeParams();
+  request.params.admission_id = id;
+  request.admission_id = id;
+  return index.Search(request);
+}
+
+/// Flips one neighbor id of replica (s, r)'s base graph in place — the
+/// single-bit corruption the anti-entropy scrubber exists to catch. The
+/// replacement id stays in range, so searches remain safe, just wrong.
+void CorruptReplica(const ShardedIndex& index, std::size_t s, std::size_t r) {
+  core::Graph& graph = const_cast<core::Graph&>(index.replica(s, r).graph());
+  std::vector<VectorId>& neighbors = graph.MutableNeighbors(0);
+  ASSERT_FALSE(neighbors.empty());
+  neighbors[0] = (neighbors[0] + 1) % static_cast<VectorId>(graph.size());
+}
+
+TEST(ReplicaSetTest, ReplicasAreBitIdenticalByConstruction) {
+  const Dataset data = gass::testing::SmallClustered(kN, kDim, 5);
+  ShardedIndex index(MakeOptions(2, 3));
+  index.Build(data);
+  ASSERT_EQ(index.num_replicas(), 3u);
+  for (std::size_t s = 0; s < index.num_shards(); ++s) {
+    const std::uint64_t digest0 = ReplicaDigest(index.replica(s, 0));
+    EXPECT_EQ(ReplicaDigest(index.shard(s)), digest0);
+    for (std::size_t r = 1; r < index.num_replicas(); ++r) {
+      EXPECT_EQ(ReplicaDigest(index.replica(s, r)), digest0)
+          << "shard " << s << " replica " << r;
+    }
+  }
+}
+
+TEST(ReplicaSetTest, ReplicatedSearchMatchesUnreplicated) {
+  const Dataset data = gass::testing::SmallClustered(kN, kDim, 5);
+  const Dataset queries =
+      gass::testing::UniformQueries(8, kDim, 0.0f, 28.0f, 6);
+  ShardedIndex single(MakeOptions(4, 1));
+  single.Build(data);
+  ShardedIndex replicated(MakeOptions(4, 3));
+  replicated.Build(data);
+
+  for (VectorId q = 0; q < queries.size(); ++q) {
+    const auto a = SearchId(single, queries.Row(q), q);
+    const auto b = SearchId(replicated, queries.Row(q), q);
+    EXPECT_FALSE(b.partial);
+    EXPECT_EQ(b.replica_failovers, 0u);
+    ASSERT_EQ(a.neighbors.size(), b.neighbors.size());
+    for (std::size_t i = 0; i < a.neighbors.size(); ++i) {
+      EXPECT_EQ(a.neighbors[i].id, b.neighbors[i].id) << "rank " << i;
+      EXPECT_EQ(a.neighbors[i].distance, b.neighbors[i].distance);
+    }
+  }
+}
+
+TEST(ReplicaSetTest, GraphDigestDetectsASingleNeighborChange) {
+  core::Graph graph(4);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(0, 2);
+  graph.AddEdge(1, 3);
+  const std::uint64_t before = GraphDigest(graph);
+  EXPECT_EQ(GraphDigest(graph), before);  // Deterministic.
+  graph.MutableNeighbors(0)[1] = 3;
+  EXPECT_NE(GraphDigest(graph), before);
+
+  // Degree boundaries are part of the digest: moving an edge between
+  // vertices keeps the flat neighbor stream identical but not the digest.
+  core::Graph left(2), right(2);
+  left.AddEdge(0, 1);
+  right.AddEdge(1, 1);
+  EXPECT_NE(GraphDigest(left), GraphDigest(right));
+}
+
+TEST(ReplicaSetTest, MajorityDigestPicksLargestGroupEarliestOnTies) {
+  EXPECT_EQ(MajorityDigest({7u, 9u, 7u}), 7u);
+  EXPECT_EQ(MajorityDigest({9u, 7u, 7u}), 7u);
+  EXPECT_EQ(MajorityDigest({9u, 7u}), 9u);  // Tie: earliest replica wins.
+  EXPECT_EQ(MajorityDigest({5u}), 5u);
+}
+
+TEST(ReplicaPickTest, DeterministicAndCoversAllReplicasWhenHealthy) {
+  ShardBreakerOptions breaker;
+  ShardHealthTable health(2, 3, breaker);
+  std::vector<bool> picked(3, false);
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    const std::size_t r = PickReplica(key, 0, 3, health);
+    ASSERT_LT(r, 3u);
+    EXPECT_EQ(PickReplica(key, 0, 3, health), r);  // Pure in (key, state).
+    picked[r] = true;
+  }
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_TRUE(picked[r]) << "replica " << r << " never selected";
+  }
+  EXPECT_EQ(PickReplica(123, 0, 1, health), 0u);  // R = 1: no choice.
+}
+
+TEST(ReplicaPickTest, AvoidsAnOpenReplica) {
+  ShardBreakerOptions breaker;
+  breaker.failure_threshold = 1;
+  ShardHealthTable health(1, 2, breaker);
+  health.OnResult(0, 0, false);  // Threshold 1: trips replica 0 at once.
+  ASSERT_EQ(health.state(0, 0), BreakerState::kOpen);
+  // Two draws over R = 2 always see both replicas, so the open one can
+  // never win the health comparison.
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    EXPECT_EQ(PickReplica(key, 0, 2, health), 1u);
+  }
+}
+
+TEST(ReplicaPickTest, TieBreaksTowardFewerConsecutiveFailures) {
+  ShardBreakerOptions breaker;  // Threshold 3: one failure stays closed.
+  ShardHealthTable health(1, 2, breaker);
+  health.OnResult(0, 0, false);
+  ASSERT_EQ(health.state(0, 0), BreakerState::kClosed);
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    EXPECT_EQ(PickReplica(key, 0, 2, health), 1u);
+  }
+  // The next success clears the count and replica 0 re-enters the draw.
+  health.OnResult(0, 0, true);
+  std::vector<bool> picked(2, false);
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    picked[PickReplica(key, 0, 2, health)] = true;
+  }
+  EXPECT_TRUE(picked[0]);
+  EXPECT_TRUE(picked[1]);
+}
+
+// The starvation case the forced-probe steering exists for: an open
+// replica ranks last, so without the override a rebuilt replica would
+// never be routed to again while its peer stays healthy.
+TEST(ReplicaPickTest, ForcedProbeWinsOutright) {
+  ShardBreakerOptions breaker;
+  breaker.failure_threshold = 1;
+  breaker.probe_period = 1000000;
+  ShardHealthTable health(1, 2, breaker);
+  health.OnResult(0, 0, false);
+  ASSERT_EQ(health.state(0, 0), BreakerState::kOpen);
+  health.OnReloaded(0, 0);
+  ASSERT_TRUE(health.probe_pending(0, 0));
+
+  // Every key steers at the probe-pending replica...
+  for (std::uint64_t key = 0; key < 16; ++key) {
+    EXPECT_EQ(PickReplica(key, 0, 2, health), 0u);
+  }
+  // ...exactly one routing decision is granted the probe...
+  EXPECT_EQ(health.RouteDecision(0, 0), ShardRoute::kProbe);
+  EXPECT_FALSE(health.probe_pending(0, 0));
+  // ...and with the flag consumed (slot half-open), selection reverts to
+  // the healthy peer until the probe resolves.
+  for (std::uint64_t key = 0; key < 16; ++key) {
+    EXPECT_EQ(PickReplica(key, 0, 2, health), 1u);
+  }
+  health.OnResult(0, 0, true);  // Probe passes: back in rotation.
+  EXPECT_EQ(health.state(0, 0), BreakerState::kClosed);
+  EXPECT_EQ(health.recoveries(), 1u);
+}
+
+// The headline acceptance drill: one replica of one shard fails on every
+// query, and replication absorbs it completely — zero failed shards, zero
+// partial queries, answers bit-identical to the fault-free run, failovers
+// counted. Health-aware selection then learns: after the first failure the
+// tie-break routes around the sick replica, so the failover count stays
+// far below the query count.
+TEST(ReplicaFailoverTest, PermanentReplicaFaultIsFullyMasked) {
+  const Dataset data = gass::testing::SmallClustered(kN, kDim, 5);
+  const Dataset queries =
+      gass::testing::UniformQueries(16, kDim, 0.0f, 28.0f, 6);
+
+  ShardedIndex faulty(MakeOptions(4, 2));
+  faulty.Build(data);
+  ShardedIndex clean(MakeOptions(4, 2));
+  clean.Build(data);
+
+  serve::FaultPlan plan;
+  serve::ShardFaultPlan fault;
+  fault.shard = 1;
+  fault.replica = 0;  // One bad copy; its peer stays healthy.
+  fault.fail_period = 1;
+  plan.shard_faults.push_back(fault);
+  serve::FaultInjector faults(plan);
+  faulty.SetFaultInjector(&faults);
+
+  std::uint64_t total_failovers = 0;
+  for (VectorId q = 0; q < queries.size(); ++q) {
+    const auto got = SearchId(faulty, queries.Row(q), q);
+    const auto want = SearchId(clean, queries.Row(q), q);
+    EXPECT_FALSE(got.partial) << "query " << q;
+    EXPECT_FALSE(got.expired);
+    EXPECT_EQ(got.shards_failed, 0u);
+    EXPECT_EQ(got.stats.shards_probed, 4u);
+    total_failovers += got.replica_failovers;
+    ASSERT_EQ(got.neighbors.size(), want.neighbors.size());
+    for (std::size_t i = 0; i < got.neighbors.size(); ++i) {
+      EXPECT_EQ(got.neighbors[i].id, want.neighbors[i].id)
+          << "query " << q << " rank " << i;
+      EXPECT_EQ(got.neighbors[i].distance, want.neighbors[i].distance);
+    }
+  }
+  EXPECT_GE(total_failovers, 1u);
+  EXPECT_EQ(faults.injected_shard_failures(), total_failovers);
+  // Selection learned to avoid the sick replica: most queries never
+  // touched it, so failovers stayed well below one per query.
+  EXPECT_LT(total_failovers, queries.size());
+}
+
+// Same drill through the executor: a whole batch completes with zero
+// query-level errors AND zero partials (contrast the unreplicated
+// executor drill in shard_fault_test.cc, where every query is partial).
+TEST(ReplicaFailoverTest, ExecutorBatchMasksAPermanentReplicaFault) {
+  const Dataset data = gass::testing::SmallClustered(kN, kDim, 5);
+  const Dataset queries =
+      gass::testing::UniformQueries(32, kDim, 0.0f, 28.0f, 6);
+
+  auto options = MakeOptions(4, 2);
+  options.fanout_threads = 2;
+  ShardedIndex sharded(options);
+  sharded.Build(data);
+
+  serve::FaultPlan plan;
+  serve::ShardFaultPlan fault;
+  fault.shard = 2;
+  fault.replica = 0;
+  fault.fail_period = 1;
+  plan.shard_faults.push_back(fault);
+  serve::FaultInjector faults(plan);
+  sharded.SetFaultInjector(&faults);
+
+  serve::ExecutorOptions exec_options;
+  exec_options.threads = 2;
+  serve::QueryExecutor executor(sharded, exec_options);
+  const serve::BatchResult batch = executor.SearchBatch(
+      queries.data(), queries.size(), queries.dim(), MakeParams());
+
+  ASSERT_EQ(batch.results.size(), queries.size());
+  for (const serve::SearchResponse& response : batch.results) {
+    EXPECT_FALSE(response.partial);
+    EXPECT_EQ(response.shards_failed, 0u);
+    EXPECT_EQ(response.neighbors.size(), 10u);
+  }
+  EXPECT_EQ(executor.metrics().partial_queries(), 0u);
+  EXPECT_EQ(executor.metrics().shards_failed_total(), 0u);
+  EXPECT_GE(executor.metrics().replica_failovers_total(), 1u);
+}
+
+// The full anti-entropy lifecycle: a bit-flip diverges one replica, the
+// scrubber quarantines and rebuilds it online (peer copy — no snapshot is
+// recorded), and the forced half-open probe re-admits it into rotation.
+TEST(ReplicaScrubTest, ScrubDetectsQuarantinesRebuildsAndReadmits) {
+  const Dataset data = gass::testing::SmallClustered(kN, kDim, 5);
+  const Dataset queries =
+      gass::testing::UniformQueries(8, kDim, 0.0f, 28.0f, 6);
+  ShardedIndex index(MakeOptions(2, 3));
+  index.Build(data);
+
+  // A clean pass over 2 shards * 3 replicas finds nothing.
+  ScrubReport clean = index.ScrubReplicas(/*rebuild=*/true);
+  EXPECT_EQ(clean.replicas_checked, 6u);
+  EXPECT_EQ(clean.divergent, 0u);
+  EXPECT_EQ(clean.quarantined, 0u);
+
+  CorruptReplica(index, 0, 1);
+  const std::uint64_t majority = ReplicaDigest(index.replica(0, 0));
+  ASSERT_NE(ReplicaDigest(index.replica(0, 1)), majority);
+
+  const ScrubReport report = index.ScrubReplicas(/*rebuild=*/true);
+  EXPECT_EQ(report.replicas_checked, 6u);
+  EXPECT_EQ(report.divergent, 1u);
+  EXPECT_EQ(report.quarantined, 1u);
+  EXPECT_EQ(report.rebuilt, 1u);
+  EXPECT_EQ(report.rebuild_failures, 0u);
+  EXPECT_EQ(index.health().quarantines(), 1u);
+
+  // The rebuilt copy is bit-identical to the majority again, its breaker
+  // generation bumped, and it sits open with its re-admission probe armed.
+  EXPECT_EQ(ReplicaDigest(index.replica(0, 1)), majority);
+  EXPECT_EQ(index.health().generation(0, 1), 1u);
+  EXPECT_EQ(index.health().state(0, 1), BreakerState::kOpen);
+  EXPECT_TRUE(index.health().probe_pending(0, 1));
+
+  // Serving traffic delivers the forced probe: replica selection steers
+  // one query at the probe-pending slot (when its draw includes it), the
+  // probe passes, and the breaker closes. With R = 3 the slot is in a
+  // given query's draw ~2/3 of the time, so a handful of ids suffice.
+  for (std::uint64_t id = 0;
+       id < 32 && index.health().state(0, 1) != BreakerState::kClosed; ++id) {
+    const auto response =
+        SearchId(index, queries.Row(id % queries.size()), id);
+    EXPECT_FALSE(response.partial);
+    EXPECT_EQ(response.shards_failed, 0u);
+  }
+  EXPECT_EQ(index.health().state(0, 1), BreakerState::kClosed);
+  EXPECT_GE(index.health().recoveries(), 1u);
+
+  // Converged: the next pass sees three identical digests per shard.
+  const ScrubReport after = index.ScrubReplicas(/*rebuild=*/true);
+  EXPECT_EQ(after.divergent, 0u);
+}
+
+TEST(ReplicaScrubTest, RebuildRestoresFromTheRecoverySnapshot) {
+  const Dataset data = gass::testing::SmallClustered(kN, kDim, 5);
+  ShardedIndex index(MakeOptions(2, 2));
+  index.Build(data);
+  const std::string path = std::string(::testing::TempDir()) +
+                           "/replica_rebuild_" + std::to_string(::getpid());
+  ASSERT_TRUE(index.SaveSnapshot(path).ok());
+  index.SetRecoverySnapshot(path);
+
+  const std::uint64_t majority = ReplicaDigest(index.replica(1, 0));
+  CorruptReplica(index, 1, 1);
+  ASSERT_NE(ReplicaDigest(index.replica(1, 1)), majority);
+
+  ASSERT_TRUE(index.RebuildReplica(1, 1).ok());
+  EXPECT_EQ(ReplicaDigest(index.replica(1, 1)), majority);
+  EXPECT_EQ(index.health().generation(1, 1), 1u);
+  EXPECT_TRUE(index.health().probe_pending(1, 1));
+  // Untouched slots are untouched.
+  EXPECT_EQ(index.health().generation(1, 0), 0u);
+  EXPECT_EQ(index.health().generation(0, 1), 0u);
+}
+
+TEST(ReplicaScrubTest, SingleReplicaScrubHasNoMajorityToCompare) {
+  const Dataset data = gass::testing::SmallClustered(kN, kDim, 5);
+  ShardedIndex index(MakeOptions(3, 1));
+  index.Build(data);
+  const ScrubReport report = index.ScrubReplicas(/*rebuild=*/true);
+  EXPECT_EQ(report.replicas_checked, 3u);
+  EXPECT_EQ(report.divergent, 0u);
+  EXPECT_EQ(report.quarantined, 0u);
+  EXPECT_EQ(report.rebuilt, 0u);
+}
+
+// Replication is a serving knob, not a snapshot property: a snapshot
+// written by an unreplicated index loads under R = 2, every replica loads
+// from the same per-shard file, and answers match the R = 1 load exactly.
+TEST(ReplicaSnapshotTest, SnapshotLoadsUnderAnyReplicationFactor) {
+  const Dataset data = gass::testing::SmallClustered(kN, kDim, 5);
+  const Dataset queries =
+      gass::testing::UniformQueries(6, kDim, 0.0f, 28.0f, 6);
+  ShardedIndex built(MakeOptions(2, 1));
+  built.Build(data);
+  const std::string path = std::string(::testing::TempDir()) +
+                           "/replica_snapshot_" + std::to_string(::getpid());
+  ASSERT_TRUE(built.SaveSnapshot(path).ok());
+
+  std::unique_ptr<ShardedIndex> single;
+  ASSERT_TRUE(LoadShardedIndex(path, data, kSeed, &single).ok());
+  ASSERT_EQ(single->num_replicas(), 1u);
+
+  std::unique_ptr<ShardedIndex> replicated;
+  ASSERT_TRUE(LoadShardedIndex(path, data, kSeed, 2, &replicated).ok());
+  ASSERT_EQ(replicated->num_replicas(), 2u);
+  for (std::size_t s = 0; s < replicated->num_shards(); ++s) {
+    EXPECT_EQ(ReplicaDigest(replicated->replica(s, 0)),
+              ReplicaDigest(replicated->replica(s, 1)));
+  }
+
+  for (VectorId q = 0; q < queries.size(); ++q) {
+    const auto a = SearchId(*single, queries.Row(q), q);
+    const auto b = SearchId(*replicated, queries.Row(q), q);
+    ASSERT_EQ(a.neighbors.size(), b.neighbors.size());
+    for (std::size_t i = 0; i < a.neighbors.size(); ++i) {
+      EXPECT_EQ(a.neighbors[i].id, b.neighbors[i].id) << "rank " << i;
+      EXPECT_EQ(a.neighbors[i].distance, b.neighbors[i].distance);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gass::shard

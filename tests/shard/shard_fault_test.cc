@@ -264,6 +264,9 @@ TEST(ShardFaultTest, CorruptReloadKeepsTheShardQuarantined) {
   EXPECT_FALSE(corrupt.ok());
   EXPECT_EQ(sharded.health().generation(3), 0u);
   EXPECT_EQ(sharded.health().state(3), BreakerState::kOpen);
+  // A failed reload must not arm the re-admission probe either: the old,
+  // quarantined state is still what is serving.
+  EXPECT_FALSE(sharded.health().probe_pending(3, 0));
   params.admission_id = 1;
   EXPECT_TRUE(SearchOnce(sharded, data.Row(1), params).partial);
 
@@ -271,6 +274,7 @@ TEST(ShardFaultTest, CorruptReloadKeepsTheShardQuarantined) {
   // forced probe brings the shard back.
   ASSERT_TRUE(sharded.ReloadShard(3).ok());
   EXPECT_EQ(sharded.health().generation(3), 1u);
+  EXPECT_TRUE(sharded.health().probe_pending(3, 0));
   params.admission_id = 2;
   EXPECT_FALSE(SearchOnce(sharded, data.Row(2), params).partial);
   EXPECT_EQ(sharded.health().state(3), BreakerState::kClosed);
@@ -361,6 +365,49 @@ TEST(ShardFaultTest, HedgeAbandonedAtDeadlineIsExpiredNotPartial) {
   EXPECT_EQ(result.stats.shards_probed, 3u);
   // Stragglers finish harmlessly after the search returned; the destructor
   // (pool shutdown) must not race them — covered by scope exit here.
+}
+
+// A hedge the deadline has already killed is never launched — and never
+// counted: shards_hedged tallies backups that actually ran, keeping
+// hedge_wins <= shards_hedged even under pathological deadlines. The
+// hedge trigger here (hedge_fraction 2.0 of a 0.2 s budget) fires only
+// after the deadline has expired, so every would-be backup is abandoned
+// before launch.
+TEST(ShardFaultTest, HedgesAbandonedBeforeLaunchAreNotCounted) {
+  const Dataset data = gass::testing::SmallClustered(kN, kDim, 5);
+  auto options = MakeOptions(4);
+  options.fanout_threads = 4;
+  options.hedge_fraction = 2.0;
+
+  // Every primary sleeps past the deadline (and so would every backup).
+  // Injector before index: stragglers outlive the search, the index
+  // destructor joins them before the injector dies.
+  serve::FaultPlan plan;
+  serve::ShardFaultPlan fault;
+  fault.shard = 0;
+  fault.slow_period = 1;
+  fault.slow_seconds = 1.0;
+  fault.slow_attempts = 2;
+  plan.shard_faults.push_back(fault);
+  for (std::uint32_t s = 1; s < 4; ++s) {
+    fault.shard = s;
+    plan.shard_faults.push_back(fault);
+  }
+  serve::FaultInjector faults(plan);
+
+  ShardedIndex sharded(options);
+  sharded.Build(data);
+  sharded.SetFaultInjector(&faults);
+
+  methods::SearchParams params = MakeParams();
+  core::Deadline dead = core::Deadline::After(0.2);
+  params.deadline = &dead;
+  const auto result = SearchOnce(sharded, data.Row(0), params);
+  EXPECT_TRUE(result.expired);
+  EXPECT_FALSE(result.partial);
+  EXPECT_EQ(result.stats.shards_hedged, 0u);
+  EXPECT_EQ(result.stats.hedge_wins, 0u);
+  EXPECT_EQ(result.stats.shards_failed, 0u);
 }
 
 // The headline acceptance: with 1 of 8 shards permanently failing, a whole

@@ -14,7 +14,10 @@
 
 #include "shard/shard_health.h"
 
+#include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -162,6 +165,83 @@ TEST(ShardHealthTest, SummaryCountsStatesAndTransitions) {
   EXPECT_NE(summary.find("trips 1"), std::string::npos) << summary;
 }
 
+TEST(ShardHealthTest, ReplicaSlotsAreIndependent) {
+  ShardHealthTable health(2, 3, MakeOptions(1, 1000000));
+  EXPECT_EQ(health.num_replicas(), 3u);
+  health.OnResult(1, 2, false);  // Trips (shard 1, replica 2) only.
+  EXPECT_EQ(health.state(1, 2), BreakerState::kOpen);
+  for (std::size_t s = 0; s < 2; ++s) {
+    for (std::size_t r = 0; r < 3; ++r) {
+      if (s == 1 && r == 2) continue;
+      EXPECT_EQ(health.state(s, r), BreakerState::kClosed)
+          << "slot (" << s << ", " << r << ")";
+    }
+  }
+  // The (shard)-only overloads are exact aliases for replica 0.
+  health.OnResult(0, false);
+  EXPECT_EQ(health.state(0, 0), BreakerState::kOpen);
+  EXPECT_EQ(health.state(0), health.state(0, 0));
+  EXPECT_EQ(health.consecutive_failures(0), health.consecutive_failures(0, 0));
+}
+
+TEST(ShardHealthTest, QuarantineForcesOpenFromAnyState) {
+  ShardHealthTable health(1, 2, MakeOptions(3, 1));
+  // From closed: trips and counts the quarantine.
+  health.Quarantine(0, 1);
+  EXPECT_EQ(health.state(0, 1), BreakerState::kOpen);
+  EXPECT_EQ(health.quarantines(), 1u);
+  EXPECT_EQ(health.trips(), 1u);
+  // From open: counts the quarantine but not a second trip.
+  health.Quarantine(0, 1);
+  EXPECT_EQ(health.quarantines(), 2u);
+  EXPECT_EQ(health.trips(), 1u);
+  // From half-open (probe in flight): the probe's slot is yanked open.
+  ASSERT_EQ(health.RouteDecision(0, 1), ShardRoute::kProbe);
+  health.Quarantine(0, 1);
+  EXPECT_EQ(health.state(0, 1), BreakerState::kOpen);
+  EXPECT_EQ(health.trips(), 2u);  // half-open -> open counts as a trip.
+}
+
+// Summary() snapshots racing slot transitions; the invariant is that every
+// snapshot is internally coherent (states sum to the slot count) and the
+// run is TSan-clean — the test exists for `ctest --preset tsan-fault`.
+TEST(ShardHealthTest, SummaryIsCoherentUnderConcurrentTransitions) {
+  ShardHealthTable health(4, 2, MakeOptions(2, 3));
+  constexpr int kWorkers = 4;
+  constexpr int kIterations = 2000;
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&health, w] {
+      for (int i = 0; i < kIterations; ++i) {
+        const std::size_t s = static_cast<std::size_t>((w + i) % 4);
+        const std::size_t r = static_cast<std::size_t>(i % 2);
+        const ShardRoute route = health.RouteDecision(s, r);
+        if (route != ShardRoute::kSkip) {
+          health.OnResult(s, r, i % 3 != 0);
+        }
+        if (i % 97 == 0) health.OnReloaded(s, r);
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    const std::string summary = health.Summary();
+    std::size_t closed = 0, total = 0, open = 0, half_open = 0;
+    ASSERT_EQ(std::sscanf(summary.c_str(),
+                          "breaker: %zu/%zu closed, %zu open, %zu half-open",
+                          &closed, &total, &open, &half_open),
+              4)
+        << summary;
+    EXPECT_EQ(total, 8u) << summary;
+    EXPECT_EQ(closed + open + half_open, total) << summary;
+  }
+  for (std::thread& t : workers) t.join();
+  // Every open slot got there via a trip or a quarantine, so recoveries
+  // (transitions back to closed from a non-closed state) cannot exceed
+  // the transitions away from closed.
+  EXPECT_LE(health.recoveries(), health.trips() + health.quarantines());
+}
+
 TEST(ShardHealthTest, StateNames) {
   EXPECT_STREQ(BreakerStateName(BreakerState::kClosed), "closed");
   EXPECT_STREQ(BreakerStateName(BreakerState::kOpen), "open");
@@ -218,6 +298,25 @@ TEST(ShardFaultPlanTest, ReloadCorruptionFiresFirstNTimes) {
   EXPECT_FALSE(faults.OnShardReload(1));  // Third reload succeeds.
   EXPECT_FALSE(faults.OnShardReload(0));  // Unplanned shard never corrupts.
   EXPECT_EQ(faults.injected_reload_corruptions(), 2u);
+}
+
+TEST(ShardFaultPlanTest, ReplicaTargetedFailHitsOnlyThatReplica) {
+  serve::FaultPlan plan = OneShardPlan(1, /*fail_period=*/2);
+  plan.shard_faults[0].replica = 1;
+  serve::FaultInjector faults(plan);
+  // The 3-argument form honors the replica target...
+  EXPECT_TRUE(faults.ShouldFailShardSearch(0, 1, /*replica=*/1));
+  EXPECT_FALSE(faults.ShouldFailShardSearch(0, 1, /*replica=*/0));
+  EXPECT_FALSE(faults.ShouldFailShardSearch(1, 1, /*replica=*/1));  // Period.
+  EXPECT_FALSE(faults.ShouldFailShardSearch(0, 0, /*replica=*/1));  // Shard.
+  // ...while the replica-oblivious form fires if ANY replica would fault.
+  EXPECT_TRUE(faults.ShouldFailShardSearch(0, 1));
+
+  // The default plan (replica = -1) matches every replica: the whole
+  // shard is sick.
+  serve::FaultInjector shard_wide(OneShardPlan(1, 2));
+  EXPECT_TRUE(shard_wide.ShouldFailShardSearch(0, 1, 0));
+  EXPECT_TRUE(shard_wide.ShouldFailShardSearch(0, 1, 3));
 }
 
 TEST(ShardFaultPlanTest, EmptyPlanInjectsNothing) {

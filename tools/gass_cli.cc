@@ -42,6 +42,10 @@
 //   --nprobe N              shards probed per query (default 0 = all)
 //   --build-threads T       threads for the parallel shard builds (0 = all)
 //   --fanout-threads T      threads for per-query fan-out (0 = caller thread)
+//   --replicas R            bit-identical replicas per shard (default 1).
+//                           A serving knob: snapshots stay replica-oblivious,
+//                           so it also applies to a sharded --load. See
+//                           docs/SHARDING.md "Replication".
 //
 // Shard fault tolerance (serve-bench, sharded indexes only; see
 // docs/SHARDING.md "Failure semantics"):
@@ -54,6 +58,9 @@
 //                           sub-search (0/absent = off; needs
 //                           --fanout-threads > 0 and a deadline)
 //   --shard-fault-shard S         shard the injected fault plan targets
+//   --shard-fault-replica R       replica of S the fail-period plan targets
+//                                 (-1/absent = any replica; slow/reload
+//                                 faults stay shard-wide)
 //   --shard-fault-fail-period N   fail every Nth admission's sub-search on S
 //   --shard-fault-slow-period N   delay every Nth admission's sub-search
 //   --shard-fault-slow-ms M       the injected delay (default 50)
@@ -61,9 +68,15 @@
 //                                 so a hedged backup models a healthy
 //                                 replica; 2 also slows the backup)
 //   --shard-fault-reload-corrupt N  first N ReloadShard(S) calls fail
+//   --scrub-every N         anti-entropy scrub pass every N ms: digest all
+//                           replicas of every shard, quarantine divergent
+//                           ones, rebuild them online (replicated sharded
+//                           indexes only)
 // A serve-bench run with a permanently failing shard (fail-period 1) must
 // finish with zero query-level errors: the lost shard surfaces as partial
-// results + breaker-state counters, never as exceptions.
+// results + breaker-state counters, never as exceptions. With --replicas
+// R >= 2 and a replica-targeted fault, the lost replica surfaces as
+// replica-failover counters and the run stays *complete* (no partials).
 //
 // serve-bench defaults to the closed-loop executor thread sweep. With
 // --arrival poisson it instead offers an open-loop Poisson stream at
@@ -87,7 +100,9 @@
 // --metrics-out writes the metrics as Prometheus text.
 //
 // All subcommands print human-readable tables to stdout and return nonzero
-// on error.
+// on error. Flag parsing is strict (tools/arg_parse.h): an unknown --flag
+// or a non-numeric value handed to a numeric flag exits with a named error
+// instead of a silent default.
 
 #include <cstdio>
 #include <cstdlib>
@@ -98,7 +113,12 @@
 
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <initializer_list>
+#include <mutex>
 #include <thread>
+
+#include "arg_parse.h"
 
 #include "core/dataset.h"
 #include "core/rng.h"
@@ -127,40 +147,13 @@ using gass::core::Dataset;
 using gass::core::Status;
 using gass::core::VectorId;
 
-// Minimal --flag value parser; flags may appear in any order.
-class Flags {
- public:
-  Flags(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
-      if (std::strncmp(argv[i], "--", 2) != 0) {
-        std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
-        ok_ = false;
-        return;
-      }
-      values_[argv[i] + 2] = argv[i + 1];
-    }
-    if ((argc - first) % 2 != 0) {
-      std::fprintf(stderr, "dangling flag '%s'\n", argv[argc - 1]);
-      ok_ = false;
-    }
-  }
-
-  bool ok() const { return ok_; }
-
-  std::string Get(const std::string& key, const std::string& fallback) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
-  }
-  long GetInt(const std::string& key, long fallback) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atol(it->second.c_str());
-  }
-  bool Has(const std::string& key) const { return values_.count(key) > 0; }
-
- private:
-  std::map<std::string, std::string> values_;
-  bool ok_ = true;
-};
+// Strict --flag value parsing (tools/arg_parse.h); each command validates
+// against its spec table in main() before dispatch, so a typo'd flag or a
+// non-numeric value to a numeric flag is a named error, never a silent
+// default.
+using Flags = gass::tools::ArgParser;
+using gass::tools::ArgKind;
+using gass::tools::ArgSpec;
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.message().c_str());
@@ -178,7 +171,14 @@ std::unique_ptr<gass::methods::GraphIndex> MakeIndexFromFlags(
       static_cast<std::uint64_t>(flags.GetInt("seed", 42));
   const std::size_t shards =
       static_cast<std::size_t>(flags.GetInt("shards", 0));
+  const std::size_t replicas =
+      static_cast<std::size_t>(flags.GetInt("replicas", 1));
   if (shards <= 0) {
+    if (replicas > 1) {
+      std::fprintf(stderr,
+                   "error: --replicas needs a sharded index (--shards K)\n");
+      return nullptr;
+    }
     return gass::methods::CreateIndex(method, seed);
   }
   gass::shard::ShardedIndexOptions options;
@@ -199,6 +199,7 @@ std::unique_ptr<gass::methods::GraphIndex> MakeIndexFromFlags(
       static_cast<std::size_t>(flags.GetInt("build-threads", 0));
   options.fanout_threads =
       static_cast<std::size_t>(flags.GetInt("fanout-threads", 0));
+  options.replicas = replicas == 0 ? 1 : replicas;
   return std::make_unique<gass::shard::ShardedIndex>(options);
 }
 
@@ -212,6 +213,7 @@ Status LoadIndexFromFlags(const Flags& flags, const Dataset& base,
   options.nprobe = static_cast<std::size_t>(flags.GetInt("nprobe", 0));
   options.fanout_threads =
       static_cast<std::size_t>(flags.GetInt("fanout-threads", 0));
+  options.replicas = static_cast<std::size_t>(flags.GetInt("replicas", 1));
   return gass::io::OpenIndex(flags.Get("load", ""), base, options, index);
 }
 
@@ -298,6 +300,8 @@ gass::serve::FaultPlan ShardFaultPlanFromFlags(const Flags& flags) {
   gass::serve::ShardFaultPlan fault;
   fault.shard =
       static_cast<std::uint32_t>(flags.GetInt("shard-fault-shard", 0));
+  fault.replica =
+      static_cast<std::int32_t>(flags.GetInt("shard-fault-replica", -1));
   fault.fail_period = static_cast<std::uint64_t>(
       flags.GetInt("shard-fault-fail-period", 0));
   fault.slow_period = static_cast<std::uint64_t>(
@@ -341,7 +345,7 @@ bool ConfigureShardFaults(gass::methods::GraphIndex& index, const Flags& flags,
     sharded->SetBreakerOptions(breaker);
   }
   if (flags.Has("hedge")) {
-    sharded->SetHedgeFraction(std::atof(flags.Get("hedge", "0").c_str()));
+    sharded->SetHedgeFraction(flags.GetFloat("hedge", 0.0));
   }
   if (!plan.shard_faults.empty()) {
     *injector = std::make_unique<gass::serve::FaultInjector>(plan);
@@ -369,6 +373,18 @@ void ReportShardFaults(const gass::serve::ServeMetrics& metrics,
               static_cast<unsigned long long>(metrics.shards_failed_total()),
               static_cast<unsigned long long>(metrics.shards_hedged_total()),
               static_cast<unsigned long long>(metrics.hedge_wins_total()));
+  if (sharded->num_replicas() > 1 ||
+      metrics.replica_failovers_total() > 0) {
+    std::printf("replication: %zu replicas/shard | failovers %llu | "
+                "quarantined %llu | rebuilds %llu | scrub passes %llu\n",
+                sharded->num_replicas(),
+                static_cast<unsigned long long>(
+                    metrics.replica_failovers_total()),
+                static_cast<unsigned long long>(
+                    metrics.replicas_quarantined()),
+                static_cast<unsigned long long>(metrics.replica_rebuilds()),
+                static_cast<unsigned long long>(metrics.scrub_passes()));
+  }
   std::printf("%s\n", sharded->health().Summary().c_str());
   if (injector != nullptr) {
     std::printf("injected: %llu shard failures, %llu delays, "
@@ -597,7 +613,7 @@ int RunPoissonServeBench(gass::methods::GraphIndex& index,
   using Clock = std::chrono::steady_clock;
   using gass::methods::ServeOutcome;
 
-  const double rate = std::atof(flags.Get("rate", "0").c_str());
+  const double rate = flags.GetFloat("rate", 0.0);
   if (rate <= 0) {
     std::fprintf(stderr, "error: --arrival poisson needs --rate > 0\n");
     return 1;
@@ -731,6 +747,70 @@ int RunPoissonServeBench(gass::methods::GraphIndex& index,
   return 0;
 }
 
+// Background anti-entropy scrubber for serve-bench (--scrub-every N):
+// every N milliseconds, digest all replicas of every shard, quarantine
+// divergent ones, and rebuild them online — concurrently with the serving
+// run, which is the whole point. Tallies are written only by the scrub
+// thread and read after Stop(), so they need no synchronization.
+class ScrubDriver {
+ public:
+  ScrubDriver(gass::shard::ShardedIndex* index, long period_ms)
+      : index_(index), period_(std::chrono::milliseconds(period_ms)) {
+    if (index_ == nullptr || period_ms <= 0) return;
+    thread_ = std::thread([this] { Loop(); });
+  }
+  ~ScrubDriver() { Stop(); }
+
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  // One summary line after the run (nothing when the scrubber was off).
+  void Report() const {
+    if (index_ == nullptr) return;
+    std::printf("scrub: %llu passes | %llu divergent | %llu quarantined | "
+                "%llu rebuilt | %llu rebuild failures\n",
+                static_cast<unsigned long long>(passes_),
+                static_cast<unsigned long long>(divergent_),
+                static_cast<unsigned long long>(quarantined_),
+                static_cast<unsigned long long>(rebuilt_),
+                static_cast<unsigned long long>(rebuild_failures_));
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      if (cv_.wait_for(lock, period_, [this] { return stop_; })) break;
+      lock.unlock();
+      const gass::shard::ScrubReport report = index_->ScrubReplicas(true);
+      ++passes_;
+      divergent_ += report.divergent;
+      quarantined_ += report.quarantined;
+      rebuilt_ += report.rebuilt;
+      rebuild_failures_ += report.rebuild_failures;
+      lock.lock();
+    }
+  }
+
+  gass::shard::ShardedIndex* index_;
+  std::chrono::milliseconds period_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+  std::uint64_t passes_ = 0;
+  std::uint64_t divergent_ = 0;
+  std::uint64_t quarantined_ = 0;
+  std::uint64_t rebuilt_ = 0;
+  std::uint64_t rebuild_failures_ = 0;
+};
+
 // Throughput of the concurrent serving path at each thread count: builds
 // once, then drives tiled query batches through serve::QueryExecutor.
 int CmdServeBench(const Flags& flags) {
@@ -774,6 +854,18 @@ int CmdServeBench(const Flags& flags) {
   // run below (the sharded index keeps a raw pointer to it).
   std::unique_ptr<gass::serve::FaultInjector> shard_injector;
   if (!ConfigureShardFaults(*index, flags, &shard_injector)) return 1;
+
+  // --scrub-every N: background anti-entropy over the serving run.
+  const long scrub_ms = flags.GetInt("scrub-every", 0);
+  auto* scrub_target = dynamic_cast<gass::shard::ShardedIndex*>(index.get());
+  if (scrub_ms > 0 &&
+      (scrub_target == nullptr || scrub_target->num_replicas() < 2)) {
+    std::fprintf(stderr,
+                 "error: --scrub-every needs a replicated sharded index "
+                 "(--shards K with --replicas >= 2)\n");
+    return 1;
+  }
+  ScrubDriver scrubber(scrub_ms > 0 ? scrub_target : nullptr, scrub_ms);
   std::printf("\n");
 
   const std::size_t nq = queries.size();
@@ -796,38 +888,42 @@ int CmdServeBench(const Flags& flags) {
   std::printf("search params: %s\n",
               gass::methods::SearchParamsToString(params).c_str());
 
+  int rc = 0;
   if (flags.Get("arrival", "closed") == "poisson") {
-    return RunPoissonServeBench(*index, queries, params, flags,
-                                shard_injector.get());
-  }
-
-  std::printf("%-8s %-12s %-12s %-12s %-10s\n", "threads", "qps", "p50",
-              "p95", "expired");
-  for (const std::size_t threads : ParseBeams(flags.Get("threads", "1,2,4"))) {
-    gass::serve::ExecutorOptions options;
-    options.threads = threads;
-    options.timeout_seconds = timeout_seconds;
-    options.trace = TraceOptionsFromFlags(flags);
-    gass::serve::QueryExecutor executor(*index, options);
-    executor.SearchBatch(batch.data(), nq, dim, params);  // Warm-up.
-    executor.metrics().Reset();
-    executor.tracer().Reset();  // Warm-up queries should not occupy slots.
-    const gass::serve::BatchResult result =
-        executor.SearchBatch(batch.data(), reps * nq, dim, params);
-    std::printf("%-8zu %-12.0f %-12.3f %-12.3f %-10llu\n", threads,
-                result.Qps(),
-                1e3 * executor.metrics().LatencyQuantileSeconds(0.50),
-                1e3 * executor.metrics().LatencyQuantileSeconds(0.95),
-                static_cast<unsigned long long>(result.expired));
-    ReportShardFaults(executor.metrics(), *index, shard_injector.get());
-    // With --trace the coverage summary and any --trace-out/--metrics-out
-    // artifacts follow each row (later rows overwrite earlier files).
-    if (executor.tracer().enabled()) {
-      const int rc = ReportTraces(flags, executor.metrics(), executor.tracer());
-      if (rc != 0) return rc;
+    rc = RunPoissonServeBench(*index, queries, params, flags,
+                              shard_injector.get());
+  } else {
+    std::printf("%-8s %-12s %-12s %-12s %-10s\n", "threads", "qps", "p50",
+                "p95", "expired");
+    for (const std::size_t threads :
+         ParseBeams(flags.Get("threads", "1,2,4"))) {
+      gass::serve::ExecutorOptions options;
+      options.threads = threads;
+      options.timeout_seconds = timeout_seconds;
+      options.trace = TraceOptionsFromFlags(flags);
+      gass::serve::QueryExecutor executor(*index, options);
+      executor.SearchBatch(batch.data(), nq, dim, params);  // Warm-up.
+      executor.metrics().Reset();
+      executor.tracer().Reset();  // Warm-up queries should not occupy slots.
+      const gass::serve::BatchResult result =
+          executor.SearchBatch(batch.data(), reps * nq, dim, params);
+      std::printf("%-8zu %-12.0f %-12.3f %-12.3f %-10llu\n", threads,
+                  result.Qps(),
+                  1e3 * executor.metrics().LatencyQuantileSeconds(0.50),
+                  1e3 * executor.metrics().LatencyQuantileSeconds(0.95),
+                  static_cast<unsigned long long>(result.expired));
+      ReportShardFaults(executor.metrics(), *index, shard_injector.get());
+      // With --trace the coverage summary and any --trace-out/--metrics-out
+      // artifacts follow each row (later rows overwrite earlier files).
+      if (executor.tracer().enabled()) {
+        rc = ReportTraces(flags, executor.metrics(), executor.tracer());
+        if (rc != 0) break;
+      }
     }
   }
-  return 0;
+  scrubber.Stop();
+  if (rc == 0) scrubber.Report();
+  return rc;
 }
 
 // WAL durability knobs shared by update-bench (see docs/PERSISTENCE.md).
@@ -878,8 +974,7 @@ int CmdUpdateBench(const Flags& flags) {
 
   const std::size_t updates =
       static_cast<std::size_t>(flags.GetInt("updates", 1000));
-  const double delete_fraction =
-      std::atof(flags.Get("delete-fraction", "0.1").c_str());
+  const double delete_fraction = flags.GetFloat("delete-fraction", 0.1);
   const std::size_t shards =
       static_cast<std::size_t>(flags.GetInt("shards", 0));
   const std::size_t reserve = static_cast<std::size_t>(
@@ -903,8 +998,15 @@ int CmdUpdateBench(const Flags& flags) {
   sharded_options.nprobe = static_cast<std::size_t>(flags.GetInt("nprobe", 0));
   sharded_options.reserve_per_shard =
       shards > 0 ? (reserve + shards - 1) / shards : reserve;
+  sharded_options.replicas =
+      static_cast<std::size_t>(flags.GetInt("replicas", 1));
   sharded_options.hnsw.seed = seed;
   sharded_options.seed = seed;
+  if (shards == 0 && sharded_options.replicas > 1) {
+    std::fprintf(stderr,
+                 "error: --replicas needs sharded live updates (--shards K)\n");
+    return 1;
+  }
 
   // Build the live index and its durable state (checkpoint + empty WALs).
   std::unique_ptr<gass::serve::LiveIndex> live;
@@ -1095,6 +1197,115 @@ void Usage() {
                "see the header of tools/gass_cli.cc for full flag lists\n");
 }
 
+// Per-command flag tables for strict validation (tools/arg_parse.h): a
+// flag not listed here, or a non-numeric value to a kInt/kFloat flag, is
+// a named error at startup — never a silently ignored typo.
+
+const std::vector<ArgSpec> kShardingSpecs = {
+    {"method", ArgKind::kString},      {"seed", ArgKind::kInt},
+    {"shards", ArgKind::kInt},         {"partitioner", ArgKind::kString},
+    {"nprobe", ArgKind::kInt},         {"build-threads", ArgKind::kInt},
+    {"fanout-threads", ArgKind::kInt}, {"replicas", ArgKind::kInt},
+};
+
+std::vector<ArgSpec> WithSharding(std::initializer_list<ArgSpec> extra) {
+  std::vector<ArgSpec> specs = kShardingSpecs;
+  specs.insert(specs.end(), extra.begin(), extra.end());
+  return specs;
+}
+
+std::vector<ArgSpec> CommandSpecs(const std::string& command) {
+  if (command == "gen") {
+    return {{"dataset", ArgKind::kString}, {"n", ArgKind::kInt},
+            {"seed", ArgKind::kInt},       {"out", ArgKind::kString},
+            {"queries", ArgKind::kInt},    {"queries-out", ArgKind::kString}};
+  }
+  if (command == "gt") {
+    return {{"base", ArgKind::kString},
+            {"queries", ArgKind::kString},
+            {"k", ArgKind::kInt},
+            {"out", ArgKind::kString}};
+  }
+  if (command == "build") {
+    return WithSharding({{"base", ArgKind::kString},
+                         {"graph", ArgKind::kString},
+                         {"save", ArgKind::kString}});
+  }
+  if (command == "eval") {
+    return WithSharding({{"base", ArgKind::kString},
+                         {"queries", ArgKind::kString},
+                         {"truth", ArgKind::kString},
+                         {"k", ArgKind::kInt},
+                         {"beams", ArgKind::kString},
+                         {"search-params", ArgKind::kString},
+                         {"load", ArgKind::kString}});
+  }
+  if (command == "complexity") {
+    return {{"base", ArgKind::kString},
+            {"k", ArgKind::kInt},
+            {"sample", ArgKind::kInt}};
+  }
+  if (command == "serve-bench") {
+    return WithSharding({
+        {"base", ArgKind::kString},
+        {"queries", ArgKind::kString},
+        {"k", ArgKind::kInt},
+        {"beam", ArgKind::kInt},
+        {"threads", ArgKind::kString},  // Comma list, e.g. 1,2,4.
+        {"reps", ArgKind::kInt},
+        {"timeout-ms", ArgKind::kInt},
+        {"search-params", ArgKind::kString},
+        {"load", ArgKind::kString},
+        {"trace", ArgKind::kInt},
+        {"trace-out", ArgKind::kString},
+        {"metrics-out", ArgKind::kString},
+        {"arrival", ArgKind::kString},
+        {"rate", ArgKind::kFloat},
+        {"num-arrivals", ArgKind::kInt},
+        {"queue", ArgKind::kInt},
+        {"deadline-ms", ArgKind::kInt},
+        {"retries", ArgKind::kInt},
+        {"breaker-threshold", ArgKind::kInt},
+        {"breaker-probe", ArgKind::kInt},
+        {"hedge", ArgKind::kFloat},
+        {"shard-fault-shard", ArgKind::kInt},
+        {"shard-fault-replica", ArgKind::kInt},
+        {"shard-fault-fail-period", ArgKind::kInt},
+        {"shard-fault-slow-period", ArgKind::kInt},
+        {"shard-fault-slow-ms", ArgKind::kInt},
+        {"shard-fault-slow-attempts", ArgKind::kInt},
+        {"shard-fault-reload-corrupt", ArgKind::kInt},
+        {"scrub-every", ArgKind::kInt},
+    });
+  }
+  if (command == "update-bench") {
+    return {{"base", ArgKind::kString},
+            {"queries", ArgKind::kString},
+            {"wal-dir", ArgKind::kString},
+            {"updates", ArgKind::kInt},
+            {"delete-fraction", ArgKind::kFloat},
+            {"shards", ArgKind::kInt},
+            {"reserve", ArgKind::kInt},
+            {"wal-name", ArgKind::kString},
+            {"wal-fsync", ArgKind::kString},
+            {"wal-fsync-n", ArgKind::kInt},
+            {"wal-fsync-interval-ms", ArgKind::kInt},
+            {"checkpoint-every", ArgKind::kInt},
+            {"search-every", ArgKind::kInt},
+            {"k", ArgKind::kInt},
+            {"beam", ArgKind::kInt},
+            {"threads", ArgKind::kInt},
+            {"queue", ArgKind::kInt},
+            {"seed", ArgKind::kInt},
+            {"nprobe", ArgKind::kInt},
+            {"replicas", ArgKind::kInt},
+            {"trace", ArgKind::kInt},
+            {"trace-out", ArgKind::kString},
+            {"metrics-out", ArgKind::kString}};
+  }
+  return {};  // "methods" (and unknown commands) take no flags.
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1103,8 +1314,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string command = argv[1];
-  const Flags flags(argc, argv, 2);
-  if (!flags.ok()) return 1;
+  Flags flags(argc, argv, 2);
+  if (!flags.ok() || !flags.Restrict(CommandSpecs(command))) {
+    std::fprintf(stderr, "error: %s\n", flags.error().c_str());
+    return 1;
+  }
   if (command == "gen") return CmdGen(flags);
   if (command == "gt") return CmdGroundTruth(flags);
   if (command == "build") return CmdBuild(flags);
